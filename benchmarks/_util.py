@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_bench_*`` benchmark regenerates one table/figure of the paper,
+asserts its qualitative shape, and writes the rendered rows to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
+capture (EXPERIMENTS.md records the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, lines: Iterable[str]) -> str:
+    """Persist a rendered report; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    text = "\n".join(lines) + "\n"
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(text)
+    return path

@@ -1,0 +1,58 @@
+"""Ablation: the memory-reuse factor gamma (Section 4.2).
+
+The paper reduces the naive layer-aggregate memory bound by a reuse factor
+gamma derived from framework memory-profiling studies.  This ablation shows
+how feasibility verdicts flip with gamma: at gamma = 1 (no reuse) most
+configurations look OOM; at the calibrated 0.5 the paper's actual
+feasibility pattern emerges.
+"""
+
+from repro.core.analytical import AnalyticalModel
+from repro.core.calibration import profile_model
+from repro.core.strategies import DataParallel, FilterParallel
+from repro.data import IMAGENET
+from repro.harness.reporting import format_table
+from repro.models import resnet50
+from repro.network.topology import abci_like_cluster
+
+from _util import write_report
+
+
+def _sweep():
+    model = resnet50()
+    cluster = abci_like_cluster(16)
+    profile = profile_model(model, samples_per_pe=32)
+    rows = []
+    for gamma in (0.25, 0.5, 0.75, 1.0):
+        am = AnalyticalModel(model, cluster, profile, gamma=gamma)
+        d = am.project(DataParallel(16), 512, IMAGENET.num_samples)
+        f = am.project(FilterParallel(16), 64, IMAGENET.num_samples)
+        rows.append((gamma, d.memory_bytes / 1e9, d.feasible_memory,
+                     f.memory_bytes / 1e9, f.feasible_memory))
+    return rows
+
+
+def test_bench_ablation_memory(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    # Memory is exactly linear in gamma.
+    g25 = rows[0]
+    g100 = rows[-1]
+    assert g100[1] / g25[1] == 4.0
+    # Feasibility flips across the sweep for the activation-replicating
+    # filter strategy at B=64.
+    feas = [r[4] for r in rows]
+    assert feas[0] and not feas[-1]
+
+    table = format_table(
+        ["gamma", "data mem (GB)", "data fits", "filter mem (GB)",
+         "filter fits"],
+        [[g, f"{dm:.1f}", "yes" if df_ else "NO", f"{fm:.1f}",
+          "yes" if ff else "NO"] for g, dm, df_, fm, ff in rows],
+    )
+    write_report("ablation_memory", [
+        "Ablation — memory-reuse factor gamma (ResNet-50, p=16)",
+        table,
+        "(the paper derives gamma from layer-level memory profiling "
+        "studies; 0.5 reproduces its feasibility pattern)",
+    ])

@@ -1,0 +1,36 @@
+"""Section 5.2: the headline accuracy summary.
+
+The paper reports 86.74% average oracle accuracy across all strategies and
+models, up to 97.57% for data parallelism on VGG16, with data parallelism
+the best-predicted strategy.  We regenerate the summary over the full
+Figure-3 grid (simulator standing in for the 1024-GPU machine).
+"""
+
+from repro.harness import run_accuracy_summary
+from repro.harness.reporting import format_table, pct
+
+from _util import write_report
+
+
+def test_bench_accuracy_summary(benchmark):
+    summary = benchmark.pedantic(
+        lambda: run_accuracy_summary(quick=True, iterations=20),
+        rounds=1, iterations=1,
+    )
+    # Paper shape: high overall accuracy, data parallelism on top.
+    assert summary.overall > 0.80
+    assert summary.per_strategy["d"] == max(summary.per_strategy.values())
+    assert summary.per_strategy["d"] > 0.95
+    best_label, best_acc = summary.best
+    assert best_acc > 0.97  # paper: up to 97.57%
+
+    rows = [[k, pct(v)] for k, v in sorted(summary.per_strategy.items())]
+    rows += [[f"model:{k}", pct(v)] for k, v in sorted(summary.per_model.items())]
+    rows.append(["OVERALL", pct(summary.overall)])
+    rows.append([f"best ({best_label})", pct(best_acc)])
+    write_report("accuracy_summary", [
+        "Section 5.2 — oracle accuracy summary",
+        format_table(["scope", "mean accuracy"], rows),
+        "(paper: 86.74% overall; 96.10% d, 85.56% f, 73.67% c, 91.43% df, "
+        "83.46% ds, 90.22% p; max 97.57%)",
+    ])

@@ -1,0 +1,34 @@
+"""Figure 4: ParaDL prediction accuracy for CosmoFlow under Data+Spatial.
+
+CosmoFlow's 512^3 samples only fit under spatial decomposition; the paper
+reports ~74% average oracle accuracy on this (hardest) workload, driven by
+the hierarchical Allreduce and halo costs.
+"""
+
+from repro.harness import run_fig4
+from repro.harness.reporting import format_table, pct
+
+from _util import write_report
+
+
+def test_bench_fig4(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig4(ps=(16, 64), iterations=15),
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == 2
+    for r in rows:
+        # Paper: CosmoFlow averages 74.14%; require at least that ballpark.
+        assert r.accuracy > 0.60
+        assert r.oracle_iter > 0 and r.measured_iter > 0
+
+    table = format_table(
+        ["p", "groups", "oracle iter (s)", "measured iter (s)", "accuracy"],
+        [[r.p, r.p1, f"{r.oracle_iter:.3f}", f"{r.measured_iter:.3f}",
+          pct(r.accuracy)] for r in rows],
+    )
+    write_report("fig4", [
+        "Figure 4 — CosmoFlow Data+Spatial prediction accuracy",
+        table,
+        "(paper: 74.14% average accuracy for CosmoFlow)",
+    ])

@@ -1,0 +1,46 @@
+"""Figure 5: CosmoFlow spatial+data scaling vs pure spatial.
+
+The paper's Figure 5 shows Data+Spatial scaling almost perfectly (note the
+log y-axis) while pure spatial parallelism is capped at one node — and data
+parallelism cannot run at all (memory).  We assert both: near-linear
+speedup in the number of data-parallel groups, and the data-parallel
+memory infeasibility that motivates the hybrid.
+"""
+
+from repro.harness import run_fig5
+from repro.harness.reporting import format_table
+
+from _util import write_report
+
+
+def test_bench_fig5(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig5(ps=(4, 16, 64), iterations=5),
+        rounds=1, iterations=1,
+    )
+    ds_rows = [r for r in rows if r.strategy == "ds"]
+    assert ds_rows
+
+    # Near-perfect scaling: speedup within 25% of the group count.
+    for r in ds_rows:
+        groups = r.p // 4
+        assert r.speedup_vs_spatial > 0.75 * groups
+        assert r.feasible
+
+    # Data parallelism is memory-infeasible (the reason ds exists here).
+    d = next(r for r in rows if r.strategy == "d")
+    assert not d.feasible
+    assert d.memory_GB > 16.0
+
+    table = format_table(
+        ["strategy", "p", "epoch (s)", "speedup", "mem GB", "fits"],
+        [[r.strategy, r.p,
+          f"{r.epoch_time:.1f}" if r.epoch_time == r.epoch_time else "n/a",
+          f"{r.speedup_vs_spatial:.1f}x", f"{r.memory_GB:.1f}",
+          "yes" if r.feasible else "NO"] for r in rows],
+    )
+    write_report("fig5", [
+        "Figure 5 — CosmoFlow spatial+data scaling (512^3 samples)",
+        table,
+        "(paper: perfect scaling of ds; data parallelism not an option)",
+    ])

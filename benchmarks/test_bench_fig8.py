@@ -1,0 +1,43 @@
+"""Figure 8: filter-parallel computation breakdown for ResNet-50.
+
+Two framework effects the oracle's ideal ``FW_l / p`` misses (Section
+5.3.3): convolution kernels lose occupancy as their filter count shrinks
+("the convolution layer does not always scale as expected"), and the
+tensor split/concat around each layer-wise collective is non-trivial.
+"""
+
+from repro.harness import run_fig8
+from repro.harness.reporting import format_table, pct
+
+from _util import write_report
+
+
+def test_bench_fig8(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig8(ps=(1, 4, 16, 64)),
+        rounds=1, iterations=1,
+    )
+    effs = {r.p: r.scaling_efficiency for r in rows}
+    # Scaling efficiency decays monotonically with p.
+    assert effs[1] == 1.0
+    assert effs[64] < effs[16] < effs[4] < 1.0
+    # Simulated conv time is always above the ideal 1/p time.
+    for r in rows:
+        if r.p > 1:
+            assert r.simulated_conv_s > r.ideal_conv_s
+            assert r.split_concat_s > 0
+
+    table = format_table(
+        ["p", "ideal conv (ms)", "actual conv (ms)", "split/concat (ms)",
+         "scaling eff."],
+        [[r.p, f"{r.ideal_conv_s * 1e3:.2f}",
+          f"{r.simulated_conv_s * 1e3:.2f}",
+          f"{r.split_concat_s * 1e3:.2f}", pct(r.scaling_efficiency)]
+         for r in rows],
+    )
+    write_report("fig8", [
+        "Figure 8 — filter-parallel compute scaling, ResNet-50 (B=32)",
+        table,
+        "(paper: conv does not scale as expected; split/concat overhead "
+        "is non-trivial)",
+    ])

@@ -1,0 +1,62 @@
+"""Extension bench: per-layer hybrid planning vs uniform strategies.
+
+Section 3.5 notes hybrids "could be more complex when applying different
+parallel strategies for different layers" (citing Jia et al. and
+Krizhevsky's one-weird-trick).  The DP planner quantifies the win: for
+FC-heavy models the mixed plan (data-parallel convolutions, model-parallel
+FC) beats every uniform strategy.
+"""
+
+from repro.core.calibration import profile_model
+from repro.core.layerwise import LayerwisePlanner
+from repro.harness.reporting import format_table
+from repro.models import alexnet, resnet50, vgg16
+from repro.network.topology import abci_like_cluster
+
+from _util import write_report
+
+
+def _sweep():
+    cluster = abci_like_cluster(16)
+    rows = []
+    for model in (alexnet(), vgg16(), resnet50()):
+        profile = profile_model(model, samples_per_pe=8)
+        planner = LayerwisePlanner(model, cluster, profile, p=16)
+        plan = planner.plan(batch=128)
+        uniform_d = planner.uniform_plan("data", batch=128)
+        rows.append((model.name, plan, uniform_d))
+    return rows
+
+
+def test_bench_layerwise_planning(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = []
+    for name, plan, uniform in rows:
+        speedup = uniform.per_iteration.total / plan.per_iteration.total
+        # The DP can never lose to a feasible uniform plan.
+        assert plan.per_iteration.total <= uniform.per_iteration.total + 1e-12
+        table.append([
+            name,
+            f"{uniform.per_iteration.total * 1e3:.1f}",
+            f"{plan.per_iteration.total * 1e3:.1f}",
+            f"{speedup:.2f}x",
+            str(dict(sorted(plan.mode_counts.items()))),
+        ])
+    # FC-heavy AlexNet gains the most (the one-weird-trick effect).
+    alex = next(r for r in rows if r[0] == "alexnet")
+    resnet = next(r for r in rows if r[0] == "resnet50")
+    gain = lambda r: r[2].per_iteration.total / r[1].per_iteration.total
+    assert gain(alex) > gain(resnet)
+    assert gain(alex) > 1.5
+
+    write_report("layerwise", [
+        "Extension — per-layer hybrid planning (p=16, B=128)",
+        format_table(
+            ["model", "uniform data (ms)", "per-layer plan (ms)", "speedup",
+             "mode mix"],
+            table,
+        ),
+        "(Section 3.5 / Krizhevsky 2014: data-parallel convs + "
+        "model-parallel FC)",
+    ])

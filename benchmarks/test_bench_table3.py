@@ -1,0 +1,51 @@
+"""Table 3: the analytical model summary per strategy.
+
+Renders the comp/comm/memory columns for ResNet-50 at p=16 and asserts the
+structural relations the table encodes: the serial baseline has zero
+communication, model-parallel strategies divide weights but replicate
+activations, the PE ceilings match the model's minima, and filter ==
+channel in every total.
+"""
+
+import pytest
+
+from repro.harness import run_table3
+from repro.harness.reporting import format_table
+
+from _util import write_report
+
+
+def test_bench_table3(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table3(model_name="resnet50", p=16, batch=512),
+        rounds=1, iterations=1,
+    )
+    by = {r["strategy"]: r for r in rows if "error" not in r}
+
+    assert by["serial"]["comm_s"] == 0.0
+    # Compute divided by p for every parallel strategy except pipeline.
+    for sid in ("d", "s", "f", "c", "df", "ds"):
+        assert by[sid]["comp_s"] < by["serial"]["comp_s"]
+    # Filter == channel per the paper's formulas.
+    assert by["f"]["comm_s"] == pytest.approx(by["c"]["comm_s"])
+    assert by["f"]["memory_GB"] == pytest.approx(by["c"]["memory_GB"])
+    # PE ceilings (last column of Table 3).
+    assert by["f"]["pe_limit"] == 64
+    assert by["s"]["pe_limit"] == 49   # min 7x7 extent
+    assert by["d"]["pe_limit"] == 512  # B
+    # Memory: data parallelism divides activations; filter replicates them.
+    assert by["d"]["memory_GB"] < by["f"]["memory_GB"]
+
+    table = format_table(
+        ["strategy", "p", "comp/iter (ms)", "comm/iter (ms)", "mem (GB)",
+         "PE limit"],
+        [[r["strategy"], r.get("p", "-"),
+          f"{r['comp_s'] * 1e3:.1f}" if "comp_s" in r else "-",
+          f"{r['comm_s'] * 1e3:.1f}" if "comm_s" in r else "-",
+          f"{r['memory_GB']:.1f}" if "memory_GB" in r else "-",
+          r.get("pe_limit", r.get("error", "-"))] for r in rows],
+    )
+    write_report("table3", [
+        "Table 3 — analytical model summary (ResNet-50, p=16, B=512)",
+        table,
+    ])

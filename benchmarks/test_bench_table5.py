@@ -1,0 +1,34 @@
+"""Table 5: models and datasets used in the experiments."""
+
+import pytest
+
+from repro.harness import run_table5
+from repro.harness.reporting import format_table
+
+from _util import write_report
+
+
+def test_bench_table5(benchmark):
+    rows = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    by = {r["model"]: r for r in rows}
+
+    # Paper's Table 5: ~25M / ~58M / (canonical 138M) / ~2M parameters.
+    assert by["resnet50"]["parameters_M"] == pytest.approx(25.56, abs=0.1)
+    assert by["resnet152"]["parameters_M"] == pytest.approx(60.19, abs=0.1)
+    assert by["vgg16"]["parameters_M"] == pytest.approx(138.36, abs=0.5)
+    assert by["cosmoflow"]["parameters_M"] < 2.5
+    assert by["resnet50"]["num_samples"] == 1_281_167
+    assert by["cosmoflow"]["num_samples"] == 1584
+
+    table = format_table(
+        ["model", "dataset", "#samples", "sample", "params (M)",
+         "weighted layers"],
+        [[r["model"], r["dataset"], r["num_samples"], r["sample_shape"],
+          f"{r['parameters_M']:.2f}", r["weighted_layers"]] for r in rows],
+    )
+    write_report("table5", [
+        "Table 5 — models and datasets",
+        table,
+        "(paper quotes ~25M / ~58M / ~169M / ~2M; VGG16's canonical count "
+        "is 138M — see DESIGN.md)",
+    ])

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Limitation & bottleneck detection across strategies (Table 6).
+
+One of ParaDL's stated purposes is "identifying limitations of parallel
+strategies, shortcomings of frameworks, and bottlenecks in systems".  This
+example projects a representative configuration per strategy and runs the
+Table-6 detector on each, printing the findings matrix.
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+from repro import abci_like_cluster, detect_findings, profile_model
+from repro.core.analytical import AnalyticalModel
+from repro.core.limits import TABLE6_ROWS
+from repro.core.strategies import strategy_from_id
+from repro.data import COSMOFLOW_512, IMAGENET
+from repro.harness import format_table
+from repro.models import build_model
+
+
+CONFIGS = [
+    # (strategy, model, p, global batch)
+    ("d", "vgg16", 256, 32 * 256),
+    ("s", "resnet50", 16, 16),
+    ("p", "vgg16", 4, 64),
+    ("f", "resnet50", 16, 32),
+    ("c", "resnet50", 16, 32),
+    ("df", "vgg16", 64, 8 * 64),
+    ("ds", "cosmoflow", 16, 4),
+]
+
+
+def main() -> None:
+    findings_by_sid = {}
+    for sid, model_name, p, batch in CONFIGS:
+        spec = COSMOFLOW_512.sample if model_name == "cosmoflow" else None
+        model = build_model(model_name, spec)
+        cluster = abci_like_cluster(max(p, 4))
+        profile = profile_model(model, samples_per_pe=max(1, batch // p))
+        analytical = AnalyticalModel(model, cluster, profile)
+        strategy = strategy_from_id(sid, p, model, batch,
+                                    intra=cluster.node.gpus)
+        dataset = (COSMOFLOW_512 if model_name == "cosmoflow" else IMAGENET)
+        proj = analytical.project(strategy, batch, dataset.num_samples)
+        findings = detect_findings(model, proj, profile=profile)
+        findings_by_sid[sid] = findings
+        print(f"{sid:3s} ({model_name}, p={p}):")
+        for f in findings:
+            print(f"    {f}")
+        if not findings:
+            print("    (no significant limitation detected)")
+        print()
+
+    # Render the Table-6-style matrix: which categories fire per strategy.
+    names = sorted({f.name for fs in findings_by_sid.values() for f in fs})
+    rows = []
+    for name in names:
+        row = [name]
+        for sid, *_ in CONFIGS:
+            hit = any(f.name == name for f in findings_by_sid[sid])
+            row.append("x" if hit else "-")
+        rows.append(row)
+    print(format_table(["finding"] + [c[0] for c in CONFIGS], rows))
+    print()
+    print("(Compare with the paper's Table 6; the paper's full row set:)")
+    for category, kind, sids, comp, remark in TABLE6_ROWS:
+        print(f"  {kind}/{category:13s} {remark:20s} strategies: {','.join(sids)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Visualize the GPipe pipeline schedule (layer parallelism, Section 3.4).
+
+Renders the fill/drain bubble of the pipeline as a text Gantt chart for
+ResNet-50 split over 4 stages, at two micro-batch counts, and shows the
+workload-balancing limitation (Section 5.3.3): "it is crucial that all
+stages in the pipeline take roughly the same amount of time, since the
+training time of a pipeline is limited by the slowest stage."
+
+Run:  python examples/pipeline_gantt.py
+"""
+
+from repro import models, profile_model
+from repro.simulator import gpipe_timeline
+
+BATCH = 64
+
+
+def stage_times(model, segments):
+    profile = profile_model(model, samples_per_pe=max(1, BATCH // segments))
+    groups = model.partition_depth(4)
+    micro = BATCH / segments
+    fw = [micro * profile.group_fw(g) for g in groups]
+    bw = [micro * profile.group_bw(g) for g in groups]
+    return fw, bw
+
+
+def main() -> None:
+    model = models.resnet50()
+    for segments in (2, 8):
+        fw, bw, = stage_times(model, segments)
+        tl = gpipe_timeline(fw, bw, [0.0] * 3, segments)
+        print(f"ResNet-50, 4 stages, S={segments} micro-batches "
+              f"(digits=forward, letters=backward):")
+        print(tl.render(width=72))
+        print(f"  makespan {tl.makespan * 1e3:7.2f} ms   "
+              f"bubble {tl.bubble_fraction():.0%}")
+        print()
+
+    # Imbalance: an artificially slow stage gates everything.
+    fw, bw = stage_times(model, 8)
+    fw[2] *= 3
+    tl = gpipe_timeline(fw, bw, [0.0] * 3, 8)
+    print("Same pipeline with stage2 3x slower (workload-balancing "
+          "limitation):")
+    print(tl.render(width=72))
+    print(f"  makespan {tl.makespan * 1e3:7.2f} ms   "
+          f"bubble {tl.bubble_fraction():.0%}")
+
+
+if __name__ == "__main__":
+    main()

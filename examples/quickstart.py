@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: project every parallel strategy for ResNet-50 on 64 GPUs.
+
+This walks the core ParaDL workflow of the paper (Figure 2):
+
+1. describe what you know beforehand — model, dataset, cluster;
+2. profile per-layer compute times (here: the simulated V100);
+3. ask the oracle for per-phase time/memory projections per strategy;
+4. ask it to *rank* the strategies for your PE budget.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ParaDL, abci_like_cluster, models, profile_model
+from repro.data import IMAGENET
+from repro.harness import format_breakdown, format_table, pct
+
+NUM_GPUS = 64
+SAMPLES_PER_GPU = 32
+
+
+def main() -> None:
+    model = models.resnet50()
+    cluster = abci_like_cluster(NUM_GPUS)
+    print(f"Model:   {model}")
+    print(f"Cluster: {cluster}")
+
+    # Step 1: empirical parametrization — profile FW/BW/WU per layer.
+    profile = profile_model(model, samples_per_pe=SAMPLES_PER_GPU)
+    print(f"Profiled {len(profile)} layers "
+          f"(sum FW = {profile.total_fw() * 1e3:.3f} ms/sample)")
+
+    # Step 2: the oracle.
+    oracle = ParaDL(model, cluster, profile)
+
+    # Step 3: project each strategy at this scale.
+    rows = []
+    batch_weak = SAMPLES_PER_GPU * NUM_GPUS
+    for sid, p, batch in [
+        ("d", NUM_GPUS, batch_weak),
+        ("s", 16, 64),
+        ("p", 4, 64),
+        ("f", 16, 32),
+        ("c", 16, 32),
+        ("df", NUM_GPUS, 8 * NUM_GPUS),
+        ("ds", NUM_GPUS, batch_weak),
+    ]:
+        proj = oracle.project_id(sid, p=p, batch=batch, dataset=IMAGENET)
+        it = proj.per_iteration
+        rows.append([
+            sid, p, batch,
+            f"{it.computation * 1e3:.1f} ms",
+            f"{it.communication * 1e3:.1f} ms",
+            f"{it.total * 1e3:.1f} ms",
+            f"{proj.memory_bytes / 1e9:.1f} GB",
+            "yes" if proj.feasible_memory else "NO",
+        ])
+    print()
+    print(format_table(
+        ["strategy", "p", "B", "comp/iter", "comm/iter", "total/iter",
+         "mem/PE", "fits?"],
+        rows,
+    ))
+
+    # Step 4: breakdown of the winning configuration.
+    best = oracle.project_id("d", p=NUM_GPUS, batch=batch_weak, dataset=IMAGENET)
+    print()
+    print("Data parallelism breakdown:")
+    print(" ", format_breakdown(best.per_iteration))
+
+    # Step 5: let the oracle rank strategies for the budget.
+    print()
+    print(f"Oracle suggestions for p = {NUM_GPUS}:")
+    for s in oracle.suggest(NUM_GPUS, IMAGENET, samples_per_pe=SAMPLES_PER_GPU):
+        if s.feasible:
+            print(f"  #{s.rank} {s.strategy.describe():18s} "
+                  f"epoch = {s.epoch_time:8.1f} s")
+        else:
+            who = s.strategy.describe() if s.strategy else "?"
+            print(f"  --  {who:18s} infeasible: {s.reason}")
+
+
+if __name__ == "__main__":
+    main()

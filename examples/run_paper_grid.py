@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Full reproduction driver: regenerate every table/figure at paper scale.
+
+Runs the complete Figure-3 grid (16-1024 GPUs for data/hybrids, 4-64 for
+filter/channel), CosmoFlow Figures 4/5, the congestion scatter, the
+computation breakdowns, and the accuracy summary — the whole Section 5 —
+and prints a consolidated report.  Runtime is a few seconds: the simulated
+cluster costs nothing to scale, which is rather the point of having one.
+
+Run:  python examples/run_paper_grid.py
+"""
+
+import numpy as np
+
+from repro.harness import (
+    format_table,
+    pct,
+    run_accuracy_summary,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table5,
+)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Figure 3 (full grid, 60 cells, up to 1024 simulated GPUs)")
+    print("=" * 72)
+    cells = run_fig3(quick=False, iterations=30)
+    rows = [
+        [c.model, c.sid, c.p, c.batch,
+         f"{c.oracle.total * 1e3:9.2f}", f"{c.measured.total * 1e3:9.2f}",
+         pct(c.accuracy)]
+        for c in cells
+    ]
+    print(format_table(
+        ["model", "strat", "p", "B", "oracle (ms)", "measured (ms)", "acc"],
+        rows))
+
+    print()
+    print("Accuracy summary (Section 5.2):")
+    summary = run_accuracy_summary(quick=False, iterations=30)
+    for sid, acc in sorted(summary.per_strategy.items()):
+        print(f"  {sid:4s} {pct(acc)}")
+    print(f"  overall {pct(summary.overall)}   best {summary.best[0]} "
+          f"{pct(summary.best[1])}")
+    print("  (paper: 86.74% overall, 96.10% for d, best 97.57%)")
+
+    print()
+    print("Figure 4 (CosmoFlow ds accuracy):")
+    for r in run_fig4(ps=(16, 64, 256), iterations=20):
+        print(f"  p={r.p:4d}  oracle={r.oracle_iter:.3f}s "
+              f"measured={r.measured_iter:.3f}s  acc={pct(r.accuracy)}")
+
+    print()
+    print("Figure 5 (CosmoFlow scaling):")
+    for r in run_fig5(ps=(4, 16, 64, 256), iterations=5):
+        time_s = f"{r.epoch_time:8.1f}s" if r.epoch_time == r.epoch_time else "     n/a"
+        print(f"  {r.strategy:3s} p={r.p:4d} epoch={time_s} "
+              f"speedup={r.speedup_vs_spatial:6.1f}x "
+              f"{'OK' if r.feasible else 'OOM'}")
+
+    print()
+    print("Figure 6 (congestion):")
+    for s in run_fig6(iterations=500):
+        print(f"  {s.label:20s} expected={s.expected * 1e3:8.2f}ms "
+              f"median={np.median(s.samples) * 1e3:8.2f}ms "
+              f"outliers={s.outlier_fraction:.1%} "
+              f"worst={s.max_slowdown:.2f}x")
+
+    print()
+    print("Figure 7 (weight-update share):")
+    for r in run_fig7():
+        print(f"  {r.model:10s} {r.optimizer:9s} wu={pct(r.wu_share)}")
+
+    print()
+    print("Figure 8 (filter-parallel conv scaling):")
+    for r in run_fig8():
+        print(f"  p={r.p:3d} ideal={r.ideal_conv_s * 1e3:7.2f}ms "
+              f"actual={r.simulated_conv_s * 1e3:7.2f}ms "
+              f"eff={pct(r.scaling_efficiency)}")
+
+    print()
+    print("Table 5 (models):")
+    for r in run_table5():
+        print(f"  {r['model']:10s} {r['parameters_M']:7.2f}M params  "
+              f"{r['total_layers']:3d} layers  {r['dataset']}")
+
+
+if __name__ == "__main__":
+    main()

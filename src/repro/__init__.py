@@ -1,0 +1,73 @@
+"""repro — reproduction of "An Oracle for Guiding Large-Scale Model/Hybrid
+Parallel Training of Convolutional Neural Networks" (HPDC 2021).
+
+Public API tour
+---------------
+>>> from repro import models, ParaDL, profile_model, abci_like_cluster
+>>> from repro.data import IMAGENET
+>>> model = models.resnet50()
+>>> cluster = abci_like_cluster(64)
+>>> oracle = ParaDL(model, cluster, profile_model(model, samples_per_pe=32))
+>>> proj = oracle.project_id("d", p=64, batch=32 * 64, dataset=IMAGENET)
+>>> proj.per_iteration.total  # seconds per training iteration  # doctest: +SKIP
+
+Packages
+--------
+``repro.core``
+    Tensor/layer IR, Table-3 analytical model, the ParaDL oracle,
+    calibration, limitation detection.
+``repro.models``
+    ResNet-50/152, VGG16, CosmoFlow, AlexNet, toy test CNNs.
+``repro.network``
+    Fat-tree cluster topology, Hockney parameters, congestion.
+``repro.collectives``
+    Analytic ring/tree collective costs.
+``repro.simulator``
+    Discrete-event "measured" runs: roofline GPU, link-level collectives,
+    framework overheads.
+``repro.tensorparallel``
+    NumPy execution substrate: real data/spatial/filter/channel/pipeline
+    decompositions with value-by-value validation.
+``repro.harness``
+    Experiment registry regenerating every table/figure of the paper.
+"""
+
+from . import collectives, core, data, models, network
+from .core import (
+    AnalyticalModel,
+    ComputeProfile,
+    ModelGraph,
+    ParaDL,
+    PhaseBreakdown,
+    Projection,
+    TensorSpec,
+    accuracy,
+    detect_findings,
+    profile_model,
+    strategy_from_id,
+)
+from .network import ClusterSpec, abci_like_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "models",
+    "network",
+    "collectives",
+    "data",
+    "AnalyticalModel",
+    "ComputeProfile",
+    "ModelGraph",
+    "ParaDL",
+    "PhaseBreakdown",
+    "Projection",
+    "TensorSpec",
+    "accuracy",
+    "detect_findings",
+    "profile_model",
+    "strategy_from_id",
+    "ClusterSpec",
+    "abci_like_cluster",
+    "__version__",
+]

@@ -1,0 +1,364 @@
+"""Command-line interface for the ParaDL reproduction.
+
+The paper positions ParaDL as a practitioner's utility ("suggesting the
+best strategy for a given CNN, dataset and resource budget", "identifying
+the time and resources to provision").  This CLI exposes those workflows:
+
+.. code-block:: console
+
+   python -m repro project  --model resnet50 --strategy d  -p 64 --batch 2048
+   python -m repro project  --model resnet50 --strategy ds -p 64 --inference
+   python -m repro suggest  --model vgg16 -p 64 --samples-per-pe 32
+   python -m repro hybrid   --model vgg16 -p 64
+   python -m repro simulate --model resnet50 --strategy d -p 64 --batch 2048
+   python -m repro validate --p 4
+   python -m repro experiment fig5
+
+Every command prints plain-text tables (see :mod:`repro.harness.reporting`)
+and returns a non-zero exit code on infeasible/failed configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.calibration import profile_model
+from .core.oracle import ParaDL
+from .core.limits import detect_findings
+from .core.strategies import StrategyError, strategy_from_id
+from .data.datasets import DATASETS, IMAGENET
+from .harness import reporting
+from .models import MODEL_BUILDERS, build_model
+from .network.congestion import CongestionModel
+from .network.topology import abci_like_cluster
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParaDL oracle: project/suggest/simulate CNN "
+                    "parallelization strategies",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="resnet50",
+                       choices=sorted(MODEL_BUILDERS))
+        p.add_argument("-p", "--pes", type=int, default=64,
+                       help="number of processing elements (GPUs)")
+        p.add_argument("--dataset", default="imagenet",
+                       choices=sorted(DATASETS))
+        p.add_argument("--samples-per-pe", type=int, default=32)
+        p.add_argument("--gamma", type=float, default=0.5,
+                       help="memory-reuse factor")
+        p.add_argument("--optimizer", default="sgd",
+                       choices=("sgd", "momentum", "adam"))
+
+    proj = sub.add_parser("project", help="project one strategy (Table 3)")
+    common(proj)
+    proj.add_argument("--strategy", default="d",
+                      choices=("d", "z", "s", "p", "f", "c", "df", "ds"))
+    proj.add_argument("--batch", type=int, default=None,
+                      help="global mini-batch (default: samples-per-pe * p)")
+    proj.add_argument("--segments", type=int, default=4,
+                      help="pipeline micro-batches S")
+    proj.add_argument("--inference", action="store_true",
+                      help="forward-only projection (Section 5.4.2)")
+    proj.add_argument("--findings", action="store_true",
+                      help="also run the Table-6 limitation detector")
+
+    sug = sub.add_parser("suggest", help="rank all strategies for a budget")
+    common(sug)
+
+    hyb = sub.add_parser("hybrid", help="search (p1, p2) hybrid configs")
+    common(hyb)
+    hyb.add_argument("--kinds", default="df,ds")
+    hyb.add_argument("--top", type=int, default=5)
+
+    plan = sub.add_parser("plan",
+                          help="per-layer strategy assignment (DP)")
+    common(plan)
+    plan.add_argument("--batch", type=int, default=None)
+
+    simp = sub.add_parser("simulate",
+                          help="simulated measured run vs projection")
+    common(simp)
+    simp.add_argument("--strategy", default="d",
+                      choices=("d", "z", "s", "p", "f", "c", "df", "ds"))
+    simp.add_argument("--batch", type=int, default=None)
+    simp.add_argument("--segments", type=int, default=4)
+    simp.add_argument("--iterations", type=int, default=50)
+    simp.add_argument("--congestion", action="store_true",
+                      help="inject external congestion (Figure 6)")
+    simp.add_argument("--seed", type=int, default=42)
+
+    val = sub.add_parser("validate",
+                         help="value-by-value substrate validation")
+    val.add_argument("--p", type=int, default=4)
+    val.add_argument("--batch", type=int, default=8)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", choices=(
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "table3", "table5", "table6", "accuracy",
+    ))
+    exp.add_argument("--full", action="store_true",
+                     help="full sweep instead of the quick grid")
+    return parser
+
+
+def _make_oracle(args) -> tuple:
+    dataset = DATASETS[args.dataset]
+    # Shape-coupled models (CosmoFlow) are built at the dataset's sample
+    # size so 512^3 memory analysis is what the user asked about.
+    input_spec = (
+        dataset.sample
+        if args.model == "cosmoflow" and dataset.sample.ndim == 3
+        else None
+    )
+    model = build_model(args.model, input_spec)
+    cluster = abci_like_cluster(max(args.pes, 4))
+    profile = profile_model(model, samples_per_pe=args.samples_per_pe,
+                            optimizer=args.optimizer)
+    oracle = ParaDL(model, cluster, profile, gamma=args.gamma)
+    return model, cluster, profile, oracle, dataset
+
+
+def _cmd_project(args) -> int:
+    model, cluster, profile, oracle, dataset = _make_oracle(args)
+    batch = args.batch or args.samples_per_pe * args.pes
+    try:
+        strategy = strategy_from_id(
+            args.strategy, args.pes, model, batch,
+            segments=args.segments, intra=cluster.node.gpus,
+        )
+        if args.inference:
+            proj = oracle.analytical.project_inference(
+                strategy, batch, dataset.num_samples)
+        else:
+            proj = oracle.project(strategy, batch, dataset)
+    except (StrategyError, ValueError) as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 2
+    it = proj.per_iteration
+    print(f"{model.name} / {strategy.describe()} / B={batch} "
+          f"on {cluster}")
+    print(reporting.format_breakdown(it))
+    print(f"memory: {proj.memory_bytes / 1e9:.2f} GB/PE "
+          f"(capacity {proj.memory_capacity / 1e9:.0f} GB) "
+          f"{'OK' if proj.feasible_memory else 'OUT OF MEMORY'}")
+    print(f"epoch: {proj.per_epoch.total:.1f} s "
+          f"({proj.iterations} iterations)")
+    for note in proj.notes:
+        print(f"note: {note}")
+    if args.findings:
+        for f in detect_findings(model, proj, profile=profile):
+            print(f"finding: {f}")
+    return 0 if proj.feasible_memory else 1
+
+
+def _cmd_suggest(args) -> int:
+    model, cluster, profile, oracle, dataset = _make_oracle(args)
+    rows = []
+    for s in oracle.suggest(args.pes, dataset,
+                            samples_per_pe=args.samples_per_pe):
+        if s.feasible:
+            rows.append([s.rank, s.strategy.describe(),
+                         f"{s.epoch_time:.1f} s",
+                         f"{s.projection.memory_bytes / 1e9:.1f} GB"])
+        else:
+            rows.append(["-", s.strategy.describe() if s.strategy else "?",
+                         "infeasible", s.reason])
+    print(reporting.format_table(
+        ["rank", "strategy", "epoch", "memory / reason"], rows))
+    return 0
+
+
+def _cmd_hybrid(args) -> int:
+    model, cluster, profile, oracle, dataset = _make_oracle(args)
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    out = oracle.search_hybrid(args.pes, dataset,
+                               samples_per_pe=args.samples_per_pe,
+                               kinds=kinds)
+    rows = []
+    for s in out[: args.top]:
+        if s.feasible:
+            rows.append([s.rank, s.strategy.describe(),
+                         f"{s.epoch_time:.1f} s",
+                         f"{s.projection.memory_bytes / 1e9:.1f} GB"])
+    print(reporting.format_table(["rank", "config", "epoch", "memory"], rows))
+    infeasible = sum(1 for s in out if not s.feasible)
+    if infeasible:
+        print(f"({infeasible} configurations infeasible)")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    model, cluster, profile, oracle, dataset = _make_oracle(args)
+    batch = args.batch or args.samples_per_pe * args.pes
+    plan = oracle.plan_layerwise(args.pes, batch)
+    print(f"{model.name} / p={args.pes} / B={batch}: per-layer plan "
+          f"({plan.per_iteration.total * 1e3:.1f} ms/iter)")
+    print("mode counts:", dict(sorted(plan.mode_counts.items())))
+    rows = [
+        [a.layer, a.mode, f"{a.comp_s * 1e3:.2f}", f"{a.comm_s * 1e3:.2f}",
+         f"{a.transition_s * 1e3:.2f}"]
+        for a in plan.assignments if a.mode != "data"
+    ]
+    if rows:
+        print("non-data-parallel layers:")
+        print(reporting.format_table(
+            ["layer", "mode", "comp (ms)", "comm (ms)", "redecomp (ms)"],
+            rows))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .simulator import SimulationOptions, TrainingSimulator
+
+    model, cluster, profile, oracle, dataset = _make_oracle(args)
+    batch = args.batch or args.samples_per_pe * args.pes
+    try:
+        strategy = strategy_from_id(
+            args.strategy, args.pes, model, batch,
+            segments=args.segments, intra=cluster.node.gpus,
+        )
+        proj = oracle.project(strategy, batch, dataset)
+    except (StrategyError, ValueError) as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 2
+    congestion = (
+        CongestionModel(outlier_rate=0.1, seed=args.seed)
+        if args.congestion else None
+    )
+    sim = TrainingSimulator(
+        model, cluster,
+        options=SimulationOptions(iterations=args.iterations,
+                                  seed=args.seed,
+                                  optimizer=args.optimizer,
+                                  congestion=congestion),
+    )
+    run = sim.run(strategy, batch, dataset.num_samples)
+    acc = proj.accuracy_per_iteration(run.mean_iteration)
+    print(f"oracle   : {reporting.format_breakdown(proj.per_iteration)}")
+    print(f"measured : {reporting.format_breakdown(run.breakdown)}")
+    print(f"accuracy : {reporting.pct(acc)}")
+    for note in run.notes:
+        print(f"note: {note}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .models import toy_cnn, toy_cnn3d
+    from .tensorparallel import (
+        ChannelParallelExecutor,
+        DataFilterExecutor,
+        DataParallelExecutor,
+        FilterParallelExecutor,
+        PipelineExecutor,
+        SpatialParallelExecutor,
+    )
+    from .tensorparallel.validate import validate_strategy
+
+    model2d, model3d = toy_cnn(), toy_cnn3d()
+    cases = [
+        (model2d, DataParallelExecutor, args.p, {}),
+        (model2d, SpatialParallelExecutor, args.p, {}),
+        (model2d, FilterParallelExecutor, args.p, {}),
+        (model2d, ChannelParallelExecutor, args.p, {}),
+        (model2d, PipelineExecutor, min(args.p, 3), {"segments": 4}),
+        (model2d, DataFilterExecutor, 2, {"p2": 2}),
+        (model3d, DataParallelExecutor, 2, {}),
+        (model3d, SpatialParallelExecutor, 2, {}),
+    ]
+    failed = 0
+    for model, cls, p, kwargs in cases:
+        report = validate_strategy(model, cls, p, batch=args.batch,
+                                   executor_kwargs=kwargs)
+        print(report)
+        failed += 0 if report.ok else 1
+    return 1 if failed else 0
+
+
+def _cmd_experiment(args) -> int:
+    from .harness import (
+        run_accuracy_summary, run_fig3, run_fig4, run_fig5, run_fig6,
+        run_fig7, run_fig8, run_table3, run_table5, run_table6,
+    )
+
+    quick = not args.full
+    name = args.name
+    if name == "fig3":
+        for c in run_fig3(quick=quick):
+            print(f"{c.label:28s} oracle={c.oracle.total * 1e3:9.2f}ms "
+                  f"measured={c.measured.total * 1e3:9.2f}ms "
+                  f"acc={reporting.pct(c.accuracy)}")
+    elif name == "fig4":
+        for r in run_fig4():
+            print(f"p={r.p:4d} oracle={r.oracle_iter:.3f}s "
+                  f"measured={r.measured_iter:.3f}s "
+                  f"acc={reporting.pct(r.accuracy)}")
+    elif name == "fig5":
+        for r in run_fig5():
+            print(f"{r.strategy:3s} p={r.p:4d} epoch={r.epoch_time:8.1f}s "
+                  f"speedup={r.speedup_vs_spatial:5.1f}x "
+                  f"{'OK' if r.feasible else 'OOM'}")
+    elif name == "fig6":
+        import numpy as np
+
+        for s in run_fig6():
+            print(f"{s.label:20s} expected={s.expected * 1e3:8.2f}ms "
+                  f"median={np.median(s.samples) * 1e3:8.2f}ms "
+                  f"worst={s.max_slowdown:.2f}x")
+    elif name == "fig7":
+        for r in run_fig7():
+            print(f"{r.model:10s} {r.optimizer:8s} "
+                  f"wu={reporting.pct(r.wu_share)}")
+    elif name == "fig8":
+        for r in run_fig8():
+            print(f"p={r.p:3d} ideal={r.ideal_conv_s * 1e3:7.2f}ms "
+                  f"actual={r.simulated_conv_s * 1e3:7.2f}ms "
+                  f"eff={reporting.pct(r.scaling_efficiency)}")
+    elif name == "table3":
+        for r in run_table3():
+            print(r)
+    elif name == "table5":
+        for r in run_table5():
+            print(r)
+    elif name == "table6":
+        for sid, findings in run_table6(quick=quick).items():
+            print(f"{sid}:")
+            for f in findings:
+                print(f"  {f}")
+    elif name == "accuracy":
+        s = run_accuracy_summary(quick=quick)
+        for k, v in sorted(s.per_strategy.items()):
+            print(f"{k:8s} {reporting.pct(v)}")
+        print(f"overall  {reporting.pct(s.overall)}")
+    return 0
+
+
+_COMMANDS = {
+    "project": _cmd_project,
+    "suggest": _cmd_suggest,
+    "hybrid": _cmd_hybrid,
+    "plan": _cmd_plan,
+    "simulate": _cmd_simulate,
+    "validate": _cmd_validate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse ``argv`` and dispatch; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

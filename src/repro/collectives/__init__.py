@@ -1,0 +1,30 @@
+"""Collective-communication cost models (analytic) and schedules (simulated).
+
+The analytic forms follow Section 4.3 of the paper: ring algorithms for
+large messages (the NCCL default the paper assumes) and a pipelined
+tree algorithm for small messages (the paper's footnote 4).
+"""
+
+from .algorithms import (
+    ring_allreduce_time,
+    ring_allgather_time,
+    ring_reduce_scatter_time,
+    tree_allreduce_time,
+    broadcast_time,
+    reduce_time,
+    p2p_time,
+    allreduce_time,
+    CollectiveCost,
+)
+
+__all__ = [
+    "ring_allreduce_time",
+    "ring_allgather_time",
+    "ring_reduce_scatter_time",
+    "tree_allreduce_time",
+    "broadcast_time",
+    "reduce_time",
+    "p2p_time",
+    "allreduce_time",
+    "CollectiveCost",
+]

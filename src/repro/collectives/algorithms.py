@@ -1,0 +1,190 @@
+"""Analytic collective costs under the Hockney alpha-beta model.
+
+Formulas (Section 4.3 of the paper), for ``p`` PEs and a per-PE buffer of
+``m`` bytes:
+
+* ring Allreduce:      ``2 (p-1) (alpha + (m/p) beta)``
+* ring Allgather:      ``(p-1) (alpha + m_seg beta)`` where ``m_seg`` is the
+  per-PE contribution (the paper passes the segment size directly, e.g.
+  ``B |y_l| / p`` for filter parallelism),
+* ring ReduceScatter:  ``(p-1) (alpha + (m/p) beta)``
+* pipelined-tree Allreduce (small messages, footnote 4):
+  ``2 (log2(p) + k) (alpha + m/(2k) beta)`` with the message split into
+  ``k`` chunks,
+* peer-to-peer:        ``alpha + m beta``.
+
+All functions return seconds and degrade gracefully for ``p == 1``
+(collectives over a singleton communicator are free).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..network.hockney import HockneyParams
+
+__all__ = [
+    "CollectiveCost",
+    "ring_allreduce_time",
+    "ring_allgather_time",
+    "ring_reduce_scatter_time",
+    "tree_allreduce_time",
+    "broadcast_time",
+    "reduce_time",
+    "p2p_time",
+    "allreduce_time",
+]
+
+#: Message-size threshold below which NCCL-style implementations switch from
+#: ring to tree algorithms (bytes).  The exact NCCL crossover is
+#: topology-dependent; 512 KiB is representative.
+TREE_THRESHOLD_BYTES = 512 * 1024
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """A collective's cost split into latency and bandwidth terms.
+
+    Useful for bottleneck attribution: at scale the ``alpha`` term of
+    layer-wise collectives (filter/channel parallelism) grows with
+    ``G * (p-1) * alpha`` while the bandwidth term shrinks with ``1/p``.
+    """
+
+    latency_s: float
+    bandwidth_s: float
+
+    @property
+    def total(self) -> float:
+        return self.latency_s + self.bandwidth_s
+
+
+def _check(p: int, nbytes: float) -> None:
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if nbytes < 0:
+        raise ValueError(f"message size must be >= 0, got {nbytes}")
+
+
+def ring_allreduce_time(
+    p: int, nbytes: float, params: HockneyParams, detailed: bool = False
+):
+    """Ring Allreduce of an ``nbytes`` buffer replicated on ``p`` PEs."""
+    _check(p, nbytes)
+    if p == 1:
+        cost = CollectiveCost(0.0, 0.0)
+    else:
+        steps = 2 * (p - 1)
+        cost = CollectiveCost(
+            latency_s=steps * params.alpha,
+            bandwidth_s=steps * (nbytes / p) * params.beta,
+        )
+    return cost if detailed else cost.total
+
+
+def ring_allgather_time(
+    p: int, seg_bytes: float, params: HockneyParams, detailed: bool = False
+):
+    """Ring Allgather where each PE contributes ``seg_bytes``.
+
+    After ``p - 1`` steps every PE holds the ``p * seg_bytes``
+    concatenation.
+    """
+    _check(p, seg_bytes)
+    if p == 1:
+        cost = CollectiveCost(0.0, 0.0)
+    else:
+        steps = p - 1
+        cost = CollectiveCost(
+            latency_s=steps * params.alpha,
+            bandwidth_s=steps * seg_bytes * params.beta,
+        )
+    return cost if detailed else cost.total
+
+
+def ring_reduce_scatter_time(
+    p: int, nbytes: float, params: HockneyParams, detailed: bool = False
+):
+    """Ring ReduceScatter of an ``nbytes`` buffer (the cheaper alternative
+    the paper notes for the backward input-gradient exchange, footnote 2)."""
+    _check(p, nbytes)
+    if p == 1:
+        cost = CollectiveCost(0.0, 0.0)
+    else:
+        steps = p - 1
+        cost = CollectiveCost(
+            latency_s=steps * params.alpha,
+            bandwidth_s=steps * (nbytes / p) * params.beta,
+        )
+    return cost if detailed else cost.total
+
+
+def tree_allreduce_time(
+    p: int,
+    nbytes: float,
+    params: HockneyParams,
+    chunks: int = 4,
+    detailed: bool = False,
+):
+    """Pipelined two-tree Allreduce for small messages (paper footnote 4):
+    ``2 (log2 p + k)(alpha + m/(2k) beta)``."""
+    _check(p, nbytes)
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    if p == 1:
+        cost = CollectiveCost(0.0, 0.0)
+    else:
+        steps = 2 * (math.log2(p) + chunks)
+        cost = CollectiveCost(
+            latency_s=steps * params.alpha,
+            bandwidth_s=steps * (nbytes / (2 * chunks)) * params.beta,
+        )
+    return cost if detailed else cost.total
+
+
+def allreduce_time(
+    p: int,
+    nbytes: float,
+    params: HockneyParams,
+    threshold: float = TREE_THRESHOLD_BYTES,
+) -> float:
+    """NCCL-style algorithm selection: tree below ``threshold``, ring above.
+
+    Matches the paper's "ring-based algorithm ... for large message sizes and
+    a tree-based algorithm for small message sizes".
+    """
+    if p <= 1:
+        return 0.0
+    if nbytes < threshold:
+        return min(
+            tree_allreduce_time(p, nbytes, params),
+            ring_allreduce_time(p, nbytes, params),
+        )
+    return ring_allreduce_time(p, nbytes, params)
+
+
+def broadcast_time(p: int, nbytes: float, params: HockneyParams) -> float:
+    """Binomial-tree broadcast: ``ceil(log2 p) (alpha + m beta)``."""
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    return math.ceil(math.log2(p)) * params.p2p(nbytes)
+
+
+def reduce_time(p: int, nbytes: float, params: HockneyParams) -> float:
+    """Binomial-tree reduce to a root: ``ceil(log2 p) (alpha + m beta)``.
+
+    Used by the hierarchical Data+Spatial gradient exchange (reduce to a
+    leader GPU inside each node, then Allreduce between leaders).
+    """
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    return math.ceil(math.log2(p)) * params.p2p(nbytes)
+
+
+def p2p_time(nbytes: float, params: HockneyParams) -> float:
+    """Point-to-point transfer ``alpha + m beta``."""
+    if nbytes < 0:
+        raise ValueError("message size must be >= 0")
+    return params.p2p(nbytes)

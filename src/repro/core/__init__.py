@@ -1,0 +1,94 @@
+"""Core of the reproduction: tensor/layer IR, strategies, the analytical
+model (Table 3), and the ParaDL oracle facade."""
+
+from .tensors import TensorSpec, halo_elements, prod
+from .layers import (
+    Layer,
+    Conv,
+    Pool,
+    FullyConnected,
+    BatchNorm,
+    ReLU,
+    Add,
+    GlobalAvgPool,
+    Flatten,
+)
+from .graph import ModelGraph, GraphStats
+from .strategies import (
+    Strategy,
+    Serial,
+    DataParallel,
+    ShardedDataParallel,
+    SpatialParallel,
+    PipelineParallel,
+    FilterParallel,
+    ChannelParallel,
+    DataFilterParallel,
+    DataSpatialParallel,
+    StrategyError,
+    strategy_from_id,
+    ALL_STRATEGY_IDS,
+)
+from .profiles import LayerTimes, ComputeProfile
+from .analytical import AnalyticalModel, PhaseBreakdown, Projection
+from .oracle import ParaDL, Suggestion, accuracy
+from .calibration import (
+    fit_hockney,
+    calibrate_cluster,
+    measure_allreduce_curve,
+    profile_model,
+    estimate_gamma,
+    CalibrationResult,
+)
+from .limits import Finding, detect_findings, TABLE6_ROWS
+from .contention import data_filter_phi, data_spatial_phi, ContentionGraph
+
+__all__ = [
+    "TensorSpec",
+    "halo_elements",
+    "prod",
+    "Layer",
+    "Conv",
+    "Pool",
+    "FullyConnected",
+    "BatchNorm",
+    "ReLU",
+    "Add",
+    "GlobalAvgPool",
+    "Flatten",
+    "ModelGraph",
+    "GraphStats",
+    "Strategy",
+    "Serial",
+    "DataParallel",
+    "ShardedDataParallel",
+    "SpatialParallel",
+    "PipelineParallel",
+    "FilterParallel",
+    "ChannelParallel",
+    "DataFilterParallel",
+    "DataSpatialParallel",
+    "StrategyError",
+    "strategy_from_id",
+    "ALL_STRATEGY_IDS",
+    "LayerTimes",
+    "ComputeProfile",
+    "AnalyticalModel",
+    "PhaseBreakdown",
+    "Projection",
+    "ParaDL",
+    "Suggestion",
+    "accuracy",
+    "fit_hockney",
+    "calibrate_cluster",
+    "measure_allreduce_curve",
+    "profile_model",
+    "estimate_gamma",
+    "CalibrationResult",
+    "Finding",
+    "detect_findings",
+    "TABLE6_ROWS",
+    "data_filter_phi",
+    "data_spatial_phi",
+    "ContentionGraph",
+]

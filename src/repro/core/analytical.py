@@ -1,0 +1,611 @@
+"""The analytical performance/memory model of ParaDL (Table 3 + Appendix A).
+
+Every public function here computes, for one parallel strategy, the
+*per-epoch* computation time, communication time (broken into the paper's
+phases), and maximum per-PE memory, from:
+
+* a :class:`~repro.core.graph.ModelGraph` (tensor sizes),
+* a :class:`~repro.core.profiles.ComputeProfile` (empirical ``FW_l``,
+  ``BW_l``, ``WU_l`` — the hybrid analytical/empirical split of Section 4),
+* a :class:`~repro.network.topology.ClusterSpec` (Hockney alpha/beta per
+  communicator scope), and
+* the training configuration (global mini-batch ``B``, dataset size ``D``,
+  bytes/item ``delta``, memory-reuse factor ``gamma``).
+
+The formulas are the paper's equations (1)-(22); each analyzer cites the
+ones it implements.  Costs the oracle deliberately *excludes* (framework
+split/concat overhead, redundant tail computation, external congestion) live
+in :mod:`repro.simulator` instead — the gap between the two is what the
+paper's accuracy metric measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..collectives.algorithms import (
+    broadcast_time,
+    p2p_time,
+    reduce_time,
+    ring_allgather_time,
+    ring_allreduce_time,
+)
+from ..network.hockney import HockneyParams
+from ..network.topology import ClusterSpec
+from .contention import data_filter_phi
+from .graph import ModelGraph
+from .layers import Layer
+from .profiles import ComputeProfile
+from .strategies import (
+    ChannelParallel,
+    DataFilterParallel,
+    DataParallel,
+    DataSpatialParallel,
+    FilterParallel,
+    PipelineParallel,
+    Serial,
+    ShardedDataParallel,
+    SpatialParallel,
+    Strategy,
+)
+from .tensors import halo_elements
+
+__all__ = [
+    "PhaseBreakdown",
+    "Projection",
+    "AnalyticalModel",
+    "spatial_extent_of",
+]
+
+#: Default bytes per tensor item (fp32).
+DEFAULT_DELTA = 4
+
+#: Default memory-reuse factor gamma (Section 4.2).  Framework memory
+#: optimizations (buffer sharing between layer l's output and layer l+1's
+#: input, in-place ops) roughly halve the naive aggregate; layer-level
+#: profiling studies the paper cites report 0.4-0.6.
+DEFAULT_GAMMA = 0.5
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Time (seconds) split by training phase and communication pattern.
+
+    Phases follow the paper's taxonomy: FB computation (forward/backward),
+    WU weight update, GE gradient exchange; communication is further split
+    by pattern (GE-Allreduce, FB layer-wise collectives, FB-Halo, FB-layer
+    P2P for pipelines) to support the bottleneck analysis of Section 5.3.
+    """
+
+    comp_fw: float = 0.0
+    comp_bw: float = 0.0
+    comp_wu: float = 0.0
+    comm_ge: float = 0.0
+    comm_fb: float = 0.0
+    comm_halo: float = 0.0
+    comm_p2p: float = 0.0
+
+    @property
+    def computation(self) -> float:
+        return self.comp_fw + self.comp_bw + self.comp_wu
+
+    @property
+    def communication(self) -> float:
+        return self.comm_ge + self.comm_fb + self.comm_halo + self.comm_p2p
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.communication
+
+    def scaled(self, factor: float) -> "PhaseBreakdown":
+        return PhaseBreakdown(
+            comp_fw=self.comp_fw * factor,
+            comp_bw=self.comp_bw * factor,
+            comp_wu=self.comp_wu * factor,
+            comm_ge=self.comm_ge * factor,
+            comm_fb=self.comm_fb * factor,
+            comm_halo=self.comm_halo * factor,
+            comm_p2p=self.comm_p2p * factor,
+        )
+
+    def __add__(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        return PhaseBreakdown(
+            comp_fw=self.comp_fw + other.comp_fw,
+            comp_bw=self.comp_bw + other.comp_bw,
+            comp_wu=self.comp_wu + other.comp_wu,
+            comm_ge=self.comm_ge + other.comm_ge,
+            comm_fb=self.comm_fb + other.comm_fb,
+            comm_halo=self.comm_halo + other.comm_halo,
+            comm_p2p=self.comm_p2p + other.comm_p2p,
+        )
+
+    def asdict(self) -> Dict[str, float]:
+        return {
+            "comp_fw": self.comp_fw,
+            "comp_bw": self.comp_bw,
+            "comp_wu": self.comp_wu,
+            "comm_ge": self.comm_ge,
+            "comm_fb": self.comm_fb,
+            "comm_halo": self.comm_halo,
+            "comm_p2p": self.comm_p2p,
+        }
+
+
+@dataclass(frozen=True)
+class Projection:
+    """One oracle projection: per-epoch times + per-PE memory."""
+
+    model_name: str
+    strategy: Strategy
+    batch: int
+    dataset_size: int
+    per_epoch: PhaseBreakdown
+    memory_bytes: float
+    memory_capacity: float
+    gamma: float = DEFAULT_GAMMA
+    delta: int = DEFAULT_DELTA
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def p(self) -> int:
+        return self.strategy.p
+
+    @property
+    def iterations(self) -> int:
+        """``I = D / B`` iterations per epoch."""
+        return max(1, self.dataset_size // self.batch)
+
+    @property
+    def per_iteration(self) -> PhaseBreakdown:
+        return self.per_epoch.scaled(1.0 / self.iterations)
+
+    @property
+    def feasible_memory(self) -> bool:
+        return self.memory_bytes <= self.memory_capacity
+
+    def accuracy(self, measured_total: float) -> float:
+        """The paper's accuracy metric: ``1 - |proj - meas| / meas``."""
+        if measured_total <= 0:
+            raise ValueError("measured time must be > 0")
+        return 1.0 - abs(self.per_epoch.total - measured_total) / measured_total
+
+    def accuracy_per_iteration(self, measured_iter: float) -> float:
+        if measured_iter <= 0:
+            raise ValueError("measured time must be > 0")
+        return 1.0 - abs(self.per_iteration.total - measured_iter) / measured_iter
+
+
+def spatial_extent_of(model: ModelGraph, grid: Tuple[int, ...]) -> List[Layer]:
+    """Layers a ``grid`` spatial decomposition actually parallelizes.
+
+    Following the paper's implementation (Section 4.5.1), spatial
+    parallelism applies to the leading layers while the per-dimension
+    extent still accommodates the grid; the activation is aggregated before
+    the first layer that cannot be split (e.g. the FC head).
+    """
+    selected: List[Layer] = []
+    for layer in model:
+        if not layer.spatially_parallelizable:
+            break
+        if len(grid) != layer.input.ndim:
+            break
+        if any(g > s for g, s in zip(grid, layer.input.spatial)):
+            break
+        selected.append(layer)
+    if not selected:
+        raise ValueError(
+            f"grid {grid} cannot parallelize any layer of {model.name}"
+        )
+    return selected
+
+
+class AnalyticalModel:
+    """Table-3 analyzer bound to a model, cluster, and compute profile."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        cluster: ClusterSpec,
+        profile: ComputeProfile,
+        *,
+        delta: int = DEFAULT_DELTA,
+        gamma: float = DEFAULT_GAMMA,
+        halo_transport: str = "mpi",
+        contention: bool = True,
+    ) -> None:
+        profile.validate_against(model)
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.model = model
+        self.cluster = cluster
+        self.profile = profile
+        self.delta = delta
+        self.gamma = gamma
+        self.halo_transport = halo_transport
+        self.contention = contention
+
+    # ------------------------------------------------------------------ api
+    def project(
+        self, strategy: Strategy, batch: int, dataset_size: int
+    ) -> Projection:
+        """Project one strategy.  ``batch`` is the *global* mini-batch B."""
+        if batch < 1 or dataset_size < batch:
+            raise ValueError("need dataset_size >= batch >= 1")
+        strategy.check(self.model, batch)
+        handler = {
+            "serial": self._serial,
+            "d": self._data,
+            "z": self._sharded_data,
+            "s": self._spatial,
+            "p": self._pipeline,
+            "f": self._filter,
+            "c": self._channel,
+            "df": self._data_filter,
+            "ds": self._data_spatial,
+        }[strategy.id]
+        per_epoch, memory, notes = handler(strategy, batch, dataset_size)
+        return Projection(
+            model_name=self.model.name,
+            strategy=strategy,
+            batch=batch,
+            dataset_size=dataset_size,
+            per_epoch=per_epoch,
+            memory_bytes=memory,
+            memory_capacity=self.cluster.gpu_memory_bytes,
+            gamma=self.gamma,
+            delta=self.delta,
+            notes=tuple(notes),
+        )
+
+    def project_inference(
+        self, strategy: Strategy, batch: int, dataset_size: int
+    ) -> Projection:
+        """Forward-only projection for distributed inference (Section 5.4.2).
+
+        The paper notes that several training limitations carry over to
+        distributed inference (Table 6's "I" column): the layer-wise
+        collectives of filter/channel, halo exchanges, pipeline P2P, and
+        the memory redundancies — while gradient exchange and weight
+        update vanish.  This derives the inference projection from the
+        training one: forward compute and the forward share of each
+        communication pattern, with gradient/optimizer memory dropped.
+        """
+        train = self.project(strategy, batch, dataset_size)
+        e = train.per_epoch
+        sid = strategy.id
+        # Forward share of the layer-wise collectives: the Allgather is 1
+        # of the 3(p-1) ring-step groups (Eq. 15); halos halve (no dL/dy
+        # exchange); pipeline P2P halves (no backward sweep).
+        per_epoch = PhaseBreakdown(
+            comp_fw=e.comp_fw,
+            comm_fb=e.comm_fb / 3 if sid in ("f", "c", "df") else e.comm_fb,
+            comm_halo=e.comm_halo / 2,
+            comm_p2p=e.comm_p2p / 2,
+        )
+        # Memory: activations once (no cached gradients), weights once (no
+        # gradient buffer, no optimizer state).  The training formula
+        # counts both at 2x, so inference memory is half.
+        memory = train.memory_bytes / 2
+        return Projection(
+            model_name=train.model_name,
+            strategy=strategy,
+            batch=batch,
+            dataset_size=dataset_size,
+            per_epoch=per_epoch,
+            memory_bytes=memory,
+            memory_capacity=train.memory_capacity,
+            gamma=self.gamma,
+            delta=self.delta,
+            notes=train.notes + ("inference (forward-only)",),
+        )
+
+    # ---------------------------------------------------------------- pieces
+    def _weights_bytes(self) -> float:
+        """``delta * sum_l |w_l|`` — the gradient-exchange message."""
+        return self.delta * self.model.weight_elements
+
+    def _memory_terms(
+        self,
+        batch_act: float,
+        weight_div: float = 1.0,
+        act_div: float = 1.0,
+        layers: Optional[List[Layer]] = None,
+    ) -> float:
+        """``gamma * delta * sum_l (2 B'(|x|+|y|)/act_div + 2|w|/w_div + |bi|)``.
+
+        ``batch_act`` is the per-PE batch multiplying activations; the
+        factor 2 on activations covers their gradients and the factor 2 on
+        weights covers weight gradients (Appendix Eq. 7 etc.).
+        """
+        layers = self.model.layers if layers is None else layers
+        total = 0.0
+        for l in layers:
+            act = 2.0 * batch_act * (l.input.elements + l.output.elements) / act_div
+            w = 2.0 * l.weight_elements / weight_div
+            total += act + w + l.bias_elements
+        return self.gamma * self.delta * total
+
+    def _comp(self, D: int, I: int, p_div: float, wu_div: float = 1.0
+              ) -> PhaseBreakdown:
+        """Computation terms: ``D/p sum(FW+BW) + I/wu_div sum(WU)``."""
+        return PhaseBreakdown(
+            comp_fw=D / p_div * self.profile.total_fw(),
+            comp_bw=D / p_div * self.profile.total_bw(),
+            comp_wu=I / wu_div * self.profile.total_wu(),
+        )
+
+    # -------------------------------------------------------------- serial
+    def _serial(self, strategy: Serial, B: int, D: int):
+        I = D // B
+        comp = self._comp(D, I, p_div=1.0)
+        memory = self._memory_terms(batch_act=B)
+        return comp, memory, []
+
+    # ---------------------------------------------------------------- data
+    def _data(self, strategy: DataParallel, B: int, D: int):
+        """Eqs. (5)-(7): compute / p, one ring Allreduce of all gradients."""
+        p = strategy.p
+        I = D // B
+        comp = self._comp(D, I, p_div=p)
+        params = self.cluster.hockney(p)
+        ge = I * ring_allreduce_time(p, self._weights_bytes(), params)
+        per_epoch = replace(comp, comm_ge=ge)
+        memory = self._memory_terms(batch_act=B / p)
+        return per_epoch, memory, []
+
+    # -------------------------------------------------------- sharded data
+    def _sharded_data(self, strategy: ShardedDataParallel, B: int, D: int):
+        """ZeRO-style data parallelism (Section 5.3.2's alternative).
+
+        Weights, gradients and optimizer state are sharded 1/p; the price
+        is two weight Allgathers (forward + backward) on top of a gradient
+        ReduceScatter — "extra communication of 50%" over the plain
+        Allreduce.  The weight update itself shrinks by 1/p (each PE
+        updates only its shard — the cross-replica sharding of [52]).
+        """
+        from ..collectives.algorithms import ring_reduce_scatter_time
+
+        p = strategy.p
+        I = D // B
+        comp = self._comp(D, I, p_div=p, wu_div=p)
+        params = self.cluster.hockney(p)
+        wbytes = self._weights_bytes()
+        ge = I * (
+            ring_reduce_scatter_time(p, wbytes, params)
+            + 2 * ring_allgather_time(p, wbytes / p, params)
+        )
+        per_epoch = replace(comp, comm_ge=ge)
+        memory = self.gamma * self.delta * sum(
+            2.0 * (B / p) * (l.input.elements + l.output.elements)
+            + (2.0 * l.weight_elements + l.bias_elements) / p
+            for l in self.model
+        )
+        return per_epoch, memory, ["weights/optimizer state sharded 1/p"]
+
+    # -------------------------------------------------------------- spatial
+    def _spatial(self, strategy: SpatialParallel, B: int, D: int):
+        """Eqs. (8)-(10): data-parallel-style GE plus per-layer halos."""
+        p = strategy.p
+        I = D // B
+        comp = self._comp(D, I, p_div=p)
+        ge_params = self.cluster.hockney(p)
+        ge = I * ring_allreduce_time(p, self._weights_bytes(), ge_params)
+        halo_params = self.cluster.hockney(p, transport=self.halo_transport)
+        halo = I * self._halo_epoch_time(strategy.grid, B, halo_params)
+        per_epoch = replace(comp, comm_ge=ge, comm_halo=halo)
+        memory = self._spatial_memory(strategy.grid, B, group_batch=B)
+        notes = [f"halo over {self.halo_transport} transport"]
+        return per_epoch, memory, notes
+
+    def _halo_epoch_time(
+        self, grid: Tuple[int, ...], B: int, params: HockneyParams
+    ) -> float:
+        """Per-iteration halo total, Eq. (10): for every spatially-split
+        layer, two exchanges (x in forward, dL/dy in backward), each a pair
+        of sends (hence ``2 alpha``)."""
+        total = 0.0
+        for layer in spatial_extent_of(self.model, grid):
+            if not layer.kernel or max(layer.kernel, default=1) <= 1:
+                continue
+            hx = halo_elements(layer.input, grid, layer.kernel)
+            hy = halo_elements(layer.output, grid, layer.kernel)
+            if hx == 0 and hy == 0:
+                continue
+            total += 2 * (2 * params.alpha + B * (hx + hy) * self.delta * params.beta)
+        return total
+
+    def _spatial_memory(
+        self, grid: Tuple[int, ...], B: int, group_batch: float
+    ) -> float:
+        """Eq. (8) with the implementation refinement that only the leading
+        spatially-split layers divide their activations by p."""
+        split = {l.name for l in spatial_extent_of(self.model, grid)}
+        p2 = 1
+        for g in grid:
+            p2 *= g
+        total = 0.0
+        for l in self.model:
+            act_div = p2 if l.name in split else 1.0
+            act = 2.0 * group_batch * (l.input.elements + l.output.elements) / act_div
+            total += act + 2.0 * l.weight_elements + l.bias_elements
+        return self.gamma * self.delta * total
+
+    # ------------------------------------------------------------- pipeline
+    def _pipeline(self, strategy: PipelineParallel, B: int, D: int):
+        """Eqs. (12)-(14): GPipe schedule of p stages and S micro-batches."""
+        p, S = strategy.stages, strategy.segments
+        I = D // B
+        groups = self.model.partition_depth(p)
+        fw_g = [self.profile.group_fw(g) for g in groups]
+        bw_g = [self.profile.group_bw(g) for g in groups]
+        wu_g = [self.profile.group_wu(g) for g in groups]
+        bubble = (p + S - 1) / S
+        checkpoint = getattr(strategy, "checkpoint", False)
+        # Gradient checkpointing recomputes each stage's activations during
+        # the backward sweep: one extra forward per sample (Section 5.3.2).
+        fw_factor = 2.0 if checkpoint else 1.0
+        comp = PhaseBreakdown(
+            comp_fw=D * bubble * max(fw_g) * fw_factor,
+            comp_bw=D * bubble * max(bw_g),
+            comp_wu=I * max(wu_g),
+        )
+        params = self.cluster.hockney(p)
+        # Boundary activation of each stage i < p: output of its last layer.
+        boundary = [g[-1].output.elements for g in groups[:-1]]
+        if boundary and p > 1:
+            per_stage = max(
+                p2p_time(B / S * y * self.delta, params) for y in boundary
+            )
+            comm = 2 * D * (p + S - 2) / B * per_stage
+        else:
+            comm = 0.0
+        per_epoch = replace(comp, comm_p2p=comm)
+        if checkpoint:
+            # Live activations: one micro-batch inside the stage being
+            # recomputed, plus the stored stage-boundary activations of all
+            # S micro-batches, plus full weights/gradients.
+            memory = 0.0
+            for g in groups:
+                act_micro = self._memory_terms(batch_act=B / S, layers=g)
+                boundary = (
+                    self.gamma * self.delta * 2.0 * B
+                    * g[-1].output.elements
+                )
+                memory = max(memory, act_micro + boundary)
+            notes = [
+                f"stages balanced by FLOPs: {[len(g) for g in groups]}",
+                "gradient checkpointing at stage boundaries (+1 forward)",
+            ]
+        else:
+            memory = max(
+                self._memory_terms(batch_act=B, layers=g) for g in groups
+            )
+            notes = [f"stages balanced by FLOPs: {[len(g) for g in groups]}"]
+        return per_epoch, memory, notes
+
+    # --------------------------------------------------------------- filter
+    def _filter(self, strategy: FilterParallel, B: int, D: int):
+        """Eqs. (15)-(16): Allgather(fwd) + Allreduce(bwd) per layer."""
+        p = strategy.p
+        I = D // B
+        comp = self._comp(D, I, p_div=p, wu_div=p)
+        params = self.cluster.hockney(p)
+        fb = I * self._layerwise_collectives(p, B, params)
+        per_epoch = replace(comp, comm_fb=fb)
+        memory = self._memory_terms(batch_act=B, weight_div=p)
+        return per_epoch, memory, []
+
+    def _layerwise_collectives(
+        self, p: int, B: float, params: HockneyParams
+    ) -> float:
+        """Per-iteration layer-wise collectives of filter/channel
+        parallelism: ``3 (p-1) sum_{l<G} (alpha + B |y_l| delta beta / p)``.
+
+        The 3 combines a ring Allgather of the partial activations
+        (``(p-1)`` steps of ``B|y|/p``) and a ring Allreduce of the input
+        gradients (``2(p-1)`` steps of ``B|y|/p``), Eq. (15)/(19).
+        """
+        if p <= 1:
+            return 0.0
+        layers = self.model.weighted_layers
+        total = 0.0
+        for l in layers[:-1]:
+            msg = B * l.output.elements * self.delta / p
+            total += 3 * (p - 1) * (params.alpha + msg * params.beta)
+        return total
+
+    # -------------------------------------------------------------- channel
+    def _channel(self, strategy: ChannelParallel, B: int, D: int):
+        """Eqs. (17)-(19): same totals as filter with reversed patterns
+        (Allreduce forward, Allgather backward)."""
+        p = strategy.p
+        I = D // B
+        comp = self._comp(D, I, p_div=p, wu_div=p)
+        params = self.cluster.hockney(p)
+        fb = I * self._layerwise_collectives(p, B, params)
+        per_epoch = replace(comp, comm_fb=fb)
+        memory = self._memory_terms(batch_act=B, weight_div=p)
+        return per_epoch, memory, []
+
+    # ---------------------------------------------------------- data+filter
+    def _data_filter(self, strategy: DataFilterParallel, B: int, D: int):
+        """Eqs. (20)-(22): filter intra-group, data inter-group, with the
+        segmented-Allreduce contention penalty phi (Section 5.2 uses 2x)."""
+        p1, p2, p = strategy.p1, strategy.p2, strategy.p
+        I = D // B
+        comp = self._comp(D, I, p_div=p, wu_div=p2)
+        # Filter collectives run inside a group; the paper maps groups
+        # intra-node, so they see intra-node (NVLink) parameters.
+        intra = self.cluster.hockney(min(p2, self.cluster.node.gpus))
+        fb = 0.0
+        if p2 > 1:
+            layers = self.model.weighted_layers
+            for l in layers[:-1]:
+                msg = B * l.output.elements * self.delta / p
+                fb += 3 * (p2 - 1) * (intra.alpha + msg * intra.beta)
+        # Gradient exchange: p2 disjoint segmented Allreduces over the p1
+        # groups, sharing the node's NIC rails -> contention penalty.
+        ge = 0.0
+        if p1 > 1:
+            inter = self.cluster.hockney(p)
+            if self.contention:
+                inter = inter.with_contention(data_filter_phi(self.cluster, p2))
+            ge = 2 * (p1 - 1) * (
+                inter.alpha + self._weights_bytes() / p * inter.beta
+            )
+        per_epoch = replace(comp, comm_fb=I * fb, comm_ge=I * ge)
+        memory = self._memory_terms(
+            batch_act=B / p1, weight_div=p2
+        )
+        notes = []
+        if self.contention and p1 > 1:
+            notes.append(
+                f"GE beta scaled by phi={data_filter_phi(self.cluster, p2):.2f}"
+            )
+        return per_epoch, memory, notes
+
+    # --------------------------------------------------------- data+spatial
+    def _data_spatial(self, strategy: DataSpatialParallel, B: int, D: int):
+        """Spatial intra-group + data inter-group with the hierarchical
+        (leader-based) gradient exchange of Section 4.5.1."""
+        p1, p2, p = strategy.p1, strategy.p2, strategy.p
+        I = D // B
+        group_batch = B / p1
+        comp = self._comp(D, I, p_div=p, wu_div=1.0)
+        intra = self.cluster.hockney(
+            min(max(p2, 2), self.cluster.node.gpus),
+            transport=self.halo_transport,
+        )
+        halo = 0.0
+        if p2 > 1:
+            halo = I * self._halo_epoch_time(strategy.grid, int(group_batch) or 1,
+                                             intra)
+        # Hierarchical GE: reduce to the node leader(s), Allreduce between
+        # groups, broadcast back ("time for Allreduce is more than 2x as
+        # those of data" -- Section 5.3.1).  With L > 1 leaders each
+        # carries 1/L of the weights concurrently (the multi-leader fix of
+        # Nguyen et al. that the paper cites), at the price of contention
+        # once L exceeds the NIC rail count.
+        L = getattr(strategy, "leaders", 1)
+        wbytes = self._weights_bytes()
+        nvl = self.cluster.hockney(min(max(p2, 2), self.cluster.node.gpus))
+        ge = (
+            reduce_time(p2, wbytes / L, nvl)
+            + broadcast_time(p2, wbytes / L, nvl)
+        )
+        if p1 > 1:
+            inter = self.cluster.hockney(p)
+            if self.contention and L > self.cluster.node.nics:
+                inter = inter.with_contention(L / self.cluster.node.nics)
+            ge += ring_allreduce_time(p1, wbytes / L, inter)
+        per_epoch = replace(comp, comm_halo=halo, comm_ge=I * ge)
+        memory = self._ds_memory(strategy.grid, group_batch)
+        notes = [] if L == 1 else [f"multi-leader allreduce: L={L}"]
+        return per_epoch, memory, notes
+
+    def _ds_memory(self, grid: Tuple[int, ...], group_batch: float) -> float:
+        return self._spatial_memory(grid, int(group_batch) or 1,
+                                    group_batch=group_batch)

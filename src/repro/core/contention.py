@@ -1,0 +1,139 @@
+"""Self-contention modeling (Section 4.3).
+
+The paper introduces a *contention penalty coefficient* ``phi`` that divides
+a link's bandwidth by the number of communication flows of the training job
+itself sharing that link — e.g. the segmented Allreduces of Data+Filter
+hybrid parallelism, where ``p2`` disjoint Allreduces cross each node's NICs
+simultaneously (the paper uses ``phi = 2`` for 4 GPUs/node over 2 IB rails).
+
+Two levels of fidelity are provided:
+
+* closed-form helpers (:func:`data_filter_phi`, :func:`data_spatial_phi`)
+  used by the analytical model, and
+* :class:`ContentionGraph`, a dynamic flow-count graph used by the
+  discrete-event simulator to derive per-link penalties from the actual
+  concurrent transfers (the paper cites Martinasso et al. for this
+  technique).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from ..network.topology import ClusterSpec
+
+__all__ = [
+    "data_filter_phi",
+    "data_spatial_phi",
+    "ContentionGraph",
+]
+
+
+def data_filter_phi(cluster: ClusterSpec, parts: int) -> float:
+    """Contention penalty for Data+Filter segmented Allreduces.
+
+    ``parts`` disjoint inter-node Allreduces (one per filter shard) share
+    each node's ``nics`` NIC rails, so every flow sees the link bandwidth
+    divided by ``parts / nics``.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    return max(1.0, parts / cluster.node.nics)
+
+
+def data_spatial_phi(cluster: ClusterSpec, leaders_per_node: int = 1) -> float:
+    """Contention penalty for the Data+Spatial hierarchical Allreduce.
+
+    With the single-leader scheme the global Allreduce runs one flow per
+    node over ``nics`` rails — no self-contention.  Multi-leader variants
+    (the paper cites them as the fix for the >2x Allreduce overhead) raise
+    the flow count.
+    """
+    if leaders_per_node < 1:
+        raise ValueError("leaders_per_node must be >= 1")
+    return max(1.0, leaders_per_node / cluster.node.nics)
+
+
+@dataclass
+class ContentionGraph:
+    """Dynamic contention graph: flows -> per-link sharing counts.
+
+    Links are identified hierarchically:
+
+    * ``("nvlink", node)`` — intra-node GPU fabric of ``node``; it has one
+      rail per GPU (NVLink is point-to-point), so up to ``gpus`` concurrent
+      flows are contention-free,
+    * ``("nic-out", node)`` / ``("nic-in", node)`` — the node's NIC rails
+      per direction (full duplex: sends do not contend with receives),
+    * ``("uplink", rack)`` — the rack's up-links into the spine.
+
+    :meth:`add_flow` registers a transfer between two global GPU indices;
+    :meth:`penalty` returns ``phi`` for a link, i.e. the number of flows
+    sharing it normalized by its rail count.
+    """
+
+    cluster: ClusterSpec
+    _flows: Counter = field(default_factory=Counter)
+
+    def clear(self) -> None:
+        self._flows.clear()
+
+    def links_for(self, gpu_a: int, gpu_b: int) -> List[Tuple]:
+        """Hierarchical link ids traversed by a transfer ``a -> b``."""
+        rack_a, node_a, loc_a = self.cluster.gpu_location(gpu_a)
+        rack_b, node_b, loc_b = self.cluster.gpu_location(gpu_b)
+        if gpu_a == gpu_b:
+            return []
+        if node_a == node_b:
+            return [("nvlink", node_a)]
+        links: List[Tuple] = [("nic-out", node_a), ("nic-in", node_b)]
+        if rack_a != rack_b:
+            links.append(("uplink", rack_a))
+            links.append(("uplink", rack_b))
+        return links
+
+    def add_flow(self, gpu_a: int, gpu_b: int, weight: int = 1) -> None:
+        for link in self.links_for(gpu_a, gpu_b):
+            self._flows[link] += weight
+
+    def add_ring(self, gpus: Iterable[int]) -> None:
+        """Register the flows of one ring step over ``gpus`` (each PE sends
+        to its successor)."""
+        ring = list(gpus)
+        for i, src in enumerate(ring):
+            dst = ring[(i + 1) % len(ring)]
+            self.add_flow(src, dst)
+
+    def flow_count(self, link: Hashable) -> int:
+        return self._flows.get(link, 0)
+
+    def penalty(self, link: Tuple) -> float:
+        """``phi`` for one link: flows divided by the link's rail count."""
+        flows = self._flows.get(link, 0)
+        if flows <= 0:
+            return 1.0
+        kind = link[0]
+        if kind in ("nic-out", "nic-in"):
+            rails = self.cluster.node.nics
+        elif kind == "nvlink":
+            rails = self.cluster.node.gpus
+        elif kind == "uplink":
+            # A rack's spine capacity: one (oversubscribed) rail per node's
+            # NIC pair; over-subscription itself is priced in the path
+            # bandwidth, so rails only normalize the flow count.
+            rails = self.cluster.fabric.nodes_per_rack * self.cluster.node.nics
+        else:
+            rails = 1
+        return max(1.0, flows / rails)
+
+    def max_penalty(self, gpu_a: int, gpu_b: int) -> float:
+        """Worst ``phi`` along the path of a transfer ``a -> b``."""
+        links = self.links_for(gpu_a, gpu_b)
+        if not links:
+            return 1.0
+        return max(self.penalty(l) for l in links)
+
+    def snapshot(self) -> Dict[Tuple, int]:
+        return dict(self._flows)

@@ -1,0 +1,358 @@
+"""Layer intermediate representation for the cost model.
+
+Each layer knows its per-sample input/output/weight tensor specs and its
+forward/backward FLOP counts.  The adaptation of non-Conv layers follows
+Section 2.2 of the paper:
+
+* **fully-connected** layers are convolutions whose kernel equals the input
+  extent (output spatial extent ``1``),
+* **channel-wise** layers (pooling, batch-norm) keep ``F = C``,
+* **element-wise** layers (ReLU, residual Add) keep ``F = C`` and have no
+  weights,
+* layers without weights use ``w[C, F, 0]`` — i.e. ``|w| = 0``.
+
+FLOP counts use the conventional multiply-accumulate = 2 FLOPs accounting;
+the backward pass is split into the two GEMM-shaped pieces the paper names
+``BW_data`` (input gradients) and ``BW_weight`` (weight gradients) so the
+compute model can price them separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from .tensors import TensorSpec, conv_output_extent, pool_output_extent, prod
+
+__all__ = [
+    "Layer",
+    "Conv",
+    "Pool",
+    "FullyConnected",
+    "BatchNorm",
+    "ReLU",
+    "Add",
+    "GlobalAvgPool",
+    "Flatten",
+]
+
+
+def _astuple(value, ndim: int, name: str) -> Tuple[int, ...]:
+    """Broadcast an int (or sequence) to an ``ndim``-tuple."""
+    if isinstance(value, int):
+        return (value,) * ndim
+    value = tuple(int(v) for v in value)
+    if len(value) != ndim:
+        raise ValueError(f"{name} must have {ndim} entries, got {value}")
+    return value
+
+
+@dataclass
+class Layer:
+    """Base layer: shape specs plus cost queries.
+
+    Attributes
+    ----------
+    name:
+        Unique layer name within a graph (e.g. ``conv2_1``).
+    input:
+        Per-sample input spec ``x_l``.
+    output:
+        Per-sample output spec ``y_l``.
+    weight_elements:
+        ``|w_l|`` — parameter element count (0 for weight-less layers).
+    bias_elements:
+        ``|bi_l|``.
+    """
+
+    name: str
+    input: TensorSpec
+    output: TensorSpec
+    weight_elements: int = 0
+    bias_elements: int = 0
+    kernel: Tuple[int, ...] = field(default_factory=tuple)
+    stride: Tuple[int, ...] = field(default_factory=tuple)
+    padding: Tuple[int, ...] = field(default_factory=tuple)
+    #: Name of the layer whose output feeds this one.  ``None`` means the
+    #: chain predecessor; branch layers (e.g. ResNet downsample projections)
+    #: set it explicitly.  Builders assign it after construction.
+    parent: Optional[str] = None
+
+    # ---- identity -----------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    @property
+    def has_weights(self) -> bool:
+        return self.weight_elements > 0
+
+    @property
+    def in_channels(self) -> int:
+        """``C_l`` in the paper's notation."""
+        return self.input.channels
+
+    @property
+    def out_channels(self) -> int:
+        """``F_l`` in the paper's notation."""
+        return self.output.channels
+
+    @property
+    def parameters(self) -> int:
+        return self.weight_elements + self.bias_elements
+
+    # ---- FLOPs ---------------------------------------------------------
+    def forward_flops(self) -> int:
+        """FLOPs of ``FW_l`` for one sample."""
+        raise NotImplementedError
+
+    def backward_data_flops(self) -> int:
+        """FLOPs of ``BW_data`` (dL/dx) for one sample."""
+        return self.forward_flops()
+
+    def backward_weight_flops(self) -> int:
+        """FLOPs of ``BW_weight`` (dL/dw) for one sample."""
+        return self.forward_flops() if self.has_weights else 0
+
+    def backward_flops(self) -> int:
+        """Total ``BW_l`` FLOPs for one sample."""
+        return self.backward_data_flops() + self.backward_weight_flops()
+
+    def weight_update_flops(self) -> int:
+        """FLOPs of a plain-SGD weight update per iteration.
+
+        One multiply-add per parameter (learning-rate scale + subtract).
+        Optimizers with state (momentum, Adam) multiply this; see
+        :mod:`repro.simulator.compute`.
+        """
+        return 2 * self.parameters
+
+    # ---- parallelism metadata ------------------------------------------
+    @property
+    def spatially_parallelizable(self) -> bool:
+        """Whether spatial decomposition applies to this layer."""
+        return self.input.ndim > 0 and self.output.ndim > 0
+
+    @property
+    def channel_parallelizable(self) -> bool:
+        return self.has_weights and self.in_channels > 1
+
+    @property
+    def filter_parallelizable(self) -> bool:
+        return self.has_weights and self.out_channels > 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.kind}({self.name}: {self.input} -> {self.output}, "
+            f"params={self.parameters})"
+        )
+
+
+class Conv(Layer):
+    """A ``d``-dimensional convolution ``w[C, F, K^d]``."""
+
+    def __init__(
+        self,
+        name: str,
+        input: TensorSpec,
+        out_channels: int,
+        kernel,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+    ) -> None:
+        ndim = input.ndim
+        if ndim == 0:
+            raise ValueError("Conv requires a spatial input; use FullyConnected")
+        kernel = _astuple(kernel, ndim, "kernel")
+        stride = _astuple(stride, ndim, "stride")
+        padding = _astuple(padding, ndim, "padding")
+        out_extent = conv_output_extent(input.spatial, kernel, stride, padding)
+        output = TensorSpec(out_channels, out_extent)
+        weight = input.channels * out_channels * prod(kernel)
+        super().__init__(
+            name=name,
+            input=input,
+            output=output,
+            weight_elements=weight,
+            bias_elements=out_channels if bias else 0,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+        )
+
+    def forward_flops(self) -> int:
+        # 2 * |Y| * F * C * |K| multiply-accumulates per sample.
+        return (
+            2
+            * self.output.spatial_elements
+            * self.out_channels
+            * self.in_channels
+            * prod(self.kernel)
+        )
+
+
+class FullyConnected(Layer):
+    """FC layer expressed as a convolution with kernel == input extent.
+
+    Per Section 2.2: an FC layer with input ``x[N, C, W x H]`` and ``F``
+    outputs is a convolution ``w[C, F, W x H]`` with stride 1 / padding 0,
+    producing ``y[N, F, 1 x 1]`` — which we store as spatially-degenerate.
+    """
+
+    def __init__(self, name: str, input: TensorSpec, out_features: int,
+                 bias: bool = True) -> None:
+        weight = input.elements * out_features
+        super().__init__(
+            name=name,
+            input=input,
+            output=TensorSpec(out_features),
+            weight_elements=weight,
+            bias_elements=out_features if bias else 0,
+            kernel=tuple(input.spatial),
+        )
+
+    def forward_flops(self) -> int:
+        return 2 * self.input.elements * self.out_channels
+
+    @property
+    def spatially_parallelizable(self) -> bool:
+        # The paper explicitly does not spatially parallelize FC layers
+        # (Section 4.2): the communication overhead would dominate.
+        return False
+
+
+class Pool(Layer):
+    """Max/average pooling: channel-wise, weight-less."""
+
+    def __init__(self, name: str, input: TensorSpec, kernel, stride=None,
+                 padding=0, ceil_mode: bool = False) -> None:
+        ndim = input.ndim
+        kernel = _astuple(kernel, ndim, "kernel")
+        stride = _astuple(stride if stride is not None else kernel, ndim, "stride")
+        padding = _astuple(padding, ndim, "padding")
+        out_extent = pool_output_extent(
+            input.spatial, kernel, stride, padding, ceil_mode=ceil_mode
+        )
+        super().__init__(
+            name=name,
+            input=input,
+            output=TensorSpec(input.channels, out_extent),
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+        )
+
+    def forward_flops(self) -> int:
+        # One comparison/add per kernel element per output position.
+        return self.output.elements * prod(self.kernel)
+
+    def backward_weight_flops(self) -> int:
+        return 0
+
+    def backward_data_flops(self) -> int:
+        return self.output.elements * prod(self.kernel)
+
+
+class GlobalAvgPool(Layer):
+    """Global average pooling collapsing the spatial extent."""
+
+    def __init__(self, name: str, input: TensorSpec) -> None:
+        super().__init__(
+            name=name,
+            input=input,
+            output=TensorSpec(input.channels),
+            kernel=tuple(input.spatial),
+        )
+
+    def forward_flops(self) -> int:
+        return self.input.elements
+
+    def backward_data_flops(self) -> int:
+        return self.input.elements
+
+    @property
+    def spatially_parallelizable(self) -> bool:
+        return False
+
+
+class Flatten(Layer):
+    """Shape-only layer folding spatial dims into channels (zero cost)."""
+
+    def __init__(self, name: str, input: TensorSpec) -> None:
+        super().__init__(
+            name=name,
+            input=input,
+            output=TensorSpec(input.elements),
+        )
+
+    def forward_flops(self) -> int:
+        return 0
+
+    def backward_data_flops(self) -> int:
+        return 0
+
+    @property
+    def spatially_parallelizable(self) -> bool:
+        return False
+
+
+class BatchNorm(Layer):
+    """Batch normalization: channel-wise, tiny weights (gamma, beta).
+
+    The parallel-strategy implications (synchronized vs local BN,
+    distributed recompute under filter/channel parallelism) are discussed in
+    Section 4.5.2 and handled by the strategy analyzers; the base cost is a
+    handful of element-wise passes.
+    """
+
+    def __init__(self, name: str, input: TensorSpec) -> None:
+        super().__init__(
+            name=name,
+            input=input,
+            output=input,
+            weight_elements=2 * input.channels,
+            bias_elements=0,
+        )
+
+    def forward_flops(self) -> int:
+        # mean + var + normalize + scale/shift: ~4 passes, 2 FLOPs each.
+        return 8 * self.input.elements
+
+    def backward_data_flops(self) -> int:
+        return 8 * self.input.elements
+
+    def backward_weight_flops(self) -> int:
+        return 2 * self.input.elements
+
+
+class ReLU(Layer):
+    """Element-wise activation; ``F = C``, no weights."""
+
+    def __init__(self, name: str, input: TensorSpec) -> None:
+        super().__init__(name=name, input=input, output=input)
+
+    def forward_flops(self) -> int:
+        return self.input.elements
+
+    def backward_data_flops(self) -> int:
+        return self.input.elements
+
+
+class Add(Layer):
+    """Residual element-wise addition of a skip connection.
+
+    ``skip_of`` names the earlier layer whose output is added; the graph
+    records this so memory analysis can count the retained activation.
+    """
+
+    def __init__(self, name: str, input: TensorSpec,
+                 skip_of: Optional[str] = None) -> None:
+        super().__init__(name=name, input=input, output=input)
+        self.skip_of = skip_of
+
+    def forward_flops(self) -> int:
+        return self.input.elements
+
+    def backward_data_flops(self) -> int:
+        return self.input.elements

@@ -1,0 +1,282 @@
+"""Per-layer hybrid strategy planning (Section 3.5's generalization).
+
+The paper's strategies apply one decomposition to the whole network, and
+Section 3.5 notes "the hybrid strategy could be more complex when applying
+different parallel strategies for different layers" (citing Jia et al.'s
+layer-wise exploration and Krizhevsky's "one weird trick" — data-parallel
+convolutions + model-parallel FC layers).  This module implements that
+generalization on top of the same Table-3 cost primitives: a dynamic
+program over the layer chain that picks, per layer, one of
+
+* ``data``       — batch-split compute, weights replicated (GE needed),
+* ``spatial``    — spatial-split compute with halo exchange (GE needed),
+* ``filter``     — output-channel split, per-layer Allgather+Allreduce,
+* ``channel``    — input-channel split, same cost shape,
+* ``replicate``  — redundant full compute (free of communication),
+
+while charging *re-decomposition* collectives whenever consecutive layers
+need the activation in a different layout (batch-split, spatially-split, or
+replicated).  The DP is exact for the chain model because the cost of a
+layer depends only on (previous layout, chosen mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..network.topology import ClusterSpec
+from .analytical import PhaseBreakdown
+from .graph import ModelGraph
+from .layers import Layer
+from .profiles import ComputeProfile
+from .strategies import _square_grid
+from .tensors import halo_elements
+
+__all__ = ["LayerAssignment", "LayerwisePlan", "LayerwisePlanner"]
+
+#: Activation layouts across the p PEs.
+LAYOUTS = ("batch", "replicated", "spatial")
+
+#: Execution modes and the layouts they consume/produce.
+MODE_LAYOUTS: Dict[str, Tuple[str, str]] = {
+    "data": ("batch", "batch"),
+    "spatial": ("spatial", "spatial"),
+    "filter": ("replicated", "replicated"),
+    "channel": ("replicated", "replicated"),
+    "replicate": ("replicated", "replicated"),
+}
+
+
+@dataclass(frozen=True)
+class LayerAssignment:
+    """One layer's planned execution."""
+
+    layer: str
+    mode: str
+    comp_s: float        # per-iteration compute on the critical PE
+    comm_s: float        # per-layer collectives (FB phase)
+    transition_s: float  # re-decomposition cost charged before this layer
+
+    @property
+    def total_s(self) -> float:
+        return self.comp_s + self.comm_s + self.transition_s
+
+
+@dataclass(frozen=True)
+class LayerwisePlan:
+    """A complete per-layer plan with its projected iteration time."""
+
+    model_name: str
+    p: int
+    batch: int
+    assignments: Tuple[LayerAssignment, ...]
+    per_iteration: PhaseBreakdown
+
+    @property
+    def mode_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for a in self.assignments:
+            counts[a.mode] = counts.get(a.mode, 0) + 1
+        return counts
+
+    @property
+    def is_uniform(self) -> bool:
+        return len(self.mode_counts) == 1
+
+    def modes(self) -> List[str]:
+        return [a.mode for a in self.assignments]
+
+
+class LayerwisePlanner:
+    """Exact DP planner over the layer chain.
+
+    Parameters mirror :class:`~repro.core.analytical.AnalyticalModel`; the
+    cost primitives are identical, so a uniform plan's cost matches the
+    corresponding Table-3 projection up to the per-layer attribution of
+    the gradient-exchange latency.
+    """
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        cluster: ClusterSpec,
+        profile: ComputeProfile,
+        p: int,
+        *,
+        delta: int = 4,
+        modes: Tuple[str, ...] = ("data", "spatial", "filter", "channel",
+                                  "replicate"),
+    ) -> None:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        profile.validate_against(model)
+        unknown = set(modes) - set(MODE_LAYOUTS)
+        if unknown:
+            raise ValueError(f"unknown modes: {sorted(unknown)}")
+        self.model = model
+        self.cluster = cluster
+        self.profile = profile
+        self.p = p
+        self.delta = delta
+        self.modes = modes
+        self.params = cluster.hockney(p)
+        try:
+            self.grid = _square_grid(p, model.input_spec.ndim)
+        except Exception:
+            self.grid = None
+
+    # ------------------------------------------------------------- feasibility
+    def _mode_feasible(self, layer: Layer, mode: str, batch: int) -> bool:
+        if mode == "replicate":
+            return True
+        if mode == "data":
+            return batch >= self.p
+        if mode == "filter":
+            return (
+                layer.has_weights
+                and layer.out_channels >= self.p
+                and layer.out_channels % self.p == 0
+            )
+        if mode == "channel":
+            return (
+                layer.has_weights
+                and layer.in_channels >= self.p
+                and layer.in_channels % self.p == 0
+            )
+        if mode == "spatial":
+            if self.grid is None or not layer.spatially_parallelizable:
+                return False
+            if len(self.grid) != layer.input.ndim:
+                return False
+            return all(g <= s for g, s in zip(self.grid, layer.input.spatial))
+        return False
+
+    # ------------------------------------------------------------------ costs
+    def _comp(self, layer: Layer, mode: str, batch: int) -> float:
+        """Per-iteration compute of the layer on the critical PE."""
+        t = self.profile.fw(layer.name) + self.profile.bw(layer.name)
+        wu = self.profile.wu(layer.name)
+        if mode == "data":
+            return batch / self.p * t + wu
+        if mode in ("filter", "channel"):
+            return batch * t / self.p + wu / self.p
+        if mode == "spatial":
+            return batch * t / self.p + wu
+        # replicate: every PE does the full batch.
+        return batch * t + wu
+
+    def _layer_comm(self, layer: Layer, mode: str, batch: int) -> float:
+        """Per-iteration FB-phase collectives this mode requires."""
+        if mode in ("filter", "channel"):
+            msg = batch * layer.output.elements * self.delta / self.p
+            return 3 * (self.p - 1) * (self.params.alpha + msg * self.params.beta)
+        if mode == "spatial" and layer.kernel and max(layer.kernel) > 1:
+            hx = halo_elements(layer.input, self.grid, layer.kernel)
+            hy = halo_elements(layer.output, self.grid, layer.kernel)
+            if hx or hy:
+                return 2 * (
+                    2 * self.params.alpha
+                    + batch * (hx + hy) * self.delta * self.params.beta
+                )
+        return 0.0
+
+    def _ge_bandwidth(self, layer: Layer, mode: str) -> float:
+        """Per-iteration gradient-exchange bandwidth this layer adds.
+
+        Weights are replicated (and see different data) under data/spatial
+        execution -> their gradients must be Allreduced.  Filter/channel
+        shard the weights; replicate-mode gradients are identical on every
+        PE; neither needs exchange.
+        """
+        if mode in ("data", "spatial") and layer.has_weights:
+            nbytes = (layer.weight_elements + layer.bias_elements) * self.delta
+            return 2 * (self.p - 1) * (nbytes / self.p) * self.params.beta
+        return 0.0
+
+    def _transition(self, prev: str, nxt: str, layer: Layer, batch: int
+                    ) -> float:
+        """Re-decomposition collective between layouts, on this layer's
+        *input* tensor."""
+        if prev == nxt:
+            return 0.0
+        nbytes = batch * layer.input.elements * self.delta
+        gather = (self.p - 1) * (
+            self.params.alpha + nbytes / self.p * self.params.beta
+        )
+        if prev == "replicated":
+            # Every PE already holds the full tensor; slicing is local.
+            return 0.0
+        if nxt == "replicated":
+            return gather
+        # batch <-> spatial: an all-to-all, costed like the gather (each PE
+        # exchanges (p-1)/p of its shard).
+        return gather
+
+    # -------------------------------------------------------------------- DP
+    def plan(self, batch: int) -> LayerwisePlan:
+        """Find the minimum-time per-layer assignment for ``batch``."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        # dp[layout] = (cost, path) where path = [(mode, comp, comm, trans)]
+        start = "replicated"  # the input batch is loaded once, broadcast
+        dp: Dict[str, Tuple[float, List]] = {start: (0.0, [])}
+        for layer in self.model:
+            ndp: Dict[str, Tuple[float, List]] = {}
+            for mode in self.modes:
+                if not self._mode_feasible(layer, mode, batch):
+                    continue
+                need, out = MODE_LAYOUTS[mode]
+                comp = self._comp(layer, mode, batch)
+                comm = self._layer_comm(layer, mode, batch)
+                ge = self._ge_bandwidth(layer, mode)
+                for prev_layout, (cost, path) in dp.items():
+                    trans = self._transition(prev_layout, need, layer, batch)
+                    total = cost + comp + comm + ge + trans
+                    entry = (total, path + [(layer.name, mode, comp,
+                                             comm + ge, trans)])
+                    if out not in ndp or total < ndp[out][0]:
+                        ndp[out] = entry
+            if not ndp:
+                raise ValueError(
+                    f"no feasible mode for layer {layer.name!r} at p={self.p}"
+                )
+            dp = ndp
+        best_cost, best_path = min(dp.values(), key=lambda cp: cp[0])
+
+        assignments = tuple(
+            LayerAssignment(layer=n, mode=m, comp_s=c, comm_s=f,
+                            transition_s=t)
+            for n, m, c, f, t in best_path
+        )
+        # One alpha charge for the fused gradient-exchange launch.
+        ge_layers = [a for a in assignments if a.mode in ("data", "spatial")]
+        ge_alpha = (
+            2 * (self.p - 1) * self.params.alpha if ge_layers else 0.0
+        )
+        breakdown = PhaseBreakdown(
+            comp_fw=sum(a.comp_s for a in assignments),
+            comm_fb=sum(a.comm_s for a in assignments),
+            comm_p2p=sum(a.transition_s for a in assignments),
+            comm_ge=ge_alpha,
+        )
+        return LayerwisePlan(
+            model_name=self.model.name,
+            p=self.p,
+            batch=batch,
+            assignments=assignments,
+            per_iteration=breakdown,
+        )
+
+    def uniform_plan(self, mode: str, batch: int) -> LayerwisePlan:
+        """Force a single mode everywhere (for comparisons).
+
+        Raises if the mode is infeasible for some layer — use
+        ``"replicate"``-free models or feasible (mode, p) pairs.
+        """
+        saved = self.modes
+        try:
+            self.modes = (mode,)
+            return self.plan(batch)
+        finally:
+            self.modes = saved

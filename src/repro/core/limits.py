@@ -1,0 +1,220 @@
+"""Limitation / bottleneck detection (Table 6 of the paper).
+
+Given a projection (and optionally a measured run), classify what holds the
+configuration back, using the paper's taxonomy:
+
+* **L** (limitation): inherent to the parallel strategy itself,
+* **B** (bottleneck): caused by the framework (FR) or system (SY).
+
+Categories: Communication (gradient exchange, layer-wise collectives, P2P,
+network congestion), Memory capacity (redundancy, allocator stalling),
+Computation (weight update, workload balancing, computational redundancy),
+and Scaling (PE-count ceiling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .analytical import Projection
+from .graph import ModelGraph
+from .strategies import Strategy
+
+__all__ = ["Finding", "detect_findings", "TABLE6_ROWS"]
+
+#: The paper's Table 6 rows: (category, kind, strategies, component, remark).
+TABLE6_ROWS = (
+    ("communication", "L", ("d", "s", "df", "ds"), "-", "Gradient-exchange"),
+    ("communication", "L", ("f", "c", "df"), "-", "Layer-wise comm."),
+    ("communication", "B", ("s", "p", "ds"), "FR", "P2P communication"),
+    ("communication", "B", ("d", "s", "p", "f", "c", "df", "ds"), "SY",
+     "Network Congestion"),
+    ("memory", "B", ("d", "s", "p", "f", "c", "df", "ds"), "SY",
+     "Memory Redundancy"),
+    ("memory", "B", ("d", "s", "p", "f", "c", "df", "ds"), "FR",
+     "Memory Stalling"),
+    ("computation", "L", ("d", "s", "p", "f", "c", "df", "ds"), "-",
+     "Weight Update"),
+    ("computation", "L", ("p",), "-", "Workload Balancing"),
+    ("computation", "B", ("f", "c", "df"), "FR", "Comp. Redundancy"),
+    ("scaling", "L", ("d", "s", "p", "f", "c", "df", "ds"), "-",
+     "Number of PEs"),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected limitation or bottleneck."""
+
+    category: str        # communication | memory | computation | scaling
+    kind: str            # "L" or "B"
+    name: str            # Table 6 remark
+    message: str
+    severity: float      # fraction of time/memory affected, in [0, 1]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}/{self.category}] {self.name}: {self.message}"
+
+
+def detect_findings(
+    model: ModelGraph,
+    projection: Projection,
+    *,
+    comm_threshold: float = 0.15,
+    wu_threshold: float = 0.10,
+    memory_threshold: float = 0.85,
+    scaling_margin: float = 0.5,
+    pipeline_imbalance_tol: float = 0.15,
+    profile=None,
+) -> List[Finding]:
+    """Analyze one projection and return detected findings.
+
+    ``comm_threshold`` etc. set how large a share of the epoch a phase must
+    take before it is reported; the defaults flag anything that consumes
+    >=15% of the iteration (communication), >=10% (weight update), or
+    >=85% of GPU memory.
+    """
+    strategy = projection.strategy
+    sid = strategy.id
+    epoch = projection.per_epoch
+    total = epoch.total
+    findings: List[Finding] = []
+    if total <= 0:
+        return findings
+
+    # --- communication -------------------------------------------------------
+    ge_share = epoch.comm_ge / total
+    if ge_share >= comm_threshold and sid in ("d", "s", "df", "ds"):
+        findings.append(Finding(
+            "communication", "L", "Gradient-exchange",
+            f"GE Allreduce takes {ge_share:.0%} of the epoch "
+            f"({epoch.comm_ge:.1f}s of {total:.1f}s)",
+            severity=ge_share,
+        ))
+    fb_share = epoch.comm_fb / total
+    if fb_share >= comm_threshold and sid in ("f", "c", "df"):
+        findings.append(Finding(
+            "communication", "L", "Layer-wise comm.",
+            f"per-layer Allgather/Allreduce rounds take {fb_share:.0%}; "
+            f"grows with depth G and batch (O(B * sum|y_l|))",
+            severity=fb_share,
+        ))
+    p2p_share = (epoch.comm_halo + epoch.comm_p2p) / total
+    if p2p_share >= comm_threshold and sid in ("s", "p", "ds"):
+        pattern = "halo exchange" if sid in ("s", "ds") else "stage-to-stage"
+        findings.append(Finding(
+            "communication", "B", "P2P communication",
+            f"{pattern} P2P takes {p2p_share:.0%}; the paper traces this to "
+            f"MPI (no GPUDirect) transport",
+            severity=p2p_share,
+        ))
+
+    # --- memory ------------------------------------------------------------
+    pressure = projection.memory_bytes / projection.memory_capacity
+    if sid in ("s", "f", "c", "ds") or (sid == "p"):
+        redundant = _memory_redundancy(model, projection)
+        if redundant > 0.25:
+            findings.append(Finding(
+                "memory", "B", "Memory Redundancy",
+                f"{redundant:.0%} of per-PE memory is replicated state that "
+                f"the decomposition does not divide "
+                f"({'weights' if sid in ('s', 'ds') else 'activations'})",
+                severity=redundant,
+            ))
+    if pressure >= memory_threshold:
+        findings.append(Finding(
+            "memory", "B", "Memory Stalling",
+            f"memory pressure {pressure:.0%} of capacity; allocator-induced "
+            f"kernel stalls are likely (Section 5.3.2 observed 1.5x)",
+            severity=min(1.0, pressure),
+        ))
+    if pressure > 1.0:
+        findings.append(Finding(
+            "memory", "B", "Out of Memory",
+            f"projected {projection.memory_bytes / 1e9:.1f} GB/PE exceeds "
+            f"{projection.memory_capacity / 1e9:.1f} GB",
+            severity=1.0,
+        ))
+
+    # --- computation ------------------------------------------------------------
+    comp = epoch.computation
+    if comp > 0:
+        wu_share = epoch.comp_wu / comp
+        if wu_share >= wu_threshold:
+            findings.append(Finding(
+                "computation", "L", "Weight Update",
+                f"weight update is {wu_share:.0%} of compute; grows with "
+                f"model size and optimizer state (Figure 7)",
+                severity=wu_share,
+            ))
+    if sid == "p" and profile is not None:
+        groups = model.partition_depth(strategy.p)
+        loads = [profile.group_fw(g) + profile.group_bw(g) for g in groups]
+        mean = sum(loads) / len(loads)
+        if mean > 0:
+            imbalance = max(loads) / mean - 1.0
+            if imbalance > pipeline_imbalance_tol:
+                findings.append(Finding(
+                    "computation", "L", "Workload Balancing",
+                    f"slowest stage is {imbalance:.0%} above the mean; the "
+                    f"pipeline is gated by it",
+                    severity=min(1.0, imbalance),
+                ))
+    if sid in ("f", "c", "df"):
+        findings.append(Finding(
+            "computation", "B", "Comp. Redundancy",
+            "split/concat and replicated channel-wise layers add overhead "
+            "the ideal 1/p scaling ignores (Figure 8)",
+            severity=0.1,
+        ))
+
+    # --- scaling ------------------------------------------------------------
+    limit = _scaling_limit(model, strategy, projection.batch)
+    if limit is not None and strategy.p >= limit * scaling_margin:
+        findings.append(Finding(
+            "scaling", "L", "Number of PEs",
+            f"p={strategy.p} is within {scaling_margin:.0%} of the hard "
+            f"limit {limit} for strategy '{sid}'",
+            severity=strategy.p / limit,
+        ))
+    return findings
+
+
+def _memory_redundancy(model: ModelGraph, projection: Projection) -> float:
+    """Fraction of per-PE memory that the decomposition replicates."""
+    sid = projection.strategy.id
+    delta, gamma = projection.delta, projection.gamma
+    weights = gamma * delta * sum(
+        2 * l.weight_elements + l.bias_elements for l in model
+    )
+    if projection.memory_bytes <= 0:
+        return 0.0
+    if sid in ("s", "ds"):
+        # Weights fully replicated across the spatial group.
+        return min(1.0, weights / projection.memory_bytes)
+    if sid in ("f", "c"):
+        # Activations fully replicated (gathered every layer).
+        acts = projection.memory_bytes - weights / projection.strategy.p
+        return max(0.0, min(1.0, acts / projection.memory_bytes))
+    return 0.0
+
+
+def _scaling_limit(model: ModelGraph, strategy: Strategy, batch: int
+                   ) -> Optional[int]:
+    sid = strategy.id
+    if sid == "d":
+        return batch
+    if sid == "s":
+        return model.min_spatial()
+    if sid == "p":
+        return len(model.layers)
+    if sid == "f":
+        return model.min_filters()
+    if sid == "c":
+        return model.min_channels()
+    if sid == "df":
+        return batch * model.min_filters()
+    if sid == "ds":
+        return batch * model.min_spatial()
+    return None

@@ -1,0 +1,292 @@
+"""ParaDL — the oracle facade (Figure 2 of the paper).
+
+Ties together the pieces: given what can be known beforehand (dataset,
+model, cluster specification, user constraints such as a PE budget), ParaDL
+projects computation and communication time per training phase, checks
+memory feasibility, ranks strategies, and compares projections against
+measured runs to compute the paper's accuracy metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.datasets import DatasetSpec
+from ..network.topology import ClusterSpec
+from .analytical import AnalyticalModel, Projection
+from .graph import ModelGraph
+from .profiles import ComputeProfile
+from .strategies import (
+    ALL_STRATEGY_IDS,
+    Strategy,
+    StrategyError,
+    strategy_from_id,
+)
+
+__all__ = ["ParaDL", "Suggestion", "accuracy"]
+
+
+def accuracy(projected: float, measured: float) -> float:
+    """The paper's accuracy metric: ``1 - |proj - meas| / meas``."""
+    if measured <= 0:
+        raise ValueError("measured time must be > 0")
+    return 1.0 - abs(projected - measured) / measured
+
+
+def _divisors(n: int) -> List[int]:
+    out = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            if d != n // d:
+                out.append(n // d)
+        d += 1
+    return sorted(out)
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One ranked entry from :meth:`ParaDL.suggest`."""
+
+    strategy: Strategy
+    projection: Projection
+    rank: int
+    feasible: bool
+    reason: str = ""
+
+    @property
+    def epoch_time(self) -> float:
+        return self.projection.per_epoch.total
+
+
+class ParaDL:
+    """The oracle: projection, ranking, and accuracy evaluation.
+
+    Parameters
+    ----------
+    model:
+        The CNN under study.
+    cluster:
+        Target machine.
+    profile:
+        Empirical per-layer compute profile.  Use
+        :func:`repro.core.calibration.profile_model` to generate one from
+        the simulated V100, or supply real measurements.
+    delta / gamma / halo_transport / contention:
+        Forwarded to :class:`~repro.core.analytical.AnalyticalModel`.
+    """
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        cluster: ClusterSpec,
+        profile: ComputeProfile,
+        *,
+        delta: int = 4,
+        gamma: float = 0.5,
+        halo_transport: str = "mpi",
+        contention: bool = True,
+    ) -> None:
+        self.model = model
+        self.cluster = cluster
+        self.profile = profile
+        self.analytical = AnalyticalModel(
+            model,
+            cluster,
+            profile,
+            delta=delta,
+            gamma=gamma,
+            halo_transport=halo_transport,
+            contention=contention,
+        )
+
+    # ---------------------------------------------------------------- project
+    def project(
+        self, strategy: Strategy, batch: int, dataset: DatasetSpec
+    ) -> Projection:
+        """Project one strategy at global mini-batch ``batch``."""
+        return self.analytical.project(strategy, batch, dataset.num_samples)
+
+    def project_id(
+        self,
+        sid: str,
+        p: int,
+        batch: int,
+        dataset: DatasetSpec,
+        segments: int = 4,
+        intra: Optional[int] = None,
+    ) -> Projection:
+        """Project by short strategy id with default configuration rules
+        (hybrids map the model-parallel dimension intra-node)."""
+        intra = intra if intra is not None else self.cluster.node.gpus
+        strategy = strategy_from_id(
+            sid, p, self.model, batch, segments=segments, intra=intra
+        )
+        return self.project(strategy, batch, dataset)
+
+    # ---------------------------------------------------------------- suggest
+    def suggest(
+        self,
+        p: int,
+        dataset: DatasetSpec,
+        samples_per_pe: int = 32,
+        fixed_batch: Optional[int] = None,
+        candidates: Sequence[str] = ("d", "z", "s", "p", "f", "c", "df", "ds"),
+        segments: int = 4,
+    ) -> List[Suggestion]:
+        """Rank strategies for a PE budget of ``p``.
+
+        Weak-scaling strategies use ``batch = samples_per_pe * p`` (the
+        paper's de-facto scaling mode); strong-scaling ones (filter,
+        channel, pipeline) use ``fixed_batch`` (default
+        ``samples_per_pe * node GPUs``).  Infeasible candidates — scaling
+        limit exceeded or out of memory — are returned unranked with the
+        reason, because *why* data parallelism fails is half the oracle's
+        point.
+        """
+        fixed_batch = fixed_batch or samples_per_pe * self.cluster.node.gpus
+        results: List[Tuple[Strategy, Optional[Projection], str]] = []
+        for sid in candidates:
+            try:
+                strategy = strategy_from_id(
+                    sid, p, self.model, max(p, fixed_batch),
+                    segments=segments, intra=self.cluster.node.gpus,
+                )
+            except StrategyError as exc:
+                results.append((None, None, f"{sid}: {exc}"))
+                continue
+            batch = (
+                samples_per_pe * p if strategy.is_weak_scaling else fixed_batch
+            )
+            try:
+                strategy.check(self.model, batch)
+                proj = self.project(strategy, batch, dataset)
+            except StrategyError as exc:
+                results.append((strategy, None, str(exc)))
+                continue
+            reason = "" if proj.feasible_memory else (
+                f"memory {proj.memory_bytes / 1e9:.1f} GB exceeds "
+                f"{proj.memory_capacity / 1e9:.1f} GB/PE"
+            )
+            results.append((strategy, proj, reason))
+
+        feasible = [
+            (s, pr) for s, pr, r in results if pr is not None and not r
+        ]
+        feasible.sort(key=lambda sp: sp[1].per_epoch.total)
+        suggestions: List[Suggestion] = []
+        for rank, (s, pr) in enumerate(feasible, start=1):
+            suggestions.append(Suggestion(s, pr, rank, True))
+        for s, pr, r in results:
+            if pr is None or r:
+                suggestions.append(
+                    Suggestion(s, pr, rank=0, feasible=False, reason=r)
+                    if s is not None
+                    else Suggestion(
+                        strategy=None, projection=None, rank=0,
+                        feasible=False, reason=r,
+                    )
+                )
+        return suggestions
+
+    # ------------------------------------------------------- layer-wise plan
+    def plan_layerwise(self, p: int, batch: int):
+        """Optimal per-layer strategy assignment (Section 3.5 generalized).
+
+        Returns a :class:`~repro.core.layerwise.LayerwisePlan` minimizing
+        projected iteration time by choosing, per layer, among data /
+        spatial / filter / channel / replicated execution with
+        re-decomposition costs — Krizhevsky's "one weird trick" falls out
+        of this DP for FC-heavy models.
+        """
+        from .layerwise import LayerwisePlanner
+
+        planner = LayerwisePlanner(
+            self.model, self.cluster, self.profile, p,
+            delta=self.analytical.delta,
+        )
+        return planner.plan(batch)
+
+    # ----------------------------------------------------------- hybrid search
+    def search_hybrid(
+        self,
+        p: int,
+        dataset: DatasetSpec,
+        samples_per_pe: int = 32,
+        kinds: Sequence[str] = ("df", "ds"),
+        max_model_dim: Optional[int] = None,
+    ) -> List[Suggestion]:
+        """Exhaustively search hybrid factorizations ``p = p1 * p2``.
+
+        The paper's hybrids fix the model-parallel dimension at the node
+        size; this search relaxes that and enumerates every divisor
+        ``p2 <= max_model_dim`` (default: one rack's worth of GPUs),
+        ranking feasible configurations by projected epoch time.  This is
+        the "suggesting the best strategy for a given resource budget"
+        use-case with the configuration space opened up.
+        """
+        from .strategies import DataFilterParallel, DataSpatialParallel
+        from .strategies import _square_grid
+
+        max_model_dim = max_model_dim or (
+            self.cluster.node.gpus * self.cluster.fabric.nodes_per_rack
+        )
+        candidates: List[Strategy] = []
+        for p2 in _divisors(p):
+            if p2 < 2 or p2 > max_model_dim:
+                continue
+            p1 = p // p2
+            if "df" in kinds:
+                candidates.append(DataFilterParallel(groups=p1, parts=p2))
+            if "ds" in kinds:
+                try:
+                    grid = _square_grid(p2, self.model.input_spec.ndim)
+                except StrategyError:
+                    grid = None
+                if grid is not None:
+                    candidates.append(
+                        DataSpatialParallel(groups=p1, grid=grid)
+                    )
+        results: List[Suggestion] = []
+        ok: List[Tuple[Strategy, Projection]] = []
+        for strategy in candidates:
+            batch = samples_per_pe * strategy.p1
+            try:
+                strategy.check(self.model, batch)
+                proj = self.project(strategy, batch, dataset)
+            except (StrategyError, ValueError) as exc:
+                results.append(Suggestion(strategy, None, 0, False, str(exc)))
+                continue
+            if not proj.feasible_memory:
+                results.append(Suggestion(
+                    strategy, proj, 0, False,
+                    f"memory {proj.memory_bytes / 1e9:.1f} GB"))
+                continue
+            ok.append((strategy, proj))
+        ok.sort(key=lambda sp: sp[1].per_epoch.total)
+        ranked = [
+            Suggestion(s, pr, rank, True) for rank, (s, pr) in
+            enumerate(ok, start=1)
+        ]
+        return ranked + results
+
+    # ---------------------------------------------------------------- accuracy
+    def accuracy_against(
+        self, projection: Projection, measured_epoch_time: float
+    ) -> float:
+        return accuracy(projection.per_epoch.total, measured_epoch_time)
+
+    def breakdown_row(self, projection: Projection) -> Dict[str, float]:
+        """Flat per-iteration dict, handy for table printing."""
+        it = projection.per_iteration
+        row = it.asdict()
+        row.update(
+            computation=it.computation,
+            communication=it.communication,
+            total=it.total,
+            memory_GB=projection.memory_bytes / 1e9,
+            p=projection.p,
+        )
+        return row

@@ -1,0 +1,203 @@
+"""Tensor shape algebra for the ParaDL cost model.
+
+The paper (Table 2) describes every layer-``l`` tensor with a small set of
+per-sample quantities:
+
+* the input ``x_l[N, C_l, X^d_l]`` — ``C_l`` channels, each a ``d``-dimensional
+  tuple ``X^d_l`` (e.g. ``W_l x H_l`` for 2-D convolutions),
+* the output/activation ``y_l[N, F_l, Y^d_l]``,
+* the weight ``w_l[C_l, F_l, K^d_l]`` and bias ``bi_l[F_l]``.
+
+Everything the analytical model needs reduces to *element counts* of these
+tensors (``|x_l|``, ``|y_l|``, ``|w_l|`` ...), which is what
+:class:`TensorSpec` provides.  The analysis is dimension-agnostic: 1-D, 2-D
+and 3-D (and, via component vectors, higher-D) inputs are all supported by
+storing the spatial extent as a tuple.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "TensorSpec",
+    "conv_output_extent",
+    "pool_output_extent",
+    "halo_elements",
+    "prod",
+]
+
+
+def prod(values: Iterable[int]) -> int:
+    """Integer product of an iterable (empty product is 1)."""
+    out = 1
+    for v in values:
+        out *= int(v)
+    return out
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A per-sample tensor ``[channels, *spatial]``.
+
+    ``channels`` corresponds to ``C`` (inputs) or ``F`` (outputs) in the
+    paper's notation; ``spatial`` is the ``d``-dimensional extent ``X^d`` or
+    ``Y^d``.  A spatially-degenerate tensor (e.g. an FC activation) uses an
+    empty ``spatial`` tuple.
+    """
+
+    channels: int
+    spatial: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.channels < 0:
+            raise ValueError(f"channels must be >= 0, got {self.channels}")
+        if any(s <= 0 for s in self.spatial):
+            raise ValueError(f"spatial extents must be positive, got {self.spatial}")
+        object.__setattr__(self, "spatial", tuple(int(s) for s in self.spatial))
+
+    @property
+    def ndim(self) -> int:
+        """Spatial dimensionality ``d`` (0 for FC-style tensors)."""
+        return len(self.spatial)
+
+    @property
+    def spatial_elements(self) -> int:
+        """``prod(X^d)`` — number of spatial positions per channel."""
+        return prod(self.spatial)
+
+    @property
+    def elements(self) -> int:
+        """Total element count ``|x|`` per sample."""
+        return self.channels * self.spatial_elements
+
+    def bytes(self, itemsize: int = 4) -> int:
+        """Bytes per sample, ``delta * |x|`` in the paper's notation."""
+        return self.elements * itemsize
+
+    def split_channels(self, parts: int) -> "TensorSpec":
+        """Partition the channel dimension over ``parts`` PEs.
+
+        Used by filter/channel parallelism.  Requires divisibility so every
+        PE holds an identical share (the paper assumes equal division).
+        """
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        if self.channels % parts:
+            raise ValueError(
+                f"cannot split {self.channels} channels over {parts} PEs evenly"
+            )
+        return TensorSpec(self.channels // parts, self.spatial)
+
+    def split_spatial(self, grid: Sequence[int]) -> "TensorSpec":
+        """Partition the spatial extent over a decomposition ``grid``.
+
+        ``grid`` has one entry per spatial dimension (``p_w``, ``p_h``,
+        ``p_d`` in the paper).  Uneven remainders are assigned ceil-wise, as
+        real spatial decompositions do; the returned spec describes the
+        *largest* partition, which is what peak-memory analysis needs.
+        """
+        if len(grid) != self.ndim:
+            raise ValueError(
+                f"grid rank {len(grid)} != spatial rank {self.ndim}"
+            )
+        if any(g <= 0 for g in grid):
+            raise ValueError("grid entries must be positive")
+        if any(g > s for g, s in zip(grid, self.spatial)):
+            raise ValueError(
+                f"grid {tuple(grid)} exceeds spatial extent {self.spatial}"
+            )
+        new_spatial = tuple(
+            math.ceil(s / g) for s, g in zip(self.spatial, grid)
+        )
+        return TensorSpec(self.channels, new_spatial)
+
+    def with_channels(self, channels: int) -> "TensorSpec":
+        return TensorSpec(channels, self.spatial)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.spatial:
+            dims = "x".join(str(s) for s in self.spatial)
+            return f"[{self.channels}, {dims}]"
+        return f"[{self.channels}]"
+
+
+def conv_output_extent(
+    extent: Sequence[int],
+    kernel: Sequence[int],
+    stride: Sequence[int],
+    padding: Sequence[int],
+) -> Tuple[int, ...]:
+    """Output spatial extent of a convolution.
+
+    Standard formula ``floor((X + 2*pad - K) / stride) + 1`` applied per
+    dimension.  Raises if the kernel does not fit.
+    """
+    out = []
+    for x, k, s, p in zip(extent, kernel, stride, padding):
+        span = x + 2 * p - k
+        if span < 0:
+            raise ValueError(
+                f"kernel {k} with padding {p} does not fit extent {x}"
+            )
+        out.append(span // s + 1)
+    return tuple(out)
+
+
+def pool_output_extent(
+    extent: Sequence[int],
+    kernel: Sequence[int],
+    stride: Sequence[int],
+    padding: Sequence[int],
+    ceil_mode: bool = False,
+) -> Tuple[int, ...]:
+    """Output spatial extent of a pooling window (optionally ceil-mode)."""
+    out = []
+    for x, k, s, p in zip(extent, kernel, stride, padding):
+        span = x + 2 * p - k
+        if span < 0:
+            raise ValueError(
+                f"pool kernel {k} with padding {p} does not fit extent {x}"
+            )
+        if ceil_mode:
+            out.append(-(-span // s) + 1)
+        else:
+            out.append(span // s + 1)
+    return tuple(out)
+
+
+def halo_elements(
+    spec: TensorSpec,
+    grid: Sequence[int],
+    kernel: Sequence[int],
+) -> int:
+    """Per-sample element count exchanged in one halo exchange, ``halo(|x|)``.
+
+    Spatial parallelism places a ``grid`` decomposition over ``spec.spatial``.
+    For every partitioned dimension with kernel size ``K > 1`` each interior
+    boundary exchanges ``K // 2`` rows/planes in both directions; the element
+    count of one boundary slab is the tensor's element count divided by the
+    extent of the partitioned dimension.  This mirrors the paper's Section
+    3.2: "a small number (e.g. K/2) of rows and/or columns will be
+    transferred from logically-neighboring remote PEs".
+
+    The returned value is the number of elements a single PE sends per
+    exchanged tensor (receive volume is symmetric).
+    """
+    if len(grid) != spec.ndim or len(kernel) != spec.ndim:
+        raise ValueError("grid/kernel rank must match the tensor rank")
+    total = 0
+    elements = spec.elements
+    for dim, (g, k, x) in enumerate(zip(grid, kernel, spec.spatial)):
+        if g <= 1 or k <= 1:
+            continue
+        halo_width = k // 2
+        # Slab of `halo_width` planes orthogonal to `dim`, sent to each of
+        # the (up to) two neighbours; boundary PEs have one neighbour, so we
+        # model the *average* PE as exchanging with two sides when g > 2.
+        slab = elements // x * halo_width
+        sides = 2 if g > 2 else 1
+        total += slab * sides
+    return total

@@ -1,0 +1,19 @@
+"""Dataset descriptors and synthetic sample generators."""
+
+from .datasets import (
+    DatasetSpec,
+    IMAGENET,
+    COSMOFLOW_256,
+    COSMOFLOW_512,
+    synthetic_batch,
+    DATASETS,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "IMAGENET",
+    "COSMOFLOW_256",
+    "COSMOFLOW_512",
+    "synthetic_batch",
+    "DATASETS",
+]

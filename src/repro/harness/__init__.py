@@ -1,0 +1,37 @@
+"""Experiment harness: one runner per paper table/figure (see DESIGN.md)."""
+
+from .reporting import format_table, format_breakdown, pct
+from .experiments import (
+    Fig3Cell,
+    FIG3_CONFIG,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table3,
+    run_table5,
+    run_table6,
+    run_accuracy_summary,
+    make_environment,
+)
+
+__all__ = [
+    "format_table",
+    "format_breakdown",
+    "pct",
+    "Fig3Cell",
+    "FIG3_CONFIG",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_table3",
+    "run_table5",
+    "run_table6",
+    "run_accuracy_summary",
+    "make_environment",
+]

@@ -1,0 +1,654 @@
+"""Experiment runners: regenerate every table and figure of the paper.
+
+Each ``run_*`` function returns structured rows (dataclasses / dicts) and is
+wrapped by a benchmark in ``benchmarks/`` that prints the paper-shaped
+output.  ``quick=True`` (the default used by tests) trims the sweep sizes;
+``quick=False`` runs the full grids of the paper (up to 1024 simulated
+GPUs).
+
+Experiment-to-paper map (see DESIGN.md for the full index):
+
+* Figure 3  — oracle vs measured time breakdown per model x strategy x p
+* Figure 4  — CosmoFlow Data+Spatial projection accuracy
+* Figure 5  — CosmoFlow Data+Spatial scaling vs pure spatial
+* Figure 6  — congestion scatter for the GE-Allreduce / FB-Allgather
+* Figure 7  — computation-per-epoch breakdown; weight-update share
+* Figure 8  — filter-parallel compute scaling and split/concat overhead
+* Table 3   — closed-form vs primitive-composed costs (consistency)
+* Table 5   — models and datasets inventory
+* Table 6   — limitation/bottleneck detection matrix
+* Section 5.2 — the headline accuracy summary (86.74% average in the paper)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.analytical import AnalyticalModel, PhaseBreakdown, Projection
+from ..core.calibration import profile_model
+from ..core.limits import detect_findings
+from ..core.oracle import ParaDL, accuracy
+from ..core.strategies import (
+    DataParallel,
+    DataSpatialParallel,
+    FilterParallel,
+    SpatialParallel,
+    Strategy,
+    StrategyError,
+    strategy_from_id,
+)
+from ..data.datasets import COSMOFLOW_512, DATASETS, IMAGENET, DatasetSpec
+from ..models import build_model, cosmoflow
+from ..core.tensors import TensorSpec
+from ..network.congestion import CongestionModel
+from ..network.topology import ClusterSpec, abci_like_cluster
+from ..simulator.compute import GpuComputeModel, V100
+from ..simulator.training import MeasuredRun, SimulationOptions, TrainingSimulator
+
+__all__ = [
+    "Fig3Cell",
+    "FIG3_CONFIG",
+    "make_environment",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_table3",
+    "run_table5",
+    "run_table6",
+    "run_accuracy_summary",
+]
+
+#: ImageNet CNN models of Figure 3.
+FIG3_MODELS = ("resnet50", "resnet152", "vgg16")
+
+#: Per-(strategy) sweep configuration.  ``b`` = samples/GPU (weak scaling);
+#: ``B`` = fixed global batch (strong scaling, as the Figure 3 caption
+#: notes for filter/channel).  The paper tunes b per model/strategy for
+#: device occupancy; we tune it for 16 GB feasibility the same way.
+FIG3_CONFIG: Dict[str, Dict] = {
+    "d": dict(ps=(16, 64, 256, 1024), b=32),
+    "f": dict(ps=(4, 16, 64), B=32),
+    "c": dict(ps=(4, 16, 64), B=32),
+    "p": dict(ps=(2, 4), B=64, segments=8),
+    "df": dict(ps=(16, 64, 256, 1024), b=8),
+    "ds": dict(ps=(16, 64, 256, 1024), b=32),
+}
+
+#: Per-model overrides of the per-GPU batch, mirroring the paper's
+#: occupancy/memory tuning ("we conducted a series of test runs ... to
+#: identify the optimal number of samples per GPU").  ResNet-152's
+#: activations are ~2x ResNet-50's, so it runs at half the batch.
+FIG3_MODEL_OVERRIDES: Dict[str, Dict[str, Dict]] = {
+    "resnet152": {
+        "d": dict(b=16),
+        "f": dict(B=16),
+        "c": dict(B=16),
+        "p": dict(B=32, segments=8),
+        "df": dict(b=4),
+        "ds": dict(b=16),
+    },
+}
+
+#: Reduced grids for quick (CI) runs.
+FIG3_QUICK_PS: Dict[str, Tuple[int, ...]] = {
+    "d": (16, 64),
+    "f": (4, 16),
+    "c": (4, 16),
+    "p": (2, 4),
+    "df": (16, 64),
+    "ds": (16, 64),
+}
+
+
+def make_environment(
+    num_gpus: int,
+    model_name: str = "resnet50",
+    samples_per_pe: int = 32,
+    optimizer: str = "sgd",
+    iterations: int = 50,
+    congestion: Optional[CongestionModel] = None,
+    input_spec: Optional[TensorSpec] = None,
+) -> Tuple[ParaDL, TrainingSimulator, ClusterSpec]:
+    """Build a matched (oracle, simulator, cluster) triple.
+
+    Both sides consume the *same* compute profile, mirroring the paper's
+    methodology (profiled layer times feed ParaDL; the measured runs use
+    the same hardware).
+    """
+    model = build_model(model_name, input_spec)
+    cluster = abci_like_cluster(num_gpus)
+    profile = profile_model(model, samples_per_pe, optimizer=optimizer)
+    oracle = ParaDL(model, cluster, profile)
+    sim = TrainingSimulator(
+        model,
+        cluster,
+        options=SimulationOptions(
+            iterations=iterations, optimizer=optimizer, congestion=congestion
+        ),
+    )
+    return oracle, sim, cluster
+
+
+# --------------------------------------------------------------------------
+# Figure 3
+# --------------------------------------------------------------------------
+
+@dataclass
+class Fig3Cell:
+    """One (model, strategy, p) cell of Figure 3."""
+
+    model: str
+    sid: str
+    p: int
+    batch: int
+    oracle: PhaseBreakdown          # per-iteration
+    measured: PhaseBreakdown        # per-iteration
+    accuracy: float
+    memory_GB: float
+    oom: bool
+
+    @property
+    def label(self) -> str:
+        return f"{self.model}/{self.sid}/p{self.p}"
+
+
+def _fig3_batch(sid: str, p: int, cfg: Dict) -> int:
+    if "b" in cfg:
+        return cfg["b"] * p
+    return cfg["B"]
+
+
+def _profile_batch(sid: str, batch: int, p: int, segments: int = 4,
+                   intra: int = 4) -> int:
+    """Per-PE batch at which the layer profile is taken.
+
+    The paper profiles at the operating point of each strategy: data-style
+    strategies process ``B/p`` samples per PE, pipelines run micro-batches
+    of ``B/S``, filter/channel/spatial keep the full batch on every PE, and
+    Data+Spatial groups process ``B/p1`` samples.
+    """
+    if sid in ("d", "df"):
+        return max(1, batch // p)
+    if sid == "p":
+        return max(1, batch // segments)
+    if sid == "ds":
+        return max(1, batch // max(1, p // intra))
+    # f, c, s, serial: full batch per PE.
+    return batch
+
+
+def run_fig3(
+    models: Sequence[str] = FIG3_MODELS,
+    strategies: Sequence[str] = ("d", "f", "c", "p", "df", "ds"),
+    quick: bool = True,
+    dataset: DatasetSpec = IMAGENET,
+    iterations: int = 30,
+) -> List[Fig3Cell]:
+    """Oracle vs simulated-measured breakdown for every cell of Figure 3."""
+    cells: List[Fig3Cell] = []
+    for model_name in models:
+        for sid in strategies:
+            cfg = dict(FIG3_CONFIG[sid])
+            cfg.update(FIG3_MODEL_OVERRIDES.get(model_name, {}).get(sid, {}))
+            if "b" in FIG3_MODEL_OVERRIDES.get(model_name, {}).get(sid, {}):
+                cfg.pop("B", None)
+            ps = FIG3_QUICK_PS[sid] if quick else cfg["ps"]
+            for p in ps:
+                batch = _fig3_batch(sid, p, cfg)
+                spp = _profile_batch(
+                    sid, batch, p, segments=cfg.get("segments", 4)
+                )
+                oracle, sim, cluster = make_environment(
+                    max(p, 4), model_name,
+                    samples_per_pe=spp, iterations=iterations,
+                )
+                try:
+                    strategy = strategy_from_id(
+                        sid, p, oracle.model, batch,
+                        segments=cfg.get("segments", 4),
+                        intra=cluster.node.gpus,
+                    )
+                    strategy.check(oracle.model, batch)
+                except StrategyError:
+                    continue
+                proj = oracle.project(strategy, batch, dataset)
+                run = sim.run(strategy, batch, dataset.num_samples)
+                acc = accuracy(proj.per_iteration.total, run.mean_iteration)
+                cells.append(Fig3Cell(
+                    model=model_name,
+                    sid=sid,
+                    p=p,
+                    batch=batch,
+                    oracle=proj.per_iteration,
+                    measured=run.breakdown,
+                    accuracy=acc,
+                    memory_GB=run.memory_bytes / 1e9,
+                    oom=run.oom,
+                ))
+    return cells
+
+
+# --------------------------------------------------------------------------
+# Figure 4 / Figure 5 — CosmoFlow
+# --------------------------------------------------------------------------
+
+def _cosmoflow_setup(p: int, p1: int, iterations: int):
+    """CosmoFlow at 512^3 (where only spatial strategies fit in memory)."""
+    spec = COSMOFLOW_512.sample
+    model = cosmoflow(spec)
+    cluster = abci_like_cluster(max(p, 4))
+    # The paper could not profile 512^3 serially; it profiled 256^3 and
+    # multiplied by 8.  We reproduce that procedure.
+    small = cosmoflow(TensorSpec(spec.channels, tuple(s // 2 for s in spec.spatial)))
+    prof_small = profile_model(small, samples_per_pe=1)
+    profile = profile_model(model, samples_per_pe=1)  # ground truth
+    extrapolated = _extrapolate_profile(prof_small, profile)
+    oracle = ParaDL(model, cluster, extrapolated)
+    sim = TrainingSimulator(
+        model, cluster, options=SimulationOptions(iterations=iterations)
+    )
+    return model, cluster, oracle, sim
+
+
+def _extrapolate_profile(small_profile, full_profile):
+    """The paper's x8 extrapolation: scale the 256^3 per-layer times by the
+    volume ratio; layers absent at the small size keep the full-profile
+    values (FC head extents differ)."""
+    from ..core.profiles import ComputeProfile, LayerTimes
+
+    times = {}
+    for name, full_t in full_profile.items():
+        if name in small_profile:
+            st = small_profile.layer(name)
+            times[name] = LayerTimes(
+                forward=st.forward * 8,
+                backward=st.backward * 8,
+                weight_update=full_t.weight_update,
+            )
+        else:
+            times[name] = full_t
+    return ComputeProfile(full_profile.model_name, times)
+
+
+@dataclass
+class Fig4Row:
+    p: int
+    p1: int
+    oracle_iter: float
+    measured_iter: float
+    accuracy: float
+
+
+def run_fig4(
+    ps: Sequence[int] = (16, 64),
+    iterations: int = 20,
+) -> List[Fig4Row]:
+    """ParaDL accuracy for CosmoFlow under Data+Spatial (Figure 4)."""
+    rows: List[Fig4Row] = []
+    for p in ps:
+        p2 = 4
+        p1 = p // p2
+        model, cluster, oracle, sim = _cosmoflow_setup(p, p1, iterations)
+        strategy = DataSpatialParallel(groups=p1, grid=(2, 2, 1))
+        batch = p1  # one sample per spatial group (0.25 samples/GPU)
+        proj = oracle.project(strategy, batch, COSMOFLOW_512)
+        run = sim.run(strategy, batch, COSMOFLOW_512.num_samples)
+        rows.append(Fig4Row(
+            p=p,
+            p1=p1,
+            oracle_iter=proj.per_iteration.total,
+            measured_iter=run.mean_iteration,
+            accuracy=accuracy(proj.per_iteration.total, run.mean_iteration),
+        ))
+    return rows
+
+
+@dataclass
+class Fig5Row:
+    strategy: str
+    p: int
+    epoch_time: float
+    speedup_vs_spatial: float
+    memory_GB: float
+    feasible: bool
+
+
+def run_fig5(
+    ps: Sequence[int] = (4, 16, 64),
+    iterations: int = 10,
+) -> List[Fig5Row]:
+    """CosmoFlow scaling: pure spatial vs Data+Spatial (Figure 5).
+
+    Also demonstrates *why* the hybrid is needed: data parallelism and
+    pipeline are memory-infeasible at 512^3 (Section 5.3.2), while
+    spatial+data keeps scaling by growing the data-parallel pool.
+    """
+    model, cluster, oracle, sim = _cosmoflow_setup(max(ps), max(ps) // 4,
+                                                   iterations)
+    rows: List[Fig5Row] = []
+    # Pure spatial baseline at p = 4 (one node).
+    base = SpatialParallel(grid=(2, 2, 1))
+    base_run = sim.run(base, 1, COSMOFLOW_512.num_samples)
+    base_epoch = base_run.epoch_time
+    rows.append(Fig5Row(
+        strategy="s", p=4, epoch_time=base_epoch, speedup_vs_spatial=1.0,
+        memory_GB=base_run.memory_bytes / 1e9, feasible=not base_run.oom,
+    ))
+    for p in ps:
+        if p <= 4:
+            continue
+        p1 = p // 4
+        strat = DataSpatialParallel(groups=p1, grid=(2, 2, 1))
+        run = sim.run(strat, p1, COSMOFLOW_512.num_samples)
+        rows.append(Fig5Row(
+            strategy="ds", p=p, epoch_time=run.epoch_time,
+            speedup_vs_spatial=base_epoch / run.epoch_time,
+            memory_GB=run.memory_bytes / 1e9, feasible=not run.oom,
+        ))
+    # Infeasible alternatives, for the record.
+    proj_d = oracle.analytical.project(DataParallel(4), 4,
+                                       COSMOFLOW_512.num_samples)
+    rows.append(Fig5Row(
+        strategy="d", p=4, epoch_time=float("nan"), speedup_vs_spatial=0.0,
+        memory_GB=proj_d.memory_bytes / 1e9,
+        feasible=proj_d.feasible_memory,
+    ))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 6 — congestion scatter
+# --------------------------------------------------------------------------
+
+@dataclass
+class Fig6Series:
+    label: str
+    expected: float               # analytic (congestion-free) time
+    samples: np.ndarray           # per-iteration measured times
+    outlier_fraction: float
+    max_slowdown: float
+
+
+def run_fig6(
+    iterations: int = 200,
+    seed: int = 7,
+) -> List[Fig6Series]:
+    """Per-iteration collective times under external congestion (Figure 6).
+
+    Two series, as in the paper: the GE-Allreduce of ResNet-50 data
+    parallelism on 512 GPUs, and the FB-Allgather of VGG16 filter
+    parallelism on 64 GPUs.
+    """
+    out: List[Fig6Series] = []
+    congestion = CongestionModel(outlier_rate=0.10, max_slowdown=4.0, seed=seed)
+    for model_name, sid, p, batch in (
+        ("resnet50", "d", 512, 32 * 512),
+        ("vgg16", "f", 64, 32),
+    ):
+        oracle, sim, cluster = make_environment(
+            p, model_name, samples_per_pe=max(1, batch // p),
+            iterations=iterations, congestion=congestion,
+        )
+        strategy = strategy_from_id(sid, p, oracle.model, batch,
+                                    intra=cluster.node.gpus)
+        proj = oracle.project(strategy, batch, IMAGENET)
+        run = sim.run(strategy, batch, IMAGENET.num_samples)
+        key = "comm_ge" if sid == "d" else "comm_fb"
+        samples = run.comm_samples[key]
+        expected = getattr(proj.per_iteration, key)
+        ratio = samples / max(expected, 1e-30)
+        out.append(Fig6Series(
+            label=f"{model_name}/{sid}/p{p}",
+            expected=expected,
+            samples=samples,
+            outlier_fraction=float(np.mean(ratio > 1.5)),
+            max_slowdown=float(ratio.max()),
+        ))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Figure 7 — computation breakdown / weight-update share
+# --------------------------------------------------------------------------
+
+@dataclass
+class Fig7Row:
+    model: str
+    optimizer: str
+    fw_s: float
+    bw_s: float
+    wu_s: float
+    wu_share: float
+
+
+def run_fig7(
+    models: Sequence[str] = FIG3_MODELS,
+    optimizers: Sequence[str] = ("sgd", "adam"),
+    batch: int = 32,
+) -> List[Fig7Row]:
+    """Per-epoch computation split (Figure 7): WU grows with model size and
+    optimizer state (the paper measured up to 15% for VGG16; Transformer
+    models with Adam reach 45%)."""
+    rows: List[Fig7Row] = []
+    for model_name in models:
+        model = build_model(model_name)
+        for opt in optimizers:
+            profile = profile_model(model, batch, optimizer=opt)
+            iters = IMAGENET.num_samples // batch
+            fw = IMAGENET.num_samples * profile.total_fw()
+            bw = IMAGENET.num_samples * profile.total_bw()
+            wu = iters * profile.total_wu()
+            rows.append(Fig7Row(
+                model=model_name, optimizer=opt,
+                fw_s=fw, bw_s=bw, wu_s=wu,
+                wu_share=wu / (fw + bw + wu),
+            ))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 8 — filter-parallel compute scaling
+# --------------------------------------------------------------------------
+
+@dataclass
+class Fig8Row:
+    p: int
+    ideal_conv_s: float       # profile / p (what the oracle assumes)
+    simulated_conv_s: float   # partitioned roofline (loses efficiency)
+    split_concat_s: float
+    scaling_efficiency: float
+
+
+def run_fig8(
+    model_name: str = "resnet50",
+    ps: Sequence[int] = (1, 4, 16, 64),
+    batch: int = 32,
+) -> List[Fig8Row]:
+    """Filter-parallel convolution scaling (Figure 8): the conv kernels do
+    not scale by 1/p (occupancy loss) and split/concat is non-trivial."""
+    model = build_model(model_name)
+    gpu = GpuComputeModel(V100)
+    rows: List[Fig8Row] = []
+    base = sum(
+        gpu.forward_time(l, batch) + gpu.backward_time(l, batch)
+        for l in model if l.has_weights
+    )
+    for p in ps:
+        simulated = 0.0
+        split = 0.0
+        for l in model:
+            if not l.has_weights:
+                continue
+            if l.out_channels >= p and l.out_channels % p == 0 and p > 1:
+                simulated += gpu.partitioned_forward_time(l, batch, out_div=p)
+                simulated += gpu.partitioned_backward_time(l, batch, out_div=p)
+                split += gpu.split_concat_time(l, batch)
+            else:
+                simulated += gpu.forward_time(l, batch)
+                simulated += gpu.backward_time(l, batch)
+        ideal = base / p
+        rows.append(Fig8Row(
+            p=p,
+            ideal_conv_s=ideal,
+            simulated_conv_s=simulated,
+            split_concat_s=split,
+            scaling_efficiency=ideal / (simulated + split) if p > 1 else 1.0,
+        ))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Table 3 — formula consistency
+# --------------------------------------------------------------------------
+
+def run_table3(
+    model_name: str = "resnet50",
+    p: int = 16,
+    batch: int = 512,
+) -> List[Dict]:
+    """Render a Table-3-like summary: per-strategy comp/comm/mem and the PE
+    ceiling, all from the analytical model."""
+    model = build_model(model_name)
+    cluster = abci_like_cluster(max(p, 4))
+    profile = profile_model(model, samples_per_pe=max(1, batch // p))
+    analytical = AnalyticalModel(model, cluster, profile)
+    rows: List[Dict] = []
+    limits = {
+        "serial": 1,
+        "d": batch,
+        "s": model.min_spatial(),
+        "p": len(model.layers),
+        "f": model.min_filters(),
+        "c": model.min_channels(),
+        "df": batch * model.min_filters(),
+        "ds": batch * model.min_spatial(),
+    }
+    for sid in ("serial", "d", "s", "p", "f", "c", "df", "ds"):
+        try:
+            strategy = strategy_from_id(
+                sid, 1 if sid == "serial" else p, model, batch,
+                intra=cluster.node.gpus,
+            )
+            proj = analytical.project(strategy, batch, IMAGENET.num_samples)
+        except StrategyError as exc:
+            rows.append(dict(strategy=sid, error=str(exc)))
+            continue
+        it = proj.per_iteration
+        rows.append(dict(
+            strategy=sid,
+            p=strategy.p,
+            comp_s=it.computation,
+            comm_s=it.communication,
+            memory_GB=proj.memory_bytes / 1e9,
+            pe_limit=limits[sid],
+        ))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Table 5 — models and datasets
+# --------------------------------------------------------------------------
+
+def run_table5() -> List[Dict]:
+    """Model/dataset inventory (Table 5), computed from our builders."""
+    entries = (
+        ("resnet50", IMAGENET),
+        ("resnet152", IMAGENET),
+        ("vgg16", IMAGENET),
+        ("cosmoflow", DATASETS["cosmoflow256"]),
+    )
+    rows: List[Dict] = []
+    for name, ds in entries:
+        model = build_model(
+            name, ds.sample if name == "cosmoflow" else None
+        )
+        rows.append(dict(
+            model=name,
+            dataset=ds.name,
+            num_samples=ds.num_samples,
+            sample_shape=str(ds.sample),
+            parameters_M=model.parameters / 1e6,
+            weighted_layers=len(model.weighted_layers),
+            total_layers=len(model.layers),
+        ))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Table 6 — limitation/bottleneck matrix
+# --------------------------------------------------------------------------
+
+def run_table6(quick: bool = True) -> Dict[str, List]:
+    """Detect limitations/bottlenecks per strategy (Table 6).
+
+    Returns {strategy id: [Finding, ...]} for representative configs.
+    """
+    configs = [
+        ("d", "vgg16", 256, 32 * 256),       # GE-bound at scale
+        ("s", "resnet50", 16, 16),           # halo P2P
+        ("p", "vgg16", 4, 64),               # workload balance
+        ("f", "resnet50", 16, 32),           # layer-wise comm
+        ("c", "resnet50", 16, 32),
+        ("df", "vgg16", 64, 8 * 64),
+        ("ds", "cosmoflow", 16, 4),
+    ]
+    if quick:
+        configs = configs[:5] + configs[6:]
+    out: Dict[str, List] = {}
+    for sid, model_name, p, batch in configs:
+        input_spec = COSMOFLOW_512.sample if model_name == "cosmoflow" else None
+        model = build_model(model_name, input_spec)
+        cluster = abci_like_cluster(max(p, 4))
+        profile = profile_model(model, samples_per_pe=max(1, batch // p))
+        analytical = AnalyticalModel(model, cluster, profile)
+        strategy = strategy_from_id(sid, p, model, batch,
+                                    intra=cluster.node.gpus)
+        dataset_size = (
+            COSMOFLOW_512.num_samples if model_name == "cosmoflow"
+            else IMAGENET.num_samples
+        )
+        proj = analytical.project(strategy, batch, dataset_size)
+        out[sid] = detect_findings(model, proj, profile=profile)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Section 5.2 — accuracy summary
+# --------------------------------------------------------------------------
+
+@dataclass
+class AccuracySummary:
+    per_strategy: Dict[str, float]
+    per_model: Dict[str, float]
+    overall: float
+    best: Tuple[str, float]
+
+
+def run_accuracy_summary(
+    quick: bool = True,
+    iterations: int = 30,
+) -> AccuracySummary:
+    """The paper's headline metric: mean oracle accuracy per strategy and
+    overall (86.74% average, up to 97.57% for data parallelism there)."""
+    cells = run_fig3(quick=quick, iterations=iterations)
+    by_sid: Dict[str, List[float]] = {}
+    by_model: Dict[str, List[float]] = {}
+    for c in cells:
+        by_sid.setdefault(c.sid, []).append(c.accuracy)
+        by_model.setdefault(c.model, []).append(c.accuracy)
+    per_strategy = {k: float(np.mean(v)) for k, v in by_sid.items()}
+    per_model = {k: float(np.mean(v)) for k, v in by_model.items()}
+    overall = float(np.mean([c.accuracy for c in cells]))
+    best_cell = max(cells, key=lambda c: c.accuracy)
+    return AccuracySummary(
+        per_strategy=per_strategy,
+        per_model=per_model,
+        overall=overall,
+        best=(best_cell.label, best_cell.accuracy),
+    )

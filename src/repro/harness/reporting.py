@@ -1,0 +1,59 @@
+"""Plain-text table/series formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..core.analytical import PhaseBreakdown
+
+__all__ = ["format_table", "format_breakdown", "pct", "fmt_time"]
+
+
+def pct(x: float) -> str:
+    """Format a ratio as a percentage with two decimals (paper style)."""
+    return f"{100.0 * x:.2f}%"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-scaled time formatting."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width ASCII table."""
+    rows = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_breakdown(b: PhaseBreakdown, per: str = "iteration") -> str:
+    """One-line phase breakdown (comp fw/bw/wu + comm by pattern)."""
+    parts = [
+        f"fw={fmt_time(b.comp_fw)}",
+        f"bw={fmt_time(b.comp_bw)}",
+        f"wu={fmt_time(b.comp_wu)}",
+    ]
+    for key, label in (
+        ("comm_ge", "ge"),
+        ("comm_fb", "fb"),
+        ("comm_halo", "halo"),
+        ("comm_p2p", "p2p"),
+    ):
+        v = getattr(b, key)
+        if v > 0:
+            parts.append(f"{label}={fmt_time(v)}")
+    return f"[{per}] " + " ".join(parts) + f" total={fmt_time(b.total)}"

@@ -1,0 +1,20 @@
+"""Model zoo: the CNNs of the paper's Table 5 plus small test models."""
+
+from .resnet import resnet50, resnet152
+from .vgg import vgg16
+from .cosmoflow import cosmoflow
+from .alexnet import alexnet
+from .toy import toy_cnn, toy_cnn3d
+from .zoo import build_model, MODEL_BUILDERS
+
+__all__ = [
+    "resnet50",
+    "resnet152",
+    "vgg16",
+    "cosmoflow",
+    "alexnet",
+    "toy_cnn",
+    "toy_cnn3d",
+    "build_model",
+    "MODEL_BUILDERS",
+]

@@ -1,0 +1,48 @@
+"""AlexNet builder (Krizhevsky 2012/2014).
+
+Not part of the paper's evaluation set, but the model Krizhevsky's "one
+weird trick" (which the paper cites for hybrid parallelism) was designed
+around — a useful mid-size model for tests and ablations: heavy FC tail
+(data parallelism communication-bound) with a small conv front.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.graph import ModelGraph
+from ..core.layers import Conv, Flatten, FullyConnected, Layer, Pool, ReLU
+from ..core.tensors import TensorSpec
+
+__all__ = ["alexnet"]
+
+
+def alexnet(
+    input_spec: TensorSpec = TensorSpec(3, (227, 227)),
+    num_classes: int = 1000,
+) -> ModelGraph:
+    """Build AlexNet (~61M parameters, 8 weighted layers)."""
+    layers: List[Layer] = []
+    conv1 = Conv("conv1", input_spec, 96, kernel=11, stride=4)
+    layers.extend([conv1, ReLU("relu1", conv1.output)])
+    pool1 = Pool("pool1", layers[-1].output, kernel=3, stride=2)
+    layers.append(pool1)
+    conv2 = Conv("conv2", pool1.output, 256, kernel=5, padding=2)
+    layers.extend([conv2, ReLU("relu2", conv2.output)])
+    pool2 = Pool("pool2", layers[-1].output, kernel=3, stride=2)
+    layers.append(pool2)
+    conv3 = Conv("conv3", pool2.output, 384, kernel=3, padding=1)
+    layers.extend([conv3, ReLU("relu3", conv3.output)])
+    conv4 = Conv("conv4", layers[-1].output, 384, kernel=3, padding=1)
+    layers.extend([conv4, ReLU("relu4", conv4.output)])
+    conv5 = Conv("conv5", layers[-1].output, 256, kernel=3, padding=1)
+    layers.extend([conv5, ReLU("relu5", conv5.output)])
+    pool5 = Pool("pool5", layers[-1].output, kernel=3, stride=2)
+    layers.append(pool5)
+    layers.append(Flatten("flatten", pool5.output))
+    fc6 = FullyConnected("fc6", layers[-1].output, 4096)
+    layers.extend([fc6, ReLU("relu6", fc6.output)])
+    fc7 = FullyConnected("fc7", layers[-1].output, 4096)
+    layers.extend([fc7, ReLU("relu7", fc7.output)])
+    layers.append(FullyConnected("fc8", layers[-1].output, num_classes))
+    return ModelGraph("alexnet", layers)

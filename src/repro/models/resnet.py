@@ -1,0 +1,133 @@
+"""ResNet-50 / ResNet-152 graph builders (He et al., CVPR 2016).
+
+The paper evaluates both on ImageNet-scale inputs (Table 5: 3 x 226^2 in
+their notation; the canonical crop is 224^2 and we default to that — the two
+differ by <2% in activation volume and not at all in parameter count:
+~25.6M for ResNet-50 and ~60.2M for ResNet-152).
+
+The graph is the standard bottleneck architecture: a 7x7/2 stem, four
+stages of [3,4,6,3] (ResNet-50) or [3,8,36,3] (ResNet-152) bottleneck
+blocks, global average pooling and a 1000-way FC head.  Downsample
+projection convolutions are represented as explicit branch layers
+(``parent`` pointing at the block input) so their parameters and FLOPs are
+counted exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.graph import ModelGraph
+from ..core.layers import (
+    Add,
+    BatchNorm,
+    Conv,
+    FullyConnected,
+    GlobalAvgPool,
+    Layer,
+    Pool,
+    ReLU,
+)
+from ..core.tensors import TensorSpec
+
+__all__ = ["resnet50", "resnet152", "resnet"]
+
+#: Bottleneck block counts per stage.
+_DEPTHS = {50: (3, 4, 6, 3), 101: (3, 4, 23, 3), 152: (3, 8, 36, 3)}
+
+
+def _bottleneck(
+    layers: List[Layer],
+    prefix: str,
+    input_name: str,
+    in_spec: TensorSpec,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+) -> str:
+    """Append one bottleneck block; return the name of its output layer."""
+    c1 = Conv(f"{prefix}_conv1", in_spec, mid_channels, kernel=1, bias=False)
+    c1.parent = input_name
+    b1 = BatchNorm(f"{prefix}_bn1", c1.output)
+    r1 = ReLU(f"{prefix}_relu1", b1.output)
+    c2 = Conv(
+        f"{prefix}_conv2", r1.output, mid_channels, kernel=3, stride=stride,
+        padding=1, bias=False,
+    )
+    b2 = BatchNorm(f"{prefix}_bn2", c2.output)
+    r2 = ReLU(f"{prefix}_relu2", b2.output)
+    c3 = Conv(f"{prefix}_conv3", r2.output, out_channels, kernel=1, bias=False)
+    b3 = BatchNorm(f"{prefix}_bn3", c3.output)
+    layers.extend([c1, b1, r1, c2, b2, r2, c3, b3])
+
+    needs_projection = stride != 1 or in_spec.channels != out_channels
+    if needs_projection:
+        down = Conv(
+            f"{prefix}_down", in_spec, out_channels, kernel=1, stride=stride,
+            bias=False,
+        )
+        down.parent = input_name
+        down_bn = BatchNorm(f"{prefix}_downbn", down.output)
+        add = Add(f"{prefix}_add", down_bn.output, skip_of=b3.name)
+        layers.extend([down, down_bn, add])
+    else:
+        add = Add(f"{prefix}_add", b3.output, skip_of=input_name)
+        layers.append(add)
+    relu = ReLU(f"{prefix}_relu", add.output)
+    layers.append(relu)
+    return relu.name
+
+
+def resnet(
+    depth: int,
+    input_spec: TensorSpec = TensorSpec(3, (224, 224)),
+    num_classes: int = 1000,
+) -> ModelGraph:
+    """Build a bottleneck ResNet of the given ``depth`` (50/101/152)."""
+    if depth not in _DEPTHS:
+        raise ValueError(f"unsupported ResNet depth {depth}; pick from {_DEPTHS}")
+    blocks: Sequence[int] = _DEPTHS[depth]
+    layers: List[Layer] = []
+
+    stem = Conv("conv1", input_spec, 64, kernel=7, stride=2, padding=3, bias=False)
+    layers.append(stem)
+    layers.append(BatchNorm("bn1", stem.output))
+    layers.append(ReLU("relu1", layers[-1].output))
+    layers.append(Pool("maxpool", layers[-1].output, kernel=3, stride=2, padding=1))
+
+    spec = layers[-1].output
+    last = layers[-1].name
+    mid = 64
+    for stage, count in enumerate(blocks, start=2):
+        out_channels = mid * 4
+        for block in range(count):
+            stride = 2 if (stage > 2 and block == 0) else 1
+            last = _bottleneck(
+                layers,
+                prefix=f"res{stage}_{block}",
+                input_name=last,
+                in_spec=spec,
+                mid_channels=mid,
+                out_channels=out_channels,
+                stride=stride,
+            )
+            spec = layers[-1].output
+        mid *= 2
+
+    layers.append(GlobalAvgPool("avgpool", spec))
+    layers.append(FullyConnected("fc", layers[-1].output, num_classes))
+    return ModelGraph(f"resnet{depth}", layers)
+
+
+def resnet50(
+    input_spec: TensorSpec = TensorSpec(3, (224, 224)), num_classes: int = 1000
+) -> ModelGraph:
+    """ResNet-50 (~25.6M parameters on 1000 classes)."""
+    return resnet(50, input_spec, num_classes)
+
+
+def resnet152(
+    input_spec: TensorSpec = TensorSpec(3, (224, 224)), num_classes: int = 1000
+) -> ModelGraph:
+    """ResNet-152 (~60.2M parameters; the paper's Table 5 quotes ~58M)."""
+    return resnet(152, input_spec, num_classes)

@@ -1,0 +1,60 @@
+"""Tiny CNNs for unit tests and the NumPy execution substrate.
+
+The value-by-value correctness validation of parallel decompositions
+(Section 4.5.2 of the paper) does not need ImageNet-scale models — it needs
+every *layer kind* and *decomposition edge case* (odd extents, stride > 1,
+channel counts divisible by the PE grid).  These builders provide that at
+sizes where NumPy execution is instant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.graph import ModelGraph
+from ..core.layers import Conv, Flatten, FullyConnected, Layer, Pool, ReLU
+from ..core.tensors import TensorSpec
+
+__all__ = ["toy_cnn", "toy_cnn3d"]
+
+
+def toy_cnn(
+    input_spec: TensorSpec = TensorSpec(4, (16, 16)),
+    channels: Sequence[int] = (8, 16),
+    num_classes: int = 10,
+) -> ModelGraph:
+    """A small 2-D CNN: [conv-relu-pool] x len(channels) + FC head."""
+    layers: List[Layer] = []
+    spec = input_spec
+    for i, ch in enumerate(channels, start=1):
+        conv = Conv(f"conv{i}", spec, ch, kernel=3, stride=1, padding=1)
+        layers.append(conv)
+        relu = ReLU(f"relu{i}", conv.output)
+        layers.append(relu)
+        pool = Pool(f"pool{i}", relu.output, kernel=2, stride=2)
+        layers.append(pool)
+        spec = pool.output
+    layers.append(Flatten("flatten", spec))
+    layers.append(FullyConnected("fc", layers[-1].output, num_classes))
+    return ModelGraph("toy_cnn", layers)
+
+
+def toy_cnn3d(
+    input_spec: TensorSpec = TensorSpec(2, (8, 8, 8)),
+    channels: Sequence[int] = (4, 8),
+    num_classes: int = 4,
+) -> ModelGraph:
+    """A small 3-D CNN exercising the d=3 code paths (CosmoFlow-shaped)."""
+    layers: List[Layer] = []
+    spec = input_spec
+    for i, ch in enumerate(channels, start=1):
+        conv = Conv(f"conv{i}", spec, ch, kernel=3, stride=1, padding=1)
+        layers.append(conv)
+        relu = ReLU(f"relu{i}", conv.output)
+        layers.append(relu)
+        pool = Pool(f"pool{i}", relu.output, kernel=2, stride=2)
+        layers.append(pool)
+        spec = pool.output
+    layers.append(Flatten("flatten", spec))
+    layers.append(FullyConnected("fc", layers[-1].output, num_classes))
+    return ModelGraph("toy_cnn3d", layers)

@@ -1,0 +1,60 @@
+"""VGG16 graph builder (Simonyan & Zisserman, ICLR 2015).
+
+Thirteen 3x3 convolutions in five blocks plus three FC layers (4096, 4096,
+1000) — ~138M parameters, most of them in the first FC layer.  The paper's
+Table 5 quotes ~169M and "38 layers": counts differ by whether ReLU/pool
+layers and framework-internal buffers are included; the convolution/FC
+structure here is the canonical one and dominates every cost the oracle
+models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.graph import ModelGraph
+from ..core.layers import Conv, Flatten, FullyConnected, Layer, Pool, ReLU
+from ..core.tensors import TensorSpec
+
+__all__ = ["vgg16"]
+
+#: (block, [channels per conv]) for configuration D.
+_CFG_D: Sequence[Tuple[int, Sequence[int]]] = (
+    (1, (64, 64)),
+    (2, (128, 128)),
+    (3, (256, 256, 256)),
+    (4, (512, 512, 512)),
+    (5, (512, 512, 512)),
+)
+
+
+def vgg16(
+    input_spec: TensorSpec = TensorSpec(3, (224, 224)),
+    num_classes: int = 1000,
+    fc_width: int = 4096,
+) -> ModelGraph:
+    """Build VGG16 (configuration D)."""
+    layers: List[Layer] = []
+    spec = input_spec
+    for block, channels in _CFG_D:
+        for i, ch in enumerate(channels, start=1):
+            conv = Conv(
+                f"conv{block}_{i}", spec, ch, kernel=3, stride=1, padding=1
+            )
+            layers.append(conv)
+            relu = ReLU(f"relu{block}_{i}", conv.output)
+            layers.append(relu)
+            spec = relu.output
+        pool = Pool(f"pool{block}", spec, kernel=2, stride=2)
+        layers.append(pool)
+        spec = pool.output
+
+    layers.append(Flatten("flatten", spec))
+    fc1 = FullyConnected("fc1", layers[-1].output, fc_width)
+    layers.append(fc1)
+    layers.append(ReLU("relu_fc1", fc1.output))
+    fc2 = FullyConnected("fc2", layers[-1].output, fc_width)
+    layers.append(fc2)
+    layers.append(ReLU("relu_fc2", fc2.output))
+    layers.append(FullyConnected("fc3", layers[-1].output, num_classes))
+    return ModelGraph("vgg16", layers)

@@ -1,0 +1,38 @@
+"""Model registry mapping names to builders (with dataset-shaped defaults)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.graph import ModelGraph
+from ..core.tensors import TensorSpec
+from .alexnet import alexnet
+from .cosmoflow import cosmoflow
+from .resnet import resnet50, resnet152
+from .toy import toy_cnn, toy_cnn3d
+from .vgg import vgg16
+
+__all__ = ["MODEL_BUILDERS", "build_model"]
+
+MODEL_BUILDERS: Dict[str, Callable[..., ModelGraph]] = {
+    "resnet50": resnet50,
+    "resnet152": resnet152,
+    "vgg16": vgg16,
+    "cosmoflow": cosmoflow,
+    "alexnet": alexnet,
+    "toy_cnn": toy_cnn,
+    "toy_cnn3d": toy_cnn3d,
+}
+
+
+def build_model(name: str, input_spec: Optional[TensorSpec] = None) -> ModelGraph:
+    """Build a registered model, optionally overriding the input spec."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(MODEL_BUILDERS)}"
+        ) from None
+    if input_spec is None:
+        return builder()
+    return builder(input_spec)

@@ -1,0 +1,25 @@
+"""Cluster/network substrate: topology, link parameters, congestion.
+
+This package models the evaluation environment of the paper (Section 5.1):
+compute nodes with four V100-class GPUs connected intra-node by PCIe/NVLink
+and inter-node by a 3-level full-bisection fat-tree with 1:3 intra/inter-rack
+over-subscription (two InfiniBand EDR links per node, 17 nodes per rack).
+"""
+
+from .links import LinkSpec, NVLINK, PCIE_GEN3_X16, IB_EDR
+from .hockney import HockneyParams
+from .topology import NodeSpec, FatTreeSpec, ClusterSpec, abci_like_cluster
+from .congestion import CongestionModel
+
+__all__ = [
+    "LinkSpec",
+    "NVLINK",
+    "PCIE_GEN3_X16",
+    "IB_EDR",
+    "HockneyParams",
+    "NodeSpec",
+    "FatTreeSpec",
+    "ClusterSpec",
+    "abci_like_cluster",
+    "CongestionModel",
+]

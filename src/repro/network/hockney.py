@@ -1,0 +1,73 @@
+"""Hockney alpha-beta communication parameters.
+
+The paper models a point-to-point transfer of ``m`` bytes as
+``T_p2p(m) = alpha + m * beta`` (Section 4.3) and derives collective costs
+from it.  :class:`HockneyParams` is the value object every collective-cost
+function takes; it can be built from a physical link, from a multi-hop path,
+or fitted from measurements (see :mod:`repro.core.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .links import LinkSpec
+
+__all__ = ["HockneyParams"]
+
+
+@dataclass(frozen=True)
+class HockneyParams:
+    """``alpha`` (startup seconds) and ``beta`` (seconds/byte)."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be >= 0")
+
+    @property
+    def bandwidth_Bps(self) -> float:
+        if self.beta == 0:
+            return float("inf")
+        return 1.0 / self.beta
+
+    def p2p(self, nbytes: float) -> float:
+        """``T_p2p(m) = alpha + m beta``."""
+        if nbytes < 0:
+            raise ValueError("message size must be >= 0")
+        return self.alpha + nbytes * self.beta
+
+    def with_contention(self, phi: float) -> "HockneyParams":
+        """Divide the effective bandwidth by contention penalty ``phi``.
+
+        The paper's contention coefficient (Section 4.3) divides the
+        bandwidth of a shared link by the number of communication flows
+        crossing it, i.e. multiplies ``beta`` by ``phi``.
+        """
+        if phi < 1:
+            raise ValueError("contention penalty must be >= 1")
+        return HockneyParams(self.alpha, self.beta * phi)
+
+    @classmethod
+    def from_link(cls, link: LinkSpec) -> "HockneyParams":
+        return cls(alpha=link.latency_s, beta=link.beta)
+
+    @classmethod
+    def from_path(cls, links: Iterable[LinkSpec]) -> "HockneyParams":
+        """Parameters of a multi-hop path.
+
+        ``alpha`` accumulates per-hop switching latency; ``beta`` is set by
+        the bottleneck (minimum-bandwidth) link, matching the paper's
+        contention-modeling paragraph: "the startup time of a given pair is
+        the total switching latency ... beta is the inverse of the minimum
+        link bandwidth on the routing path".
+        """
+        links = list(links)
+        if not links:
+            raise ValueError("path must contain at least one link")
+        alpha = sum(l.latency_s for l in links)
+        beta = max(l.beta for l in links)
+        return cls(alpha=alpha, beta=beta)

@@ -1,0 +1,75 @@
+"""Physical link specifications.
+
+Bandwidths follow the paper's testbed description: PCIe Gen3 x16 at 16 GB/s,
+NVLink at 20 GB/s, and InfiniBand EDR at 12.5 GB/s (two per compute node).
+Latencies are typical published figures for these interconnects; they feed
+the Hockney ``alpha`` term, whose empirical calibration is the job of
+:mod:`repro.core.calibration` anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkSpec", "NVLINK", "PCIE_GEN3_X16", "IB_EDR"]
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link with startup latency and bandwidth.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    latency_s:
+        One-way message startup latency in seconds (Hockney ``alpha``
+        contribution of a single hop).
+    bandwidth_Bps:
+        Sustained bandwidth in bytes per second (``1/beta`` for one hop).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_Bps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if self.bandwidth_Bps <= 0:
+            raise ValueError("bandwidth must be > 0")
+
+    @property
+    def beta(self) -> float:
+        """Seconds per byte."""
+        return 1.0 / self.bandwidth_Bps
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Hockney time ``alpha + m * beta`` for this single link."""
+        return self.latency_s + nbytes * self.beta
+
+    def scaled(self, bandwidth_factor: float) -> "LinkSpec":
+        """A copy with bandwidth multiplied by ``bandwidth_factor``.
+
+        Used for over-subscription (factor < 1) and link aggregation
+        (factor > 1).
+        """
+        if bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be > 0")
+        return LinkSpec(
+            name=f"{self.name}x{bandwidth_factor:g}",
+            latency_s=self.latency_s,
+            bandwidth_Bps=self.bandwidth_Bps * bandwidth_factor,
+        )
+
+
+#: NVLink (V100 generation, per-direction aggregate used by NCCL rings).
+NVLINK = LinkSpec("nvlink", latency_s=2.0e-6, bandwidth_Bps=20 * GB)
+
+#: PCIe Gen3 x16 between GPU and CPU/PLX switch.
+PCIE_GEN3_X16 = LinkSpec("pcie3x16", latency_s=3.0e-6, bandwidth_Bps=16 * GB)
+
+#: One InfiniBand EDR HCA (the testbed has two per node).
+IB_EDR = LinkSpec("ib-edr", latency_s=1.5e-6, bandwidth_Bps=12.5 * GB)

@@ -1,0 +1,236 @@
+"""Cluster topology: nodes, racks, and a 3-level fat-tree fabric.
+
+The goal of this module is to answer one question for the analytical model:
+*what effective Hockney (alpha, beta) does a communicator spanning a given
+set of PEs see?* — and a more detailed one for the simulator: *which links
+does a transfer between two GPUs traverse?*
+
+The defaults replicate the paper's evaluation machine (Section 5.1): four
+16-GB V100 GPUs per node joined by NVLink (20 GB/s) and PCIe Gen3 x16
+(16 GB/s), two InfiniBand EDR rails (12.5 GB/s each) per node, 17 nodes per
+rack, full bisection within a rack, and 1:3 over-subscription between racks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .hockney import HockneyParams
+from .links import IB_EDR, NVLINK, PCIE_GEN3_X16, LinkSpec
+
+__all__ = ["NodeSpec", "FatTreeSpec", "ClusterSpec", "abci_like_cluster"]
+
+#: Communicator scopes in increasing radius.
+SCOPES = ("intra-node", "intra-rack", "inter-rack")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node: GPU count and intra-node interconnect."""
+
+    gpus: int = 4
+    intra_link: LinkSpec = NVLINK
+    host_link: LinkSpec = PCIE_GEN3_X16
+    nics: int = 2
+    nic_link: LinkSpec = IB_EDR
+    #: GPU memory capacity in bytes (V100 16 GB).
+    gpu_memory_bytes: int = 16 * 10**9
+
+    def __post_init__(self) -> None:
+        if self.gpus < 1:
+            raise ValueError("a node needs at least one GPU")
+        if self.nics < 1:
+            raise ValueError("a node needs at least one NIC")
+
+
+@dataclass(frozen=True)
+class FatTreeSpec:
+    """A 3-level fat-tree abstraction.
+
+    ``inter_rack_oversubscription`` divides the per-flow bandwidth of
+    traffic that crosses rack boundaries (1:3 in the paper's system).
+    """
+
+    nodes_per_rack: int = 17
+    intra_rack_oversubscription: float = 1.0
+    inter_rack_oversubscription: float = 3.0
+    switch_latency_s: float = 1.0e-6
+    #: Switch hops for intra-rack (leaf only) and inter-rack (leaf-spine-core).
+    intra_rack_hops: int = 1
+    inter_rack_hops: int = 3
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_rack < 1:
+            raise ValueError("nodes_per_rack must be >= 1")
+        if self.intra_rack_oversubscription < 1 or self.inter_rack_oversubscription < 1:
+            raise ValueError("over-subscription factors must be >= 1")
+
+
+class ClusterSpec:
+    """A cluster of identical multi-GPU nodes on a fat-tree fabric.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of compute nodes.
+    node:
+        Per-node hardware description.
+    fabric:
+        Fat-tree parameters.
+    gpudirect:
+        Whether inter-node GPU transfers bypass host staging (NCCL with
+        GPUDirect).  The paper found the MPI (non-GPUDirect) halo exchange
+        to be a bottleneck; :meth:`hockney` exposes both transports.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        node: NodeSpec = NodeSpec(),
+        fabric: FatTreeSpec = FatTreeSpec(),
+        gpudirect: bool = True,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self.node = node
+        self.fabric = fabric
+        self.gpudirect = gpudirect
+
+    # ---- inventory --------------------------------------------------------
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.node.gpus
+
+    @property
+    def num_racks(self) -> int:
+        return -(-self.num_nodes // self.fabric.nodes_per_rack)
+
+    @property
+    def gpu_memory_bytes(self) -> int:
+        return self.node.gpu_memory_bytes
+
+    def gpu_location(self, gpu: int) -> Tuple[int, int, int]:
+        """Return ``(rack, node, local_gpu)`` for a global GPU index."""
+        if not 0 <= gpu < self.total_gpus:
+            raise ValueError(f"gpu index {gpu} out of range [0, {self.total_gpus})")
+        node = gpu // self.node.gpus
+        local = gpu % self.node.gpus
+        rack = node // self.fabric.nodes_per_rack
+        return rack, node, local
+
+    # ---- span / scope -----------------------------------------------------
+    def span(self, num_pes: int) -> str:
+        """Scope of a *packed* communicator of ``num_pes`` consecutive GPUs.
+
+        Packed placement (fill a node, then a rack) is how the paper's
+        experiments map ranks; hybrids explicitly place the model-parallel
+        dimension intra-node.
+        """
+        if not 1 <= num_pes <= self.total_gpus:
+            raise ValueError(
+                f"num_pes must be in [1, {self.total_gpus}], got {num_pes}"
+            )
+        if num_pes <= self.node.gpus:
+            return "intra-node"
+        nodes_needed = -(-num_pes // self.node.gpus)
+        if nodes_needed <= self.fabric.nodes_per_rack:
+            return "intra-rack"
+        return "inter-rack"
+
+    # ---- path / Hockney resolution -----------------------------------------
+    def path(self, gpu_a: int, gpu_b: int, transport: str = "nccl") -> List[LinkSpec]:
+        """Links traversed by a transfer between two GPUs.
+
+        ``transport='mpi'`` forces host staging (GPU->host->NIC) even when
+        GPUDirect hardware exists, replicating the paper's MPI-based halo
+        exchange path.
+        """
+        rack_a, node_a, _ = self.gpu_location(gpu_a)
+        rack_b, node_b, _ = self.gpu_location(gpu_b)
+        if node_a == node_b:
+            if gpu_a == gpu_b:
+                return []
+            if transport == "mpi":
+                # Staged through host memory: two PCIe hops.
+                return [self.node.host_link, self.node.host_link]
+            return [self.node.intra_link]
+        staged = transport == "mpi" or not self.gpudirect
+        hops = (
+            self.fabric.intra_rack_hops
+            if rack_a == rack_b
+            else self.fabric.inter_rack_hops
+        )
+        switch = LinkSpec(
+            "switch",
+            latency_s=self.fabric.switch_latency_s,
+            bandwidth_Bps=self.node.nic_link.bandwidth_Bps,
+        )
+        nic = self.node.nic_link
+        if rack_a != rack_b and self.fabric.inter_rack_oversubscription > 1:
+            nic = nic.scaled(1.0 / self.fabric.inter_rack_oversubscription)
+        links: List[LinkSpec] = []
+        if staged:
+            links.append(self.node.host_link)
+        links.append(nic)
+        links.extend([switch] * hops)
+        links.append(nic)
+        if staged:
+            links.append(self.node.host_link)
+        return links
+
+    def hockney(self, num_pes: int, transport: str = "nccl") -> HockneyParams:
+        """Effective (alpha, beta) for a packed communicator of ``num_pes``.
+
+        A ring over a hierarchical machine is limited by its slowest hop,
+        so the returned beta is the bottleneck over the widest span the
+        communicator crosses; alpha is the corresponding path latency.
+        """
+        scope = self.span(num_pes)
+        return self.hockney_for_scope(scope, transport=transport)
+
+    def hockney_for_scope(self, scope: str, transport: str = "nccl") -> HockneyParams:
+        """(alpha, beta) for an explicit scope name (see :data:`SCOPES`)."""
+        if scope not in SCOPES:
+            raise ValueError(f"unknown scope {scope!r}; expected one of {SCOPES}")
+        if scope == "intra-node":
+            sample = self.path(0, 1, transport) if self.node.gpus > 1 else []
+            if not sample:
+                return HockneyParams.from_link(self.node.intra_link)
+            return HockneyParams.from_path(sample)
+        if scope == "intra-rack":
+            a, b = 0, self.node.gpus  # first GPU of node 0 and node 1
+            if self.num_nodes < 2:
+                raise ValueError("cluster has a single node; no intra-rack scope")
+            return HockneyParams.from_path(self.path(a, b, transport))
+        # inter-rack
+        nodes_per_rack = self.fabric.nodes_per_rack
+        if self.num_nodes <= nodes_per_rack:
+            raise ValueError("cluster fits in one rack; no inter-rack scope")
+        a, b = 0, nodes_per_rack * self.node.gpus
+        return HockneyParams.from_path(self.path(a, b, transport))
+
+    # ---- memory -----------------------------------------------------------
+    def fits_memory(self, bytes_per_pe: float) -> bool:
+        return bytes_per_pe <= self.node.gpu_memory_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterSpec({self.num_nodes} nodes x {self.node.gpus} GPUs, "
+            f"{self.num_racks} racks)"
+        )
+
+
+def abci_like_cluster(num_gpus: int, gpus_per_node: int = 4) -> ClusterSpec:
+    """A cluster sized for ``num_gpus`` with the paper's node architecture."""
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    if num_gpus % gpus_per_node and num_gpus > gpus_per_node:
+        raise ValueError(
+            f"num_gpus={num_gpus} must be a multiple of gpus_per_node="
+            f"{gpus_per_node} (or fit in one node)"
+        )
+    node = NodeSpec(gpus=gpus_per_node)
+    num_nodes = max(1, num_gpus // gpus_per_node)
+    return ClusterSpec(num_nodes=num_nodes, node=node)

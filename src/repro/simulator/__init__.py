@@ -1,0 +1,30 @@
+"""Discrete-event training simulator — the reproduction's "measured" side.
+
+The paper validates ParaDL against empirical runs on a 1024-GPU V100
+machine.  We cannot run that machine, so this package provides its closest
+synthetic equivalent (see DESIGN.md): a V100-like roofline compute model,
+link-level collective schedules with self-contention, framework overheads
+the oracle deliberately ignores (split/concat, redundant tail compute,
+memory-manager stalls), and stochastic external congestion.  The gap
+between :mod:`repro.core.analytical` and this simulator plays the role of
+the paper's oracle-vs-measured accuracy.
+"""
+
+from .compute import GpuSpec, V100, GpuComputeModel
+from .engine import Event, SimEngine
+from .trace import Interval, Timeline, gpipe_timeline
+from .training import TrainingSimulator, MeasuredRun, SimulationOptions
+
+__all__ = [
+    "GpuSpec",
+    "V100",
+    "GpuComputeModel",
+    "Event",
+    "SimEngine",
+    "Interval",
+    "Timeline",
+    "gpipe_timeline",
+    "TrainingSimulator",
+    "MeasuredRun",
+    "SimulationOptions",
+]

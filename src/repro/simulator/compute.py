@@ -1,0 +1,254 @@
+"""V100-like roofline compute model: the stand-in for empirical profiling.
+
+ParaDL's computation parameters (``FW_l``, ``BW_l``, ``WU_l``) are measured,
+not derived — "processors rarely perform close to their peak performance"
+(Section 4.4).  This module produces those measurements synthetically: each
+layer's kernel time is the roofline maximum of its FLOP time and its memory
+traffic time, derated by an occupancy/efficiency curve that saturates with
+work size (small kernels underutilize a GPU — the same effect that makes
+the paper tune "optimal samples per GPU").
+
+The resulting :class:`~repro.core.profiles.ComputeProfile` is consumed by
+the oracle *and* the simulator, mirroring how the paper feeds one set of
+profiled numbers to both ParaDL and its comparison runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.graph import ModelGraph
+from ..core.layers import Layer
+from ..core.profiles import ComputeProfile, LayerTimes
+
+__all__ = ["GpuSpec", "V100", "GpuComputeModel", "OPTIMIZER_STATE_FACTORS"]
+
+#: Weight-update cost multipliers per optimizer: passes over the parameters
+#: (SGD reads grad + writes weight; momentum adds a state tensor; Adam keeps
+#: first and second moments -- "ADAM requires four variables per weight",
+#: Section 5.3.3).
+OPTIMIZER_STATE_FACTORS: Dict[str, float] = {
+    "sgd": 3.0,       # read w, read g, write w
+    "momentum": 5.0,  # + read/write velocity
+    "adam": 8.0,      # + read/write m and v, plus element-wise math
+}
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Peak characteristics of one accelerator."""
+
+    name: str
+    peak_flops: float
+    mem_bandwidth_Bps: float
+    kernel_launch_s: float = 6.0e-6
+    #: Fraction of peak a perfectly-sized dense kernel sustains (cuDNN
+    #: convolutions on V100 reach ~60-70% of peak fp32).
+    max_efficiency: float = 0.65
+    #: Work size (FLOPs) at which the size-dependent part of the
+    #: efficiency curve reaches half of its range.
+    efficiency_knee_flops: float = 5.0e7
+    #: Efficiency floor: even tiny kernels retain this fraction of
+    #: ``max_efficiency`` (latency-bound but never pathological).
+    efficiency_floor: float = 0.15
+    #: Optimizer (weight-update) kernels are unfused and strided; they
+    #: sustain only this fraction of peak memory bandwidth.
+    wu_bandwidth_fraction: float = 0.15
+    #: Host-side dispatch + launch cost per optimizer pass per tensor
+    #: (unfused framework optimizers launch several small kernels each).
+    wu_kernel_s: float = 1.0e-5
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth_Bps <= 0:
+            raise ValueError("peak_flops and mem_bandwidth must be > 0")
+        if not 0 < self.max_efficiency <= 1:
+            raise ValueError("max_efficiency must be in (0, 1]")
+
+
+#: NVIDIA Tesla V100 (16 GB): 15.7 TFLOP/s fp32, 900 GB/s HBM2.
+V100 = GpuSpec(
+    name="V100",
+    peak_flops=15.7e12,
+    mem_bandwidth_Bps=900e9,
+)
+
+
+class GpuComputeModel:
+    """Produces per-layer times for a model at a given per-PE batch size."""
+
+    def __init__(self, gpu: GpuSpec = V100, delta: int = 4,
+                 optimizer: str = "sgd") -> None:
+        if optimizer not in OPTIMIZER_STATE_FACTORS:
+            raise ValueError(
+                f"unknown optimizer {optimizer!r}; known: "
+                f"{sorted(OPTIMIZER_STATE_FACTORS)}"
+            )
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.gpu = gpu
+        self.delta = delta
+        self.optimizer = optimizer
+
+    # ---- efficiency ---------------------------------------------------------
+    def efficiency(self, work_flops: float) -> float:
+        """Occupancy-derated fraction of peak for a kernel of ``work_flops``.
+
+        A saturating curve ``max_eff * w / (w + knee)``: tiny kernels are
+        latency-bound, big ones approach ``max_efficiency``.
+        """
+        if work_flops <= 0:
+            return self.gpu.max_efficiency
+        knee = self.gpu.efficiency_knee_flops
+        floor = self.gpu.efficiency_floor
+        saturation = work_flops / (work_flops + knee)
+        return self.gpu.max_efficiency * (floor + (1.0 - floor) * saturation)
+
+    # ---- per-layer kernel times ---------------------------------------------
+    def kernel_time(self, flops: float, bytes_moved: float) -> float:
+        """Roofline time of one kernel invocation."""
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes must be >= 0")
+        eff = self.efficiency(flops)
+        t_compute = flops / (self.gpu.peak_flops * eff) if flops else 0.0
+        t_memory = bytes_moved / self.gpu.mem_bandwidth_Bps
+        return max(t_compute, t_memory) + self.gpu.kernel_launch_s
+
+    def _layer_bytes(self, layer: Layer, batch: int) -> float:
+        """Memory traffic of one forward kernel: read x and w, write y."""
+        return self.delta * (
+            batch * (layer.input.elements + layer.output.elements)
+            + layer.weight_elements
+        )
+
+    def forward_time(self, layer: Layer, batch: int) -> float:
+        """``FW_l`` for a micro-batch, in seconds (whole batch)."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        return self.kernel_time(
+            batch * layer.forward_flops(), self._layer_bytes(layer, batch)
+        )
+
+    def backward_time(self, layer: Layer, batch: int) -> float:
+        """``BW_l`` (data + weight gradients) for a micro-batch."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        t = self.kernel_time(
+            batch * layer.backward_data_flops(),
+            self._layer_bytes(layer, batch),
+        )
+        if layer.has_weights:
+            t += self.kernel_time(
+                batch * layer.backward_weight_flops(),
+                self._layer_bytes(layer, batch),
+            )
+        return t
+
+    def weight_update_time(self, layer: Layer) -> float:
+        """``WU_l`` per iteration.
+
+        Unfused framework optimizers stream the parameters and their state
+        tensors at a fraction of peak bandwidth and pay host dispatch per
+        pass (Section 5.3.3: WU reaches ~15% of compute for large models;
+        Adam's four state variables make it worse).
+        """
+        if not layer.has_weights and layer.bias_elements == 0:
+            return 0.0
+        passes = OPTIMIZER_STATE_FACTORS[self.optimizer]
+        nbytes = passes * layer.parameters * self.delta
+        bw = self.gpu.mem_bandwidth_Bps * self.gpu.wu_bandwidth_fraction
+        return nbytes / bw + passes * self.gpu.wu_kernel_s
+
+    # ---- partitioned kernels ---------------------------------------------------
+    def partitioned_bytes(
+        self,
+        layer: Layer,
+        batch: float,
+        in_div: float = 1.0,
+        out_div: float = 1.0,
+        spatial_div: float = 1.0,
+    ) -> float:
+        """Memory traffic of a decomposed kernel.
+
+        Filter parallelism keeps the full input but 1/p of output and
+        weights (``out_div=p``); channel parallelism splits input and
+        weights (``in_div=p``); spatial parallelism splits both activation
+        extents (``spatial_div=p``).
+        """
+        x = layer.input.elements / (in_div * spatial_div)
+        y = layer.output.elements / (out_div * spatial_div)
+        w = layer.weight_elements / (in_div * out_div)
+        return self.delta * (batch * (x + y) + w)
+
+    def partitioned_forward_time(
+        self,
+        layer: Layer,
+        batch: float,
+        in_div: float = 1.0,
+        out_div: float = 1.0,
+        spatial_div: float = 1.0,
+    ) -> float:
+        """Forward kernel time of a 1/p slice of the layer's work.
+
+        Unlike the ideal ``FW_l / p`` the oracle assumes, the roofline
+        re-evaluates efficiency at the *reduced* kernel size — this is
+        exactly the "implementation of convolution layers does not scale
+        well" effect of the paper's Figure 8.
+        """
+        div = in_div * out_div * spatial_div
+        flops = batch * layer.forward_flops() / div
+        nbytes = self.partitioned_bytes(layer, batch, in_div, out_div, spatial_div)
+        return self.kernel_time(flops, nbytes)
+
+    def partitioned_backward_time(
+        self,
+        layer: Layer,
+        batch: float,
+        in_div: float = 1.0,
+        out_div: float = 1.0,
+        spatial_div: float = 1.0,
+    ) -> float:
+        """Backward kernel time (data + weight gradients) of a 1/p slice."""
+        div = in_div * out_div * spatial_div
+        nbytes = self.partitioned_bytes(layer, batch, in_div, out_div, spatial_div)
+        t = self.kernel_time(batch * layer.backward_data_flops() / div, nbytes)
+        if layer.has_weights:
+            t += self.kernel_time(
+                batch * layer.backward_weight_flops() / div, nbytes
+            )
+        return t
+
+    def split_concat_time(self, layer: Layer, batch: float) -> float:
+        """Framework tensor split/concat around a layer-wise collective.
+
+        Two extra passes over the gathered activation (split before the
+        kernel, concatenate after the Allgather) — the "non-trivial"
+        overhead of Section 5.3.3 / Figure 8.
+        """
+        nbytes = 2 * batch * layer.output.elements * self.delta
+        return nbytes / self.gpu.mem_bandwidth_Bps + 2 * self.gpu.kernel_launch_s
+
+    # ---- profiles -------------------------------------------------------------
+    def profile(self, model: ModelGraph, batch: int) -> ComputeProfile:
+        """Profile ``model`` at per-PE batch ``batch``; returns per-sample
+        ``FW_l``/``BW_l`` and per-iteration ``WU_l`` — exactly the table
+        ParaDL's empirical parametrization step produces."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        times = {}
+        for layer in model:
+            times[layer.name] = LayerTimes(
+                forward=self.forward_time(layer, batch) / batch,
+                backward=self.backward_time(layer, batch) / batch,
+                weight_update=self.weight_update_time(layer),
+            )
+        return ComputeProfile(model.name, times)
+
+    def serial_epoch_time(self, model: ModelGraph, batch: int,
+                          dataset_size: int) -> float:
+        """Convenience: Eq. (3) evaluated with this device's profile."""
+        prof = self.profile(model, batch)
+        iters = max(1, dataset_size // batch)
+        return dataset_size * (prof.total_fw() + prof.total_bw()) + \
+            iters * prof.total_wu()

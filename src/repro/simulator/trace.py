@@ -1,0 +1,148 @@
+"""Schedule timelines: record and render simulated execution traces.
+
+The discrete-event simulator's value over closed forms is *schedules* —
+pipeline fill/drain bubbles, stage imbalance, overlap.  This module records
+per-resource intervals and renders them as a text Gantt chart, which the
+pipeline example and the workload-balancing diagnostics use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Interval", "Timeline", "gpipe_timeline"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One busy interval of a resource."""
+
+    resource: str
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("interval must not end before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """A collection of intervals grouped by resource."""
+
+    def __init__(self) -> None:
+        self._intervals: List[Interval] = []
+
+    def add(self, resource: str, start: float, end: float,
+            label: str = "") -> None:
+        self._intervals.append(Interval(resource, start, end, label))
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def intervals(self) -> List[Interval]:
+        return list(self._intervals)
+
+    @property
+    def makespan(self) -> float:
+        return max((iv.end for iv in self._intervals), default=0.0)
+
+    def resources(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for iv in self._intervals:
+            seen.setdefault(iv.resource, None)
+        return list(seen)
+
+    def busy_time(self, resource: str) -> float:
+        return sum(
+            iv.duration for iv in self._intervals if iv.resource == resource
+        )
+
+    def utilization(self, resource: str) -> float:
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(resource) / span)
+
+    def bubble_fraction(self) -> float:
+        """Mean idle fraction across resources — the pipeline 'bubble'."""
+        res = self.resources()
+        if not res:
+            return 0.0
+        return 1.0 - sum(self.utilization(r) for r in res) / len(res)
+
+    def render(self, width: int = 72) -> str:
+        """ASCII Gantt: one row per resource, time left-to-right."""
+        span = self.makespan
+        if span <= 0:
+            return "(empty timeline)"
+        rows = []
+        names = self.resources()
+        name_w = max(len(n) for n in names)
+        for name in names:
+            cells = [" "] * width
+            for iv in self._intervals:
+                if iv.resource != name:
+                    continue
+                lo = int(iv.start / span * (width - 1))
+                hi = max(lo + 1, int(iv.end / span * (width - 1)) + 1)
+                ch = iv.label[:1] if iv.label else "#"
+                for i in range(lo, min(hi, width)):
+                    cells[i] = ch
+            rows.append(f"{name.rjust(name_w)} |{''.join(cells)}|")
+        rows.append(
+            f"{' ' * name_w}  0{' ' * (width - len(f'{span:.3g}s') - 1)}"
+            f"{span:.3g}s"
+        )
+        return "\n".join(rows)
+
+
+def gpipe_timeline(
+    fw_g: Sequence[float],
+    bw_g: Sequence[float],
+    xfer: Sequence[float],
+    segments: int,
+) -> Timeline:
+    """Record the full GPipe schedule as a :class:`Timeline`.
+
+    Same dependency structure as the scheduler in
+    :mod:`repro.simulator.training`: stage ``i`` runs micro-batch ``s``
+    forward after stage ``i-1`` finished ``s`` (plus the link transfer),
+    and the backward sweep mirrors it once the forward flush completes.
+    Labels: digits = micro-batch ids (forward), letters = backward.
+    """
+    p = len(fw_g)
+    if p != len(bw_g) or len(xfer) != max(0, p - 1):
+        raise ValueError("inconsistent stage/transfer counts")
+    if segments < 1:
+        raise ValueError("segments must be >= 1")
+    tl = Timeline()
+    free = [0.0] * p
+
+    def sweep(times: Sequence[float], order: Sequence[int], start_at: float,
+              labeler) -> float:
+        ready: Dict[Tuple[int, int], float] = {}
+        for s in range(segments):
+            for idx, stage in enumerate(order):
+                dep = start_at if idx == 0 else ready[(order[idx - 1], s)]
+                start = max(dep, free[stage])
+                end = start + times[stage]
+                free[stage] = end
+                tl.add(f"stage{stage}", start, end, labeler(s))
+                if idx < len(order) - 1:
+                    link = min(stage, order[idx + 1])
+                    end += xfer[link]
+                ready[(stage, s)] = end
+        return max(ready[(order[-1], s)] for s in range(segments))
+
+    fw_end = sweep(fw_g, list(range(p)), 0.0,
+                   lambda s: str(s % 10))
+    sweep(bw_g, list(range(p - 1, -1, -1)), fw_end,
+          lambda s: chr(ord("a") + s % 26))
+    return tl

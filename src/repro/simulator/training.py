@@ -1,0 +1,552 @@
+"""The training simulator: "measured" runs for every parallel strategy.
+
+For each strategy this module assembles a per-iteration time from
+
+* decomposed roofline kernel times (:class:`GpuComputeModel`) — which lose
+  efficiency as kernels shrink, unlike the oracle's ideal ``FW_l / p``,
+* link-level collective schedules (:class:`CollectiveSimulator`) — which see
+  self-contention and optional external congestion,
+* framework overheads the oracle excludes: tensor split/concat around
+  layer-wise collectives, redundant tail computation after the spatial
+  aggregation point, memory-manager stalls near the GPU capacity limit, and
+  a fixed per-iteration bookkeeping cost,
+
+then draws ``iterations`` noisy samples (the paper averages 100 iterations,
+excluding the first).  The result is a :class:`MeasuredRun` whose phase
+breakdown is directly comparable to an oracle
+:class:`~repro.core.analytical.Projection`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.analytical import AnalyticalModel, PhaseBreakdown
+from ..core.graph import ModelGraph
+from ..core.strategies import (
+    ChannelParallel,
+    DataFilterParallel,
+    DataParallel,
+    DataSpatialParallel,
+    FilterParallel,
+    PipelineParallel,
+    Serial,
+    SpatialParallel,
+    Strategy,
+)
+from ..core.analytical import spatial_extent_of
+from ..core.tensors import halo_elements
+from ..network.congestion import CongestionModel
+from ..network.topology import ClusterSpec
+from .collectives_sim import CollectiveSimulator
+from .compute import GpuComputeModel, GpuSpec, V100
+from .engine import SimEngine
+
+__all__ = ["SimulationOptions", "MeasuredRun", "TrainingSimulator"]
+
+
+@dataclass
+class SimulationOptions:
+    """Knobs controlling simulation fidelity and stochasticity."""
+
+    iterations: int = 100
+    seed: int = 42
+    #: Relative sigma of per-iteration compute jitter (kernel scheduling,
+    #: clock variation).
+    compute_noise: float = 0.02
+    #: Relative sigma of per-iteration communication jitter.
+    comm_noise: float = 0.04
+    #: External congestion process; ``None`` reproduces the paper's
+    #: "best communication times" baseline.
+    congestion: Optional[CongestionModel] = None
+    optimizer: str = "sgd"
+    #: Transport of the spatial halo exchange ("mpi" matches the paper's
+    #: implementation; "nccl" models a GPUDirect fix).
+    halo_transport: str = "mpi"
+    #: Include framework split/concat overheads (filter/channel, Fig. 8).
+    split_concat: bool = True
+    #: Replicate non-spatial tail layers on every PE (spatial strategies).
+    redundant_tail: bool = True
+    #: Memory pressure beyond this fraction of capacity triggers
+    #: memory-manager stalls (Section 5.3.2: 1.5x degradation observed).
+    memory_stall_threshold: float = 0.85
+    memory_stall_factor: float = 1.5
+    #: Fixed per-iteration framework bookkeeping (optimizer hooks, python
+    #: dispatch, CUDA stream sync).
+    framework_overhead_s: float = 2.0e-4
+    delta: int = 4
+    gamma: float = 0.5
+
+
+@dataclass
+class MeasuredRun:
+    """Result of a simulated multi-iteration measurement."""
+
+    model_name: str
+    strategy: Strategy
+    batch: int
+    dataset_size: int
+    iteration_times: np.ndarray
+    breakdown: PhaseBreakdown
+    memory_bytes: float
+    memory_capacity: float
+    comm_samples: Dict[str, np.ndarray] = field(default_factory=dict)
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def p(self) -> int:
+        return self.strategy.p
+
+    @property
+    def iterations_per_epoch(self) -> int:
+        return max(1, self.dataset_size // self.batch)
+
+    @property
+    def mean_iteration(self) -> float:
+        return float(np.mean(self.iteration_times))
+
+    @property
+    def per_epoch(self) -> PhaseBreakdown:
+        return self.breakdown.scaled(self.iterations_per_epoch)
+
+    @property
+    def epoch_time(self) -> float:
+        return self.mean_iteration * self.iterations_per_epoch
+
+    @property
+    def oom(self) -> bool:
+        return self.memory_bytes > self.memory_capacity
+
+    @property
+    def memory_pressure(self) -> float:
+        return self.memory_bytes / self.memory_capacity
+
+
+class TrainingSimulator:
+    """Simulates distributed CNN training on a cluster."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        cluster: ClusterSpec,
+        gpu: GpuSpec = V100,
+        options: Optional[SimulationOptions] = None,
+    ) -> None:
+        self.model = model
+        self.cluster = cluster
+        self.options = options or SimulationOptions()
+        self.compute = GpuComputeModel(
+            gpu, delta=self.options.delta, optimizer=self.options.optimizer
+        )
+        # Collective baselines are computed congestion-free; the external
+        # congestion process is applied per-iteration at sampling time
+        # (see _sample) so each of the `iterations` measurements draws its
+        # own slowdown, as in the paper's Figure 6 scatter.
+        self.collsim = CollectiveSimulator(cluster, congestion=None)
+        self._rng = np.random.default_rng(self.options.seed)
+
+    # ------------------------------------------------------------------ api
+    def run(self, strategy: Strategy, batch: int, dataset_size: int) -> MeasuredRun:
+        """Simulate ``options.iterations`` training iterations."""
+        if batch < 1 or dataset_size < batch:
+            raise ValueError("need dataset_size >= batch >= 1")
+        strategy.check(self.model, batch)
+        if self.options.congestion is not None:
+            self.options.congestion.reset()
+        handler = {
+            "serial": self._serial,
+            "d": self._data,
+            "z": self._sharded_data,
+            "s": self._spatial,
+            "p": self._pipeline,
+            "f": self._filter,
+            "c": self._channel,
+            "df": self._data_filter,
+            "ds": self._data_spatial,
+        }[strategy.id]
+        base, notes = handler(strategy, batch)
+        memory = self._memory(strategy, batch, dataset_size)
+        return self._sample(strategy, batch, dataset_size, base, memory, notes)
+
+    # -------------------------------------------------------------- sampling
+    def _sample(
+        self,
+        strategy: Strategy,
+        batch: int,
+        dataset_size: int,
+        base: PhaseBreakdown,
+        memory: float,
+        notes: List[str],
+    ) -> MeasuredRun:
+        opts = self.options
+        n = opts.iterations
+        stall = 1.0
+        pressure = memory / self.cluster.gpu_memory_bytes
+        if pressure > opts.memory_stall_threshold:
+            stall = opts.memory_stall_factor
+            notes.append(
+                f"memory stalls: pressure {pressure:.0%} > "
+                f"{opts.memory_stall_threshold:.0%} -> compute x{stall}"
+            )
+        comp_base = base.computation * stall + opts.framework_overhead_s
+        comp = comp_base * np.clip(
+            self._rng.normal(1.0, opts.compute_noise, size=n), 0.85, None
+        )
+        comm_samples: Dict[str, np.ndarray] = {}
+        comm_total = np.zeros(n)
+        spans_nodes = strategy.p > self.cluster.node.gpus
+        span_fraction = min(
+            1.0,
+            max(1, strategy.p // self.cluster.node.gpus) / self.cluster.num_nodes,
+        )
+        for key, value in base.asdict().items():
+            if not key.startswith("comm_") or value <= 0:
+                continue
+            jitter = np.clip(
+                self._rng.normal(1.0, opts.comm_noise, size=n), 0.85, None
+            )
+            series = value * jitter
+            if opts.congestion is not None and spans_nodes:
+                series = series * opts.congestion.sample_many(n, span_fraction)
+            comm_samples[key] = series
+            comm_total = comm_total + series
+        iteration_times = comp + comm_total
+        # Mean breakdown: scale base compute phases by the realized mean
+        # (stall + noise + framework overhead folded into comp_fw).
+        comp_scale = float(np.mean(comp)) / comp_base if comp_base > 0 else 1.0
+        overhead = opts.framework_overhead_s * comp_scale
+        mean_breakdown = PhaseBreakdown(
+            comp_fw=base.comp_fw * stall * comp_scale + overhead,
+            comp_bw=base.comp_bw * stall * comp_scale,
+            comp_wu=base.comp_wu * stall * comp_scale,
+            comm_ge=float(np.mean(comm_samples.get("comm_ge", np.zeros(1)))),
+            comm_fb=float(np.mean(comm_samples.get("comm_fb", np.zeros(1)))),
+            comm_halo=float(np.mean(comm_samples.get("comm_halo", np.zeros(1)))),
+            comm_p2p=float(np.mean(comm_samples.get("comm_p2p", np.zeros(1)))),
+        )
+        return MeasuredRun(
+            model_name=self.model.name,
+            strategy=strategy,
+            batch=batch,
+            dataset_size=dataset_size,
+            iteration_times=iteration_times,
+            breakdown=mean_breakdown,
+            memory_bytes=memory,
+            memory_capacity=self.cluster.gpu_memory_bytes,
+            comm_samples=comm_samples,
+            notes=tuple(notes),
+        )
+
+    def _memory(self, strategy: Strategy, batch: int, dataset_size: int) -> float:
+        """Structural per-PE memory via the analytical formulas (Table 3)."""
+        profile = self.compute.profile(self.model, max(1, batch // strategy.p))
+        analytical = AnalyticalModel(
+            self.model,
+            self.cluster,
+            profile,
+            delta=self.options.delta,
+            gamma=self.options.gamma,
+            halo_transport=self.options.halo_transport,
+        )
+        return analytical.project(strategy, batch, dataset_size).memory_bytes
+
+    # ------------------------------------------------------------ placement
+    def _gpus(self, p: int) -> List[int]:
+        return list(range(p))
+
+    # ------------------------------------------------------------ strategies
+    def _serial(self, strategy: Serial, B: int):
+        fw = sum(self.compute.forward_time(l, B) for l in self.model)
+        bw = sum(self.compute.backward_time(l, B) for l in self.model)
+        wu = sum(self.compute.weight_update_time(l) for l in self.model)
+        return PhaseBreakdown(comp_fw=fw, comp_bw=bw, comp_wu=wu), []
+
+    def _data(self, strategy: DataParallel, B: int):
+        p = strategy.p
+        micro = max(1, B // p)
+        fw = sum(self.compute.forward_time(l, micro) for l in self.model)
+        bw = sum(self.compute.backward_time(l, micro) for l in self.model)
+        wu = sum(self.compute.weight_update_time(l) for l in self.model)
+        wbytes = self.model.weight_elements * self.options.delta
+        ge = self.collsim.ring_allreduce(self._gpus(p), wbytes)
+        return PhaseBreakdown(comp_fw=fw, comp_bw=bw, comp_wu=wu, comm_ge=ge), []
+
+    def _sharded_data(self, strategy, B: int):
+        """ZeRO-style sharded data parallelism (Section 5.3.2)."""
+        p = strategy.p
+        micro = max(1, B // p)
+        fw = sum(self.compute.forward_time(l, micro) for l in self.model)
+        bw = sum(self.compute.backward_time(l, micro) for l in self.model)
+        wu = sum(self.compute.weight_update_time(l) for l in self.model) / p
+        gpus = self._gpus(p)
+        wbytes = self.model.weight_elements * self.options.delta
+        # ReduceScatter ~ half an Allreduce, plus two weight Allgathers.
+        ge = (
+            self.collsim.ring_allreduce(gpus, wbytes) / 2
+            + 2 * self.collsim.ring_allgather(gpus, wbytes / p)
+        )
+        notes = ["ZeRO-style sharding: weights gathered fwd+bwd"]
+        return PhaseBreakdown(
+            comp_fw=fw, comp_bw=bw, comp_wu=wu, comm_ge=ge
+        ), notes
+
+    # -- spatial helpers -----------------------------------------------------
+    def _spatial_compute(
+        self, grid: Tuple[int, ...], group_batch: int
+    ) -> Tuple[float, float, List]:
+        """(fw, bw) seconds with leading layers spatially split and —
+        matching the implementation — the tail replicated on every PE."""
+        split = spatial_extent_of(self.model, grid)
+        split_names = {l.name for l in split}
+        p2 = 1
+        for g in grid:
+            p2 *= g
+        fw = bw = 0.0
+        for l in self.model:
+            if l.name in split_names:
+                fw += self.compute.partitioned_forward_time(
+                    l, group_batch, spatial_div=p2
+                )
+                bw += self.compute.partitioned_backward_time(
+                    l, group_batch, spatial_div=p2
+                )
+            elif self.options.redundant_tail:
+                fw += self.compute.forward_time(l, group_batch)
+                bw += self.compute.backward_time(l, group_batch)
+            else:
+                fw += self.compute.forward_time(l, group_batch) / p2
+                bw += self.compute.backward_time(l, group_batch) / p2
+        return fw, bw, split
+
+    def _halo_time(
+        self,
+        grid: Tuple[int, ...],
+        group_batch: int,
+        gpus: Sequence[int],
+        split_layers,
+    ) -> float:
+        total = 0.0
+        for l in split_layers:
+            if not l.kernel or max(l.kernel, default=1) <= 1:
+                continue
+            hx = halo_elements(l.input, grid, l.kernel)
+            hy = halo_elements(l.output, grid, l.kernel)
+            for h in (hx, hy):
+                if h:
+                    total += self.collsim.halo_exchange(
+                        gpus,
+                        group_batch * h * self.options.delta,
+                        transport=self.options.halo_transport,
+                    )
+        return total
+
+    def _spatial(self, strategy: SpatialParallel, B: int):
+        p = strategy.p
+        gpus = self._gpus(p)
+        fw, bw, split = self._spatial_compute(strategy.grid, B)
+        wu = sum(self.compute.weight_update_time(l) for l in self.model)
+        halo = self._halo_time(strategy.grid, B, gpus, split)
+        # Aggregation Allgather before the tail (Section 4.5.1).
+        boundary = split[-1]
+        agg = self.collsim.ring_allgather(
+            gpus, B * boundary.output.elements * self.options.delta / p
+        )
+        wbytes = self.model.weight_elements * self.options.delta
+        ge = self.collsim.ring_allreduce(gpus, wbytes)
+        notes = [f"spatial split through {boundary.name}"]
+        return (
+            PhaseBreakdown(
+                comp_fw=fw, comp_bw=bw, comp_wu=wu,
+                comm_ge=ge, comm_halo=halo, comm_fb=agg,
+            ),
+            notes,
+        )
+
+    # -- pipeline -------------------------------------------------------------
+    def _pipeline(self, strategy: PipelineParallel, B: int):
+        p, S = strategy.stages, strategy.segments
+        groups = self.model.partition_depth(p)
+        micro = max(1, B // S)
+        fw_g = [
+            sum(self.compute.forward_time(l, micro) for l in g) for g in groups
+        ]
+        bw_g = [
+            sum(self.compute.backward_time(l, micro) for l in g) for g in groups
+        ]
+        wu_g = [sum(self.compute.weight_update_time(l) for l in g) for g in groups]
+        xfer = []
+        for i in range(p - 1):
+            nbytes = micro * groups[i][-1].output.elements * self.options.delta
+            xfer.append(self.collsim.p2p(i, i + 1, nbytes))
+        total_fw, total_bw, comm = _gpipe_schedule(fw_g, bw_g, xfer, S)
+        comp = PhaseBreakdown(
+            comp_fw=total_fw,
+            comp_bw=total_bw,
+            comp_wu=max(wu_g),
+            comm_p2p=comm,
+        )
+        notes = [f"GPipe schedule: {p} stages x {S} micro-batches"]
+        return comp, notes
+
+    # -- filter / channel -------------------------------------------------------
+    def _layerwise_compute(self, B: int, p: int, mode: str):
+        """Compute time under filter ('f') or channel ('c') decomposition."""
+        fw = bw = extra = 0.0
+        for l in self.model:
+            if l.has_weights and (
+                (mode == "f" and l.out_channels >= p)
+                or (mode == "c" and l.in_channels >= p)
+            ):
+                kw = {"out_div": p} if mode == "f" else {"in_div": p}
+                fw += self.compute.partitioned_forward_time(l, B, **kw)
+                bw += self.compute.partitioned_backward_time(l, B, **kw)
+                if self.options.split_concat:
+                    extra += self.compute.split_concat_time(l, B)
+            else:
+                # Channel-wise/element-wise layers run on the gathered
+                # activations — replicated work (Section 4.5.2's
+                # "distributed approach" for BN).
+                fw += self.compute.forward_time(l, B)
+                bw += self.compute.backward_time(l, B)
+        return fw, bw, extra
+
+    def _filter_channel(self, p: int, B: int, mode: str):
+        gpus = self._gpus(p)
+        fw, bw, extra = self._layerwise_compute(B, p, mode)
+        wu = sum(self.compute.weight_update_time(l) for l in self.model) / p
+        comm = 0.0
+        layers = self.model.weighted_layers
+        for l in layers[:-1]:
+            act_bytes = B * l.output.elements * self.options.delta
+            # Forward share + backward share (Allgather + Allreduce or the
+            # mirrored pair for channel — same ring volume either way).
+            comm += self.collsim.ring_allgather(gpus, act_bytes / p)
+            comm += self.collsim.ring_allreduce(gpus, act_bytes)
+        breakdown = PhaseBreakdown(
+            comp_fw=fw + extra, comp_bw=bw, comp_wu=wu, comm_fb=comm
+        )
+        notes = []
+        if extra > 0:
+            notes.append(f"split/concat overhead {extra * 1e3:.2f} ms/iter")
+        return breakdown, notes
+
+    def _filter(self, strategy: FilterParallel, B: int):
+        return self._filter_channel(strategy.p, B, "f")
+
+    def _channel(self, strategy: ChannelParallel, B: int):
+        return self._filter_channel(strategy.p, B, "c")
+
+    # -- hybrids ---------------------------------------------------------------
+    def _data_filter(self, strategy: DataFilterParallel, B: int):
+        p1, p2 = strategy.p1, strategy.p2
+        group_batch = max(1, B // p1)
+        fw, bw, extra = self._layerwise_compute(group_batch, p2, "f")
+        wu = sum(self.compute.weight_update_time(l) for l in self.model) / p2
+        # Intra-group (intra-node) layer-wise collectives.
+        group0 = list(range(p2))
+        comm_fb = 0.0
+        layers = self.model.weighted_layers
+        for l in layers[:-1]:
+            act_bytes = group_batch * l.output.elements * self.options.delta
+            comm_fb += self.collsim.ring_allgather(group0, act_bytes / p2)
+            comm_fb += self.collsim.ring_allreduce(group0, act_bytes)
+        # Segmented Allreduce: p2 concurrent rings, one per filter shard,
+        # each over the p1 groups -> NIC contention emerges naturally.
+        shard_bytes = self.model.weight_elements * self.options.delta / p2
+        rings = [
+            [j * p2 + i for j in range(p1)] for i in range(p2)
+        ]
+        comm_ge = self.collsim.concurrent_allreduces(rings, shard_bytes)
+        breakdown = PhaseBreakdown(
+            comp_fw=fw + extra, comp_bw=bw, comp_wu=wu,
+            comm_fb=comm_fb, comm_ge=comm_ge,
+        )
+        notes = [f"segmented Allreduce over {p2} concurrent rings"]
+        return breakdown, notes
+
+    def _data_spatial(self, strategy: DataSpatialParallel, B: int):
+        p1, p2 = strategy.p1, strategy.p2
+        group_batch = max(1, B // p1)
+        group0 = list(range(p2))
+        fw, bw, split = self._spatial_compute(strategy.grid, group_batch)
+        wu = sum(self.compute.weight_update_time(l) for l in self.model)
+        halo = self._halo_time(strategy.grid, group_batch, group0, split)
+        boundary = split[-1]
+        agg = self.collsim.ring_allgather(
+            group0,
+            group_batch * boundary.output.elements * self.options.delta / p2,
+        )
+        # Hierarchical GE: intra-node reduce to the leader, Allreduce
+        # between the p1 leaders, broadcast back (Section 4.5.1).
+        wbytes = self.model.weight_elements * self.options.delta
+        leaders = [j * p2 for j in range(p1)]
+        ge = (
+            self.collsim.reduce_to_root(group0, wbytes)
+            + self.collsim.ring_allreduce(leaders, wbytes)
+            + self.collsim.broadcast(group0, wbytes)
+        )
+        breakdown = PhaseBreakdown(
+            comp_fw=fw, comp_bw=bw, comp_wu=wu,
+            comm_halo=halo, comm_fb=agg, comm_ge=ge,
+        )
+        notes = [f"hierarchical allreduce: {p1} leaders"]
+        return breakdown, notes
+
+
+def _gpipe_schedule(
+    fw_g: Sequence[float],
+    bw_g: Sequence[float],
+    xfer: Sequence[float],
+    segments: int,
+) -> Tuple[float, float, float]:
+    """Event-driven GPipe schedule; returns (fw_time, bw_time, comm_time).
+
+    Stage ``i`` may run micro-batch ``s`` forward once stage ``i-1``
+    finished ``s`` and the stage's previous micro-batch is done; the
+    backward pass mirrors it in reverse.  Uses :class:`SimEngine` with one
+    resource per stage and per inter-stage link.
+    """
+    p = len(fw_g)
+    if p == 1:
+        total_fw = segments * fw_g[0]
+        total_bw = segments * bw_g[0]
+        return total_fw, total_bw, 0.0
+
+    engine = SimEngine()
+    stages = [engine.resource(f"stage{i}") for i in range(p)]
+    links = [engine.resource(f"link{i}") for i in range(p - 1)]
+
+    def phase(times: Sequence[float], order: Sequence[int], start_at: float) -> Tuple[float, float]:
+        """Run one directional sweep; returns (finish_time, comm_time)."""
+        ready: Dict[Tuple[int, int], float] = {}
+        comm_acc = 0.0
+        for s in range(segments):
+            for idx, stage in enumerate(order):
+                dep = start_at if idx == 0 else ready[(order[idx - 1], s)]
+                res = stages[stage]
+                start = max(dep, res.free_at)
+                finish = res.acquire(start, times[stage])
+                # Inter-stage transfer rides the link after compute.
+                if idx < len(order) - 1:
+                    link = links[min(stage, order[idx + 1])]
+                    t_x = xfer[min(stage, order[idx + 1])]
+                    finish = link.acquire(finish, t_x)
+                    comm_acc += t_x
+                ready[(stage, s)] = finish
+        finish_time = max(ready[(order[-1], s)] for s in range(segments))
+        return finish_time, comm_acc
+
+    fw_finish, fw_comm = phase(fw_g, list(range(p)), 0.0)
+    bw_finish, bw_comm = phase(bw_g, list(range(p - 1, -1, -1)), fw_finish)
+    comm = fw_comm + bw_comm
+    # The makespan is fw_finish + backward sweep; report compute with the
+    # transfer time factored out so breakdown totals equal the makespan
+    # (the paper reports totals for pipeline since torchgpipe overlaps
+    # phases — the split here is attribution, not schedule).
+    fw_time = max(0.0, fw_finish - fw_comm)
+    bw_time = max(0.0, (bw_finish - fw_finish) - bw_comm)
+    return fw_time, bw_time, comm

@@ -1,0 +1,63 @@
+"""NumPy execution substrate: real parallel decompositions of CNN training.
+
+The paper validates its strategy implementations by comparing the output
+activations and gradients of each layer, value by value, against the
+sequential implementation (Section 4.5.2).  This package reproduces that
+methodology from scratch: dimension-agnostic NumPy forward/backward layer
+kernels, an in-process rank-indexed communicator with MPI-style collectives,
+and one executor per parallel strategy (data, spatial with halo exchange,
+filter, channel, GPipe pipeline, and data+filter hybrid).
+"""
+
+from .comm import LocalComm
+from .ops import (
+    ConvOp,
+    FCOp,
+    MaxPoolOp,
+    AvgPoolOp,
+    ReLUOp,
+    FlattenOp,
+    BatchNormOp,
+    build_ops,
+    init_params,
+)
+from .sequential import SequentialExecutor
+from .dataparallel import DataParallelExecutor
+from .sharded import ShardedDataParallelExecutor
+from .spatial import SpatialParallelExecutor
+from .filterparallel import FilterParallelExecutor
+from .channelparallel import ChannelParallelExecutor
+from .pipeline import PipelineExecutor
+from .hybrid import DataFilterExecutor
+from .trainer import SGDTrainer, mse_loss
+from .validate import (
+    compare_activations,
+    compare_gradients,
+    validate_strategy,
+)
+
+__all__ = [
+    "LocalComm",
+    "ConvOp",
+    "FCOp",
+    "MaxPoolOp",
+    "AvgPoolOp",
+    "ReLUOp",
+    "FlattenOp",
+    "BatchNormOp",
+    "build_ops",
+    "init_params",
+    "SequentialExecutor",
+    "DataParallelExecutor",
+    "ShardedDataParallelExecutor",
+    "SpatialParallelExecutor",
+    "FilterParallelExecutor",
+    "ChannelParallelExecutor",
+    "PipelineExecutor",
+    "DataFilterExecutor",
+    "SGDTrainer",
+    "mse_loss",
+    "compare_activations",
+    "compare_gradients",
+    "validate_strategy",
+]

@@ -1,0 +1,158 @@
+"""Channel-parallel executor: split every weighted layer's input channels.
+
+Implements Section 3.3 (channel variant): rank ``i`` keeps the weight slice
+``w[C/p, F]`` and the matching input-channel slice, computes a *partial*
+full-width output (every output channel, missing the other ranks' channel
+contributions), and the ranks **Allreduce** the partial outputs in the
+forward pass.  The backward pass produces local input-gradient slices that
+are **Allgathered** for the preceding layer — the mirror image of filter
+parallelism, as the paper notes.
+
+The first layer is replicated when its input channels don't divide ``p``
+(e.g. 3-channel ImageNet input — the paper starts channel parallelism at
+the second layer for exactly this reason).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import layers as L
+from ..core.graph import ModelGraph
+from .comm import LocalComm
+from .ops import ConvOp, FCOp, Op, build_ops, init_params
+
+__all__ = ["ChannelParallelExecutor"]
+
+
+class ChannelParallelExecutor:
+    """Input-channel model parallelism over ``p`` ranks."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        p: int,
+        params: Optional[Dict] = None,
+        seed: int = 0,
+    ) -> None:
+        for layer in model:
+            if layer.parent is not None or getattr(layer, "skip_of", None):
+                raise ValueError("channel executor supports chain models only")
+        self.model = model
+        self.comm = LocalComm(p)
+        self.params = params if params is not None else init_params(model, seed)
+        self.split_names = [
+            l.name
+            for l in model
+            if isinstance(l, L.Conv)
+            and l.in_channels % p == 0
+            and l.in_channels >= p
+        ]
+        self.rank_ops: List[Dict[str, Op]] = [
+            self._build_rank_ops(r) for r in range(p)
+        ]
+        self.activations: List[Dict[str, np.ndarray]] = []
+
+    def _build_rank_ops(self, rank: int) -> Dict[str, Op]:
+        ops = build_ops(self.model, self.params)
+        for name in self.split_names:
+            layer = self.model[name]
+            op = ops[name]
+            assert isinstance(op, ConvOp)
+            c = layer.in_channels
+            share = c // self.p
+            lo, hi = rank * share, (rank + 1) * share
+            op.w = op.w[:, lo:hi].copy()
+            op.dw = np.zeros_like(op.w)
+            # The bias belongs to rank 0 alone so the forward Allreduce
+            # does not multiply it by p — other ranks carry none (not even
+            # a zero buffer, which would silently accumulate gradient and
+            # drift during weight updates).
+            if op.b is not None and rank != 0:
+                op.b = None
+                op.db = None
+        return ops
+
+    @property
+    def p(self) -> int:
+        return self.comm.size
+
+    # ---- forward ------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        current = self.comm.broadcast(x)
+        acts: List[Dict[str, np.ndarray]] = [dict() for _ in range(self.p)]
+        for layer in self.model:
+            name = layer.name
+            ops = [self.rank_ops[r][name] for r in range(self.p)]
+            if name in self.split_names:
+                share = layer.in_channels // self.p
+                partial = []
+                for r, (op, cur) in enumerate(zip(ops, current)):
+                    x_slice = cur[:, r * share:(r + 1) * share]
+                    partial.append(op.forward(x_slice))
+                current = self.comm.allreduce(partial)
+            else:
+                current = [op.forward(cur) for op, cur in zip(ops, current)]
+            for r in range(self.p):
+                acts[r][name] = current[r]
+        self.activations = acts
+        return current[0]
+
+    # ---- backward -----------------------------------------------------------
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if not self.activations:
+            raise RuntimeError("backward before forward")
+        current = [np.array(dy, copy=True) for _ in range(self.p)]
+        for layer in reversed(self.model.layers):
+            name = layer.name
+            ops = [self.rank_ops[r][name] for r in range(self.p)]
+            if name in self.split_names:
+                # dL/dy is full on every rank; each produces the gradient of
+                # its *own channel slice* of x, then the slices are
+                # Allgathered for the preceding layer.
+                partial = [op.backward(cur) for op, cur in zip(ops, current)]
+                current = self.comm.allgather(partial, axis=1)
+            else:
+                current = [op.backward(cur) for op, cur in zip(ops, current)]
+        return current[0]
+
+    # ---- inspection ------------------------------------------------------------
+    def gradients(self) -> Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Full (dw, db) reassembled from channel shards (validation aid)."""
+        out: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+        for name, op0 in self.rank_ops[0].items():
+            if getattr(op0, "dw", None) is None:
+                continue
+            if name in self.split_names:
+                dw = np.concatenate(
+                    [self.rank_ops[r][name].dw for r in range(self.p)], axis=1
+                )
+                db = op0.db  # rank 0 owns the bias
+            else:
+                dw = op0.dw
+                db = getattr(op0, "db", None)
+            out[name] = (dw, db)
+        return out
+
+    def gathered_activation(self, name: str) -> np.ndarray:
+        return self.activations[0][name]
+
+    # ---- weight update ------------------------------------------------------
+    def sgd_step(self, lr: float, batch: int) -> None:
+        """WU phase: local shard updates; no gradient exchange."""
+        for r in range(self.p):
+            for op in self.rank_ops[r].values():
+                if getattr(op, "w", None) is not None and getattr(op, "dw", None) is not None:
+                    op.w -= lr * op.dw / batch
+                if getattr(op, "b", None) is not None and getattr(op, "db", None) is not None:
+                    op.b -= lr * op.db / batch
+
+    def zero_grad(self) -> None:
+        for r in range(self.p):
+            for op in self.rank_ops[r].values():
+                if getattr(op, "dw", None) is not None:
+                    op.dw[...] = 0.0
+                if getattr(op, "db", None) is not None:
+                    op.db[...] = 0.0

@@ -1,0 +1,199 @@
+"""In-process communicator: MPI-style collectives over per-rank arrays.
+
+The execution substrate is SPMD: every "rank" owns NumPy arrays, and the
+communicator transforms the list of per-rank arrays the way the matching
+MPI/NCCL collective would.  This keeps the decomposition logic (the thing
+the paper validates) bit-exact and deterministic while staying in one
+process.  Operation volumes are also tallied so tests can assert that a
+strategy performs exactly the communication pattern Table 3 prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LocalComm", "CommStats"]
+
+
+@dataclass
+class CommStats:
+    """Tally of collective invocations and byte volumes."""
+
+    calls: Dict[str, int] = field(default_factory=dict)
+    bytes: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, nbytes: int) -> None:
+        self.calls[op] = self.calls.get(op, 0) + 1
+        self.bytes[op] = self.bytes.get(op, 0) + int(nbytes)
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+
+class LocalComm:
+    """A communicator over ``size`` in-process ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self.stats = CommStats()
+
+    # ---- checks -----------------------------------------------------------
+    def _check(self, arrays: Sequence[np.ndarray]) -> None:
+        if len(arrays) != self.size:
+            raise ValueError(
+                f"expected {self.size} per-rank arrays, got {len(arrays)}"
+            )
+
+    # ---- collectives -----------------------------------------------------------
+    def allreduce(self, arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Sum-Allreduce: every rank receives the elementwise sum."""
+        self._check(arrays)
+        total = np.sum(np.stack([np.asarray(a) for a in arrays]), axis=0)
+        self.stats.record("allreduce", total.nbytes * self.size)
+        return [total.copy() for _ in range(self.size)]
+
+    def allgather(
+        self, arrays: Sequence[np.ndarray], axis: int
+    ) -> List[np.ndarray]:
+        """Concatenate per-rank shards along ``axis``; all ranks get the
+        full tensor (the filter-parallel forward exchange)."""
+        self._check(arrays)
+        full = np.concatenate([np.asarray(a) for a in arrays], axis=axis)
+        self.stats.record("allgather", full.nbytes * self.size)
+        return [full.copy() for _ in range(self.size)]
+
+    def reduce_scatter(
+        self, arrays: Sequence[np.ndarray], axis: int
+    ) -> List[np.ndarray]:
+        """Sum then split along ``axis``: rank ``i`` gets the i-th shard
+        (the cheaper alternative to the backward Allreduce, footnote 2)."""
+        self._check(arrays)
+        total = np.sum(np.stack([np.asarray(a) for a in arrays]), axis=0)
+        shards = np.array_split(total, self.size, axis=axis)
+        self.stats.record("reduce_scatter", total.nbytes)
+        return [s.copy() for s in shards]
+
+    def broadcast(self, array: np.ndarray) -> List[np.ndarray]:
+        self.stats.record("broadcast", np.asarray(array).nbytes * self.size)
+        return [np.array(array, copy=True) for _ in range(self.size)]
+
+    def scatter(
+        self, array: np.ndarray, axis: int
+    ) -> List[np.ndarray]:
+        """Split ``array`` into ``size`` equal shards along ``axis``."""
+        if array.shape[axis] % self.size:
+            raise ValueError(
+                f"axis {axis} extent {array.shape[axis]} not divisible by "
+                f"{self.size}"
+            )
+        shards = np.split(array, self.size, axis=axis)
+        self.stats.record("scatter", array.nbytes)
+        return [s.copy() for s in shards]
+
+    def gather(
+        self, arrays: Sequence[np.ndarray], axis: int
+    ) -> np.ndarray:
+        self._check(arrays)
+        full = np.concatenate([np.asarray(a) for a in arrays], axis=axis)
+        self.stats.record("gather", full.nbytes)
+        return full
+
+    # ---- halo exchange ---------------------------------------------------------
+    def halo_exchange(
+        self,
+        shards: Sequence[np.ndarray],
+        axis: int,
+        width: int,
+    ) -> List[np.ndarray]:
+        """Exchange boundary slabs between spatially-adjacent ranks.
+
+        Rank ``i`` holds a contiguous slab of the global tensor along
+        ``axis``.  Each rank receives ``width`` planes from each existing
+        neighbour and returns its slab extended with those ghost regions
+        (interior ranks grow by ``2*width``; border ranks by ``width``).
+        ``width == 0`` returns the shards unchanged.
+        """
+        self._check(shards)
+        if width < 0:
+            raise ValueError("halo width must be >= 0")
+        if width == 0 or self.size == 1:
+            return [np.asarray(s) for s in shards]
+        out: List[np.ndarray] = []
+        moved = 0
+        for i, shard in enumerate(shards):
+            pieces = []
+            if i > 0:
+                left = shards[i - 1]
+                idx = [slice(None)] * left.ndim
+                idx[axis] = slice(left.shape[axis] - width, left.shape[axis])
+                pieces.append(left[tuple(idx)])
+                moved += pieces[-1].nbytes
+            pieces.append(np.asarray(shard))
+            if i < self.size - 1:
+                right = shards[i + 1]
+                idx = [slice(None)] * right.ndim
+                idx[axis] = slice(0, width)
+                pieces.append(right[tuple(idx)])
+                moved += pieces[-1].nbytes
+            out.append(np.concatenate(pieces, axis=axis))
+        self.stats.record("halo", moved)
+        return out
+
+    def halo_reduce(
+        self,
+        extended: Sequence[np.ndarray],
+        axis: int,
+        width: int,
+    ) -> List[np.ndarray]:
+        """Reverse halo exchange for the backward pass.
+
+        ``extended[i]`` is rank i's gradient over its halo-extended slab
+        (every rank extended by ``width`` on both sides — border ranks'
+        outer region corresponds to global padding and is discarded).  The
+        ghost-region gradients are returned to their owners and *added* to
+        the owners' borders; the trimmed, reduced local slabs are returned.
+        """
+        self._check(extended)
+        if width < 0:
+            raise ValueError("halo width must be >= 0")
+        if width == 0 or self.size == 1:
+            return [np.asarray(e) for e in extended]
+        trimmed: List[np.ndarray] = []
+        moved = 0
+        for e in extended:
+            idx = [slice(None)] * e.ndim
+            idx[axis] = slice(width, e.shape[axis] - width)
+            trimmed.append(np.array(e[tuple(idx)], copy=True))
+        for i, e in enumerate(extended):
+            if i > 0:
+                # Rank i's left ghost belongs to rank i-1's right border.
+                idx = [slice(None)] * e.ndim
+                idx[axis] = slice(0, width)
+                ghost = e[tuple(idx)]
+                tgt = [slice(None)] * e.ndim
+                tgt[axis] = slice(
+                    trimmed[i - 1].shape[axis] - width, trimmed[i - 1].shape[axis]
+                )
+                trimmed[i - 1][tuple(tgt)] += ghost
+                moved += ghost.nbytes
+            if i < self.size - 1:
+                idx = [slice(None)] * e.ndim
+                idx[axis] = slice(e.shape[axis] - width, e.shape[axis])
+                ghost = e[tuple(idx)]
+                tgt = [slice(None)] * e.ndim
+                tgt[axis] = slice(0, width)
+                trimmed[i + 1][tuple(tgt)] += ghost
+                moved += ghost.nbytes
+        self.stats.record("halo", moved)
+        return trimmed
+
+    # ---- point to point (pipeline) ---------------------------------------------
+    def send_recv(self, array: np.ndarray) -> np.ndarray:
+        """Stage-to-stage activation pass (accounting only)."""
+        self.stats.record("p2p", np.asarray(array).nbytes)
+        return np.array(array, copy=True)

@@ -1,0 +1,184 @@
+"""Data-parallel executor: batch scatter + gradient Allreduce.
+
+Implements Section 3.1 of the paper on the NumPy substrate: the model is
+replicated on ``p`` ranks, the mini-batch is scattered, forward/backward run
+independently, and the weight gradients are summed with an Allreduce in the
+gradient-exchange (GE) phase.
+
+Batch normalization is supported in both flavors the paper discusses
+(Section 4.5.2): *local* (the framework default — each rank normalizes its
+shard, which biases statistics at small local batch) and *synchronized*
+(global moments via an extra Allreduce, matching the sequential run
+exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.graph import ModelGraph
+from .comm import LocalComm
+from .ops import BatchNormOp, Op, build_ops, init_params
+from .sequential import SequentialExecutor
+
+__all__ = ["DataParallelExecutor"]
+
+
+class DataParallelExecutor:
+    """SPMD data parallelism over ``p`` in-process ranks (chain models)."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        p: int,
+        params: Optional[Dict] = None,
+        seed: int = 0,
+        sync_bn: bool = True,
+    ) -> None:
+        _require_chain(model)
+        self.model = model
+        self.comm = LocalComm(p)
+        self.params = params if params is not None else init_params(model, seed)
+        # One replica of every op per rank (weights shared by construction).
+        self.rank_ops: List[Dict[str, Op]] = [
+            build_ops(model, self.params) for _ in range(p)
+        ]
+        self.sync_bn = sync_bn
+        self.activations: List[Dict[str, np.ndarray]] = []
+
+    @property
+    def p(self) -> int:
+        return self.comm.size
+
+    # ---- forward ------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Scatter the batch, run replicas in lockstep, gather the output."""
+        shards = self.comm.scatter(x, axis=0)
+        acts: List[Dict[str, np.ndarray]] = [dict() for _ in range(self.p)]
+        current = shards
+        for layer in self.model:
+            ops = [self.rank_ops[r][layer.name] for r in range(self.p)]
+            if self.sync_bn and isinstance(ops[0], BatchNormOp):
+                current = self._sync_bn_forward(ops, current)
+            else:
+                current = [op.forward(cur) for op, cur in zip(ops, current)]
+            for r in range(self.p):
+                acts[r][layer.name] = current[r]
+        self.activations = acts
+        return self.comm.gather(current, axis=0)
+
+    def _sync_bn_forward(
+        self, ops: List[BatchNormOp], xs: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Synchronized BN: Allreduce the moment sums before normalizing."""
+        axes = (0,) + tuple(range(2, xs[0].ndim))
+        counts = [np.array(float(np.prod([x.shape[a] for a in axes]))) for x in xs]
+        sums = [x.sum(axis=axes) for x in xs]
+        sqs = [(x ** 2).sum(axis=axes) for x in xs]
+        n = self.comm.allreduce(counts)[0]
+        s = self.comm.allreduce(sums)[0]
+        sq = self.comm.allreduce(sqs)[0]
+        mean = s / n
+        var = sq / n - mean ** 2
+        outs = []
+        for op, x in zip(ops, xs):
+            op.override_moments = (mean, var)
+            outs.append(op.forward(x))
+            op.override_moments = None
+        return outs
+
+    # ---- backward -----------------------------------------------------------
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        """Scatter ``dy``, back-propagate per rank, Allreduce gradients (GE)."""
+        if not self.activations:
+            raise RuntimeError("backward before forward")
+        shards = self.comm.scatter(dy, axis=0)
+        current = shards
+        for layer in reversed(self.model.layers):
+            ops = [self.rank_ops[r][layer.name] for r in range(self.p)]
+            if self.sync_bn and isinstance(ops[0], BatchNormOp):
+                current = _sync_bn_backward(self.comm, ops, current)
+            else:
+                current = [op.backward(cur) for op, cur in zip(ops, current)]
+        # GE phase: sum the weight gradients across replicas.
+        for name in self._weighted_names():
+            dws = [self.rank_ops[r][name].dw for r in range(self.p)]
+            reduced = self.comm.allreduce(dws)
+            for r in range(self.p):
+                self.rank_ops[r][name].dw = reduced[r]
+            if getattr(self.rank_ops[0][name], "db", None) is not None:
+                dbs = [self.rank_ops[r][name].db for r in range(self.p)]
+                reduced_b = self.comm.allreduce(dbs)
+                for r in range(self.p):
+                    self.rank_ops[r][name].db = reduced_b[r]
+        return self.comm.gather(current, axis=0)
+
+    def _weighted_names(self) -> List[str]:
+        return [
+            name
+            for name, op in self.rank_ops[0].items()
+            if getattr(op, "dw", None) is not None
+        ]
+
+    # ---- inspection ------------------------------------------------------------
+    def gradients(self, rank: int = 0) -> Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Post-Allreduce gradients (identical on every rank)."""
+        out = {}
+        for name in self._weighted_names():
+            op = self.rank_ops[rank][name]
+            out[name] = (op.dw, getattr(op, "db", None))
+        return out
+
+    def gathered_activation(self, name: str) -> np.ndarray:
+        """Reassemble a layer activation across ranks (batch axis)."""
+        return self.comm.gather(
+            [self.activations[r][name] for r in range(self.p)], axis=0
+        )
+
+    # ---- weight update ------------------------------------------------------
+    def sgd_step(self, lr: float, batch: int) -> None:
+        """WU phase: every replica applies the (already Allreduced)
+        gradients — weights stay bit-identical across ranks."""
+        for r in range(self.p):
+            for op in self.rank_ops[r].values():
+                if getattr(op, "w", None) is not None and getattr(op, "dw", None) is not None:
+                    op.w -= lr * op.dw / batch
+                if getattr(op, "b", None) is not None and getattr(op, "db", None) is not None:
+                    op.b -= lr * op.db / batch
+
+    def zero_grad(self) -> None:
+        for r in range(self.p):
+            for op in self.rank_ops[r].values():
+                if getattr(op, "dw", None) is not None:
+                    op.dw[...] = 0.0
+                if getattr(op, "db", None) is not None:
+                    op.db[...] = 0.0
+
+
+def _sync_bn_backward(
+    comm: LocalComm, ops: List[BatchNormOp], dys: List[np.ndarray]
+) -> List[np.ndarray]:
+    """Globally-exact BN backward: Allreduce the dxhat moment sums so every
+    rank uses the statistics of the *global* batch (matching sequential)."""
+    sums = [op.backward_sums(dy) for op, dy in zip(ops, dys)]
+    s1 = comm.allreduce([s[0] for s in sums])[0]
+    s2 = comm.allreduce([s[1] for s in sums])[0]
+    n = comm.allreduce([np.array(s[2]) for s in sums])[0]
+    outs = []
+    for op, dy in zip(ops, dys):
+        op.override_backward_means = (s1 / n, s2 / n)
+        outs.append(op.backward(dy))
+        op.override_backward_means = None
+    return outs
+
+
+def _require_chain(model: ModelGraph) -> None:
+    for layer in model:
+        if layer.parent is not None or getattr(layer, "skip_of", None):
+            raise ValueError(
+                "parallel executors support chain models; "
+                f"{model.name} has branch layer {layer.name!r} "
+                "(use SequentialExecutor for DAGs)"
+            )

@@ -1,0 +1,171 @@
+"""Filter-parallel executor: split every weighted layer's output channels.
+
+Implements Section 3.3 (filter variant) on the NumPy substrate: rank ``i``
+keeps ``F/p`` filters of each splittable layer, computes the corresponding
+output channels, and the ranks **Allgather** the partial activations after
+every forward layer.  In the backward pass each rank's input-gradient
+contribution (from its filters only) is summed with an **Allreduce** —
+exactly the communication pattern Table 3 prices at
+``3 (p-1)(alpha + B|y_l| delta beta / p)`` per layer.
+
+Layers whose output channels don't divide ``p`` (or weight-less layers,
+which see the gathered full activation) are computed redundantly on every
+rank, mirroring the paper's note that channel/filter parallelism starts
+past such layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import layers as L
+from ..core.graph import ModelGraph
+from .comm import LocalComm
+from .ops import ConvOp, FCOp, Op
+from .ops import init_params
+
+__all__ = ["FilterParallelExecutor"]
+
+
+class FilterParallelExecutor:
+    """Output-channel (filter) model parallelism over ``p`` ranks."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        p: int,
+        params: Optional[Dict] = None,
+        seed: int = 0,
+    ) -> None:
+        for layer in model:
+            if layer.parent is not None or getattr(layer, "skip_of", None):
+                raise ValueError("filter executor supports chain models only")
+        self.model = model
+        self.comm = LocalComm(p)
+        self.params = params if params is not None else init_params(model, seed)
+        self.split_names = [
+            l.name
+            for l in model
+            if isinstance(l, (L.Conv, L.FullyConnected))
+            and l.out_channels % p == 0
+            and l.out_channels >= p
+        ]
+        self.rank_ops: List[Dict[str, Op]] = [
+            self._build_rank_ops(r) for r in range(p)
+        ]
+        self.activations: List[Dict[str, np.ndarray]] = []
+
+    def _build_rank_ops(self, rank: int) -> Dict[str, Op]:
+        """Ops with rank-local filter shards loaded."""
+        from .ops import build_ops
+
+        ops = build_ops(self.model, self.params)
+        for name in self.split_names:
+            layer = self.model[name]
+            op = ops[name]
+            f = layer.out_channels
+            share = f // self.p
+            lo, hi = rank * share, (rank + 1) * share
+            if isinstance(op, (ConvOp, FCOp)):
+                op.w = op.w[lo:hi].copy()
+                op.dw = np.zeros_like(op.w)
+                if op.b is not None:
+                    op.b = op.b[lo:hi].copy()
+                    op.db = np.zeros_like(op.b)
+        return ops
+
+    @property
+    def p(self) -> int:
+        return self.comm.size
+
+    # ---- forward -----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Broadcast the batch; Allgather partial activations layer-wise."""
+        current = self.comm.broadcast(x)
+        acts: List[Dict[str, np.ndarray]] = [dict() for _ in range(self.p)]
+        for layer in self.model:
+            name = layer.name
+            ops = [self.rank_ops[r][name] for r in range(self.p)]
+            partial = [op.forward(cur) for op, cur in zip(ops, current)]
+            if name in self.split_names:
+                current = self.comm.allgather(partial, axis=1)
+            else:
+                current = partial
+            for r in range(self.p):
+                acts[r][name] = current[r]
+        self.activations = acts
+        return current[0]
+
+    # ---- backward -----------------------------------------------------------
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if not self.activations:
+            raise RuntimeError("backward before forward")
+        current = [np.array(dy, copy=True) for _ in range(self.p)]
+        for layer in reversed(self.model.layers):
+            name = layer.name
+            ops = [self.rank_ops[r][name] for r in range(self.p)]
+            if name in self.split_names:
+                # Each rank consumes the slice of dL/dy matching its
+                # filters, produces a *partial* dL/dx, and the ranks
+                # Allreduce (Section 3.3's backward exchange).
+                share = layer.out_channels // self.p
+                partial = []
+                for r, (op, cur) in enumerate(zip(ops, current)):
+                    dy_slice = cur[:, r * share:(r + 1) * share]
+                    partial.append(op.backward(dy_slice))
+                current = self.comm.allreduce(partial)
+            else:
+                current = [op.backward(cur) for op, cur in zip(ops, current)]
+        return current[0]
+
+    # ---- inspection ------------------------------------------------------------
+    def gradients(self) -> Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Full (dw, db) per weighted layer, reassembled from the shards.
+
+        Filter parallelism skips the gradient-exchange phase (each PE owns
+        its shard's update) — the gather here is for validation only.
+        """
+        out: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+        for name, op0 in self.rank_ops[0].items():
+            if getattr(op0, "dw", None) is None:
+                continue
+            if name in self.split_names:
+                dw = np.concatenate(
+                    [self.rank_ops[r][name].dw for r in range(self.p)], axis=0
+                )
+                db = None
+                if op0.db is not None:
+                    db = np.concatenate(
+                        [self.rank_ops[r][name].db for r in range(self.p)]
+                    )
+            else:
+                # Replicated layers saw the same full data on every rank.
+                dw = self.rank_ops[0][name].dw
+                db = getattr(self.rank_ops[0][name], "db", None)
+            out[name] = (dw, db)
+        return out
+
+    def gathered_activation(self, name: str) -> np.ndarray:
+        return self.activations[0][name]
+
+    # ---- weight update ------------------------------------------------------
+    def sgd_step(self, lr: float, batch: int) -> None:
+        """WU phase: each PE updates its own filter shard — no gradient
+        exchange needed (Section 3.3: "the gradient-exchange phase is
+        skipped")."""
+        for r in range(self.p):
+            for op in self.rank_ops[r].values():
+                if getattr(op, "w", None) is not None and getattr(op, "dw", None) is not None:
+                    op.w -= lr * op.dw / batch
+                if getattr(op, "b", None) is not None and getattr(op, "db", None) is not None:
+                    op.b -= lr * op.db / batch
+
+    def zero_grad(self) -> None:
+        for r in range(self.p):
+            for op in self.rank_ops[r].values():
+                if getattr(op, "dw", None) is not None:
+                    op.dw[...] = 0.0
+                if getattr(op, "db", None) is not None:
+                    op.db[...] = 0.0

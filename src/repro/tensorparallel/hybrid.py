@@ -1,0 +1,110 @@
+"""Hybrid Data+Filter executor (Section 3.5).
+
+``p = p1 * p2`` ranks arranged as ``p1`` data-parallel groups of ``p2``
+filter-parallel ranks.  Each group processes its batch shard with filter
+parallelism (Allgather forward / Allreduce backward inside the group); the
+gradient-exchange phase then Allreduces each filter shard *across* groups —
+the segmented Allreduce of the paper's implementation (disjoint subsets of
+GPUs run Allreduces on different sets of the weights).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.graph import ModelGraph
+from .comm import LocalComm
+from .filterparallel import FilterParallelExecutor
+from .ops import init_params
+
+__all__ = ["DataFilterExecutor"]
+
+
+class DataFilterExecutor:
+    """Data (p1 groups) x Filter (p2 per group) hybrid parallelism."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        p1: int,
+        p2: int,
+        params: Optional[Dict] = None,
+        seed: int = 0,
+    ) -> None:
+        if p1 < 1 or p2 < 1:
+            raise ValueError("p1 and p2 must be >= 1")
+        self.model = model
+        self.p1, self.p2 = p1, p2
+        self.params = params if params is not None else init_params(model, seed)
+        #: One filter-parallel executor per data group (shared parameters).
+        self.groups: List[FilterParallelExecutor] = [
+            FilterParallelExecutor(model, p2, params=self.params)
+            for _ in range(p1)
+        ]
+        #: Inter-group communicator (the segmented-Allreduce dimension).
+        self.data_comm = LocalComm(p1)
+        self.activations: List[Dict[str, np.ndarray]] = []
+
+    @property
+    def p(self) -> int:
+        return self.p1 * self.p2
+
+    # ---- forward -------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shards = self.data_comm.scatter(x, axis=0)
+        outs = [g.forward(s) for g, s in zip(self.groups, shards)]
+        self.activations = [g.activations[0] for g in self.groups]
+        return self.data_comm.gather(outs, axis=0)
+
+    # ---- backward -------------------------------------------------------------
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        shards = self.data_comm.scatter(dy, axis=0)
+        dxs = [g.backward(s) for g, s in zip(self.groups, shards)]
+        # GE phase: segmented Allreduce — shard i of the weights is reduced
+        # across the p1 groups by the i-th disjoint ring.
+        for name, op0 in self.groups[0].rank_ops[0].items():
+            if getattr(op0, "dw", None) is None:
+                continue
+            for shard_rank in range(self.p2):
+                dws = [
+                    g.rank_ops[shard_rank][name].dw for g in self.groups
+                ]
+                reduced = self.data_comm.allreduce(dws)
+                for g, r in zip(self.groups, reduced):
+                    g.rank_ops[shard_rank][name].dw = r
+                if getattr(op0, "db", None) is not None:
+                    dbs = [
+                        g.rank_ops[shard_rank][name].db for g in self.groups
+                    ]
+                    reduced_b = self.data_comm.allreduce(dbs)
+                    for g, rb in zip(self.groups, reduced_b):
+                        g.rank_ops[shard_rank][name].db = rb
+        return self.data_comm.gather(dxs, axis=0)
+
+    # ---- inspection -------------------------------------------------------------
+    def gradients(self) -> Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Post-exchange full gradients (identical across groups)."""
+        return self.groups[0].gradients()
+
+    def gathered_activation(self, name: str) -> np.ndarray:
+        return self.data_comm.gather(
+            [g.gathered_activation(name) for g in self.groups], axis=0
+        )
+
+    @property
+    def comm_stats(self):
+        """(intra-group stats of group 0, inter-group stats)."""
+        return self.groups[0].comm.stats, self.data_comm.stats
+
+    # ---- weight update ------------------------------------------------------
+    def sgd_step(self, lr: float, batch: int) -> None:
+        """WU phase: every group applies the (segment-Allreduced) shard
+        gradients — shards stay identical across groups."""
+        for g in self.groups:
+            g.sgd_step(lr, batch)
+
+    def zero_grad(self) -> None:
+        for g in self.groups:
+            g.zero_grad()

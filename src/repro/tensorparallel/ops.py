@@ -1,0 +1,496 @@
+"""Dimension-agnostic NumPy layer kernels with explicit backward passes.
+
+Each op mirrors one :mod:`repro.core.layers` layer kind and implements
+
+* ``forward(x) -> y`` and
+* ``backward(dy) -> dx`` (accumulating ``dw``/``db`` on the op),
+
+for inputs of any spatial rank (1-D/2-D/3-D), matching the paper's claim
+that its analysis covers inputs of any dimension.  Convolutions are computed
+by summing shifted views over kernel offsets — a vectorized formulation
+(per the NumPy-optimization guidance: no Python loops over batch or
+channels, views instead of copies where possible) that is exact and fast at
+the model sizes the correctness validation uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.graph import ModelGraph
+from ..core import layers as L
+
+__all__ = [
+    "Op",
+    "ConvOp",
+    "FCOp",
+    "MaxPoolOp",
+    "AvgPoolOp",
+    "ReLUOp",
+    "FlattenOp",
+    "BatchNormOp",
+    "build_ops",
+    "init_params",
+]
+
+
+def _pad(x: np.ndarray, padding: Sequence[int]) -> np.ndarray:
+    """Zero-pad the spatial dims of ``x[N, C, *S]``."""
+    if not any(padding):
+        return x
+    pads = [(0, 0), (0, 0)] + [(p, p) for p in padding]
+    return np.pad(x, pads)
+
+
+def _unpad(x: np.ndarray, padding: Sequence[int]) -> np.ndarray:
+    if not any(padding):
+        return x
+    slices = [slice(None), slice(None)] + [
+        slice(p, x.shape[i + 2] - p) for i, p in enumerate(padding)
+    ]
+    return x[tuple(slices)]
+
+
+def _shift_view(
+    xp: np.ndarray,
+    offset: Sequence[int],
+    out_extent: Sequence[int],
+    stride: Sequence[int],
+) -> np.ndarray:
+    """View of the padded input aligned with kernel ``offset``: for each
+    output position ``o`` the element ``x[o*stride + offset]``."""
+    slices = [slice(None), slice(None)]
+    for off, ext, s in zip(offset, out_extent, stride):
+        slices.append(slice(off, off + (ext - 1) * s + 1, s))
+    return xp[tuple(slices)]
+
+
+class Op:
+    """Base op: stateful (caches forward inputs for backward)."""
+
+    name: str
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def has_weights(self) -> bool:
+        return getattr(self, "w", None) is not None
+
+
+class ConvOp(Op):
+    """d-dimensional convolution ``y[n,f,*] = sum_{c,k} x[n,c,*+k] w[f,c,k]``.
+
+    ``w`` has shape ``(F, C, *K)``; ``b`` has shape ``(F,)`` or is None.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        w: np.ndarray,
+        b: Optional[np.ndarray],
+        stride: Sequence[int],
+        padding: Sequence[int],
+    ) -> None:
+        self.name = name
+        # Copy: executors must own their parameters so SGD steps on one
+        # rank/executor never alias another's storage.
+        self.w = np.array(w, dtype=np.float64, copy=True)
+        self.b = None if b is None else np.array(b, dtype=np.float64, copy=True)
+        ndim = self.w.ndim - 2
+        self.stride = tuple(stride) if stride else (1,) * ndim
+        self.padding = tuple(padding) if padding else (0,) * ndim
+        self.dw = np.zeros_like(self.w)
+        self.db = None if self.b is None else np.zeros_like(self.b)
+        self._xp: Optional[np.ndarray] = None
+        self._out_extent: Tuple[int, ...] = ()
+
+    @property
+    def kernel(self) -> Tuple[int, ...]:
+        return self.w.shape[2:]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        xp = _pad(x, self.padding)
+        out_extent = tuple(
+            (xs - k) // s + 1
+            for xs, k, s in zip(xp.shape[2:], self.kernel, self.stride)
+        )
+        self._xp = xp
+        self._out_extent = out_extent
+        n, f = x.shape[0], self.w.shape[0]
+        y = np.zeros((n, f) + out_extent, dtype=x.dtype)
+        for offset in itertools.product(*(range(k) for k in self.kernel)):
+            xs = _shift_view(xp, offset, out_extent, self.stride)
+            wk = self.w[(slice(None), slice(None)) + offset]
+            y += np.einsum("nc...,fc->nf...", xs, wk)
+        if self.b is not None:
+            y += self.b.reshape((1, -1) + (1,) * len(out_extent))
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._xp is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        xp = self._xp
+        dxp = np.zeros_like(xp)
+        for offset in itertools.product(*(range(k) for k in self.kernel)):
+            xs = _shift_view(xp, offset, self._out_extent, self.stride)
+            wk = self.w[(slice(None), slice(None)) + offset]
+            reduce_axes = (0,) + tuple(range(2, dy.ndim))
+            self.dw[(slice(None), slice(None)) + offset] += np.tensordot(
+                dy, xs, axes=(reduce_axes, reduce_axes)
+            )
+            # Scatter-add into the strided view (a view write, not a copy).
+            dxs = _shift_view(dxp, offset, self._out_extent, self.stride)
+            dxs += np.einsum("nf...,fc->nc...", dy, wk)
+        if self.db is not None:
+            self.db += dy.sum(axis=tuple(i for i in range(dy.ndim) if i != 1))
+        return _unpad(dxp, self.padding)
+
+
+class FCOp(Op):
+    """Fully-connected ``y = x_flat W^T + b`` (W: ``(F, in_features)``)."""
+
+    def __init__(self, name: str, w: np.ndarray, b: Optional[np.ndarray]) -> None:
+        self.name = name
+        self.w = np.array(w, dtype=np.float64, copy=True)
+        self.b = None if b is None else np.array(b, dtype=np.float64, copy=True)
+        self.dw = np.zeros_like(self.w)
+        self.db = None if self.b is None else np.zeros_like(self.b)
+        self._xshape: Optional[Tuple[int, ...]] = None
+        self._xflat: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._xshape = x.shape
+        xf = x.reshape(x.shape[0], -1)
+        self._xflat = xf
+        y = xf @ self.w.T
+        if self.b is not None:
+            y = y + self.b
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._xflat is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        self.dw += dy.T @ self._xflat
+        if self.db is not None:
+            self.db += dy.sum(axis=0)
+        dx = dy @ self.w
+        return dx.reshape(self._xshape)
+
+
+class MaxPoolOp(Op):
+    """Max pooling over ``kernel`` windows with ``stride``."""
+
+    def __init__(
+        self,
+        name: str,
+        kernel: Sequence[int],
+        stride: Sequence[int],
+        padding: Sequence[int],
+    ) -> None:
+        self.name = name
+        self.kernel = tuple(kernel)
+        self.stride = tuple(stride)
+        self.padding = tuple(padding)
+        self._select: Optional[np.ndarray] = None
+        self._xp_shape: Tuple[int, ...] = ()
+        self._out_extent: Tuple[int, ...] = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        xp = _pad(x, self.padding)
+        if any(self.padding):
+            # Padded positions must never win the max.
+            xp = xp.copy()
+            mask = np.ones(x.shape[2:], dtype=bool)
+            mask = np.pad(mask, [(p, p) for p in self.padding])
+            xp[:, :, ~mask] = -np.inf
+        out_extent = tuple(
+            (xs - k) // s + 1
+            for xs, k, s in zip(xp.shape[2:], self.kernel, self.stride)
+        )
+        offsets = list(itertools.product(*(range(k) for k in self.kernel)))
+        stacked = np.stack(
+            [_shift_view(xp, off, out_extent, self.stride) for off in offsets]
+        )
+        select = np.argmax(stacked, axis=0)
+        y = np.take_along_axis(stacked, select[None], axis=0)[0]
+        self._select = select
+        self._offsets = offsets
+        self._xp_shape = xp.shape
+        self._out_extent = out_extent
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._select is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dxp = np.zeros(self._xp_shape, dtype=dy.dtype)
+        for idx, off in enumerate(self._offsets):
+            mask = self._select == idx
+            view = _shift_view(dxp, off, self._out_extent, self.stride)
+            view += dy * mask
+        return _unpad(dxp, self.padding)
+
+
+class AvgPoolOp(Op):
+    """Average pooling (also used for GlobalAvgPool with kernel=extent)."""
+
+    def __init__(
+        self,
+        name: str,
+        kernel: Sequence[int],
+        stride: Sequence[int],
+        padding: Sequence[int],
+    ) -> None:
+        self.name = name
+        self.kernel = tuple(kernel)
+        self.stride = tuple(stride)
+        self.padding = tuple(padding)
+        self._xp_shape: Tuple[int, ...] = ()
+        self._out_extent: Tuple[int, ...] = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        xp = _pad(x, self.padding)
+        out_extent = tuple(
+            (xs - k) // s + 1
+            for xs, k, s in zip(xp.shape[2:], self.kernel, self.stride)
+        )
+        y = np.zeros((x.shape[0], x.shape[1]) + out_extent, dtype=x.dtype)
+        for off in itertools.product(*(range(k) for k in self.kernel)):
+            y += _shift_view(xp, off, out_extent, self.stride)
+        self._xp_shape = xp.shape
+        self._out_extent = out_extent
+        count = 1
+        for k in self.kernel:
+            count *= k
+        self._count = count
+        return y / count
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        dxp = np.zeros(self._xp_shape, dtype=dy.dtype)
+        g = dy / self._count
+        for off in itertools.product(*(range(k) for k in self.kernel)):
+            view = _shift_view(dxp, off, self._out_extent, self.stride)
+            view += g
+        return _unpad(dxp, self.padding)
+
+
+class ReLUOp(Op):
+    """Rectified linear unit; masks gradients by the forward sign."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        return np.where(self._mask, dy, 0.0)
+
+
+class FlattenOp(Op):
+    """Fold all non-batch dims into one (shape-only, zero FLOPs)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        return dy.reshape(self._shape)
+
+
+class BatchNormOp(Op):
+    """Training-mode batch normalization over (N, *spatial) per channel.
+
+    Used by the synchronized-vs-local BN experiments (Section 4.5.2): a
+    data-parallel executor with *local* BN normalizes each shard separately
+    and diverges from the sequential run, while *synchronized* BN (global
+    moments via Allreduce) matches it exactly.
+    """
+
+    def __init__(self, name: str, gamma: np.ndarray, beta: np.ndarray,
+                 eps: float = 1e-5) -> None:
+        self.name = name
+        self.w = np.array(gamma, dtype=np.float64, copy=True)  # gamma as w
+        self.b = np.array(beta, dtype=np.float64, copy=True)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+        self.eps = eps
+        self._cache = None
+        #: Optional (mean, var) injected by synchronized-BN executors.
+        self.override_moments: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def _axes(self, x: np.ndarray) -> Tuple[int, ...]:
+        return (0,) + tuple(range(2, x.ndim))
+
+    def moments(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        axes = self._axes(x)
+        return x.mean(axis=axes), x.var(axis=axes)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._axes(x)
+        if self.override_moments is not None:
+            mean, var = self.override_moments
+        else:
+            mean, var = self.moments(x)
+        shape = (1, -1) + (1,) * (x.ndim - 2)
+        inv = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean.reshape(shape)) * inv.reshape(shape)
+        self._cache = (xhat, inv, axes, x.shape)
+        return self.w.reshape(shape) * xhat + self.b.reshape(shape)
+
+    def backward_sums(self, dy: np.ndarray) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Local sums needed for globally-exact BN backward:
+        ``(sum dxhat, sum dxhat*xhat, count)`` per channel.
+
+        Synchronized-BN executors Allreduce these across ranks and feed the
+        global means to :meth:`backward` via ``override_backward_means``.
+        """
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        xhat, inv, axes, xshape = self._cache
+        shape = (1, -1) + (1,) * (dy.ndim - 2)
+        dxhat = dy * self.w.reshape(shape)
+        count = 1.0
+        for ax in axes:
+            count *= xshape[ax]
+        return dxhat.sum(axis=axes), (dxhat * xhat).sum(axis=axes), count
+
+    #: Optional (mean_dxhat, mean_dxhat_xhat) per channel injected by
+    #: synchronized executors; None means local statistics.
+    override_backward_means: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        xhat, inv, axes, xshape = self._cache
+        shape = (1, -1) + (1,) * (dy.ndim - 2)
+        self.dw += (dy * xhat).sum(axis=axes)
+        self.db += dy.sum(axis=axes)
+        dxhat = dy * self.w.reshape(shape)
+        if self.override_backward_means is not None:
+            m1, m2 = self.override_backward_means
+            m1 = m1.reshape(shape)
+            m2 = m2.reshape(shape)
+        else:
+            m1 = dxhat.mean(axis=axes, keepdims=True)
+            m2 = (dxhat * xhat).mean(axis=axes, keepdims=True)
+        dx = (dxhat - m1 - xhat * m2) * inv.reshape(shape)
+        return dx
+
+
+class AddOp(Op):
+    """Residual addition; the executor wires the skip tensor in."""
+
+    def __init__(self, name: str, skip_of: Optional[str]) -> None:
+        self.name = name
+        self.skip_of = skip_of
+
+    def forward(self, x: np.ndarray, skip: Optional[np.ndarray] = None
+                ) -> np.ndarray:
+        return x if skip is None else x + skip
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        # Gradient flows unchanged to both addends; the executor routes the
+        # skip branch.
+        return dy
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+def init_params(
+    model: ModelGraph, seed: int = 0
+) -> Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]:
+    """He-initialized (w, b) arrays for every weighted layer of ``model``.
+
+    Shared by all executors so parallel and sequential runs start from
+    bit-identical parameters.
+    """
+    rng = np.random.default_rng(seed)
+    params: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+    for layer in model:
+        if isinstance(layer, L.Conv):
+            fan_in = layer.in_channels
+            for k in layer.kernel:
+                fan_in *= k
+            w = rng.normal(
+                0.0, np.sqrt(2.0 / fan_in),
+                size=(layer.out_channels, layer.in_channels) + layer.kernel,
+            )
+            b = (
+                rng.normal(0.0, 0.01, size=layer.out_channels)
+                if layer.bias_elements
+                else None
+            )
+            params[layer.name] = (w, b)
+        elif isinstance(layer, L.FullyConnected):
+            fan_in = layer.input.elements
+            w = rng.normal(
+                0.0, np.sqrt(2.0 / fan_in),
+                size=(layer.out_channels, fan_in),
+            )
+            b = (
+                rng.normal(0.0, 0.01, size=layer.out_channels)
+                if layer.bias_elements
+                else None
+            )
+            params[layer.name] = (w, b)
+        elif isinstance(layer, L.BatchNorm):
+            params[layer.name] = (
+                np.ones(layer.in_channels),
+                np.zeros(layer.in_channels),
+            )
+    return params
+
+
+def build_ops(
+    model: ModelGraph,
+    params: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]],
+) -> Dict[str, Op]:
+    """Instantiate a NumPy op per model layer, loading shared params."""
+    ops: Dict[str, Op] = {}
+    for layer in model:
+        if isinstance(layer, L.Conv):
+            w, b = params[layer.name]
+            ops[layer.name] = ConvOp(layer.name, w, b, layer.stride, layer.padding)
+        elif isinstance(layer, L.FullyConnected):
+            w, b = params[layer.name]
+            ops[layer.name] = FCOp(layer.name, w, b)
+        elif isinstance(layer, L.BatchNorm):
+            g, bt = params[layer.name]
+            ops[layer.name] = BatchNormOp(layer.name, g, bt)
+        elif isinstance(layer, L.Pool):
+            ops[layer.name] = MaxPoolOp(
+                layer.name, layer.kernel, layer.stride, layer.padding
+            )
+        elif isinstance(layer, L.GlobalAvgPool):
+            ops[layer.name] = AvgPoolOp(
+                layer.name, layer.kernel,
+                layer.kernel, (0,) * len(layer.kernel),
+            )
+        elif isinstance(layer, L.ReLU):
+            ops[layer.name] = ReLUOp(layer.name)
+        elif isinstance(layer, L.Flatten):
+            ops[layer.name] = FlattenOp(layer.name)
+        elif isinstance(layer, L.Add):
+            ops[layer.name] = AddOp(layer.name, layer.skip_of)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"no NumPy op for layer kind {layer.kind}")
+    return ops

@@ -1,0 +1,165 @@
+"""Pipeline (layer-parallel) executor: GPipe micro-batch schedule.
+
+Implements Section 3.4: the chain is cut into ``p`` contiguous composite
+layers; the mini-batch is split into ``S`` micro-batches that flow through
+the stages.  Forward activations cross stage boundaries via P2P
+``send_recv``; gradients flow back in reverse stage order.  Because every
+op is per-sample (no cross-sample coupling in conv/FC/pool/ReLU), the
+micro-batched result is bit-identical to the sequential full-batch run and
+weight gradients accumulate linearly over micro-batches — the property the
+executor validates.  (Batch-norm breaks this property; models containing BN
+are rejected, matching GPipe's recommendation to freeze/replace BN.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import layers as L
+from ..core.graph import ModelGraph
+from .comm import LocalComm
+from .ops import Op, build_ops, init_params
+
+__all__ = ["PipelineExecutor"]
+
+
+class PipelineExecutor:
+    """GPipe-style pipeline over ``p`` stages with ``S`` micro-batches."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        p: int,
+        segments: int = 2,
+        params: Optional[Dict] = None,
+        seed: int = 0,
+    ) -> None:
+        for layer in model:
+            if layer.parent is not None or getattr(layer, "skip_of", None):
+                raise ValueError("pipeline executor supports chain models only")
+            if isinstance(layer, L.BatchNorm):
+                raise ValueError(
+                    "pipeline micro-batching changes BatchNorm statistics; "
+                    "remove BN layers (GPipe freezes them) for exactness"
+                )
+        if segments < 1:
+            raise ValueError("segments must be >= 1")
+        self.model = model
+        self.segments = segments
+        self.comm = LocalComm(p)
+        self.params = params if params is not None else init_params(model, seed)
+        self.stages: List[List[str]] = [
+            [l.name for l in group] for group in model.partition_depth(p)
+        ]
+        # One op set per stage (each stage owns only its layers' weights).
+        self.ops: Dict[str, Op] = build_ops(model, self.params)
+        self.activations: Dict[str, np.ndarray] = {}
+        #: Per-micro-batch caches, re-played during backward in reverse.
+        self._micro_caches: List[Dict[str, Dict]] = []
+
+    @property
+    def p(self) -> int:
+        return self.comm.size
+
+    def stage_of(self, layer_name: str) -> int:
+        for i, names in enumerate(self.stages):
+            if layer_name in names:
+                return i
+        raise KeyError(layer_name)
+
+    # ---- forward ------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run all micro-batches through the stage chain (GPipe order)."""
+        if x.shape[0] % self.segments:
+            raise ValueError(
+                f"batch {x.shape[0]} not divisible by segments {self.segments}"
+            )
+        micro_in = np.split(x, self.segments, axis=0)
+        micro_out: List[np.ndarray] = []
+        micro_acts: List[Dict[str, np.ndarray]] = []
+        self._micro_caches = []
+        for mb in micro_in:
+            cur = mb
+            acts: Dict[str, np.ndarray] = {}
+            caches: Dict[str, Dict] = {}
+            for stage_idx, names in enumerate(self.stages):
+                for name in names:
+                    cur = self.ops[name].forward(cur)
+                    acts[name] = cur
+                    caches[name] = _snapshot_cache(self.ops[name])
+                if stage_idx < self.p - 1:
+                    cur = self.comm.send_recv(cur)
+            micro_out.append(cur)
+            micro_acts.append(acts)
+            self._micro_caches.append(caches)
+        # Stitch per-layer activations back to full-batch order.
+        self.activations = {
+            name: np.concatenate([a[name] for a in micro_acts], axis=0)
+            for name in micro_acts[0]
+        }
+        return np.concatenate(micro_out, axis=0)
+
+    # ---- backward ------------------------------------------------------------
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if not self._micro_caches:
+            raise RuntimeError("backward before forward")
+        micro_dy = np.split(dy, self.segments, axis=0)
+        micro_dx: List[np.ndarray] = []
+        for s in range(self.segments - 1, -1, -1):
+            cur = micro_dy[s]
+            caches = self._micro_caches[s]
+            for stage_idx in range(self.p - 1, -1, -1):
+                for name in reversed(self.stages[stage_idx]):
+                    _restore_cache(self.ops[name], caches[name])
+                    cur = self.ops[name].backward(cur)
+                if stage_idx > 0:
+                    cur = self.comm.send_recv(cur)
+            micro_dx.append(cur)
+        micro_dx.reverse()
+        return np.concatenate(micro_dx, axis=0)
+
+    # ---- inspection ------------------------------------------------------------
+    def gradients(self) -> Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]:
+        out = {}
+        for name, op in self.ops.items():
+            if getattr(op, "dw", None) is not None:
+                out[name] = (op.dw, getattr(op, "db", None))
+        return out
+
+    def gathered_activation(self, name: str) -> np.ndarray:
+        return self.activations[name]
+
+    # ---- weight update ------------------------------------------------------
+    def sgd_step(self, lr: float, batch: int) -> None:
+        """WU phase: each stage updates its own layers (micro-batch
+        gradients have already accumulated over the segments)."""
+        for op in self.ops.values():
+            if getattr(op, "w", None) is not None and getattr(op, "dw", None) is not None:
+                op.w -= lr * op.dw / batch
+            if getattr(op, "b", None) is not None and getattr(op, "db", None) is not None:
+                op.b -= lr * op.db / batch
+
+    def zero_grad(self) -> None:
+        for op in self.ops.values():
+            if getattr(op, "dw", None) is not None:
+                op.dw[...] = 0.0
+            if getattr(op, "db", None) is not None:
+                op.db[...] = 0.0
+
+
+#: Attribute names holding per-forward cache state on each op kind.
+_CACHE_ATTRS = (
+    "_xp", "_out_extent", "_xshape", "_xflat", "_select", "_offsets",
+    "_xp_shape", "_mask", "_shape", "_cache", "_count",
+)
+
+
+def _snapshot_cache(op: Op) -> Dict:
+    return {a: getattr(op, a) for a in _CACHE_ATTRS if hasattr(op, a)}
+
+
+def _restore_cache(op: Op, cache: Dict) -> None:
+    for a, v in cache.items():
+        setattr(op, a, v)

@@ -1,0 +1,113 @@
+"""Sequential (single-PE) reference executor.
+
+Executes a :class:`~repro.core.graph.ModelGraph` with the NumPy ops,
+including residual branches (``parent``/``skip_of`` metadata), and exposes
+per-layer activations and weight gradients — the ground truth every parallel
+executor is validated against, exactly as the paper validates its
+ChainerMNX implementations against the sequential run (Section 4.5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.graph import ModelGraph
+from ..core.layers import Add
+from .ops import AddOp, Op, build_ops, init_params
+
+__all__ = ["SequentialExecutor"]
+
+
+class SequentialExecutor:
+    """Reference forward/backward over the full batch on one PE."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        params: Optional[Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.params = params if params is not None else init_params(model, seed)
+        self.ops: Dict[str, Op] = build_ops(model, self.params)
+        self.activations: Dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the graph; caches every layer's output activation."""
+        outputs: Dict[str, np.ndarray] = {}
+        prev_name: Optional[str] = None
+        for layer in self.model:
+            op = self.ops[layer.name]
+            src = layer.parent if layer.parent is not None else prev_name
+            inp = x if src is None else outputs[src]
+            if isinstance(op, AddOp):
+                skip = outputs[op.skip_of] if op.skip_of else None
+                out = op.forward(inp, skip)
+            else:
+                out = op.forward(inp)
+            outputs[layer.name] = out
+            prev_name = layer.name
+        self.activations = outputs
+        return outputs[prev_name]
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        """Back-propagate; returns dL/dx of the model input.
+
+        Branch points accumulate gradients (residual adds send ``dy`` to
+        both the trunk and the skip source).
+        """
+        if not self.activations:
+            raise RuntimeError("backward before forward")
+        grads: Dict[Optional[str], np.ndarray] = {self.model.layers[-1].name: dy}
+        names = [l.name for l in self.model.layers]
+        prev_of = {}
+        prev: Optional[str] = None
+        for n in names:
+            prev_of[n] = prev
+            prev = n
+        for layer in reversed(self.model.layers):
+            g = grads.pop(layer.name, None)
+            if g is None:
+                continue
+            op = self.ops[layer.name]
+            dx = op.backward(g)
+            src = layer.parent if layer.parent is not None else prev_of[layer.name]
+            self._accumulate(grads, src, dx)
+            if isinstance(layer, Add) and layer.skip_of is not None:
+                self._accumulate(grads, layer.skip_of, g)
+        return grads.get(None, np.zeros(0))
+
+    @staticmethod
+    def _accumulate(grads: Dict, key, value: np.ndarray) -> None:
+        if key in grads:
+            grads[key] = grads[key] + value
+        else:
+            grads[key] = value
+
+    # ---- inspection -------------------------------------------------------
+    def gradients(self) -> Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Per-layer (dw, db) for every weighted op."""
+        out = {}
+        for name, op in self.ops.items():
+            if getattr(op, "dw", None) is not None:
+                out[name] = (op.dw, getattr(op, "db", None))
+        return out
+
+    def zero_grad(self) -> None:
+        for op in self.ops.values():
+            if getattr(op, "dw", None) is not None:
+                op.dw[...] = 0.0
+            if getattr(op, "db", None) is not None:
+                op.db[...] = 0.0
+
+    def sgd_step(self, lr: float, batch: int) -> None:
+        """Plain SGD: ``w -= lr * dw / batch`` (the paper's WU phase)."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        for op in self.ops.values():
+            if getattr(op, "w", None) is not None and getattr(op, "dw", None) is not None:
+                op.w -= lr * op.dw / batch
+            if getattr(op, "b", None) is not None and getattr(op, "db", None) is not None:
+                op.b -= lr * op.db / batch

@@ -1,0 +1,209 @@
+"""ZeRO-style sharded data parallelism on the NumPy substrate.
+
+Section 5.3.2 sketches the approach (citing ZeRO): "split the weights as
+well as the activations ... at the cost of extra communication of 50% since
+two Allgathers of the weights are needed in the forward and backward
+passes."  This executor realizes that decomposition:
+
+* each rank **owns** a 1/p shard of every parameter tensor (flattened),
+* before a layer's forward (and again before its backward — the second
+  Allgather; gathered weights are discarded between passes to realize the
+  memory saving), the ranks Allgather the full tensor,
+* after backward, the weight gradients are **Reduce-Scattered** so each
+  rank holds exactly its shard's gradient and updates only that shard.
+
+Value-by-value equivalence with the sequential run follows because
+gather(shards) reconstructs the exact weights and reduce-scatter(sum) of
+the per-rank gradients equals the sequential gradient's shard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.graph import ModelGraph
+from .comm import LocalComm
+from .dataparallel import _require_chain, _sync_bn_backward
+from .ops import BatchNormOp, Op, build_ops, init_params
+
+__all__ = ["ShardedDataParallelExecutor"]
+
+
+def _pad_to(p: int, flat: np.ndarray) -> np.ndarray:
+    """Zero-pad a flattened tensor so it splits evenly over ``p`` ranks
+    (real implementations do the same)."""
+    rem = (-flat.size) % p
+    if rem:
+        flat = np.concatenate([flat, np.zeros(rem, dtype=flat.dtype)])
+    return flat
+
+
+class ShardedDataParallelExecutor:
+    """Data parallelism with parameter sharding (strategy id ``z``)."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        p: int,
+        params: Optional[Dict] = None,
+        seed: int = 0,
+        sync_bn: bool = True,
+    ) -> None:
+        _require_chain(model)
+        self.model = model
+        self.comm = LocalComm(p)
+        self.params = params if params is not None else init_params(model, seed)
+        self.sync_bn = sync_bn
+        # Rank ops start with the full weights loaded (they will be
+        # overwritten from the shards before every pass).
+        self.rank_ops: List[Dict[str, Op]] = [
+            build_ops(model, self.params) for _ in range(p)
+        ]
+        # Owner-shard storage: {layer: {"w": [shard per rank], "b": ...}}.
+        self._shards: Dict[str, Dict[str, List[np.ndarray]]] = {}
+        self._shapes: Dict[str, Dict[str, Tuple[int, ...]]] = {}
+        for name, op in self.rank_ops[0].items():
+            if getattr(op, "w", None) is None:
+                continue
+            entry: Dict[str, List[np.ndarray]] = {}
+            shapes: Dict[str, Tuple[int, ...]] = {}
+            for attr in ("w", "b"):
+                tensor = getattr(op, attr, None)
+                if tensor is None:
+                    continue
+                flat = _pad_to(p, tensor.reshape(-1).copy())
+                entry[attr] = [s.copy() for s in np.split(flat, p)]
+                shapes[attr] = tensor.shape
+            self._shards[name] = entry
+            self._shapes[name] = shapes
+        self.activations: List[Dict[str, np.ndarray]] = []
+
+    @property
+    def p(self) -> int:
+        return self.comm.size
+
+    # ---- weight gather/scatter ------------------------------------------------
+    def _materialize(self, name: str) -> None:
+        """Allgather the full parameters of one layer onto every rank
+        (the per-pass weight Allgather of the ZeRO scheme)."""
+        entry = self._shards[name]
+        shapes = self._shapes[name]
+        for attr, shards in entry.items():
+            gathered = self.comm.allgather(shards, axis=0)
+            for r in range(self.p):
+                full = gathered[r][: int(np.prod(shapes[attr]))]
+                setattr(self.rank_ops[r][name], attr,
+                        full.reshape(shapes[attr]))
+
+    def _materialize_all(self) -> None:
+        for name in self._shards:
+            self._materialize(name)
+
+    # ---- forward / backward ------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._materialize_all()  # first weight Allgather
+        shards = self.comm.scatter(x, axis=0)
+        acts: List[Dict[str, np.ndarray]] = [dict() for _ in range(self.p)]
+        current = shards
+        for layer in self.model:
+            ops = [self.rank_ops[r][layer.name] for r in range(self.p)]
+            if self.sync_bn and isinstance(ops[0], BatchNormOp):
+                current = self._sync_bn_forward(ops, current)
+            else:
+                current = [op.forward(cur) for op, cur in zip(ops, current)]
+            for r in range(self.p):
+                acts[r][layer.name] = current[r]
+        self.activations = acts
+        return self.comm.gather(current, axis=0)
+
+    def _sync_bn_forward(self, ops, xs):
+        axes = (0,) + tuple(range(2, xs[0].ndim))
+        counts = [np.array(float(np.prod([x.shape[a] for a in axes])))
+                  for x in xs]
+        s = self.comm.allreduce([x.sum(axis=axes) for x in xs])[0]
+        sq = self.comm.allreduce([(x ** 2).sum(axis=axes) for x in xs])[0]
+        n = self.comm.allreduce(counts)[0]
+        mean, var = s / n, sq / n - (s / n) ** 2
+        outs = []
+        for op, x in zip(ops, xs):
+            op.override_moments = (mean, var)
+            outs.append(op.forward(x))
+            op.override_moments = None
+        return outs
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if not self.activations:
+            raise RuntimeError("backward before forward")
+        self._materialize_all()  # second weight Allgather (paper's +50%)
+        current = self.comm.scatter(dy, axis=0)
+        for layer in reversed(self.model.layers):
+            ops = [self.rank_ops[r][layer.name] for r in range(self.p)]
+            if self.sync_bn and isinstance(ops[0], BatchNormOp):
+                current = _sync_bn_backward(self.comm, ops, current)
+            else:
+                current = [op.backward(cur) for op, cur in zip(ops, current)]
+        # GE phase: Reduce-Scatter the gradients -- each rank ends up with
+        # the summed gradient of *its* shard only.
+        self._grad_shards: Dict[str, Dict[str, List[np.ndarray]]] = {}
+        for name, entry in self._shards.items():
+            gentry: Dict[str, List[np.ndarray]] = {}
+            for attr in entry:
+                grads = [
+                    _pad_to(self.p,
+                            getattr(self.rank_ops[r][name],
+                                    "dw" if attr == "w" else "db").reshape(-1))
+                    for r in range(self.p)
+                ]
+                gentry[attr] = self.comm.reduce_scatter(grads, axis=0)
+            self._grad_shards[name] = gentry
+        return self.comm.gather(current, axis=0)
+
+    # ---- update / inspection ------------------------------------------------
+    def sgd_step(self, lr: float, batch: int) -> None:
+        """WU phase: each rank updates only its owned shard."""
+        if not hasattr(self, "_grad_shards"):
+            raise RuntimeError("sgd_step before backward")
+        for name, entry in self._shards.items():
+            for attr, shards in entry.items():
+                gshards = self._grad_shards[name][attr]
+                for r in range(self.p):
+                    shards[r] -= lr * gshards[r] / batch
+
+    def zero_grad(self) -> None:
+        for r in range(self.p):
+            for op in self.rank_ops[r].values():
+                if getattr(op, "dw", None) is not None:
+                    op.dw[...] = 0.0
+                if getattr(op, "db", None) is not None:
+                    op.db[...] = 0.0
+
+    def gradients(self) -> Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Reassembled full gradients (validation aid)."""
+        if not hasattr(self, "_grad_shards"):
+            raise RuntimeError("gradients before backward")
+        out: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+        for name, gentry in self._grad_shards.items():
+            shapes = self._shapes[name]
+            dw = np.concatenate(gentry["w"])[: int(np.prod(shapes["w"]))]
+            dw = dw.reshape(shapes["w"])
+            db = None
+            if "b" in gentry:
+                db = np.concatenate(gentry["b"])[: int(np.prod(shapes["b"]))]
+                db = db.reshape(shapes["b"])
+            out[name] = (dw, db)
+        return out
+
+    def gathered_activation(self, name: str) -> np.ndarray:
+        return self.comm.gather(
+            [self.activations[r][name] for r in range(self.p)], axis=0
+        )
+
+    def owned_parameters(self, rank: int) -> int:
+        """Element count of the shard ``rank`` owns (1/p of the model)."""
+        total = 0
+        for entry in self._shards.values():
+            for shards in entry.values():
+                total += shards[rank].size
+        return total

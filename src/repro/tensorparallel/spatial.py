@@ -1,0 +1,300 @@
+"""Spatial-parallel executor: split the sample's last spatial dimension.
+
+Implements Section 3.2 of the paper on the NumPy substrate.  Every rank owns
+a contiguous slab of each sample along the innermost spatial axis (width in
+2-D, depth-most in 3-D).  Convolutions with kernel > 1 perform a halo
+exchange of ``K // 2`` boundary planes before computing (forward on ``x``,
+backward on ``dL/dy`` — realized here as the reverse scatter-add of the
+ghost-region input gradients).  Pooling layers with kernel == stride need no
+halo.  At the first layer that cannot be split (the FC head), the
+activation is Allgathered and the tail runs redundantly on every rank —
+matching the paper's implementation choice (Section 4.5.1).
+
+Supported layers in the split region: Conv with stride 1 on the split axis
+and "same" padding (``pad == K // 2``), pools with kernel == stride and no
+padding, ReLU, and BatchNorm (synchronized across slabs, which reproduces
+the sequential statistics exactly; the paper's local-BN variant is also
+available for the bias demonstration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import layers as L
+from ..core.graph import ModelGraph
+from .comm import LocalComm
+from .ops import AvgPoolOp, BatchNormOp, ConvOp, MaxPoolOp, Op, ReLUOp, build_ops, init_params
+from .sequential import SequentialExecutor
+
+__all__ = ["SpatialParallelExecutor"]
+
+
+class SpatialParallelExecutor:
+    """Width-wise spatial parallelism over ``p`` in-process ranks."""
+
+    def __init__(
+        self,
+        model: ModelGraph,
+        p: int,
+        params: Optional[Dict] = None,
+        seed: int = 0,
+        sync_bn: bool = True,
+    ) -> None:
+        for layer in model:
+            if layer.parent is not None or getattr(layer, "skip_of", None):
+                raise ValueError("spatial executor supports chain models only")
+        self.model = model
+        self.comm = LocalComm(p)
+        self.params = params if params is not None else init_params(model, seed)
+        self.sync_bn = sync_bn
+        self.split_names = self._splittable_prefix(p)
+        # Per-rank op instances; conv padding on the split axis is handled
+        # manually (ghost cells), so those ops get split-axis padding 0.
+        self.rank_ops: List[Dict[str, Op]] = [
+            self._build_rank_ops() for _ in range(p)
+        ]
+        self.activations: List[Dict[str, np.ndarray]] = []
+        self._halo_widths: Dict[str, int] = {}
+
+    # ---- construction ---------------------------------------------------------
+    def _splittable_prefix(self, p: int) -> List[str]:
+        """Layers the width-split can cover, tracking the per-rank local
+        extent so pooled-down slabs never drop below the kernel size (the
+        paper similarly stops spatial parallelism once "adequate
+        parallelism" is exhausted and aggregates)."""
+        extent = self.model.input_spec.spatial[-1]
+        if extent % p:
+            raise ValueError(
+                f"input width {extent} not divisible by p={p}"
+            )
+        local = extent // p
+        names: List[str] = []
+        for layer in self.model:
+            if not layer.spatially_parallelizable:
+                break
+            if isinstance(layer, L.Conv):
+                if (
+                    layer.stride[-1] != 1
+                    or layer.padding[-1] != layer.kernel[-1] // 2
+                    or local < layer.kernel[-1] // 2
+                ):
+                    break
+            elif isinstance(layer, L.Pool):
+                if (
+                    layer.kernel[-1] != layer.stride[-1]
+                    or layer.padding[-1] != 0
+                    or local % layer.stride[-1]
+                    or local // layer.stride[-1] < 1
+                ):
+                    break
+                local //= layer.stride[-1]
+            elif not isinstance(layer, (L.ReLU, L.BatchNorm)):
+                break
+            names.append(layer.name)
+        if not names:
+            raise ValueError(
+                f"{self.model.name} has no spatially-splittable prefix for p={p}"
+            )
+        return names
+
+    def _build_rank_ops(self) -> Dict[str, Op]:
+        ops = build_ops(self.model, self.params)
+        for name in self.split_names:
+            layer = self.model[name]
+            if isinstance(layer, L.Conv):
+                op = ops[name]
+                assert isinstance(op, ConvOp)
+                op.padding = tuple(layer.padding[:-1]) + (0,)
+        return ops
+
+    @property
+    def p(self) -> int:
+        return self.comm.size
+
+    # ---- forward -----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axis = x.ndim - 1
+        shards = self.comm.scatter(x, axis=axis)
+        acts: List[Dict[str, np.ndarray]] = [dict() for _ in range(self.p)]
+        current = shards
+        gathered = False
+        for layer in self.model:
+            name = layer.name
+            ops = [self.rank_ops[r][name] for r in range(self.p)]
+            if name in self.split_names:
+                current = self._split_forward(layer, ops, current)
+            else:
+                if not gathered:
+                    # Aggregation point: collect the full activation and run
+                    # the tail redundantly on every rank.
+                    full = self.comm.allgather(current, axis=current[0].ndim - 1)
+                    current = full
+                    gathered = True
+                current = [op.forward(cur) for op, cur in zip(ops, current)]
+            for r in range(self.p):
+                acts[r][name] = current[r]
+        self.activations = acts
+        self._gathered = gathered
+        return current[0] if gathered else self.comm.gather(
+            current, axis=current[0].ndim - 1
+        )
+
+    def _split_forward(
+        self, layer, ops: List[Op], current: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        if isinstance(layer, L.Conv):
+            width = layer.kernel[-1] // 2
+            self._halo_widths[layer.name] = width
+            axis = current[0].ndim - 1
+            if width > 0:
+                extended = self.comm.halo_exchange(current, axis=axis, width=width)
+                extended = _pad_borders(extended, axis, width)
+            else:
+                extended = current
+            return [op.forward(e) for op, e in zip(ops, extended)]
+        if isinstance(layer, L.BatchNorm) and self.sync_bn:
+            return self._sync_bn_forward(ops, current)
+        return [op.forward(cur) for op, cur in zip(ops, current)]
+
+    def _sync_bn_forward(
+        self, ops: List[BatchNormOp], xs: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        axes = (0,) + tuple(range(2, xs[0].ndim))
+        counts = [np.array(float(np.prod([x.shape[a] for a in axes]))) for x in xs]
+        sums = [x.sum(axis=axes) for x in xs]
+        sqs = [(x ** 2).sum(axis=axes) for x in xs]
+        n = self.comm.allreduce(counts)[0]
+        s = self.comm.allreduce(sums)[0]
+        sq = self.comm.allreduce(sqs)[0]
+        mean, var = s / n, sq / n - (s / n) ** 2
+        outs = []
+        for op, x in zip(ops, xs):
+            op.override_moments = (mean, var)
+            outs.append(op.forward(x))
+            op.override_moments = None
+        return outs
+
+    # ---- backward ------------------------------------------------------------
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if not self.activations:
+            raise RuntimeError("backward before forward")
+        if self._gathered:
+            current = [np.array(dy, copy=True) for _ in range(self.p)]
+        else:
+            current = self.comm.scatter(dy, axis=dy.ndim - 1)
+        crossed_boundary = not self._gathered
+        for layer in reversed(self.model.layers):
+            name = layer.name
+            ops = [self.rank_ops[r][name] for r in range(self.p)]
+            if name in self.split_names and not crossed_boundary:
+                # First split layer seen from the back: slice the (identical)
+                # full gradient down to the local slab.
+                axis = self.activations[0][name].ndim - 1
+                local_extent = self.activations[0][name].shape[axis]
+                current = [
+                    _slice_axis(cur, axis, r * local_extent, (r + 1) * local_extent)
+                    for r, cur in enumerate(current)
+                ]
+                crossed_boundary = True
+            if name in self.split_names:
+                current = self._split_backward(layer, ops, current)
+            else:
+                current = [op.backward(cur) for op, cur in zip(ops, current)]
+        return self.comm.gather(current, axis=current[0].ndim - 1)
+
+    def _split_backward(
+        self, layer, ops: List[Op], current: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        if isinstance(layer, L.BatchNorm) and self.sync_bn:
+            from .dataparallel import _sync_bn_backward
+
+            return _sync_bn_backward(self.comm, ops, current)
+        outs = [op.backward(cur) for op, cur in zip(ops, current)]
+        if isinstance(layer, L.Conv):
+            width = self._halo_widths[layer.name]
+            if width > 0:
+                axis = outs[0].ndim - 1
+                outs = self.comm.halo_reduce(outs, axis=axis, width=width)
+        return outs
+
+    # ---- inspection ------------------------------------------------------------
+    def gradients(self, rank: int = 0) -> Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Gradient-exchange phase: Allreduce dw over the split region.
+
+        Tail layers ran redundantly on the full batch, so their local
+        gradients are already the full gradient and are not reduced.
+        """
+        out: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+        weighted = [
+            n for n, op in self.rank_ops[0].items()
+            if getattr(op, "dw", None) is not None
+        ]
+        for name in weighted:
+            if name in self.split_names:
+                dws = self.comm.allreduce(
+                    [self.rank_ops[r][name].dw for r in range(self.p)]
+                )
+                dw = dws[rank]
+                db = None
+                if getattr(self.rank_ops[0][name], "db", None) is not None:
+                    db = self.comm.allreduce(
+                        [self.rank_ops[r][name].db for r in range(self.p)]
+                    )[rank]
+            else:
+                dw = self.rank_ops[rank][name].dw
+                db = getattr(self.rank_ops[rank][name], "db", None)
+            out[name] = (dw, db)
+        return out
+
+    def gathered_activation(self, name: str) -> np.ndarray:
+        acts = [self.activations[r][name] for r in range(self.p)]
+        if name in self.split_names:
+            return self.comm.gather(acts, axis=acts[0].ndim - 1)
+        return acts[0]
+
+    # ---- weight update ------------------------------------------------------
+    def sgd_step(self, lr: float, batch: int) -> None:
+        """GE + WU: Allreduce the split-region gradients, then every rank
+        updates its (replicated) weights with the same reduced value; tail
+        layers already hold full gradients (they ran redundantly)."""
+        reduced = self.gradients(rank=0)
+        for r in range(self.p):
+            for name, (dw, db) in reduced.items():
+                op = self.rank_ops[r][name]
+                op.w -= lr * dw / batch
+                if db is not None and getattr(op, "b", None) is not None:
+                    op.b -= lr * db / batch
+
+    def zero_grad(self) -> None:
+        for r in range(self.p):
+            for op in self.rank_ops[r].values():
+                if getattr(op, "dw", None) is not None:
+                    op.dw[...] = 0.0
+                if getattr(op, "db", None) is not None:
+                    op.db[...] = 0.0
+
+
+def _pad_borders(
+    extended: List[np.ndarray], axis: int, width: int
+) -> List[np.ndarray]:
+    """Zero-pad the global borders so every rank's slab has uniform
+    ``local + 2*width`` extent (interior edges carry ghost cells)."""
+    out = []
+    for i, e in enumerate(extended):
+        pads = [(0, 0)] * e.ndim
+        left = width if i == 0 else 0
+        right = width if i == len(extended) - 1 else 0
+        if left or right:
+            pads[axis] = (left, right)
+            e = np.pad(e, pads)
+        out.append(e)
+    return out
+
+
+def _slice_axis(a: np.ndarray, axis: int, start: int, stop: int) -> np.ndarray:
+    idx = [slice(None)] * a.ndim
+    idx[axis] = slice(start, stop)
+    return np.array(a[tuple(idx)], copy=True)

@@ -1,0 +1,169 @@
+"""Value-by-value validation of parallel executors (Section 4.5.2).
+
+"We first compare the output activations/gradients (in forward/backward
+phases) of each layer (value-by-value) to confirm that the parallelization
+artifacts, e.g., halo exchange, do not affect the correctness."  This module
+is that check: run a parallel executor and the sequential reference on the
+same inputs/parameters and compare every layer activation, the input
+gradient, and every weight gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.graph import ModelGraph
+from .ops import init_params
+from .sequential import SequentialExecutor
+
+__all__ = [
+    "ValidationReport",
+    "compare_activations",
+    "compare_gradients",
+    "validate_strategy",
+]
+
+#: Relative tolerance for float64 comparisons.  Parallel summation reorders
+#: floating-point adds; exact bit equality is not expected, 1e-9 relative is.
+RTOL = 1e-9
+ATOL = 1e-11
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one parallel-vs-sequential comparison."""
+
+    strategy: str
+    model: str
+    p: int
+    max_activation_error: float = 0.0
+    max_gradient_error: float = 0.0
+    max_input_grad_error: float = 0.0
+    layers_checked: int = 0
+    gradients_checked: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.ok else f"FAIL({len(self.failures)})"
+        return (
+            f"[{status}] {self.strategy} p={self.p} on {self.model}: "
+            f"act_err={self.max_activation_error:.2e} "
+            f"grad_err={self.max_gradient_error:.2e}"
+        )
+
+
+def _rel_err(a: np.ndarray, b: np.ndarray) -> float:
+    denom = max(float(np.max(np.abs(b))), 1e-30)
+    return float(np.max(np.abs(a - b))) / denom
+
+
+def compare_activations(
+    parallel,
+    sequential: SequentialExecutor,
+    report: ValidationReport,
+    layer_names: Optional[List[str]] = None,
+) -> None:
+    """Compare gathered per-layer activations against the reference."""
+    names = layer_names or [l.name for l in sequential.model]
+    for name in names:
+        try:
+            got = parallel.gathered_activation(name)
+        except (KeyError, NotImplementedError):
+            continue
+        ref = sequential.activations[name]
+        ref = ref.reshape(got.shape) if got.shape != ref.shape else ref
+        err = _rel_err(got, ref)
+        report.max_activation_error = max(report.max_activation_error, err)
+        report.layers_checked += 1
+        if not np.allclose(got, ref, rtol=RTOL, atol=ATOL * max(1.0, float(np.max(np.abs(ref))))):
+            report.failures.append(
+                f"activation mismatch at {name}: rel err {err:.3e}"
+            )
+
+
+def compare_gradients(
+    parallel,
+    sequential: SequentialExecutor,
+    report: ValidationReport,
+) -> None:
+    """Compare reassembled weight gradients against the reference."""
+    ref_grads = sequential.gradients()
+    got_grads = parallel.gradients()
+    for name, (ref_dw, ref_db) in ref_grads.items():
+        if name not in got_grads:
+            report.failures.append(f"missing gradient for {name}")
+            continue
+        got_dw, got_db = got_grads[name]
+        err = _rel_err(got_dw, ref_dw)
+        report.max_gradient_error = max(report.max_gradient_error, err)
+        report.gradients_checked += 1
+        if not np.allclose(got_dw, ref_dw, rtol=1e-8, atol=1e-9):
+            report.failures.append(f"dw mismatch at {name}: rel err {err:.3e}")
+        if ref_db is not None and got_db is not None:
+            berr = _rel_err(got_db, ref_db)
+            report.max_gradient_error = max(report.max_gradient_error, berr)
+            if not np.allclose(got_db, ref_db, rtol=1e-8, atol=1e-9):
+                report.failures.append(
+                    f"db mismatch at {name}: rel err {berr:.3e}"
+                )
+
+
+def validate_strategy(
+    model: ModelGraph,
+    executor_cls,
+    p: int,
+    batch: int = 8,
+    seed: int = 0,
+    executor_kwargs: Optional[Dict] = None,
+    check_input_grad: bool = True,
+) -> ValidationReport:
+    """End-to-end check: forward + backward parity on random data.
+
+    Builds shared parameters, runs the sequential reference and the
+    parallel executor on identical inputs and output gradients, and
+    compares activations, weight gradients, and the input gradient.
+    """
+    rng = np.random.default_rng(seed + 1)
+    params = init_params(model, seed)
+    seq = SequentialExecutor(model, params=params)
+    kwargs = dict(executor_kwargs or {})
+    par = executor_cls(model, p, params=params, **kwargs)
+
+    shape = (batch, model.input_spec.channels) + model.input_spec.spatial
+    x = rng.standard_normal(shape)
+    y_ref = seq.forward(x)
+    y_par = par.forward(x)
+    report = ValidationReport(
+        strategy=executor_cls.__name__, model=model.name, p=p
+    )
+    y_par_cmp = y_par.reshape(y_ref.shape) if y_par.shape != y_ref.shape else y_par
+    if not np.allclose(y_par_cmp, y_ref, rtol=RTOL, atol=1e-10):
+        report.failures.append(
+            f"final output mismatch: rel err {_rel_err(y_par_cmp, y_ref):.3e}"
+        )
+    compare_activations(par, seq, report)
+
+    dy = rng.standard_normal(y_ref.shape)
+    dx_ref = seq.backward(dy)
+    dx_par = par.backward(dy.reshape(y_par.shape))
+    if check_input_grad:
+        dx_cmp = (
+            dx_par.reshape(dx_ref.shape)
+            if dx_par.shape != dx_ref.shape
+            else dx_par
+        )
+        report.max_input_grad_error = _rel_err(dx_cmp, dx_ref)
+        if not np.allclose(dx_cmp, dx_ref, rtol=1e-8, atol=1e-9):
+            report.failures.append(
+                f"input gradient mismatch: rel err "
+                f"{report.max_input_grad_error:.3e}"
+            )
+    compare_gradients(par, seq, report)
+    return report

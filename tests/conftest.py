@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.tensors import TensorSpec
+from repro.core.calibration import profile_model
+from repro.models import resnet50, toy_cnn, toy_cnn3d, vgg16
+from repro.network.topology import abci_like_cluster
+
+
+@pytest.fixture(scope="session")
+def resnet50_model():
+    return resnet50()
+
+@pytest.fixture(scope="session")
+def vgg16_model():
+    return vgg16()
+
+
+@pytest.fixture(scope="session")
+def toy2d():
+    return toy_cnn(TensorSpec(4, (16, 16)), channels=(8, 16))
+
+
+@pytest.fixture(scope="session")
+def toy3d():
+    return toy_cnn3d(TensorSpec(2, (8, 8, 8)), channels=(4, 8))
+
+
+@pytest.fixture(scope="session")
+def cluster64():
+    return abci_like_cluster(64)
+
+
+@pytest.fixture(scope="session")
+def cluster1024():
+    return abci_like_cluster(1024)
+
+
+@pytest.fixture(scope="session")
+def resnet50_profile(resnet50_model):
+    return profile_model(resnet50_model, samples_per_pe=32)

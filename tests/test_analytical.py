@@ -1,0 +1,351 @@
+"""Tests for the Table-3 analytical model: every strategy's formulas."""
+
+import pytest
+
+from repro.collectives import ring_allreduce_time
+from repro.core.analytical import (
+    AnalyticalModel,
+    PhaseBreakdown,
+    spatial_extent_of,
+)
+from repro.core.calibration import profile_model
+from repro.core.strategies import (
+    ChannelParallel,
+    DataFilterParallel,
+    DataParallel,
+    DataSpatialParallel,
+    FilterParallel,
+    PipelineParallel,
+    Serial,
+    SpatialParallel,
+    StrategyError,
+)
+from repro.core.tensors import halo_elements
+from repro.data import IMAGENET
+from repro.network.topology import abci_like_cluster
+
+D = IMAGENET.num_samples
+
+
+@pytest.fixture(scope="module")
+def am(resnet50_model, cluster64, resnet50_profile):
+    return AnalyticalModel(resnet50_model, cluster64, resnet50_profile)
+
+
+class TestPhaseBreakdown:
+    def test_totals(self):
+        b = PhaseBreakdown(comp_fw=1, comp_bw=2, comp_wu=3, comm_ge=4,
+                           comm_fb=5, comm_halo=6, comm_p2p=7)
+        assert b.computation == 6
+        assert b.communication == 22
+        assert b.total == 28
+
+    def test_scaled(self):
+        b = PhaseBreakdown(comp_fw=2, comm_ge=4)
+        half = b.scaled(0.5)
+        assert half.comp_fw == 1 and half.comm_ge == 2
+
+    def test_add(self):
+        a = PhaseBreakdown(comp_fw=1) + PhaseBreakdown(comp_fw=2, comm_fb=3)
+        assert a.comp_fw == 3 and a.comm_fb == 3
+
+    def test_asdict_roundtrip(self):
+        b = PhaseBreakdown(comp_fw=1, comm_halo=2)
+        d = b.asdict()
+        assert d["comp_fw"] == 1 and d["comm_halo"] == 2
+        assert len(d) == 7
+
+
+class TestSerial:
+    def test_eq3(self, am, resnet50_profile):
+        """Eq. (3): T = D sum(FW+BW) + I sum(WU); no communication."""
+        B = 32
+        proj = am.project(Serial(), B, D)
+        e = proj.per_epoch
+        assert e.communication == 0.0
+        assert e.comp_fw == pytest.approx(D * resnet50_profile.total_fw())
+        assert e.comp_wu == pytest.approx((D // B) * resnet50_profile.total_wu())
+
+    def test_memory_eq4_shape(self, am, resnet50_model):
+        B = 32
+        proj = am.project(Serial(), B, D)
+        # gamma * delta * sum(2B(|x|+|y|) + 2|w| + |bi|)
+        expected = am.gamma * am.delta * sum(
+            2 * B * (l.input.elements + l.output.elements)
+            + 2 * l.weight_elements + l.bias_elements
+            for l in resnet50_model
+        )
+        assert proj.memory_bytes == pytest.approx(expected)
+
+
+class TestDataParallel:
+    def test_compute_divided_by_p(self, am, resnet50_profile):
+        p, B = 16, 512
+        proj = am.project(DataParallel(p), B, D)
+        assert proj.per_epoch.comp_fw == pytest.approx(
+            D / p * resnet50_profile.total_fw()
+        )
+        # WU is NOT divided (every replica updates the full model).
+        assert proj.per_epoch.comp_wu == pytest.approx(
+            (D // B) * resnet50_profile.total_wu()
+        )
+
+    def test_ge_is_ring_allreduce_of_weights(self, am, resnet50_model,
+                                             cluster64):
+        p, B = 16, 512
+        proj = am.project(DataParallel(p), B, D)
+        params = cluster64.hockney(p)
+        expected = (D // B) * ring_allreduce_time(
+            p, 4 * resnet50_model.weight_elements, params
+        )
+        assert proj.per_epoch.comm_ge == pytest.approx(expected)
+        assert proj.per_epoch.comm_fb == 0.0
+        assert proj.per_epoch.comm_halo == 0.0
+
+    def test_memory_shrinks_with_p(self, am):
+        m4 = am.project(DataParallel(4), 512, D).memory_bytes
+        m16 = am.project(DataParallel(16), 512, D).memory_bytes
+        assert m16 < m4
+
+    def test_weak_scaling_keeps_iteration_compute_constant(self, am):
+        t16 = am.project(DataParallel(16), 32 * 16, D).per_iteration
+        t64 = am.project(DataParallel(64), 32 * 64, D).per_iteration
+        # Per-iteration forward/backward compute is constant at fixed
+        # samples/GPU; the epoch shrinks ~1/p (that's the speedup).
+        assert t64.comp_fw == pytest.approx(t16.comp_fw, rel=0.05)
+        e16 = am.project(DataParallel(16), 32 * 16, D).per_epoch
+        e64 = am.project(DataParallel(64), 32 * 64, D).per_epoch
+        assert e64.comp_fw == pytest.approx(e16.comp_fw / 4, rel=0.05)
+
+
+class TestSpatial:
+    def test_has_halo_and_ge(self, am):
+        proj = am.project(SpatialParallel((4, 4)), 64, D)
+        assert proj.per_epoch.comm_halo > 0
+        assert proj.per_epoch.comm_ge > 0
+
+    def test_halo_eq10(self, am, resnet50_model, cluster64):
+        grid = (4, 4)
+        B = 64
+        proj = am.project(SpatialParallel(grid), B, D)
+        params = cluster64.hockney(16, transport="mpi")
+        expected = 0.0
+        for layer in spatial_extent_of(resnet50_model, grid):
+            if not layer.kernel or max(layer.kernel) <= 1:
+                continue
+            hx = halo_elements(layer.input, grid, layer.kernel)
+            hy = halo_elements(layer.output, grid, layer.kernel)
+            if hx or hy:
+                expected += 2 * (
+                    2 * params.alpha + B * (hx + hy) * 4 * params.beta
+                )
+        assert proj.per_epoch.comm_halo == pytest.approx((D // B) * expected)
+
+    def test_weights_fully_replicated_in_memory(self, am, resnet50_model):
+        p4 = am.project(SpatialParallel((2, 2)), 64, D)
+        weights_term = am.gamma * 4 * sum(
+            2 * l.weight_elements + l.bias_elements for l in resnet50_model
+        )
+        assert p4.memory_bytes > weights_term
+
+    def test_nccl_halo_cheaper_than_mpi(self, resnet50_model, cluster64,
+                                        resnet50_profile):
+        mpi = AnalyticalModel(resnet50_model, cluster64, resnet50_profile,
+                              halo_transport="mpi")
+        nccl = AnalyticalModel(resnet50_model, cluster64, resnet50_profile,
+                               halo_transport="nccl")
+        s = SpatialParallel((4, 4))
+        assert (nccl.project(s, 64, D).per_epoch.comm_halo
+                < mpi.project(s, 64, D).per_epoch.comm_halo)
+
+    def test_spatial_extent_stops_at_fc(self, resnet50_model):
+        layers = spatial_extent_of(resnet50_model, (2, 2))
+        names = [l.name for l in layers]
+        assert "fc" not in names
+        assert "conv1" in names
+
+    def test_spatial_extent_respects_grid_size(self, resnet50_model):
+        # A 7x7 grid fits nothing below the last stage's 7x7 maps.
+        wide = spatial_extent_of(resnet50_model, (7, 7))
+        narrow = spatial_extent_of(resnet50_model, (2, 2))
+        assert len(wide) <= len(narrow)
+
+
+class TestPipeline:
+    def test_bubble_factor(self, am, resnet50_profile, resnet50_model):
+        p, S, B = 4, 8, 64
+        proj = am.project(PipelineParallel(p, segments=S), B, D)
+        groups = resnet50_model.partition_depth(p)
+        max_fw = max(resnet50_profile.group_fw(g) for g in groups)
+        expected_fw = D * (p + S - 1) / S * max_fw
+        assert proj.per_epoch.comp_fw == pytest.approx(expected_fw)
+
+    def test_p2p_comm_positive(self, am):
+        proj = am.project(PipelineParallel(4, segments=8), 64, D)
+        assert proj.per_epoch.comm_p2p > 0
+        assert proj.per_epoch.comm_ge == 0.0
+
+    def test_more_segments_less_bubble(self, am):
+        t2 = am.project(PipelineParallel(4, segments=2), 64, D)
+        t16 = am.project(PipelineParallel(4, segments=16), 64, D)
+        assert t16.per_epoch.comp_fw < t2.per_epoch.comp_fw
+
+    def test_memory_is_max_stage(self, am):
+        p1 = am.project(PipelineParallel(1, segments=4), 64, D)
+        p4 = am.project(PipelineParallel(4, segments=4), 64, D)
+        assert p4.memory_bytes < p1.memory_bytes
+
+
+class TestFilterChannel:
+    def test_eq15_layerwise_comm(self, am, resnet50_model, cluster64):
+        p, B = 16, 32
+        proj = am.project(FilterParallel(p), B, D)
+        params = cluster64.hockney(p)
+        layers = resnet50_model.weighted_layers
+        expected = sum(
+            3 * (p - 1) * (params.alpha + B * l.output.elements * 4 / p * params.beta)
+            for l in layers[:-1]
+        )
+        assert proj.per_epoch.comm_fb == pytest.approx((D // B) * expected)
+
+    def test_channel_equals_filter_totals(self, am):
+        """Eqs. (15)/(19): same total comm; Eq. (17): same memory."""
+        f = am.project(FilterParallel(16), 32, D)
+        c = am.project(ChannelParallel(16), 32, D)
+        assert f.per_epoch.comm_fb == pytest.approx(c.per_epoch.comm_fb)
+        assert f.memory_bytes == pytest.approx(c.memory_bytes)
+        assert f.per_epoch.computation == pytest.approx(
+            c.per_epoch.computation
+        )
+
+    def test_wu_divided_by_p(self, am, resnet50_profile):
+        p, B = 16, 32
+        proj = am.project(FilterParallel(p), B, D)
+        assert proj.per_epoch.comp_wu == pytest.approx(
+            (D // B) * resnet50_profile.total_wu() / p
+        )
+
+    def test_weights_divided_activations_replicated(self, am):
+        m4 = am.project(FilterParallel(4), 32, D).memory_bytes
+        m16 = am.project(FilterParallel(16), 32, D).memory_bytes
+        # Only the (small) weight term shrinks for ResNet-50.
+        assert m16 < m4
+        assert m16 > 0.9 * m4  # activations dominate and are replicated
+
+    def test_comm_grows_with_batch(self, am):
+        t32 = am.project(FilterParallel(16), 32, D).per_iteration.comm_fb
+        t64 = am.project(FilterParallel(16), 64, D).per_iteration.comm_fb
+        assert t64 > 1.5 * t32
+
+    def test_filter_comm_exceeds_data_comm_at_b32(self, am):
+        """Section 5.3.1: with B >= 32 the layer-wise communication of
+        filter/channel exceeds data parallelism's gradient exchange."""
+        f = am.project(FilterParallel(16), 32, D).per_iteration
+        d = am.project(DataParallel(16), 512, D).per_iteration
+        assert f.comm_fb > d.comm_ge
+
+
+class TestDataFilter:
+    def test_eq21_compute(self, am, resnet50_profile):
+        p1, p2, B = 16, 4, 512
+        proj = am.project(DataFilterParallel(p1, p2), B, D)
+        p = p1 * p2
+        assert proj.per_epoch.comp_fw == pytest.approx(
+            D / p * resnet50_profile.total_fw()
+        )
+        assert proj.per_epoch.comp_wu == pytest.approx(
+            (D // B) * resnet50_profile.total_wu() / p2
+        )
+
+    def test_contention_penalty_applied(self, resnet50_model, cluster64,
+                                        resnet50_profile):
+        with_phi = AnalyticalModel(resnet50_model, cluster64,
+                                   resnet50_profile, contention=True)
+        without = AnalyticalModel(resnet50_model, cluster64,
+                                  resnet50_profile, contention=False)
+        s = DataFilterParallel(16, 4)
+        ge_with = with_phi.project(s, 512, D).per_epoch.comm_ge
+        ge_without = without.project(s, 512, D).per_epoch.comm_ge
+        assert ge_with > ge_without
+        # phi = 2 for 4 GPUs over 2 rails scales only the beta term.
+        assert ge_with < 2.0 * ge_without + 1e-12
+
+    def test_memory_eq20(self, am, resnet50_model):
+        p1, p2, B = 16, 4, 512
+        proj = am.project(DataFilterParallel(p1, p2), B, D)
+        expected = am.gamma * 4 * sum(
+            2 * (B / p1) * (l.input.elements + l.output.elements)
+            + 2 * l.weight_elements / p2 + l.bias_elements
+            for l in resnet50_model
+        )
+        assert proj.memory_bytes == pytest.approx(expected)
+
+
+class TestDataSpatial:
+    def test_hierarchical_ge_more_expensive_than_flat(self, am):
+        """Section 5.3.1: the ds Allreduce costs more than 2x data's."""
+        ds = am.project(DataSpatialParallel(16, (2, 2)), 512, D)
+        d = am.project(DataParallel(64), 512, D)
+        assert ds.per_epoch.comm_ge > d.per_epoch.comm_ge
+
+    def test_has_halo(self, am):
+        proj = am.project(DataSpatialParallel(16, (2, 2)), 512, D)
+        assert proj.per_epoch.comm_halo > 0
+
+    def test_wu_not_divided(self, am, resnet50_profile):
+        proj = am.project(DataSpatialParallel(16, (2, 2)), 512, D)
+        assert proj.per_epoch.comp_wu == pytest.approx(
+            (D // 512) * resnet50_profile.total_wu()
+        )
+
+
+class TestProjectionObject:
+    def test_iterations(self, am):
+        proj = am.project(DataParallel(16), 512, D)
+        assert proj.iterations == D // 512
+        assert proj.per_iteration.total == pytest.approx(
+            proj.per_epoch.total / proj.iterations
+        )
+
+    def test_accuracy_metric(self, am):
+        proj = am.project(DataParallel(16), 512, D)
+        t = proj.per_epoch.total
+        assert proj.accuracy(t) == pytest.approx(1.0)
+        assert proj.accuracy(2 * t) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            proj.accuracy(0)
+
+    def test_feasibility_check(self, am):
+        proj = am.project(DataParallel(16), 512, D)
+        assert proj.feasible_memory == (
+            proj.memory_bytes <= proj.memory_capacity
+        )
+
+    def test_strategy_checked(self, am):
+        with pytest.raises(StrategyError):
+            am.project(FilterParallel(128), 32, D)
+
+    def test_invalid_batch(self, am):
+        with pytest.raises(ValueError):
+            am.project(Serial(), 0, D)
+        with pytest.raises(ValueError):
+            am.project(Serial(), D + 1, D)
+
+
+class TestConstructorValidation:
+    def test_bad_gamma(self, resnet50_model, cluster64, resnet50_profile):
+        with pytest.raises(ValueError):
+            AnalyticalModel(resnet50_model, cluster64, resnet50_profile,
+                            gamma=0.0)
+
+    def test_bad_delta(self, resnet50_model, cluster64, resnet50_profile):
+        with pytest.raises(ValueError):
+            AnalyticalModel(resnet50_model, cluster64, resnet50_profile,
+                            delta=0)
+
+    def test_profile_must_cover_model(self, resnet50_model, cluster64, toy2d):
+        from repro.core.calibration import profile_model as pm
+
+        with pytest.raises(ValueError, match="missing"):
+            AnalyticalModel(resnet50_model, cluster64,
+                            pm(toy2d, samples_per_pe=4))

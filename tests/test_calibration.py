@@ -1,0 +1,110 @@
+"""Tests for the empirical parametrization (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    calibrate_cluster,
+    estimate_gamma,
+    fit_hockney,
+    measure_allreduce_curve,
+    profile_model,
+)
+from repro.collectives import ring_allreduce_time
+from repro.network.hockney import HockneyParams
+
+
+class TestFitHockney:
+    def test_recovers_exact_parameters(self):
+        truth = HockneyParams(alpha=2e-6, beta=8e-11)
+        p = 8
+        sizes = np.array([2.0 ** e for e in range(12, 28)])
+        times = np.array([ring_allreduce_time(p, m, truth) for m in sizes])
+        fit = fit_hockney(sizes, times, p)
+        assert fit.params.alpha == pytest.approx(truth.alpha, rel=1e-6)
+        assert fit.params.beta == pytest.approx(truth.beta, rel=1e-6)
+        assert fit.residual_rms < 1e-12
+
+    def test_robust_to_noise(self):
+        truth = HockneyParams(alpha=2e-6, beta=8e-11)
+        p = 16
+        rng = np.random.default_rng(0)
+        sizes = np.array([2.0 ** e for e in range(14, 28)])
+        times = np.array([
+            ring_allreduce_time(p, m, truth) * rng.normal(1.0, 0.02)
+            for m in sizes
+        ])
+        fit = fit_hockney(sizes, times, p)
+        assert fit.params.beta == pytest.approx(truth.beta, rel=0.1)
+
+    def test_allgather_pattern(self):
+        truth = HockneyParams(alpha=1e-6, beta=1e-10)
+        p = 8
+        segs = np.array([1e4, 1e5, 1e6, 1e7])
+        times = (p - 1) * (truth.alpha + segs * truth.beta)
+        fit = fit_hockney(segs, times, p, pattern="allgather")
+        assert fit.params.beta == pytest.approx(truth.beta, rel=1e-6)
+
+    def test_p2p_pattern(self):
+        truth = HockneyParams(alpha=5e-6, beta=2e-10)
+        sizes = np.array([1e3, 1e5, 1e6])
+        times = truth.alpha + sizes * truth.beta
+        fit = fit_hockney(sizes, times, p=1, pattern="p2p")
+        assert fit.params.alpha == pytest.approx(truth.alpha, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_hockney([1.0], [1.0], 4)
+        with pytest.raises(ValueError):
+            fit_hockney([1, 2], [1, 2], 1)  # collective needs p >= 2
+        with pytest.raises(ValueError):
+            fit_hockney([1, 2], [1, 2], 4, pattern="zzz")
+
+
+class TestClusterCalibration:
+    def test_fit_matches_fabric(self, cluster64):
+        result = calibrate_cluster(cluster64, p=32)
+        truth = cluster64.hockney(32)
+        assert result.params.beta == pytest.approx(truth.beta, rel=0.05)
+
+    def test_intra_vs_inter_differ(self, cluster64):
+        """Section 4.4: alpha/beta change across the hierarchy."""
+        intra = calibrate_cluster(cluster64, p=4)
+        inter = calibrate_cluster(cluster64, p=32)
+        assert intra.params.beta < inter.params.beta
+
+    def test_measure_curve_monotone(self, cluster64):
+        sizes, times = measure_allreduce_curve(
+            cluster64, 16, [1e4, 1e5, 1e6, 1e7]
+        )
+        assert np.all(np.diff(times) > 0)
+
+
+class TestProfileModel:
+    def test_covers_all_layers(self, resnet50_model):
+        prof = profile_model(resnet50_model, samples_per_pe=8)
+        prof.validate_against(resnet50_model)
+
+    def test_bigger_model_slower(self, resnet50_model, vgg16_model):
+        r = profile_model(resnet50_model, samples_per_pe=8)
+        v = profile_model(vgg16_model, samples_per_pe=8)
+        assert v.total_fw() > r.total_fw()
+
+    def test_optimizer_affects_wu_only(self, resnet50_model):
+        sgd = profile_model(resnet50_model, 8, optimizer="sgd")
+        adam = profile_model(resnet50_model, 8, optimizer="adam")
+        assert adam.total_wu() > sgd.total_wu()
+        assert adam.total_fw() == pytest.approx(sgd.total_fw())
+
+
+class TestGamma:
+    def test_ratio(self):
+        assert estimate_gamma(10e9, 5e9) == pytest.approx(0.5)
+
+    def test_rejects_inflation(self):
+        with pytest.raises(ValueError):
+            estimate_gamma(5e9, 10e9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            estimate_gamma(0, 1)

@@ -1,0 +1,77 @@
+"""Tests for pipeline gradient checkpointing (Section 5.3.2)."""
+
+import pytest
+
+from repro.core.analytical import AnalyticalModel
+from repro.core.calibration import profile_model
+from repro.core.strategies import PipelineParallel
+from repro.core.tensors import TensorSpec
+from repro.data import COSMOFLOW_512, IMAGENET
+from repro.models import cosmoflow, resnet50
+from repro.network.topology import abci_like_cluster
+
+D = IMAGENET.num_samples
+
+
+@pytest.fixture(scope="module")
+def am(resnet50_model, cluster64, resnet50_profile):
+    return AnalyticalModel(resnet50_model, cluster64, resnet50_profile)
+
+
+class TestCheckpointing:
+    def test_memory_shrinks(self, am):
+        plain = am.project(PipelineParallel(4, segments=8), 64, D)
+        ckpt = am.project(
+            PipelineParallel(4, segments=8, checkpoint=True), 64, D
+        )
+        assert ckpt.memory_bytes < plain.memory_bytes
+
+    def test_compute_grows_by_one_forward(self, am):
+        plain = am.project(PipelineParallel(4, segments=8), 64, D)
+        ckpt = am.project(
+            PipelineParallel(4, segments=8, checkpoint=True), 64, D
+        )
+        assert ckpt.per_epoch.comp_fw == pytest.approx(
+            2 * plain.per_epoch.comp_fw
+        )
+        assert ckpt.per_epoch.comp_bw == pytest.approx(
+            plain.per_epoch.comp_bw
+        )
+
+    def test_memory_scales_with_segments(self, am):
+        """With checkpointing, live activations are one micro-batch: more
+        segments -> smaller micro-batch -> less memory."""
+        s4 = am.project(PipelineParallel(4, segments=4, checkpoint=True),
+                        64, D)
+        s16 = am.project(PipelineParallel(4, segments=16, checkpoint=True),
+                         64, D)
+        assert s16.memory_bytes < s4.memory_bytes
+
+    def test_note_recorded(self, am):
+        ckpt = am.project(
+            PipelineParallel(4, segments=8, checkpoint=True), 64, D
+        )
+        assert any("checkpoint" in n for n in ckpt.notes)
+
+    def test_comm_unchanged(self, am):
+        plain = am.project(PipelineParallel(4, segments=8), 64, D)
+        ckpt = am.project(
+            PipelineParallel(4, segments=8, checkpoint=True), 64, D
+        )
+        assert ckpt.per_epoch.comm_p2p == pytest.approx(
+            plain.per_epoch.comm_p2p
+        )
+
+    def test_cosmoflow_stays_infeasible_even_with_checkpointing(self):
+        """Section 5.3.2: 'for those kind of models the pipeline strategy
+        would be unfeasible' — the single first-layer activation already
+        exceeds capacity, which checkpointing cannot fix."""
+        model = cosmoflow(COSMOFLOW_512.sample)
+        cluster = abci_like_cluster(4)
+        profile = profile_model(model, samples_per_pe=1)
+        am = AnalyticalModel(model, cluster, profile)
+        ckpt = am.project(
+            PipelineParallel(4, segments=2, checkpoint=True),
+            2, COSMOFLOW_512.num_samples,
+        )
+        assert not ckpt.feasible_memory

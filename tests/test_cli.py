@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_project_defaults(self):
+        args = build_parser().parse_args(["project"])
+        assert args.model == "resnet50"
+        assert args.strategy == "d"
+        assert args.pes == 64
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["project", "--strategy", "xyz"])
+
+
+class TestProject:
+    def test_feasible_returns_zero(self, capsys):
+        rc = main(["project", "--model", "resnet50", "--strategy", "d",
+                   "-p", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "total=" in out
+        assert "OK" in out
+
+    def test_oom_returns_one(self, capsys):
+        rc = main(["project", "--model", "cosmoflow", "--strategy", "d",
+                   "-p", "4", "--dataset", "cosmoflow512",
+                   "--samples-per-pe", "1"])
+        assert rc == 1
+        assert "OUT OF MEMORY" in capsys.readouterr().out
+
+    def test_infeasible_strategy_returns_two(self, capsys):
+        rc = main(["project", "--model", "resnet50", "--strategy", "f",
+                   "-p", "128", "--batch", "32"])
+        assert rc == 2
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_inference_mode(self, capsys):
+        rc = main(["project", "--strategy", "d", "-p", "16", "--inference"])
+        assert rc == 0
+        assert "inference" in capsys.readouterr().out
+
+    def test_findings_flag(self, capsys):
+        rc = main(["project", "--model", "vgg16", "--strategy", "f",
+                   "-p", "16", "--batch", "32", "--samples-per-pe", "32",
+                   "--findings"])
+        assert rc == 0
+        assert "finding:" in capsys.readouterr().out
+
+    def test_pipeline_segments(self, capsys):
+        rc = main(["project", "--strategy", "p", "-p", "4", "--batch", "64",
+                   "--segments", "8"])
+        assert rc == 0
+
+
+class TestSuggest:
+    def test_lists_ranked_and_infeasible(self, capsys):
+        rc = main(["suggest", "--model", "resnet50", "-p", "64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "d(p=64)" in out
+        assert "infeasible" in out
+
+
+class TestHybrid:
+    def test_search_output(self, capsys):
+        rc = main(["hybrid", "--model", "vgg16", "-p", "16",
+                   "--samples-per-pe", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "df(p1=" in out
+
+
+class TestSimulate:
+    def test_accuracy_reported(self, capsys):
+        rc = main(["simulate", "--model", "resnet50", "--strategy", "d",
+                   "-p", "16", "--iterations", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "oracle" in out and "measured" in out and "accuracy" in out
+
+    def test_congestion_flag(self, capsys):
+        rc = main(["simulate", "--strategy", "d", "-p", "16",
+                   "--iterations", "5", "--congestion"])
+        assert rc == 0
+
+
+class TestValidate:
+    def test_all_ok(self, capsys):
+        rc = main(["validate", "--p", "2", "--batch", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[OK]" in out
+        assert "FAIL" not in out
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("name", ["fig7", "fig8", "table5"])
+    def test_quick_experiments_run(self, capsys, name):
+        rc = main(["experiment", name])
+        assert rc == 0
+        assert capsys.readouterr().out.strip()

@@ -1,0 +1,102 @@
+"""Tests for link-level simulated collectives vs analytic forms."""
+
+import pytest
+
+from repro.collectives import ring_allgather_time, ring_allreduce_time
+from repro.network.congestion import CongestionModel
+from repro.simulator.collectives_sim import CollectiveSimulator
+
+
+@pytest.fixture(scope="module")
+def sim(cluster64):
+    return CollectiveSimulator(cluster64)
+
+
+class TestAgainstAnalytic:
+    def test_single_ring_matches_hockney_bottleneck(self, sim, cluster64):
+        """A lone packed ring sees no self-contention, so the simulated
+        time equals the analytic ring formula at the bottleneck scope."""
+        gpus = list(range(32))
+        nbytes = 64e6
+        simulated = sim.ring_allreduce(gpus, nbytes)
+        analytic = ring_allreduce_time(32, nbytes, cluster64.hockney(32))
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_intra_node_ring(self, sim, cluster64):
+        gpus = [0, 1, 2, 3]
+        nbytes = 16e6
+        simulated = sim.ring_allreduce(gpus, nbytes)
+        analytic = ring_allreduce_time(4, nbytes, cluster64.hockney(4))
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_allgather(self, sim, cluster64):
+        gpus = list(range(16))
+        seg = 1e6
+        simulated = sim.ring_allgather(gpus, seg)
+        analytic = ring_allgather_time(16, seg, cluster64.hockney(16))
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_trivial_cases_zero(self, sim):
+        assert sim.ring_allreduce([0], 1e6) == 0.0
+        assert sim.ring_allreduce([0, 1], 0.0) == 0.0
+        assert sim.p2p(3, 3, 1e6) == 0.0
+
+
+class TestSegmentedAllreduce:
+    def test_concurrent_rings_pay_contention(self, sim, cluster64):
+        """Data+Filter's segmented Allreduce: 4 rings over 2 NIC rails
+        should cost ~2x a lone ring (the paper's phi = 2)."""
+        p1, p2 = 16, 4
+        nbytes = 25e6
+        rings = [[n * p2 + s for n in range(p1)] for s in range(p2)]
+        together = sim.concurrent_allreduces(rings, nbytes)
+        alone = sim.ring_allreduce(rings[0], nbytes)
+        assert together == pytest.approx(2 * alone, rel=0.1)
+
+    def test_two_rings_fit_rails_free(self, sim):
+        # 2 rings over 2 rails -> no slowdown.
+        p1 = 16
+        rings = [[n * 4 + s for n in range(p1)] for s in range(2)]
+        together = sim.concurrent_allreduces(rings, 25e6)
+        alone = sim.ring_allreduce(rings[0], 25e6)
+        assert together == pytest.approx(alone, rel=0.1)
+
+    def test_empty(self, sim):
+        assert sim.concurrent_allreduces([], 1e6) == 0.0
+        assert sim.concurrent_allreduces([[0]], 1e6) == 0.0
+
+
+class TestTransports:
+    def test_mpi_halo_slower_than_nccl(self, sim):
+        gpus = list(range(8))
+        mpi = sim.halo_exchange(gpus, 1e6, transport="mpi")
+        nccl = sim.halo_exchange(gpus, 1e6, transport="nccl")
+        assert mpi > nccl
+
+    def test_reduce_and_broadcast(self, sim):
+        gpus = [0, 1, 2, 3]
+        assert sim.reduce_to_root(gpus, 1e6) > 0
+        assert sim.broadcast(gpus, 1e6) > 0
+        assert sim.reduce_to_root([0], 1e6) == 0.0
+
+
+class TestCongestion:
+    def test_congestion_never_speeds_up(self, cluster64):
+        congested = CollectiveSimulator(
+            cluster64, CongestionModel(outlier_rate=1.0, seed=0)
+        )
+        clean = CollectiveSimulator(cluster64)
+        gpus = list(range(32))
+        assert congested.ring_allreduce(gpus, 1e7) >= clean.ring_allreduce(
+            gpus, 1e7
+        )
+
+    def test_intra_node_unaffected(self, cluster64):
+        congested = CollectiveSimulator(
+            cluster64, CongestionModel(outlier_rate=1.0, seed=0)
+        )
+        clean = CollectiveSimulator(cluster64)
+        gpus = [0, 1, 2, 3]  # one node: congestion does not apply
+        assert congested.ring_allreduce(gpus, 1e7) == pytest.approx(
+            clean.ring_allreduce(gpus, 1e7)
+        )

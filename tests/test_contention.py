@@ -1,0 +1,85 @@
+"""Tests for the contention model (phi) and the dynamic contention graph."""
+
+import pytest
+
+from repro.core.contention import (
+    ContentionGraph,
+    data_filter_phi,
+    data_spatial_phi,
+)
+from repro.network.topology import abci_like_cluster
+
+
+class TestPhiHelpers:
+    def test_paper_value(self, cluster64):
+        # 4 GPUs/node over 2 IB rails -> phi = 2 (Section 5.2 uses 2x).
+        assert data_filter_phi(cluster64, 4) == 2.0
+
+    def test_no_contention_below_rails(self, cluster64):
+        assert data_filter_phi(cluster64, 2) == 1.0
+        assert data_filter_phi(cluster64, 1) == 1.0
+
+    def test_ds_single_leader(self, cluster64):
+        assert data_spatial_phi(cluster64, 1) == 1.0
+        assert data_spatial_phi(cluster64, 4) == 2.0
+
+    def test_validation(self, cluster64):
+        with pytest.raises(ValueError):
+            data_filter_phi(cluster64, 0)
+
+
+class TestContentionGraph:
+    def test_intra_node_flow_uses_nvlink(self, cluster64):
+        g = ContentionGraph(cluster64)
+        assert g.links_for(0, 1) == [("nvlink", 0)]
+
+    def test_self_flow_empty(self, cluster64):
+        g = ContentionGraph(cluster64)
+        assert g.links_for(3, 3) == []
+
+    def test_inter_node_flow_directional(self, cluster64):
+        g = ContentionGraph(cluster64)
+        links = g.links_for(0, 4)
+        assert ("nic-out", 0) in links
+        assert ("nic-in", 1) in links
+
+    def test_inter_rack_adds_uplinks(self, cluster1024):
+        g = ContentionGraph(cluster1024)
+        links = g.links_for(0, 17 * 4)
+        kinds = {l[0] for l in links}
+        assert "uplink" in kinds
+
+    def test_nvlink_rails_absorb_ring(self, cluster64):
+        # A 4-GPU intra-node ring: 4 flows over 4 NVLink rails -> phi 1.
+        g = ContentionGraph(cluster64)
+        g.add_ring([0, 1, 2, 3])
+        assert g.penalty(("nvlink", 0)) == 1.0
+
+    def test_segmented_allreduce_contention(self, cluster64):
+        # Data+Filter: 4 concurrent rings, one GPU per node each; every
+        # node sends 4 flows over 2 NIC rails -> phi = 2 (the paper's
+        # coefficient).
+        g = ContentionGraph(cluster64)
+        p1, p2 = 16, 4
+        for shard in range(p2):
+            g.add_ring([node * p2 + shard for node in range(p1)])
+        assert g.penalty(("nic-out", 0)) == 2.0
+        assert g.max_penalty(0, 4) == 2.0
+
+    def test_single_ring_no_nic_contention(self, cluster64):
+        g = ContentionGraph(cluster64)
+        g.add_ring(list(range(64)))
+        # One packed ring: one inter-node flow out per node boundary.
+        assert g.penalty(("nic-out", 0)) == 1.0
+
+    def test_clear(self, cluster64):
+        g = ContentionGraph(cluster64)
+        g.add_flow(0, 4)
+        g.clear()
+        assert g.flow_count(("nic-out", 0)) == 0
+
+    def test_snapshot(self, cluster64):
+        g = ContentionGraph(cluster64)
+        g.add_flow(0, 4, weight=3)
+        snap = g.snapshot()
+        assert snap[("nic-out", 0)] == 3

@@ -1,0 +1,68 @@
+"""Tests for dataset descriptors and synthetic batches."""
+
+import numpy as np
+import pytest
+
+from repro.core.tensors import TensorSpec
+from repro.data import (
+    COSMOFLOW_256,
+    COSMOFLOW_512,
+    DATASETS,
+    IMAGENET,
+    DatasetSpec,
+    synthetic_batch,
+)
+
+
+class TestSpecs:
+    def test_imagenet_matches_table5(self):
+        assert IMAGENET.num_samples == 1_281_167
+        assert IMAGENET.sample.channels == 3
+        assert IMAGENET.num_classes == 1000
+
+    def test_cosmoflow_matches_table5(self):
+        assert COSMOFLOW_256.num_samples == 1584
+        assert COSMOFLOW_256.sample == TensorSpec(4, (256, 256, 256))
+        assert COSMOFLOW_512.sample.spatial == (512, 512, 512)
+
+    def test_sample_bytes(self):
+        assert IMAGENET.sample_bytes == 3 * 224 * 224
+        assert COSMOFLOW_256.sample_bytes == 4 * 256 ** 3 * 4
+
+    def test_iterations_per_epoch(self):
+        assert IMAGENET.iterations_per_epoch(1024) == 1_281_167 // 1024
+        assert COSMOFLOW_256.iterations_per_epoch(10_000) == 1
+
+    def test_registry(self):
+        assert set(DATASETS) == {"imagenet", "cosmoflow256", "cosmoflow512"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", TensorSpec(1, (2,)), num_samples=0)
+        with pytest.raises(ValueError):
+            IMAGENET.iterations_per_epoch(0)
+
+
+class TestSyntheticBatch:
+    def test_shape_and_dtype(self):
+        x = synthetic_batch(TensorSpec(3, (8, 8)), batch=4, seed=0)
+        assert x.shape == (4, 3, 8, 8)
+        assert x.dtype == np.float32
+
+    def test_deterministic(self):
+        a = synthetic_batch(TensorSpec(2, (4,)), 2, seed=1)
+        b = synthetic_batch(TensorSpec(2, (4,)), 2, seed=1)
+        assert np.allclose(a, b)
+
+    def test_seeds_differ(self):
+        a = synthetic_batch(TensorSpec(2, (4,)), 2, seed=1)
+        b = synthetic_batch(TensorSpec(2, (4,)), 2, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_3d(self):
+        x = synthetic_batch(COSMOFLOW_256.sample.split_spatial((8, 8, 8)), 1)
+        assert x.shape == (1, 4, 32, 32, 32)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            synthetic_batch(TensorSpec(1, (2,)), 0)

@@ -1,0 +1,143 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.analytical import AnalyticalModel
+from repro.core.calibration import profile_model
+from repro.core.strategies import (
+    DataParallel,
+    FilterParallel,
+    PipelineParallel,
+    Serial,
+    SpatialParallel,
+)
+from repro.core.tensors import TensorSpec
+from repro.data import IMAGENET
+from repro.models import toy_cnn
+from repro.models.toy import toy_cnn as build_toy
+from repro.network.topology import ClusterSpec, NodeSpec, abci_like_cluster
+from repro.simulator import SimulationOptions, TrainingSimulator
+
+D = IMAGENET.num_samples
+
+
+class TestDegenerateScales:
+    def test_p_equals_one_everywhere(self, toy2d, cluster64):
+        """Every strategy at p=1 degenerates to serial compute with zero
+        communication."""
+        profile = profile_model(toy2d, samples_per_pe=8)
+        am = AnalyticalModel(toy2d, cluster64, profile)
+        serial = am.project(Serial(), 32, D)
+        for strategy in (DataParallel(1), FilterParallel(1),
+                         PipelineParallel(1, segments=1)):
+            proj = am.project(strategy, 32, D)
+            assert proj.per_epoch.communication == pytest.approx(0.0)
+            assert proj.per_epoch.computation == pytest.approx(
+                serial.per_epoch.computation, rel=1e-9
+            )
+
+    def test_single_node_cluster(self):
+        cluster = abci_like_cluster(4)
+        model = toy_cnn()
+        profile = profile_model(model, samples_per_pe=8)
+        am = AnalyticalModel(model, cluster, profile)
+        proj = am.project(DataParallel(4), 32, D)
+        # Intra-node only: NVLink-grade beta.
+        assert proj.per_iteration.comm_ge < 1e-3
+
+    def test_single_gpu_node(self):
+        """Clusters with 1 GPU/node exercise the no-NVLink path."""
+        cluster = ClusterSpec(num_nodes=8, node=NodeSpec(gpus=1))
+        assert cluster.span(2) == "intra-rack"
+        params = cluster.hockney(2)
+        assert params.beta > 0
+
+    def test_batch_equals_p(self, toy2d, cluster64):
+        profile = profile_model(toy2d, samples_per_pe=1)
+        am = AnalyticalModel(toy2d, cluster64, profile)
+        proj = am.project(DataParallel(32), 32, D)
+        assert proj.per_iteration.total > 0
+
+
+class TestSimulatorRobustness:
+    def test_single_iteration(self, toy2d, cluster64):
+        sim = TrainingSimulator(
+            toy2d, cluster64, options=SimulationOptions(iterations=1)
+        )
+        run = sim.run(DataParallel(4), 32, D)
+        assert len(run.iteration_times) == 1
+
+    def test_zero_noise(self, toy2d, cluster64):
+        sim = TrainingSimulator(
+            toy2d, cluster64,
+            options=SimulationOptions(iterations=5, compute_noise=0.0,
+                                      comm_noise=0.0),
+        )
+        run = sim.run(DataParallel(4), 32, D)
+        assert np.allclose(run.iteration_times, run.iteration_times[0])
+
+    def test_extreme_stall_factor(self, vgg16_model, cluster64):
+        sim = TrainingSimulator(
+            vgg16_model, cluster64,
+            options=SimulationOptions(iterations=3,
+                                      memory_stall_threshold=0.0,
+                                      memory_stall_factor=10.0),
+        )
+        run = sim.run(DataParallel(16), 512, D)
+        assert any("stall" in n for n in run.notes)
+
+
+class TestOddShapes:
+    def test_non_square_input(self):
+        model = build_toy(TensorSpec(3, (24, 16)), channels=(4, 8))
+        assert model.input_spec.spatial == (24, 16)
+        profile = profile_model(model, samples_per_pe=4)
+        am = AnalyticalModel(model, abci_like_cluster(4), profile)
+        proj = am.project(SpatialParallel((2, 2)), 8, D)
+        assert proj.per_epoch.comm_halo > 0
+
+    def test_1d_model(self):
+        """1-D CNNs exercise the d=1 paths end to end."""
+        from repro.core.graph import ModelGraph
+        from repro.core.layers import Conv, Flatten, FullyConnected, ReLU
+
+        c1 = Conv("c1", TensorSpec(2, (64,)), 4, kernel=3, padding=1)
+        r1 = ReLU("r1", c1.output)
+        f = Flatten("f", r1.output)
+        fc = FullyConnected("fc", f.output, 5)
+        model = ModelGraph("cnn1d", [c1, r1, f, fc])
+        profile = profile_model(model, samples_per_pe=4)
+        am = AnalyticalModel(model, abci_like_cluster(4), profile)
+        proj = am.project(SpatialParallel((4,)), 8, D)
+        assert proj.per_epoch.total > 0
+
+    def test_1d_executor_equivalence(self):
+        from repro.core.graph import ModelGraph
+        from repro.core.layers import Conv, Flatten, FullyConnected, ReLU
+        from repro.tensorparallel import SpatialParallelExecutor
+        from repro.tensorparallel.validate import validate_strategy
+
+        c1 = Conv("c1", TensorSpec(2, (64,)), 4, kernel=3, padding=1)
+        r1 = ReLU("r1", c1.output)
+        f = Flatten("f", r1.output)
+        fc = FullyConnected("fc", f.output, 5)
+        model = ModelGraph("cnn1d", [c1, r1, f, fc])
+        report = validate_strategy(model, SpatialParallelExecutor, 4, batch=4)
+        assert report.ok, report.failures
+
+
+class TestMeasuredRunProperties:
+    def test_properties(self, toy2d, cluster64):
+        sim = TrainingSimulator(
+            toy2d, cluster64, options=SimulationOptions(iterations=5)
+        )
+        run = sim.run(DataParallel(4), 64, 6400)
+        assert run.p == 4
+        assert run.iterations_per_epoch == 100
+        assert run.epoch_time == pytest.approx(run.mean_iteration * 100)
+        assert 0 < run.memory_pressure < 1
+        assert not run.oom
+        assert run.per_epoch.total == pytest.approx(
+            run.breakdown.total * 100
+        )

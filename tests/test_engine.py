@@ -1,0 +1,108 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator.engine import Resource, SimEngine
+
+
+class TestResource:
+    def test_acquire_serializes(self):
+        r = Resource("gpu")
+        assert r.acquire(0.0, 1.0) == 1.0
+        # Requested at t=0.5 but busy until 1.0.
+        assert r.acquire(0.5, 2.0) == 3.0
+
+    def test_idle_gap(self):
+        r = Resource("gpu")
+        r.acquire(0.0, 1.0)
+        assert r.acquire(5.0, 1.0) == 6.0
+
+    def test_busy_time_and_utilization(self):
+        r = Resource("gpu")
+        r.acquire(0.0, 1.0)
+        r.acquire(2.0, 1.0)
+        assert r.busy_time == 2.0
+        assert r.utilization(4.0) == pytest.approx(0.5)
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            Resource("x").acquire(0.0, -1.0)
+
+
+class TestSimEngine:
+    def test_runs_in_time_order(self):
+        eng = SimEngine()
+        order = []
+        eng.schedule(2.0, lambda e: order.append("b"))
+        eng.schedule(1.0, lambda e: order.append("a"))
+        eng.schedule(3.0, lambda e: order.append("c"))
+        final = eng.run()
+        assert order == ["a", "b", "c"]
+        assert final == 3.0
+
+    def test_fifo_for_ties(self):
+        eng = SimEngine()
+        order = []
+        eng.schedule(1.0, lambda e: order.append(1))
+        eng.schedule(1.0, lambda e: order.append(2))
+        eng.run()
+        assert order == [1, 2]
+
+    def test_cascading_events(self):
+        eng = SimEngine()
+        hits = []
+
+        def first(e):
+            hits.append(e.now)
+            e.schedule(0.5, second)
+
+        def second(e):
+            hits.append(e.now)
+
+        eng.schedule(1.0, first)
+        eng.run()
+        assert hits == [1.0, 1.5]
+
+    def test_run_until(self):
+        eng = SimEngine()
+        hits = []
+        eng.schedule(1.0, lambda e: hits.append(1))
+        eng.schedule(10.0, lambda e: hits.append(10))
+        eng.run(until=5.0)
+        assert hits == [1]
+        assert eng.pending == 1
+        eng.run()
+        assert hits == [1, 10]
+
+    def test_schedule_in_past_rejected(self):
+        eng = SimEngine()
+        eng.schedule(1.0, lambda e: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule_at(0.5, lambda e: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimEngine().schedule(-1.0, lambda e: None)
+
+    def test_event_budget(self):
+        eng = SimEngine()
+
+        def loop(e):
+            e.schedule(1.0, loop)
+
+        eng.schedule(0.0, loop)
+        with pytest.raises(RuntimeError, match="budget"):
+            eng.run(max_events=100)
+
+    def test_resources_shared(self):
+        eng = SimEngine()
+        assert eng.resource("a") is eng.resource("a")
+        assert eng.resource("a") is not eng.resource("b")
+
+    def test_trace(self):
+        eng = SimEngine()
+        eng.trace_enabled = True
+        eng.schedule(1.0, lambda e: None, label="tick")
+        eng.run()
+        assert eng.trace == [(1.0, "tick")]

@@ -1,0 +1,99 @@
+"""Property-based validation of the execution substrate.
+
+Hypothesis draws random model shapes, batch sizes, and PE counts; every
+drawn configuration must pass the value-by-value parallel-vs-sequential
+comparison.  This is the fuzzing counterpart of the fixed-case tests in
+``test_executors.py`` — it has caught off-by-one halo widths and padding
+interactions during development, which is exactly its job.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tensors import TensorSpec
+from repro.models.toy import toy_cnn
+from repro.tensorparallel import (
+    ChannelParallelExecutor,
+    DataParallelExecutor,
+    FilterParallelExecutor,
+    PipelineExecutor,
+    ShardedDataParallelExecutor,
+    SpatialParallelExecutor,
+)
+from repro.tensorparallel.validate import validate_strategy
+
+
+@st.composite
+def model_configs(draw):
+    """(model, batch) pairs with divisibility suitable for p in {2, 4}."""
+    c_in = draw(st.sampled_from([2, 4, 8]))
+    width = draw(st.sampled_from([8, 16, 24]))
+    height = draw(st.sampled_from([8, 16]))
+    ch1 = draw(st.sampled_from([4, 8]))
+    ch2 = draw(st.sampled_from([8, 16]))
+    batch = draw(st.sampled_from([4, 8]))
+    model = toy_cnn(TensorSpec(c_in, (height, width)), channels=(ch1, ch2))
+    return model, batch
+
+
+@settings(max_examples=12, deadline=None)
+@given(cfg=model_configs(), p=st.sampled_from([2, 4]))
+def test_data_parallel_random_shapes(cfg, p):
+    model, batch = cfg
+    if batch % p:
+        return
+    report = validate_strategy(model, DataParallelExecutor, p, batch=batch)
+    assert report.ok, report.failures
+
+
+@settings(max_examples=12, deadline=None)
+@given(cfg=model_configs(), p=st.sampled_from([2, 4]))
+def test_sharded_random_shapes(cfg, p):
+    model, batch = cfg
+    if batch % p:
+        return
+    report = validate_strategy(
+        model, ShardedDataParallelExecutor, p, batch=batch
+    )
+    assert report.ok, report.failures
+
+
+@settings(max_examples=12, deadline=None)
+@given(cfg=model_configs(), p=st.sampled_from([2, 4]))
+def test_spatial_random_shapes(cfg, p):
+    model, batch = cfg
+    if model.input_spec.spatial[-1] % (p * 4):
+        return  # needs divisibility through two 2x pools
+    report = validate_strategy(model, SpatialParallelExecutor, p, batch=batch)
+    assert report.ok, report.failures
+
+
+@settings(max_examples=12, deadline=None)
+@given(cfg=model_configs(), p=st.sampled_from([2, 4]))
+def test_filter_random_shapes(cfg, p):
+    model, batch = cfg
+    report = validate_strategy(model, FilterParallelExecutor, p, batch=batch)
+    assert report.ok, report.failures
+
+
+@settings(max_examples=12, deadline=None)
+@given(cfg=model_configs(), p=st.sampled_from([2, 4]))
+def test_channel_random_shapes(cfg, p):
+    model, batch = cfg
+    report = validate_strategy(model, ChannelParallelExecutor, p, batch=batch)
+    assert report.ok, report.failures
+
+
+@settings(max_examples=12, deadline=None)
+@given(cfg=model_configs(), p=st.sampled_from([2, 3]),
+       segments=st.sampled_from([2, 4]))
+def test_pipeline_random_shapes(cfg, p, segments):
+    model, batch = cfg
+    if batch % segments:
+        return
+    report = validate_strategy(
+        model, PipelineExecutor, p, batch=batch,
+        executor_kwargs={"segments": segments},
+    )
+    assert report.ok, report.failures

@@ -1,0 +1,167 @@
+"""Tests for the experiment harness (figure/table runners)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    format_breakdown,
+    format_table,
+    pct,
+    run_accuracy_summary,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table3,
+    run_table5,
+    run_table6,
+)
+from repro.core.analytical import PhaseBreakdown
+
+
+class TestReporting:
+    def test_pct(self):
+        assert pct(0.8674) == "86.74%"
+
+    def test_format_table_aligned(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_format_breakdown(self):
+        b = PhaseBreakdown(comp_fw=0.01, comm_ge=0.002)
+        s = format_breakdown(b)
+        assert "fw=" in s and "ge=" in s and "total=" in s
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_fig3(models=["resnet50"], strategies=["d", "f", "ds"],
+                        quick=True, iterations=5)
+
+    def test_all_cells_present(self, cells):
+        sids = {c.sid for c in cells}
+        assert sids == {"d", "f", "ds"}
+
+    def test_accuracy_in_paper_range(self, cells):
+        accs = [c.accuracy for c in cells]
+        assert min(accs) > 0.6
+        assert float(np.mean(accs)) > 0.85
+
+    def test_data_parallelism_most_accurate(self, cells):
+        by_sid = {}
+        for c in cells:
+            by_sid.setdefault(c.sid, []).append(c.accuracy)
+        means = {k: np.mean(v) for k, v in by_sid.items()}
+        assert means["d"] == max(means.values())
+
+    def test_filter_comm_dominates(self, cells):
+        f_cells = [c for c in cells if c.sid == "f"]
+        assert all(
+            c.oracle.communication > c.oracle.computation for c in f_cells
+        )
+
+    def test_breakdowns_positive(self, cells):
+        for c in cells:
+            assert c.oracle.total > 0
+            assert c.measured.total > 0
+            assert c.memory_GB > 0
+
+
+class TestFig4And5:
+    def test_fig4_accuracy(self):
+        rows = run_fig4(ps=(16,), iterations=5)
+        assert rows[0].p == 16
+        assert rows[0].accuracy > 0.6
+
+    def test_fig5_scaling_near_linear(self):
+        rows = run_fig5(ps=(4, 16), iterations=3)
+        ds = [r for r in rows if r.strategy == "ds"]
+        assert ds, "hybrid rows expected"
+        r16 = next(r for r in ds if r.p == 16)
+        # 4 data-parallel groups -> ~4x over pure spatial (Figure 5 shows
+        # perfect scaling).
+        assert 3.0 < r16.speedup_vs_spatial < 4.5
+
+    def test_fig5_data_parallelism_infeasible(self):
+        rows = run_fig5(ps=(4,), iterations=2)
+        d = next(r for r in rows if r.strategy == "d")
+        assert not d.feasible  # the whole point of the experiment
+
+
+class TestFig6:
+    def test_congestion_outliers(self):
+        series = run_fig6(iterations=100, seed=3)
+        assert len(series) == 2
+        for s in series:
+            assert s.expected > 0
+            assert len(s.samples) == 100
+            # Most samples near the theory line; a tail of outliers.
+            ratio = s.samples / s.expected
+            assert np.median(ratio) < 1.5
+            assert s.max_slowdown <= 4.0 * 1.3  # congestion cap + jitter
+
+
+class TestFig7:
+    def test_wu_share_grows_with_optimizer_state(self):
+        rows = run_fig7(models=["vgg16"], optimizers=["sgd", "adam"])
+        sgd = next(r for r in rows if r.optimizer == "sgd")
+        adam = next(r for r in rows if r.optimizer == "adam")
+        assert adam.wu_share > sgd.wu_share
+        assert 0.01 < sgd.wu_share < 0.3
+
+    def test_all_models_covered(self):
+        rows = run_fig7()
+        assert {r.model for r in rows} == {"resnet50", "resnet152", "vgg16"}
+
+
+class TestFig8:
+    def test_conv_scaling_degrades(self):
+        rows = run_fig8(ps=(1, 4, 16))
+        effs = {r.p: r.scaling_efficiency for r in rows}
+        assert effs[1] == 1.0
+        assert effs[16] < effs[4] < 1.0
+
+    def test_split_concat_nontrivial(self):
+        rows = run_fig8(ps=(16,))
+        assert rows[0].split_concat_s > 0
+
+
+class TestTables:
+    def test_table3_rows(self):
+        rows = run_table3(p=16, batch=512)
+        sids = [r["strategy"] for r in rows]
+        assert sids[0] == "serial"
+        data = next(r for r in rows if r["strategy"] == "d")
+        assert data["comm_s"] > 0
+        serial = rows[0]
+        assert serial["comm_s"] == 0.0
+        assert serial["comp_s"] > data["comp_s"]
+
+    def test_table5_matches_paper(self):
+        rows = run_table5()
+        by_model = {r["model"]: r for r in rows}
+        assert by_model["resnet50"]["parameters_M"] == pytest.approx(25.56, abs=0.1)
+        assert by_model["vgg16"]["parameters_M"] == pytest.approx(138.36, abs=0.5)
+        assert by_model["cosmoflow"]["parameters_M"] < 2.5
+        assert by_model["resnet50"]["num_samples"] == 1_281_167
+
+    def test_table6_findings_per_strategy(self):
+        out = run_table6(quick=True)
+        assert "f" in out
+        assert any(f.name == "Layer-wise comm." for f in out["f"])
+        assert any(f.name == "Gradient-exchange" for f in out["d"])
+
+
+class TestAccuracySummary:
+    def test_summary_shape(self):
+        s = run_accuracy_summary(quick=True, iterations=5)
+        assert 0.7 < s.overall <= 1.0
+        assert s.per_strategy["d"] > 0.95
+        assert set(s.per_model) == {"resnet50", "resnet152", "vgg16"}
+        label, acc = s.best
+        assert acc >= s.overall

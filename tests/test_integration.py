@@ -1,0 +1,174 @@
+"""End-to-end integration tests across the oracle, simulator, and substrate."""
+
+import numpy as np
+import pytest
+
+from repro import ParaDL, abci_like_cluster, models, profile_model
+from repro.core.strategies import DataParallel, FilterParallel
+from repro.data import IMAGENET
+from repro.simulator import SimulationOptions, TrainingSimulator
+
+D = IMAGENET.num_samples
+
+
+class TestOracleVsSimulator:
+    """The reproduction's version of Section 5.2: the oracle must predict
+    the simulated-measured runs with paper-like accuracy."""
+
+    @pytest.mark.parametrize("p", [16, 64, 256])
+    def test_data_parallel_accuracy_above_95(self, p):
+        model = models.resnet50()
+        cluster = abci_like_cluster(p)
+        profile = profile_model(model, samples_per_pe=32)
+        oracle = ParaDL(model, cluster, profile)
+        proj = oracle.project(DataParallel(p), 32 * p, IMAGENET)
+        sim = TrainingSimulator(model, cluster,
+                                options=SimulationOptions(iterations=20))
+        run = sim.run(DataParallel(p), 32 * p, D)
+        acc = proj.accuracy_per_iteration(run.mean_iteration)
+        assert acc > 0.95  # the paper reports up to 97.57% for data
+
+    def test_filter_accuracy_above_80(self):
+        model = models.resnet50()
+        cluster = abci_like_cluster(16)
+        profile = profile_model(model, samples_per_pe=32)
+        oracle = ParaDL(model, cluster, profile)
+        proj = oracle.project(FilterParallel(16), 32, IMAGENET)
+        sim = TrainingSimulator(model, cluster,
+                                options=SimulationOptions(iterations=20))
+        run = sim.run(FilterParallel(16), 32, D)
+        assert proj.accuracy_per_iteration(run.mean_iteration) > 0.80
+
+    def test_oracle_phase_shapes_match_simulator(self):
+        """Breakdown agreement, not just totals: the dominant phase of the
+        projection must be the dominant phase of the measurement."""
+        model = models.vgg16()
+        cluster = abci_like_cluster(64)
+        profile = profile_model(model, samples_per_pe=32)
+        oracle = ParaDL(model, cluster, profile)
+        sim = TrainingSimulator(model, cluster,
+                                options=SimulationOptions(iterations=10))
+        for strategy, batch in [
+            (DataParallel(64), 32 * 64),
+            (FilterParallel(16), 32),
+        ]:
+            proj = oracle.project(strategy, batch, IMAGENET).per_iteration
+            run = sim.run(strategy, batch, D).breakdown
+
+            def dominant(b):
+                return max(b.asdict().items(), key=lambda kv: kv[1])[0]
+
+            assert dominant(proj) == dominant(run)
+
+
+class TestSuggestMatchesSimulation:
+    def test_oracle_ranking_agrees_with_measured_ranking(self):
+        """If the oracle says strategy A beats strategy B, the simulator
+        should agree (for a clear-cut pair)."""
+        model = models.resnet50()
+        cluster = abci_like_cluster(16)
+        profile = profile_model(model, samples_per_pe=32)
+        oracle = ParaDL(model, cluster, profile)
+        d_proj = oracle.project(DataParallel(16), 512, IMAGENET)
+        f_proj = oracle.project(FilterParallel(16), 32, IMAGENET)
+        sim = TrainingSimulator(model, cluster,
+                                options=SimulationOptions(iterations=10))
+        d_run = sim.run(DataParallel(16), 512, D)
+        f_run = sim.run(FilterParallel(16), 32, D)
+        oracle_says_d = d_proj.per_epoch.total < f_proj.per_epoch.total
+        sim_says_d = d_run.epoch_time < f_run.epoch_time
+        assert oracle_says_d == sim_says_d
+
+
+class TestPaperFindings:
+    """Qualitative claims from Sections 5.3/5.4 that must reproduce."""
+
+    def test_df_outperforms_d_for_vgg16_at_scale(self):
+        """Section 5.4.1: "there are cases where data+filter hybrid can
+        outperform data parallelism at large scale".  The case: a
+        weight-heavy model (VGG16, 138M parameters) at small per-GPU batch
+        — df's segmented Allreduce moves 1/p2 of the weights while its
+        layer-wise collectives stay cheap because B is small."""
+        from repro.core.strategies import DataFilterParallel
+
+        model = models.vgg16()
+        cluster = abci_like_cluster(256)
+        b = 2  # memory/latency-constrained regime
+        profile = profile_model(model, samples_per_pe=b)
+        oracle = ParaDL(model, cluster, profile)
+        d = oracle.project(DataParallel(256), b * 256, IMAGENET)
+        df = oracle.project(DataFilterParallel(64, 4), b * 256, IMAGENET)
+        assert df.per_iteration.total < d.per_iteration.total
+        # And the mechanism is the one the paper names: cheaper GE.
+        assert df.per_iteration.comm_ge < d.per_iteration.comm_ge
+
+    def test_halo_is_sizable_fraction_of_ge(self):
+        """Section 5.3.1: "in ResNet-50, 128 GPUs, the time of FB-Halo is
+        approximately 60% of the gradient exchange Allreduce" — i.e. far
+        from negligible.  We assert the same order of magnitude."""
+        from repro.core.strategies import DataSpatialParallel
+
+        model = models.resnet50()
+        cluster = abci_like_cluster(128)
+        profile = profile_model(model, samples_per_pe=32)
+        oracle = ParaDL(model, cluster, profile)
+        proj = oracle.project(
+            DataSpatialParallel(32, (2, 2)), 32 * 128, IMAGENET
+        )
+        ratio = proj.per_epoch.comm_halo / proj.per_epoch.comm_ge
+        assert ratio > 0.2  # non-trivial, as the paper found
+
+    def test_gpudirect_fix_shrinks_halo(self):
+        """The paper confirmed the MPI-vs-NCCL gap by swapping network
+        parameters in ParaDL; so do we."""
+        from repro.core.analytical import AnalyticalModel
+        from repro.core.strategies import SpatialParallel
+
+        model = models.resnet50()
+        cluster = abci_like_cluster(16)
+        profile = profile_model(model, samples_per_pe=16)
+        mpi = AnalyticalModel(model, cluster, profile, halo_transport="mpi")
+        nccl = AnalyticalModel(model, cluster, profile, halo_transport="nccl")
+        s = SpatialParallel((4, 4))
+        t_mpi = mpi.project(s, 16, D).per_epoch.comm_halo
+        t_nccl = nccl.project(s, 16, D).per_epoch.comm_halo
+        assert t_nccl < t_mpi
+
+    def test_scaling_limit_p64_for_filter(self):
+        """Section 5.3.4: "p can not exceed the minimum number of filters
+        of a layer in the model, i.e., 64 in the case of VGG16 and
+        ResNet-50 with filter parallelism"."""
+        assert models.resnet50().min_filters() == 64
+        assert models.vgg16().min_filters() == 64
+
+
+class TestSubstrateAgreesWithCostModel:
+    def test_comm_volume_matches_table3(self, toy2d):
+        """The NumPy substrate's measured communication volume matches the
+        analytic message sizes of Table 3 (data parallelism: one Allreduce
+        of delta * sum|w| per iteration)."""
+        from repro.tensorparallel import DataParallelExecutor
+
+        p = 4
+        ex = DataParallelExecutor(toy2d, p)
+        x = np.random.default_rng(0).standard_normal((8, 4, 16, 16))
+        ex.backward(np.ones_like(ex.forward(x)))
+        # Every per-rank copy counts: p * (sum dw + sum db) * 8 bytes.
+        weights = sum(l.weight_elements for l in toy2d)
+        biases = sum(l.bias_elements for l in toy2d)
+        expected = p * (weights + biases) * 8
+        assert ex.comm.stats.bytes["allreduce"] == expected
+
+    def test_filter_allgather_volume(self, toy2d):
+        from repro.tensorparallel import FilterParallelExecutor
+
+        p, batch = 4, 8
+        ex = FilterParallelExecutor(toy2d, p)
+        x = np.random.default_rng(0).standard_normal((batch, 4, 16, 16))
+        ex.forward(x)
+        # Forward Allgathers move B * |y_l| * p copies for each split layer.
+        expected = sum(
+            batch * toy2d[name].output.elements * 8 * p
+            for name in ex.split_names
+        )
+        assert ex.comm.stats.bytes["allgather"] == expected

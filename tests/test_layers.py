@@ -1,0 +1,132 @@
+"""Unit tests for the layer IR: shapes, parameters, FLOPs."""
+
+import pytest
+
+from repro.core.layers import (
+    Add,
+    BatchNorm,
+    Conv,
+    Flatten,
+    FullyConnected,
+    GlobalAvgPool,
+    Pool,
+    ReLU,
+)
+from repro.core.tensors import TensorSpec
+
+
+class TestConv:
+    def test_shapes_same_conv(self):
+        c = Conv("c", TensorSpec(3, (32, 32)), 16, kernel=3, padding=1)
+        assert c.output == TensorSpec(16, (32, 32))
+        assert c.in_channels == 3
+        assert c.out_channels == 16
+
+    def test_parameters(self):
+        c = Conv("c", TensorSpec(3, (32, 32)), 16, kernel=3, padding=1)
+        assert c.weight_elements == 3 * 16 * 9
+        assert c.bias_elements == 16
+        assert c.parameters == 3 * 16 * 9 + 16
+
+    def test_no_bias(self):
+        c = Conv("c", TensorSpec(3, (8, 8)), 4, kernel=1, bias=False)
+        assert c.bias_elements == 0
+
+    def test_forward_flops(self):
+        c = Conv("c", TensorSpec(2, (4, 4)), 3, kernel=3, padding=1)
+        # 2 * |Y| * F * C * |K| = 2 * 16 * 3 * 2 * 9
+        assert c.forward_flops() == 2 * 16 * 3 * 2 * 9
+
+    def test_backward_flops_double_forward(self):
+        c = Conv("c", TensorSpec(2, (4, 4)), 3, kernel=3, padding=1)
+        assert c.backward_flops() == 2 * c.forward_flops()
+
+    def test_stride(self):
+        c = Conv("c", TensorSpec(3, (224, 224)), 64, kernel=7, stride=2, padding=3)
+        assert c.output.spatial == (112, 112)
+
+    def test_3d(self):
+        c = Conv("c", TensorSpec(4, (16, 16, 16)), 8, kernel=3, padding=1)
+        assert c.output == TensorSpec(8, (16, 16, 16))
+        assert c.weight_elements == 4 * 8 * 27
+
+    def test_anisotropic_kernel(self):
+        c = Conv("c", TensorSpec(1, (16, 16)), 2, kernel=(3, 1), padding=(1, 0))
+        assert c.output.spatial == (16, 16)
+
+    def test_requires_spatial_input(self):
+        with pytest.raises(ValueError):
+            Conv("c", TensorSpec(8), 4, kernel=1)
+
+    def test_parallelizability(self):
+        c = Conv("c", TensorSpec(3, (8, 8)), 16, kernel=3, padding=1)
+        assert c.spatially_parallelizable
+        assert c.filter_parallelizable
+        assert c.channel_parallelizable
+
+
+class TestFullyConnected:
+    def test_as_conv_with_input_sized_kernel(self):
+        # Section 2.2: FC == conv with kernel == input extent.
+        fc = FullyConnected("fc", TensorSpec(512, (7, 7)), 1000)
+        assert fc.weight_elements == 512 * 7 * 7 * 1000
+        assert fc.output == TensorSpec(1000)
+        assert fc.kernel == (7, 7)
+
+    def test_flops(self):
+        fc = FullyConnected("fc", TensorSpec(100), 10)
+        assert fc.forward_flops() == 2 * 100 * 10
+
+    def test_not_spatially_parallelizable(self):
+        fc = FullyConnected("fc", TensorSpec(8, (2, 2)), 4)
+        assert not fc.spatially_parallelizable
+
+
+class TestPool:
+    def test_shapes(self):
+        p = Pool("p", TensorSpec(64, (112, 112)), kernel=3, stride=2, padding=1)
+        assert p.output == TensorSpec(64, (56, 56))
+
+    def test_channelwise(self):
+        p = Pool("p", TensorSpec(8, (4, 4)), kernel=2)
+        assert p.in_channels == p.out_channels == 8
+        assert not p.has_weights
+
+    def test_default_stride_is_kernel(self):
+        p = Pool("p", TensorSpec(1, (8, 8)), kernel=2)
+        assert p.output.spatial == (4, 4)
+
+    def test_no_weight_gradient_flops(self):
+        p = Pool("p", TensorSpec(1, (8, 8)), kernel=2)
+        assert p.backward_weight_flops() == 0
+
+
+class TestElementwise:
+    def test_relu_identity_shape(self):
+        r = ReLU("r", TensorSpec(8, (4, 4)))
+        assert r.output == r.input
+        assert r.forward_flops() == 8 * 16
+
+    def test_bn_params(self):
+        bn = BatchNorm("bn", TensorSpec(64, (8, 8)))
+        assert bn.weight_elements == 128  # gamma + beta
+        assert bn.has_weights
+
+    def test_add_skip_metadata(self):
+        a = Add("a", TensorSpec(4, (2, 2)), skip_of="conv0")
+        assert a.skip_of == "conv0"
+        assert a.output == a.input
+
+    def test_flatten(self):
+        f = Flatten("f", TensorSpec(8, (2, 3)))
+        assert f.output == TensorSpec(48)
+        assert f.forward_flops() == 0
+
+    def test_global_avg_pool(self):
+        g = GlobalAvgPool("g", TensorSpec(2048, (7, 7)))
+        assert g.output == TensorSpec(2048)
+        assert not g.spatially_parallelizable
+
+    def test_weight_update_flops(self):
+        c = Conv("c", TensorSpec(2, (4, 4)), 3, kernel=3)
+        assert c.weight_update_flops() == 2 * c.parameters

@@ -1,0 +1,128 @@
+"""Tests for the Table-6 limitation/bottleneck detector."""
+
+import pytest
+
+from repro.core.analytical import AnalyticalModel
+from repro.core.calibration import profile_model
+from repro.core.limits import TABLE6_ROWS, detect_findings
+from repro.core.strategies import (
+    DataParallel,
+    FilterParallel,
+    PipelineParallel,
+    SpatialParallel,
+)
+from repro.data import IMAGENET
+from repro.models import build_model, cosmoflow
+from repro.core.tensors import TensorSpec
+from repro.network.topology import abci_like_cluster
+
+D = IMAGENET.num_samples
+
+
+def _project(model_name, strategy, batch, num_gpus=64, spec=None, spp=None):
+    model = build_model(model_name, spec)
+    cluster = abci_like_cluster(num_gpus)
+    profile = profile_model(model, samples_per_pe=spp or max(1, batch // strategy.p))
+    am = AnalyticalModel(model, cluster, profile)
+    return model, profile, am.project(strategy, batch, D)
+
+
+class TestCommunicationFindings:
+    def test_ge_flagged_for_data_at_scale(self):
+        model, prof, proj = _project("vgg16", DataParallel(256), 32 * 256,
+                                     num_gpus=256)
+        findings = detect_findings(model, proj)
+        assert any(f.name == "Gradient-exchange" for f in findings)
+
+    def test_layerwise_flagged_for_filter(self):
+        model, prof, proj = _project("resnet50", FilterParallel(16), 32,
+                                     spp=32)
+        findings = detect_findings(model, proj)
+        assert any(f.name == "Layer-wise comm." for f in findings)
+
+    def test_p2p_flagged_for_spatial(self):
+        model, prof, proj = _project("resnet50", SpatialParallel((4, 4)), 16,
+                                     spp=16)
+        findings = detect_findings(model, proj)
+        assert any(f.name == "P2P communication" for f in findings)
+
+    def test_small_run_mostly_clean(self):
+        model, prof, proj = _project("resnet50", DataParallel(4), 128)
+        findings = detect_findings(model, proj)
+        assert not any(f.name == "Gradient-exchange" for f in findings)
+
+
+class TestMemoryFindings:
+    def test_oom_flagged(self):
+        spec = TensorSpec(4, (512, 512, 512))
+        model = cosmoflow(spec)
+        cluster = abci_like_cluster(4)
+        profile = profile_model(model, samples_per_pe=1)
+        am = AnalyticalModel(model, cluster, profile)
+        proj = am.project(DataParallel(4), 4, 1584)
+        findings = detect_findings(model, proj)
+        names = {f.name for f in findings}
+        assert "Out of Memory" in names
+        assert "Memory Stalling" in names
+
+    def test_redundancy_flagged_for_filter(self):
+        model, prof, proj = _project("resnet50", FilterParallel(16), 32,
+                                     spp=32)
+        findings = detect_findings(model, proj)
+        assert any(f.name == "Memory Redundancy" for f in findings)
+
+
+class TestComputationFindings:
+    def test_weight_update_flagged_with_adam(self):
+        model = build_model("vgg16")
+        cluster = abci_like_cluster(16)
+        profile = profile_model(model, samples_per_pe=32, optimizer="adam")
+        am = AnalyticalModel(model, cluster, profile)
+        proj = am.project(DataParallel(16), 512, D)
+        findings = detect_findings(model, proj)
+        assert any(f.name == "Weight Update" for f in findings)
+
+    def test_pipeline_imbalance_flagged(self):
+        model = build_model("vgg16")
+        cluster = abci_like_cluster(4)
+        profile = profile_model(model, samples_per_pe=8)
+        am = AnalyticalModel(model, cluster, profile)
+        proj = am.project(PipelineParallel(4, segments=8), 64, D)
+        findings = detect_findings(model, proj, profile=profile)
+        assert any(f.name == "Workload Balancing" for f in findings)
+
+    def test_comp_redundancy_for_filter(self):
+        model, prof, proj = _project("resnet50", FilterParallel(16), 32,
+                                     spp=32)
+        findings = detect_findings(model, proj)
+        assert any(f.name == "Comp. Redundancy" for f in findings)
+
+
+class TestScalingFindings:
+    def test_at_the_limit(self):
+        model, prof, proj = _project("resnet50", FilterParallel(64), 32,
+                                     spp=32)
+        findings = detect_findings(model, proj)
+        hit = [f for f in findings if f.name == "Number of PEs"]
+        assert hit and hit[0].severity == pytest.approx(1.0)
+
+    def test_far_from_limit_not_flagged(self):
+        model, prof, proj = _project("resnet50", FilterParallel(4), 32,
+                                     spp=32)
+        findings = detect_findings(model, proj)
+        assert not any(f.name == "Number of PEs" for f in findings)
+
+
+class TestTable6Rows:
+    def test_row_inventory_matches_paper(self):
+        assert len(TABLE6_ROWS) == 10
+        remarks = {r[4] for r in TABLE6_ROWS}
+        assert "Gradient-exchange" in remarks
+        assert "Network Congestion" in remarks
+
+    def test_findings_have_valid_kinds(self):
+        model, prof, proj = _project("resnet50", FilterParallel(16), 32,
+                                     spp=32)
+        for f in detect_findings(model, proj):
+            assert f.kind in ("L", "B")
+            assert 0 <= f.severity <= 1.01

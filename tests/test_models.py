@@ -1,0 +1,123 @@
+"""Model zoo tests: parameter counts and structures vs the literature."""
+
+import pytest
+
+from repro.core.tensors import TensorSpec
+from repro.models import (
+    alexnet,
+    build_model,
+    cosmoflow,
+    resnet50,
+    resnet152,
+    toy_cnn,
+    toy_cnn3d,
+    vgg16,
+)
+
+
+class TestResNet:
+    def test_resnet50_parameters(self, resnet50_model):
+        # Canonical ResNet-50: 25.557M parameters.
+        assert resnet50_model.parameters == pytest.approx(25_557_032, rel=1e-6)
+
+    def test_resnet152_parameters(self):
+        # Canonical ResNet-152: 60.19M (paper's Table 5 quotes ~58M).
+        assert resnet152().parameters == pytest.approx(60_192_808, rel=1e-6)
+
+    def test_resnet50_output(self, resnet50_model):
+        assert resnet50_model.output_spec == TensorSpec(1000)
+
+    def test_resnet50_conv_count(self, resnet50_model):
+        convs = [l for l in resnet50_model if l.kind == "Conv"]
+        # 1 stem + 3*16 block convs + 4 downsamples = 53.
+        assert len(convs) == 53
+
+    def test_stage_extents(self, resnet50_model):
+        # Post-stem 56x56; final conv stage 7x7.
+        assert resnet50_model["maxpool"].output.spatial == (56, 56)
+        assert resnet50_model["avgpool"].input.spatial == (7, 7)
+
+    def test_min_filters_is_64(self, resnet50_model):
+        # The paper: filter parallelism limit is 64 for ResNet-50.
+        assert resnet50_model.min_filters() == 64
+
+    def test_custom_classes(self):
+        m = resnet50(num_classes=10)
+        assert m.output_spec == TensorSpec(10)
+
+    def test_unknown_depth(self):
+        from repro.models.resnet import resnet
+
+        with pytest.raises(ValueError):
+            resnet(34)
+
+    def test_skip_connections_present(self, resnet50_model):
+        adds = [l for l in resnet50_model if l.kind == "Add"]
+        assert len(adds) == 16
+        assert all(a.skip_of is not None for a in adds)
+
+
+class TestVGG:
+    def test_parameters(self, vgg16_model):
+        # Canonical VGG16: 138.36M.
+        assert vgg16_model.parameters == pytest.approx(138_357_544, rel=1e-6)
+
+    def test_conv_count(self, vgg16_model):
+        assert len([l for l in vgg16_model if l.kind == "Conv"]) == 13
+
+    def test_min_filters_is_64(self, vgg16_model):
+        assert vgg16_model.min_filters() == 64
+
+    def test_fc_dominates_parameters(self, vgg16_model):
+        fc1 = vgg16_model["fc1"]
+        assert fc1.parameters > 0.7 * 138e6 / 2  # ~103M of 138M
+
+
+class TestCosmoFlow:
+    def test_parameters_near_2M(self):
+        m = cosmoflow()
+        assert 1.5e6 < m.parameters < 2.5e6  # Table 5: ~2M
+
+    def test_3d_input_required(self):
+        with pytest.raises(ValueError):
+            cosmoflow(TensorSpec(4, (256, 256)))
+
+    def test_512_variant(self):
+        m = cosmoflow(TensorSpec(4, (512, 512, 512)))
+        # First conv activation > 10 GB (Section 5.3.2).
+        conv1 = m["conv1"]
+        assert conv1.output.elements * 4 > 8e9
+
+    def test_small_input_trims_blocks(self):
+        m = cosmoflow(TensorSpec(4, (16, 16, 16)))
+        convs = [l for l in m if l.kind == "Conv"]
+        assert len(convs) < 7
+
+    def test_memory_dominated_by_first_layers(self):
+        # The paper aggregates after the second conv/pool "because most of
+        # required memory footprint and compute are in those first two
+        # layers".
+        m = cosmoflow()
+        acts = [(l.name, l.output.elements) for l in m]
+        total = sum(a for _, a in acts)
+        first_two_blocks = sum(a for n, a in acts[:6])
+        assert first_two_blocks > 0.6 * total
+
+
+class TestOthers:
+    def test_alexnet(self):
+        m = alexnet()
+        assert 55e6 < m.parameters < 65e6
+
+    def test_toy_models_valid(self, toy2d, toy3d):
+        assert toy2d.output_spec == TensorSpec(10)
+        assert toy3d.output_spec == TensorSpec(4)
+
+    def test_build_model_registry(self):
+        assert build_model("resnet50").name == "resnet50"
+        with pytest.raises(KeyError):
+            build_model("nope")
+
+    def test_build_model_with_spec(self):
+        m = build_model("vgg16", TensorSpec(3, (64, 64)))
+        assert m.input_spec.spatial == (64, 64)

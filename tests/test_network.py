@@ -1,0 +1,178 @@
+"""Tests for topology, links, Hockney resolution, and congestion."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    CongestionModel,
+    ClusterSpec,
+    FatTreeSpec,
+    HockneyParams,
+    IB_EDR,
+    LinkSpec,
+    NVLINK,
+    NodeSpec,
+    PCIE_GEN3_X16,
+    abci_like_cluster,
+)
+
+
+class TestLinks:
+    def test_beta_inverse_bandwidth(self):
+        assert NVLINK.beta == pytest.approx(1.0 / 20e9)
+
+    def test_transfer_time(self):
+        link = LinkSpec("l", 1e-6, 1e9)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_scaled(self):
+        slow = IB_EDR.scaled(1 / 3)
+        assert slow.bandwidth_Bps == pytest.approx(IB_EDR.bandwidth_Bps / 3)
+        assert slow.latency_s == IB_EDR.latency_s
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LinkSpec("l", -1, 1)
+        with pytest.raises(ValueError):
+            LinkSpec("l", 0, 0)
+
+
+class TestHockney:
+    def test_p2p(self):
+        h = HockneyParams(1e-6, 1e-9)
+        assert h.p2p(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_from_path_bottleneck(self):
+        h = HockneyParams.from_path([NVLINK, IB_EDR, NVLINK])
+        assert h.beta == pytest.approx(IB_EDR.beta)  # bottleneck
+        assert h.alpha == pytest.approx(
+            2 * NVLINK.latency_s + IB_EDR.latency_s
+        )
+
+    def test_contention_scales_beta(self):
+        h = HockneyParams(1e-6, 1e-10).with_contention(2.0)
+        assert h.beta == pytest.approx(2e-10)
+        with pytest.raises(ValueError):
+            HockneyParams(0, 1).with_contention(0.5)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            HockneyParams.from_path([])
+
+
+class TestClusterSpec:
+    def test_inventory(self, cluster64):
+        assert cluster64.total_gpus == 64
+        assert cluster64.num_nodes == 16
+        assert cluster64.num_racks == 1
+
+    def test_racks(self, cluster1024):
+        assert cluster1024.num_nodes == 256
+        assert cluster1024.num_racks == 16  # 17 nodes/rack
+
+    def test_gpu_location(self, cluster64):
+        assert cluster64.gpu_location(0) == (0, 0, 0)
+        assert cluster64.gpu_location(5) == (0, 1, 1)
+        with pytest.raises(ValueError):
+            cluster64.gpu_location(64)
+
+    def test_span(self, cluster1024):
+        assert cluster1024.span(4) == "intra-node"
+        assert cluster1024.span(64) == "intra-rack"
+        assert cluster1024.span(512) == "inter-rack"
+
+    def test_path_intra_node(self, cluster64):
+        path = cluster64.path(0, 1)
+        assert [l.name for l in path] == ["nvlink"]
+
+    def test_path_mpi_staging(self, cluster64):
+        path = cluster64.path(0, 1, transport="mpi")
+        assert all(l.name == PCIE_GEN3_X16.name for l in path)
+
+    def test_path_inter_node(self, cluster64):
+        path = cluster64.path(0, 4)
+        names = [l.name for l in path]
+        assert names.count("ib-edr") == 2
+        assert "switch" in names
+
+    def test_inter_rack_oversubscription(self, cluster1024):
+        near = HockneyParams.from_path(cluster1024.path(0, 4))
+        far = HockneyParams.from_path(
+            cluster1024.path(0, 17 * 4)  # different rack
+        )
+        assert far.beta == pytest.approx(near.beta * 3)
+
+    def test_hockney_scopes(self, cluster1024):
+        intra = cluster1024.hockney(4)
+        inter = cluster1024.hockney(64)
+        far = cluster1024.hockney(1024)
+        assert intra.beta < inter.beta < far.beta
+        assert intra.alpha < inter.alpha <= far.alpha
+
+    def test_mpi_transport_slower(self, cluster64):
+        nccl = cluster64.hockney(16, transport="nccl")
+        mpi = cluster64.hockney(16, transport="mpi")
+        assert mpi.alpha > nccl.alpha
+
+    def test_memory(self, cluster64):
+        assert cluster64.fits_memory(15e9)
+        assert not cluster64.fits_memory(17e9)
+
+    def test_abci_like_validation(self):
+        with pytest.raises(ValueError):
+            abci_like_cluster(0)
+        with pytest.raises(ValueError):
+            abci_like_cluster(10, gpus_per_node=4)
+        assert abci_like_cluster(2).num_nodes == 1
+
+    def test_single_node_no_interrack_scope(self):
+        c = abci_like_cluster(4)
+        with pytest.raises(ValueError):
+            c.hockney_for_scope("intra-rack")
+
+    def test_fabric_validation(self):
+        with pytest.raises(ValueError):
+            FatTreeSpec(nodes_per_rack=0)
+        with pytest.raises(ValueError):
+            NodeSpec(gpus=0)
+
+
+class TestCongestion:
+    def test_deterministic_given_seed(self):
+        a = CongestionModel(seed=5)
+        b = CongestionModel(seed=5)
+        assert np.allclose(a.sample_many(100), b.sample_many(100))
+
+    def test_bounds(self):
+        m = CongestionModel(outlier_rate=1.0, max_slowdown=4.0, seed=0)
+        draws = m.sample_many(1000)
+        assert draws.min() >= 1.0
+        assert draws.max() <= 4.0
+
+    def test_outlier_rate_respected(self):
+        m = CongestionModel(outlier_rate=0.1, max_slowdown=4.0, seed=1,
+                            scale_with_span=False)
+        draws = m.sample_many(5000)
+        frac = np.mean(draws > 1.0)
+        assert 0.05 < frac < 0.15
+
+    def test_zero_rate_never_slows(self):
+        m = CongestionModel(outlier_rate=0.0, seed=0)
+        assert np.all(m.sample_many(100) == 1.0)
+
+    def test_span_scaling(self):
+        m = CongestionModel(outlier_rate=0.2, scale_with_span=True)
+        assert m.effective_rate(0.1) < m.effective_rate(1.0)
+        assert m.effective_rate(1.0) == pytest.approx(0.2)
+
+    def test_reset_reproduces(self):
+        m = CongestionModel(seed=2)
+        first = m.sample_many(50)
+        m.reset()
+        assert np.allclose(m.sample_many(50), first)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionModel(outlier_rate=1.5)
+        with pytest.raises(ValueError):
+            CongestionModel(max_slowdown=0.5)

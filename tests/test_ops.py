@@ -1,0 +1,249 @@
+"""Numerical tests for the NumPy layer kernels, including finite-difference
+gradient checks on every op kind."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensorparallel.ops import (
+    AvgPoolOp,
+    BatchNormOp,
+    ConvOp,
+    FCOp,
+    FlattenOp,
+    MaxPoolOp,
+    ReLUOp,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn wrt array x."""
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = fn()
+        flat[i] = old - eps
+        down = fn()
+        flat[i] = old
+        gflat[i] = (up - down) / (2 * eps)
+    return g
+
+
+def check_input_gradient(op, x, atol=1e-6):
+    """Verify op.backward against finite differences of sum(forward)."""
+    y = op.forward(x)
+    dy = np.ones_like(y)
+    dx = op.backward(dy)
+    num = numeric_grad(lambda: op.forward(x).sum(), x)
+    assert np.allclose(dx, num, atol=atol), (
+        f"input gradient mismatch: max err "
+        f"{np.max(np.abs(dx - num)):.2e}"
+    )
+
+
+class TestConvOp:
+    def _conv(self, cin=2, cout=3, k=3, stride=1, pad=1):
+        w = RNG.standard_normal((cout, cin, k, k)) * 0.5
+        b = RNG.standard_normal(cout) * 0.1
+        return ConvOp("c", w, b, (stride, stride), (pad, pad))
+
+    def test_shape_same_conv(self):
+        op = self._conv()
+        y = op.forward(RNG.standard_normal((2, 2, 8, 8)))
+        assert y.shape == (2, 3, 8, 8)
+
+    def test_shape_strided(self):
+        op = self._conv(stride=2)
+        y = op.forward(RNG.standard_normal((2, 2, 8, 8)))
+        assert y.shape == (2, 3, 4, 4)
+
+    def test_known_value_identity_kernel(self):
+        # 1x1 kernel with identity weight: y == x.
+        w = np.eye(2).reshape(2, 2, 1, 1)
+        op = ConvOp("c", w, None, (1, 1), (0, 0))
+        x = RNG.standard_normal((1, 2, 4, 4))
+        assert np.allclose(op.forward(x), x)
+
+    def test_input_gradient(self):
+        op = self._conv()
+        check_input_gradient(op, RNG.standard_normal((2, 2, 5, 5)))
+
+    def test_input_gradient_strided(self):
+        op = self._conv(stride=2, pad=0)
+        check_input_gradient(op, RNG.standard_normal((1, 2, 7, 7)))
+
+    def test_weight_gradient(self):
+        op = self._conv()
+        x = RNG.standard_normal((2, 2, 5, 5))
+        y = op.forward(x)
+        op.backward(np.ones_like(y))
+        num = numeric_grad(lambda: op.forward(x).sum(), op.w)
+        assert np.allclose(op.dw, num, atol=1e-5)
+
+    def test_bias_gradient(self):
+        op = self._conv()
+        x = RNG.standard_normal((2, 2, 5, 5))
+        y = op.forward(x)
+        op.backward(np.ones_like(y))
+        assert np.allclose(op.db, y.shape[0] * y.shape[2] * y.shape[3])
+
+    def test_3d_conv(self):
+        w = RNG.standard_normal((2, 1, 3, 3, 3)) * 0.5
+        op = ConvOp("c", w, None, (1, 1, 1), (1, 1, 1))
+        x = RNG.standard_normal((1, 1, 4, 4, 4))
+        y = op.forward(x)
+        assert y.shape == (1, 2, 4, 4, 4)
+        check_input_gradient(op, x)
+
+    def test_1d_conv(self):
+        w = RNG.standard_normal((2, 2, 3)) * 0.5
+        op = ConvOp("c", w, None, (1,), (1,))
+        x = RNG.standard_normal((2, 2, 10))
+        assert op.forward(x).shape == (2, 2, 10)
+        check_input_gradient(op, x)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            self._conv().backward(np.zeros((1, 3, 8, 8)))
+
+    def test_gradient_accumulates(self):
+        op = self._conv()
+        x = RNG.standard_normal((1, 2, 5, 5))
+        for _ in range(2):
+            y = op.forward(x)
+            op.backward(np.ones_like(y))
+        single = np.array(op.dw)
+        op.dw[...] = 0
+        y = op.forward(x)
+        op.backward(np.ones_like(y))
+        assert np.allclose(single, 2 * op.dw)
+
+
+class TestFCOp:
+    def test_matches_matmul(self):
+        w = RNG.standard_normal((4, 6))
+        b = RNG.standard_normal(4)
+        op = FCOp("fc", w, b)
+        x = RNG.standard_normal((3, 6))
+        assert np.allclose(op.forward(x), x @ w.T + b)
+
+    def test_flattens_spatial_input(self):
+        w = RNG.standard_normal((4, 2 * 3 * 3))
+        op = FCOp("fc", w, None)
+        x = RNG.standard_normal((2, 2, 3, 3))
+        assert op.forward(x).shape == (2, 4)
+        dx = op.backward(np.ones((2, 4)))
+        assert dx.shape == x.shape
+
+    def test_gradients(self):
+        w = RNG.standard_normal((4, 6))
+        op = FCOp("fc", w, RNG.standard_normal(4))
+        x = RNG.standard_normal((3, 6))
+        check_input_gradient(op, x)
+        op.dw[...] = 0
+        y = op.forward(x)
+        op.backward(np.ones_like(y))
+        num = numeric_grad(lambda: op.forward(x).sum(), op.w)
+        assert np.allclose(op.dw, num, atol=1e-5)
+
+
+class TestPooling:
+    def test_maxpool_known_values(self):
+        op = MaxPoolOp("p", (2, 2), (2, 2), (0, 0))
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y = op.forward(x)
+        assert np.allclose(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        op = MaxPoolOp("p", (2, 2), (2, 2), (0, 0))
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        op.forward(x)
+        dx = op.backward(np.ones((1, 1, 2, 2)))
+        assert dx.sum() == 4.0
+        assert dx[0, 0, 1, 1] == 1.0  # position of 5
+        assert dx[0, 0, 0, 0] == 0.0
+
+    def test_maxpool_gradient_numeric(self):
+        op = MaxPoolOp("p", (2, 2), (2, 2), (0, 0))
+        x = RNG.standard_normal((2, 2, 6, 6))
+        check_input_gradient(op, x)
+
+    def test_maxpool_overlapping_windows(self):
+        op = MaxPoolOp("p", (3, 3), (2, 2), (0, 0))
+        x = RNG.standard_normal((1, 1, 7, 7))
+        check_input_gradient(op, x)
+
+    def test_maxpool_with_padding_ignores_pad(self):
+        op = MaxPoolOp("p", (3, 3), (2, 2), (1, 1))
+        x = -np.ones((1, 1, 4, 4))  # all negative: pad zeros must not win
+        y = op.forward(x)
+        assert np.all(y == -1.0)
+
+    def test_avgpool_known_values(self):
+        op = AvgPoolOp("p", (2, 2), (2, 2), (0, 0))
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y = op.forward(x)
+        assert np.allclose(y[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_gradient(self):
+        op = AvgPoolOp("p", (2, 2), (2, 2), (0, 0))
+        check_input_gradient(op, RNG.standard_normal((1, 2, 4, 4)))
+
+    def test_global_avgpool_3d(self):
+        op = AvgPoolOp("p", (4, 4, 4), (4, 4, 4), (0, 0, 0))
+        x = RNG.standard_normal((2, 3, 4, 4, 4))
+        y = op.forward(x)
+        assert y.shape == (2, 3, 1, 1, 1)
+        assert np.allclose(y[..., 0, 0, 0], x.mean(axis=(2, 3, 4)))
+
+
+class TestElementwiseOps:
+    def test_relu(self):
+        op = ReLUOp("r")
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(op.forward(x), [0, 0, 2])
+        assert np.allclose(op.backward(np.ones(3)), [0, 0, 1])
+
+    def test_flatten_roundtrip(self):
+        op = FlattenOp("f")
+        x = RNG.standard_normal((2, 3, 4, 4))
+        y = op.forward(x)
+        assert y.shape == (2, 48)
+        assert np.allclose(op.backward(y), x)
+
+    def test_batchnorm_normalizes(self):
+        op = BatchNormOp("bn", np.ones(3), np.zeros(3))
+        x = RNG.standard_normal((16, 3, 5, 5)) * 4 + 7
+        y = op.forward(x)
+        assert np.allclose(y.mean(axis=(0, 2, 3)), 0, atol=1e-10)
+        assert np.allclose(y.var(axis=(0, 2, 3)), 1, atol=1e-3)
+
+    def test_batchnorm_gradient(self):
+        op = BatchNormOp("bn", RNG.standard_normal(2) + 1,
+                         RNG.standard_normal(2))
+        x = RNG.standard_normal((4, 2, 3, 3))
+        check_input_gradient(op, x, atol=1e-5)
+
+    def test_batchnorm_weight_gradients(self):
+        op = BatchNormOp("bn", np.ones(2), np.zeros(2))
+        x = RNG.standard_normal((4, 2, 3, 3))
+        y = op.forward(x)
+        op.backward(np.ones_like(y))
+        num_g = numeric_grad(lambda: op.forward(x).sum(), op.w)
+        assert np.allclose(op.dw, num_g, atol=1e-5)
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_relu_idempotent(self, n, c):
+        op = ReLUOp("r")
+        x = np.random.default_rng(n * 10 + c).standard_normal((n, c, 3))
+        once = op.forward(x)
+        twice = op.forward(once)
+        assert np.allclose(once, twice)

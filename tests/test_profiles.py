@@ -1,0 +1,131 @@
+"""Tests for compute profiles and the oracle facade."""
+
+import pytest
+
+from repro.core.oracle import ParaDL, accuracy
+from repro.core.profiles import ComputeProfile, LayerTimes
+from repro.data import IMAGENET
+
+
+class TestLayerTimes:
+    def test_valid(self):
+        t = LayerTimes(forward=1e-3, backward=2e-3, weight_update=1e-4)
+        assert t.forward == 1e-3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LayerTimes(forward=-1, backward=0)
+
+
+class TestComputeProfile:
+    def _profile(self):
+        return ComputeProfile("m", {
+            "a": LayerTimes(1e-3, 2e-3, 1e-4),
+            "b": LayerTimes(2e-3, 4e-3, 2e-4),
+        })
+
+    def test_access(self):
+        p = self._profile()
+        assert p.fw("a") == 1e-3
+        assert p.bw("b") == 4e-3
+        assert p.wu("a") == 1e-4
+        assert "a" in p and "z" not in p
+        assert len(p) == 2
+
+    def test_missing_layer(self):
+        with pytest.raises(KeyError, match="missing from profile"):
+            self._profile().layer("zzz")
+
+    def test_totals(self):
+        p = self._profile()
+        assert p.total_fw() == pytest.approx(3e-3)
+        assert p.total_bw() == pytest.approx(6e-3)
+        assert p.total_wu() == pytest.approx(3e-4)
+
+    def test_scaled(self):
+        p = self._profile().scaled(8.0)
+        assert p.fw("a") == pytest.approx(8e-3)
+        # WU scales too (it is a uniform scaling helper).
+        assert p.wu("a") == pytest.approx(8e-4)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            self._profile().scaled(0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeProfile("m", {})
+
+    def test_validate_against(self, resnet50_model, resnet50_profile):
+        resnet50_profile.validate_against(resnet50_model)  # no raise
+        with pytest.raises(ValueError):
+            self._profile().validate_against(resnet50_model)
+
+    def test_group_sums(self, resnet50_model, resnet50_profile):
+        groups = resnet50_model.partition_depth(4)
+        total = sum(resnet50_profile.group_fw(g) for g in groups)
+        assert total == pytest.approx(resnet50_profile.total_fw())
+
+
+class TestAccuracyMetric:
+    def test_perfect(self):
+        assert accuracy(1.0, 1.0) == 1.0
+
+    def test_symmetric_loss(self):
+        assert accuracy(0.5, 1.0) == pytest.approx(0.5)
+        assert accuracy(1.5, 1.0) == pytest.approx(0.5)
+
+    def test_can_be_negative(self):
+        assert accuracy(3.0, 1.0) == pytest.approx(-1.0)
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(1.0, 0.0)
+
+
+class TestParaDLFacade:
+    @pytest.fixture(scope="class")
+    def oracle(self, resnet50_model, cluster64, resnet50_profile):
+        return ParaDL(resnet50_model, cluster64, resnet50_profile)
+
+    def test_project_id(self, oracle):
+        proj = oracle.project_id("d", p=64, batch=2048, dataset=IMAGENET)
+        assert proj.strategy.id == "d"
+        assert proj.per_iteration.total > 0
+
+    def test_suggest_ranks_feasible_first(self, oracle):
+        suggestions = oracle.suggest(64, IMAGENET, samples_per_pe=32)
+        feasible = [s for s in suggestions if s.feasible]
+        assert feasible, "at least one strategy should be feasible"
+        times = [s.epoch_time for s in feasible]
+        assert times == sorted(times)
+        assert feasible[0].rank == 1
+
+    def test_suggest_reports_infeasible_reasons(self, oracle):
+        suggestions = oracle.suggest(64, IMAGENET, samples_per_pe=32)
+        infeasible = [s for s in suggestions if not s.feasible]
+        assert all(s.reason for s in infeasible)
+        # Spatial cannot reach p=64 on ResNet-50 (limit 49).
+        assert any("spatial" in s.reason or
+                   (s.strategy and s.strategy.id == "s")
+                   for s in infeasible)
+
+    def test_suggest_data_wins_for_resnet(self, oracle):
+        # At moderate scale with fitting memory, plain data parallelism is
+        # the fastest option for ResNet-50 (the paper's baseline finding).
+        best = oracle.suggest(64, IMAGENET, samples_per_pe=32)[0]
+        assert best.strategy.id in ("d", "ds")
+
+    def test_breakdown_row(self, oracle):
+        proj = oracle.project_id("d", p=16, batch=512, dataset=IMAGENET)
+        row = oracle.breakdown_row(proj)
+        assert row["p"] == 16
+        assert row["total"] == pytest.approx(
+            row["computation"] + row["communication"]
+        )
+
+    def test_accuracy_against(self, oracle):
+        proj = oracle.project_id("d", p=16, batch=512, dataset=IMAGENET)
+        assert oracle.accuracy_against(
+            proj, proj.per_epoch.total
+        ) == pytest.approx(1.0)

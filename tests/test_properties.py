@@ -1,0 +1,126 @@
+"""Hypothesis property tests over the analytical model's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytical import AnalyticalModel
+from repro.core.calibration import profile_model
+from repro.core.strategies import (
+    DataParallel,
+    FilterParallel,
+    PipelineParallel,
+    Serial,
+    ShardedDataParallel,
+    StrategyError,
+    strategy_from_id,
+)
+from repro.models import toy_cnn
+from repro.core.tensors import TensorSpec
+from repro.network.topology import abci_like_cluster
+
+D = 65536  # synthetic dataset size
+
+
+@pytest.fixture(scope="module")
+def env():
+    model = toy_cnn(TensorSpec(4, (16, 16)), channels=(8, 16))
+    cluster = abci_like_cluster(64)
+    profile = profile_model(model, samples_per_pe=8)
+    return model, AnalyticalModel(model, cluster, profile)
+
+
+class TestNonNegativity:
+    @given(
+        sid=st.sampled_from(["d", "z", "f", "c", "p", "s"]),
+        p=st.sampled_from([2, 4, 8]),
+        batch=st.sampled_from([16, 64, 256]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_phases_nonnegative(self, env, sid, p, batch):
+        model, am = env
+        try:
+            strategy = strategy_from_id(sid, p, model, batch)
+            proj = am.project(strategy, batch, D)
+        except StrategyError:
+            return
+        for value in proj.per_epoch.asdict().values():
+            assert value >= 0.0
+        assert proj.memory_bytes > 0
+
+
+class TestMonotonicity:
+    @given(batch=st.sampled_from([64, 128, 512]))
+    @settings(max_examples=10, deadline=None)
+    def test_data_memory_decreases_with_p(self, env, batch):
+        _, am = env
+        mems = [
+            am.project(DataParallel(p), batch, D).memory_bytes
+            for p in (2, 4, 8, 16)
+            if p <= batch
+        ]
+        assert all(a >= b for a, b in zip(mems, mems[1:]))
+
+    @given(p=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=10, deadline=None)
+    def test_filter_comm_increases_with_batch(self, env, p):
+        _, am = env
+        comms = [
+            am.project(FilterParallel(p), b, D).per_iteration.comm_fb
+            for b in (8, 32, 128)
+        ]
+        assert comms[0] < comms[1] < comms[2]
+
+    @given(batch=st.sampled_from([64, 256]))
+    @settings(max_examples=10, deadline=None)
+    def test_epoch_compute_shrinks_with_p(self, env, batch):
+        _, am = env
+        serial = am.project(Serial(), batch, D).per_epoch.computation
+        for p in (2, 4, 8):
+            par = am.project(DataParallel(p), batch, D).per_epoch.computation
+            assert par < serial
+
+    @given(p=st.sampled_from([2, 4]), s1=st.sampled_from([2, 4]),
+           mult=st.sampled_from([2, 4]))
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_bubble_monotone_in_segments(self, env, p, s1, mult):
+        _, am = env
+        batch = 64
+        t1 = am.project(PipelineParallel(p, segments=s1), batch, D)
+        t2 = am.project(PipelineParallel(p, segments=s1 * mult), batch, D)
+        assert t2.per_epoch.comp_fw <= t1.per_epoch.comp_fw
+
+
+class TestConsistency:
+    @given(
+        sid=st.sampled_from(["d", "z", "f", "c"]),
+        p=st.sampled_from([2, 4, 8]),
+        batch=st.sampled_from([32, 128]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_epoch_iteration_relation(self, env, sid, p, batch):
+        model, am = env
+        try:
+            strategy = strategy_from_id(sid, p, model, batch)
+            proj = am.project(strategy, batch, D)
+        except StrategyError:
+            return
+        assert proj.per_iteration.total * proj.iterations == pytest.approx(
+            proj.per_epoch.total
+        )
+
+    @given(p=st.sampled_from([2, 4, 8]), batch=st.sampled_from([32, 128]))
+    @settings(max_examples=20, deadline=None)
+    def test_sharded_mem_never_exceeds_plain(self, env, p, batch):
+        _, am = env
+        d = am.project(DataParallel(p), batch, D)
+        z = am.project(ShardedDataParallel(p), batch, D)
+        assert z.memory_bytes <= d.memory_bytes
+        assert z.per_epoch.comm_ge >= d.per_epoch.comm_ge
+
+    @given(batch=st.sampled_from([32, 64, 128]))
+    @settings(max_examples=10, deadline=None)
+    def test_serial_is_compute_only(self, env, batch):
+        _, am = env
+        proj = am.project(Serial(), batch, D)
+        assert proj.per_epoch.communication == 0.0

@@ -1,0 +1,190 @@
+"""Unit + property tests for the tensor shape algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tensors import (
+    TensorSpec,
+    conv_output_extent,
+    halo_elements,
+    pool_output_extent,
+    prod,
+)
+
+
+class TestProd:
+    def test_empty(self):
+        assert prod(()) == 1
+
+    def test_values(self):
+        assert prod((2, 3, 4)) == 24
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=6))
+    def test_matches_math_prod(self, values):
+        assert prod(values) == math.prod(values)
+
+
+class TestTensorSpec:
+    def test_elements_2d(self):
+        spec = TensorSpec(3, (224, 224))
+        assert spec.elements == 3 * 224 * 224
+        assert spec.ndim == 2
+        assert spec.spatial_elements == 224 * 224
+
+    def test_elements_3d(self):
+        spec = TensorSpec(4, (256, 256, 256))
+        assert spec.elements == 4 * 256 ** 3
+
+    def test_degenerate_fc(self):
+        spec = TensorSpec(1000)
+        assert spec.ndim == 0
+        assert spec.elements == 1000
+        assert spec.spatial_elements == 1
+
+    def test_bytes(self):
+        assert TensorSpec(2, (4,)).bytes(4) == 32
+
+    def test_negative_channels_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec(-1, (4, 4))
+
+    def test_zero_spatial_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec(1, (0, 4))
+
+    def test_split_channels(self):
+        spec = TensorSpec(64, (8, 8))
+        assert spec.split_channels(4).channels == 16
+        assert spec.split_channels(4).spatial == (8, 8)
+
+    def test_split_channels_indivisible(self):
+        with pytest.raises(ValueError):
+            TensorSpec(5, (4,)).split_channels(2)
+
+    def test_split_spatial_even(self):
+        spec = TensorSpec(3, (8, 8))
+        out = spec.split_spatial((2, 4))
+        assert out.spatial == (4, 2)
+        assert out.channels == 3
+
+    def test_split_spatial_uneven_takes_ceiling(self):
+        out = TensorSpec(1, (7,)).split_spatial((2,))
+        assert out.spatial == (4,)
+
+    def test_split_spatial_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            TensorSpec(1, (8, 8)).split_spatial((2,))
+
+    def test_split_spatial_too_many_parts(self):
+        with pytest.raises(ValueError):
+            TensorSpec(1, (4,)).split_spatial((8,))
+
+    def test_equality_and_hash(self):
+        assert TensorSpec(3, (4, 4)) == TensorSpec(3, (4, 4))
+        assert hash(TensorSpec(3, (4, 4))) == hash(TensorSpec(3, (4, 4)))
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=3),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_split_channels_conserves_elements(self, c, spatial, parts):
+        c = c * parts  # make divisible
+        spec = TensorSpec(c, tuple(spatial))
+        assert spec.split_channels(parts).elements * parts == spec.elements
+
+
+class TestConvExtent:
+    def test_same_padding(self):
+        assert conv_output_extent((224, 224), (3, 3), (1, 1), (1, 1)) == (224, 224)
+
+    def test_stride_two(self):
+        # ResNet stem: 224 -> 112 with k=7, s=2, p=3.
+        assert conv_output_extent((224,), (7,), (2,), (3,)) == (112,)
+
+    def test_no_padding(self):
+        assert conv_output_extent((28,), (5,), (1,), (0,)) == (24,)
+
+    def test_kernel_too_big(self):
+        with pytest.raises(ValueError):
+            conv_output_extent((3,), (5,), (1,), (0,))
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_output_positive_when_fits(self, x, k, s, p):
+        if x + 2 * p - k < 0:
+            return
+        (out,) = conv_output_extent((x,), (k,), (s,), (p,))
+        assert out >= 1
+
+
+class TestPoolExtent:
+    def test_floor_mode(self):
+        assert pool_output_extent((7,), (2,), (2,), (0,)) == (3,)
+
+    def test_ceil_mode(self):
+        assert pool_output_extent((7,), (2,), (2,), (0,), ceil_mode=True) == (4,)
+
+    def test_exact_division(self):
+        assert pool_output_extent((8,), (2,), (2,), (0,)) == (4,)
+
+
+class TestHalo:
+    def test_no_halo_for_1x1_kernel(self):
+        spec = TensorSpec(8, (16, 16))
+        assert halo_elements(spec, (2, 2), (1, 1)) == 0
+
+    def test_no_halo_without_split(self):
+        spec = TensorSpec(8, (16, 16))
+        assert halo_elements(spec, (1, 1), (3, 3)) == 0
+
+    def test_single_axis_split_3x3(self):
+        # Split width in 2: one boundary, K//2 = 1 column of 8*16 elements.
+        spec = TensorSpec(8, (16, 16))
+        assert halo_elements(spec, (1, 2), (3, 3)) == 8 * 16
+
+    def test_multi_part_split_has_two_sides(self):
+        spec = TensorSpec(8, (16, 16))
+        two = halo_elements(spec, (1, 2), (3, 3))
+        four = halo_elements(spec, (1, 4), (3, 3))
+        assert four == 2 * two
+
+    def test_2d_grid_sums_axes(self):
+        spec = TensorSpec(4, (16, 16))
+        both = halo_elements(spec, (2, 2), (3, 3))
+        one = halo_elements(spec, (1, 2), (3, 3))
+        assert both == 2 * one
+
+    def test_larger_kernel_bigger_halo(self):
+        spec = TensorSpec(4, (32, 32))
+        assert halo_elements(spec, (1, 2), (5, 5)) == 2 * halo_elements(
+            spec, (1, 2), (3, 3)
+        )
+
+    def test_3d(self):
+        spec = TensorSpec(4, (8, 8, 8))
+        # Split depth axis in 2: slab = 4*8*8 elements.
+        assert halo_elements(spec, (1, 1, 2), (3, 3, 3)) == 4 * 64
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            halo_elements(TensorSpec(1, (8, 8)), (2,), (3, 3))
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30)
+    def test_halo_grows_with_parts_until_saturation(self, parts, half_k):
+        spec = TensorSpec(2, (64,))
+        k = 2 * half_k + 1
+        h2 = halo_elements(spec, (2,), (k,))
+        hp = halo_elements(spec, (parts,), (k,))
+        assert hp >= h2

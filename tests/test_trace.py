@@ -1,0 +1,83 @@
+"""Tests for the schedule timeline / Gantt rendering."""
+
+import pytest
+
+from repro.simulator.trace import Interval, Timeline, gpipe_timeline
+from repro.simulator.training import _gpipe_schedule
+
+
+class TestTimeline:
+    def test_makespan(self):
+        tl = Timeline()
+        tl.add("a", 0.0, 1.0)
+        tl.add("b", 0.5, 2.5)
+        assert tl.makespan == 2.5
+
+    def test_utilization(self):
+        tl = Timeline()
+        tl.add("a", 0.0, 1.0)
+        tl.add("a", 3.0, 4.0)
+        assert tl.busy_time("a") == 2.0
+        assert tl.utilization("a") == pytest.approx(0.5)
+
+    def test_bubble_fraction(self):
+        tl = Timeline()
+        tl.add("a", 0.0, 1.0)
+        tl.add("b", 1.0, 2.0)
+        assert tl.bubble_fraction() == pytest.approx(0.5)
+
+    def test_render_shape(self):
+        tl = Timeline()
+        tl.add("stage0", 0.0, 1.0, "0")
+        tl.add("stage1", 1.0, 2.0, "0")
+        art = tl.render(width=20)
+        lines = art.splitlines()
+        assert len(lines) == 3  # two rows + axis
+        assert "stage0" in lines[0]
+
+    def test_empty_render(self):
+        assert "empty" in Timeline().render()
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Interval("a", 1.0, 0.5)
+
+
+class TestGPipeTimeline:
+    def test_matches_scheduler_makespan(self):
+        """The recorded timeline must reach exactly the makespan the
+        training scheduler computes."""
+        fw = [1.0, 1.5, 0.5]
+        bw = [2.0, 1.0, 1.0]
+        xf = [0.1, 0.2]
+        S = 4
+        tl = gpipe_timeline(fw, bw, xf, S)
+        fw_t, bw_t, comm = _gpipe_schedule(fw, bw, xf, S)
+        assert tl.makespan == pytest.approx(fw_t + bw_t + comm)
+
+    def test_balanced_pipeline_bubble(self):
+        # p stages, S micro-batches, unit times: utilization = 2S/(2(p+S-1)).
+        p, S = 4, 4
+        tl = gpipe_timeline([1.0] * p, [1.0] * p, [0.0] * (p - 1), S)
+        expected_util = 2 * S / (2 * (p + S - 1))
+        for stage in range(p):
+            assert tl.utilization(f"stage{stage}") == pytest.approx(
+                expected_util, rel=1e-6
+            )
+
+    def test_more_segments_smaller_bubble(self):
+        p = 4
+        small = gpipe_timeline([1.0] * p, [1.0] * p, [0.0] * 3, 2)
+        big = gpipe_timeline([0.25] * p, [0.25] * p, [0.0] * 3, 8)
+        assert big.bubble_fraction() < small.bubble_fraction()
+
+    def test_interval_count(self):
+        p, S = 3, 5
+        tl = gpipe_timeline([1.0] * p, [1.0] * p, [0.0] * 2, S)
+        assert len(tl) == 2 * p * S  # fw + bw per stage per micro-batch
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gpipe_timeline([1.0], [1.0, 2.0], [], 2)
+        with pytest.raises(ValueError):
+            gpipe_timeline([1.0], [1.0], [], 0)

@@ -1,0 +1,198 @@
+"""Tests for the training simulator across all strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    ChannelParallel,
+    DataFilterParallel,
+    DataParallel,
+    DataSpatialParallel,
+    FilterParallel,
+    PipelineParallel,
+    Serial,
+    SpatialParallel,
+)
+from repro.data import IMAGENET
+from repro.network.congestion import CongestionModel
+from repro.simulator.training import (
+    MeasuredRun,
+    SimulationOptions,
+    TrainingSimulator,
+    _gpipe_schedule,
+)
+
+D = IMAGENET.num_samples
+
+
+@pytest.fixture(scope="module")
+def sim(resnet50_model, cluster64):
+    return TrainingSimulator(
+        resnet50_model, cluster64,
+        options=SimulationOptions(iterations=10, seed=1),
+    )
+
+
+ALL_CASES = [
+    (Serial(), 32),
+    (DataParallel(16), 512),
+    (SpatialParallel((4, 4)), 32),
+    (PipelineParallel(4, segments=8), 64),
+    (FilterParallel(16), 32),
+    (ChannelParallel(16), 32),
+    (DataFilterParallel(16, 4), 512),
+    (DataSpatialParallel(16, (2, 2)), 512),
+]
+
+
+class TestAllStrategiesRun:
+    @pytest.mark.parametrize("strategy,batch", ALL_CASES,
+                             ids=[c[0].id for c in ALL_CASES])
+    def test_run_produces_consistent_measurement(self, sim, strategy, batch):
+        run = sim.run(strategy, batch, D)
+        assert isinstance(run, MeasuredRun)
+        assert len(run.iteration_times) == 10
+        assert np.all(run.iteration_times > 0)
+        # Mean iteration should be near the breakdown total.
+        assert run.mean_iteration == pytest.approx(
+            run.breakdown.total, rel=0.15
+        )
+        assert run.memory_bytes > 0
+
+    def test_serial_has_no_comm(self, sim):
+        run = sim.run(Serial(), 32, D)
+        assert run.breakdown.communication == 0.0
+
+    def test_epoch_time(self, sim):
+        run = sim.run(DataParallel(16), 512, D)
+        assert run.epoch_time == pytest.approx(
+            run.mean_iteration * (D // 512)
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, resnet50_model, cluster64):
+        def make():
+            return TrainingSimulator(
+                resnet50_model, cluster64,
+                options=SimulationOptions(iterations=5, seed=9),
+            ).run(DataParallel(16), 512, D)
+
+        a, b = make(), make()
+        assert np.allclose(a.iteration_times, b.iteration_times)
+
+    def test_different_seeds_differ(self, resnet50_model, cluster64):
+        def make(seed):
+            return TrainingSimulator(
+                resnet50_model, cluster64,
+                options=SimulationOptions(iterations=5, seed=seed),
+            ).run(DataParallel(16), 512, D)
+
+        assert not np.allclose(
+            make(1).iteration_times, make(2).iteration_times
+        )
+
+
+class TestOverheads:
+    def test_split_concat_toggle(self, resnet50_model, cluster64):
+        def run(flag):
+            return TrainingSimulator(
+                resnet50_model, cluster64,
+                options=SimulationOptions(iterations=5, split_concat=flag),
+            ).run(FilterParallel(16), 32, D)
+
+        assert (run(True).breakdown.computation
+                > run(False).breakdown.computation)
+
+    def test_redundant_tail_toggle(self, resnet50_model, cluster64):
+        def run(flag):
+            return TrainingSimulator(
+                resnet50_model, cluster64,
+                options=SimulationOptions(iterations=5, redundant_tail=flag),
+            ).run(SpatialParallel((4, 4)), 32, D)
+
+        assert (run(True).breakdown.computation
+                >= run(False).breakdown.computation)
+
+    def test_memory_stall_applied(self, vgg16_model, cluster64):
+        """Section 5.3.2: near-capacity runs suffer allocator stalls."""
+        stall = TrainingSimulator(
+            vgg16_model, cluster64,
+            options=SimulationOptions(iterations=5,
+                                      memory_stall_threshold=0.01),
+        ).run(DataParallel(16), 512, D)
+        clean = TrainingSimulator(
+            vgg16_model, cluster64,
+            options=SimulationOptions(iterations=5,
+                                      memory_stall_threshold=10.0),
+        ).run(DataParallel(16), 512, D)
+        assert stall.breakdown.computation > 1.3 * clean.breakdown.computation
+        assert any("stall" in n for n in stall.notes)
+
+    def test_mpi_halo_slower_than_nccl(self, resnet50_model, cluster64):
+        def run(transport):
+            return TrainingSimulator(
+                resnet50_model, cluster64,
+                options=SimulationOptions(iterations=5,
+                                          halo_transport=transport),
+            ).run(SpatialParallel((4, 4)), 32, D)
+
+        assert (run("mpi").breakdown.comm_halo
+                > run("nccl").breakdown.comm_halo)
+
+
+class TestCongestionEffects:
+    def test_congestion_inflates_comm(self, resnet50_model, cluster64):
+        clean = TrainingSimulator(
+            resnet50_model, cluster64,
+            options=SimulationOptions(iterations=50, seed=3),
+        ).run(DataParallel(64), 2048, D)
+        congested = TrainingSimulator(
+            resnet50_model, cluster64,
+            options=SimulationOptions(
+                iterations=50, seed=3,
+                congestion=CongestionModel(outlier_rate=0.5, seed=3),
+            ),
+        ).run(DataParallel(64), 2048, D)
+        assert (congested.breakdown.comm_ge > clean.breakdown.comm_ge)
+        # Outliers visible in the sample tail.
+        ratio = congested.comm_samples["comm_ge"] / np.median(
+            congested.comm_samples["comm_ge"]
+        )
+        assert ratio.max() > 1.4
+
+
+class TestGPipeSchedule:
+    def test_single_stage(self):
+        fw, bw, comm = _gpipe_schedule([1.0], [2.0], [], segments=4)
+        assert fw == 4.0 and bw == 8.0 and comm == 0.0
+
+    def test_balanced_two_stage_bubble(self):
+        # 2 stages x 4 micro-batches, unit stage time, no transfer:
+        # forward finishes at (p + S - 1) = 5.
+        fw, bw, comm = _gpipe_schedule([1.0, 1.0], [1.0, 1.0], [0.0],
+                                       segments=4)
+        assert fw == pytest.approx(5.0)
+        assert bw == pytest.approx(5.0)
+
+    def test_imbalanced_gated_by_slowest(self):
+        fw, _, _ = _gpipe_schedule([1.0, 3.0], [1.0, 1.0], [0.0], segments=4)
+        # Slow stage dominates: 1 + 4*3 = 13.
+        assert fw == pytest.approx(13.0)
+
+    def test_transfer_counted_as_comm(self):
+        fw, bw, comm = _gpipe_schedule([1.0, 1.0], [1.0, 1.0], [0.5],
+                                       segments=2)
+        assert comm == pytest.approx(0.5 * 2 * 2)  # 2 sweeps x 2 micro
+
+
+class TestValidation:
+    def test_invalid_batch(self, sim):
+        with pytest.raises(ValueError):
+            sim.run(Serial(), 0, D)
+
+    def test_strategy_checked(self, sim):
+        from repro.core.strategies import StrategyError
+
+        with pytest.raises(StrategyError):
+            sim.run(FilterParallel(128), 32, D)
