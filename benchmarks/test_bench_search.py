@@ -1,0 +1,117 @@
+"""Search throughput: candidates evaluated per second, cold vs. warm cache.
+
+Measures the acceptance claim of the search subsystem: a second planning
+session against a persisted projection cache answers every candidate from
+the memo (zero projections) and evaluates >= 10x faster.  Also checks the
+search result itself — the scalarized best must match or beat the best
+feasible ``ParaDL.suggest`` entry at the same budget, since the search
+space is a superset of suggest's fixed ranking.
+"""
+
+import time
+
+from repro.core.calibration import profile_model
+from repro.core.math_utils import power_of_two_budgets
+from repro.core.oracle import ParaDL
+from repro.data.datasets import IMAGENET
+from repro.models import build_model
+from repro.network.topology import abci_like_cluster
+from repro.search import SearchEngine, SearchSpace
+
+from _util import write_report
+
+PES = 64
+
+
+def _make_oracle():
+    model = build_model("resnet50", None)
+    cluster = abci_like_cluster(PES)
+    profile = profile_model(model, samples_per_pe=32)
+    return ParaDL(model, cluster, profile)
+
+
+def _space():
+    return SearchSpace(
+        pe_budgets=tuple(power_of_two_budgets(PES, start=4)),
+        samples_per_pe=(16, 32),
+        segments=(2, 4, 8),
+    )
+
+
+def _timed_search(engine, space):
+    t0 = time.perf_counter()
+    report = engine.search(space)
+    return report, time.perf_counter() - t0
+
+
+#: Repetitions per measurement; best-of-N guards the speedup ratio against
+#: scheduler jitter when the whole suite runs in parallel with this test.
+REPEATS = 5
+
+
+def test_bench_search_cold_vs_warm(tmp_path):
+    oracle = _make_oracle()
+    space = _space()
+
+    cold_s = float("inf")
+    for i in range(REPEATS):
+        path = str(tmp_path / f"cold-cache-{i}.json")
+        cold_engine = SearchEngine(oracle, IMAGENET, cache=path, workers=1)
+        cold_report, elapsed = _timed_search(cold_engine, space)
+        assert cold_engine.cache.hits == 0
+        cold_s = min(cold_s, elapsed)
+    path = str(tmp_path / f"cold-cache-{REPEATS - 1}.json")
+
+    warm_s = float("inf")
+    for _ in range(REPEATS):
+        warm_engine = SearchEngine(oracle, IMAGENET, cache=path, workers=1)
+        warm_report, elapsed = _timed_search(warm_engine, space)
+        warm_s = min(warm_s, elapsed)
+
+    n = cold_report.stats["candidates"]
+    assert n == warm_report.stats["candidates"]
+    # A warm cache answers everything — no projection is ever recomputed.
+    assert warm_report.stats["cache_misses"] == 0
+    # Identical results either way.
+    assert warm_report.best.candidate == cold_report.best.candidate
+    assert [e.projection for e in warm_report.frontier] == \
+           [e.projection for e in cold_report.frontier]
+    # The acceptance threshold: warm >= 10x faster.
+    speedup = cold_s / warm_s
+    assert speedup >= 10.0, (
+        f"warm cache only {speedup:.1f}x faster "
+        f"(cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms)"
+    )
+
+    # Search must match or beat plain suggest at the same budget.
+    feasible = [s for s in oracle.suggest(PES, IMAGENET) if s.feasible]
+    sug_best = min(s.epoch_time for s in feasible)
+    assert cold_report.best.epoch_time <= sug_best + 1e-9
+
+    write_report("search", [
+        f"Search throughput — resnet50, budgets {power_of_two_budgets(PES)}"
+        f" ({n} candidates, {cold_report.stats['pruned']} pruned)",
+        f"cold: {cold_s * 1e3:8.1f} ms   {n / cold_s:8.0f} candidates/s",
+        f"warm: {warm_s * 1e3:8.1f} ms   {n / warm_s:8.0f} candidates/s",
+        f"speedup: {speedup:.1f}x",
+        f"frontier: {len(cold_report.frontier)} points; "
+        f"best {cold_report.best.describe()} "
+        f"epoch={cold_report.best.epoch_time:.1f}s",
+        f"suggest best epoch={sug_best:.1f}s "
+        f"(search gain {(1 - cold_report.best.epoch_time / sug_best):.2%})",
+    ])
+
+
+def test_bench_search_throughput(benchmark, tmp_path):
+    """pytest-benchmark series for trend tracking: warm-cache evaluation."""
+    oracle = _make_oracle()
+    space = _space()
+    path = str(tmp_path / "bench-cache.json")
+    SearchEngine(oracle, IMAGENET, cache=path, workers=1).search(space)
+
+    def warm():
+        return SearchEngine(
+            oracle, IMAGENET, cache=path, workers=1).search(space)
+
+    report = benchmark(warm)
+    assert report.best is not None

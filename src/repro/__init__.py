@@ -11,11 +11,23 @@ Public API tour
 >>> proj = oracle.project_id("d", p=64, batch=32 * 64, dataset=IMAGENET)
 >>> proj.per_iteration.total  # seconds per training iteration  # doctest: +SKIP
 
+Instead of projecting one hand-picked configuration, let the search
+subsystem sweep the whole space (strategies x hybrid factorizations x PE
+budgets x batches x micro-batches) with pruning, a persistent projection
+cache, and multi-objective ranking:
+
+>>> report = oracle.search(64, IMAGENET, cache="plan.json")  # doctest: +SKIP
+>>> report.best.describe(), [e.describe() for e in report.frontier]  # doctest: +SKIP
+
 Packages
 --------
 ``repro.core``
     Tensor/layer IR, Table-3 analytical model, the ParaDL oracle,
     calibration, limitation detection.
+``repro.search``
+    Automated strategy search: declarative candidate spaces, feasibility
+    pruning, cached parallel evaluation, Pareto frontiers
+    (``python -m repro search`` on the command line).
 ``repro.models``
     ResNet-50/152, VGG16, CosmoFlow, AlexNet, toy test CNNs.
 ``repro.network``
@@ -32,7 +44,7 @@ Packages
     Experiment registry regenerating every table/figure of the paper.
 """
 
-from . import collectives, core, data, models, network
+from . import collectives, core, data, models, network, search
 from .core import (
     AnalyticalModel,
     ComputeProfile,
@@ -56,6 +68,7 @@ __all__ = [
     "network",
     "collectives",
     "data",
+    "search",
     "AnalyticalModel",
     "ComputeProfile",
     "ModelGraph",

@@ -10,17 +10,21 @@ the time and resources to provision").  This CLI exposes those workflows:
    python -m repro project  --model resnet50 --strategy ds -p 64 --inference
    python -m repro suggest  --model vgg16 -p 64 --samples-per-pe 32
    python -m repro hybrid   --model vgg16 -p 64
+   python -m repro search   --model resnet50 -p 64 --cache plan-cache.json
    python -m repro simulate --model resnet50 --strategy d -p 64 --batch 2048
    python -m repro validate --p 4
    python -m repro experiment fig5
 
 Every command prints plain-text tables (see :mod:`repro.harness.reporting`)
 and returns a non-zero exit code on infeasible/failed configurations.
+``project``, ``suggest``, ``hybrid``, and ``search`` accept ``--json`` for
+machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -59,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--optimizer", default="sgd",
                        choices=("sgd", "momentum", "adam"))
 
+    def json_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON output")
+
     proj = sub.add_parser("project", help="project one strategy (Table 3)")
     common(proj)
     proj.add_argument("--strategy", default="d",
@@ -71,14 +79,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="forward-only projection (Section 5.4.2)")
     proj.add_argument("--findings", action="store_true",
                       help="also run the Table-6 limitation detector")
+    json_flag(proj)
 
     sug = sub.add_parser("suggest", help="rank all strategies for a budget")
     common(sug)
+    json_flag(sug)
 
     hyb = sub.add_parser("hybrid", help="search (p1, p2) hybrid configs")
     common(hyb)
     hyb.add_argument("--kinds", default="df,ds")
     hyb.add_argument("--top", type=int, default=5)
+    json_flag(hyb)
+
+    srch = sub.add_parser(
+        "search",
+        help="automated strategy search: pruning + cache + Pareto frontier")
+    common(srch)
+    srch.add_argument("--strategies", default=None,
+                      help="comma-separated strategy ids (default: all)")
+    srch.add_argument("--pe-sweep", action="store_true",
+                      help="sweep power-of-two PE budgets up to -p")
+    srch.add_argument("--segments", default="2,4,8",
+                      help="pipeline micro-batch counts to try")
+    srch.add_argument("--workers", type=int, default=None,
+                      help="evaluation worker-pool width")
+    srch.add_argument("--cache", default=None, metavar="PATH",
+                      help="persistent projection-cache JSON file")
+    srch.add_argument("--top", type=int, default=10,
+                      help="frontier rows to print")
+    srch.add_argument("--weights", default=None,
+                      help="scalarization weights, e.g. "
+                           "'epoch_time=1,memory=0.2,pes=0.1'")
+    json_flag(srch)
 
     plan = sub.add_parser("plan",
                           help="per-layer strategy assignment (DP)")
@@ -105,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=(
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "table3", "table5", "table6", "accuracy",
+        "table3", "table5", "table6", "accuracy", "search",
     ))
     exp.add_argument("--full", action="store_true",
                      help="full sweep instead of the quick grid")
@@ -143,9 +175,35 @@ def _cmd_project(args) -> int:
         else:
             proj = oracle.project(strategy, batch, dataset)
     except (StrategyError, ValueError) as exc:
-        print(f"infeasible: {exc}", file=sys.stderr)
+        if args.json:
+            print(json.dumps({"feasible": False, "error": str(exc)}))
+        else:
+            print(f"infeasible: {exc}", file=sys.stderr)
         return 2
     it = proj.per_iteration
+    if args.json:
+        blob = {
+            "model": model.name,
+            "strategy": strategy.describe(),
+            "batch": batch,
+            "per_iteration": dict(it.asdict(), computation=it.computation,
+                                  communication=it.communication,
+                                  total=it.total),
+            "epoch_s": proj.per_epoch.total,
+            "iterations": proj.iterations,
+            "memory_gb": proj.memory_bytes / 1e9,
+            "memory_capacity_gb": proj.memory_capacity / 1e9,
+            "feasible": proj.feasible_memory,
+            "notes": list(proj.notes),
+        }
+        if args.findings:
+            blob["findings"] = [
+                {"category": f.category, "kind": f.kind, "name": f.name,
+                 "message": f.message, "severity": f.severity}
+                for f in detect_findings(model, proj, profile=profile)
+            ]
+        print(json.dumps(blob, indent=2))
+        return 0 if proj.feasible_memory else 1
     print(f"{model.name} / {strategy.describe()} / B={batch} "
           f"on {cluster}")
     print(reporting.format_breakdown(it))
@@ -162,11 +220,35 @@ def _cmd_project(args) -> int:
     return 0 if proj.feasible_memory else 1
 
 
+def _suggestion_blob(s) -> dict:
+    blob = {
+        "rank": s.rank if s.feasible else None,
+        "strategy": s.strategy.describe() if s.strategy else None,
+        "feasible": s.feasible,
+    }
+    if s.projection is not None:
+        blob.update(
+            epoch_s=s.projection.per_epoch.total,
+            iteration_s=s.projection.per_iteration.total,
+            memory_gb=s.projection.memory_bytes / 1e9,
+        )
+    if s.reason:
+        blob["reason"] = s.reason
+    return blob
+
+
 def _cmd_suggest(args) -> int:
     model, cluster, profile, oracle, dataset = _make_oracle(args)
+    suggestions = oracle.suggest(args.pes, dataset,
+                                 samples_per_pe=args.samples_per_pe)
+    if args.json:
+        print(json.dumps(
+            {"model": model.name, "pes": args.pes,
+             "entries": [_suggestion_blob(s) for s in suggestions]},
+            indent=2))
+        return 0
     rows = []
-    for s in oracle.suggest(args.pes, dataset,
-                            samples_per_pe=args.samples_per_pe):
+    for s in suggestions:
         if s.feasible:
             rows.append([s.rank, s.strategy.describe(),
                          f"{s.epoch_time:.1f} s",
@@ -185,6 +267,13 @@ def _cmd_hybrid(args) -> int:
     out = oracle.search_hybrid(args.pes, dataset,
                                samples_per_pe=args.samples_per_pe,
                                kinds=kinds)
+    if args.json:
+        print(json.dumps(
+            {"model": model.name, "pes": args.pes,
+             "entries": [_suggestion_blob(s) for s in out[: args.top]],
+             "infeasible": sum(1 for s in out if not s.feasible)},
+            indent=2))
+        return 0
     rows = []
     for s in out[: args.top]:
         if s.feasible:
@@ -195,6 +284,73 @@ def _cmd_hybrid(args) -> int:
     infeasible = sum(1 for s in out if not s.feasible)
     if infeasible:
         print(f"({infeasible} configurations infeasible)")
+    return 0
+
+
+def _parse_weights(spec: Optional[str]) -> Optional[dict]:
+    if not spec:
+        return None
+    weights = {}
+    for item in spec.split(","):
+        if not item.strip():
+            continue
+        name, _, value = item.partition("=")
+        weights[name.strip()] = float(value) if value else 1.0
+    return weights or None
+
+
+def _cmd_search(args) -> int:
+    from .core.math_utils import power_of_two_budgets
+
+    model, cluster, profile, oracle, dataset = _make_oracle(args)
+    strategies = (
+        tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+        if args.strategies else None
+    )
+    pe_budgets = (
+        power_of_two_budgets(args.pes) if args.pe_sweep else (args.pes,)
+    )
+    try:
+        segments = tuple(
+            int(s) for s in args.segments.split(",") if s.strip())
+        report = oracle.search(
+            args.pes, dataset,
+            samples_per_pe=args.samples_per_pe,
+            strategies=strategies,
+            pe_budgets=pe_budgets,
+            segments=segments,
+            cache=args.cache,
+            workers=args.workers,
+            weights=_parse_weights(args.weights),
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.asdict(), indent=2))
+        return 0 if report.best is not None else 1
+    st = report.stats
+    print(f"{model.name} on {cluster}: searched {st['candidates']} "
+          f"candidates ({st['pruned']} pruned, {st['infeasible']} "
+          f"infeasible, {st['cache_hits']} cache hits)")
+    if report.best is None:
+        print("no feasible configuration found", file=sys.stderr)
+        return 1
+    rows = [
+        [i + 1, e.describe(), f"{e.epoch_time:.1f} s",
+         f"{e.iteration_time * 1e3:.1f} ms", f"{e.memory_gb:.1f} GB",
+         e.candidate.p]
+        for i, e in enumerate(report.frontier[: args.top])
+    ]
+    print(reporting.format_table(
+        ["#", "config", "epoch", "iteration", "memory", "p"], rows))
+    if len(report.frontier) > args.top:
+        print(f"({len(report.frontier) - args.top} more frontier points)")
+    print(f"best: {report.best.describe()} "
+          f"epoch={report.best.epoch_time:.1f} s "
+          f"memory={report.best.memory_gb:.1f} GB")
+    if args.cache:
+        print(f"cache: {args.cache}")
     return 0
 
 
@@ -288,7 +444,8 @@ def _cmd_validate(args) -> int:
 def _cmd_experiment(args) -> int:
     from .harness import (
         run_accuracy_summary, run_fig3, run_fig4, run_fig5, run_fig6,
-        run_fig7, run_fig8, run_table3, run_table5, run_table6,
+        run_fig7, run_fig8, run_search_best, run_table3, run_table5,
+        run_table6,
     )
 
     quick = not args.full
@@ -335,6 +492,15 @@ def _cmd_experiment(args) -> int:
             print(f"{sid}:")
             for f in findings:
                 print(f"  {f}")
+    elif name == "search":
+        for r in run_search_best(quick=not args.full):
+            print(f"{r.model:10s} p={r.p:4d} "
+                  f"suggest={r.suggest_best:14s} "
+                  f"{r.suggest_epoch_s:8.1f}s  "
+                  f"search={r.search_best:24s} {r.search_epoch_s:8.1f}s  "
+                  f"gain={reporting.pct(r.improvement)} "
+                  f"(frontier {r.frontier_size}, "
+                  f"{r.pruned}/{r.candidates} pruned)")
     elif name == "accuracy":
         s = run_accuracy_summary(quick=quick)
         for k, v in sorted(s.per_strategy.items()):
@@ -347,6 +513,7 @@ _COMMANDS = {
     "project": _cmd_project,
     "suggest": _cmd_suggest,
     "hybrid": _cmd_hybrid,
+    "search": _cmd_search,
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
     "validate": _cmd_validate,

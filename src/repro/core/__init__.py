@@ -2,6 +2,7 @@
 model (Table 3), and the ParaDL oracle facade."""
 
 from .tensors import TensorSpec, halo_elements, prod
+from .math_utils import divisors, power_of_two_budgets, smallest_prime_factor
 from .layers import (
     Layer,
     Conv,
@@ -47,6 +48,9 @@ __all__ = [
     "TensorSpec",
     "halo_elements",
     "prod",
+    "divisors",
+    "power_of_two_budgets",
+    "smallest_prime_factor",
     "Layer",
     "Conv",
     "Pool",

@@ -1,0 +1,57 @@
+"""Small integer/number-theory helpers shared across the oracle and the
+search subsystem.
+
+These used to live as private helpers inside :mod:`repro.core.oracle`;
+:mod:`repro.search.space` enumerates the same divisor lattices, so the
+shared copy lives here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["divisors", "smallest_prime_factor", "power_of_two_budgets"]
+
+
+def divisors(n: int) -> List[int]:
+    """All positive divisors of ``n``, ascending."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    out: List[int] = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            if d != n // d:
+                out.append(n // d)
+        d += 1
+    return sorted(out)
+
+
+def smallest_prime_factor(n: int) -> int:
+    """Smallest prime factor of ``n >= 2``."""
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if n % 2 == 0:
+        return 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return f
+        f += 2
+    return n
+
+
+def power_of_two_budgets(limit: int, start: int = 4) -> List[int]:
+    """Powers of two in ``[start, limit]`` plus ``limit`` itself — the
+    PE-budget ladder used by sweep-style searches."""
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+    out: List[int] = []
+    b = max(1, start)
+    while b <= limit:
+        out.append(b)
+        b *= 2
+    if limit not in out:
+        out.append(limit)
+    return sorted(out)

@@ -16,6 +16,7 @@ from ..data.datasets import DatasetSpec
 from ..network.topology import ClusterSpec
 from .analytical import AnalyticalModel, Projection
 from .graph import ModelGraph
+from .math_utils import divisors
 from .profiles import ComputeProfile
 from .strategies import (
     ALL_STRATEGY_IDS,
@@ -34,16 +35,6 @@ def accuracy(projected: float, measured: float) -> float:
     return 1.0 - abs(projected - measured) / measured
 
 
-def _divisors(n: int) -> List[int]:
-    out = []
-    d = 1
-    while d * d <= n:
-        if n % d == 0:
-            out.append(d)
-            if d != n // d:
-                out.append(n // d)
-        d += 1
-    return sorted(out)
 
 
 @dataclass(frozen=True)
@@ -234,7 +225,7 @@ class ParaDL:
             self.cluster.node.gpus * self.cluster.fabric.nodes_per_rack
         )
         candidates: List[Strategy] = []
-        for p2 in _divisors(p):
+        for p2 in divisors(p):
             if p2 < 2 or p2 > max_model_dim:
                 continue
             p1 = p // p2
@@ -271,6 +262,47 @@ class ParaDL:
             enumerate(ok, start=1)
         ]
         return ranked + results
+
+    # ----------------------------------------------------------------- search
+    def search(
+        self,
+        p: int,
+        dataset: DatasetSpec,
+        *,
+        samples_per_pe: int = 32,
+        strategies: Optional[Sequence[str]] = None,
+        pe_budgets: Optional[Sequence[int]] = None,
+        segments: Sequence[int] = (2, 4, 8),
+        cache=None,
+        workers: Optional[int] = None,
+        weights=None,
+    ):
+        """Automated strategy search (the :mod:`repro.search` facade).
+
+        Expands a declarative space over the candidate strategies, every
+        hybrid ``p = p1 * p2`` factorization, the PE budgets (default:
+        just ``p``), and pipeline micro-batch counts; prunes infeasible
+        configurations before projecting; and returns a
+        :class:`~repro.search.engine.SearchReport` whose ``frontier`` is
+        the Pareto-optimal set over (epoch time, iteration time, per-PE
+        memory, PE count) and whose ``best`` is the scalarized pick
+        (default: pure throughput, so it matches or beats the best
+        :meth:`suggest` entry at the same budget).
+
+        ``cache`` may be a path: repeated planning sessions then reuse
+        persisted projections (see :mod:`repro.search.cache`).
+        """
+        from ..search import DEFAULT_STRATEGIES, SearchEngine, SearchSpace
+
+        space = SearchSpace(
+            strategies=tuple(strategies) if strategies is not None
+            else DEFAULT_STRATEGIES,
+            pe_budgets=tuple(pe_budgets) if pe_budgets else (p,),
+            samples_per_pe=(samples_per_pe,),
+            segments=tuple(segments),
+        )
+        engine = SearchEngine(self, dataset, cache=cache, workers=workers)
+        return engine.search(space, weights=weights)
 
     # ---------------------------------------------------------------- accuracy
     def accuracy_against(

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from .graph import ModelGraph
+from .math_utils import smallest_prime_factor
 from .tensors import prod
 
 __all__ = [
@@ -431,19 +432,8 @@ def _square_grid(p: int, ndim: int) -> Tuple[int, ...]:
     # Greedy: repeatedly multiply the smallest grid entry by the smallest
     # prime factor of what remains.
     while remaining > 1:
-        factor = _smallest_prime_factor(remaining)
+        factor = smallest_prime_factor(remaining)
         idx = grid.index(min(grid))
         grid[idx] *= factor
         remaining //= factor
     return tuple(sorted(grid, reverse=True))
-
-
-def _smallest_prime_factor(n: int) -> int:
-    if n % 2 == 0:
-        return 2
-    f = 3
-    while f * f <= n:
-        if n % f == 0:
-            return f
-        f += 2
-    return n

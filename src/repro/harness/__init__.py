@@ -14,6 +14,8 @@ from .experiments import (
     run_table5,
     run_table6,
     run_accuracy_summary,
+    run_search_best,
+    SearchBestRow,
     make_environment,
 )
 
@@ -33,5 +35,7 @@ __all__ = [
     "run_table5",
     "run_table6",
     "run_accuracy_summary",
+    "run_search_best",
+    "SearchBestRow",
     "make_environment",
 ]

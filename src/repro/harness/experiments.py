@@ -652,3 +652,79 @@ def run_accuracy_summary(
         overall=overall,
         best=(best_cell.label, best_cell.accuracy),
     )
+
+
+# --------------------------------------------------------------------------
+# Search oracle — best-strategy claims via automated search
+# --------------------------------------------------------------------------
+
+@dataclass
+class SearchBestRow:
+    """Suggest-vs-search comparison for one (model, p) planning problem."""
+
+    model: str
+    p: int
+    suggest_best: str
+    suggest_epoch_s: float
+    search_best: str
+    search_epoch_s: float
+    frontier_size: int
+    candidates: int
+    pruned: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative epoch-time gain of search over plain suggest."""
+        return 1.0 - self.search_epoch_s / self.suggest_epoch_s
+
+
+def run_search_best(
+    quick: bool = True,
+    samples_per_pe: int = 32,
+    workers: Optional[int] = None,
+) -> List[SearchBestRow]:
+    """Reproduce the paper's best-strategy claims through the automated
+    search subsystem instead of enumeration by hand.
+
+    For every (model, PE budget) planning problem, compare the best
+    feasible :meth:`ParaDL.suggest` entry (the paper's fixed eight-entry
+    ranking) against the scalarized best of :meth:`ParaDL.search` over
+    the opened-up configuration space — every hybrid factorization and
+    micro-batch count.  Search must match or beat suggest on every row
+    (its candidate set is a superset); rows where it strictly wins are
+    configurations the paper's fixed ranking misses.
+    """
+    cases = [("resnet50", 64), ("vgg16", 64)]
+    if not quick:
+        cases += [("resnet50", 256), ("vgg16", 256), ("alexnet", 64)]
+    rows: List[SearchBestRow] = []
+    for model_name, p in cases:
+        model = build_model(model_name, None)
+        cluster = abci_like_cluster(max(p, 4))
+        profile = profile_model(model, samples_per_pe=samples_per_pe)
+        oracle = ParaDL(model, cluster, profile)
+        dataset = IMAGENET
+        feasible = [
+            s for s in oracle.suggest(p, dataset,
+                                      samples_per_pe=samples_per_pe)
+            if s.feasible
+        ]
+        if not feasible:
+            continue
+        sug = min(feasible, key=lambda s: s.epoch_time)
+        report = oracle.search(p, dataset, samples_per_pe=samples_per_pe,
+                               workers=workers)
+        if report.best is None:
+            continue
+        rows.append(SearchBestRow(
+            model=model_name,
+            p=p,
+            suggest_best=sug.strategy.describe(),
+            suggest_epoch_s=sug.epoch_time,
+            search_best=report.best.describe(),
+            search_epoch_s=report.best.epoch_time,
+            frontier_size=len(report.frontier),
+            candidates=report.stats["candidates"],
+            pruned=report.stats["pruned"],
+        ))
+    return rows

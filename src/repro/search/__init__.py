@@ -1,0 +1,56 @@
+"""Automated parallel-strategy search (the oracle's sweep, industrialized).
+
+``ParaDL.suggest`` ranks a fixed strategy list at one PE count; this
+package turns that into a proper planner: a declarative
+:class:`SearchSpace` over strategy x factorization x PE budget x batch x
+micro-batch, feasibility pruning before any projection is paid for, a
+persistent :class:`ProjectionCache`, a worker-pool :class:`SearchEngine`,
+and multi-objective Pareto ranking of the survivors.
+
+>>> from repro.search import SearchEngine, SearchSpace          # doctest: +SKIP
+>>> engine = SearchEngine(oracle, IMAGENET, cache="plan.json")  # doctest: +SKIP
+>>> report = engine.search(SearchSpace(pe_budgets=(64,)))       # doctest: +SKIP
+>>> report.best.describe(), report.best.epoch_time              # doctest: +SKIP
+"""
+
+from .space import Candidate, SearchSpace, DEFAULT_STRATEGIES
+from .pruning import (
+    DEFAULT_PRUNERS,
+    PruningContext,
+    apply_pruners,
+    prune_memory_lower_bound,
+    prune_structure,
+)
+from .cache import CACHE_VERSION, ProjectionCache, context_fingerprint
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    DEFAULT_WEIGHTS,
+    OBJECTIVES,
+    dominates,
+    pareto_frontier,
+    scalarized_best,
+)
+from .engine import Evaluation, SearchEngine, SearchReport
+
+__all__ = [
+    "Candidate",
+    "SearchSpace",
+    "DEFAULT_STRATEGIES",
+    "PruningContext",
+    "DEFAULT_PRUNERS",
+    "apply_pruners",
+    "prune_structure",
+    "prune_memory_lower_bound",
+    "ProjectionCache",
+    "context_fingerprint",
+    "CACHE_VERSION",
+    "OBJECTIVES",
+    "DEFAULT_OBJECTIVES",
+    "DEFAULT_WEIGHTS",
+    "dominates",
+    "pareto_frontier",
+    "scalarized_best",
+    "Evaluation",
+    "SearchEngine",
+    "SearchReport",
+]

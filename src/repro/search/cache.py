@@ -1,0 +1,225 @@
+"""Keyed, thread-safe projection memo with on-disk JSON persistence.
+
+Repeated planning sessions evaluate largely the same (model, cluster,
+candidate) grid; projections are deterministic, so they memoize perfectly.
+
+File format (version 1)
+-----------------------
+A single JSON object::
+
+    {
+      "version": 1,
+      "context": {"model": ..., "layers": ..., "parameters": ...,
+                  "cluster": ..., "profile_fw_s": ..., "profile_bw_s": ...,
+                  "profile_wu_s": ..., "gamma": ..., "delta": ...},
+      "entries": {
+        "<candidate key>@D=<dataset size>": {
+          "projection": {
+            "model_name": str, "batch": int, "dataset_size": int,
+            "per_epoch": {"comp_fw": float, ..., "comm_p2p": float},
+            "memory_bytes": float, "memory_capacity": float,
+            "gamma": float, "delta": int, "notes": [str, ...]
+          }
+        }, ...
+      }
+    }
+
+Candidates whose projection *raised* (structurally infeasible for this
+model) memoize negatively as ``{"error": "<reason>"}`` so a warm cache
+never re-projects anything, successful or not.
+
+Invalidation rule: entries are only trusted when the stored ``context``
+matches the live oracle's fingerprint **exactly** (same model shape, same
+cluster, same compute profile totals, same gamma/delta).  On any mismatch
+— or an unreadable/wrong-version file — the whole cache is discarded and
+rebuilt; there is no per-entry invalidation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Mapping, Optional
+
+from ..core.analytical import PhaseBreakdown, Projection
+from ..core.strategies import Strategy
+
+__all__ = [
+    "ProjectionCache",
+    "CachedFailure",
+    "context_fingerprint",
+    "CACHE_VERSION",
+]
+
+CACHE_VERSION = 1
+
+
+def context_fingerprint(oracle) -> Dict[str, object]:
+    """Fingerprint of everything a projection depends on besides the
+    candidate itself: model shape, cluster, profile, gamma/delta."""
+    model = oracle.model
+    profile = oracle.profile
+    return {
+        "model": model.name,
+        "layers": len(model.layers),
+        "parameters": int(model.parameters),
+        "input": list((model.input_spec.channels,) + model.input_spec.spatial),
+        "cluster": str(oracle.cluster),
+        "profile_fw_s": profile.total_fw(),
+        "profile_bw_s": profile.total_bw(),
+        "profile_wu_s": profile.total_wu(),
+        "gamma": oracle.analytical.gamma,
+        "delta": oracle.analytical.delta,
+        "halo_transport": oracle.analytical.halo_transport,
+        "contention": bool(oracle.analytical.contention),
+    }
+
+
+class CachedFailure:
+    """A memoized projection *failure* (structural infeasibility)."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CachedFailure({self.reason!r})"
+
+
+def _projection_to_jsonable(proj: Projection) -> Dict[str, object]:
+    return {
+        "model_name": proj.model_name,
+        "batch": proj.batch,
+        "dataset_size": proj.dataset_size,
+        "per_epoch": proj.per_epoch.asdict(),
+        "memory_bytes": proj.memory_bytes,
+        "memory_capacity": proj.memory_capacity,
+        "gamma": proj.gamma,
+        "delta": proj.delta,
+        "notes": list(proj.notes),
+    }
+
+
+def _projection_from_jsonable(
+    entry: Mapping[str, object], strategy: Strategy
+) -> Projection:
+    return Projection(
+        model_name=entry["model_name"],
+        strategy=strategy,
+        batch=int(entry["batch"]),
+        dataset_size=int(entry["dataset_size"]),
+        per_epoch=PhaseBreakdown(**entry["per_epoch"]),
+        memory_bytes=float(entry["memory_bytes"]),
+        memory_capacity=float(entry["memory_capacity"]),
+        gamma=float(entry["gamma"]),
+        delta=int(entry["delta"]),
+        notes=tuple(entry.get("notes", ())),
+    )
+
+
+class ProjectionCache:
+    """Thread-safe projection memo, optionally persisted to a JSON file.
+
+    Parameters
+    ----------
+    path:
+        Where to persist (``None`` keeps the cache in-memory only).
+    context:
+        The live fingerprint (see :func:`context_fingerprint`).  A
+        persisted cache whose stored context differs is discarded on load.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        context: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.path = path
+        self.context: Dict[str, object] = dict(context or {})
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = False
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    # ----------------------------------------------------------------- load
+    def _load(self, path: str) -> None:
+        try:
+            with open(path) as fh:
+                blob = json.load(fh)
+        except (OSError, ValueError):
+            self.invalidated = True
+            return
+        if (
+            not isinstance(blob, dict)
+            or blob.get("version") != CACHE_VERSION
+            or blob.get("context") != self.context
+        ):
+            self.invalidated = True
+            return
+        entries = blob.get("entries", {})
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    # ------------------------------------------------------------------ api
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str, strategy: Strategy):
+        """Return the memoized result under ``key``: a
+        :class:`~repro.core.analytical.Projection` rebound to ``strategy``
+        (strategies are not persisted; the candidate that produced the key
+        reconstructs an identical one), a :class:`CachedFailure` for a
+        memoized raise, or ``None`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+        if "error" in entry:
+            return CachedFailure(str(entry["error"]))
+        return _projection_from_jsonable(entry["projection"], strategy)
+
+    def put(self, key: str, projection: Projection) -> None:
+        entry = {"projection": _projection_to_jsonable(projection)}
+        with self._lock:
+            self._entries[key] = entry
+
+    def put_failure(self, key: str, reason: str) -> None:
+        with self._lock:
+            self._entries[key] = {"error": reason}
+
+    def save(self, path: Optional[str] = None) -> Optional[str]:
+        """Persist to ``path`` (default: the construction path)."""
+        path = path or self.path
+        if path is None:
+            return None
+        with self._lock:
+            blob = {
+                "version": CACHE_VERSION,
+                "context": self.context,
+                "entries": dict(self._entries),
+            }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(tmp, "w") as fh:
+            json.dump(blob, fh)
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -1,0 +1,260 @@
+"""The search engine: prune -> memoize -> project, fanned out over a
+worker pool, folded into a Pareto frontier.
+
+The engine owns no policy of its own: the :class:`~repro.search.space.
+SearchSpace` says what to try, :mod:`~repro.search.pruning` says what is
+not worth projecting, the :class:`~repro.search.cache.ProjectionCache`
+remembers past answers, and :mod:`~repro.search.pareto` ranks the
+survivors.  Evaluation order is irrelevant to the result — a search with
+one worker returns exactly what a search with N workers returns.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from ..core.analytical import Projection
+from ..core.strategies import Strategy, StrategyError
+from ..data.datasets import DatasetSpec
+from .cache import CachedFailure, ProjectionCache, context_fingerprint
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    pareto_frontier,
+    scalarized_best,
+)
+from .pruning import Pruner, PruningContext, apply_pruners
+from .space import Candidate, SearchSpace
+
+__all__ = ["Evaluation", "SearchReport", "SearchEngine"]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Outcome of evaluating one candidate."""
+
+    candidate: Candidate
+    strategy: Optional[Strategy] = None
+    projection: Optional[Projection] = None
+    feasible: bool = False
+    reason: str = ""
+    pruned: bool = False
+    cached: bool = False
+
+    @property
+    def epoch_time(self) -> float:
+        return self.projection.per_epoch.total
+
+    @property
+    def iteration_time(self) -> float:
+        return self.projection.per_iteration.total
+
+    @property
+    def memory_gb(self) -> float:
+        return self.projection.memory_bytes / 1e9
+
+    def describe(self) -> str:
+        if self.strategy is not None:
+            return f"{self.strategy.describe()} B={self.candidate.batch}"
+        return self.candidate.describe()
+
+    def asdict(self) -> Dict[str, object]:
+        """JSON-ready summary (for ``--json`` CLI output)."""
+        row: Dict[str, object] = {
+            "candidate": self.candidate.describe(),
+            "strategy": self.strategy.describe() if self.strategy else None,
+            "p": self.candidate.p,
+            "batch": self.candidate.batch,
+            "feasible": self.feasible,
+            "pruned": self.pruned,
+            "cached": self.cached,
+        }
+        if self.projection is not None:
+            row.update(
+                epoch_s=self.epoch_time,
+                iteration_s=self.iteration_time,
+                memory_gb=self.memory_gb,
+            )
+        if self.reason:
+            row["reason"] = self.reason
+        return row
+
+
+@dataclass
+class SearchReport:
+    """Everything a search produced, plus bookkeeping counters."""
+
+    evaluations: List[Evaluation]
+    frontier: List[Evaluation]
+    best: Optional[Evaluation]
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> List[Evaluation]:
+        return [e for e in self.evaluations if e.feasible]
+
+    def asdict(self) -> Dict[str, object]:
+        return {
+            "objectives": list(self.objectives),
+            "stats": dict(self.stats),
+            "best": self.best.asdict() if self.best else None,
+            "frontier": [e.asdict() for e in self.frontier],
+            "evaluated": len(self.evaluations),
+        }
+
+
+class SearchEngine:
+    """Evaluates candidate spaces against one oracle + dataset.
+
+    Parameters
+    ----------
+    oracle:
+        A :class:`~repro.core.oracle.ParaDL` instance.
+    dataset:
+        Training set (its cardinality fixes iterations per epoch).
+    cache:
+        A :class:`ProjectionCache`, a path string (the engine opens a
+        persistent cache there, keyed to this oracle's fingerprint), or
+        ``None`` for a fresh in-memory memo.
+    pruners:
+        Pre-projection filters; default :data:`DEFAULT_PRUNERS`.
+    workers:
+        Worker-pool width for :meth:`iter_results`.  The default is 1
+        (inline evaluation): projections are GIL-bound pure Python, so
+        threads only pay off when evaluation blocks — e.g. a future
+        oracle backed by real profiling runs or RPC.  Results are
+        identical at any width.
+    """
+
+    def __init__(
+        self,
+        oracle,
+        dataset: DatasetSpec,
+        *,
+        cache=None,
+        pruners: Optional[Sequence[Pruner]] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.oracle = oracle
+        self.dataset = dataset
+        fingerprint = context_fingerprint(oracle)
+        if cache is None:
+            cache = ProjectionCache(context=fingerprint)
+        elif isinstance(cache, (str, os.PathLike)):
+            cache = ProjectionCache(str(cache), context=fingerprint)
+        self.cache = cache
+        self.pruners = list(pruners) if pruners is not None else None
+        self.workers = workers or 1
+        self._ctx = PruningContext(
+            model=oracle.model,
+            cluster=oracle.cluster,
+            gamma=oracle.analytical.gamma,
+            delta=oracle.analytical.delta,
+        )
+
+    # ------------------------------------------------------------- evaluate
+    def _cache_key(self, candidate: Candidate) -> str:
+        return f"{candidate.key}@D={self.dataset.num_samples}"
+
+    def evaluate(self, candidate: Candidate) -> Evaluation:
+        """Evaluate one candidate: prune, then memoized projection."""
+        reason = apply_pruners(candidate, self._ctx, self.pruners)
+        if reason is not None:
+            return Evaluation(candidate, reason=reason, pruned=True)
+        try:
+            strategy = candidate.build(self.oracle.model)
+        except (StrategyError, ValueError) as exc:
+            return Evaluation(candidate, reason=str(exc))
+        key = self._cache_key(candidate)
+        hit = self.cache.get(key, strategy)
+        if isinstance(hit, CachedFailure):
+            return Evaluation(
+                candidate, strategy, reason=hit.reason, cached=True)
+        projection = hit
+        cached = projection is not None
+        if projection is None:
+            try:
+                projection = self.oracle.project(
+                    strategy, candidate.batch, self.dataset)
+            except (StrategyError, ValueError) as exc:
+                self.cache.put_failure(key, str(exc))
+                return Evaluation(candidate, strategy, reason=str(exc))
+            self.cache.put(key, projection)
+        if not projection.feasible_memory:
+            return Evaluation(
+                candidate, strategy, projection,
+                feasible=False, cached=cached,
+                reason=(f"memory {projection.memory_bytes / 1e9:.1f} GB "
+                        f"exceeds "
+                        f"{projection.memory_capacity / 1e9:.0f} GB/PE"),
+            )
+        return Evaluation(
+            candidate, strategy, projection, feasible=True, cached=cached)
+
+    # --------------------------------------------------------------- search
+    def iter_results(
+        self,
+        space: SearchSpace,
+        *,
+        intra: Optional[int] = None,
+    ) -> Iterator[Evaluation]:
+        """Yield evaluations incrementally as workers complete them.
+
+        Yield *order* follows completion and is nondeterministic with
+        multiple workers; the evaluations themselves are not.
+        """
+        intra = intra or self.oracle.cluster.node.gpus
+        candidates: Iterable[Candidate] = space.candidates(intra=intra)
+        if self.workers <= 1:
+            for cand in candidates:
+                yield self.evaluate(cand)
+            return
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(self.evaluate, c) for c in candidates]
+            for future in as_completed(futures):
+                yield future.result()
+
+    def search(
+        self,
+        space: SearchSpace,
+        *,
+        objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+        weights: Optional[Mapping[str, float]] = None,
+        intra: Optional[int] = None,
+    ) -> SearchReport:
+        """Full search: evaluate the space, return frontier + best.
+
+        The report's evaluation list is sorted by candidate key so the
+        result is identical whatever the worker count or completion order.
+        """
+        hits_before = self.cache.hits
+        misses_before = self.cache.misses
+        evaluations = sorted(
+            self.iter_results(space, intra=intra),
+            key=lambda e: e.candidate.key,
+        )
+        feasible = [e for e in evaluations if e.feasible]
+        frontier = pareto_frontier(feasible, objectives)
+        best = scalarized_best(frontier, weights)
+        stats = {
+            "candidates": len(evaluations),
+            "feasible": len(feasible),
+            "pruned": sum(1 for e in evaluations if e.pruned),
+            "infeasible": sum(
+                1 for e in evaluations if not e.feasible and not e.pruned),
+            "cache_hits": self.cache.hits - hits_before,
+            "cache_misses": self.cache.misses - misses_before,
+            "frontier": len(frontier),
+        }
+        if self.cache.path is not None:
+            self.cache.save()
+        return SearchReport(
+            evaluations=evaluations,
+            frontier=frontier,
+            best=best,
+            objectives=tuple(objectives),
+            stats=stats,
+        )

@@ -1,0 +1,139 @@
+"""Multi-objective ranking: Pareto frontier + scalarized best pick.
+
+Objectives are *minimized*.  The default objective tuple is epoch time,
+iteration time, per-PE memory, and PE count: epoch time rides along with
+the issue's (iteration time, memory, PEs) triple because weak- and
+strong-scaling candidates run different global batches, so a tiny fixed
+batch can "win" on raw iteration time while losing an epoch — keeping
+epoch time as an objective keeps the throughput-optimal point on the
+frontier.
+
+The scalarizer min-max normalizes each objective over the frontier and
+takes a weighted sum.  The default weights are ``{"epoch_time": 1.0}`` —
+a pure-throughput pick, guaranteed to match-or-beat a plain
+:meth:`ParaDL.suggest` ranking over the same candidates — and callers
+trade memory or PE count in by supplying their own weights.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "OBJECTIVES",
+    "DEFAULT_OBJECTIVES",
+    "DEFAULT_WEIGHTS",
+    "dominates",
+    "pareto_frontier",
+    "scalarized_best",
+]
+
+#: Named objective accessors over :class:`~repro.search.engine.Evaluation`
+#: (anything exposing ``.projection`` works).  All are minimized.
+OBJECTIVES: Dict[str, Callable[[object], float]] = {
+    "epoch_time": lambda e: e.projection.per_epoch.total,
+    "iteration_time": lambda e: e.projection.per_iteration.total,
+    "memory": lambda e: e.projection.memory_bytes,
+    "pes": lambda e: float(e.projection.strategy.p),
+}
+
+DEFAULT_OBJECTIVES: Tuple[str, ...] = (
+    "epoch_time", "iteration_time", "memory", "pes",
+)
+
+DEFAULT_WEIGHTS: Dict[str, float] = {"epoch_time": 1.0}
+
+
+def _vector(e: object, objectives: Sequence[str]) -> Tuple[float, ...]:
+    try:
+        return tuple(OBJECTIVES[name](e) for name in objectives)
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown objective {exc.args[0]!r}; "
+            f"choose from {sorted(OBJECTIVES)}"
+        ) from None
+
+
+def dominates(
+    a: Sequence[float], b: Sequence[float]
+) -> bool:
+    """True when ``a`` is no worse on every objective and better on one."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_frontier(
+    evaluations: Sequence[object],
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+) -> List[object]:
+    """Non-dominated subset of ``evaluations``, sorted by epoch time.
+
+    Only feasible evaluations (with a projection) may be passed.  Exact
+    duplicates in objective space keep their first representative.
+    """
+    vectors = [_vector(e, objectives) for e in evaluations]
+    frontier: List[object] = []
+    kept_vectors: List[Tuple[float, ...]] = []
+    for e, v in zip(evaluations, vectors):
+        if any(dominates(other, v) for other in vectors):
+            continue
+        if v in kept_vectors:  # collapse exact objective-space duplicates
+            continue
+        frontier.append(e)
+        kept_vectors.append(v)
+    order = sorted(
+        range(len(frontier)),
+        key=lambda i: kept_vectors[i],
+    )
+    return [frontier[i] for i in order]
+
+
+def scalarized_best(
+    frontier: Sequence[object],
+    weights: Optional[Mapping[str, float]] = None,
+) -> Optional[object]:
+    """Weighted min-max-normalized pick from a frontier (``None`` if empty).
+
+    ``weights`` maps objective names to non-negative weights; omitted
+    objectives weigh 0.  Ties break toward lower epoch time, then lower
+    memory, then fewer PEs.
+    """
+    if not frontier:
+        return None
+    weights = dict(DEFAULT_WEIGHTS if weights is None else weights)
+    if any(w < 0 for w in weights.values()):
+        raise ValueError("weights must be >= 0")
+    if not any(w > 0 for w in weights.values()):
+        raise ValueError("at least one weight must be > 0")
+    names = [n for n, w in sorted(weights.items()) if w > 0]
+    unknown = [n for n in names if n not in OBJECTIVES]
+    if unknown:
+        raise KeyError(
+            f"unknown objective {unknown[0]!r}; "
+            f"choose from {sorted(OBJECTIVES)}"
+        )
+    columns = {n: [OBJECTIVES[n](e) for e in frontier] for n in names}
+    spans = {
+        n: (min(col), max(col) - min(col)) for n, col in columns.items()
+    }
+
+    def score(i: int) -> float:
+        total = 0.0
+        for n in names:
+            lo, span = spans[n]
+            norm = 0.0 if span == 0 else (columns[n][i] - lo) / span
+            total += weights[n] * norm
+        return total
+
+    def tiebreak(i: int) -> Tuple[float, ...]:
+        e = frontier[i]
+        return (
+            score(i),
+            OBJECTIVES["epoch_time"](e),
+            OBJECTIVES["memory"](e),
+            OBJECTIVES["pes"](e),
+        )
+
+    best_index = min(range(len(frontier)), key=tiebreak)
+    return frontier[best_index]

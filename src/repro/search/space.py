@@ -1,0 +1,208 @@
+"""Declarative candidate spaces for the strategy search (the "what to try").
+
+A :class:`SearchSpace` describes a grid over strategy id x (p1, p2)
+factorization x PE budget x global batch x micro-batch count, and expands
+it lazily into concrete :class:`Candidate` configurations.  Expansion is
+divisor-aware: hybrid strategies only enumerate ``p = p1 * p2``
+factorizations that actually exist, instead of a dense (p1, p2) grid.
+
+Candidates are *descriptions*, deliberately independent of any model or
+cluster, so they can serve as stable cache keys; :meth:`Candidate.build`
+binds one to a :class:`~repro.core.graph.ModelGraph` as a concrete
+:class:`~repro.core.strategies.Strategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..core.graph import ModelGraph
+from ..core.math_utils import divisors
+from ..core.strategies import (
+    ChannelParallel,
+    DataFilterParallel,
+    DataParallel,
+    DataSpatialParallel,
+    FilterParallel,
+    PipelineParallel,
+    ShardedDataParallel,
+    SpatialParallel,
+    Strategy,
+    _square_grid,
+)
+
+__all__ = ["Candidate", "SearchSpace", "WEAK_SCALING_IDS", "DEFAULT_STRATEGIES"]
+
+#: Strategy ids whose de-facto scaling mode grows B with p (Section 4.2);
+#: mirrors :attr:`~repro.core.strategies.Strategy.is_weak_scaling`.
+WEAK_SCALING_IDS = ("d", "z", "df", "ds")
+
+DEFAULT_STRATEGIES = ("d", "z", "s", "p", "f", "c", "df", "ds")
+
+#: Strategy ids that carry a (p1, p2) hybrid factorization.
+_HYBRID_IDS = ("df", "ds")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fully-specified point of the search space.
+
+    ``p1``/``p2`` are the data/model dimensions of hybrid strategies (0
+    when not applicable); ``segments`` is the pipeline micro-batch count S
+    (0 when not applicable).  ``batch`` is the *global* mini-batch B.
+    """
+
+    sid: str
+    p: int
+    batch: int
+    p1: int = 0
+    p2: int = 0
+    segments: int = 0
+
+    @property
+    def key(self) -> str:
+        """Stable string identity — the projection-cache key component."""
+        return (f"{self.sid}:p={self.p}:b={self.batch}"
+                f":p1={self.p1}:p2={self.p2}:s={self.segments}")
+
+    def describe(self) -> str:
+        parts = [f"p={self.p}"]
+        if self.p1:
+            parts.append(f"p1={self.p1},p2={self.p2}")
+        if self.segments:
+            parts.append(f"S={self.segments}")
+        parts.append(f"B={self.batch}")
+        return f"{self.sid}({', '.join(parts)})"
+
+    def build(self, model: ModelGraph) -> Strategy:
+        """Bind to ``model`` as a concrete strategy configuration.
+
+        May raise :class:`~repro.core.strategies.StrategyError` for
+        configurations the model cannot host (callers treat that as an
+        infeasible candidate, not an error).
+        """
+        ndim = model.input_spec.ndim
+        if self.sid == "d":
+            return DataParallel(self.p)
+        if self.sid == "z":
+            return ShardedDataParallel(self.p)
+        if self.sid == "s":
+            return SpatialParallel(_square_grid(self.p, ndim))
+        if self.sid == "p":
+            return PipelineParallel(self.p, segments=self.segments or 4)
+        if self.sid == "f":
+            return FilterParallel(self.p)
+        if self.sid == "c":
+            return ChannelParallel(self.p)
+        if self.sid == "df":
+            return DataFilterParallel(groups=self.p1, parts=self.p2)
+        if self.sid == "ds":
+            return DataSpatialParallel(
+                groups=self.p1, grid=_square_grid(self.p2, ndim))
+        raise ValueError(f"unknown strategy id {self.sid!r}")
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Declarative grid over the strategy-configuration space.
+
+    Parameters
+    ----------
+    strategies:
+        Short strategy ids to consider.
+    pe_budgets:
+        PE counts to plan for.  Hybrids factorize each budget.
+    samples_per_pe:
+        Weak-scaling grain: weak scalers use ``B = spp * p``.
+    fixed_batches:
+        Global batches for strong scalers (filter/channel/spatial/
+        pipeline).  Empty means "derive one per ``samples_per_pe`` as
+        ``spp * intra``" — the paper's Figure-3 convention.
+    segments:
+        Pipeline micro-batch counts S to sweep.
+    min_model_dim / max_model_dim:
+        Bounds on the hybrid model-parallel dimension p2 (``max_model_dim
+        = None`` allows up to p itself).
+    """
+
+    strategies: Tuple[str, ...] = DEFAULT_STRATEGIES
+    pe_budgets: Tuple[int, ...] = (64,)
+    samples_per_pe: Tuple[int, ...] = (32,)
+    fixed_batches: Tuple[int, ...] = ()
+    segments: Tuple[int, ...] = (2, 4, 8)
+    min_model_dim: int = 2
+    max_model_dim: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.strategies:
+            raise ValueError("need at least one strategy id")
+        unknown = sorted(set(self.strategies) - set(DEFAULT_STRATEGIES))
+        if unknown:
+            raise ValueError(
+                f"unknown strategy ids {unknown}; "
+                f"choose from {sorted(DEFAULT_STRATEGIES)}"
+            )
+        if any(p < 1 for p in self.pe_budgets) or not self.pe_budgets:
+            raise ValueError("pe_budgets must be positive and non-empty")
+        if any(s < 1 for s in self.samples_per_pe) or not self.samples_per_pe:
+            raise ValueError("samples_per_pe must be positive and non-empty")
+        if any(s < 1 for s in self.segments):
+            raise ValueError("segments must be positive")
+
+    # ------------------------------------------------------------ expansion
+    def _strong_batches(self, intra: int) -> Tuple[int, ...]:
+        if self.fixed_batches:
+            return tuple(sorted(set(self.fixed_batches)))
+        return tuple(sorted({spp * intra for spp in self.samples_per_pe}))
+
+    def candidates(self, *, intra: int = 4) -> Iterator[Candidate]:
+        """Lazily expand the grid into candidates, deterministically ordered.
+
+        ``intra`` is the node GPU count: it only sets the default
+        strong-scaling batch grain (the paper runs strong scalers at one
+        node's worth of samples).
+        """
+        strong_batches = self._strong_batches(intra)
+        seen = set()
+        for p in sorted(set(self.pe_budgets)):
+            for sid in self.strategies:
+                for cand in self._expand(sid, p, strong_batches):
+                    if cand.key not in seen:
+                        seen.add(cand.key)
+                        yield cand
+
+    def _expand(
+        self, sid: str, p: int, strong_batches: Tuple[int, ...]
+    ) -> Iterator[Candidate]:
+        if sid in _HYBRID_IDS:
+            cap = self.max_model_dim if self.max_model_dim is not None else p
+            for p2 in divisors(p):
+                if not self.min_model_dim <= p2 <= cap:
+                    continue
+                p1 = p // p2
+                if p1 < 1:
+                    continue
+                for spp in self.samples_per_pe:
+                    # Hybrids weak-scale at B = spp * p, the same grain
+                    # ParaDL.suggest uses — so search results are directly
+                    # comparable to the fixed ranking.  (search_hybrid
+                    # scales per data-parallel *group* instead, B = spp *
+                    # p1; the same (p1, p2) config projects differently
+                    # there by design.)
+                    yield Candidate(sid, p, batch=spp * p1 * p2, p1=p1, p2=p2)
+        elif sid in WEAK_SCALING_IDS:
+            for spp in self.samples_per_pe:
+                yield Candidate(sid, p, batch=spp * p)
+        elif sid == "p":
+            for batch in strong_batches:
+                for seg in sorted(set(self.segments)):
+                    if seg <= batch:
+                        yield Candidate(sid, p, batch=batch, segments=seg)
+        else:  # strong scalers: s, f, c
+            for batch in strong_batches:
+                yield Candidate(sid, p, batch=batch)
+
+    def count(self, *, intra: int = 4) -> int:
+        """Number of candidates the lazy expansion will yield."""
+        return sum(1 for _ in self.candidates(intra=intra))

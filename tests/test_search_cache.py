@@ -1,0 +1,154 @@
+"""Unit tests for repro.search.cache (projection memo + persistence)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.calibration import profile_model
+from repro.core.oracle import ParaDL
+from repro.data.datasets import DatasetSpec
+from repro.network.topology import abci_like_cluster
+from repro.search import (
+    CACHE_VERSION,
+    Candidate,
+    ProjectionCache,
+    context_fingerprint,
+)
+from repro.search.cache import CachedFailure
+
+
+@pytest.fixture(scope="module")
+def oracle(request):
+    toy = request.getfixturevalue("toy2d")
+    return ParaDL(toy, abci_like_cluster(8),
+                  profile_model(toy, samples_per_pe=4))
+
+
+@pytest.fixture(scope="module")
+def dataset(request):
+    toy = request.getfixturevalue("toy2d")
+    return DatasetSpec(name="tiny", sample=toy.input_spec,
+                       num_samples=1024, num_classes=10)
+
+
+@pytest.fixture()
+def projection(oracle, dataset):
+    strategy = Candidate("d", 4, batch=16).build(oracle.model)
+    return strategy, oracle.project(strategy, 16, dataset)
+
+
+class TestMemo:
+    def test_miss_then_hit_identical(self, projection):
+        strategy, proj = projection
+        cache = ProjectionCache()
+        assert cache.get("k", strategy) is None
+        cache.put("k", proj)
+        restored = cache.get("k", strategy)
+        assert restored == proj  # field-for-field identical
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_negative_caching(self, projection):
+        strategy, _ = projection
+        cache = ProjectionCache()
+        cache.put_failure("bad", "spatial grid too fine")
+        hit = cache.get("bad", strategy)
+        assert isinstance(hit, CachedFailure)
+        assert hit.reason == "spatial grid too fine"
+
+    def test_len_and_contains(self, projection):
+        strategy, proj = projection
+        cache = ProjectionCache()
+        cache.put("a", proj)
+        assert len(cache) == 1 and "a" in cache and "b" not in cache
+
+    def test_thread_safety_under_hammering(self, projection):
+        strategy, proj = projection
+        cache = ProjectionCache()
+        errors = []
+
+        def worker(i):
+            try:
+                for j in range(50):
+                    key = f"k{(i + j) % 7}"
+                    cache.put(key, proj)
+                    got = cache.get(key, strategy)
+                    assert got is None or got == proj
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path, oracle, projection):
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        cache = ProjectionCache(path, context=ctx)
+        cache.put("k", proj)
+        cache.put_failure("bad", "nope")
+        cache.save()
+
+        reloaded = ProjectionCache(path, context=ctx)
+        assert not reloaded.invalidated
+        assert len(reloaded) == 2
+        assert reloaded.get("k", strategy) == proj
+        assert isinstance(reloaded.get("bad", strategy), CachedFailure)
+
+    def test_context_mismatch_invalidates(self, tmp_path, oracle,
+                                          projection):
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        cache = ProjectionCache(path, context=ctx)
+        cache.put("k", proj)
+        cache.save()
+
+        other = dict(ctx, gamma=0.9)  # different memory-reuse factor
+        reloaded = ProjectionCache(path, context=other)
+        assert reloaded.invalidated
+        assert len(reloaded) == 0
+
+    def test_wrong_version_invalidates(self, tmp_path, oracle, projection):
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        cache = ProjectionCache(path, context=ctx)
+        cache.put("k", proj)
+        cache.save()
+        blob = json.load(open(path))
+        blob["version"] = CACHE_VERSION + 1
+        json.dump(blob, open(path, "w"))
+
+        reloaded = ProjectionCache(path, context=ctx)
+        assert reloaded.invalidated and len(reloaded) == 0
+
+    def test_corrupt_file_invalidates(self, tmp_path, oracle):
+        path = str(tmp_path / "cache.json")
+        with open(path, "w") as fh:
+            fh.write("{ not json")
+        cache = ProjectionCache(path, context=context_fingerprint(oracle))
+        assert cache.invalidated and len(cache) == 0
+
+    def test_save_without_path_is_noop(self, projection):
+        _, proj = projection
+        cache = ProjectionCache()
+        cache.put("k", proj)
+        assert cache.save() is None
+
+    def test_fingerprint_tracks_model_and_gamma(self, oracle, toy3d):
+        base = context_fingerprint(oracle)
+        other_model = ParaDL(
+            toy3d, oracle.cluster,
+            profile_model(toy3d, samples_per_pe=4))
+        assert context_fingerprint(other_model) != base
+        different_gamma = ParaDL(
+            oracle.model, oracle.cluster, oracle.profile, gamma=0.9)
+        assert context_fingerprint(different_gamma) != base

@@ -1,0 +1,127 @@
+"""Unit + property tests for repro.search.pareto (frontier + scalarizer)."""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search import (
+    DEFAULT_OBJECTIVES,
+    dominates,
+    pareto_frontier,
+    scalarized_best,
+)
+from repro.search.pareto import OBJECTIVES, _vector
+
+
+def make_eval(epoch, iteration, memory, p):
+    """A stand-in evaluation exposing the .projection objective surface."""
+    projection = SimpleNamespace(
+        per_epoch=SimpleNamespace(total=epoch),
+        per_iteration=SimpleNamespace(total=iteration),
+        memory_bytes=memory,
+        strategy=SimpleNamespace(p=p),
+    )
+    return SimpleNamespace(projection=projection)
+
+
+class TestDominates:
+    def test_strict(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 3), (2, 1))  # trade-off
+        assert not dominates((1, 1), (1, 1))  # equal is not better
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        fast = make_eval(10.0, 0.1, 8e9, 64)
+        slow_fat = make_eval(20.0, 0.2, 9e9, 64)   # dominated by fast
+        lean = make_eval(30.0, 0.3, 1e9, 16)       # trades time for memory
+        frontier = pareto_frontier([slow_fat, fast, lean])
+        assert fast in frontier and lean in frontier
+        assert slow_fat not in frontier
+
+    def test_duplicates_collapse(self):
+        a = make_eval(10.0, 0.1, 8e9, 64)
+        b = make_eval(10.0, 0.1, 8e9, 64)
+        assert len(pareto_frontier([a, b])) == 1
+
+    def test_sorted_by_epoch_time(self):
+        evals = [make_eval(30.0, 0.3, 1e9, 16),
+                 make_eval(10.0, 0.1, 8e9, 64)]
+        frontier = pareto_frontier(evals)
+        times = [e.projection.per_epoch.total for e in frontier]
+        assert times == sorted(times)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(KeyError):
+            pareto_frontier([make_eval(1, 1, 1, 1)], objectives=("speed",))
+
+    @given(st.lists(
+        st.tuples(st.floats(1, 100), st.floats(0.01, 1),
+                  st.floats(1e8, 1e10), st.integers(1, 512)),
+        min_size=1, max_size=40,
+    ))
+    def test_frontier_contains_no_dominated_point(self, tuples):
+        evals = [make_eval(*t) for t in tuples]
+        frontier = pareto_frontier(evals)
+        assert frontier, "a non-empty set always has a non-dominated point"
+        vectors = [_vector(e, DEFAULT_OBJECTIVES) for e in frontier]
+        for i, v in enumerate(vectors):
+            for j, w in enumerate(vectors):
+                if i != j:
+                    assert not dominates(w, v)
+        # Every removed point is dominated by some survivor.
+        all_vectors = [_vector(e, DEFAULT_OBJECTIVES) for e in evals]
+        for e, v in zip(evals, all_vectors):
+            if e not in frontier:
+                assert any(dominates(w, v) for w in vectors) or v in vectors
+
+
+class TestScalarizedBest:
+    def test_empty_frontier(self):
+        assert scalarized_best([]) is None
+
+    def test_default_weights_pick_fastest(self):
+        fast = make_eval(10.0, 0.1, 8e9, 64)
+        lean = make_eval(30.0, 0.3, 1e9, 16)
+        assert scalarized_best([fast, lean]) is fast
+
+    def test_memory_weight_flips_pick(self):
+        fast = make_eval(10.0, 0.1, 8e9, 64)
+        lean = make_eval(10.5, 0.11, 1e9, 16)
+        weights = {"epoch_time": 1.0, "memory": 10.0}
+        assert scalarized_best([fast, lean], weights) is lean
+
+    def test_tie_breaks_toward_lower_memory(self):
+        a = make_eval(10.0, 0.1, 8e9, 64)
+        b = make_eval(10.0, 0.1, 2e9, 64)
+        assert scalarized_best([a, b]) is b
+
+    def test_invalid_weights_rejected(self):
+        e = make_eval(1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            scalarized_best([e], {"epoch_time": -1.0})
+        with pytest.raises(ValueError):
+            scalarized_best([e], {"epoch_time": 0.0})
+
+    def test_unknown_objective_name_rejected(self):
+        e = make_eval(1, 1, 1, 1)
+        with pytest.raises(KeyError):
+            scalarized_best([e, make_eval(2, 2, 2, 2)], {"speed": 1.0})
+
+    @given(st.lists(
+        st.tuples(st.floats(1, 100), st.floats(0.01, 1),
+                  st.floats(1e8, 1e10), st.integers(1, 512)),
+        min_size=1, max_size=30,
+    ))
+    def test_default_best_is_global_epoch_minimum(self, tuples):
+        """With pure-throughput weights the pick equals the overall epoch
+        minimum — the guarantee behind 'matches or beats suggest'."""
+        evals = [make_eval(*t) for t in tuples]
+        frontier = pareto_frontier(evals)
+        best = scalarized_best(frontier)
+        target = min(t[0] for t in tuples)
+        assert best.projection.per_epoch.total == pytest.approx(target)

@@ -1,0 +1,141 @@
+"""Unit + property tests for repro.search.space (candidate enumeration)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.math_utils import divisors, power_of_two_budgets
+from repro.core.strategies import (
+    DataFilterParallel,
+    DataParallel,
+    PipelineParallel,
+    Strategy,
+)
+from repro.search import Candidate, SearchSpace
+from repro.search.space import WEAK_SCALING_IDS
+
+
+class TestDivisors:
+    def test_small(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(7) == [1, 7]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_every_divisor_divides(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(set(ds))
+        assert ds[0] == 1 and ds[-1] == n
+
+    def test_power_of_two_budgets(self):
+        assert power_of_two_budgets(64) == [4, 8, 16, 32, 64]
+        assert power_of_two_budgets(48) == [4, 8, 16, 32, 48]
+
+
+class TestCandidate:
+    def test_key_is_stable_and_unique_per_config(self):
+        a = Candidate("df", 16, batch=512, p1=4, p2=4)
+        b = Candidate("df", 16, batch=512, p1=8, p2=2)
+        assert a.key != b.key
+        assert a.key == Candidate("df", 16, batch=512, p1=4, p2=4).key
+
+    def test_build_simple(self, toy2d):
+        s = Candidate("d", 4, batch=64).build(toy2d)
+        assert isinstance(s, DataParallel) and s.p == 4
+
+    def test_build_hybrid_uses_factors(self, toy2d):
+        s = Candidate("df", 8, batch=64, p1=4, p2=2).build(toy2d)
+        assert isinstance(s, DataFilterParallel)
+        assert (s.p1, s.p2) == (4, 2)
+
+    def test_build_pipeline_segments(self, toy2d):
+        s = Candidate("p", 2, batch=16, segments=8).build(toy2d)
+        assert isinstance(s, PipelineParallel) and s.segments == 8
+
+    def test_build_unknown_sid(self, toy2d):
+        with pytest.raises(ValueError):
+            Candidate("xyz", 4, batch=16).build(toy2d)
+
+
+class TestSearchSpace:
+    def test_lazy_and_deterministic(self):
+        space = SearchSpace(pe_budgets=(8, 16), samples_per_pe=(4,))
+        first = list(space.candidates(intra=4))
+        second = list(space.candidates(intra=4))
+        assert first == second
+        assert space.count(intra=4) == len(first)
+        assert len(set(c.key for c in first)) == len(first)
+
+    def test_hybrids_enumerate_exact_factorizations(self):
+        space = SearchSpace(strategies=("df",), pe_budgets=(16,),
+                            samples_per_pe=(4,))
+        cands = list(space.candidates())
+        assert cands, "16 has nontrivial divisors"
+        assert all(c.p1 * c.p2 == 16 for c in cands)
+        assert sorted(c.p2 for c in cands) == [2, 4, 8, 16]
+
+    def test_max_model_dim_caps_p2(self):
+        space = SearchSpace(strategies=("df", "ds"), pe_budgets=(16,),
+                            max_model_dim=4)
+        assert all(c.p2 <= 4 for c in space.candidates())
+
+    def test_weak_scaling_batch_grows_with_p(self):
+        space = SearchSpace(strategies=WEAK_SCALING_IDS, pe_budgets=(8,),
+                            samples_per_pe=(4,))
+        for c in space.candidates():
+            assert c.batch == 4 * c.p
+
+    def test_strong_scaling_batch_fixed_by_intra(self):
+        space = SearchSpace(strategies=("f", "c", "s"), pe_budgets=(8,),
+                            samples_per_pe=(4,))
+        assert {c.batch for c in space.candidates(intra=4)} == {16}
+
+    def test_explicit_fixed_batches_override(self):
+        space = SearchSpace(strategies=("f",), pe_budgets=(8,),
+                            fixed_batches=(32, 64))
+        assert sorted(c.batch for c in space.candidates()) == [32, 64]
+
+    def test_pipeline_sweeps_segments_within_batch(self):
+        space = SearchSpace(strategies=("p",), pe_budgets=(4,),
+                            fixed_batches=(4,), segments=(2, 4, 8))
+        segs = sorted(c.segments for c in space.candidates())
+        assert segs == [2, 4]  # 8 > B is not emitted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchSpace(pe_budgets=())
+        with pytest.raises(ValueError):
+            SearchSpace(samples_per_pe=(0,))
+        with pytest.raises(ValueError):
+            SearchSpace(strategies=())
+        with pytest.raises(ValueError, match="unknown strategy ids"):
+            SearchSpace(strategies=("d", "xyz"))
+
+    @given(st.integers(min_value=2, max_value=512),
+           st.integers(min_value=1, max_value=8))
+    def test_all_candidates_internally_consistent(self, p, spp):
+        space = SearchSpace(pe_budgets=(p,), samples_per_pe=(spp,))
+        for c in space.candidates(intra=4):
+            assert c.p == p
+            assert c.batch >= 1
+            if c.sid in ("df", "ds"):
+                assert c.p1 * c.p2 == c.p and c.p2 >= 2
+            if c.segments:
+                assert c.segments <= c.batch
+
+    def test_every_candidate_builds_or_raises_strategy_error(self, toy2d):
+        from repro.core.strategies import StrategyError
+
+        space = SearchSpace(pe_budgets=(4, 6), samples_per_pe=(4,))
+        for c in space.candidates(intra=2):
+            try:
+                s = c.build(toy2d)
+            except StrategyError:
+                continue
+            assert isinstance(s, Strategy)
+            assert s.p == c.p
