@@ -91,6 +91,36 @@ def main() -> None:
     print(f"vs suggest      : {sug.strategy.describe()} "
           f"{sug.epoch_time:.1f} s/epoch -> gain {pct(gain)}")
     print(f"cache           : {CACHE_PATH}")
+    print()
+
+    # Communication-policy ablation: open the collective-algorithm policy
+    # as a search dimension.  `paper` keeps the seed's ring-everywhere
+    # costs; `auto` picks the cheapest registered algorithm per call
+    # (tree / recursive doubling / hierarchical where they win).  On the
+    # command line this is:
+    #
+    #     python -m repro search --model resnet50 -p 256 \
+    #         --comm-policy paper,auto
+    #     python -m repro project --model resnet50 --strategy z -p 256 \
+    #         --comm-policy auto --json   # shows the chosen algorithms
+    comm_space = SearchSpace(
+        pe_budgets=(MAX_PES,),
+        samples_per_pe=(32,),
+        comm_policies=("paper", "auto"),
+    )
+    comm_report = engine.search(comm_space)
+    print("comm-policy ablation (same space, paper vs auto):")
+    for policy in ("paper", "auto"):
+        entries = [e for e in comm_report.feasible
+                   if e.projection.comm_policy == policy]
+        if not entries:
+            print(f"  {policy:9s}: no feasible configuration")
+            continue
+        top = min(entries, key=lambda e: e.epoch_time)
+        algos = ", ".join(f"{ph}={al}"
+                          for ph, al in top.projection.comm_algorithms)
+        print(f"  {policy:9s}: {top.describe()} "
+              f"{top.epoch_time:.1f} s/epoch ({algos})")
 
 
 if __name__ == "__main__":

@@ -33,7 +33,8 @@ Packages
 ``repro.network``
     Fat-tree cluster topology, Hockney parameters, congestion.
 ``repro.collectives``
-    Analytic ring/tree collective costs.
+    Analytic collective costs behind a pluggable algorithm registry and
+    the policy-driven ``CommModel`` selector (paper / auto / nccl-like).
 ``repro.simulator``
     Discrete-event "measured" runs: roofline GPU, link-level collectives,
     framework overheads.

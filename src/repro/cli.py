@@ -11,6 +11,10 @@ the time and resources to provision").  This CLI exposes those workflows:
    python -m repro suggest  --model vgg16 -p 64 --samples-per-pe 32
    python -m repro hybrid   --model vgg16 -p 64
    python -m repro search   --model resnet50 -p 64 --cache plan-cache.json
+   python -m repro search   --model resnet50 -p 64 --comm-policy paper,auto \
+                            --stream --frontier-csv frontier.csv
+   python -m repro project  --model resnet50 --strategy z -p 64 \
+                            --comm-policy auto --json
    python -m repro simulate --model resnet50 --strategy d -p 64 --batch 2048
    python -m repro validate --p 4
    python -m repro experiment fig5
@@ -28,6 +32,8 @@ import json
 import sys
 from typing import List, Optional
 
+from .collectives.registry import COLLECTIVES
+from .collectives.selector import POLICIES, CommModel
 from .core.calibration import profile_model
 from .core.oracle import ParaDL
 from .core.limits import detect_findings
@@ -67,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="machine-readable JSON output")
 
+    def comm_flags(p: argparse.ArgumentParser, multi: bool = False) -> None:
+        p.add_argument(
+            "--comm-policy", default="paper",
+            help="collective algorithm selection policy: "
+                 f"{'/'.join(POLICIES)}"
+                 + (", or a comma-separated list to sweep" if multi else ""),
+        )
+        p.add_argument(
+            "--comm-algo", default=None, metavar="SPEC",
+            help="force collective algorithms, e.g. 'recursive-doubling' "
+                 "(applies to allreduce) or "
+                 "'allreduce=tree,broadcast=binomial-tree'",
+        )
+
     proj = sub.add_parser("project", help="project one strategy (Table 3)")
     common(proj)
     proj.add_argument("--strategy", default="d",
@@ -79,16 +99,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="forward-only projection (Section 5.4.2)")
     proj.add_argument("--findings", action="store_true",
                       help="also run the Table-6 limitation detector")
+    comm_flags(proj)
     json_flag(proj)
 
     sug = sub.add_parser("suggest", help="rank all strategies for a budget")
     common(sug)
+    comm_flags(sug)
     json_flag(sug)
 
     hyb = sub.add_parser("hybrid", help="search (p1, p2) hybrid configs")
     common(hyb)
     hyb.add_argument("--kinds", default="df,ds")
     hyb.add_argument("--top", type=int, default=5)
+    comm_flags(hyb)
     json_flag(hyb)
 
     srch = sub.add_parser(
@@ -110,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
     srch.add_argument("--weights", default=None,
                       help="scalarization weights, e.g. "
                            "'epoch_time=1,memory=0.2,pes=0.1'")
+    srch.add_argument("--stream", action="store_true",
+                      help="anytime search: print frontier rows "
+                           "incrementally as evaluations complete")
+    srch.add_argument("--frontier-csv", default=None, metavar="PATH",
+                      help="export the Pareto frontier as CSV")
+    comm_flags(srch, multi=True)
     json_flag(srch)
 
     plan = sub.add_parser("plan",
@@ -144,6 +173,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_comm_algo(spec: Optional[str]) -> dict:
+    """Parse ``--comm-algo``: bare names force the allreduce algorithm;
+    ``collective=name`` pairs force specific collectives."""
+    algo = {}
+    for item in (spec or "").split(","):
+        item = item.strip()
+        if not item:
+            continue
+        coll, sep, name = item.partition("=")
+        if sep:
+            algo[coll.strip()] = name.strip()
+        else:
+            algo["allreduce"] = item
+    unknown = sorted(set(algo) - set(COLLECTIVES))
+    if unknown:
+        raise ValueError(
+            f"unknown collective {unknown[0]!r} in --comm-algo; "
+            f"choose from {sorted(COLLECTIVES)}"
+        )
+    return algo
+
+
+def _comm_policies(args) -> List[str]:
+    """The (possibly comma-separated) ``--comm-policy`` values."""
+    raw = getattr(args, "comm_policy", "paper") or "paper"
+    policies = [s.strip() for s in raw.split(",") if s.strip()]
+    bad = sorted(set(policies) - set(POLICIES))
+    if bad:
+        raise ValueError(
+            f"unknown comm policy {bad[0]!r}; choose from {sorted(POLICIES)}"
+        )
+    return policies or ["paper"]
+
+
 def _make_oracle(args) -> tuple:
     dataset = DATASETS[args.dataset]
     # Shape-coupled models (CosmoFlow) are built at the dataset's sample
@@ -157,7 +220,28 @@ def _make_oracle(args) -> tuple:
     cluster = abci_like_cluster(max(args.pes, 4))
     profile = profile_model(model, samples_per_pe=args.samples_per_pe,
                             optimizer=args.optimizer)
-    oracle = ParaDL(model, cluster, profile, gamma=args.gamma)
+    try:
+        policies = _comm_policies(args)
+        if len(policies) > 1 and getattr(args, "command", None) != "search":
+            raise ValueError(
+                "only 'search' sweeps several comm policies; "
+                "give a single --comm-policy here"
+            )
+        # In a multi-policy sweep every candidate pins its own policy, so
+        # bind the oracle to the canonical default — this keeps the cache
+        # fingerprint independent of the order the policies were listed.
+        comm = CommModel(
+            cluster,
+            policy=policies[0] if len(policies) == 1 else "paper",
+            algo=_parse_comm_algo(getattr(args, "comm_algo", None)),
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        raise SystemExit(2)
+    # Parsed once here; _cmd_search reuses this instead of re-deriving,
+    # so the sweep dimension and the cache fingerprint stay coupled.
+    args._comm_policies = policies
+    oracle = ParaDL(model, cluster, profile, gamma=args.gamma, comm=comm)
     return model, cluster, profile, oracle, dataset
 
 
@@ -195,6 +279,8 @@ def _cmd_project(args) -> int:
             "memory_capacity_gb": proj.memory_capacity / 1e9,
             "feasible": proj.feasible_memory,
             "notes": list(proj.notes),
+            "comm_policy": proj.comm_policy,
+            "comm_algorithms": dict(proj.comm_algorithms),
         }
         if args.findings:
             blob["findings"] = [
@@ -212,6 +298,9 @@ def _cmd_project(args) -> int:
           f"{'OK' if proj.feasible_memory else 'OUT OF MEMORY'}")
     print(f"epoch: {proj.per_epoch.total:.1f} s "
           f"({proj.iterations} iterations)")
+    if proj.comm_algorithms:
+        chosen = ", ".join(f"{ph}={al}" for ph, al in proj.comm_algorithms)
+        print(f"comm: policy={proj.comm_policy} ({chosen})")
     for note in proj.notes:
         print(f"note: {note}")
     if args.findings:
@@ -231,6 +320,8 @@ def _suggestion_blob(s) -> dict:
             epoch_s=s.projection.per_epoch.total,
             iteration_s=s.projection.per_iteration.total,
             memory_gb=s.projection.memory_bytes / 1e9,
+            comm_policy=s.projection.comm_policy,
+            comm_algorithms=dict(s.projection.comm_algorithms),
         )
     if s.reason:
         blob["reason"] = s.reason
@@ -299,6 +390,64 @@ def _parse_weights(spec: Optional[str]) -> Optional[dict]:
     return weights or None
 
 
+class _FrontierStream:
+    """Anytime-search printer: maintains a running Pareto frontier and
+    prints a row the moment an evaluation enters it.  Printed rows are a
+    superset of the final frontier (later arrivals can dominate earlier
+    prints, which is inherent to anytime output)."""
+
+    def __init__(self, objectives=None, file=None) -> None:
+        from .search.pareto import DEFAULT_OBJECTIVES, OBJECTIVES
+
+        self._names = tuple(objectives or DEFAULT_OBJECTIVES)
+        self._vec = lambda e: tuple(OBJECTIVES[n](e) for n in self._names)
+        self._frontier = []  # [(vector, evaluation)]
+        self._file = file  # None = stdout; --json streams to stderr
+        self.seen = 0
+
+    def __call__(self, evaluation) -> None:
+        from .search.pareto import dominates
+
+        self.seen += 1
+        if not evaluation.feasible:
+            return
+        v = self._vec(evaluation)
+        if any(dominates(w, v) or w == v for w, _ in self._frontier):
+            return
+        self._frontier = [
+            (w, e) for w, e in self._frontier if not dominates(v, w)
+        ]
+        self._frontier.append((v, evaluation))
+        print(f"[{self.seen}] {evaluation.describe()} "
+              f"epoch={evaluation.epoch_time:.1f}s "
+              f"iter={evaluation.iteration_time * 1e3:.1f}ms "
+              f"mem={evaluation.memory_gb:.1f}GB "
+              f"(frontier {len(self._frontier)})",
+              flush=True,
+              **({"file": self._file} if self._file is not None else {}))
+
+
+def _write_frontier_csv(path: str, report) -> None:
+    import csv
+
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "rank", "config", "strategy", "p", "p1", "p2", "segments",
+            "batch", "comm_policy", "epoch_s", "iteration_s", "memory_gb",
+            "comm_algorithms",
+        ])
+        for rank, e in enumerate(report.frontier, start=1):
+            c = e.candidate
+            proj = e.projection
+            writer.writerow([
+                rank, e.describe(), c.sid, c.p, c.p1, c.p2, c.segments,
+                c.batch, proj.comm_policy, e.epoch_time, e.iteration_time,
+                e.memory_gb,
+                ";".join(f"{ph}={al}" for ph, al in proj.comm_algorithms),
+            ])
+
+
 def _cmd_search(args) -> int:
     from .core.math_utils import power_of_two_budgets
 
@@ -309,6 +458,12 @@ def _cmd_search(args) -> int:
     )
     pe_budgets = (
         power_of_two_budgets(args.pes) if args.pe_sweep else (args.pes,)
+    )
+    policies = args._comm_policies
+    # With --json the rows stream to stderr so stdout stays parseable.
+    stream = (
+        _FrontierStream(file=sys.stderr if args.json else None)
+        if args.stream else None
     )
     try:
         segments = tuple(
@@ -322,10 +477,14 @@ def _cmd_search(args) -> int:
             cache=args.cache,
             workers=args.workers,
             weights=_parse_weights(args.weights),
+            comm=tuple(policies) if len(policies) > 1 else None,
+            on_result=stream,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
+    if args.frontier_csv:
+        _write_frontier_csv(args.frontier_csv, report)
     if args.json:
         print(json.dumps(report.asdict(), indent=2))
         return 0 if report.best is not None else 1
@@ -351,6 +510,8 @@ def _cmd_search(args) -> int:
           f"memory={report.best.memory_gb:.1f} GB")
     if args.cache:
         print(f"cache: {args.cache}")
+    if args.frontier_csv:
+        print(f"frontier csv: {args.frontier_csv}")
     return 0
 
 

@@ -1,8 +1,19 @@
 """Collective-communication cost models (analytic) and schedules (simulated).
 
-The analytic forms follow Section 4.3 of the paper: ring algorithms for
-large messages (the NCCL default the paper assumes) and a pipelined
-tree algorithm for small messages (the paper's footnote 4).
+Three layers:
+
+* :mod:`~repro.collectives.algorithms` — the paper's Section-4.3
+  closed-form costs (ring, pipelined tree, binomial, p2p) under Hockney
+  (alpha, beta) parameters.
+* :mod:`~repro.collectives.registry` — a pluggable registry of
+  :class:`CollectiveAlgorithm` objects keyed by ``(collective,
+  algorithm)``: the seed formulas plus recursive doubling / halving,
+  scatter-allgather broadcast, and a topology-aware hierarchical
+  allreduce.
+* :mod:`~repro.collectives.selector` — :class:`CommModel`, the
+  policy-driven, topology-aware selector (``paper`` / ``auto`` /
+  ``nccl-like``) that the analytical model, simulator, search engine,
+  and CLI all share.
 """
 
 from .algorithms import (
@@ -16,6 +27,23 @@ from .algorithms import (
     allreduce_time,
     CollectiveCost,
 )
+from .registry import (
+    COLLECTIVES,
+    CollectiveAlgorithm,
+    FormulaAlgorithm,
+    TopologyHint,
+    algorithms_for,
+    get_algorithm,
+    register,
+    registered,
+)
+from .selector import (
+    PAPER_DEFAULTS,
+    POLICIES,
+    CommChoice,
+    CommModel,
+    as_comm_model,
+)
 
 __all__ = [
     "ring_allreduce_time",
@@ -27,4 +55,17 @@ __all__ = [
     "p2p_time",
     "allreduce_time",
     "CollectiveCost",
+    "COLLECTIVES",
+    "CollectiveAlgorithm",
+    "FormulaAlgorithm",
+    "TopologyHint",
+    "register",
+    "registered",
+    "get_algorithm",
+    "algorithms_for",
+    "POLICIES",
+    "PAPER_DEFAULTS",
+    "CommChoice",
+    "CommModel",
+    "as_comm_model",
 ]

@@ -1,0 +1,313 @@
+"""Topology-aware collective-algorithm selection: the ``CommModel``.
+
+One object answers "how long does this collective take?" for every
+consumer — the analytical model, the oracle, the search engine, the DES
+simulator, and the CLI — so they can never disagree about which
+algorithm they are costing.  A :class:`CommModel` is built from a
+:class:`~repro.network.topology.ClusterSpec` and a *policy*:
+
+``paper``
+    Always the paper's Section-4.3 defaults (ring allreduce / allgather /
+    reduce-scatter, binomial-tree broadcast / reduce).  Projections are
+    identical to the seed model — this is the default everywhere.
+``auto``
+    Minimum cost over every registered algorithm eligible for
+    ``(collective, p, m)`` under the resolved Hockney parameters,
+    including the hierarchical allreduce when the communicator spans
+    whole nodes.  Never worse than ``paper`` on any call.
+``nccl-like``
+    Message-size thresholds: tree allreduce below
+    :data:`~repro.collectives.algorithms.TREE_THRESHOLD_BYTES`, ring
+    above — the behaviour the paper attributes to NCCL.
+
+Selection is *scope aware*: resolution of (alpha, beta) distinguishes a
+model-parallel group pinned inside a node (NVLink) from a communicator
+spanning the fabric, and topology-aware algorithms are only eligible for
+packed whole-machine communicators (``scope="auto"``).  Callers may pin
+``params`` explicitly (e.g. contention-scaled betas) and still get
+policy-driven algorithm choice.
+
+A per-collective algorithm can also be *forced* (``algo={"allreduce":
+"recursive-doubling"}``, the CLI's ``--comm-algo``); unsupported forced
+choices fall back to the policy pick rather than failing a projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Union
+
+from ..network.hockney import HockneyParams
+from ..network.topology import ClusterSpec
+from .algorithms import TREE_THRESHOLD_BYTES
+from . import registry as _registry
+from .registry import COLLECTIVES, CollectiveAlgorithm, TopologyHint
+
+__all__ = ["POLICIES", "PAPER_DEFAULTS", "CommChoice", "CommModel"]
+
+#: Selection policies, in documentation order.
+POLICIES = ("paper", "auto", "nccl-like")
+
+#: The seed model's fixed algorithm per collective (Section 4.3).
+PAPER_DEFAULTS: Dict[str, str] = {
+    "allreduce": "ring",
+    "allgather": "ring",
+    "reduce_scatter": "ring",
+    "broadcast": "binomial-tree",
+    "reduce": "binomial-tree",
+}
+
+#: Communicator scopes a caller may pin.  ``auto`` = packed communicator
+#: over the whole machine (topology-aware algorithms eligible);
+#: ``intra-node`` = model-parallel group mapped inside one node;
+#: ``inter-node`` = flat communicator over the fabric (leader rings,
+#: contended segmented allreduces).
+SCOPE_CHOICES = ("auto", "intra-node", "inter-node")
+
+
+@dataclass(frozen=True)
+class CommChoice:
+    """One resolved collective call: which algorithm, at what cost."""
+
+    collective: str
+    algorithm: str
+    seconds: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.collective}:{self.algorithm}"
+
+
+class CommModel:
+    """Resolves ``(collective, p, m, scope)`` to seconds under a policy.
+
+    Parameters
+    ----------
+    cluster:
+        Topology used to resolve Hockney parameters per scope and to
+        build :class:`~repro.collectives.registry.TopologyHint` for
+        hierarchical algorithms.
+    policy:
+        One of :data:`POLICIES`.
+    algo:
+        Optional forced algorithm per collective (overrides the policy
+        when the forced algorithm supports the call).
+    tree_threshold:
+        ``nccl-like`` ring/tree crossover in bytes.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        policy: str = "paper",
+        *,
+        algo: Optional[Mapping[str, str]] = None,
+        tree_threshold: float = TREE_THRESHOLD_BYTES,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown comm policy {policy!r}; expected one of {POLICIES}"
+            )
+        self.cluster = cluster
+        self.policy = policy
+        self.tree_threshold = tree_threshold
+        self.algo: Dict[str, str] = dict(algo or {})
+        for coll, name in self.algo.items():
+            _registry.get_algorithm(coll, name)  # raises on unknown pairs
+
+    # ------------------------------------------------------------ resolution
+    def scope_params(
+        self, p: int, scope: str = "auto", transport: str = "nccl"
+    ) -> HockneyParams:
+        """Hockney (alpha, beta) for a ``p``-wide communicator at ``scope``."""
+        if scope not in SCOPE_CHOICES:
+            raise ValueError(
+                f"unknown scope {scope!r}; expected one of {SCOPE_CHOICES}"
+            )
+        if scope == "intra-node":
+            return self.cluster.hockney_intra(p, transport=transport)
+        if scope == "inter-node":
+            # Fabric parameters even for small p: widen the resolved span
+            # until it crosses a node boundary.
+            span_p = min(
+                max(p, self.cluster.node.gpus + 1), self.cluster.total_gpus
+            )
+            if span_p <= self.cluster.node.gpus:
+                raise ValueError(
+                    "single-node cluster has no inter-node scope"
+                )
+            return self.cluster.hockney(span_p, transport=transport)
+        return self.cluster.hockney(p, transport=transport)
+
+    def topology_hint(self, p: int) -> Optional[TopologyHint]:
+        """Hint for topology-aware algorithms, or ``None`` when the
+        communicator does not span several whole nodes."""
+        n = self.cluster.node.gpus
+        if n < 2 or p <= n or p > self.cluster.total_gpus:
+            return None
+        return TopologyHint(
+            intra=self.cluster.hockney(n),
+            inter=self.cluster.hockney(p),
+            gpus_per_node=n,
+        )
+
+    # -------------------------------------------------------------- selection
+    def _cost(
+        self,
+        algo: CollectiveAlgorithm,
+        p: int,
+        nbytes: float,
+        params: HockneyParams,
+        topo: Optional[TopologyHint],
+    ) -> float:
+        return algo.cost(p, nbytes, params, topo)
+
+    def choose(
+        self,
+        collective: str,
+        p: int,
+        nbytes: float,
+        *,
+        params: Optional[HockneyParams] = None,
+        scope: str = "auto",
+        transport: str = "nccl",
+    ) -> CommChoice:
+        """Pick an algorithm for one collective call and cost it.
+
+        ``params`` pins the Hockney parameters (callers pass
+        contention-scaled betas here); otherwise they are resolved from
+        ``(p, scope, transport)``.  Singleton communicators are free.
+        """
+        if collective not in COLLECTIVES:
+            raise ValueError(
+                f"unknown collective {collective!r}; expected one of "
+                f"{COLLECTIVES}"
+            )
+        default = PAPER_DEFAULTS[collective]
+        if p <= 1 or nbytes <= 0:
+            return CommChoice(collective, self.algo.get(collective, default), 0.0)
+        if params is None:
+            params = self.scope_params(p, scope, transport)
+        topo = self.topology_hint(p) if scope == "auto" else None
+
+        forced = self.algo.get(collective)
+        if forced is not None:
+            algo = _registry.get_algorithm(collective, forced)
+            if algo.supports(p, nbytes, topo):
+                return CommChoice(
+                    collective, forced, self._cost(algo, p, nbytes, params, topo)
+                )
+            # An ineligible forced algorithm (e.g. hierarchical inside a
+            # node) degrades to the policy pick instead of failing.
+
+        if self.policy == "paper":
+            algo = _registry.get_algorithm(collective, default)
+            return CommChoice(
+                collective, default, self._cost(algo, p, nbytes, params, topo)
+            )
+
+        if self.policy == "nccl-like":
+            if collective == "allreduce" and nbytes < self.tree_threshold:
+                ring = _registry.get_algorithm("allreduce", "ring")
+                tree = _registry.get_algorithm("allreduce", "tree")
+                tr = self._cost(ring, p, nbytes, params, topo)
+                tt = self._cost(tree, p, nbytes, params, topo)
+                return (
+                    CommChoice(collective, "tree", tt)
+                    if tt <= tr
+                    else CommChoice(collective, "ring", tr)
+                )
+            algo = _registry.get_algorithm(collective, default)
+            return CommChoice(
+                collective, default, self._cost(algo, p, nbytes, params, topo)
+            )
+
+        # auto: min cost over every eligible registered algorithm;
+        # deterministic tie-break on name.
+        best: Optional[CommChoice] = None
+        for algo in _registry.algorithms_for(collective):
+            if not algo.supports(p, nbytes, topo):
+                continue
+            cost = self._cost(algo, p, nbytes, params, topo)
+            if best is None or cost < best.seconds or (
+                cost == best.seconds and algo.name < best.algorithm
+            ):
+                best = CommChoice(collective, algo.name, cost)
+        if best is None:  # pragma: no cover - registry always has ring
+            raise RuntimeError(f"no eligible algorithm for {collective!r}")
+        return best
+
+    # ----------------------------------------------------------- conveniences
+    def time(
+        self,
+        collective: str,
+        p: int,
+        nbytes: float,
+        *,
+        params: Optional[HockneyParams] = None,
+        scope: str = "auto",
+        transport: str = "nccl",
+    ) -> float:
+        return self.choose(
+            collective, p, nbytes, params=params, scope=scope,
+            transport=transport,
+        ).seconds
+
+    def select(
+        self,
+        collective: str,
+        p: int,
+        nbytes: float,
+        *,
+        scope: str = "auto",
+        transport: str = "nccl",
+    ) -> str:
+        """Algorithm name only (the simulator's dispatch key)."""
+        return self.choose(
+            collective, p, nbytes, scope=scope, transport=transport
+        ).algorithm
+
+    def p2p(
+        self,
+        nbytes: float,
+        *,
+        params: Optional[HockneyParams] = None,
+        p: int = 2,
+        scope: str = "auto",
+        transport: str = "nccl",
+    ) -> float:
+        """Point-to-point ``alpha + m beta`` (no algorithm choice)."""
+        if nbytes < 0:
+            raise ValueError("message size must be >= 0")
+        if params is None:
+            params = self.scope_params(p, scope, transport)
+        return params.p2p(nbytes)
+
+    # -------------------------------------------------------------- identity
+    def fingerprint(self) -> str:
+        """Stable identity for cache invalidation (policy + forced algos)."""
+        forced = ",".join(f"{c}={n}" for c, n in sorted(self.algo.items()))
+        return f"{self.policy};{forced};thr={self.tree_threshold:g}"
+
+    def describe(self) -> str:
+        if not self.algo:
+            return self.policy
+        forced = ",".join(f"{c}={n}" for c, n in sorted(self.algo.items()))
+        return f"{self.policy}[{forced}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CommModel({self.describe()!r} on {self.cluster!r})"
+
+
+def as_comm_model(
+    comm: Union[None, str, CommModel], cluster: ClusterSpec
+) -> CommModel:
+    """Coerce ``None`` / policy string / ``CommModel`` to a ``CommModel``."""
+    if comm is None:
+        return CommModel(cluster, policy="paper")
+    if isinstance(comm, str):
+        return CommModel(cluster, policy=comm)
+    return comm
+
+
+__all__.append("as_comm_model")

@@ -8,7 +8,11 @@ phases), and maximum per-PE memory, from:
 * a :class:`~repro.core.profiles.ComputeProfile` (empirical ``FW_l``,
   ``BW_l``, ``WU_l`` — the hybrid analytical/empirical split of Section 4),
 * a :class:`~repro.network.topology.ClusterSpec` (Hockney alpha/beta per
-  communicator scope), and
+  communicator scope),
+* a :class:`~repro.collectives.selector.CommModel` (which collective
+  algorithm each communication phase is costed with — the default
+  ``paper`` policy reproduces the seed's ring-everywhere formulas;
+  ``auto``/``nccl-like`` re-select per call), and
 * the training configuration (global mini-batch ``B``, dataset size ``D``,
   bytes/item ``delta``, memory-reuse factor ``gamma``).
 
@@ -24,13 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from ..collectives.algorithms import (
-    broadcast_time,
-    p2p_time,
-    reduce_time,
-    ring_allgather_time,
-    ring_allreduce_time,
-)
+from ..collectives.selector import CommChoice, CommModel, as_comm_model
 from ..network.hockney import HockneyParams
 from ..network.topology import ClusterSpec
 from .contention import data_filter_phi
@@ -132,6 +130,29 @@ class PhaseBreakdown:
         }
 
 
+class _AlgoLog:
+    """Collects which collective algorithm each phase used (ordered,
+    deduplicated) while one projection is being assembled."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: Dict[str, List[str]] = {}
+
+    def add(self, phase: str, choice: CommChoice) -> None:
+        if choice.seconds <= 0.0:
+            return  # singleton communicators / empty messages are free
+        labels = self.entries.setdefault(phase, [])
+        if choice.label not in labels:
+            labels.append(choice.label)
+
+    def items(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(
+            (phase, "+".join(labels))
+            for phase, labels in self.entries.items()
+        )
+
+
 @dataclass(frozen=True)
 class Projection:
     """One oracle projection: per-epoch times + per-PE memory."""
@@ -146,6 +167,11 @@ class Projection:
     gamma: float = DEFAULT_GAMMA
     delta: int = DEFAULT_DELTA
     notes: Tuple[str, ...] = ()
+    #: Which comm policy costed this projection ("paper" reproduces the
+    #: seed model) and which algorithm each communication phase used,
+    #: e.g. ``(("ge", "allreduce:ring"),)``.
+    comm_policy: str = "paper"
+    comm_algorithms: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def p(self) -> int:
@@ -213,6 +239,7 @@ class AnalyticalModel:
         gamma: float = DEFAULT_GAMMA,
         halo_transport: str = "mpi",
         contention: bool = True,
+        comm: Optional[object] = None,
     ) -> None:
         profile.validate_against(model)
         if delta <= 0:
@@ -226,12 +253,37 @@ class AnalyticalModel:
         self.gamma = gamma
         self.halo_transport = halo_transport
         self.contention = contention
+        #: Communication model: a policy name ("paper" / "auto" /
+        #: "nccl-like") or a ready CommModel.  Every collective the
+        #: analyzers cost goes through it.
+        self.comm: CommModel = as_comm_model(comm, cluster)
+
+    def _resolve_comm(self, comm: Optional[object]) -> CommModel:
+        """Per-call comm override: ``None`` keeps the bound model; a
+        policy string builds a throwaway selector (cheap, thread-safe)."""
+        if comm is None:
+            return self.comm
+        if isinstance(comm, CommModel):
+            return comm
+        return CommModel(
+            self.cluster, policy=str(comm), algo=self.comm.algo,
+            tree_threshold=self.comm.tree_threshold,
+        )
 
     # ------------------------------------------------------------------ api
     def project(
-        self, strategy: Strategy, batch: int, dataset_size: int
+        self,
+        strategy: Strategy,
+        batch: int,
+        dataset_size: int,
+        *,
+        comm: Optional[object] = None,
     ) -> Projection:
-        """Project one strategy.  ``batch`` is the *global* mini-batch B."""
+        """Project one strategy.  ``batch`` is the *global* mini-batch B.
+
+        ``comm`` optionally overrides the bound communication model for
+        this projection only (a policy string or a ``CommModel``).
+        """
         if batch < 1 or dataset_size < batch:
             raise ValueError("need dataset_size >= batch >= 1")
         strategy.check(self.model, batch)
@@ -246,7 +298,11 @@ class AnalyticalModel:
             "df": self._data_filter,
             "ds": self._data_spatial,
         }[strategy.id]
-        per_epoch, memory, notes = handler(strategy, batch, dataset_size)
+        comm_model = self._resolve_comm(comm)
+        log = _AlgoLog()
+        per_epoch, memory, notes = handler(
+            strategy, batch, dataset_size, comm_model, log
+        )
         return Projection(
             model_name=self.model.name,
             strategy=strategy,
@@ -258,10 +314,17 @@ class AnalyticalModel:
             gamma=self.gamma,
             delta=self.delta,
             notes=tuple(notes),
+            comm_policy=comm_model.policy,
+            comm_algorithms=log.items(),
         )
 
     def project_inference(
-        self, strategy: Strategy, batch: int, dataset_size: int
+        self,
+        strategy: Strategy,
+        batch: int,
+        dataset_size: int,
+        *,
+        comm: Optional[object] = None,
     ) -> Projection:
         """Forward-only projection for distributed inference (Section 5.4.2).
 
@@ -273,15 +336,25 @@ class AnalyticalModel:
         training one: forward compute and the forward share of each
         communication pattern, with gradient/optimizer memory dropped.
         """
-        train = self.project(strategy, batch, dataset_size)
+        train = self.project(strategy, batch, dataset_size, comm=comm)
         e = train.per_epoch
         sid = strategy.id
-        # Forward share of the layer-wise collectives: the Allgather is 1
-        # of the 3(p-1) ring-step groups (Eq. 15); halos halve (no dL/dy
-        # exchange); pipeline P2P halves (no backward sweep).
+        # Forward share of the layer-wise collectives: the forward leg
+        # only (Eq. 15's Allgather for filter-style splits — 1 of the
+        # 3(p-1) ring-step groups — and Eq. 19's Allreduce for channel),
+        # re-costed under the active policy so non-ring selections keep a
+        # correct split; halos halve (no dL/dy exchange); pipeline P2P
+        # halves (no backward sweep).
+        inf_log = _AlgoLog()
+        if sid in ("f", "c", "df") and e.comm_fb > 0:
+            comm_model = self._resolve_comm(comm)
+            comm_fb = (dataset_size // batch) * self._layerwise_forward_leg(
+                strategy, batch, comm_model, inf_log)
+        else:
+            comm_fb = e.comm_fb
         per_epoch = PhaseBreakdown(
             comp_fw=e.comp_fw,
-            comm_fb=e.comm_fb / 3 if sid in ("f", "c", "df") else e.comm_fb,
+            comm_fb=comm_fb,
             comm_halo=e.comm_halo / 2,
             comm_p2p=e.comm_p2p / 2,
         )
@@ -300,6 +373,11 @@ class AnalyticalModel:
             gamma=self.gamma,
             delta=self.delta,
             notes=train.notes + ("inference (forward-only)",),
+            comm_policy=train.comm_policy,
+            # Only the collectives the forward-only projection actually
+            # contains (gradient exchange vanishes; fb shrinks to the
+            # re-costed Allgather leg).
+            comm_algorithms=inf_log.items(),
         )
 
     # ---------------------------------------------------------------- pieces
@@ -337,27 +415,85 @@ class AnalyticalModel:
             comp_wu=I / wu_div * self.profile.total_wu(),
         )
 
+    def _coll(
+        self,
+        comm: CommModel,
+        log: _AlgoLog,
+        phase: str,
+        collective: str,
+        p: int,
+        nbytes: float,
+        *,
+        params: Optional[HockneyParams] = None,
+        scope: str = "auto",
+        transport: str = "nccl",
+    ) -> float:
+        """One policy-selected collective: cost it and log the choice."""
+        choice = comm.choose(
+            collective, p, nbytes, params=params, scope=scope,
+            transport=transport,
+        )
+        log.add(phase, choice)
+        return choice.seconds
+
+    def _layerwise_forward_leg(
+        self, strategy: Strategy, B: int, comm: CommModel, log: _AlgoLog
+    ) -> float:
+        """Per-iteration cost of just the *forward* leg of the layer-wise
+        collectives (the share an inference projection keeps), under the
+        active policy: the partial-activation Allgather for filter-style
+        splits (f, df), the partial-sum Allreduce for channel — whose
+        patterns are reversed (Eq. 17-19)."""
+        sid = strategy.id
+        if sid == "df":
+            group_p, msg_div = strategy.p2, strategy.p
+            params = self.cluster.hockney_intra(strategy.p2)
+            scope = "intra-node"
+        else:  # f / c
+            group_p, msg_div = strategy.p, strategy.p
+            params, scope = None, "auto"
+        if group_p <= 1:
+            return 0.0
+        total = 0.0
+        for l in self.model.weighted_layers[:-1]:
+            seg = B * l.output.elements * self.delta / msg_div
+            if sid == "c":
+                choice = comm.choose(
+                    "allreduce", group_p, seg * group_p,
+                    params=params, scope=scope,
+                )
+            else:
+                choice = comm.choose(
+                    "allgather", group_p, seg, params=params, scope=scope
+                )
+            log.add("fb", choice)
+            total += choice.seconds
+        return total
+
     # -------------------------------------------------------------- serial
-    def _serial(self, strategy: Serial, B: int, D: int):
+    def _serial(self, strategy: Serial, B: int, D: int, comm, log):
         I = D // B
         comp = self._comp(D, I, p_div=1.0)
         memory = self._memory_terms(batch_act=B)
         return comp, memory, []
 
     # ---------------------------------------------------------------- data
-    def _data(self, strategy: DataParallel, B: int, D: int):
-        """Eqs. (5)-(7): compute / p, one ring Allreduce of all gradients."""
+    def _data(self, strategy: DataParallel, B: int, D: int, comm, log):
+        """Eqs. (5)-(7): compute / p, one Allreduce of all gradients
+        (ring under the paper policy)."""
         p = strategy.p
         I = D // B
         comp = self._comp(D, I, p_div=p)
-        params = self.cluster.hockney(p)
-        ge = I * ring_allreduce_time(p, self._weights_bytes(), params)
+        ge = I * self._coll(
+            comm, log, "ge", "allreduce", p, self._weights_bytes()
+        )
         per_epoch = replace(comp, comm_ge=ge)
         memory = self._memory_terms(batch_act=B / p)
         return per_epoch, memory, []
 
     # -------------------------------------------------------- sharded data
-    def _sharded_data(self, strategy: ShardedDataParallel, B: int, D: int):
+    def _sharded_data(self, strategy: ShardedDataParallel, B: int, D: int,
+                      comm, log):
         """ZeRO-style data parallelism (Section 5.3.2's alternative).
 
         Weights, gradients and optimizer state are sharded 1/p; the price
@@ -366,16 +502,13 @@ class AnalyticalModel:
         Allreduce.  The weight update itself shrinks by 1/p (each PE
         updates only its shard — the cross-replica sharding of [52]).
         """
-        from ..collectives.algorithms import ring_reduce_scatter_time
-
         p = strategy.p
         I = D // B
         comp = self._comp(D, I, p_div=p, wu_div=p)
-        params = self.cluster.hockney(p)
         wbytes = self._weights_bytes()
         ge = I * (
-            ring_reduce_scatter_time(p, wbytes, params)
-            + 2 * ring_allgather_time(p, wbytes / p, params)
+            self._coll(comm, log, "ge", "reduce_scatter", p, wbytes)
+            + 2 * self._coll(comm, log, "ge", "allgather", p, wbytes / p)
         )
         per_epoch = replace(comp, comm_ge=ge)
         memory = self.gamma * self.delta * sum(
@@ -386,13 +519,14 @@ class AnalyticalModel:
         return per_epoch, memory, ["weights/optimizer state sharded 1/p"]
 
     # -------------------------------------------------------------- spatial
-    def _spatial(self, strategy: SpatialParallel, B: int, D: int):
+    def _spatial(self, strategy: SpatialParallel, B: int, D: int, comm, log):
         """Eqs. (8)-(10): data-parallel-style GE plus per-layer halos."""
         p = strategy.p
         I = D // B
         comp = self._comp(D, I, p_div=p)
-        ge_params = self.cluster.hockney(p)
-        ge = I * ring_allreduce_time(p, self._weights_bytes(), ge_params)
+        ge = I * self._coll(
+            comm, log, "ge", "allreduce", p, self._weights_bytes()
+        )
         halo_params = self.cluster.hockney(p, transport=self.halo_transport)
         halo = I * self._halo_epoch_time(strategy.grid, B, halo_params)
         per_epoch = replace(comp, comm_ge=ge, comm_halo=halo)
@@ -434,7 +568,7 @@ class AnalyticalModel:
         return self.gamma * self.delta * total
 
     # ------------------------------------------------------------- pipeline
-    def _pipeline(self, strategy: PipelineParallel, B: int, D: int):
+    def _pipeline(self, strategy: PipelineParallel, B: int, D: int, comm, log):
         """Eqs. (12)-(14): GPipe schedule of p stages and S micro-batches."""
         p, S = strategy.stages, strategy.segments
         I = D // B
@@ -457,12 +591,13 @@ class AnalyticalModel:
         boundary = [g[-1].output.elements for g in groups[:-1]]
         if boundary and p > 1:
             per_stage = max(
-                p2p_time(B / S * y * self.delta, params) for y in boundary
+                comm.p2p(B / S * y * self.delta, params=params)
+                for y in boundary
             )
-            comm = 2 * D * (p + S - 2) / B * per_stage
+            comm_p2p = 2 * D * (p + S - 2) / B * per_stage
         else:
-            comm = 0.0
-        per_epoch = replace(comp, comm_p2p=comm)
+            comm_p2p = 0.0
+        per_epoch = replace(comp, comm_p2p=comm_p2p)
         if checkpoint:
             # Live activations: one micro-batch inside the stage being
             # recomputed, plus the stored stage-boundary activations of all
@@ -487,51 +622,69 @@ class AnalyticalModel:
         return per_epoch, memory, notes
 
     # --------------------------------------------------------------- filter
-    def _filter(self, strategy: FilterParallel, B: int, D: int):
+    def _filter(self, strategy: FilterParallel, B: int, D: int, comm, log):
         """Eqs. (15)-(16): Allgather(fwd) + Allreduce(bwd) per layer."""
         p = strategy.p
         I = D // B
         comp = self._comp(D, I, p_div=p, wu_div=p)
-        params = self.cluster.hockney(p)
-        fb = I * self._layerwise_collectives(p, B, params)
+        fb = I * self._layerwise_collectives(p, p, B, comm, log)
         per_epoch = replace(comp, comm_fb=fb)
         memory = self._memory_terms(batch_act=B, weight_div=p)
         return per_epoch, memory, []
 
     def _layerwise_collectives(
-        self, p: int, B: float, params: HockneyParams
+        self,
+        group_p: int,
+        msg_div: int,
+        B: float,
+        comm: CommModel,
+        log: _AlgoLog,
+        params: Optional[HockneyParams] = None,
+        scope: str = "auto",
     ) -> float:
         """Per-iteration layer-wise collectives of filter/channel
-        parallelism: ``3 (p-1) sum_{l<G} (alpha + B |y_l| delta beta / p)``.
+        parallelism over a ``group_p``-wide communicator: an Allgather of
+        the partial activations (segments of ``B |y_l| delta / msg_div``)
+        plus an Allreduce of the input gradients.  Under the paper policy
+        both are rings, recovering Eq. (15)/(19)'s
+        ``3 (p-1) sum_{l<G} (alpha + B |y_l| delta beta / p)``
+        (the Allgather's ``p-1`` steps + the Allreduce's ``2(p-1)``).
 
-        The 3 combines a ring Allgather of the partial activations
-        (``(p-1)`` steps of ``B|y|/p``) and a ring Allreduce of the input
-        gradients (``2(p-1)`` steps of ``B|y|/p``), Eq. (15)/(19).
+        ``msg_div`` is the activation-sharding denominator — the *total*
+        parallelism p, which differs from ``group_p`` for Data+Filter
+        where each filter group only spans p2 PEs.
         """
-        if p <= 1:
+        if group_p <= 1:
             return 0.0
         layers = self.model.weighted_layers
         total = 0.0
         for l in layers[:-1]:
-            msg = B * l.output.elements * self.delta / p
-            total += 3 * (p - 1) * (params.alpha + msg * params.beta)
+            seg = B * l.output.elements * self.delta / msg_div
+            total += self._coll(
+                comm, log, "fb", "allgather", group_p, seg,
+                params=params, scope=scope,
+            )
+            total += self._coll(
+                comm, log, "fb", "allreduce", group_p, seg * group_p,
+                params=params, scope=scope,
+            )
         return total
 
     # -------------------------------------------------------------- channel
-    def _channel(self, strategy: ChannelParallel, B: int, D: int):
+    def _channel(self, strategy: ChannelParallel, B: int, D: int, comm, log):
         """Eqs. (17)-(19): same totals as filter with reversed patterns
         (Allreduce forward, Allgather backward)."""
         p = strategy.p
         I = D // B
         comp = self._comp(D, I, p_div=p, wu_div=p)
-        params = self.cluster.hockney(p)
-        fb = I * self._layerwise_collectives(p, B, params)
+        fb = I * self._layerwise_collectives(p, p, B, comm, log)
         per_epoch = replace(comp, comm_fb=fb)
         memory = self._memory_terms(batch_act=B, weight_div=p)
         return per_epoch, memory, []
 
     # ---------------------------------------------------------- data+filter
-    def _data_filter(self, strategy: DataFilterParallel, B: int, D: int):
+    def _data_filter(self, strategy: DataFilterParallel, B: int, D: int,
+                     comm, log):
         """Eqs. (20)-(22): filter intra-group, data inter-group, with the
         segmented-Allreduce contention penalty phi (Section 5.2 uses 2x)."""
         p1, p2, p = strategy.p1, strategy.p2, strategy.p
@@ -539,13 +692,10 @@ class AnalyticalModel:
         comp = self._comp(D, I, p_div=p, wu_div=p2)
         # Filter collectives run inside a group; the paper maps groups
         # intra-node, so they see intra-node (NVLink) parameters.
-        intra = self.cluster.hockney(min(p2, self.cluster.node.gpus))
-        fb = 0.0
-        if p2 > 1:
-            layers = self.model.weighted_layers
-            for l in layers[:-1]:
-                msg = B * l.output.elements * self.delta / p
-                fb += 3 * (p2 - 1) * (intra.alpha + msg * intra.beta)
+        intra = self.cluster.hockney_intra(p2)
+        fb = self._layerwise_collectives(
+            p2, p, B, comm, log, params=intra, scope="intra-node"
+        )
         # Gradient exchange: p2 disjoint segmented Allreduces over the p1
         # groups, sharing the node's NIC rails -> contention penalty.
         ge = 0.0
@@ -553,8 +703,11 @@ class AnalyticalModel:
             inter = self.cluster.hockney(p)
             if self.contention:
                 inter = inter.with_contention(data_filter_phi(self.cluster, p2))
-            ge = 2 * (p1 - 1) * (
-                inter.alpha + self._weights_bytes() / p * inter.beta
+            # Each group allreduces its 1/p2 weight shard over p1 PEs.
+            ge = self._coll(
+                comm, log, "ge", "allreduce", p1,
+                self._weights_bytes() / p2,
+                params=inter, scope="inter-node",
             )
         per_epoch = replace(comp, comm_fb=I * fb, comm_ge=I * ge)
         memory = self._memory_terms(
@@ -568,16 +721,16 @@ class AnalyticalModel:
         return per_epoch, memory, notes
 
     # --------------------------------------------------------- data+spatial
-    def _data_spatial(self, strategy: DataSpatialParallel, B: int, D: int):
+    def _data_spatial(self, strategy: DataSpatialParallel, B: int, D: int,
+                      comm, log):
         """Spatial intra-group + data inter-group with the hierarchical
         (leader-based) gradient exchange of Section 4.5.1."""
         p1, p2, p = strategy.p1, strategy.p2, strategy.p
         I = D // B
         group_batch = B / p1
         comp = self._comp(D, I, p_div=p, wu_div=1.0)
-        intra = self.cluster.hockney(
-            min(max(p2, 2), self.cluster.node.gpus),
-            transport=self.halo_transport,
+        intra = self.cluster.hockney_intra(
+            p2, transport=self.halo_transport, floor=2
         )
         halo = 0.0
         if p2 > 1:
@@ -591,16 +744,19 @@ class AnalyticalModel:
         # once L exceeds the NIC rail count.
         L = getattr(strategy, "leaders", 1)
         wbytes = self._weights_bytes()
-        nvl = self.cluster.hockney(min(max(p2, 2), self.cluster.node.gpus))
+        nvl = self.cluster.hockney_intra(p2, floor=2)
         ge = (
-            reduce_time(p2, wbytes / L, nvl)
-            + broadcast_time(p2, wbytes / L, nvl)
+            self._coll(comm, log, "ge", "reduce", p2, wbytes / L,
+                       params=nvl, scope="intra-node")
+            + self._coll(comm, log, "ge", "broadcast", p2, wbytes / L,
+                         params=nvl, scope="intra-node")
         )
         if p1 > 1:
             inter = self.cluster.hockney(p)
             if self.contention and L > self.cluster.node.nics:
                 inter = inter.with_contention(L / self.cluster.node.nics)
-            ge += ring_allreduce_time(p1, wbytes / L, inter)
+            ge += self._coll(comm, log, "ge", "allreduce", p1, wbytes / L,
+                             params=inter, scope="inter-node")
         per_epoch = replace(comp, comm_halo=halo, comm_ge=I * ge)
         memory = self._ds_memory(strategy.grid, group_batch)
         notes = [] if L == 1 else [f"multi-leader allreduce: L={L}"]

@@ -65,6 +65,11 @@ class ParaDL:
         Empirical per-layer compute profile.  Use
         :func:`repro.core.calibration.profile_model` to generate one from
         the simulated V100, or supply real measurements.
+    comm:
+        Communication model: a policy name (``"paper"`` — the default,
+        reproducing the seed's ring-everywhere costs — ``"auto"`` or
+        ``"nccl-like"``) or a ready
+        :class:`~repro.collectives.selector.CommModel`.
     delta / gamma / halo_transport / contention:
         Forwarded to :class:`~repro.core.analytical.AnalyticalModel`.
     """
@@ -79,6 +84,7 @@ class ParaDL:
         gamma: float = 0.5,
         halo_transport: str = "mpi",
         contention: bool = True,
+        comm=None,
     ) -> None:
         self.model = model
         self.cluster = cluster
@@ -91,14 +97,28 @@ class ParaDL:
             gamma=gamma,
             halo_transport=halo_transport,
             contention=contention,
+            comm=comm,
         )
+        #: The bound communication model (shared with ``analytical``).
+        self.comm = self.analytical.comm
 
     # ---------------------------------------------------------------- project
     def project(
-        self, strategy: Strategy, batch: int, dataset: DatasetSpec
+        self,
+        strategy: Strategy,
+        batch: int,
+        dataset: DatasetSpec,
+        *,
+        comm=None,
     ) -> Projection:
-        """Project one strategy at global mini-batch ``batch``."""
-        return self.analytical.project(strategy, batch, dataset.num_samples)
+        """Project one strategy at global mini-batch ``batch``.
+
+        ``comm`` overrides the oracle's communication policy for this
+        projection only.
+        """
+        return self.analytical.project(
+            strategy, batch, dataset.num_samples, comm=comm
+        )
 
     def project_id(
         self,
@@ -276,6 +296,8 @@ class ParaDL:
         cache=None,
         workers: Optional[int] = None,
         weights=None,
+        comm=None,
+        on_result=None,
     ):
         """Automated strategy search (the :mod:`repro.search` facade).
 
@@ -289,20 +311,46 @@ class ParaDL:
         (default: pure throughput, so it matches or beats the best
         :meth:`suggest` entry at the same budget).
 
+        ``comm`` opens the communication policy as a search dimension: a
+        policy name or a sequence of names ("paper", "auto",
+        "nccl-like") makes every candidate carry its policy, so the
+        frontier can mix e.g. a ring-cost pipeline against an
+        auto-selected hybrid.  ``None`` keeps the oracle's bound policy.
+
+        ``on_result`` is an optional callback invoked with each
+        :class:`~repro.search.engine.Evaluation` as it completes
+        (anytime search: the CLI's ``--stream``).
+
         ``cache`` may be a path: repeated planning sessions then reuse
         persisted projections (see :mod:`repro.search.cache`).
         """
         from ..search import DEFAULT_STRATEGIES, SearchEngine, SearchSpace
 
+        from ..collectives.selector import CommModel
+
+        if comm is None:
+            comm_policies = ()
+        elif isinstance(comm, str):
+            comm_policies = (comm,)
+        elif isinstance(comm, CommModel):
+            raise TypeError(
+                "search's comm dimension takes policy names (candidates "
+                "must be cacheable by key); to search under a custom "
+                "CommModel, construct ParaDL(..., comm=<model>) and leave "
+                "comm=None here"
+            )
+        else:
+            comm_policies = tuple(comm)
         space = SearchSpace(
             strategies=tuple(strategies) if strategies is not None
             else DEFAULT_STRATEGIES,
             pe_budgets=tuple(pe_budgets) if pe_budgets else (p,),
             samples_per_pe=(samples_per_pe,),
             segments=tuple(segments),
+            comm_policies=comm_policies,
         )
         engine = SearchEngine(self, dataset, cache=cache, workers=workers)
-        return engine.search(space, weights=weights)
+        return engine.search(space, weights=weights, on_result=on_result)
 
     # ---------------------------------------------------------------- accuracy
     def accuracy_against(

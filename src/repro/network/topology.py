@@ -190,6 +190,22 @@ class ClusterSpec:
         scope = self.span(num_pes)
         return self.hockney_for_scope(scope, transport=transport)
 
+    def hockney_intra(
+        self, p: int, transport: str = "nccl", floor: int = 1
+    ) -> HockneyParams:
+        """(alpha, beta) for a model-parallel group mapped *inside* a node.
+
+        Hybrid strategies pin their model-parallel dimension intra-node;
+        every analyzer used to inline ``hockney(min(p, node.gpus))`` (and
+        variants with a floor of 2 for pair exchanges) — this is the one
+        shared resolution.  ``p`` is clamped to ``[floor, node.gpus]``.
+        """
+        if floor < 1:
+            raise ValueError("floor must be >= 1")
+        return self.hockney(
+            min(max(p, floor), self.node.gpus), transport=transport
+        )
+
     def hockney_for_scope(self, scope: str, transport: str = "nccl") -> HockneyParams:
         """(alpha, beta) for an explicit scope name (see :data:`SCOPES`)."""
         if scope not in SCOPES:

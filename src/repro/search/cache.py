@@ -3,26 +3,35 @@
 Repeated planning sessions evaluate largely the same (model, cluster,
 candidate) grid; projections are deterministic, so they memoize perfectly.
 
-File format (version 1)
+File format (version 2)
 -----------------------
 A single JSON object::
 
     {
-      "version": 1,
+      "version": 2,
       "context": {"model": ..., "layers": ..., "parameters": ...,
                   "cluster": ..., "profile_fw_s": ..., "profile_bw_s": ...,
-                  "profile_wu_s": ..., "gamma": ..., "delta": ...},
+                  "profile_wu_s": ..., "gamma": ..., "delta": ...,
+                  "comm": "<CommModel fingerprint>"},
       "entries": {
         "<candidate key>@D=<dataset size>": {
           "projection": {
             "model_name": str, "batch": int, "dataset_size": int,
             "per_epoch": {"comp_fw": float, ..., "comm_p2p": float},
             "memory_bytes": float, "memory_capacity": float,
-            "gamma": float, "delta": int, "notes": [str, ...]
+            "gamma": float, "delta": int, "notes": [str, ...],
+            "comm_policy": str,
+            "comm_algorithms": [[phase, "collective:algo"], ...]
           }
         }, ...
       }
     }
+
+Version 2 added the communication-policy dimension: the context carries
+the oracle's :meth:`CommModel.fingerprint`, candidate keys carry their
+per-candidate policy, and projections persist which algorithm each phase
+chose.  Version-1 files are discarded wholesale on load (the standing
+invalidation rule below).
 
 Candidates whose projection *raised* (structurally infeasible for this
 model) memoize negatively as ``{"error": "<reason>"}`` so a warm cache
@@ -52,12 +61,13 @@ __all__ = [
     "CACHE_VERSION",
 ]
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 def context_fingerprint(oracle) -> Dict[str, object]:
     """Fingerprint of everything a projection depends on besides the
-    candidate itself: model shape, cluster, profile, gamma/delta."""
+    candidate itself: model shape, cluster, profile, gamma/delta, and
+    the oracle's communication policy."""
     model = oracle.model
     profile = oracle.profile
     return {
@@ -73,6 +83,7 @@ def context_fingerprint(oracle) -> Dict[str, object]:
         "delta": oracle.analytical.delta,
         "halo_transport": oracle.analytical.halo_transport,
         "contention": bool(oracle.analytical.contention),
+        "comm": oracle.analytical.comm.fingerprint(),
     }
 
 
@@ -99,6 +110,8 @@ def _projection_to_jsonable(proj: Projection) -> Dict[str, object]:
         "gamma": proj.gamma,
         "delta": proj.delta,
         "notes": list(proj.notes),
+        "comm_policy": proj.comm_policy,
+        "comm_algorithms": [list(pair) for pair in proj.comm_algorithms],
     }
 
 
@@ -116,6 +129,11 @@ def _projection_from_jsonable(
         gamma=float(entry["gamma"]),
         delta=int(entry["delta"]),
         notes=tuple(entry.get("notes", ())),
+        comm_policy=str(entry.get("comm_policy", "paper")),
+        comm_algorithms=tuple(
+            (str(phase), str(label))
+            for phase, label in entry.get("comm_algorithms", ())
+        ),
     )
 
 

@@ -57,7 +57,10 @@ class Evaluation:
 
     def describe(self) -> str:
         if self.strategy is not None:
-            return f"{self.strategy.describe()} B={self.candidate.batch}"
+            desc = f"{self.strategy.describe()} B={self.candidate.batch}"
+            if self.candidate.comm:
+                desc += f" comm={self.candidate.comm}"
+            return desc
         return self.candidate.describe()
 
     def asdict(self) -> Dict[str, object]:
@@ -76,6 +79,8 @@ class Evaluation:
                 epoch_s=self.epoch_time,
                 iteration_s=self.iteration_time,
                 memory_gb=self.memory_gb,
+                comm_policy=self.projection.comm_policy,
+                comm_algorithms=dict(self.projection.comm_algorithms),
             )
         if self.reason:
             row["reason"] = self.reason
@@ -178,7 +183,8 @@ class SearchEngine:
         if projection is None:
             try:
                 projection = self.oracle.project(
-                    strategy, candidate.batch, self.dataset)
+                    strategy, candidate.batch, self.dataset,
+                    comm=candidate.comm or None)
             except (StrategyError, ValueError) as exc:
                 self.cache.put_failure(key, str(exc))
                 return Evaluation(candidate, strategy, reason=str(exc))
@@ -224,18 +230,25 @@ class SearchEngine:
         objectives: Sequence[str] = DEFAULT_OBJECTIVES,
         weights: Optional[Mapping[str, float]] = None,
         intra: Optional[int] = None,
+        on_result=None,
     ) -> SearchReport:
         """Full search: evaluate the space, return frontier + best.
+
+        ``on_result`` is invoked with each :class:`Evaluation` as it
+        completes (anytime consumption — streamed progress, early
+        frontier display); it does not affect the returned report.
 
         The report's evaluation list is sorted by candidate key so the
         result is identical whatever the worker count or completion order.
         """
         hits_before = self.cache.hits
         misses_before = self.cache.misses
-        evaluations = sorted(
-            self.iter_results(space, intra=intra),
-            key=lambda e: e.candidate.key,
-        )
+        evaluations = []
+        for evaluation in self.iter_results(space, intra=intra):
+            if on_result is not None:
+                on_result(evaluation)
+            evaluations.append(evaluation)
+        evaluations.sort(key=lambda e: e.candidate.key)
         feasible = [e for e in evaluations if e.feasible]
         frontier = pareto_frontier(feasible, objectives)
         best = scalarized_best(frontier, weights)

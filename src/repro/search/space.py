@@ -14,9 +14,10 @@ binds one to a :class:`~repro.core.graph.ModelGraph` as a concrete
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, Optional, Tuple
 
+from ..collectives.selector import POLICIES
 from ..core.graph import ModelGraph
 from ..core.math_utils import divisors
 from ..core.strategies import (
@@ -51,6 +52,8 @@ class Candidate:
     ``p1``/``p2`` are the data/model dimensions of hybrid strategies (0
     when not applicable); ``segments`` is the pipeline micro-batch count S
     (0 when not applicable).  ``batch`` is the *global* mini-batch B.
+    ``comm`` is the communication policy this candidate should be costed
+    under ("" = the evaluating oracle's own policy).
     """
 
     sid: str
@@ -59,12 +62,14 @@ class Candidate:
     p1: int = 0
     p2: int = 0
     segments: int = 0
+    comm: str = ""
 
     @property
     def key(self) -> str:
         """Stable string identity — the projection-cache key component."""
         return (f"{self.sid}:p={self.p}:b={self.batch}"
-                f":p1={self.p1}:p2={self.p2}:s={self.segments}")
+                f":p1={self.p1}:p2={self.p2}:s={self.segments}"
+                f":comm={self.comm or 'default'}")
 
     def describe(self) -> str:
         parts = [f"p={self.p}"]
@@ -73,6 +78,8 @@ class Candidate:
         if self.segments:
             parts.append(f"S={self.segments}")
         parts.append(f"B={self.batch}")
+        if self.comm:
+            parts.append(f"comm={self.comm}")
         return f"{self.sid}({', '.join(parts)})"
 
     def build(self, model: ModelGraph) -> Strategy:
@@ -124,6 +131,10 @@ class SearchSpace:
     min_model_dim / max_model_dim:
         Bounds on the hybrid model-parallel dimension p2 (``max_model_dim
         = None`` allows up to p itself).
+    comm_policies:
+        Communication policies to sweep per candidate ("paper" / "auto" /
+        "nccl-like").  Empty (the default) costs every candidate under
+        the evaluating oracle's own policy.
     """
 
     strategies: Tuple[str, ...] = DEFAULT_STRATEGIES
@@ -133,6 +144,7 @@ class SearchSpace:
     segments: Tuple[int, ...] = (2, 4, 8)
     min_model_dim: int = 2
     max_model_dim: Optional[int] = None
+    comm_policies: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -149,6 +161,11 @@ class SearchSpace:
             raise ValueError("samples_per_pe must be positive and non-empty")
         if any(s < 1 for s in self.segments):
             raise ValueError("segments must be positive")
+        bad = sorted(set(self.comm_policies) - set(POLICIES))
+        if bad:
+            raise ValueError(
+                f"unknown comm policies {bad}; choose from {sorted(POLICIES)}"
+            )
 
     # ------------------------------------------------------------ expansion
     def _strong_batches(self, intra: int) -> Tuple[int, ...]:
@@ -164,13 +181,18 @@ class SearchSpace:
         node's worth of samples).
         """
         strong_batches = self._strong_batches(intra)
+        policies: Tuple[str, ...] = self.comm_policies or ("",)
         seen = set()
         for p in sorted(set(self.pe_budgets)):
             for sid in self.strategies:
-                for cand in self._expand(sid, p, strong_batches):
-                    if cand.key not in seen:
-                        seen.add(cand.key)
-                        yield cand
+                for base in self._expand(sid, p, strong_batches):
+                    for policy in policies:
+                        cand = (
+                            replace(base, comm=policy) if policy else base
+                        )
+                        if cand.key not in seen:
+                            seen.add(cand.key)
+                            yield cand
 
     def _expand(
         self, sid: str, p: int, strong_batches: Tuple[int, ...]

@@ -5,15 +5,29 @@ contention-free ring with uniform (alpha, beta).  Real rings map onto a
 hierarchical machine: every step of a packed ring crosses mostly NVLink
 hops and a few NIC hops, concurrent rings share NIC rails (the Data+Filter
 segmented Allreduce), and a busy fabric occasionally congests.  This module
-computes collective times *per ring step over actual paths*, using the
-dynamic contention graph of Section 4.3 and the external-congestion model
-of Figure 6.
+computes collective times *per step over actual paths*, using the dynamic
+contention graph of Section 4.3 and the external-congestion model of
+Figure 6.
+
+The simulator consumes the same algorithm layer as the oracle: the
+:meth:`CollectiveSimulator.allreduce` / :meth:`allgather` /
+:meth:`reduce_scatter` / :meth:`broadcast` / :meth:`reduce` dispatchers
+ask the shared :class:`~repro.collectives.selector.CommModel` which
+algorithm the policy selects for ``(collective, p, m)`` and then run
+*that* algorithm's step schedule over concrete GPU paths.  Selection
+assumes packed communicators; callers with non-packed placements (e.g.
+a one-leader-per-node ring) pin ``scope``/``algorithm`` to match the
+oracle's choice.  Known remaining approximation: the Data+Filter
+segmented allreduce stays a ring ensemble (its contention model is the
+point) — see the ROADMAP collectives open items.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import math
+from typing import Dict, List, Optional, Sequence
 
+from ..collectives.selector import CommModel, as_comm_model
 from ..core.contention import ContentionGraph
 from ..network.congestion import CongestionModel
 from ..network.hockney import HockneyParams
@@ -33,15 +47,21 @@ class CollectiveSimulator:
         Optional external-congestion process applied to inter-node
         collectives (``None`` disables it — the oracle-comparison baseline
         the paper calls "best communication times").
+    comm:
+        Algorithm-selection policy shared with the oracle: a
+        :class:`~repro.collectives.selector.CommModel`, a policy name, or
+        ``None`` for the paper's ring-everywhere default.
     """
 
     def __init__(
         self,
         cluster: ClusterSpec,
         congestion: Optional[CongestionModel] = None,
+        comm: Optional[object] = None,
     ) -> None:
         self.cluster = cluster
         self.congestion = congestion
+        self.comm: CommModel = as_comm_model(comm, cluster)
 
     # ---- helpers -----------------------------------------------------------
     def _flow_params(
@@ -89,7 +109,124 @@ class CollectiveSimulator:
             worst = max(worst, params.p2p(seg_bytes))
         return worst
 
+    def _round_worst_flow(
+        self,
+        pairs: Sequence[tuple],
+        nbytes: float,
+        transport: str,
+    ) -> float:
+        """Duration of one round of pairwise flows: slowest flow gates it."""
+        worst = 0.0
+        for src, dst in pairs:
+            if src == dst:
+                continue
+            params = self._flow_params(src, dst, None, transport)
+            worst = max(worst, params.p2p(nbytes))
+        return worst
+
+    def _xor_partner_rounds(self, p: int) -> List[List[tuple]]:
+        """Hypercube partner schedule: round ``r`` pairs index ``i`` with
+        ``i ^ 2^r`` (partners clamped away for non-powers-of-two)."""
+        rounds = []
+        for r in range(max(1, math.ceil(math.log2(p)))):
+            stride = 1 << r
+            pairs = []
+            for i in range(p):
+                j = i ^ stride
+                if i < j < p:
+                    pairs.append((i, j))
+            if pairs:
+                rounds.append(pairs)
+        return rounds
+
     # ---- collectives -----------------------------------------------------------
+    def allreduce(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+        algorithm: Optional[str] = None,
+        scope: str = "auto",
+    ) -> float:
+        """Policy-dispatched Allreduce: the shared
+        :class:`~repro.collectives.selector.CommModel` selects the
+        algorithm (unless ``algorithm`` pins one) and the matching step
+        schedule runs over the concrete GPU placement.  Pin ``scope``
+        (e.g. ``"inter-node"`` for a leader ring) when ``gpus`` is not a
+        packed communicator, so selection matches the oracle's."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        algo = algorithm or self.comm.select("allreduce", p, nbytes,
+                                             scope=scope,
+                                             transport=transport)
+        dispatch = {
+            "ring": self.ring_allreduce,
+            "tree": self.tree_allreduce,
+            "recursive-doubling": self.recursive_doubling_allreduce,
+            "hierarchical": self.hierarchical_allreduce,
+        }
+        try:
+            handler = dispatch[algo]
+        except KeyError:
+            raise ValueError(
+                f"no simulated schedule for allreduce algorithm {algo!r}; "
+                f"have {sorted(dispatch)}"
+            ) from None
+        return handler(gpus, nbytes, transport)
+
+    def allgather(
+        self,
+        gpus: Sequence[int],
+        seg_bytes: float,
+        transport: str = "nccl",
+        algorithm: Optional[str] = None,
+    ) -> float:
+        """Policy-dispatched Allgather of per-PE segments ``seg_bytes``."""
+        p = len(gpus)
+        if p <= 1 or seg_bytes <= 0:
+            return 0.0
+        algo = algorithm or self.comm.select("allgather", p, seg_bytes,
+                                             transport=transport)
+        dispatch = {
+            "ring": self.ring_allgather,
+            "recursive-doubling": self.recursive_doubling_allgather,
+        }
+        try:
+            handler = dispatch[algo]
+        except KeyError:
+            raise ValueError(
+                f"no simulated schedule for allgather algorithm {algo!r}; "
+                f"have {sorted(dispatch)}"
+            ) from None
+        return handler(gpus, seg_bytes, transport)
+
+    def reduce_scatter(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+        algorithm: Optional[str] = None,
+    ) -> float:
+        """Policy-dispatched ReduceScatter of an ``nbytes`` buffer."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        algo = algorithm or self.comm.select("reduce_scatter", p, nbytes,
+                                             transport=transport)
+        dispatch = {
+            "ring": self.ring_reduce_scatter,
+            "recursive-halving": self.recursive_halving_reduce_scatter,
+        }
+        try:
+            handler = dispatch[algo]
+        except KeyError:
+            raise ValueError(
+                f"no simulated schedule for reduce_scatter algorithm "
+                f"{algo!r}; have {sorted(dispatch)}"
+            ) from None
+        return handler(gpus, nbytes, transport)
+
     def ring_allreduce(
         self,
         gpus: Sequence[int],
@@ -116,6 +253,126 @@ class CollectiveSimulator:
             return 0.0
         step = self._ring_step_time(gpus, seg_bytes, transport)
         return (p - 1) * step * self._congestion_factor(gpus)
+
+    def ring_reduce_scatter(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+    ) -> float:
+        """Ring ReduceScatter: ``p - 1`` steps of ``m/p`` bytes."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        step = self._ring_step_time(gpus, nbytes / p, transport)
+        return (p - 1) * step * self._congestion_factor(gpus)
+
+    def tree_allreduce(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+        chunks: int = 4,
+    ) -> float:
+        """Pipelined two-tree Allreduce (paper footnote 4):
+        ``2 (ceil(log2 p) + k)`` steps of ``m/(2k)`` bytes, each step
+        gated by the slowest binomial-tree edge over actual paths."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        seg = nbytes / (2 * chunks)
+        worst_edge = 0.0
+        for pairs in self._xor_partner_rounds(p):
+            edges = [(gpus[i], gpus[j]) for i, j in pairs]
+            worst_edge = max(worst_edge,
+                             self._round_worst_flow(edges, seg, transport))
+        steps = 2 * (math.ceil(math.log2(p)) + chunks)
+        return steps * worst_edge * self._congestion_factor(gpus)
+
+    def recursive_doubling_allreduce(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+    ) -> float:
+        """Recursive-doubling Allreduce: hypercube rounds, each exchanging
+        the full buffer with the partner at distance ``2^r``."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        total = 0.0
+        for pairs in self._xor_partner_rounds(p):
+            edges = [(gpus[i], gpus[j]) for i, j in pairs]
+            total += self._round_worst_flow(edges, nbytes, transport)
+        return total * self._congestion_factor(gpus)
+
+    def recursive_doubling_allgather(
+        self,
+        gpus: Sequence[int],
+        seg_bytes: float,
+        transport: str = "nccl",
+    ) -> float:
+        """Recursive-doubling Allgather: round ``r`` swaps ``2^r`` segments
+        with the partner at distance ``2^r``."""
+        p = len(gpus)
+        if p <= 1 or seg_bytes <= 0:
+            return 0.0
+        total = 0.0
+        for r, pairs in enumerate(self._xor_partner_rounds(p)):
+            edges = [(gpus[i], gpus[j]) for i, j in pairs]
+            total += self._round_worst_flow(
+                edges, (1 << r) * seg_bytes, transport)
+        return total * self._congestion_factor(gpus)
+
+    def recursive_halving_reduce_scatter(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+    ) -> float:
+        """Recursive halving ReduceScatter: round ``r`` exchanges
+        ``m / 2^(r+1)`` bytes with the partner at distance ``p / 2^(r+1)``
+        (scheduled here as hypercube rounds, largest stride first)."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        rounds = list(reversed(self._xor_partner_rounds(p)))
+        total = 0.0
+        for r, pairs in enumerate(rounds):
+            edges = [(gpus[i], gpus[j]) for i, j in pairs]
+            total += self._round_worst_flow(
+                edges, nbytes / (1 << (r + 1)), transport)
+        return total * self._congestion_factor(gpus)
+
+    def hierarchical_allreduce(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+    ) -> float:
+        """Hierarchical Allreduce: binomial reduce to each node's leader,
+        ring Allreduce between leaders, intra-node broadcast back."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        by_node: Dict[int, List[int]] = {}
+        for g in gpus:
+            by_node.setdefault(self.cluster.gpu_location(g)[1], []).append(g)
+        groups = list(by_node.values())
+        leaders = [g[0] for g in groups]
+        reduce_t = max(
+            self.reduce_to_root(g, nbytes, transport) for g in groups
+        )
+        inter_t = (
+            self.ring_allreduce(leaders, nbytes, transport)
+            if len(leaders) > 1 else 0.0
+        )
+        # The registered hierarchical algorithm is defined with binomial
+        # legs, so the schedule pins them rather than re-dispatching.
+        bcast_t = max(
+            self.binomial_broadcast(g, nbytes, transport) for g in groups
+        )
+        return reduce_t + inter_t + bcast_t
 
     def concurrent_allreduces(
         self,
@@ -154,13 +411,34 @@ class CollectiveSimulator:
         p = len(gpus)
         if p <= 1 or nbytes <= 0:
             return 0.0
-        import math
-
         rounds = math.ceil(math.log2(p))
         params = self._flow_params(gpus[0], gpus[-1], None, transport)
         return rounds * params.p2p(nbytes) * self._congestion_factor(gpus)
 
-    def broadcast(
+    def reduce(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+        algorithm: Optional[str] = None,
+    ) -> float:
+        """Policy-dispatched reduce to ``gpus[0]``."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        algo = algorithm or self.comm.select("reduce", p, nbytes,
+                                             transport=transport)
+        dispatch = {"binomial-tree": self.reduce_to_root}
+        try:
+            handler = dispatch[algo]
+        except KeyError:
+            raise ValueError(
+                f"no simulated schedule for reduce algorithm {algo!r}; "
+                f"have {sorted(dispatch)}"
+            ) from None
+        return handler(gpus, nbytes, transport)
+
+    def binomial_broadcast(
         self,
         gpus: Sequence[int],
         nbytes: float,
@@ -168,6 +446,51 @@ class CollectiveSimulator:
     ) -> float:
         """Binomial-tree broadcast from ``gpus[0]``."""
         return self.reduce_to_root(gpus, nbytes, transport)
+
+    def scatter_allgather_broadcast(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+    ) -> float:
+        """van de Geijn broadcast: binomial scatter of ``m/p`` chunks
+        (halving rounds, largest stride first) + ring Allgather."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        total = 0.0
+        for r, pairs in enumerate(reversed(self._xor_partner_rounds(p))):
+            edges = [(gpus[i], gpus[j]) for i, j in pairs]
+            total += self._round_worst_flow(
+                edges, nbytes / (1 << (r + 1)), transport)
+        total += (p - 1) * self._ring_step_time(gpus, nbytes / p, transport)
+        return total * self._congestion_factor(gpus)
+
+    def broadcast(
+        self,
+        gpus: Sequence[int],
+        nbytes: float,
+        transport: str = "nccl",
+        algorithm: Optional[str] = None,
+    ) -> float:
+        """Policy-dispatched broadcast from ``gpus[0]``."""
+        p = len(gpus)
+        if p <= 1 or nbytes <= 0:
+            return 0.0
+        algo = algorithm or self.comm.select("broadcast", p, nbytes,
+                                             transport=transport)
+        dispatch = {
+            "binomial-tree": self.binomial_broadcast,
+            "scatter-allgather": self.scatter_allgather_broadcast,
+        }
+        try:
+            handler = dispatch[algo]
+        except KeyError:
+            raise ValueError(
+                f"no simulated schedule for broadcast algorithm {algo!r}; "
+                f"have {sorted(dispatch)}"
+            ) from None
+        return handler(gpus, nbytes, transport)
 
     def p2p(
         self,

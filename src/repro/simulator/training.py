@@ -80,6 +80,12 @@ class SimulationOptions:
     framework_overhead_s: float = 2.0e-4
     delta: int = 4
     gamma: float = 0.5
+    #: Collective algorithm-selection policy shared with the oracle: a
+    #: policy name ("paper" / "auto" / "nccl-like") or a ready
+    #: :class:`~repro.collectives.selector.CommModel`.  The simulated
+    #: gradient exchange runs whatever algorithm the policy selects, so
+    #: oracle and simulator cannot disagree about what they cost.
+    comm: object = "paper"
 
 
 @dataclass
@@ -146,7 +152,9 @@ class TrainingSimulator:
         # congestion process is applied per-iteration at sampling time
         # (see _sample) so each of the `iterations` measurements draws its
         # own slowdown, as in the paper's Figure 6 scatter.
-        self.collsim = CollectiveSimulator(cluster, congestion=None)
+        self.collsim = CollectiveSimulator(
+            cluster, congestion=None, comm=self.options.comm
+        )
         self._rng = np.random.default_rng(self.options.seed)
 
     # ------------------------------------------------------------------ api
@@ -272,7 +280,7 @@ class TrainingSimulator:
         bw = sum(self.compute.backward_time(l, micro) for l in self.model)
         wu = sum(self.compute.weight_update_time(l) for l in self.model)
         wbytes = self.model.weight_elements * self.options.delta
-        ge = self.collsim.ring_allreduce(self._gpus(p), wbytes)
+        ge = self.collsim.allreduce(self._gpus(p), wbytes)
         return PhaseBreakdown(comp_fw=fw, comp_bw=bw, comp_wu=wu, comm_ge=ge), []
 
     def _sharded_data(self, strategy, B: int):
@@ -284,10 +292,11 @@ class TrainingSimulator:
         wu = sum(self.compute.weight_update_time(l) for l in self.model) / p
         gpus = self._gpus(p)
         wbytes = self.model.weight_elements * self.options.delta
-        # ReduceScatter ~ half an Allreduce, plus two weight Allgathers.
+        # Gradient ReduceScatter plus two weight Allgathers, each under
+        # the policy-selected algorithm (ring = half an Allreduce).
         ge = (
-            self.collsim.ring_allreduce(gpus, wbytes) / 2
-            + 2 * self.collsim.ring_allgather(gpus, wbytes / p)
+            self.collsim.reduce_scatter(gpus, wbytes)
+            + 2 * self.collsim.allgather(gpus, wbytes / p)
         )
         notes = ["ZeRO-style sharding: weights gathered fwd+bwd"]
         return PhaseBreakdown(
@@ -352,11 +361,11 @@ class TrainingSimulator:
         halo = self._halo_time(strategy.grid, B, gpus, split)
         # Aggregation Allgather before the tail (Section 4.5.1).
         boundary = split[-1]
-        agg = self.collsim.ring_allgather(
+        agg = self.collsim.allgather(
             gpus, B * boundary.output.elements * self.options.delta / p
         )
         wbytes = self.model.weight_elements * self.options.delta
-        ge = self.collsim.ring_allreduce(gpus, wbytes)
+        ge = self.collsim.allreduce(gpus, wbytes)
         notes = [f"spatial split through {boundary.name}"]
         return (
             PhaseBreakdown(
@@ -424,8 +433,8 @@ class TrainingSimulator:
             act_bytes = B * l.output.elements * self.options.delta
             # Forward share + backward share (Allgather + Allreduce or the
             # mirrored pair for channel — same ring volume either way).
-            comm += self.collsim.ring_allgather(gpus, act_bytes / p)
-            comm += self.collsim.ring_allreduce(gpus, act_bytes)
+            comm += self.collsim.allgather(gpus, act_bytes / p)
+            comm += self.collsim.allreduce(gpus, act_bytes)
         breakdown = PhaseBreakdown(
             comp_fw=fw + extra, comp_bw=bw, comp_wu=wu, comm_fb=comm
         )
@@ -452,8 +461,8 @@ class TrainingSimulator:
         layers = self.model.weighted_layers
         for l in layers[:-1]:
             act_bytes = group_batch * l.output.elements * self.options.delta
-            comm_fb += self.collsim.ring_allgather(group0, act_bytes / p2)
-            comm_fb += self.collsim.ring_allreduce(group0, act_bytes)
+            comm_fb += self.collsim.allgather(group0, act_bytes / p2)
+            comm_fb += self.collsim.allreduce(group0, act_bytes)
         # Segmented Allreduce: p2 concurrent rings, one per filter shard,
         # each over the p1 groups -> NIC contention emerges naturally.
         shard_bytes = self.model.weight_elements * self.options.delta / p2
@@ -476,17 +485,20 @@ class TrainingSimulator:
         wu = sum(self.compute.weight_update_time(l) for l in self.model)
         halo = self._halo_time(strategy.grid, group_batch, group0, split)
         boundary = split[-1]
-        agg = self.collsim.ring_allgather(
+        agg = self.collsim.allgather(
             group0,
             group_batch * boundary.output.elements * self.options.delta / p2,
         )
         # Hierarchical GE: intra-node reduce to the leader, Allreduce
-        # between the p1 leaders, broadcast back (Section 4.5.1).
+        # between the p1 leaders, broadcast back (Section 4.5.1) — each
+        # leg under the policy-selected algorithm, like the oracle's.
         wbytes = self.model.weight_elements * self.options.delta
         leaders = [j * p2 for j in range(p1)]
         ge = (
-            self.collsim.reduce_to_root(group0, wbytes)
-            + self.collsim.ring_allreduce(leaders, wbytes)
+            self.collsim.reduce(group0, wbytes)
+            # Leaders are one per node (non-packed): pin the inter-node
+            # scope so selection matches the oracle's pinned params.
+            + self.collsim.allreduce(leaders, wbytes, scope="inter-node")
             + self.collsim.broadcast(group0, wbytes)
         )
         breakdown = PhaseBreakdown(

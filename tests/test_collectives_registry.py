@@ -1,0 +1,191 @@
+"""Tests for the pluggable collective-algorithm registry."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CollectiveAlgorithm,
+    FormulaAlgorithm,
+    TopologyHint,
+    algorithms_for,
+    get_algorithm,
+    register,
+    registered,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.collectives.registry import (
+    COLLECTIVES,
+    HierarchicalAllreduce,
+    recursive_doubling_allgather_time,
+    recursive_doubling_allreduce_time,
+    recursive_halving_reduce_scatter_time,
+    scatter_allgather_broadcast_time,
+)
+from repro.network.hockney import HockneyParams
+
+PARAMS = HockneyParams(alpha=5e-6, beta=1e-10)
+
+
+class TestRegistry:
+    def test_builtin_catalogue(self):
+        keys = registered()
+        assert ("allreduce", "ring") in keys
+        assert ("allreduce", "tree") in keys
+        assert ("allreduce", "recursive-doubling") in keys
+        assert ("allreduce", "hierarchical") in keys
+        assert ("allgather", "ring") in keys
+        assert ("reduce_scatter", "recursive-halving") in keys
+        assert ("broadcast", "binomial-tree") in keys
+        assert ("reduce", "binomial-tree") in keys
+
+    def test_get_matches_seed_formulas(self):
+        ring = get_algorithm("allreduce", "ring")
+        assert ring.cost(16, 1e8, PARAMS) == ring_allreduce_time(
+            16, 1e8, PARAMS)
+        tree = get_algorithm("allreduce", "tree")
+        assert tree.cost(16, 1e4, PARAMS) == tree_allreduce_time(
+            16, 1e4, PARAMS)
+
+    def test_unknown_lookup_lists_catalogue(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_algorithm("allreduce", "does-not-exist")
+
+    def test_algorithms_for_sorted_and_validated(self):
+        names = [a.name for a in algorithms_for("allreduce")]
+        assert names == sorted(names)
+        with pytest.raises(ValueError, match="unknown collective"):
+            algorithms_for("alltoall")
+
+    def test_register_rejects_duplicates_and_bad_collectives(self):
+        algo = FormulaAlgorithm("reduce", "test-dup", lambda p, m, h: 0.0)
+        register(algo)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register(FormulaAlgorithm(
+                    "reduce", "test-dup", lambda p, m, h: 1.0))
+            # overwrite=True replaces in place
+            register(FormulaAlgorithm(
+                "reduce", "test-dup", lambda p, m, h: 1.0), overwrite=True)
+            assert get_algorithm("reduce", "test-dup").cost(2, 1, PARAMS) == 1.0
+        finally:
+            from repro.collectives import registry as reg
+            reg._REGISTRY.pop(("reduce", "test-dup"), None)
+        with pytest.raises(ValueError, match="unknown collective"):
+            FormulaAlgorithm("alltoall", "x", lambda p, m, h: 0.0)
+
+    def test_protocol_default_supports(self):
+        class Dummy(CollectiveAlgorithm):
+            collective = "reduce"
+            name = "dummy"
+
+        assert Dummy().supports(4, 1e6)
+        assert not FormulaAlgorithm(
+            "reduce", "x", lambda p, m, h: 0.0).supports(0, 1e6)
+
+
+class TestNewFormulas:
+    def test_recursive_doubling_allreduce(self):
+        # ceil(log2 p) rounds of the full message.
+        t = recursive_doubling_allreduce_time(8, 1e6, PARAMS)
+        assert t == pytest.approx(3 * (PARAMS.alpha + 1e6 * PARAMS.beta))
+        assert recursive_doubling_allreduce_time(1, 1e6, PARAMS) == 0.0
+
+    def test_recursive_doubling_latency_beats_ring_small_messages(self):
+        # log2(p) alpha rounds vs 2(p-1): wins for tiny messages, large p.
+        p, m = 512, 1024
+        assert recursive_doubling_allreduce_time(p, m, PARAMS) < \
+            ring_allreduce_time(p, m, PARAMS)
+
+    def test_ring_bandwidth_beats_recursive_doubling_large_messages(self):
+        p, m = 64, 1e9
+        assert ring_allreduce_time(p, m, PARAMS) < \
+            recursive_doubling_allreduce_time(p, m, PARAMS)
+
+    def test_recursive_halving_reduce_scatter_volume(self):
+        p, m = 16, 1e6
+        t = recursive_halving_reduce_scatter_time(p, m, PARAMS)
+        assert t == pytest.approx(
+            4 * PARAMS.alpha + (p - 1) / p * m * PARAMS.beta)
+        # Same bandwidth volume as the ring, logarithmic latency.
+        from repro.collectives import ring_reduce_scatter_time
+        ring = ring_reduce_scatter_time(p, m, PARAMS)
+        assert t < ring
+
+    def test_recursive_doubling_allgather(self):
+        p, seg = 8, 1e5
+        t = recursive_doubling_allgather_time(p, seg, PARAMS)
+        assert t == pytest.approx(
+            3 * PARAMS.alpha + (p - 1) * seg * PARAMS.beta)
+
+    def test_scatter_allgather_broadcast(self):
+        p, m = 16, 1e8
+        t = scatter_allgather_broadcast_time(p, m, PARAMS)
+        expected = (4 + 15) * PARAMS.alpha + 2 * 15 / 16 * m * PARAMS.beta
+        assert t == pytest.approx(expected)
+        # Beats binomial (log2(p) full-message sends) for large messages.
+        from repro.collectives import broadcast_time
+        assert t < broadcast_time(p, m, PARAMS)
+
+
+class TestHierarchicalAllreduce:
+    TOPO = TopologyHint(
+        intra=HockneyParams(alpha=2e-6, beta=5e-11),
+        inter=HockneyParams(alpha=1e-5, beta=8e-11),
+        gpus_per_node=4,
+    )
+
+    def test_eligibility(self):
+        h = HierarchicalAllreduce()
+        assert h.supports(16, 1e8, self.TOPO)
+        assert not h.supports(16, 1e8, None)          # needs topology
+        assert not h.supports(4, 1e8, self.TOPO)      # fits in one node
+        assert not h.supports(6, 1e8, self.TOPO)      # partial node
+
+    def test_cost_composition(self):
+        from repro.collectives import (
+            broadcast_time, reduce_time, ring_allreduce_time)
+        h = HierarchicalAllreduce()
+        got = h.cost(16, 1e8, PARAMS, self.TOPO)
+        expected = (
+            reduce_time(4, 1e8, self.TOPO.intra)
+            + ring_allreduce_time(4, 1e8, self.TOPO.inter)
+            + broadcast_time(4, 1e8, self.TOPO.intra)
+        )
+        assert got == pytest.approx(expected)
+
+    def test_cost_without_topo_raises(self):
+        with pytest.raises(ValueError, match="TopologyHint"):
+            HierarchicalAllreduce().cost(16, 1e8, PARAMS, None)
+
+
+class TestCrossoverProperties:
+    @given(
+        p=st.sampled_from([4, 16, 64, 256, 1024]),
+        nbytes=st.floats(min_value=64.0, max_value=1e9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_algorithm_nonnegative_and_free_for_singletons(
+        self, p, nbytes
+    ):
+        topo = TestHierarchicalAllreduce.TOPO
+        for collective in COLLECTIVES:
+            for algo in algorithms_for(collective):
+                if not algo.supports(p, nbytes, topo):
+                    continue
+                assert algo.cost(p, nbytes, PARAMS, topo) >= 0.0
+
+    def test_tree_beats_ring_for_small_messages_at_large_p(self):
+        for p in (128, 512, 1024):
+            assert tree_allreduce_time(p, 16e3, PARAMS) < \
+                ring_allreduce_time(p, 16e3, PARAMS)
+
+    def test_ring_beats_tree_for_large_messages(self):
+        # (At p = 8 with k = 4 chunks the two schedules tie exactly:
+        # both run 14 steps of m/8 bytes; ring pulls ahead beyond that.)
+        for p in (64, 512):
+            assert ring_allreduce_time(p, 1e9, PARAMS) < \
+                tree_allreduce_time(p, 1e9, PARAMS)

@@ -1,0 +1,182 @@
+"""DES step-schedules for the registered algorithms match the analytic
+forms and follow the shared CommModel's selection."""
+
+import pytest
+
+from repro.collectives import CommModel
+from repro.collectives.registry import (
+    recursive_doubling_allreduce_time,
+    recursive_halving_reduce_scatter_time,
+)
+from repro.collectives import (
+    ring_allreduce_time,
+    ring_reduce_scatter_time,
+    tree_allreduce_time,
+)
+from repro.network.topology import abci_like_cluster
+from repro.simulator.collectives_sim import CollectiveSimulator
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return abci_like_cluster(64)
+
+
+@pytest.fixture(scope="module")
+def sim(cluster):
+    return CollectiveSimulator(cluster)
+
+
+class TestSchedulesMatchAnalytic:
+    """On an intra-node set the paths are uniform NVLink, so the simulated
+    schedules must land on the analytic closed forms."""
+
+    def test_tree_allreduce(self, sim, cluster):
+        gpus, nbytes = [0, 1, 2, 3], 1e6
+        got = sim.tree_allreduce(gpus, nbytes)
+        want = tree_allreduce_time(4, nbytes, cluster.hockney(4))
+        assert got == pytest.approx(want, rel=0.05)
+
+    def test_recursive_doubling_allreduce(self, sim, cluster):
+        gpus, nbytes = [0, 1, 2, 3], 1e6
+        got = sim.recursive_doubling_allreduce(gpus, nbytes)
+        want = recursive_doubling_allreduce_time(
+            4, nbytes, cluster.hockney(4))
+        assert got == pytest.approx(want, rel=0.05)
+
+    def test_recursive_halving_reduce_scatter(self, sim, cluster):
+        gpus, nbytes = [0, 1, 2, 3], 4e6
+        got = sim.recursive_halving_reduce_scatter(gpus, nbytes)
+        want = recursive_halving_reduce_scatter_time(
+            4, nbytes, cluster.hockney(4))
+        assert got == pytest.approx(want, rel=0.05)
+
+    def test_ring_reduce_scatter(self, sim, cluster):
+        gpus, nbytes = list(range(16)), 64e6
+        got = sim.ring_reduce_scatter(gpus, nbytes)
+        want = ring_reduce_scatter_time(16, nbytes, cluster.hockney(16))
+        assert got == pytest.approx(want, rel=0.05)
+
+    def test_hierarchical_allreduce_composition(self, sim):
+        gpus, nbytes = list(range(16)), 1e7
+        groups = [gpus[i:i + 4] for i in range(0, 16, 4)]
+        leaders = [g[0] for g in groups]
+        expected = (
+            max(sim.reduce_to_root(g, nbytes) for g in groups)
+            + sim.ring_allreduce(leaders, nbytes)
+            + max(sim.broadcast(g, nbytes) for g in groups)
+        )
+        assert sim.hierarchical_allreduce(gpus, nbytes) == \
+            pytest.approx(expected)
+
+    def test_trivial_cases_zero(self, sim):
+        assert sim.tree_allreduce([0], 1e6) == 0.0
+        assert sim.recursive_doubling_allreduce([0, 1], 0.0) == 0.0
+        assert sim.allreduce([0], 1e6) == 0.0
+        assert sim.reduce_scatter([3], 1e6) == 0.0
+        assert sim.allgather([2], 1e6) == 0.0
+
+
+class TestPolicyDispatch:
+    def test_paper_policy_dispatches_to_ring(self, cluster):
+        sim = CollectiveSimulator(cluster, comm="paper")
+        gpus, nbytes = list(range(8)), 32e6
+        assert sim.allreduce(gpus, nbytes) == sim.ring_allreduce(gpus, nbytes)
+        assert sim.allgather(gpus, nbytes) == sim.ring_allgather(gpus, nbytes)
+        assert sim.reduce_scatter(gpus, nbytes) == \
+            sim.ring_reduce_scatter(gpus, nbytes)
+
+    def test_nccl_like_switches_on_message_size(self, cluster):
+        comm = CommModel(cluster, "nccl-like")
+        sim = CollectiveSimulator(cluster, comm=comm)
+        gpus = list(range(8))
+        small, large = 16e3, 100e6
+        assert comm.select("allreduce", 8, large) == "ring"
+        assert sim.allreduce(gpus, large) == sim.ring_allreduce(gpus, large)
+        small_algo = comm.select("allreduce", 8, small)
+        if small_algo == "tree":
+            assert sim.allreduce(gpus, small) == \
+                sim.tree_allreduce(gpus, small)
+
+    def test_explicit_algorithm_overrides_policy(self, cluster):
+        sim = CollectiveSimulator(cluster, comm="paper")
+        gpus, nbytes = list(range(16)), 1e6
+        forced = sim.allreduce(gpus, nbytes, algorithm="recursive-doubling")
+        assert forced == sim.recursive_doubling_allreduce(gpus, nbytes)
+        with pytest.raises(ValueError, match="no simulated schedule"):
+            sim.allreduce(gpus, nbytes, algorithm="wormhole")
+
+    def test_simulator_and_oracle_agree_on_selection(self, cluster):
+        """The acceptance seam: DES runs whatever the shared CommModel
+        picked, so the two layers cannot cost different algorithms."""
+        comm = CommModel(cluster, "auto")
+        sim = CollectiveSimulator(cluster, comm=comm)
+        for nbytes in (256.0, 64e3, 8e6, 512e6):
+            algo = comm.select("allreduce", 16, nbytes)
+            dispatched = sim.allreduce(list(range(16)), nbytes)
+            named = sim.allreduce(list(range(16)), nbytes, algorithm=algo)
+            assert dispatched == named
+
+
+class TestBroadcastReduceDispatch:
+    def test_paper_broadcast_is_binomial(self, cluster):
+        sim = CollectiveSimulator(cluster, comm="paper")
+        gpus, nbytes = [0, 1, 2, 3], 1e7
+        assert sim.broadcast(gpus, nbytes) == \
+            sim.binomial_broadcast(gpus, nbytes)
+        assert sim.reduce(gpus, nbytes) == sim.reduce_to_root(gpus, nbytes)
+
+    def test_auto_broadcast_follows_selection(self, cluster):
+        comm = CommModel(cluster, "auto")
+        sim = CollectiveSimulator(cluster, comm=comm)
+        gpus, nbytes = [0, 1, 2, 3], 1e8
+        algo = comm.select("broadcast", 4, nbytes)
+        assert sim.broadcast(gpus, nbytes) == \
+            sim.broadcast(gpus, nbytes, algorithm=algo)
+        # scatter-allgather schedule exists and beats binomial for large m
+        # on uniform links, mirroring the analytic crossover.
+        assert sim.scatter_allgather_broadcast(gpus, nbytes) < \
+            sim.binomial_broadcast(gpus, nbytes)
+
+    def test_data_spatial_ge_follows_policy(self, cluster):
+        """The ds hierarchical gradient exchange runs policy-selected legs
+        (the oracle/simulator agreement the seam guarantees)."""
+        from repro.models import toy_cnn
+        from repro.simulator import SimulationOptions, TrainingSimulator
+        from repro.core.strategies import DataSpatialParallel
+
+        model = toy_cnn()
+        strategy = DataSpatialParallel(groups=4, grid=(2, 2))
+        runs = {}
+        for policy in ("paper", "auto"):
+            sim = TrainingSimulator(
+                model, cluster,
+                options=SimulationOptions(iterations=3, comm=policy))
+            runs[policy] = sim.run(strategy, 64, 512)
+        assert runs["auto"].breakdown.comm_ge <= \
+            runs["paper"].breakdown.comm_ge * (1 + 1e-9)
+
+
+class TestTrainingSimulatorCommOption:
+    def test_paper_run_unchanged_and_auto_not_slower_on_ge(self):
+        from repro.models import toy_cnn
+        from repro.simulator import SimulationOptions, TrainingSimulator
+        from repro.core.strategies import DataParallel
+
+        model = toy_cnn()
+        cluster = abci_like_cluster(16)
+        base = TrainingSimulator(
+            model, cluster, options=SimulationOptions(iterations=5))
+        paper = TrainingSimulator(
+            model, cluster,
+            options=SimulationOptions(iterations=5, comm="paper"))
+        auto = TrainingSimulator(
+            model, cluster,
+            options=SimulationOptions(iterations=5, comm="auto"))
+        strategy = DataParallel(16)
+        r_base = base.run(strategy, 64, 1024)
+        r_paper = paper.run(strategy, 64, 1024)
+        r_auto = auto.run(strategy, 64, 1024)
+        assert r_paper.breakdown.comm_ge == r_base.breakdown.comm_ge
+        assert r_auto.breakdown.comm_ge <= \
+            r_paper.breakdown.comm_ge * (1 + 1e-9)

@@ -1,0 +1,159 @@
+"""Golden tests: the ``paper`` comm policy reproduces the seed projections.
+
+``tests/data/golden_projections_seed.json`` was captured from the
+pre-refactor analytical model (every strategy in the zoo at its
+suggest-default batch).  After extracting the collective layer, the
+default ``paper`` policy must reproduce those numbers exactly — the only
+tolerated difference is floating-point reassociation noise (the seed
+inlined some ring formulas as ``3(p-1)(alpha + m beta)`` which the
+refactor composes from an Allgather plus an Allreduce), hence the
+1e-9 relative bound instead of strict equality.
+
+The same fixtures also pin the acceptance property for ``auto``:
+projected communication time is never worse than the ring-only
+projection, for every strategy in the zoo.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.calibration import profile_model
+from repro.core.oracle import ParaDL
+from repro.core.strategies import Serial, strategy_from_id
+from repro.data import DATASETS
+from repro.models import build_model
+from repro.network.topology import abci_like_cluster
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_projections_seed.json")
+
+with open(GOLDEN_PATH) as fh:
+    GOLDEN = json.load(fh)
+
+_ORACLES = {}
+
+
+def _oracle_for(model_name: str, p: int):
+    key = (model_name, p)
+    if key not in _ORACLES:
+        ds_name = "imagenet" if model_name != "cosmoflow" else "cosmoflow256"
+        dataset = DATASETS[ds_name]
+        input_spec = (
+            dataset.sample
+            if model_name == "cosmoflow" and dataset.sample.ndim == 3
+            else None
+        )
+        model = build_model(model_name, input_spec)
+        cluster = abci_like_cluster(max(p, 4))
+        profile = profile_model(model, samples_per_pe=32)
+        _ORACLES[key] = (ParaDL(model, cluster, profile), model, cluster)
+    return _ORACLES[key]
+
+
+def _parse(key: str):
+    model_name, sid, ps, bs, ds = key.split(":")
+    return (model_name, sid, int(ps.split("=")[1]),
+            int(bs.split("=")[1]), int(ds.split("=")[1]))
+
+
+def _project(key: str, comm=None):
+    model_name, sid, p, B, D = _parse(key)
+    oracle, model, cluster = _oracle_for(model_name, p)
+    if sid == "serial":
+        return oracle.analytical.project(Serial(), B, D, comm=comm)
+    strategy = strategy_from_id(
+        sid, p, model, max(p, B), segments=4, intra=cluster.node.gpus)
+    return oracle.analytical.project(strategy, B, D, comm=comm)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_paper_policy_reproduces_seed_projection(key):
+    want = GOLDEN[key]
+    proj = _project(key)
+    assert proj.comm_policy == "paper"
+    got = proj.per_epoch.asdict()
+    for field, value in want["per_epoch"].items():
+        assert got[field] == pytest.approx(value, rel=1e-9, abs=1e-15), field
+    assert proj.memory_bytes == pytest.approx(
+        want["memory_bytes"], rel=1e-9)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_auto_policy_communication_never_worse_than_ring(key):
+    paper = _project(key, comm="paper")
+    auto = _project(key, comm="auto")
+    assert auto.comm_policy == "auto"
+    # Identical compute, communication at most the ring-only cost.
+    assert auto.per_epoch.computation == pytest.approx(
+        paper.per_epoch.computation)
+    assert auto.per_epoch.communication <= \
+        paper.per_epoch.communication * (1 + 1e-12)
+    assert auto.per_epoch.total <= paper.per_epoch.total * (1 + 1e-12)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_nccl_like_policy_never_worse_than_ring(key):
+    paper = _project(key, comm="paper")
+    nccl = _project(key, comm="nccl-like")
+    assert nccl.per_epoch.communication <= \
+        paper.per_epoch.communication * (1 + 1e-12)
+
+
+def test_projections_record_chosen_algorithms():
+    key = next(k for k in GOLDEN if ":d:" in k)
+    proj = _project(key)
+    assert dict(proj.comm_algorithms) == {"ge": "allreduce:ring"}
+    serial_key = next(k for k in GOLDEN if ":serial:" in k)
+    assert _project(serial_key).comm_algorithms == ()
+
+
+def test_inference_projection_carries_comm_metadata():
+    key = next(k for k in GOLDEN if ":f:" in k)
+    model_name, sid, p, B, D = _parse(key)
+    oracle, model, cluster = _oracle_for(model_name, p)
+    strategy = strategy_from_id(sid, p, model, max(p, B), segments=4,
+                                intra=cluster.node.gpus)
+    proj = oracle.analytical.project_inference(strategy, B, D, comm="auto")
+    assert proj.comm_policy == "auto"
+    algos = dict(proj.comm_algorithms)
+    # Only collectives the forward-only projection contains: the gradient
+    # exchange vanished and fb shrank to the Allgather leg.
+    assert "ge" not in algos
+    assert algos["fb"].startswith("allgather:")
+
+
+@pytest.mark.parametrize("sid", ["f", "c", "df"])
+def test_inference_forward_share_under_each_policy(sid):
+    """The inference comm_fb is the *forward* leg of the layer-wise
+    collectives: the Allgather (1/3 of the ring total) for filter-style
+    splits, the Allreduce (2/3 — patterns reversed, Eq. 17-19) for
+    channel; under auto it is re-costed and never exceeds the ring leg."""
+    key = next(k for k in GOLDEN if f":{sid}:" in k)
+    model_name, _, p, B, D = _parse(key)
+    oracle, model, cluster = _oracle_for(model_name, p)
+    strategy = strategy_from_id(sid, p, model, max(p, B), segments=4,
+                                intra=cluster.node.gpus)
+    train = oracle.analytical.project(strategy, B, D)
+    paper = oracle.analytical.project_inference(strategy, B, D)
+    share = 2.0 / 3.0 if sid == "c" else 1.0 / 3.0
+    assert paper.per_epoch.comm_fb == pytest.approx(
+        train.per_epoch.comm_fb * share, rel=1e-9)
+    forward_coll = "allreduce" if sid == "c" else "allgather"
+    assert dict(paper.comm_algorithms)["fb"].startswith(forward_coll)
+    auto = oracle.analytical.project_inference(strategy, B, D, comm="auto")
+    assert 0 < auto.per_epoch.comm_fb <= \
+        paper.per_epoch.comm_fb * (1 + 1e-12)
+
+
+def test_forced_algorithm_shows_up_in_breakdown():
+    key = next(k for k in GOLDEN if ":d:" in k)
+    model_name, sid, p, B, D = _parse(key)
+    oracle, model, cluster = _oracle_for(model_name, p)
+    from repro.collectives import CommModel
+
+    comm = CommModel(cluster, "paper",
+                     algo={"allreduce": "recursive-doubling"})
+    proj = _project(key, comm=comm)
+    assert dict(proj.comm_algorithms)["ge"] == "allreduce:recursive-doubling"

@@ -1,0 +1,198 @@
+"""Tests for the policy-driven, topology-aware CommModel selector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CommModel,
+    PAPER_DEFAULTS,
+    POLICIES,
+    algorithms_for,
+    as_comm_model,
+    broadcast_time,
+    reduce_time,
+    ring_allgather_time,
+    ring_allreduce_time,
+    ring_reduce_scatter_time,
+    tree_allreduce_time,
+)
+from repro.network.topology import abci_like_cluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return abci_like_cluster(64)
+
+
+class TestConstruction:
+    def test_rejects_unknown_policy(self, cluster):
+        with pytest.raises(ValueError, match="unknown comm policy"):
+            CommModel(cluster, policy="fastest")
+
+    def test_rejects_unknown_forced_algorithm(self, cluster):
+        with pytest.raises(KeyError, match="registered"):
+            CommModel(cluster, algo={"allreduce": "wormhole"})
+
+    def test_as_comm_model_coercions(self, cluster):
+        assert as_comm_model(None, cluster).policy == "paper"
+        assert as_comm_model("auto", cluster).policy == "auto"
+        m = CommModel(cluster, "nccl-like")
+        assert as_comm_model(m, cluster) is m
+
+
+class TestPaperPolicy:
+    """``paper`` must reproduce the seed's fixed ring/binomial costs."""
+
+    @pytest.mark.parametrize("p,nbytes", [(4, 1e4), (16, 1e6), (64, 1e8)])
+    def test_matches_seed_ring_formulas(self, cluster, p, nbytes):
+        comm = CommModel(cluster, "paper")
+        params = cluster.hockney(p)
+        assert comm.time("allreduce", p, nbytes) == \
+            ring_allreduce_time(p, nbytes, params)
+        assert comm.time("allgather", p, nbytes) == \
+            ring_allgather_time(p, nbytes, params)
+        assert comm.time("reduce_scatter", p, nbytes) == \
+            ring_reduce_scatter_time(p, nbytes, params)
+        assert comm.time("broadcast", p, nbytes) == \
+            broadcast_time(p, nbytes, params)
+        assert comm.time("reduce", p, nbytes) == \
+            reduce_time(p, nbytes, params)
+
+    def test_defaults_table(self, cluster):
+        comm = CommModel(cluster, "paper")
+        for collective, algo in PAPER_DEFAULTS.items():
+            assert comm.choose(collective, 16, 1e6).algorithm == algo
+
+    def test_singleton_and_empty_are_free(self, cluster):
+        comm = CommModel(cluster, "paper")
+        assert comm.choose("allreduce", 1, 1e6).seconds == 0.0
+        assert comm.choose("allreduce", 16, 0.0).seconds == 0.0
+
+
+class TestAutoPolicy:
+    @given(
+        p=st.sampled_from([2, 4, 8, 16, 32, 64]),
+        nbytes=st.floats(min_value=1.0, max_value=1e9),
+        collective=st.sampled_from(sorted(PAPER_DEFAULTS)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_auto_never_worse_than_any_fixed_algorithm(
+        self, p, nbytes, collective
+    ):
+        cluster = abci_like_cluster(64)
+        comm = CommModel(cluster, "auto")
+        choice = comm.choose(collective, p, nbytes)
+        params = cluster.hockney(p)
+        topo = comm.topology_hint(p)
+        for algo in algorithms_for(collective):
+            if not algo.supports(p, nbytes, topo):
+                continue
+            assert choice.seconds <= algo.cost(p, nbytes, params, topo) \
+                * (1 + 1e-12)
+
+    def test_auto_at_most_paper(self, cluster):
+        auto = CommModel(cluster, "auto")
+        paper = CommModel(cluster, "paper")
+        for p in (2, 8, 16, 64):
+            for nbytes in (1e2, 1e4, 1e6, 1e8):
+                for collective in PAPER_DEFAULTS:
+                    assert auto.time(collective, p, nbytes) <= \
+                        paper.time(collective, p, nbytes) * (1 + 1e-12)
+
+    def test_auto_picks_latency_algorithms_for_tiny_messages(self, cluster):
+        comm = CommModel(cluster, "auto")
+        choice = comm.choose("allreduce", 64, 256)
+        assert choice.algorithm != "ring"
+
+    def test_hierarchical_only_for_packed_whole_machine_scope(self, cluster):
+        comm = CommModel(cluster, "auto")
+        assert comm.topology_hint(4) is None          # fits in a node
+        assert comm.topology_hint(16) is not None
+        # Pinned scopes never consider topology-aware algorithms.
+        params = cluster.hockney(16)
+        c = comm.choose("allreduce", 16, 1e6, params=params,
+                        scope="inter-node")
+        assert c.algorithm != "hierarchical"
+
+
+class TestNcclLikePolicy:
+    def test_threshold_switch(self, cluster):
+        comm = CommModel(cluster, "nccl-like")
+        small = comm.choose("allreduce", 64, 16e3)
+        large = comm.choose("allreduce", 64, 100e6)
+        assert small.algorithm in ("tree", "ring")
+        params = cluster.hockney(64)
+        assert small.seconds == pytest.approx(min(
+            tree_allreduce_time(64, 16e3, params),
+            ring_allreduce_time(64, 16e3, params),
+        ))
+        assert large.algorithm == "ring"
+
+    def test_non_allreduce_uses_paper_defaults(self, cluster):
+        comm = CommModel(cluster, "nccl-like")
+        assert comm.choose("allgather", 16, 1e3).algorithm == "ring"
+        assert comm.choose("broadcast", 16, 1e3).algorithm == "binomial-tree"
+
+
+class TestForcedAlgorithms:
+    def test_forced_algorithm_wins(self, cluster):
+        comm = CommModel(cluster, "paper",
+                         algo={"allreduce": "recursive-doubling"})
+        assert comm.choose("allreduce", 16, 1e8).algorithm == \
+            "recursive-doubling"
+        # Other collectives keep the policy default.
+        assert comm.choose("allgather", 16, 1e8).algorithm == "ring"
+
+    def test_unsupported_forced_falls_back_to_policy(self, cluster):
+        comm = CommModel(cluster, "paper",
+                         algo={"allreduce": "hierarchical"})
+        # p=4 fits inside a node -> hierarchical ineligible -> ring.
+        assert comm.choose("allreduce", 4, 1e6).algorithm == "ring"
+        # p=16 spans nodes -> the forced pick applies.
+        assert comm.choose("allreduce", 16, 1e6).algorithm == "hierarchical"
+
+
+class TestScopesAndErrors:
+    def test_scope_params_intra_node_clamped(self, cluster):
+        intra = cluster.hockney_intra(16)
+        assert intra == cluster.hockney(cluster.node.gpus)
+        assert cluster.hockney_intra(1, floor=2) == cluster.hockney(2)
+        with pytest.raises(ValueError, match="floor"):
+            cluster.hockney_intra(4, floor=0)
+
+    def test_inter_node_scope_always_resolves_fabric_params(self, cluster):
+        comm = CommModel(cluster)
+        # Even for a communicator smaller than a node, the pinned
+        # inter-node scope must see NIC/fabric (not NVLink) parameters.
+        inter = comm.scope_params(2, scope="inter-node")
+        assert inter == cluster.hockney(cluster.node.gpus + 1)
+        single = abci_like_cluster(4)
+        with pytest.raises(ValueError, match="no inter-node scope"):
+            CommModel(single).scope_params(2, scope="inter-node")
+
+    def test_unknown_scope_and_collective(self, cluster):
+        comm = CommModel(cluster)
+        with pytest.raises(ValueError, match="unknown scope"):
+            comm.scope_params(4, scope="planet")
+        with pytest.raises(ValueError, match="unknown collective"):
+            comm.choose("alltoall", 4, 1e6)
+
+    def test_p2p(self, cluster):
+        comm = CommModel(cluster)
+        params = cluster.hockney(2)
+        assert comm.p2p(1e6, params=params) == params.p2p(1e6)
+        assert comm.p2p(1e6, p=2) == params.p2p(1e6)
+        with pytest.raises(ValueError):
+            comm.p2p(-1.0, params=params)
+
+    def test_fingerprint_distinguishes_policies_and_forces(self, cluster):
+        a = CommModel(cluster, "paper")
+        b = CommModel(cluster, "auto")
+        c = CommModel(cluster, "paper", algo={"allreduce": "tree"})
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+        assert a.describe() == "paper"
+        assert "allreduce=tree" in c.describe()
+
+    def test_all_policies_enumerated(self):
+        assert set(POLICIES) == {"paper", "auto", "nccl-like"}
