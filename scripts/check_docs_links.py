@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Verify that relative links in README.md and docs/*.md resolve.
+
+Scans markdown files for ``[text](target)`` links, ignores external
+schemes (http/https/mailto) and pure in-page anchors, and checks that
+every remaining target exists relative to the file that references it
+(fragments are stripped before checking).  Exit code 1 lists every
+broken link — the CI docs job gates on this.
+
+Usage::
+
+    python scripts/check_docs_links.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: Inline markdown links; deliberately simple — no nested parens in
+#: any target this repo uses.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: str) -> Iterator[str]:
+    readme = os.path.join(root, "README.md")
+    if os.path.exists(readme):
+        yield readme
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def broken_links(path: str) -> List[Tuple[int, str]]:
+    """(line number, target) for every unresolvable relative link."""
+    out: List[Tuple[int, str]] = []
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                if not os.path.exists(os.path.join(base, relative)):
+                    out.append((lineno, target))
+    return out
+
+
+def main(argv: List[str]) -> int:
+    root = argv[1] if len(argv) > 1 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir)
+    failures = 0
+    checked = 0
+    for path in doc_files(root):
+        checked += 1
+        for lineno, target in broken_links(path):
+            print(f"{os.path.relpath(path, root)}:{lineno}: "
+                  f"broken link -> {target}")
+            failures += 1
+    if not checked:
+        print("no markdown files found to check", file=sys.stderr)
+        return 1
+    print(f"checked {checked} files: "
+          + ("OK" if not failures else f"{failures} broken links"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -13,11 +13,18 @@ Public API tour
 
 Instead of projecting one hand-picked configuration, let the search
 subsystem sweep the whole space (strategies x hybrid factorizations x PE
-budgets x batches x micro-batches) with pruning, a persistent projection
-cache, and multi-objective ranking:
+budgets x batches x micro-batches x comm policies) with pruning, a
+persistent projection cache, and multi-objective ranking:
 
 >>> report = oracle.search(64, IMAGENET, cache="plan.json")  # doctest: +SKIP
 >>> report.best.describe(), [e.describe() for e in report.frontier]  # doctest: +SKIP
+
+Or plan a whole model zoo at once — one process-pool search per model,
+per-model projection caches in a shared directory, consolidated
+frontier reports:
+
+>>> report = ParaDL.sweep(["resnet50", "vgg16"], IMAGENET, pes=64,
+...                       cache_dir="plan-cache", report_dir="reports")  # doctest: +SKIP
 
 Packages
 --------
@@ -26,8 +33,9 @@ Packages
     calibration, limitation detection.
 ``repro.search``
     Automated strategy search: declarative candidate spaces, feasibility
-    pruning, cached parallel evaluation, Pareto frontiers
-    (``python -m repro search`` on the command line).
+    pruning, cached thread-/process-pool evaluation, Pareto frontiers,
+    and the multi-model sweep orchestrator (``python -m repro search`` /
+    ``python -m repro sweep`` on the command line).
 ``repro.models``
     ResNet-50/152, VGG16, CosmoFlow, AlexNet, toy test CNNs.
 ``repro.network``

@@ -13,6 +13,9 @@ the time and resources to provision").  This CLI exposes those workflows:
    python -m repro search   --model resnet50 -p 64 --cache plan-cache.json
    python -m repro search   --model resnet50 -p 64 --comm-policy paper,auto \
                             --stream --frontier-csv frontier.csv
+   python -m repro sweep    --models resnet50,resnet152,vgg16 -p 64 \
+                            --executor process --cache-dir plan-cache \
+                            --report reports/
    python -m repro project  --model resnet50 --strategy z -p 64 \
                             --comm-policy auto --json
    python -m repro simulate --model resnet50 --strategy d -p 64 --batch 2048
@@ -21,8 +24,11 @@ the time and resources to provision").  This CLI exposes those workflows:
 
 Every command prints plain-text tables (see :mod:`repro.harness.reporting`)
 and returns a non-zero exit code on infeasible/failed configurations.
-``project``, ``suggest``, ``hybrid``, and ``search`` accept ``--json`` for
-machine-readable output.
+``project``, ``suggest``, ``hybrid``, ``search``, and ``sweep`` accept
+``--json`` for machine-readable output.  Under ``--json``, ``--stream``
+rows go to *stderr* so stdout stays a single parseable JSON document;
+without ``--json`` they are printed to stdout, flushed line-by-line, so
+piped consumers see anytime results as they land.
 """
 
 from __future__ import annotations
@@ -56,9 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--model", default="resnet50",
-                       choices=sorted(MODEL_BUILDERS))
+    def common(p: argparse.ArgumentParser, model: bool = True) -> None:
+        if model:
+            p.add_argument("--model", default="resnet50",
+                           choices=sorted(MODEL_BUILDERS))
         p.add_argument("-p", "--pes", type=int, default=64,
                        help="number of processing elements (GPUs)")
         p.add_argument("--dataset", default="imagenet",
@@ -68,6 +75,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="memory-reuse factor")
         p.add_argument("--optimizer", default="sgd",
                        choices=("sgd", "momentum", "adam"))
+
+    def search_flags(
+        p: argparse.ArgumentParser, default_executor: str = "thread"
+    ) -> None:
+        """Space + engine flags shared by ``search`` and ``sweep``."""
+        p.add_argument("--strategies", default=None,
+                       help="comma-separated strategy ids (default: all)")
+        p.add_argument("--pe-sweep", action="store_true",
+                       help="sweep power-of-two PE budgets up to -p")
+        p.add_argument("--segments", default="2,4,8",
+                       help="pipeline micro-batch counts to try")
+        p.add_argument("--workers", type=int, default=None,
+                       help="evaluation worker-pool width")
+        p.add_argument("--executor", default=default_executor,
+                       choices=("thread", "process"),
+                       help="evaluation backend: GIL-bound threads or a "
+                            "process pool that projects across cores "
+                            f"(default: {default_executor})")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared cross-model cache directory (one "
+                            "fingerprinted file per model/cluster)")
+        p.add_argument("--weights", default=None,
+                       help="scalarization weights, e.g. "
+                            "'epoch_time=1,memory=0.2,pes=0.1'")
+        p.add_argument("--stream", action="store_true",
+                       help="anytime search: print frontier rows "
+                            "incrementally, flushed line-by-line "
+                            "(to stderr under --json so stdout stays "
+                            "parseable)")
 
     def json_flag(p: argparse.ArgumentParser) -> None:
         p.add_argument("--json", action="store_true",
@@ -118,28 +154,37 @@ def build_parser() -> argparse.ArgumentParser:
         "search",
         help="automated strategy search: pruning + cache + Pareto frontier")
     common(srch)
-    srch.add_argument("--strategies", default=None,
-                      help="comma-separated strategy ids (default: all)")
-    srch.add_argument("--pe-sweep", action="store_true",
-                      help="sweep power-of-two PE budgets up to -p")
-    srch.add_argument("--segments", default="2,4,8",
-                      help="pipeline micro-batch counts to try")
-    srch.add_argument("--workers", type=int, default=None,
-                      help="evaluation worker-pool width")
+    search_flags(srch)
     srch.add_argument("--cache", default=None, metavar="PATH",
                       help="persistent projection-cache JSON file")
     srch.add_argument("--top", type=int, default=10,
                       help="frontier rows to print")
-    srch.add_argument("--weights", default=None,
-                      help="scalarization weights, e.g. "
-                           "'epoch_time=1,memory=0.2,pes=0.1'")
-    srch.add_argument("--stream", action="store_true",
-                      help="anytime search: print frontier rows "
-                           "incrementally as evaluations complete")
     srch.add_argument("--frontier-csv", default=None, metavar="PATH",
                       help="export the Pareto frontier as CSV")
     comm_flags(srch, multi=True)
     json_flag(srch)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="multi-model sweep: one search per zoo model, "
+             "consolidated frontier report")
+    swp.add_argument("--models", default="resnet50,resnet152,vgg16",
+                     help="comma-separated zoo model names")
+    common(swp, model=False)
+    search_flags(swp, default_executor="process")
+    swp.add_argument("--report", default=None, metavar="DIR",
+                     help="write per-model frontier CSVs + cross-model "
+                          "summary.csv here")
+    swp.add_argument("--plot", action="store_true",
+                     help="also write a frontier plot to the --report dir "
+                          "(needs matplotlib; skipped quietly without it)")
+    swp.add_argument("--top", type=int, default=5,
+                     help="frontier rows to print per model")
+    swp.add_argument("--comm-policy", default=None,
+                     help="comm policies to sweep per candidate, "
+                          f"comma-separated from {'/'.join(POLICIES)} "
+                          "(default: the oracle's paper policy)")
+    json_flag(swp)
 
     plan = sub.add_parser("plan",
                           help="per-layer strategy assignment (DP)")
@@ -166,7 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=(
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "table3", "table5", "table6", "accuracy", "search",
+        "table3", "table5", "table6", "accuracy", "search", "sweep",
     ))
     exp.add_argument("--full", action="store_true",
                      help="full sweep instead of the quick grid")
@@ -394,15 +439,22 @@ class _FrontierStream:
     """Anytime-search printer: maintains a running Pareto frontier and
     prints a row the moment an evaluation enters it.  Printed rows are a
     superset of the final frontier (later arrivals can dominate earlier
-    prints, which is inherent to anytime output)."""
+    prints, which is inherent to anytime output).
 
-    def __init__(self, objectives=None, file=None) -> None:
+    Rows go to ``file`` — stderr under ``--json`` so stdout stays a
+    single parseable document, stdout otherwise — and every row is
+    flushed as it is written, so piped consumers (``repro search
+    --stream | head``) see anytime results immediately instead of after
+    a block-buffer fills."""
+
+    def __init__(self, objectives=None, file=None, prefix: str = "") -> None:
         from .search.pareto import DEFAULT_OBJECTIVES, OBJECTIVES
 
         self._names = tuple(objectives or DEFAULT_OBJECTIVES)
         self._vec = lambda e: tuple(OBJECTIVES[n](e) for n in self._names)
         self._frontier = []  # [(vector, evaluation)]
-        self._file = file  # None = stdout; --json streams to stderr
+        self._file = file  # None = stdout (resolved at print time)
+        self._prefix = prefix
         self.seen = 0
 
     def __call__(self, evaluation) -> None:
@@ -418,34 +470,13 @@ class _FrontierStream:
             (w, e) for w, e in self._frontier if not dominates(v, w)
         ]
         self._frontier.append((v, evaluation))
-        print(f"[{self.seen}] {evaluation.describe()} "
+        out = self._file if self._file is not None else sys.stdout
+        print(f"{self._prefix}[{self.seen}] {evaluation.describe()} "
               f"epoch={evaluation.epoch_time:.1f}s "
               f"iter={evaluation.iteration_time * 1e3:.1f}ms "
               f"mem={evaluation.memory_gb:.1f}GB "
               f"(frontier {len(self._frontier)})",
-              flush=True,
-              **({"file": self._file} if self._file is not None else {}))
-
-
-def _write_frontier_csv(path: str, report) -> None:
-    import csv
-
-    with open(path, "w", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow([
-            "rank", "config", "strategy", "p", "p1", "p2", "segments",
-            "batch", "comm_policy", "epoch_s", "iteration_s", "memory_gb",
-            "comm_algorithms",
-        ])
-        for rank, e in enumerate(report.frontier, start=1):
-            c = e.candidate
-            proj = e.projection
-            writer.writerow([
-                rank, e.describe(), c.sid, c.p, c.p1, c.p2, c.segments,
-                c.batch, proj.comm_policy, e.epoch_time, e.iteration_time,
-                e.memory_gb,
-                ";".join(f"{ph}={al}" for ph, al in proj.comm_algorithms),
-            ])
+              file=out, flush=True)
 
 
 def _cmd_search(args) -> int:
@@ -475,7 +506,9 @@ def _cmd_search(args) -> int:
             pe_budgets=pe_budgets,
             segments=segments,
             cache=args.cache,
+            cache_dir=args.cache_dir,
             workers=args.workers,
+            executor=args.executor,
             weights=_parse_weights(args.weights),
             comm=tuple(policies) if len(policies) > 1 else None,
             on_result=stream,
@@ -484,7 +517,9 @@ def _cmd_search(args) -> int:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
     if args.frontier_csv:
-        _write_frontier_csv(args.frontier_csv, report)
+        from .search.sweep import write_frontier_csv
+
+        write_frontier_csv(args.frontier_csv, report)
     if args.json:
         print(json.dumps(report.asdict(), indent=2))
         return 0 if report.best is not None else 1
@@ -513,6 +548,87 @@ def _cmd_search(args) -> int:
     if args.frontier_csv:
         print(f"frontier csv: {args.frontier_csv}")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .core.math_utils import power_of_two_budgets
+    from .search.sweep import SweepRunner
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    strategies = (
+        tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+        if args.strategies else None
+    )
+    policies = (
+        tuple(s.strip() for s in args.comm_policy.split(",") if s.strip())
+        if args.comm_policy else ()
+    )
+    streams: dict = {}
+
+    def on_result(model, evaluation) -> None:
+        if model not in streams:
+            streams[model] = _FrontierStream(
+                file=sys.stderr if args.json else None,
+                prefix=f"{model} ")
+        streams[model](evaluation)
+
+    try:
+        segments = tuple(
+            int(s) for s in args.segments.split(",") if s.strip())
+        runner = SweepRunner(
+            models, DATASETS[args.dataset],
+            pes=args.pes,
+            samples_per_pe=args.samples_per_pe,
+            optimizer=args.optimizer,
+            gamma=args.gamma,
+            strategies=strategies,
+            pe_budgets=(
+                tuple(power_of_two_budgets(args.pes)) if args.pe_sweep
+                else None),
+            segments=segments,
+            comm_policies=policies,
+            executor=args.executor,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            weights=_parse_weights(args.weights),
+        )
+        report = runner.run(on_result=on_result if args.stream else None)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    if args.report:
+        report.write_report(args.report, plot=args.plot)
+    if args.json:
+        print(json.dumps(report.asdict(), indent=2))
+        return 0 if all(r.best is not None for r in report.results) else 1
+    rows = []
+    for result, row in zip(report.results, report.summary_rows()):
+        feasible = result.best is not None
+        rows.append([
+            row["model"], row["best"],
+            f"{row['epoch_s']:.1f} s" if feasible else "-",
+            f"{row['memory_gb']:.1f} GB" if feasible else "-",
+            row["frontier"], row["candidates"], row["cache_hits"],
+            f"{row['seconds']:.2f} s",
+        ])
+    print(f"swept {len(report.results)} models on {runner.cluster} "
+          f"({args.executor} executor, {report.seconds:.2f} s total)")
+    print(reporting.format_table(
+        ["model", "best", "epoch", "memory", "frontier", "cands",
+         "cache hits", "wall"], rows))
+    for result in report.results:
+        for i, e in enumerate(result.report.frontier[: args.top]):
+            print(f"  {result.model} #{i + 1}: {e.describe()} "
+                  f"epoch={e.epoch_time:.1f}s mem={e.memory_gb:.1f}GB")
+    best = report.best_overall
+    if best is not None:
+        print(f"fastest model: {best.model} — {best.best.describe()} "
+              f"epoch={best.best.epoch_time:.1f} s")
+    if args.cache_dir:
+        print(f"cache dir: {args.cache_dir}")
+    for name, path in sorted(report.artifacts.items()):
+        print(f"artifact {name}: {path}")
+    return 0 if all(r.best is not None for r in report.results) else 1
 
 
 def _cmd_plan(args) -> int:
@@ -605,8 +721,8 @@ def _cmd_validate(args) -> int:
 def _cmd_experiment(args) -> int:
     from .harness import (
         run_accuracy_summary, run_fig3, run_fig4, run_fig5, run_fig6,
-        run_fig7, run_fig8, run_search_best, run_table3, run_table5,
-        run_table6,
+        run_fig7, run_fig8, run_search_best, run_sweep, run_table3,
+        run_table5, run_table6,
     )
 
     quick = not args.full
@@ -662,6 +778,14 @@ def _cmd_experiment(args) -> int:
                   f"gain={reporting.pct(r.improvement)} "
                   f"(frontier {r.frontier_size}, "
                   f"{r.pruned}/{r.candidates} pruned)")
+    elif name == "sweep":
+        rep = run_sweep(quick=not args.full)
+        for row in rep.summary_rows():
+            print(f"{row['model']:10s} best={row['best']:28s} "
+                  f"epoch={row['epoch_s']:8.1f}s "
+                  f"frontier={row['frontier']:2d} "
+                  f"cands={row['candidates']:3d} "
+                  f"wall={row['seconds']:.2f}s")
     elif name == "accuracy":
         s = run_accuracy_summary(quick=quick)
         for k, v in sorted(s.per_strategy.items()):
@@ -675,6 +799,7 @@ _COMMANDS = {
     "suggest": _cmd_suggest,
     "hybrid": _cmd_hybrid,
     "search": _cmd_search,
+    "sweep": _cmd_sweep,
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
     "validate": _cmd_validate,

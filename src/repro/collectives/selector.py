@@ -248,6 +248,8 @@ class CommModel:
         scope: str = "auto",
         transport: str = "nccl",
     ) -> float:
+        """Cost of one collective call in seconds (see :meth:`choose` for
+        the argument semantics; this drops the algorithm label)."""
         return self.choose(
             collective, p, nbytes, params=params, scope=scope,
             transport=transport,

@@ -294,7 +294,9 @@ class ParaDL:
         pe_budgets: Optional[Sequence[int]] = None,
         segments: Sequence[int] = (2, 4, 8),
         cache=None,
+        cache_dir: Optional[str] = None,
         workers: Optional[int] = None,
+        executor: str = "thread",
         weights=None,
         comm=None,
         on_result=None,
@@ -323,6 +325,13 @@ class ParaDL:
 
         ``cache`` may be a path: repeated planning sessions then reuse
         persisted projections (see :mod:`repro.search.cache`).
+        ``cache_dir`` instead names a shared directory of per-(model,
+        cluster) fingerprinted cache files — the cross-model layout
+        :meth:`sweep` uses.
+
+        ``executor`` picks the evaluation backend: ``"thread"`` (default)
+        or ``"process"``, which side-steps the GIL by projecting in
+        worker processes (see :class:`~repro.search.engine.SearchEngine`).
         """
         from ..search import DEFAULT_STRATEGIES, SearchEngine, SearchSpace
 
@@ -349,8 +358,75 @@ class ParaDL:
             segments=tuple(segments),
             comm_policies=comm_policies,
         )
-        engine = SearchEngine(self, dataset, cache=cache, workers=workers)
+        engine = SearchEngine(
+            self, dataset, cache=cache, cache_dir=cache_dir,
+            workers=workers, executor=executor,
+        )
         return engine.search(space, weights=weights, on_result=on_result)
+
+    # ----------------------------------------------------------------- sweep
+    @staticmethod
+    def sweep(
+        models: Sequence[str],
+        dataset: DatasetSpec,
+        *,
+        pes: int = 64,
+        cluster=None,
+        samples_per_pe: int = 32,
+        strategies: Optional[Sequence[str]] = None,
+        pe_budgets: Optional[Sequence[int]] = None,
+        segments: Sequence[int] = (2, 4, 8),
+        comm=None,
+        executor: str = "process",
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        weights=None,
+        on_result=None,
+        report_dir: Optional[str] = None,
+        plot: bool = False,
+        **runner_kwargs,
+    ):
+        """Multi-model sweep: one :meth:`search` per zoo model, fanned out
+        over a process pool, consolidated into per-model frontier CSVs and
+        a cross-model summary.
+
+        A sweep is not bound to one oracle, so this is a static facade
+        over :class:`~repro.search.sweep.SweepRunner`: ``models`` are zoo
+        names (:data:`repro.models.MODEL_BUILDERS`), ``cache_dir`` holds
+        one fingerprinted projection-cache file per (model, cluster) so a
+        warm re-run projects nothing, and ``report_dir`` (optional)
+        receives the consolidated frontier report (``plot=True`` adds a
+        matplotlib frontier plot when matplotlib is importable).  ``comm``
+        takes the same policy name / sequence the instance method takes.
+        Returns a :class:`~repro.search.sweep.SweepReport`.
+        """
+        from ..search.sweep import SweepRunner
+
+        if comm is None:
+            comm_policies: Sequence[str] = ()
+        elif isinstance(comm, str):
+            comm_policies = (comm,)
+        else:
+            comm_policies = tuple(comm)
+        runner = SweepRunner(
+            models, dataset,
+            pes=pes,
+            cluster=cluster,
+            samples_per_pe=samples_per_pe,
+            strategies=strategies,
+            pe_budgets=pe_budgets,
+            segments=segments,
+            comm_policies=comm_policies,
+            executor=executor,
+            workers=workers,
+            cache_dir=cache_dir,
+            weights=weights,
+            **runner_kwargs,
+        )
+        report = runner.run(on_result=on_result)
+        if report_dir is not None:
+            report.write_report(report_dir, plot=plot)
+        return report
 
     # ---------------------------------------------------------------- accuracy
     def accuracy_against(

@@ -15,6 +15,7 @@ from .experiments import (
     run_table6,
     run_accuracy_summary,
     run_search_best,
+    run_sweep,
     SearchBestRow,
     make_environment,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "run_table6",
     "run_accuracy_summary",
     "run_search_best",
+    "run_sweep",
     "SearchBestRow",
     "make_environment",
 ]

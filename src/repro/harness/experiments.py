@@ -62,6 +62,8 @@ __all__ = [
     "run_table5",
     "run_table6",
     "run_accuracy_summary",
+    "run_search_best",
+    "run_sweep",
 ]
 
 #: ImageNet CNN models of Figure 3.
@@ -728,3 +730,51 @@ def run_search_best(
             pruned=report.stats["pruned"],
         ))
     return rows
+
+
+# --------------------------------------------------------------------------
+# Multi-model sweep — the zoo-at-once planning workflow
+# --------------------------------------------------------------------------
+
+def run_sweep(
+    models: Sequence[str] = ("resnet50", "vgg16"),
+    quick: bool = True,
+    pes: int = 64,
+    samples_per_pe: int = 32,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    report_dir: Optional[str] = None,
+):
+    """Run a consolidated multi-model sweep over the zoo.
+
+    ``quick=True`` (the CI default) trims the space to the weak-scaling
+    strategies at a single micro-batch count and keeps the GIL-bound
+    thread backend; the full run opens the whole space, adds ResNet-152
+    (if absent), and fans out over the process pool.  An explicit
+    ``executor`` overrides either default.  ``cache_dir``
+    persists per-model projection caches so a re-run projects nothing;
+    ``report_dir`` receives per-model frontier CSVs + the cross-model
+    summary.  Returns a :class:`~repro.search.sweep.SweepReport`.
+    """
+    from ..search.sweep import SweepRunner
+
+    if not quick and "resnet152" not in models:
+        models = tuple(models) + ("resnet152",)
+    if executor is None:
+        executor = "thread" if quick else "process"
+    runner = SweepRunner(
+        models,
+        IMAGENET,
+        pes=pes,
+        samples_per_pe=samples_per_pe,
+        strategies=("d", "z", "df") if quick else None,
+        segments=(4,) if quick else (2, 4, 8),
+        executor=executor,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+    report = runner.run()
+    if report_dir is not None:
+        report.write_report(report_dir)
+    return report

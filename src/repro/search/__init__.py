@@ -3,9 +3,13 @@
 ``ParaDL.suggest`` ranks a fixed strategy list at one PE count; this
 package turns that into a proper planner: a declarative
 :class:`SearchSpace` over strategy x factorization x PE budget x batch x
-micro-batch, feasibility pruning before any projection is paid for, a
-persistent :class:`ProjectionCache`, a worker-pool :class:`SearchEngine`,
-and multi-objective Pareto ranking of the survivors.
+micro-batch x comm policy, feasibility pruning before any projection is
+paid for, a persistent :class:`ProjectionCache` (single file, or one
+fingerprinted file per model inside a shared ``cache_dir``), a
+worker-pool :class:`SearchEngine` (thread or process executor), and
+multi-objective Pareto ranking of the survivors.  :class:`SweepRunner`
+orchestrates all of it across a model zoo and emits consolidated
+frontier reports.
 
 >>> from repro.search import SearchEngine, SearchSpace          # doctest: +SKIP
 >>> engine = SearchEngine(oracle, IMAGENET, cache="plan.json")  # doctest: +SKIP
@@ -21,7 +25,13 @@ from .pruning import (
     prune_memory_lower_bound,
     prune_structure,
 )
-from .cache import CACHE_VERSION, ProjectionCache, context_fingerprint
+from .cache import (
+    CACHE_VERSION,
+    ProjectionCache,
+    cache_file_for,
+    context_fingerprint,
+    fingerprint_digest,
+)
 from .pareto import (
     DEFAULT_OBJECTIVES,
     DEFAULT_WEIGHTS,
@@ -30,7 +40,16 @@ from .pareto import (
     pareto_frontier,
     scalarized_best,
 )
-from .engine import Evaluation, SearchEngine, SearchReport
+from .engine import EXECUTORS, Evaluation, SearchEngine, SearchReport
+from .sweep import (
+    SUMMARY_COLUMNS,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
+    plot_frontiers,
+    write_frontier_csv,
+    write_summary_csv,
+)
 
 __all__ = [
     "Candidate",
@@ -43,6 +62,8 @@ __all__ = [
     "prune_memory_lower_bound",
     "ProjectionCache",
     "context_fingerprint",
+    "fingerprint_digest",
+    "cache_file_for",
     "CACHE_VERSION",
     "OBJECTIVES",
     "DEFAULT_OBJECTIVES",
@@ -53,4 +74,12 @@ __all__ = [
     "Evaluation",
     "SearchEngine",
     "SearchReport",
+    "EXECUTORS",
+    "SweepRunner",
+    "SweepReport",
+    "SweepResult",
+    "SUMMARY_COLUMNS",
+    "write_frontier_csv",
+    "write_summary_csv",
+    "plot_frontiers",
 ]

@@ -46,8 +46,10 @@ rebuilt; there is no per-entry invalidation.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import re
 import threading
 from typing import Dict, Mapping, Optional
 
@@ -58,6 +60,8 @@ __all__ = [
     "ProjectionCache",
     "CachedFailure",
     "context_fingerprint",
+    "fingerprint_digest",
+    "cache_file_for",
     "CACHE_VERSION",
 ]
 
@@ -85,6 +89,30 @@ def context_fingerprint(oracle) -> Dict[str, object]:
         "contention": bool(oracle.analytical.contention),
         "comm": oracle.analytical.comm.fingerprint(),
     }
+
+
+def fingerprint_digest(context: Mapping[str, object]) -> str:
+    """Short stable hash of a context fingerprint (cache-file naming)."""
+    blob = json.dumps(dict(context), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def cache_file_for(cache_dir: str, context: Mapping[str, object]) -> str:
+    """Path of the cache file for ``context`` inside a shared directory.
+
+    One versioned file per (model, cluster, profile, comm) fingerprint:
+    the file name embeds both the model name (human-orientation) and the
+    full fingerprint digest, so different models — or the *same* model
+    under a different cluster / profile / gamma / comm policy — land in
+    different files and can never invalidate each other.  A fingerprint
+    change therefore starts a fresh file while leaving sibling caches
+    untouched; loading still verifies the stored context exactly (the
+    standing invalidation rule), so a renamed or stale file degrades to
+    a cold cache rather than serving wrong projections.
+    """
+    model = re.sub(r"[^A-Za-z0-9._-]+", "_", str(context.get("model", "model")))
+    return os.path.join(
+        cache_dir, f"{model}-{fingerprint_digest(context)}.json")
 
 
 class CachedFailure:
@@ -147,6 +175,14 @@ class ProjectionCache:
     context:
         The live fingerprint (see :func:`context_fingerprint`).  A
         persisted cache whose stored context differs is discarded on load.
+
+    For multi-model sweeps, :meth:`for_oracle` places one cache file per
+    (model, cluster) fingerprint inside a shared directory, so every
+    model in a zoo keeps an isolated, individually-invalidated memo.
+    Persistence is concurrent-safe: :meth:`save` writes to a
+    pid-qualified temporary file and atomically replaces the target, so
+    parallel sweeps sharing a directory can only ever observe complete
+    cache files.
     """
 
     def __init__(
@@ -164,6 +200,18 @@ class ProjectionCache:
         self.invalidated = False
         if path is not None and os.path.exists(path):
             self._load(path)
+
+    @classmethod
+    def for_oracle(cls, cache_dir: str, oracle) -> "ProjectionCache":
+        """Open the cross-model cache for ``oracle`` under ``cache_dir``.
+
+        The file is named by :func:`cache_file_for` from the oracle's
+        :func:`context_fingerprint`, giving per-(model, cluster)
+        isolation inside one shared directory; the directory is created
+        on first save, not here.
+        """
+        context = context_fingerprint(oracle)
+        return cls(cache_file_for(cache_dir, context), context=context)
 
     # ----------------------------------------------------------------- load
     def _load(self, path: str) -> None:
@@ -210,11 +258,14 @@ class ProjectionCache:
         return _projection_from_jsonable(entry["projection"], strategy)
 
     def put(self, key: str, projection: Projection) -> None:
+        """Memoize a successful projection under ``key``."""
         entry = {"projection": _projection_to_jsonable(projection)}
         with self._lock:
             self._entries[key] = entry
 
     def put_failure(self, key: str, reason: str) -> None:
+        """Memoize a projection *raise* so warm runs never re-project a
+        structurally infeasible candidate."""
         with self._lock:
             self._entries[key] = {"error": reason}
 
@@ -237,6 +288,7 @@ class ProjectionCache:
         return path
 
     def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
         with self._lock:
             self._entries.clear()
             self.hits = 0

@@ -6,15 +6,41 @@ SearchSpace` says what to try, :mod:`~repro.search.pruning` says what is
 not worth projecting, the :class:`~repro.search.cache.ProjectionCache`
 remembers past answers, and :mod:`~repro.search.pareto` ranks the
 survivors.  Evaluation order is irrelevant to the result — a search with
-one worker returns exactly what a search with N workers returns.
+one worker returns exactly what a search with N workers returns, and a
+process-pool search returns exactly what a thread-pool search returns.
+
+Two executor backends are available (``executor="thread"`` /
+``"process"``).  Projections are pure-Python CPU work, so the thread pool
+is GIL-bound and only pays off when evaluation blocks; the process pool
+ships the oracle context to worker processes once (pickled, via an
+initializer) and then streams candidate chunks, scaling large sweeps
+across cores.  The parent keeps sole ownership of the
+:class:`ProjectionCache`: cache hits are answered inline before anything
+reaches the pool, and worker projections are folded back in, so a warm
+cache never re-projects under either backend.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor, as_completed
+import pickle
+import warnings
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.analytical import Projection
 from ..core.strategies import Strategy, StrategyError
@@ -28,7 +54,14 @@ from .pareto import (
 from .pruning import Pruner, PruningContext, apply_pruners
 from .space import Candidate, SearchSpace
 
-__all__ = ["Evaluation", "SearchReport", "SearchEngine"]
+__all__ = ["Evaluation", "SearchReport", "SearchEngine", "EXECUTORS"]
+
+#: Supported evaluation backends.
+EXECUTORS = ("thread", "process")
+
+#: Candidates per process-pool task; amortizes IPC without starving
+#: workers at the tail of a sweep.
+_PROCESS_CHUNK = 16
 
 
 @dataclass(frozen=True)
@@ -111,6 +144,29 @@ class SearchReport:
         }
 
 
+# ---------------------------------------------------------------------------
+# Process-pool plumbing.  A worker process receives the pickled oracle
+# context once (initializer), rebuilds a single-worker engine around it,
+# and then evaluates candidate chunks; only candidates that survived the
+# parent's prune + cache fast path ever reach a worker.
+# ---------------------------------------------------------------------------
+
+_WORKER_ENGINE: Optional["SearchEngine"] = None
+
+
+def _process_worker_init(payload: bytes) -> None:
+    """Pool initializer: rebuild the evaluation context in this process."""
+    global _WORKER_ENGINE
+    oracle, dataset, pruners = pickle.loads(payload)
+    _WORKER_ENGINE = SearchEngine(
+        oracle, dataset, pruners=pruners, workers=1)
+
+
+def _process_evaluate_chunk(candidates: List[Candidate]) -> List[Evaluation]:
+    """Evaluate one candidate chunk in the worker's rebuilt engine."""
+    return [_WORKER_ENGINE.evaluate(c) for c in candidates]
+
+
 class SearchEngine:
     """Evaluates candidate spaces against one oracle + dataset.
 
@@ -124,14 +180,27 @@ class SearchEngine:
         A :class:`ProjectionCache`, a path string (the engine opens a
         persistent cache there, keyed to this oracle's fingerprint), or
         ``None`` for a fresh in-memory memo.
+    cache_dir:
+        Alternative to ``cache``: a *directory* of per-(model, cluster)
+        cache files shared across sweeps (see
+        :meth:`ProjectionCache.for_oracle`).  Mutually exclusive with
+        ``cache``.
     pruners:
         Pre-projection filters; default :data:`DEFAULT_PRUNERS`.
     workers:
-        Worker-pool width for :meth:`iter_results`.  The default is 1
-        (inline evaluation): projections are GIL-bound pure Python, so
+        Worker-pool width for :meth:`iter_results`.  Defaults to 1 for
+        the thread backend (projections are GIL-bound pure Python, so
         threads only pay off when evaluation blocks — e.g. a future
-        oracle backed by real profiling runs or RPC.  Results are
-        identical at any width.
+        oracle backed by real profiling runs or RPC) and to the CPU
+        count for the process backend.  Results are identical at any
+        width.
+    executor:
+        ``"thread"`` (default) or ``"process"``.  The process backend
+        pickles the oracle context into worker processes and evaluates
+        candidate chunks there, side-stepping the GIL for large sweeps;
+        when the context cannot pickle it warns and falls back to the
+        thread backend, so results are never lost to a custom pruner or
+        monkey-patched oracle.
     """
 
     def __init__(
@@ -140,19 +209,33 @@ class SearchEngine:
         dataset: DatasetSpec,
         *,
         cache=None,
+        cache_dir: Optional[str] = None,
         pruners: Optional[Sequence[Pruner]] = None,
         workers: Optional[int] = None,
+        executor: str = "thread",
     ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache or cache_dir, not both")
         self.oracle = oracle
         self.dataset = dataset
         fingerprint = context_fingerprint(oracle)
-        if cache is None:
+        if cache_dir is not None:
+            cache = ProjectionCache.for_oracle(cache_dir, oracle)
+        elif cache is None:
             cache = ProjectionCache(context=fingerprint)
         elif isinstance(cache, (str, os.PathLike)):
             cache = ProjectionCache(str(cache), context=fingerprint)
         self.cache = cache
         self.pruners = list(pruners) if pruners is not None else None
-        self.workers = workers or 1
+        self.executor = executor
+        if workers:
+            self.workers = workers
+        else:
+            self.workers = (os.cpu_count() or 1) if executor == "process" else 1
         self._ctx = PruningContext(
             model=oracle.model,
             cluster=oracle.cluster,
@@ -164,31 +247,41 @@ class SearchEngine:
     def _cache_key(self, candidate: Candidate) -> str:
         return f"{candidate.key}@D={self.dataset.num_samples}"
 
-    def evaluate(self, candidate: Candidate) -> Evaluation:
-        """Evaluate one candidate: prune, then memoized projection."""
+    def _fast_path(
+        self, candidate: Candidate
+    ) -> Tuple[Optional[Evaluation], Optional[Strategy]]:
+        """Prune + build + cache lookup — everything short of projecting.
+
+        Returns ``(evaluation, strategy)``; ``evaluation`` is ``None``
+        exactly when the candidate still needs a projection (in which
+        case ``strategy`` is the bound strategy to project).
+        """
         reason = apply_pruners(candidate, self._ctx, self.pruners)
         if reason is not None:
-            return Evaluation(candidate, reason=reason, pruned=True)
+            return Evaluation(candidate, reason=reason, pruned=True), None
         try:
             strategy = candidate.build(self.oracle.model)
         except (StrategyError, ValueError) as exc:
-            return Evaluation(candidate, reason=str(exc))
-        key = self._cache_key(candidate)
-        hit = self.cache.get(key, strategy)
+            return Evaluation(candidate, reason=str(exc)), None
+        hit = self.cache.get(self._cache_key(candidate), strategy)
         if isinstance(hit, CachedFailure):
-            return Evaluation(
-                candidate, strategy, reason=hit.reason, cached=True)
-        projection = hit
-        cached = projection is not None
-        if projection is None:
-            try:
-                projection = self.oracle.project(
-                    strategy, candidate.batch, self.dataset,
-                    comm=candidate.comm or None)
-            except (StrategyError, ValueError) as exc:
-                self.cache.put_failure(key, str(exc))
-                return Evaluation(candidate, strategy, reason=str(exc))
-            self.cache.put(key, projection)
+            return (
+                Evaluation(candidate, strategy, reason=hit.reason, cached=True),
+                strategy,
+            )
+        if hit is not None:
+            return self._finish(candidate, strategy, hit, cached=True), strategy
+        return None, strategy
+
+    def _finish(
+        self,
+        candidate: Candidate,
+        strategy: Strategy,
+        projection: Projection,
+        *,
+        cached: bool,
+    ) -> Evaluation:
+        """Memory-feasibility verdict for a successful projection."""
         if not projection.feasible_memory:
             return Evaluation(
                 candidate, strategy, projection,
@@ -200,7 +293,112 @@ class SearchEngine:
         return Evaluation(
             candidate, strategy, projection, feasible=True, cached=cached)
 
+    def _project(self, candidate: Candidate, strategy: Strategy) -> Evaluation:
+        """Pay for the projection and memoize the outcome (either way)."""
+        key = self._cache_key(candidate)
+        try:
+            projection = self.oracle.project(
+                strategy, candidate.batch, self.dataset,
+                comm=candidate.comm or None)
+        except (StrategyError, ValueError) as exc:
+            self.cache.put_failure(key, str(exc))
+            return Evaluation(candidate, strategy, reason=str(exc))
+        self.cache.put(key, projection)
+        return self._finish(candidate, strategy, projection, cached=False)
+
+    def evaluate(self, candidate: Candidate) -> Evaluation:
+        """Evaluate one candidate: prune, then memoized projection."""
+        evaluation, strategy = self._fast_path(candidate)
+        if evaluation is not None:
+            return evaluation
+        return self._project(candidate, strategy)
+
+    def _absorb(self, evaluation: Evaluation) -> None:
+        """Fold a worker-process evaluation into the parent cache.
+
+        Mirrors what :meth:`_project` would have written locally: a
+        successful projection memoizes positively, a projection raise
+        memoizes negatively.  Pruned / build-failed / already-cached
+        evaluations never reach the pool, so they need no folding.
+        """
+        key = self._cache_key(evaluation.candidate)
+        if evaluation.projection is not None:
+            self.cache.put(key, evaluation.projection)
+        elif evaluation.strategy is not None:
+            self.cache.put_failure(key, evaluation.reason)
+
     # --------------------------------------------------------------- search
+    def _iter_process(
+        self, candidates: Iterable[Candidate]
+    ) -> Iterator[Evaluation]:
+        """Process-pool evaluation: fast path inline, projections fanned
+        out in chunks, results folded back into the parent cache."""
+        pending: List[Tuple[Candidate, Strategy]] = []
+        for cand in candidates:
+            evaluation, strategy = self._fast_path(cand)
+            if evaluation is not None:
+                yield evaluation
+            else:
+                pending.append((cand, strategy))
+        if not pending:
+            return
+        try:
+            payload = pickle.dumps(
+                (self.oracle, self.dataset, self.pruners))
+        except Exception as exc:  # noqa: BLE001 - any pickling failure
+            warnings.warn(
+                f"oracle context cannot be pickled ({exc}); falling back "
+                f"to the thread executor",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            # The fast path already ran (pruners, strategy build, cache
+            # lookup); go straight to the projections so stats and cache
+            # counters stay identical to the thread backend's.
+            if self.workers <= 1:
+                for cand, strategy in pending:
+                    yield self._project(cand, strategy)
+                return
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(self._project, cand, strategy)
+                    for cand, strategy in pending
+                ]
+                for future in as_completed(futures):
+                    yield future.result()
+            return
+        pending_candidates = [cand for cand, _ in pending]
+        chunks = [
+            pending_candidates[i:i + _PROCESS_CHUNK]
+            for i in range(0, len(pending_candidates), _PROCESS_CHUNK)
+        ]
+        workers = min(self.workers, len(chunks))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_process_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            futures = [
+                pool.submit(_process_evaluate_chunk, chunk)
+                for chunk in chunks
+            ]
+            for future in as_completed(futures):
+                for evaluation in future.result():
+                    self._absorb(evaluation)
+                    yield evaluation
+
+    def _iter_thread(
+        self, candidates: Iterable[Candidate]
+    ) -> Iterator[Evaluation]:
+        if self.workers <= 1:
+            for cand in candidates:
+                yield self.evaluate(cand)
+            return
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(self.evaluate, c) for c in candidates]
+            for future in as_completed(futures):
+                yield future.result()
+
     def iter_results(
         self,
         space: SearchSpace,
@@ -214,14 +412,10 @@ class SearchEngine:
         """
         intra = intra or self.oracle.cluster.node.gpus
         candidates: Iterable[Candidate] = space.candidates(intra=intra)
-        if self.workers <= 1:
-            for cand in candidates:
-                yield self.evaluate(cand)
-            return
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            futures = [pool.submit(self.evaluate, c) for c in candidates]
-            for future in as_completed(futures):
-                yield future.result()
+        if self.executor == "process":
+            yield from self._iter_process(candidates)
+        else:
+            yield from self._iter_thread(candidates)
 
     def search(
         self,
@@ -239,7 +433,8 @@ class SearchEngine:
         frontier display); it does not affect the returned report.
 
         The report's evaluation list is sorted by candidate key so the
-        result is identical whatever the worker count or completion order.
+        result is identical whatever the executor backend, worker count,
+        or completion order.
         """
         hits_before = self.cache.hits
         misses_before = self.cache.misses

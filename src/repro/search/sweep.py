@@ -1,0 +1,377 @@
+"""Multi-model sweep orchestration: one search per zoo model, one report.
+
+The oracle answers "which strategy for *this* CNN on *this* cluster?";
+a production planning session asks that for a whole model zoo at once.
+:class:`SweepRunner` fans a :class:`~repro.search.space.SearchSpace` x
+model-zoo x comm-policy grid out over a
+:class:`~repro.search.engine.SearchEngine` per model — process-pool
+backed by default, so projections scale across cores — reusing one
+shared cross-model cache directory (per-(model, cluster) files, see
+:func:`~repro.search.cache.cache_file_for`), and folds the per-model
+Pareto frontiers into a consolidated :class:`SweepReport`:
+
+* per-model frontier CSVs (:func:`write_frontier_csv`),
+* a cross-model summary table (``summary.csv`` + formatted text),
+* an optional matplotlib frontier plot (soft import — sweeping never
+  requires matplotlib; :func:`plot_frontiers` returns ``None`` without it).
+
+Entry points: ``ParaDL.sweep(...)``, ``repro sweep`` in the CLI, and
+:func:`repro.harness.experiments.run_sweep`.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..data.datasets import DatasetSpec
+from ..network.topology import ClusterSpec, abci_like_cluster
+from .engine import Evaluation, SearchEngine, SearchReport
+from .pareto import DEFAULT_OBJECTIVES
+from .space import DEFAULT_STRATEGIES, SearchSpace
+
+__all__ = [
+    "SweepResult",
+    "SweepReport",
+    "SweepRunner",
+    "write_frontier_csv",
+    "write_summary_csv",
+    "plot_frontiers",
+    "SUMMARY_COLUMNS",
+]
+
+#: Cross-model summary schema (one row per swept model).
+SUMMARY_COLUMNS = (
+    "model", "best", "epoch_s", "iteration_s", "memory_gb", "comm_policy",
+    "frontier", "candidates", "feasible", "pruned", "cache_hits", "seconds",
+)
+
+
+def write_frontier_csv(path: str, report: SearchReport) -> str:
+    """Export a search report's Pareto frontier as CSV; returns ``path``."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "rank", "config", "strategy", "p", "p1", "p2", "segments",
+            "batch", "comm_policy", "epoch_s", "iteration_s", "memory_gb",
+            "comm_algorithms",
+        ])
+        for rank, e in enumerate(report.frontier, start=1):
+            c = e.candidate
+            proj = e.projection
+            writer.writerow([
+                rank, e.describe(), c.sid, c.p, c.p1, c.p2, c.segments,
+                c.batch, proj.comm_policy, e.epoch_time, e.iteration_time,
+                e.memory_gb,
+                ";".join(f"{ph}={al}" for ph, al in proj.comm_algorithms),
+            ])
+    return path
+
+
+@dataclass
+class SweepResult:
+    """One model's search outcome inside a sweep."""
+
+    model: str
+    report: SearchReport
+    seconds: float
+    cache_file: Optional[str] = None
+
+    @property
+    def best(self) -> Optional[Evaluation]:
+        return self.report.best
+
+    def summary_row(self) -> Dict[str, object]:
+        """This model's :data:`SUMMARY_COLUMNS` row."""
+        best = self.report.best
+        stats = self.report.stats
+        return {
+            "model": self.model,
+            "best": best.describe() if best else "(infeasible)",
+            "epoch_s": best.epoch_time if best else float("nan"),
+            "iteration_s": best.iteration_time if best else float("nan"),
+            "memory_gb": best.memory_gb if best else float("nan"),
+            "comm_policy": (
+                best.projection.comm_policy if best else ""),
+            "frontier": stats.get("frontier", 0),
+            "candidates": stats.get("candidates", 0),
+            "feasible": stats.get("feasible", 0),
+            "pruned": stats.get("pruned", 0),
+            "cache_hits": stats.get("cache_hits", 0),
+            "seconds": self.seconds,
+        }
+
+    def asdict(self) -> Dict[str, object]:
+        blob = dict(self.summary_row())
+        blob["report"] = self.report.asdict()
+        blob["cache_file"] = self.cache_file
+        return blob
+
+
+@dataclass
+class SweepReport:
+    """Consolidated outcome of a multi-model sweep."""
+
+    results: List[SweepResult]
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES
+    seconds: float = 0.0
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def result_for(self, model: str) -> SweepResult:
+        for result in self.results:
+            if result.model == model:
+                return result
+        raise KeyError(f"model {model!r} not in this sweep")
+
+    @property
+    def best_overall(self) -> Optional[SweepResult]:
+        """The swept model with the fastest best epoch (``None`` if no
+        model had a feasible configuration)."""
+        with_best = [r for r in self.results if r.best is not None]
+        if not with_best:
+            return None
+        return min(with_best, key=lambda r: r.best.epoch_time)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        return [r.summary_row() for r in self.results]
+
+    def asdict(self) -> Dict[str, object]:
+        return {
+            "models": [r.model for r in self.results],
+            "objectives": list(self.objectives),
+            "seconds": self.seconds,
+            "summary": self.summary_rows(),
+            "results": {r.model: r.report.asdict() for r in self.results},
+            "artifacts": dict(self.artifacts),
+        }
+
+    # ------------------------------------------------------------- artifacts
+    def write_report(
+        self, out_dir: str, *, plot: bool = False
+    ) -> Dict[str, str]:
+        """Emit the consolidated frontier report under ``out_dir``.
+
+        Writes ``frontier_<model>.csv`` per model, the cross-model
+        ``summary.csv``, and — when ``plot=True`` and matplotlib is
+        importable — ``frontier.png``.  Returns {artifact name: path}
+        (also recorded on :attr:`artifacts`).
+        """
+        os.makedirs(out_dir, exist_ok=True)
+        artifacts: Dict[str, str] = {}
+        for result in self.results:
+            path = os.path.join(out_dir, f"frontier_{result.model}.csv")
+            artifacts[f"frontier_{result.model}"] = write_frontier_csv(
+                path, result.report)
+        artifacts["summary"] = write_summary_csv(
+            os.path.join(out_dir, "summary.csv"), self)
+        if plot:
+            png = plot_frontiers(self, os.path.join(out_dir, "frontier.png"))
+            if png is not None:
+                artifacts["plot"] = png
+        self.artifacts.update(artifacts)
+        return artifacts
+
+
+def write_summary_csv(path: str, sweep: SweepReport) -> str:
+    """Write the cross-model summary table as CSV; returns ``path``."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(SUMMARY_COLUMNS))
+        writer.writeheader()
+        for row in sweep.summary_rows():
+            writer.writerow(row)
+    return path
+
+
+def plot_frontiers(sweep: SweepReport, path: str) -> Optional[str]:
+    """Scatter every model's Pareto frontier (epoch time vs memory).
+
+    matplotlib is a soft dependency: returns ``None`` when it is not
+    importable, the written PNG path otherwise.
+    """
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return None
+    fig, ax = plt.subplots(figsize=(7, 5))
+    for result in sweep.results:
+        points = [
+            (e.epoch_time, e.memory_gb) for e in result.report.frontier
+        ]
+        if not points:
+            continue
+        points.sort()
+        xs, ys = zip(*points)
+        ax.plot(xs, ys, marker="o", linestyle="--", label=result.model)
+    ax.set_xlabel("epoch time (s)")
+    ax.set_ylabel("memory per PE (GB)")
+    ax.set_title("Pareto frontiers per model")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    plt.close(fig)
+    return path
+
+
+class SweepRunner:
+    """Fan a search space over a model zoo; stream and consolidate.
+
+    Parameters
+    ----------
+    models:
+        Zoo model names (see :data:`repro.models.MODEL_BUILDERS`).
+    dataset:
+        Training set shared by every model's search.
+    pes:
+        PE budget per model (ignored when ``pe_budgets`` is given).
+    cluster:
+        Target machine; default an ABCI-like cluster sized to ``pes``.
+    samples_per_pe / optimizer / gamma:
+        Oracle construction knobs (profiles are regenerated per model).
+    strategies / pe_budgets / segments / comm_policies:
+        The :class:`~repro.search.space.SearchSpace` dimensions; every
+        model searches the same space, so frontiers are comparable.
+    executor / workers:
+        Evaluation backend per model (see
+        :class:`~repro.search.engine.SearchEngine`); ``"process"`` by
+        default — a zoo sweep is exactly the workload the pool exists for.
+    cache_dir:
+        Shared cross-model cache directory; each model persists its own
+        fingerprinted file there, so a warm re-run projects nothing.
+    weights:
+        Scalarization weights for each model's best pick.
+    oracle_factory:
+        ``name -> ParaDL`` override (tests inject toy oracles here);
+        default builds zoo models against ``cluster``.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[str],
+        dataset: DatasetSpec,
+        *,
+        pes: int = 64,
+        cluster: Optional[ClusterSpec] = None,
+        samples_per_pe: int = 32,
+        optimizer: str = "sgd",
+        gamma: float = 0.5,
+        strategies: Optional[Sequence[str]] = None,
+        pe_budgets: Optional[Sequence[int]] = None,
+        segments: Sequence[int] = (2, 4, 8),
+        comm_policies: Sequence[str] = (),
+        executor: str = "process",
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        weights=None,
+        oracle_factory: Optional[Callable[[str], object]] = None,
+    ) -> None:
+        if not models:
+            raise ValueError("need at least one model to sweep")
+        self.models = tuple(models)
+        if len(set(self.models)) != len(self.models):
+            raise ValueError(f"duplicate models in sweep: {self.models}")
+        self.dataset = dataset
+        self.pes = pes
+        self.cluster = cluster or abci_like_cluster(max(pes, 4))
+        self.samples_per_pe = samples_per_pe
+        self.optimizer = optimizer
+        self.gamma = gamma
+        self.executor = executor
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.weights = weights
+        self.oracle_factory = oracle_factory
+        self.space = SearchSpace(
+            strategies=(
+                tuple(strategies) if strategies else DEFAULT_STRATEGIES),
+            pe_budgets=tuple(pe_budgets) if pe_budgets else (pes,),
+            samples_per_pe=(samples_per_pe,),
+            segments=tuple(segments),
+            comm_policies=tuple(comm_policies),
+        )
+
+    # ------------------------------------------------------------- plumbing
+    def _oracle(self, name: str):
+        if self.oracle_factory is not None:
+            return self.oracle_factory(name)
+        from ..core.calibration import profile_model
+        from ..core.oracle import ParaDL
+        from ..models import build_model
+
+        input_spec = (
+            self.dataset.sample
+            if name == "cosmoflow" and self.dataset.sample.ndim == 3
+            else None
+        )
+        model = build_model(name, input_spec)
+        profile = profile_model(
+            model, samples_per_pe=self.samples_per_pe,
+            optimizer=self.optimizer,
+        )
+        return ParaDL(model, self.cluster, profile, gamma=self.gamma)
+
+    def engine_for(self, name: str) -> SearchEngine:
+        """The per-model engine (parameterized, not yet run)."""
+        return SearchEngine(
+            self._oracle(name),
+            self.dataset,
+            cache_dir=self.cache_dir,
+            executor=self.executor,
+            workers=self.workers,
+        )
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        *,
+        on_result: Optional[Callable[[str, Evaluation], None]] = None,
+        on_model: Optional[Callable[[str, SweepResult], None]] = None,
+    ) -> SweepReport:
+        """Sweep every model; returns the consolidated report.
+
+        ``on_result(model, evaluation)`` streams individual evaluations
+        as they complete (anytime consumption — the CLI's ``--stream``);
+        ``on_model(model, result)`` fires once per finished model.
+        Neither affects the report.
+        """
+        t_sweep = time.perf_counter()
+        results: List[SweepResult] = []
+        for name in self.models:
+            engine = self.engine_for(name)
+            callback = (
+                (lambda e, _name=name: on_result(_name, e))
+                if on_result is not None else None
+            )
+            t0 = time.perf_counter()
+            report = engine.search(
+                self.space, weights=self.weights, on_result=callback)
+            result = SweepResult(
+                model=name,
+                report=report,
+                seconds=time.perf_counter() - t0,
+                cache_file=engine.cache.path,
+            )
+            results.append(result)
+            if on_model is not None:
+                on_model(name, result)
+        return SweepReport(
+            results=results,
+            objectives=tuple(DEFAULT_OBJECTIVES),
+            seconds=time.perf_counter() - t_sweep,
+        )

@@ -102,9 +102,66 @@ class TestValidate:
         assert "FAIL" not in out
 
 
+class TestSweep:
+    ARGS = ["sweep", "--models", "alexnet,vgg16", "-p", "8",
+            "--samples-per-pe", "4", "--strategies", "d,z",
+            "--segments", "2", "--executor", "thread"]
+
+    def test_summary_table_and_exit_code(self, capsys):
+        rc = main(self.ARGS)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "alexnet" in out and "vgg16" in out
+        assert "fastest model:" in out
+
+    def test_cache_dir_and_report_artifacts(self, tmp_path, capsys):
+        import os
+
+        cache_dir = str(tmp_path / "cache")
+        report_dir = str(tmp_path / "report")
+        rc = main(self.ARGS + ["--cache-dir", cache_dir,
+                               "--report", report_dir])
+        assert rc == 0
+        assert len(os.listdir(cache_dir)) == 2  # one file per model
+        assert os.path.exists(os.path.join(report_dir, "summary.csv"))
+        assert os.path.exists(
+            os.path.join(report_dir, "frontier_alexnet.csv"))
+        out = capsys.readouterr().out
+        assert "artifact summary:" in out
+        # Warm re-run answers everything from the per-model caches.
+        rc = main(self.ARGS + ["--cache-dir", cache_dir, "--json"])
+        import json as _json
+
+        blob = _json.loads(capsys.readouterr().out)
+        assert rc == 0
+        for model in ("alexnet", "vgg16"):
+            assert blob["results"][model]["stats"]["cache_misses"] == 0
+
+    def test_json_with_stream_keeps_stdout_parseable(self, capsys):
+        import json as _json
+
+        rc = main(self.ARGS + ["--stream", "--json"])
+        captured = capsys.readouterr()
+        blob = _json.loads(captured.out)  # stdout is one JSON document
+        assert rc == 0
+        assert blob["models"] == ["alexnet", "vgg16"]
+        assert "frontier" in captured.err  # rows streamed to stderr
+
+    def test_unknown_model_errors(self, capsys):
+        rc = main(["sweep", "--models", "nope"])
+        assert rc == 2
+        assert "unknown model" in capsys.readouterr().err
+
+
 class TestExperiment:
     @pytest.mark.parametrize("name", ["fig7", "fig8", "table5"])
     def test_quick_experiments_run(self, capsys, name):
         rc = main(["experiment", name])
         assert rc == 0
         assert capsys.readouterr().out.strip()
+
+    def test_sweep_experiment_runs(self, capsys):
+        rc = main(["experiment", "sweep"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resnet50" in out and "best=" in out

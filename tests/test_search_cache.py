@@ -13,7 +13,9 @@ from repro.search import (
     CACHE_VERSION,
     Candidate,
     ProjectionCache,
+    cache_file_for,
     context_fingerprint,
+    fingerprint_digest,
 )
 from repro.search.cache import CachedFailure
 
@@ -142,6 +144,25 @@ class TestPersistence:
         cache = ProjectionCache()
         cache.put("k", proj)
         assert cache.save() is None
+
+    def test_directory_round_trip_via_for_oracle(self, tmp_path, oracle,
+                                                 projection):
+        strategy, proj = projection
+        cache = ProjectionCache.for_oracle(str(tmp_path), oracle)
+        assert cache.path == cache_file_for(
+            str(tmp_path), context_fingerprint(oracle))
+        cache.put("k", proj)
+        cache.save()
+        reloaded = ProjectionCache.for_oracle(str(tmp_path), oracle)
+        assert not reloaded.invalidated
+        assert reloaded.get("k", strategy) == proj
+
+    def test_fingerprint_digest_is_stable_and_sensitive(self, oracle):
+        ctx = context_fingerprint(oracle)
+        digest = fingerprint_digest(ctx)
+        assert digest == fingerprint_digest(dict(ctx))
+        assert digest != fingerprint_digest(dict(ctx, gamma=0.9))
+        assert len(digest) == 16
 
     def test_fingerprint_tracks_model_and_gamma(self, oracle, toy3d):
         base = context_fingerprint(oracle)
