@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The declarative scenario API: one spec, every oracle verb.
+
+Where the other examples assemble ``(model, cluster, profile, comm)`` by
+hand, this driver writes the planning question down once — as a
+:class:`repro.api.ScenarioSpec` — and lets a :class:`repro.api.Session`
+lazily build and cache the world behind it.  The same document drives
+the CLI (``python -m repro project --scenario …``), the harness
+(``repro.harness.run_scenario``), and any future service backend.
+
+    python examples/scenario_api.py
+"""
+
+import json
+import os
+
+from repro.api import Scenario, ScenarioValidationError, Session
+
+SCENARIO_DIR = os.path.join(os.path.dirname(__file__), "scenarios")
+
+
+def from_file() -> None:
+    """Load a scenario document and ask several questions of one session."""
+    spec = Scenario.from_file(
+        os.path.join(SCENARIO_DIR, "project_resnet50.yaml"))
+    print(f"scenario: {spec.describe()}")
+
+    session = Session(spec)
+    projection = session.project()           # the strategy the spec names
+    print(f"  project: epoch={projection.projection.per_epoch.total:.1f}s "
+          f"feasible={projection.projection.feasible_memory}")
+
+    suggestion = session.suggest()           # same session: profile reused
+    best = suggestion.feasible[0]
+    print(f"  suggest: best={best.strategy.describe()} "
+          f"epoch={best.epoch_time:.1f}s")
+
+
+def programmatic() -> None:
+    """Build a spec in code — plain dicts, validated eagerly."""
+    spec = Scenario.from_dict({
+        "name": "alexnet-search",
+        "model": {"name": "alexnet"},
+        "cluster": {"pes": 16},
+        "training": {"samples_per_pe": 8},
+        "search": {"strategies": ["d", "z", "df"], "segments": [4]},
+    })
+    result = Session(spec).search()
+    print(f"scenario: {spec.describe()}")
+    print(f"  search: best={result.report.best.describe()} "
+          f"over {result.report.stats['candidates']} candidates")
+
+    # Every result serializes with schema_version + a scenario echo, so
+    # the answer always carries its question.
+    blob = result.to_dict()
+    print(f"  result envelope: kind={blob['kind']} "
+          f"schema_version={blob['schema_version']} "
+          f"scenario={blob['scenario']['name']}")
+
+
+def validation() -> None:
+    """Bad documents fail eagerly, naming the offending field."""
+    try:
+        Scenario.from_dict({"training": {"optimizer": "warp-drive"}})
+    except ScenarioValidationError as exc:
+        print(f"validation: field={exc.field!r} -> {exc}")
+
+
+def round_trip() -> None:
+    """Specs are lossless through dict and file serialization."""
+    spec = Scenario.from_file(
+        os.path.join(SCENARIO_DIR, "comm_policy_ablation.yaml"))
+    assert Scenario.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+    print("round-trip: to_dict/from_dict lossless "
+          f"({len(json.dumps(spec.to_dict()))} bytes)")
+
+
+if __name__ == "__main__":
+    from_file()
+    programmatic()
+    validation()
+    round_trip()

@@ -3,6 +3,22 @@ Parallel Training of Convolutional Neural Networks" (HPDC 2021).
 
 Public API tour
 ---------------
+Write the planning question down once — a declarative *scenario* — and
+ask a session for the answer (every CLI subcommand, the harness, and
+the sweep orchestrator consume the same documents):
+
+>>> from repro import Scenario, Session
+>>> spec = Scenario.from_dict({
+...     "model": {"name": "resnet50"},
+...     "cluster": {"pes": 64},
+...     "strategy": {"id": "d"},
+... })
+>>> Session(spec).project().exit_code  # typed, schema-versioned result
+0
+
+Or drive the oracle facade directly (the legacy construction path —
+it records the equivalent scenario on ``oracle.scenario``):
+
 >>> from repro import models, ParaDL, profile_model, abci_like_cluster
 >>> from repro.data import IMAGENET
 >>> model = models.resnet50()
@@ -28,6 +44,11 @@ frontier reports:
 
 Packages
 --------
+``repro.api``
+    The declarative scenario layer: validated, serializable
+    ``ScenarioSpec`` documents (YAML/JSON), the lazily-caching
+    ``Session`` facade, and the schema-versioned result objects every
+    ``--json`` payload is generated from.
 ``repro.core``
     Tensor/layer IR, Table-3 analytical model, the ParaDL oracle,
     calibration, limitation detection.
@@ -54,6 +75,8 @@ Packages
 """
 
 from . import collectives, core, data, models, network, search
+from . import api
+from .api import Scenario, ScenarioSpec, ScenarioValidationError, Session
 from .core import (
     AnalyticalModel,
     ComputeProfile,
@@ -72,12 +95,17 @@ from .network import ClusterSpec, abci_like_cluster
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "core",
     "models",
     "network",
     "collectives",
     "data",
     "search",
+    "Scenario",
+    "ScenarioSpec",
+    "ScenarioValidationError",
+    "Session",
     "AnalyticalModel",
     "ComputeProfile",
     "ModelGraph",

@@ -1,0 +1,71 @@
+"""repro.api — the declarative scenario/session layer.
+
+One typed, serializable request contract (:class:`ScenarioSpec` and its
+sections) and one response contract (the :mod:`~repro.api.results`
+objects) sit under every entry point: the :class:`~repro.core.oracle.
+ParaDL` facade, each CLI subcommand (``--scenario file.yaml``), the
+harness runners, and the sweep orchestrator all construct their worlds
+through :class:`Session`.
+
+>>> from repro.api import Scenario, Session
+>>> spec = Scenario.from_dict({
+...     "model": {"name": "resnet50"},
+...     "cluster": {"pes": 16},
+...     "strategy": {"id": "d"},
+... })
+>>> Session(spec).project().exit_code
+0
+
+See ``docs/api.md`` for the schema reference and
+``examples/scenarios/`` for ready-to-run documents.
+"""
+
+from .results import (
+    HybridResult,
+    ProjectionResult,
+    ScenarioResult,
+    SearchResult,
+    SimulationResult,
+    SuggestResult,
+    SweepResult,
+)
+from .session import Session
+from .spec import (
+    SCHEMA_VERSION,
+    ClusterRef,
+    CommSpec,
+    LayerSpec,
+    ModelSpec,
+    Scenario,
+    ScenarioSpec,
+    ScenarioValidationError,
+    SearchSpec,
+    StrategySpec,
+    SweepSpec,
+    TrainingSpec,
+    parse_comm_algo,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioSpec",
+    "ScenarioValidationError",
+    "ModelSpec",
+    "LayerSpec",
+    "ClusterRef",
+    "TrainingSpec",
+    "CommSpec",
+    "StrategySpec",
+    "SearchSpec",
+    "SweepSpec",
+    "Session",
+    "ScenarioResult",
+    "ProjectionResult",
+    "SuggestResult",
+    "HybridResult",
+    "SearchResult",
+    "SweepResult",
+    "SimulationResult",
+    "parse_comm_algo",
+]

@@ -1,0 +1,254 @@
+"""Typed, schema-versioned result objects — the one response contract.
+
+Every :class:`~repro.api.session.Session` verb returns one of these;
+every ``--json`` payload the CLI prints is exactly a result's
+``to_dict()``.  All payloads share an envelope::
+
+    {"schema_version": 1, "kind": "<verb>", "scenario": {...}, ...}
+
+so machine consumers can (a) detect format drift, (b) recover the full
+request that produced an answer, and (c) switch on ``kind`` instead of
+sniffing key sets — the shape unification PR 1-3 outputs lacked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.analytical import Projection
+from ..core.oracle import Suggestion
+from ..core.strategies import Strategy
+from .spec import SCHEMA_VERSION, ScenarioSpec
+
+__all__ = [
+    "ScenarioResult",
+    "ProjectionResult",
+    "SuggestResult",
+    "HybridResult",
+    "SearchResult",
+    "SweepResult",
+    "SimulationResult",
+    "suggestion_to_dict",
+]
+
+
+def suggestion_to_dict(s: Suggestion) -> Dict[str, object]:
+    """JSON-ready row for one ranked :class:`~repro.core.oracle.Suggestion`."""
+    blob: Dict[str, object] = {
+        "rank": s.rank if s.feasible else None,
+        "strategy": s.strategy.describe() if s.strategy else None,
+        "feasible": s.feasible,
+    }
+    if s.projection is not None:
+        blob.update(
+            epoch_s=s.projection.per_epoch.total,
+            iteration_s=s.projection.per_iteration.total,
+            memory_gb=s.projection.memory_bytes / 1e9,
+            comm_policy=s.projection.comm_policy,
+            comm_algorithms=dict(s.projection.comm_algorithms),
+        )
+    if s.reason:
+        blob["reason"] = s.reason
+    return blob
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Base envelope: schema version + the scenario that was answered."""
+
+    scenario: ScenarioSpec
+
+    #: Discriminator value in the serialized envelope.
+    kind = "result"
+
+    def envelope(self) -> Dict[str, object]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "scenario": self.scenario.to_dict(),
+        }
+
+    def payload(self) -> Dict[str, object]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, object]:
+        blob = self.envelope()
+        blob.update(self.payload())
+        return blob
+
+    @property
+    def exit_code(self) -> int:
+        """CLI exit code this result maps to (0 unless overridden)."""
+        return 0
+
+
+@dataclass(frozen=True)
+class ProjectionResult(ScenarioResult):
+    """One strategy projected at one operating point."""
+
+    strategy: Strategy = None
+    projection: Projection = None
+    batch: int = 0
+    inference: bool = False
+    findings: Tuple = ()
+
+    kind = "project"
+
+    def payload(self) -> Dict[str, object]:
+        proj = self.projection
+        it = proj.per_iteration
+        blob: Dict[str, object] = {
+            "model": proj.model_name,
+            "strategy": self.strategy.describe(),
+            "batch": self.batch,
+            "inference": self.inference,
+            "per_iteration": dict(it.asdict(), computation=it.computation,
+                                  communication=it.communication,
+                                  total=it.total),
+            "epoch_s": proj.per_epoch.total,
+            "iterations": proj.iterations,
+            "memory_gb": proj.memory_bytes / 1e9,
+            "memory_capacity_gb": proj.memory_capacity / 1e9,
+            "feasible": proj.feasible_memory,
+            "notes": list(proj.notes),
+            "comm_policy": proj.comm_policy,
+            "comm_algorithms": dict(proj.comm_algorithms),
+        }
+        if self.findings:
+            blob["findings"] = [
+                {"category": f.category, "kind": f.kind, "name": f.name,
+                 "message": f.message, "severity": f.severity}
+                for f in self.findings
+            ]
+        return blob
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.projection.feasible_memory else 1
+
+
+@dataclass(frozen=True)
+class SuggestResult(ScenarioResult):
+    """Every strategy ranked for one PE budget."""
+
+    model: str = ""
+    pes: int = 0
+    suggestions: Tuple[Suggestion, ...] = ()
+
+    kind = "suggest"
+
+    @property
+    def feasible(self) -> List[Suggestion]:
+        return [s for s in self.suggestions if s.feasible]
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "pes": self.pes,
+            "entries": [suggestion_to_dict(s) for s in self.suggestions],
+        }
+
+
+@dataclass(frozen=True)
+class HybridResult(ScenarioResult):
+    """Ranked hybrid ``p = p1 * p2`` factorizations."""
+
+    model: str = ""
+    pes: int = 0
+    kinds: Tuple[str, ...] = ("df", "ds")
+    suggestions: Tuple[Suggestion, ...] = ()
+    top: int = 5
+
+    kind = "hybrid"
+
+    @property
+    def infeasible_count(self) -> int:
+        return sum(1 for s in self.suggestions if not s.feasible)
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "pes": self.pes,
+            "kinds": list(self.kinds),
+            "entries": [
+                suggestion_to_dict(s) for s in self.suggestions[: self.top]
+            ],
+            "infeasible": self.infeasible_count,
+        }
+
+
+@dataclass(frozen=True)
+class SearchResult(ScenarioResult):
+    """An automated search's frontier, best pick, and counters.
+
+    ``report`` is the underlying
+    :class:`~repro.search.engine.SearchReport`; its keys (``stats``,
+    ``best``, ``frontier``, ``objectives``, ``evaluated``) appear
+    unchanged in the payload, with the envelope layered on top.
+    """
+
+    model: str = ""
+    report: object = None
+
+    kind = "search"
+
+    def payload(self) -> Dict[str, object]:
+        blob: Dict[str, object] = {"model": self.model}
+        blob.update(self.report.asdict())
+        return blob
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.report.best is not None else 1
+
+
+@dataclass(frozen=True)
+class SweepResult(ScenarioResult):
+    """A zoo sweep's consolidated report.
+
+    ``report`` is the underlying
+    :class:`~repro.search.sweep.SweepReport`; its keys (``models``,
+    ``summary``, ``results``, ``artifacts``, ``seconds``) appear
+    unchanged in the payload.
+    """
+
+    report: object = None
+
+    kind = "sweep"
+
+    def payload(self) -> Dict[str, object]:
+        return self.report.asdict()
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if all(
+            r.best is not None for r in self.report.results) else 1
+
+
+@dataclass(frozen=True)
+class SimulationResult(ScenarioResult):
+    """Projection vs simulated measured run, with the accuracy metric."""
+
+    strategy: Strategy = None
+    projection: Projection = None
+    run: object = None
+    accuracy: float = 0.0
+    batch: int = 0
+
+    kind = "simulate"
+
+    def payload(self) -> Dict[str, object]:
+        proj_it = self.projection.per_iteration
+        meas = self.run.breakdown
+        return {
+            "model": self.projection.model_name,
+            "strategy": self.strategy.describe(),
+            "batch": self.batch,
+            "oracle_iteration_s": proj_it.total,
+            "measured_iteration_s": self.run.mean_iteration,
+            "oracle": dict(proj_it.asdict(), total=proj_it.total),
+            "measured": dict(meas.asdict(), total=meas.total),
+            "accuracy": self.accuracy,
+            "notes": list(self.run.notes),
+        }

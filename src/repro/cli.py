@@ -7,28 +7,32 @@ the time and resources to provision").  This CLI exposes those workflows:
 .. code-block:: console
 
    python -m repro project  --model resnet50 --strategy d  -p 64 --batch 2048
-   python -m repro project  --model resnet50 --strategy ds -p 64 --inference
+   python -m repro project  --scenario examples/scenarios/project_resnet50.yaml
+   python -m repro project  --scenario plan.yaml -p 256 --json
    python -m repro suggest  --model vgg16 -p 64 --samples-per-pe 32
    python -m repro hybrid   --model vgg16 -p 64
    python -m repro search   --model resnet50 -p 64 --cache plan-cache.json
-   python -m repro search   --model resnet50 -p 64 --comm-policy paper,auto \
-                            --stream --frontier-csv frontier.csv
+   python -m repro search   --scenario examples/scenarios/comm_policy_ablation.yaml
    python -m repro sweep    --models resnet50,resnet152,vgg16 -p 64 \
                             --executor process --cache-dir plan-cache \
                             --report reports/
-   python -m repro project  --model resnet50 --strategy z -p 64 \
-                            --comm-policy auto --json
    python -m repro simulate --model resnet50 --strategy d -p 64 --batch 2048
-   python -m repro validate --p 4
+   python -m repro validate --scenario examples/scenarios/*.yaml
    python -m repro experiment fig5
 
-Every command prints plain-text tables (see :mod:`repro.harness.reporting`)
-and returns a non-zero exit code on infeasible/failed configurations.
-``project``, ``suggest``, ``hybrid``, ``search``, and ``sweep`` accept
-``--json`` for machine-readable output.  Under ``--json``, ``--stream``
-rows go to *stderr* so stdout stays a single parseable JSON document;
-without ``--json`` they are printed to stdout, flushed line-by-line, so
-piped consumers see anytime results as they land.
+Every subcommand accepts ``--scenario FILE`` — a YAML/JSON
+:class:`~repro.api.spec.ScenarioSpec` document — and becomes a thin
+adapter over :class:`~repro.api.session.Session`: the scenario supplies
+the request, explicitly-given flags override individual fields, and the
+session answers.  ``--json`` payloads are the result objects'
+``to_dict()`` — every one carries ``schema_version``, ``kind``, and a
+``scenario`` echo of the fully-resolved request.
+
+Plain-text tables come from :mod:`repro.harness.reporting`; exit codes
+are non-zero on infeasible/failed configurations.  Under ``--json``,
+``--stream`` rows go to *stderr* so stdout stays a single parseable
+JSON document; without ``--json`` they are printed to stdout, flushed
+line-by-line, so piped consumers see anytime results as they land.
 """
 
 from __future__ import annotations
@@ -36,391 +40,235 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from .collectives.registry import COLLECTIVES
-from .collectives.selector import POLICIES, CommModel
-from .core.calibration import profile_model
-from .core.oracle import ParaDL
-from .core.limits import detect_findings
-from .core.strategies import StrategyError, strategy_from_id
-from .data.datasets import DATASETS, IMAGENET
+from .api.session import Session
+from .api.spec import (
+    POLICIES,
+    STRATEGY_IDS,
+    Scenario,
+    ScenarioSpec,
+    ScenarioValidationError,
+    parse_comm_algo,
+)
+from .core.strategies import StrategyError
+from .data.datasets import DATASETS
 from .harness import reporting
-from .models import MODEL_BUILDERS, build_model
-from .network.congestion import CongestionModel
-from .network.topology import abci_like_cluster
+from .models import MODEL_BUILDERS
 
 __all__ = ["main", "build_parser"]
 
+#: Strategy ids offered by ``--strategy`` — the spec layer's list, so
+#: scenario documents and flags can never drift apart.
+_STRATEGY_CHOICES = STRATEGY_IDS
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse tree for all subcommands."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="ParaDL oracle: project/suggest/simulate CNN "
-                    "parallelization strategies",
+
+def build_parser(
+    suppress_defaults: bool = False,
+) -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands.
+
+    ``suppress_defaults=True`` builds the same tree with
+    ``argparse.SUPPRESS`` defaults everywhere; parsing with it reveals
+    which flags the user *explicitly* typed — that set, and only that
+    set, overrides fields of a ``--scenario`` document.
+    """
+    kw: Dict[str, object] = (
+        {"argument_default": argparse.SUPPRESS} if suppress_defaults else {}
     )
-    sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser, model: bool = True) -> None:
-        if model:
-            p.add_argument("--model", default="resnet50",
-                           choices=sorted(MODEL_BUILDERS))
-        p.add_argument("-p", "--pes", type=int, default=64,
-                       help="number of processing elements (GPUs)")
-        p.add_argument("--dataset", default="imagenet",
-                       choices=sorted(DATASETS))
-        p.add_argument("--samples-per-pe", type=int, default=32)
-        p.add_argument("--gamma", type=float, default=0.5,
-                       help="memory-reuse factor")
-        p.add_argument("--optimizer", default="sgd",
-                       choices=("sgd", "momentum", "adam"))
+    def opt(p: argparse.ArgumentParser, *names: str, **kwargs) -> None:
+        """``add_argument`` that honors ``suppress_defaults``.
 
-    def search_flags(
-        p: argparse.ArgumentParser, default_executor: str = "thread"
-    ) -> None:
-        """Space + engine flags shared by ``search`` and ``sweep``."""
-        p.add_argument("--strategies", default=None,
-                       help="comma-separated strategy ids (default: all)")
-        p.add_argument("--pe-sweep", action="store_true",
-                       help="sweep power-of-two PE budgets up to -p")
-        p.add_argument("--segments", default="2,4,8",
-                       help="pipeline micro-batch counts to try")
-        p.add_argument("--workers", type=int, default=None,
-                       help="evaluation worker-pool width")
-        p.add_argument("--executor", default=default_executor,
-                       choices=("thread", "process"),
-                       help="evaluation backend: GIL-bound threads or a "
-                            "process pool that projects across cores "
-                            f"(default: {default_executor})")
-        p.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="shared cross-model cache directory (one "
-                            "fingerprinted file per model/cluster)")
-        p.add_argument("--weights", default=None,
-                       help="scalarization weights, e.g. "
-                            "'epoch_time=1,memory=0.2,pes=0.1'")
-        p.add_argument("--stream", action="store_true",
-                       help="anytime search: print frontier rows "
-                            "incrementally, flushed line-by-line "
-                            "(to stderr under --json so stdout stays "
-                            "parseable)")
+        ``argument_default=SUPPRESS`` only kicks in for arguments that
+        pass no ``default`` of their own, so the suppressed tree must
+        drop the per-argument defaults for explicit-flag detection to
+        see anything.
+        """
+        if suppress_defaults:
+            kwargs.pop("default", None)
+        p.add_argument(*names, **kwargs)
 
-    def json_flag(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--json", action="store_true",
-                       help="machine-readable JSON output")
+    def parent() -> argparse.ArgumentParser:
+        return argparse.ArgumentParser(add_help=False, **kw)
 
-    def comm_flags(p: argparse.ArgumentParser, multi: bool = False) -> None:
-        p.add_argument(
+    # ----------------------------------------------------- shared parents
+    scenario_p = parent()
+    opt(scenario_p,
+        "--scenario", default=None, metavar="FILE",
+        help="YAML/JSON scenario document supplying every field below; "
+             "explicitly-given flags override it")
+
+    model_p = parent()
+    opt(model_p, "--model", default="resnet50",
+        choices=sorted(MODEL_BUILDERS))
+
+    budget_p = parent()
+    opt(budget_p, "-p", "--pes", type=int, default=64,
+        help="number of processing elements (GPUs)")
+    opt(budget_p, "--dataset", default="imagenet",
+        choices=sorted(DATASETS))
+    opt(budget_p, "--samples-per-pe", type=int, default=32)
+    opt(budget_p, "--gamma", type=float, default=0.5,
+        help="memory-reuse factor")
+    opt(budget_p, "--optimizer", default="sgd",
+        choices=("sgd", "momentum", "adam"))
+
+    json_p = parent()
+    json_p.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output (a "
+                             "schema-versioned result document with a "
+                             "scenario echo)")
+
+    def comm_parent(multi: bool = False) -> argparse.ArgumentParser:
+        p = parent()
+        opt(p,
             "--comm-policy", default="paper",
             help="collective algorithm selection policy: "
                  f"{'/'.join(POLICIES)}"
                  + (", or a comma-separated list to sweep" if multi else ""),
         )
-        p.add_argument(
+        opt(p,
             "--comm-algo", default=None, metavar="SPEC",
             help="force collective algorithms, e.g. 'recursive-doubling' "
                  "(applies to allreduce) or "
                  "'allreduce=tree,broadcast=binomial-tree'",
         )
+        return p
 
-    proj = sub.add_parser("project", help="project one strategy (Table 3)")
-    common(proj)
-    proj.add_argument("--strategy", default="d",
-                      choices=("d", "z", "s", "p", "f", "c", "df", "ds"))
-    proj.add_argument("--batch", type=int, default=None,
-                      help="global mini-batch (default: samples-per-pe * p)")
-    proj.add_argument("--segments", type=int, default=4,
-                      help="pipeline micro-batches S")
+    def search_parent(default_executor: str = "thread"
+                      ) -> argparse.ArgumentParser:
+        """Space + engine flags shared by ``search`` and ``sweep``."""
+        p = parent()
+        opt(p, "--strategies", default=None,
+            help="comma-separated strategy ids (default: all)")
+        p.add_argument("--pe-sweep", action="store_true",
+                       help="sweep power-of-two PE budgets up to -p")
+        opt(p, "--segments", default="2,4,8",
+            help="pipeline micro-batch counts to try")
+        opt(p, "--workers", type=int, default=None,
+            help="evaluation worker-pool width")
+        opt(p, "--executor", default=default_executor,
+            choices=("thread", "process"),
+            help="evaluation backend: GIL-bound threads or a "
+                 "process pool that projects across cores "
+                 f"(default: {default_executor})")
+        opt(p, "--cache-dir", default=None, metavar="DIR",
+            help="shared cross-model cache directory (one "
+                 "fingerprinted file per model/cluster)")
+        opt(p, "--weights", default=None,
+            help="scalarization weights, e.g. "
+                 "'epoch_time=1,memory=0.2,pes=0.1'")
+        p.add_argument("--stream", action="store_true",
+                       help="anytime search: print frontier rows "
+                            "incrementally, flushed line-by-line "
+                            "(to stderr under --json so stdout stays "
+                            "parseable)")
+        return p
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParaDL oracle: project/suggest/simulate CNN "
+                    "parallelization strategies",
+        **kw,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help: str, *parents) -> argparse.ArgumentParser:
+        return sub.add_parser(name, help=help, parents=list(parents), **kw)
+
+    proj = add("project", "project one strategy (Table 3)",
+               scenario_p, model_p, budget_p, comm_parent(), json_p)
+    opt(proj, "--strategy", default="d", choices=_STRATEGY_CHOICES)
+    opt(proj, "--batch", type=int, default=None,
+        help="global mini-batch (default: samples-per-pe * p)")
+    opt(proj, "--segments", type=int, default=4,
+        help="pipeline micro-batches S")
     proj.add_argument("--inference", action="store_true",
                       help="forward-only projection (Section 5.4.2)")
     proj.add_argument("--findings", action="store_true",
                       help="also run the Table-6 limitation detector")
-    comm_flags(proj)
-    json_flag(proj)
 
-    sug = sub.add_parser("suggest", help="rank all strategies for a budget")
-    common(sug)
-    comm_flags(sug)
-    json_flag(sug)
+    add("suggest", "rank all strategies for a budget",
+        scenario_p, model_p, budget_p, comm_parent(), json_p)
 
-    hyb = sub.add_parser("hybrid", help="search (p1, p2) hybrid configs")
-    common(hyb)
-    hyb.add_argument("--kinds", default="df,ds")
-    hyb.add_argument("--top", type=int, default=5)
-    comm_flags(hyb)
-    json_flag(hyb)
+    hyb = add("hybrid", "search (p1, p2) hybrid configs",
+              scenario_p, model_p, budget_p, comm_parent(), json_p)
+    opt(hyb, "--kinds", default="df,ds")
+    opt(hyb, "--top", type=int, default=5)
 
-    srch = sub.add_parser(
-        "search",
-        help="automated strategy search: pruning + cache + Pareto frontier")
-    common(srch)
-    search_flags(srch)
-    srch.add_argument("--cache", default=None, metavar="PATH",
-                      help="persistent projection-cache JSON file")
-    srch.add_argument("--top", type=int, default=10,
-                      help="frontier rows to print")
-    srch.add_argument("--frontier-csv", default=None, metavar="PATH",
-                      help="export the Pareto frontier as CSV")
-    comm_flags(srch, multi=True)
-    json_flag(srch)
+    srch = add("search",
+               "automated strategy search: pruning + cache + Pareto "
+               "frontier",
+               scenario_p, model_p, budget_p, search_parent(),
+               comm_parent(multi=True), json_p)
+    opt(srch, "--cache", default=None, metavar="PATH",
+        help="persistent projection-cache JSON file")
+    opt(srch, "--top", type=int, default=10,
+        help="frontier rows to print")
+    opt(srch, "--frontier-csv", default=None, metavar="PATH",
+        help="export the Pareto frontier as CSV")
 
-    swp = sub.add_parser(
-        "sweep",
-        help="multi-model sweep: one search per zoo model, "
-             "consolidated frontier report")
-    swp.add_argument("--models", default="resnet50,resnet152,vgg16",
-                     help="comma-separated zoo model names")
-    common(swp, model=False)
-    search_flags(swp, default_executor="process")
-    swp.add_argument("--report", default=None, metavar="DIR",
-                     help="write per-model frontier CSVs + cross-model "
-                          "summary.csv here")
+    swp = add("sweep",
+              "multi-model sweep: one search per zoo model, "
+              "consolidated frontier report",
+              scenario_p, budget_p, search_parent(default_executor="process"),
+              json_p)
+    opt(swp, "--models", default="resnet50,resnet152,vgg16",
+        help="comma-separated zoo model names")
+    opt(swp, "--report", default=None, metavar="DIR",
+        help="write per-model frontier CSVs + cross-model "
+             "summary.csv here")
     swp.add_argument("--plot", action="store_true",
                      help="also write a frontier plot to the --report dir "
                           "(needs matplotlib; skipped quietly without it)")
-    swp.add_argument("--top", type=int, default=5,
-                     help="frontier rows to print per model")
-    swp.add_argument("--comm-policy", default=None,
-                     help="comm policies to sweep per candidate, "
+    opt(swp, "--top", type=int, default=5,
+        help="frontier rows to print per model")
+    opt(swp, "--comm-policy", default=None,
+        help="comm policies to sweep per candidate, "
                           f"comma-separated from {'/'.join(POLICIES)} "
                           "(default: the oracle's paper policy)")
-    json_flag(swp)
 
-    plan = sub.add_parser("plan",
-                          help="per-layer strategy assignment (DP)")
-    common(plan)
-    plan.add_argument("--batch", type=int, default=None)
+    plan = add("plan", "per-layer strategy assignment (DP)",
+               scenario_p, model_p, budget_p)
+    opt(plan, "--batch", type=int, default=None)
 
-    simp = sub.add_parser("simulate",
-                          help="simulated measured run vs projection")
-    common(simp)
-    simp.add_argument("--strategy", default="d",
-                      choices=("d", "z", "s", "p", "f", "c", "df", "ds"))
-    simp.add_argument("--batch", type=int, default=None)
-    simp.add_argument("--segments", type=int, default=4)
-    simp.add_argument("--iterations", type=int, default=50)
+    simp = add("simulate", "simulated measured run vs projection",
+               scenario_p, model_p, budget_p, json_p)
+    opt(simp, "--strategy", default="d", choices=_STRATEGY_CHOICES)
+    opt(simp, "--batch", type=int, default=None)
+    opt(simp, "--segments", type=int, default=4)
+    opt(simp, "--iterations", type=int, default=50)
     simp.add_argument("--congestion", action="store_true",
                       help="inject external congestion (Figure 6)")
-    simp.add_argument("--seed", type=int, default=42)
+    opt(simp, "--seed", type=int, default=42)
 
     val = sub.add_parser("validate",
-                         help="value-by-value substrate validation")
-    val.add_argument("--p", type=int, default=4)
-    val.add_argument("--batch", type=int, default=8)
+                         help="value-by-value substrate validation, or "
+                              "--scenario schema validation", **kw)
+    opt(val, "--p", type=int, default=4)
+    opt(val, "--batch", type=int, default=8)
+    opt(val, "--scenario", nargs="+", default=None, metavar="FILE",
+        help="validate scenario documents instead of the "
+             "execution substrate")
 
-    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp = add("experiment", "run a paper experiment", scenario_p)
     exp.add_argument("name", choices=(
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
         "table3", "table5", "table6", "accuracy", "search", "sweep",
+        "scenario",
     ))
     exp.add_argument("--full", action="store_true",
                      help="full sweep instead of the quick grid")
     return parser
 
 
-def _parse_comm_algo(spec: Optional[str]) -> dict:
-    """Parse ``--comm-algo``: bare names force the allreduce algorithm;
-    ``collective=name`` pairs force specific collectives."""
-    algo = {}
-    for item in (spec or "").split(","):
-        item = item.strip()
-        if not item:
-            continue
-        coll, sep, name = item.partition("=")
-        if sep:
-            algo[coll.strip()] = name.strip()
-        else:
-            algo["allreduce"] = item
-    unknown = sorted(set(algo) - set(COLLECTIVES))
-    if unknown:
-        raise ValueError(
-            f"unknown collective {unknown[0]!r} in --comm-algo; "
-            f"choose from {sorted(COLLECTIVES)}"
-        )
-    return algo
+# ---------------------------------------------------------------------------
+# Scenario assembly: file (if any) + explicitly-typed flag overrides.
+# ---------------------------------------------------------------------------
 
-
-def _comm_policies(args) -> List[str]:
-    """The (possibly comma-separated) ``--comm-policy`` values."""
-    raw = getattr(args, "comm_policy", "paper") or "paper"
-    policies = [s.strip() for s in raw.split(",") if s.strip()]
-    bad = sorted(set(policies) - set(POLICIES))
-    if bad:
-        raise ValueError(
-            f"unknown comm policy {bad[0]!r}; choose from {sorted(POLICIES)}"
-        )
-    return policies or ["paper"]
-
-
-def _make_oracle(args) -> tuple:
-    dataset = DATASETS[args.dataset]
-    # Shape-coupled models (CosmoFlow) are built at the dataset's sample
-    # size so 512^3 memory analysis is what the user asked about.
-    input_spec = (
-        dataset.sample
-        if args.model == "cosmoflow" and dataset.sample.ndim == 3
-        else None
-    )
-    model = build_model(args.model, input_spec)
-    cluster = abci_like_cluster(max(args.pes, 4))
-    profile = profile_model(model, samples_per_pe=args.samples_per_pe,
-                            optimizer=args.optimizer)
-    try:
-        policies = _comm_policies(args)
-        if len(policies) > 1 and getattr(args, "command", None) != "search":
-            raise ValueError(
-                "only 'search' sweeps several comm policies; "
-                "give a single --comm-policy here"
-            )
-        # In a multi-policy sweep every candidate pins its own policy, so
-        # bind the oracle to the canonical default — this keeps the cache
-        # fingerprint independent of the order the policies were listed.
-        comm = CommModel(
-            cluster,
-            policy=policies[0] if len(policies) == 1 else "paper",
-            algo=_parse_comm_algo(getattr(args, "comm_algo", None)),
-        )
-    except (KeyError, ValueError) as exc:
-        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
-        raise SystemExit(2)
-    # Parsed once here; _cmd_search reuses this instead of re-deriving,
-    # so the sweep dimension and the cache fingerprint stay coupled.
-    args._comm_policies = policies
-    oracle = ParaDL(model, cluster, profile, gamma=args.gamma, comm=comm)
-    return model, cluster, profile, oracle, dataset
-
-
-def _cmd_project(args) -> int:
-    model, cluster, profile, oracle, dataset = _make_oracle(args)
-    batch = args.batch or args.samples_per_pe * args.pes
-    try:
-        strategy = strategy_from_id(
-            args.strategy, args.pes, model, batch,
-            segments=args.segments, intra=cluster.node.gpus,
-        )
-        if args.inference:
-            proj = oracle.analytical.project_inference(
-                strategy, batch, dataset.num_samples)
-        else:
-            proj = oracle.project(strategy, batch, dataset)
-    except (StrategyError, ValueError) as exc:
-        if args.json:
-            print(json.dumps({"feasible": False, "error": str(exc)}))
-        else:
-            print(f"infeasible: {exc}", file=sys.stderr)
-        return 2
-    it = proj.per_iteration
-    if args.json:
-        blob = {
-            "model": model.name,
-            "strategy": strategy.describe(),
-            "batch": batch,
-            "per_iteration": dict(it.asdict(), computation=it.computation,
-                                  communication=it.communication,
-                                  total=it.total),
-            "epoch_s": proj.per_epoch.total,
-            "iterations": proj.iterations,
-            "memory_gb": proj.memory_bytes / 1e9,
-            "memory_capacity_gb": proj.memory_capacity / 1e9,
-            "feasible": proj.feasible_memory,
-            "notes": list(proj.notes),
-            "comm_policy": proj.comm_policy,
-            "comm_algorithms": dict(proj.comm_algorithms),
-        }
-        if args.findings:
-            blob["findings"] = [
-                {"category": f.category, "kind": f.kind, "name": f.name,
-                 "message": f.message, "severity": f.severity}
-                for f in detect_findings(model, proj, profile=profile)
-            ]
-        print(json.dumps(blob, indent=2))
-        return 0 if proj.feasible_memory else 1
-    print(f"{model.name} / {strategy.describe()} / B={batch} "
-          f"on {cluster}")
-    print(reporting.format_breakdown(it))
-    print(f"memory: {proj.memory_bytes / 1e9:.2f} GB/PE "
-          f"(capacity {proj.memory_capacity / 1e9:.0f} GB) "
-          f"{'OK' if proj.feasible_memory else 'OUT OF MEMORY'}")
-    print(f"epoch: {proj.per_epoch.total:.1f} s "
-          f"({proj.iterations} iterations)")
-    if proj.comm_algorithms:
-        chosen = ", ".join(f"{ph}={al}" for ph, al in proj.comm_algorithms)
-        print(f"comm: policy={proj.comm_policy} ({chosen})")
-    for note in proj.notes:
-        print(f"note: {note}")
-    if args.findings:
-        for f in detect_findings(model, proj, profile=profile):
-            print(f"finding: {f}")
-    return 0 if proj.feasible_memory else 1
-
-
-def _suggestion_blob(s) -> dict:
-    blob = {
-        "rank": s.rank if s.feasible else None,
-        "strategy": s.strategy.describe() if s.strategy else None,
-        "feasible": s.feasible,
-    }
-    if s.projection is not None:
-        blob.update(
-            epoch_s=s.projection.per_epoch.total,
-            iteration_s=s.projection.per_iteration.total,
-            memory_gb=s.projection.memory_bytes / 1e9,
-            comm_policy=s.projection.comm_policy,
-            comm_algorithms=dict(s.projection.comm_algorithms),
-        )
-    if s.reason:
-        blob["reason"] = s.reason
-    return blob
-
-
-def _cmd_suggest(args) -> int:
-    model, cluster, profile, oracle, dataset = _make_oracle(args)
-    suggestions = oracle.suggest(args.pes, dataset,
-                                 samples_per_pe=args.samples_per_pe)
-    if args.json:
-        print(json.dumps(
-            {"model": model.name, "pes": args.pes,
-             "entries": [_suggestion_blob(s) for s in suggestions]},
-            indent=2))
-        return 0
-    rows = []
-    for s in suggestions:
-        if s.feasible:
-            rows.append([s.rank, s.strategy.describe(),
-                         f"{s.epoch_time:.1f} s",
-                         f"{s.projection.memory_bytes / 1e9:.1f} GB"])
-        else:
-            rows.append(["-", s.strategy.describe() if s.strategy else "?",
-                         "infeasible", s.reason])
-    print(reporting.format_table(
-        ["rank", "strategy", "epoch", "memory / reason"], rows))
-    return 0
-
-
-def _cmd_hybrid(args) -> int:
-    model, cluster, profile, oracle, dataset = _make_oracle(args)
-    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
-    out = oracle.search_hybrid(args.pes, dataset,
-                               samples_per_pe=args.samples_per_pe,
-                               kinds=kinds)
-    if args.json:
-        print(json.dumps(
-            {"model": model.name, "pes": args.pes,
-             "entries": [_suggestion_blob(s) for s in out[: args.top]],
-             "infeasible": sum(1 for s in out if not s.feasible)},
-            indent=2))
-        return 0
-    rows = []
-    for s in out[: args.top]:
-        if s.feasible:
-            rows.append([s.rank, s.strategy.describe(),
-                         f"{s.epoch_time:.1f} s",
-                         f"{s.projection.memory_bytes / 1e9:.1f} GB"])
-    print(reporting.format_table(["rank", "config", "epoch", "memory"], rows))
-    infeasible = sum(1 for s in out if not s.feasible)
-    if infeasible:
-        print(f"({infeasible} configurations infeasible)")
-    return 0
+def _split_csv(raw: str) -> List[str]:
+    return [s.strip() for s in raw.split(",") if s.strip()]
 
 
 def _parse_weights(spec: Optional[str]) -> Optional[dict]:
@@ -431,8 +279,179 @@ def _parse_weights(spec: Optional[str]) -> Optional[dict]:
         if not item.strip():
             continue
         name, _, value = item.partition("=")
-        weights[name.strip()] = float(value) if value else 1.0
+        try:
+            weights[name.strip()] = float(value) if value else 1.0
+        except ValueError:
+            raise ScenarioValidationError(
+                "search.weights",
+                f"--weights takes name=number pairs, got {item!r}") from None
     return weights or None
+
+
+def _set(overrides: Dict, section: str, key: str, value) -> None:
+    overrides.setdefault(section, {})[key] = value
+
+
+def _common_overrides(args) -> Dict[str, dict]:
+    """Model/cluster/training overrides for explicitly-typed flags."""
+    explicit = args._explicit
+    o: Dict[str, dict] = {}
+    if "model" in explicit:
+        _set(o, "model", "name", args.model)
+    if "pes" in explicit:
+        _set(o, "cluster", "pes", args.pes)
+    for dest, key in (("dataset", "dataset"),
+                      ("samples_per_pe", "samples_per_pe"),
+                      ("gamma", "gamma"),
+                      ("optimizer", "optimizer"),
+                      ("batch", "batch")):
+        if dest in explicit:
+            _set(o, "training", key, getattr(args, dest))
+    return o
+
+
+def _comm_overrides(args, overrides: Dict, *, multi: bool = False) -> None:
+    """Fold ``--comm-policy`` / ``--comm-algo`` into the overrides.
+
+    ``multi=True`` (search/sweep) routes a comma-separated policy list
+    into the ``search.comm_policies`` dimension; everywhere else a list
+    is an error — only search opens the policy as a dimension.
+    """
+    explicit = args._explicit
+    if "comm_policy" in explicit and args.comm_policy is not None:
+        policies = _split_csv(args.comm_policy)
+        bad = sorted(set(policies) - set(POLICIES))
+        if bad:
+            # SystemExit(2), not a return code: the legacy contract for
+            # malformed comm flags, which callers and tests rely on.
+            print(f"error: unknown comm policy {bad[0]!r}; choose from "
+                  f"{sorted(POLICIES)}", file=sys.stderr)
+            raise SystemExit(2)
+        if len(policies) > 1 and not multi:
+            print("error: only 'search' sweeps several comm policies; "
+                  "give a single --comm-policy here", file=sys.stderr)
+            raise SystemExit(2)
+        if len(policies) > 1 or (multi and args.command == "sweep"):
+            _set(overrides, "search", "comm_policies", policies)
+        elif policies:
+            _set(overrides, "comm", "policy", policies[0])
+            if multi:
+                # An explicit single policy pins the whole search run —
+                # it must also clear a scenario file's multi-policy
+                # sweep dimension, or the pin would silently lose.
+                _set(overrides, "search", "comm_policies", [])
+    if "comm_algo" in explicit and args.comm_algo is not None:
+        _set(overrides, "comm", "algo", parse_comm_algo(args.comm_algo))
+
+
+def _search_overrides(args, overrides: Dict) -> None:
+    """Fold the shared search/sweep space + engine flags in."""
+    explicit = args._explicit
+    if "strategies" in explicit and args.strategies is not None:
+        _set(overrides, "search", "strategies", _split_csv(args.strategies))
+    if "pe_sweep" in explicit:
+        _set(overrides, "search", "pe_sweep", bool(args.pe_sweep))
+    if "segments" in explicit:
+        try:
+            segments = [int(s) for s in _split_csv(args.segments)]
+        except ValueError:
+            raise ScenarioValidationError(
+                "search.segments",
+                f"--segments takes comma-separated integers, "
+                f"got {args.segments!r}") from None
+        _set(overrides, "search", "segments", segments)
+    if "workers" in explicit and args.workers is not None:
+        _set(overrides, "search", "workers", args.workers)
+    if "executor" in explicit:
+        _set(overrides, "search", "executor", args.executor)
+    if "cache_dir" in explicit and args.cache_dir is not None:
+        _set(overrides, "search", "cache_dir", args.cache_dir)
+    if getattr(args, "cache", None) is not None and "cache" in explicit:
+        _set(overrides, "search", "cache", args.cache)
+    if "weights" in explicit and args.weights is not None:
+        _set(overrides, "search", "weights", _parse_weights(args.weights))
+
+
+def _strategy_overrides(args, overrides: Dict) -> None:
+    explicit = args._explicit
+    if "strategy" in explicit:
+        _set(overrides, "strategy", "id", args.strategy)
+    if "segments" in explicit:
+        _set(overrides, "strategy", "segments", args.segments)
+
+
+def _load_scenario(args, overrides: Dict, *,
+                   ensure: Sequence[str] = ()) -> ScenarioSpec:
+    """File (or empty) scenario + flag overrides, re-validated.
+
+    ``ensure`` names optional sections the command needs materialized
+    (``"strategy"`` for project/simulate, ``"search"``/``"sweep"`` for
+    the search commands), so the scenario echo is self-describing even
+    when every field is a default.
+    """
+    base = (
+        Scenario.from_file(args.scenario)
+        if getattr(args, "scenario", None)
+        else Scenario.from_dict({})
+    )
+    scenario = base.merged(overrides) if overrides else base
+    missing = {
+        section: {} for section in ensure
+        if getattr(scenario, section) is None
+    }
+    if missing:
+        scenario = scenario.merged(missing)
+    return scenario
+
+
+# ---------------------------------------------------------------------------
+# Rendering helpers
+# ---------------------------------------------------------------------------
+
+def _print_json(result) -> int:
+    print(json.dumps(result.to_dict(), indent=2))
+    return result.exit_code
+
+
+def _error_blob(scenario: ScenarioSpec, kind: str, exc: Exception) -> dict:
+    """The JSON error envelope for infeasible configurations."""
+    return {
+        "schema_version": scenario.schema_version,
+        "kind": kind,
+        "scenario": scenario.to_dict(),
+        "feasible": False,
+        "error": str(exc),
+    }
+
+
+def _invoke(verb):
+    """Run a session verb; ``None`` means a bad configuration (exit 2).
+
+    Construction and evaluation errors (the legacy ``_make_oracle`` /
+    search-invocation catch scope) print ``error:`` and map to exit 2;
+    rendering stays outside this catch, so defects there still raise
+    visibly instead of masquerading as user mistakes.
+    """
+    try:
+        return verb()
+    except ScenarioValidationError:
+        raise
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return None
+
+
+def _suggestion_rows(suggestions) -> List[list]:
+    rows = []
+    for s in suggestions:
+        if s.feasible:
+            rows.append([s.rank, s.strategy.describe(),
+                         f"{s.epoch_time:.1f} s",
+                         f"{s.projection.memory_bytes / 1e9:.1f} GB"])
+        else:
+            rows.append(["-", s.strategy.describe() if s.strategy else "?",
+                         "infeasible", s.reason])
+    return rows
 
 
 class _FrontierStream:
@@ -479,54 +498,107 @@ class _FrontierStream:
               file=out, flush=True)
 
 
-def _cmd_search(args) -> int:
-    from .core.math_utils import power_of_two_budgets
+# ---------------------------------------------------------------------------
+# Subcommands — thin adapters: flags -> scenario -> Session -> result.
+# ---------------------------------------------------------------------------
 
-    model, cluster, profile, oracle, dataset = _make_oracle(args)
-    strategies = (
-        tuple(s.strip() for s in args.strategies.split(",") if s.strip())
-        if args.strategies else None
-    )
-    pe_budgets = (
-        power_of_two_budgets(args.pes) if args.pe_sweep else (args.pes,)
-    )
-    policies = args._comm_policies
+def _cmd_project(args) -> int:
+    overrides = _common_overrides(args)
+    _comm_overrides(args, overrides)
+    _strategy_overrides(args, overrides)
+    scenario = _load_scenario(args, overrides, ensure=("strategy",))
+    session = Session(scenario)
+    try:
+        result = session.project(inference=args.inference,
+                                 findings=args.findings)
+    except ScenarioValidationError:
+        raise  # a document defect, not an infeasible configuration
+    except (StrategyError, ValueError) as exc:
+        if args.json:
+            print(json.dumps(_error_blob(scenario, "project", exc)))
+        else:
+            print(f"infeasible: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        return _print_json(result)
+    proj = result.projection
+    it = proj.per_iteration
+    print(f"{session.model.name} / {result.strategy.describe()} / "
+          f"B={result.batch} on {session.cluster}")
+    print(reporting.format_breakdown(it))
+    print(f"memory: {proj.memory_bytes / 1e9:.2f} GB/PE "
+          f"(capacity {proj.memory_capacity / 1e9:.0f} GB) "
+          f"{'OK' if proj.feasible_memory else 'OUT OF MEMORY'}")
+    print(f"epoch: {proj.per_epoch.total:.1f} s "
+          f"({proj.iterations} iterations)")
+    if proj.comm_algorithms:
+        chosen = ", ".join(f"{ph}={al}" for ph, al in proj.comm_algorithms)
+        print(f"comm: policy={proj.comm_policy} ({chosen})")
+    for note in proj.notes:
+        print(f"note: {note}")
+    for f in result.findings:
+        print(f"finding: {f}")
+    return result.exit_code
+
+
+def _cmd_suggest(args) -> int:
+    overrides = _common_overrides(args)
+    _comm_overrides(args, overrides)
+    session = Session(_load_scenario(args, overrides))
+    result = _invoke(session.suggest)
+    if result is None:
+        return 2
+    if args.json:
+        return _print_json(result)
+    print(reporting.format_table(
+        ["rank", "strategy", "epoch", "memory / reason"],
+        _suggestion_rows(result.suggestions)))
+    return 0
+
+
+def _cmd_hybrid(args) -> int:
+    overrides = _common_overrides(args)
+    _comm_overrides(args, overrides)
+    session = Session(_load_scenario(args, overrides))
+    kinds = tuple(_split_csv(args.kinds))
+    result = _invoke(lambda: session.hybrid(kinds=kinds, top=args.top))
+    if result is None:
+        return 2
+    if args.json:
+        return _print_json(result)
+    rows = _suggestion_rows(
+        [s for s in result.suggestions[: args.top] if s.feasible])
+    print(reporting.format_table(["rank", "config", "epoch", "memory"], rows))
+    if result.infeasible_count:
+        print(f"({result.infeasible_count} configurations infeasible)")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    overrides = _common_overrides(args)
+    _comm_overrides(args, overrides, multi=True)
+    _search_overrides(args, overrides)
+    scenario = _load_scenario(args, overrides, ensure=("search",))
+    session = Session(scenario)
     # With --json the rows stream to stderr so stdout stays parseable.
     stream = (
         _FrontierStream(file=sys.stderr if args.json else None)
         if args.stream else None
     )
-    try:
-        segments = tuple(
-            int(s) for s in args.segments.split(",") if s.strip())
-        report = oracle.search(
-            args.pes, dataset,
-            samples_per_pe=args.samples_per_pe,
-            strategies=strategies,
-            pe_budgets=pe_budgets,
-            segments=segments,
-            cache=args.cache,
-            cache_dir=args.cache_dir,
-            workers=args.workers,
-            executor=args.executor,
-            weights=_parse_weights(args.weights),
-            comm=tuple(policies) if len(policies) > 1 else None,
-            on_result=stream,
-        )
-    except (KeyError, ValueError) as exc:
-        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+    result = _invoke(lambda: session.search(on_result=stream))
+    if result is None:
         return 2
+    report = result.report
     if args.frontier_csv:
         from .search.sweep import write_frontier_csv
 
         write_frontier_csv(args.frontier_csv, report)
     if args.json:
-        print(json.dumps(report.asdict(), indent=2))
-        return 0 if report.best is not None else 1
+        return _print_json(result)
     st = report.stats
-    print(f"{model.name} on {cluster}: searched {st['candidates']} "
-          f"candidates ({st['pruned']} pruned, {st['infeasible']} "
-          f"infeasible, {st['cache_hits']} cache hits)")
+    print(f"{session.model.name} on {session.cluster}: searched "
+          f"{st['candidates']} candidates ({st['pruned']} pruned, "
+          f"{st['infeasible']} infeasible, {st['cache_hits']} cache hits)")
     if report.best is None:
         print("no feasible configuration found", file=sys.stderr)
         return 1
@@ -543,26 +615,27 @@ def _cmd_search(args) -> int:
     print(f"best: {report.best.describe()} "
           f"epoch={report.best.epoch_time:.1f} s "
           f"memory={report.best.memory_gb:.1f} GB")
-    if args.cache:
-        print(f"cache: {args.cache}")
+    search_spec = scenario.search
+    if search_spec.cache:
+        print(f"cache: {search_spec.cache}")
     if args.frontier_csv:
         print(f"frontier csv: {args.frontier_csv}")
     return 0
 
 
 def _cmd_sweep(args) -> int:
-    from .core.math_utils import power_of_two_budgets
-    from .search.sweep import SweepRunner
-
-    models = [m.strip() for m in args.models.split(",") if m.strip()]
-    strategies = (
-        tuple(s.strip() for s in args.strategies.split(",") if s.strip())
-        if args.strategies else None
-    )
-    policies = (
-        tuple(s.strip() for s in args.comm_policy.split(",") if s.strip())
-        if args.comm_policy else ()
-    )
+    overrides = _common_overrides(args)
+    _comm_overrides(args, overrides, multi=True)
+    _search_overrides(args, overrides)
+    explicit = args._explicit
+    if "models" in explicit:
+        _set(overrides, "sweep", "models", _split_csv(args.models))
+    if "report" in explicit and args.report is not None:
+        _set(overrides, "sweep", "report_dir", args.report)
+    if "plot" in explicit:
+        _set(overrides, "sweep", "plot", bool(args.plot))
+    scenario = _load_scenario(args, overrides, ensure=("sweep", "search"))
+    session = Session(scenario)
     streams: dict = {}
 
     def on_result(model, evaluation) -> None:
@@ -572,38 +645,17 @@ def _cmd_sweep(args) -> int:
                 prefix=f"{model} ")
         streams[model](evaluation)
 
-    try:
-        segments = tuple(
-            int(s) for s in args.segments.split(",") if s.strip())
-        runner = SweepRunner(
-            models, DATASETS[args.dataset],
-            pes=args.pes,
-            samples_per_pe=args.samples_per_pe,
-            optimizer=args.optimizer,
-            gamma=args.gamma,
-            strategies=strategies,
-            pe_budgets=(
-                tuple(power_of_two_budgets(args.pes)) if args.pe_sweep
-                else None),
-            segments=segments,
-            comm_policies=policies,
-            executor=args.executor,
-            workers=args.workers,
-            cache_dir=args.cache_dir,
-            weights=_parse_weights(args.weights),
-        )
-        report = runner.run(on_result=on_result if args.stream else None)
-    except (KeyError, ValueError) as exc:
-        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+    result = _invoke(
+        lambda: session.sweep(on_result=on_result if args.stream else None))
+    if result is None:
         return 2
-    if args.report:
-        report.write_report(args.report, plot=args.plot)
+    report = result.report
     if args.json:
-        print(json.dumps(report.asdict(), indent=2))
-        return 0 if all(r.best is not None for r in report.results) else 1
+        return _print_json(result)
+    executor = scenario.search.executor or "process"
     rows = []
-    for result, row in zip(report.results, report.summary_rows()):
-        feasible = result.best is not None
+    for res, row in zip(report.results, report.summary_rows()):
+        feasible = res.best is not None
         rows.append([
             row["model"], row["best"],
             f"{row['epoch_s']:.1f} s" if feasible else "-",
@@ -611,32 +663,35 @@ def _cmd_sweep(args) -> int:
             row["frontier"], row["candidates"], row["cache_hits"],
             f"{row['seconds']:.2f} s",
         ])
-    print(f"swept {len(report.results)} models on {runner.cluster} "
-          f"({args.executor} executor, {report.seconds:.2f} s total)")
+    print(f"swept {len(report.results)} models on {session.cluster} "
+          f"({executor} executor, {report.seconds:.2f} s total)")
     print(reporting.format_table(
         ["model", "best", "epoch", "memory", "frontier", "cands",
          "cache hits", "wall"], rows))
-    for result in report.results:
-        for i, e in enumerate(result.report.frontier[: args.top]):
-            print(f"  {result.model} #{i + 1}: {e.describe()} "
+    for res in report.results:
+        for i, e in enumerate(res.report.frontier[: args.top]):
+            print(f"  {res.model} #{i + 1}: {e.describe()} "
                   f"epoch={e.epoch_time:.1f}s mem={e.memory_gb:.1f}GB")
     best = report.best_overall
     if best is not None:
         print(f"fastest model: {best.model} — {best.best.describe()} "
               f"epoch={best.best.epoch_time:.1f} s")
-    if args.cache_dir:
-        print(f"cache dir: {args.cache_dir}")
+    if scenario.search.cache_dir:
+        print(f"cache dir: {scenario.search.cache_dir}")
     for name, path in sorted(report.artifacts.items()):
         print(f"artifact {name}: {path}")
-    return 0 if all(r.best is not None for r in report.results) else 1
+    return result.exit_code
 
 
 def _cmd_plan(args) -> int:
-    model, cluster, profile, oracle, dataset = _make_oracle(args)
-    batch = args.batch or args.samples_per_pe * args.pes
-    plan = oracle.plan_layerwise(args.pes, batch)
-    print(f"{model.name} / p={args.pes} / B={batch}: per-layer plan "
-          f"({plan.per_iteration.total * 1e3:.1f} ms/iter)")
+    overrides = _common_overrides(args)
+    session = Session(_load_scenario(args, overrides))
+    batch = session.batch
+    plan = _invoke(lambda: session.oracle.plan_layerwise(session.pes, batch))
+    if plan is None:
+        return 2
+    print(f"{session.model.name} / p={session.pes} / B={batch}: "
+          f"per-layer plan ({plan.per_iteration.total * 1e3:.1f} ms/iter)")
     print("mode counts:", dict(sorted(plan.mode_counts.items())))
     rows = [
         [a.layer, a.mode, f"{a.comp_s * 1e3:.2f}", f"{a.comm_s * 1e3:.2f}",
@@ -652,41 +707,45 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from .simulator import SimulationOptions, TrainingSimulator
-
-    model, cluster, profile, oracle, dataset = _make_oracle(args)
-    batch = args.batch or args.samples_per_pe * args.pes
+    overrides = _common_overrides(args)
+    _strategy_overrides(args, overrides)
+    scenario = _load_scenario(args, overrides, ensure=("strategy",))
+    session = Session(scenario)
     try:
-        strategy = strategy_from_id(
-            args.strategy, args.pes, model, batch,
-            segments=args.segments, intra=cluster.node.gpus,
-        )
-        proj = oracle.project(strategy, batch, dataset)
+        result = session.simulate(iterations=args.iterations,
+                                  congestion=args.congestion,
+                                  seed=args.seed)
+    except ScenarioValidationError:
+        raise  # a document defect, not an infeasible configuration
     except (StrategyError, ValueError) as exc:
-        print(f"infeasible: {exc}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(_error_blob(scenario, "simulate", exc)))
+        else:
+            print(f"infeasible: {exc}", file=sys.stderr)
         return 2
-    congestion = (
-        CongestionModel(outlier_rate=0.1, seed=args.seed)
-        if args.congestion else None
-    )
-    sim = TrainingSimulator(
-        model, cluster,
-        options=SimulationOptions(iterations=args.iterations,
-                                  seed=args.seed,
-                                  optimizer=args.optimizer,
-                                  congestion=congestion),
-    )
-    run = sim.run(strategy, batch, dataset.num_samples)
-    acc = proj.accuracy_per_iteration(run.mean_iteration)
-    print(f"oracle   : {reporting.format_breakdown(proj.per_iteration)}")
-    print(f"measured : {reporting.format_breakdown(run.breakdown)}")
-    print(f"accuracy : {reporting.pct(acc)}")
-    for note in run.notes:
+    if args.json:
+        return _print_json(result)
+    print(f"oracle   : "
+          f"{reporting.format_breakdown(result.projection.per_iteration)}")
+    print(f"measured : {reporting.format_breakdown(result.run.breakdown)}")
+    print(f"accuracy : {reporting.pct(result.accuracy)}")
+    for note in result.run.notes:
         print(f"note: {note}")
     return 0
 
 
 def _cmd_validate(args) -> int:
+    if args.scenario:
+        failed = 0
+        for path in args.scenario:
+            try:
+                spec = Scenario.from_file(path)
+            except ScenarioValidationError as exc:
+                print(f"{path}: INVALID — {exc}", file=sys.stderr)
+                failed += 1
+                continue
+            print(f"{path}: OK ({spec.describe()})")
+        return 1 if failed else 0
     from .models import toy_cnn, toy_cnn3d
     from .tensorparallel import (
         ChannelParallelExecutor,
@@ -721,12 +780,27 @@ def _cmd_validate(args) -> int:
 def _cmd_experiment(args) -> int:
     from .harness import (
         run_accuracy_summary, run_fig3, run_fig4, run_fig5, run_fig6,
-        run_fig7, run_fig8, run_search_best, run_sweep, run_table3,
-        run_table5, run_table6,
+        run_fig7, run_fig8, run_scenario, run_search_best, run_sweep,
+        run_table3, run_table5, run_table6,
     )
 
     quick = not args.full
     name = args.name
+    if name == "scenario":
+        if not getattr(args, "scenario", None):
+            print("error: 'experiment scenario' needs --scenario FILE",
+                  file=sys.stderr)
+            return 2
+        try:
+            result = run_scenario(args.scenario)
+        except ScenarioValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (StrategyError, ValueError) as exc:
+            print(f"infeasible: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(result.to_dict(), indent=2))
+        return result.exit_code
     if name == "fig3":
         for c in run_fig3(quick=quick):
             print(f"{c.label:28s} oracle={c.oracle.total * 1e3:9.2f}ms "
@@ -806,12 +880,31 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
 }
 
+#: Commands whose handlers build a Session (and so can fail scenario
+#: validation); the rest parse no scenario-mapped flags.  Only
+#: ScenarioValidationError is handled here — verb invocations carry
+#: their own narrow catches, so genuine defects in rendering or
+#: reporting still surface as tracebacks instead of a clean "error:".
+_SCENARIO_COMMANDS = frozenset(
+    {"project", "suggest", "hybrid", "search", "sweep", "plan", "simulate"})
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: parse ``argv`` and dispatch; returns the exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    # A second parse with suppressed defaults reveals which flags were
+    # explicitly typed — only those override a --scenario document.
+    args._explicit = frozenset(
+        vars(build_parser(suppress_defaults=True).parse_args(argv)))
+    handler = _COMMANDS[args.command]
+    if args.command in _SCENARIO_COMMANDS:
+        try:
+            return handler(args)
+        except ScenarioValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    raise SystemExit(main(argv=None))

@@ -72,6 +72,16 @@ class ParaDL:
         :class:`~repro.collectives.selector.CommModel`.
     delta / gamma / halo_transport / contention:
         Forwarded to :class:`~repro.core.analytical.AnalyticalModel`.
+    scenario:
+        The :class:`~repro.api.spec.ScenarioSpec` this oracle realizes.
+        Normally supplied by :class:`~repro.api.session.Session`; direct
+        construction is the legacy path — it keeps working, and for zoo
+        models at default analytical knobs the shim records a
+        *provenance* spec on :attr:`scenario` (profile-level knobs are
+        not recoverable, so the echo identifies the configuration
+        rather than guaranteeing reproduction; ``None`` when no honest
+        echo exists).  Prefer :meth:`from_scenario` / ``Session`` for
+        new code: specs serialize, sessions cache.
     """
 
     def __init__(
@@ -85,6 +95,7 @@ class ParaDL:
         halo_transport: str = "mpi",
         contention: bool = True,
         comm=None,
+        scenario=None,
     ) -> None:
         self.model = model
         self.cluster = cluster
@@ -101,6 +112,66 @@ class ParaDL:
         )
         #: The bound communication model (shared with ``analytical``).
         self.comm = self.analytical.comm
+        #: The scenario this oracle realizes (derived best-effort for
+        #: legacy direct construction; ``None`` for custom models the
+        #: spec layer cannot name).
+        self.scenario = (
+            scenario if scenario is not None
+            else self._derive_scenario(
+                gamma,
+                defaults=(delta == 4 and halo_transport == "mpi"
+                          and contention),
+            )
+        )
+
+    @classmethod
+    def from_scenario(cls, scenario) -> "ParaDL":
+        """Build the oracle a scenario describes (dict, path, or spec).
+
+        This is :class:`~repro.api.session.Session` construction without
+        keeping the session — use a ``Session`` when you will ask more
+        than one question, so profiles and caches are reused.
+        """
+        from ..api.session import Session
+
+        return Session(scenario).oracle
+
+    def _derive_scenario(self, gamma: float, *, defaults: bool):
+        """Provenance echo for legacy ``ParaDL(model, ...)`` calls.
+
+        Only derived when the model is a zoo model and the analytical
+        knobs (delta, halo transport, contention) are at their
+        defaults; ``None`` otherwise.  The model, cluster size, comm
+        policy/forcing, and gamma are faithful; profile-level knobs
+        (``samples_per_pe``, ``optimizer``) are not recoverable from a
+        :class:`ComputeProfile` and stay at spec defaults — treat the
+        echo as identification, not a guaranteed-reproducible request
+        (construct via :meth:`from_scenario` / ``Session`` for that).
+        """
+        from ..models import MODEL_BUILDERS
+
+        if not defaults or self.model.name not in MODEL_BUILDERS:
+            return None
+        from ..api.spec import (
+            ClusterRef,
+            CommSpec,
+            ModelSpec,
+            ScenarioSpec,
+            TrainingSpec,
+        )
+
+        return ScenarioSpec(
+            model=ModelSpec(name=self.model.name),
+            cluster=ClusterRef(
+                pes=self.cluster.total_gpus,
+                gpus_per_node=self.cluster.node.gpus,
+            ),
+            training=TrainingSpec(gamma=gamma),
+            comm=CommSpec(
+                policy=self.comm.policy,
+                algo=tuple(sorted(self.comm.algo.items())),
+            ),
+        )
 
     # ---------------------------------------------------------------- project
     def project(
@@ -293,6 +364,7 @@ class ParaDL:
         strategies: Optional[Sequence[str]] = None,
         pe_budgets: Optional[Sequence[int]] = None,
         segments: Sequence[int] = (2, 4, 8),
+        fixed_batches: Optional[Sequence[int]] = None,
         cache=None,
         cache_dir: Optional[str] = None,
         workers: Optional[int] = None,
@@ -302,6 +374,10 @@ class ParaDL:
         on_result=None,
     ):
         """Automated strategy search (the :mod:`repro.search` facade).
+
+        ``fixed_batches`` pins the strong scalers' global batches
+        (default: one node's worth of samples per
+        :class:`~repro.search.space.SearchSpace` convention).
 
         Expands a declarative space over the candidate strategies, every
         hybrid ``p = p1 * p2`` factorization, the PE budgets (default:
@@ -355,6 +431,8 @@ class ParaDL:
             else DEFAULT_STRATEGIES,
             pe_budgets=tuple(pe_budgets) if pe_budgets else (p,),
             samples_per_pe=(samples_per_pe,),
+            fixed_batches=(
+                tuple(fixed_batches) if fixed_batches else ()),
             segments=tuple(segments),
             comm_policies=comm_policies,
         )

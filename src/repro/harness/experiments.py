@@ -52,6 +52,7 @@ __all__ = [
     "Fig3Cell",
     "FIG3_CONFIG",
     "make_environment",
+    "run_scenario",
     "run_fig3",
     "run_fig4",
     "run_fig5",
@@ -106,6 +107,38 @@ FIG3_QUICK_PS: Dict[str, Tuple[int, ...]] = {
     "df": (16, 64),
     "ds": (16, 64),
 }
+
+
+def run_scenario(scenario, *, on_result=None):
+    """Execute one declarative scenario end-to-end.
+
+    ``scenario`` may be a :class:`~repro.api.spec.ScenarioSpec`, a plain
+    mapping, or a YAML/JSON file path.  The scenario's optional
+    sections select the workload — a ``sweep`` section runs the zoo
+    sweep, a ``search`` section the automated search, and otherwise the
+    (defaulted) ``strategy`` section is projected — and the matching
+    typed result object (:mod:`repro.api.results`) is returned, exactly
+    as the CLI's ``--scenario`` path produces it.
+
+    ``on_result(evaluation)`` streams individual evaluations for
+    search/sweep workloads (ignored for plain projections) — one
+    argument for both, so a callback keeps working when a document
+    gains a sweep section; use :meth:`Session.sweep` directly if you
+    need the per-model callback signature.
+    """
+    from ..api.session import Session
+
+    session = Session(scenario)
+    spec = session.scenario
+    if spec.sweep is not None:
+        adapted = (
+            (lambda model, evaluation: on_result(evaluation))
+            if on_result is not None else None
+        )
+        return session.sweep(on_result=adapted)
+    if spec.search is not None:
+        return session.search(on_result=on_result)
+    return session.project()
 
 
 def make_environment(

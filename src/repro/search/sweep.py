@@ -254,6 +254,11 @@ class SweepRunner:
     cache_dir:
         Shared cross-model cache directory; each model persists its own
         fingerprinted file there, so a warm re-run projects nothing.
+    comm_model:
+        The :class:`~repro.collectives.selector.CommModel` (or policy
+        name) every per-model oracle binds — how candidates are costed
+        when ``comm_policies`` opens no per-candidate dimension.
+        ``None`` keeps the oracle default (the paper policy).
     weights:
         Scalarization weights for each model's best pick.
     oracle_factory:
@@ -274,10 +279,12 @@ class SweepRunner:
         strategies: Optional[Sequence[str]] = None,
         pe_budgets: Optional[Sequence[int]] = None,
         segments: Sequence[int] = (2, 4, 8),
+        fixed_batches: Sequence[int] = (),
         comm_policies: Sequence[str] = (),
         executor: str = "process",
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        comm_model=None,
         weights=None,
         oracle_factory: Optional[Callable[[str], object]] = None,
     ) -> None:
@@ -295,6 +302,7 @@ class SweepRunner:
         self.executor = executor
         self.workers = workers
         self.cache_dir = cache_dir
+        self.comm_model = comm_model
         self.weights = weights
         self.oracle_factory = oracle_factory
         self.space = SearchSpace(
@@ -302,9 +310,99 @@ class SweepRunner:
                 tuple(strategies) if strategies else DEFAULT_STRATEGIES),
             pe_budgets=tuple(pe_budgets) if pe_budgets else (pes,),
             samples_per_pe=(samples_per_pe,),
+            fixed_batches=tuple(fixed_batches),
             segments=tuple(segments),
             comm_policies=tuple(comm_policies),
         )
+
+    # ------------------------------------------------------------ scenarios
+    @classmethod
+    def from_scenario(cls, scenario, *, cluster: Optional[ClusterSpec] = None,
+                      oracle_factory=None) -> "SweepRunner":
+        """Build the runner a :class:`~repro.api.spec.ScenarioSpec`
+        describes (dicts and file paths are coerced through the spec
+        layer).
+
+        The ``sweep`` section names the models (defaulting to the
+        standard zoo trio when absent); the ``search`` section supplies
+        the space and engine knobs every model shares; ``training`` /
+        ``cluster`` / ``comm`` fix the environment.  The ``comm``
+        section binds every per-model oracle unless
+        ``search.comm_policies`` opens the policy as a per-candidate
+        dimension (candidates then pin their own policy and the oracles
+        stay on the canonical paper default, keeping cache fingerprints
+        independent of the policy-list order).  ``cluster`` may be
+        passed pre-built to share one instance with a session.
+        """
+        from ..api.spec import ScenarioSpec, SearchSpec, SweepSpec
+        from ..collectives.selector import CommModel
+        from ..core.math_utils import power_of_two_budgets
+        from ..data.datasets import DATASETS
+
+        if not isinstance(scenario, ScenarioSpec):
+            if isinstance(scenario, (str, os.PathLike)):
+                scenario = ScenarioSpec.from_file(scenario)
+            else:
+                scenario = ScenarioSpec.from_dict(scenario)
+        sweep = scenario.sweep or SweepSpec()
+        search = scenario.search or SearchSpec()
+        if search.cache is not None:
+            # from_dict rejects this for documents with a sweep section;
+            # repeat the check here for specs assembled programmatically
+            # (e.g. Session.sweep on a search-only scenario).
+            from ..api.spec import ScenarioValidationError
+
+            raise ScenarioValidationError(
+                "search.cache",
+                "a sweep persists one cache file per model; use "
+                "search.cache_dir instead")
+        pes = scenario.cluster.pes
+        cluster = cluster or scenario.cluster.build()
+        runner = cls(
+            sweep.models,
+            DATASETS[scenario.training.dataset],
+            pes=pes,
+            cluster=cluster,
+            samples_per_pe=scenario.training.samples_per_pe,
+            optimizer=scenario.training.optimizer,
+            gamma=scenario.training.gamma,
+            strategies=search.strategies or None,
+            pe_budgets=(
+                tuple(power_of_two_budgets(pes)) if search.pe_sweep
+                else None),
+            segments=search.segments,
+            comm_policies=search.comm_policies,
+            executor=search.executor or "process",
+            workers=search.workers,
+            cache_dir=search.cache_dir,
+            comm_model=(
+                scenario.comm.build(cluster)
+                if not search.comm_policies
+                # Policy dimension open: candidates pin their own
+                # policy, the oracle stays on the canonical paper
+                # default — but per-collective forcing still applies,
+                # exactly as Session._search_oracle preserves it.
+                else CommModel(cluster, policy="paper",
+                               algo=dict(scenario.comm.algo))),
+            weights=dict(search.weights) or None,
+            oracle_factory=oracle_factory,
+        )
+        if scenario.training.batch is not None:
+            from dataclasses import replace
+
+            # An explicit training.batch pins the global batch at the
+            # budget — weak scalers via batch/pes samples per PE,
+            # strong scalers via the fixed batch (divisibility
+            # spec-checked) — without touching the profiling grain, so
+            # `repro search` and a single-model sweep cost one document
+            # identically.
+            batch = scenario.training.batch
+            runner.space = replace(
+                runner.space,
+                samples_per_pe=(max(1, batch // pes),),
+                fixed_batches=(batch,),
+            )
+        return runner
 
     # ------------------------------------------------------------- plumbing
     def _oracle(self, name: str):
@@ -324,7 +422,8 @@ class SweepRunner:
             model, samples_per_pe=self.samples_per_pe,
             optimizer=self.optimizer,
         )
-        return ParaDL(model, self.cluster, profile, gamma=self.gamma)
+        return ParaDL(model, self.cluster, profile, gamma=self.gamma,
+                      comm=self.comm_model)
 
     def engine_for(self, name: str) -> SearchEngine:
         """The per-model engine (parameterized, not yet run)."""

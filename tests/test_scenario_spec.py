@@ -1,0 +1,253 @@
+"""Tests for the declarative scenario spec layer (repro.api.spec)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    ClusterRef,
+    CommSpec,
+    ModelSpec,
+    Scenario,
+    ScenarioSpec,
+    ScenarioValidationError,
+    SearchSpec,
+    StrategySpec,
+    SweepSpec,
+    TrainingSpec,
+)
+
+FULL_DOC = {
+    "schema_version": SCHEMA_VERSION,
+    "name": "everything",
+    "model": {"name": "vgg16"},
+    "cluster": {"kind": "abci-like", "pes": 16, "gpus_per_node": 4},
+    "training": {"dataset": "imagenet", "samples_per_pe": 8,
+                 "optimizer": "adam", "gamma": 0.25, "batch": 128},
+    "comm": {"policy": "auto", "algo": {"allreduce": "ring"}},
+    "strategy": {"id": "df", "segments": 8},
+    "search": {"strategies": ["d", "df"], "segments": [2, 4],
+               "comm_policies": ["paper", "auto"], "pe_sweep": True,
+               "workers": 2, "executor": "thread",
+               "cache_dir": "plan-cache",
+               "weights": {"epoch_time": 1.0, "memory": 0.2}},
+    "sweep": {"models": ["alexnet", "vgg16"], "report_dir": "reports",
+              "plot": True},
+}
+
+
+class TestRoundTrip:
+    def test_empty_document_gets_defaults(self):
+        spec = Scenario.from_dict({})
+        assert spec.model.name == "resnet50"
+        assert spec.cluster.pes == 64
+        assert spec.training.dataset == "imagenet"
+        assert spec.comm.policy == "paper"
+        assert spec.strategy is None and spec.search is None
+        assert spec.schema_version == SCHEMA_VERSION
+
+    def test_to_dict_from_dict_identity(self):
+        spec = Scenario.from_dict(FULL_DOC)
+        blob = spec.to_dict()
+        assert Scenario.from_dict(blob) == spec
+        assert Scenario.from_dict(blob).to_dict() == blob
+
+    def test_to_dict_is_json_serializable_and_normalized(self):
+        blob = Scenario.from_dict(FULL_DOC).to_dict()
+        rehydrated = json.loads(json.dumps(blob))
+        assert Scenario.from_dict(rehydrated).to_dict() == blob
+
+    def test_file_round_trip_json(self, tmp_path):
+        path = str(tmp_path / "scenario.json")
+        spec = Scenario.from_dict(FULL_DOC)
+        spec.to_file(path)
+        assert Scenario.from_file(path) == spec
+
+    def test_file_round_trip_yaml(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = str(tmp_path / "scenario.yaml")
+        spec = Scenario.from_dict(FULL_DOC)
+        spec.to_file(path)
+        assert Scenario.from_file(path).to_dict() == spec.to_dict()
+
+    def test_dict_file_scenario_dict_identity(self, tmp_path):
+        """The satellite contract: dict -> file -> Scenario -> dict."""
+        path = str(tmp_path / "s.json")
+        original = Scenario.from_dict(FULL_DOC).to_dict()
+        with open(path, "w") as fh:
+            json.dump(original, fh)
+        assert Scenario.from_file(path).to_dict() == original
+
+    def test_scenario_alias_is_scenariospec(self):
+        assert Scenario is ScenarioSpec
+
+
+class TestValidationErrors:
+    @pytest.mark.parametrize("doc,field", [
+        ({"modle": {}}, "modle"),
+        ({"model": {"name": "nope"}}, "model.name"),
+        ({"model": {"nmae": "vgg16"}}, "model.nmae"),
+        ({"cluster": {"pes": 0}}, "cluster.pes"),
+        ({"cluster": {"pes": "many"}}, "cluster.pes"),
+        ({"cluster": {"kind": "summit"}}, "cluster.kind"),
+        ({"training": {"dataset": "mnist"}}, "training.dataset"),
+        ({"training": {"optimizer": "lion"}}, "training.optimizer"),
+        ({"training": {"gamma": 7}}, "training.gamma"),
+        ({"training": {"gamma": 0}}, "training.gamma"),
+        ({"training": {"batch": 0}}, "training.batch"),
+        ({"comm": {"policy": "warp"}}, "comm.policy"),
+        ({"comm": {"algo": {"allgatherz": "ring"}}}, "comm.algo.allgatherz"),
+        ({"comm": {"algo": {"allreduce": "bogus"}}}, "comm.algo.allreduce"),
+        ({"comm": {"algo": "bogus-algo"}}, "comm.algo.allreduce"),
+        ({"training": {"batch": 100}, "cluster": {"pes": 8},
+          "search": {"strategies": ["d"]}}, "training.batch"),
+        ({"strategy": {"id": "x"}}, "strategy.id"),
+        ({"strategy": {"segments": 0}}, "strategy.segments"),
+        ({"search": {"strategies": ["d", "q"]}}, "search.strategies[1]"),
+        ({"search": {"comm_policies": ["bogus"]}},
+         "search.comm_policies[0]"),
+        ({"search": {"executor": "gpu"}}, "search.executor"),
+        ({"search": {"cache": "a", "cache_dir": "b"}}, "search.cache_dir"),
+        ({"search": {"segments": []}}, "search.segments"),
+        ({"search": {"cache": "plan.json"},
+          "sweep": {"models": ["vgg16"]}}, "search.cache"),
+        ({"sweep": {"models": []}}, "sweep.models"),
+        ({"sweep": {"models": ["vgg16", "vgg16"]}}, "sweep.models"),
+        ({"sweep": {"models": ["nope"]}}, "sweep.models[0]"),
+        ({"schema_version": 99}, "schema_version"),
+    ])
+    def test_bad_field_is_named(self, doc, field):
+        with pytest.raises(ScenarioValidationError) as exc:
+            Scenario.from_dict(doc)
+        assert exc.value.field == field
+        assert str(exc.value).startswith(field + ":")
+
+    def test_error_is_a_valueerror(self):
+        with pytest.raises(ValueError):
+            Scenario.from_dict({"model": {"name": "nope"}})
+
+    def test_unknown_model_message_wording(self):
+        with pytest.raises(ScenarioValidationError, match="unknown model"):
+            Scenario.from_dict({"model": {"name": "nope"}})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioValidationError, match="cannot read"):
+            Scenario.from_file(str(tmp_path / "absent.json"))
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioValidationError, match="not valid JSON"):
+            Scenario.from_file(str(path))
+
+    def test_name_and_layers_are_exclusive(self):
+        with pytest.raises(ScenarioValidationError) as exc:
+            Scenario.from_dict({"model": {
+                "name": "vgg16",
+                "layers": [{"kind": "relu"}],
+            }})
+        assert exc.value.field == "model.layers"
+
+    def test_layers_need_input(self):
+        with pytest.raises(ScenarioValidationError) as exc:
+            Scenario.from_dict({"model": {"layers": [{"kind": "relu"}]}})
+        assert exc.value.field == "model.input"
+
+
+class TestSections:
+    def test_section_defaults_match_cli_defaults(self):
+        assert ModelSpec().name == "resnet50"
+        assert ClusterRef() == ClusterRef("abci-like", 64, 4)
+        assert TrainingSpec() == TrainingSpec("imagenet", 32, None, "sgd", 0.5)
+        assert CommSpec().policy == "paper"
+        assert StrategySpec() == StrategySpec("d", 4)
+        assert SearchSpec().segments == (2, 4, 8)
+        assert SweepSpec().models == ("resnet50", "resnet152", "vgg16")
+
+    def test_resolve_batch(self):
+        assert TrainingSpec().resolve_batch(64) == 32 * 64
+        assert TrainingSpec(batch=100).resolve_batch(64) == 100
+
+    def test_comm_algo_string_form(self):
+        spec = CommSpec.from_dict({"policy": "paper",
+                                   "algo": "recursive-doubling"})
+        assert dict(spec.algo) == {"allreduce": "recursive-doubling"}
+
+    def test_cluster_build_is_node_aligned(self):
+        cluster = ClusterRef(pes=2).build()
+        assert cluster.total_gpus == 4  # at least one full node
+
+    def test_merged_overrides_deeply(self):
+        base = Scenario.from_dict(FULL_DOC)
+        merged = base.merged({"cluster": {"pes": 256},
+                              "training": {"batch": 512}})
+        assert merged.cluster.pes == 256
+        assert merged.cluster.gpus_per_node == 4          # untouched
+        assert merged.training.batch == 512
+        assert merged.training.optimizer == "adam"        # untouched
+        assert merged.search == base.search               # untouched
+
+    def test_merged_revalidates(self):
+        with pytest.raises(ScenarioValidationError):
+            Scenario.from_dict({}).merged({"cluster": {"pes": -1}})
+
+    def test_merged_replaces_dict_valued_fields_wholesale(self):
+        # A field value (comm.algo, search.weights) is one override
+        # unit: an explicit flag fully determines it, no file leftovers.
+        base = Scenario.from_dict({
+            "comm": {"algo": {"broadcast": "binomial-tree"}},
+            "search": {"weights": {"memory": 0.5}},
+        })
+        merged = base.merged(
+            {"comm": {"algo": {"allreduce": "recursive-doubling"}}})
+        assert dict(merged.comm.algo) == {
+            "allreduce": "recursive-doubling"}
+        merged = base.merged({"search": {"weights": {"pes": 1.0}}})
+        assert dict(merged.search.weights) == {"pes": 1.0}
+
+    def test_describe_mentions_the_question(self):
+        spec = Scenario.from_dict(FULL_DOC)
+        assert "everything" in spec.describe()
+        assert "sweep[2]" in spec.describe()
+
+
+class TestCustomLayerModels:
+    DOC = {
+        "model": {
+            "input": {"channels": 3, "spatial": [16, 16]},
+            "layers": [
+                {"kind": "conv", "out": 8, "kernel": 3, "padding": 1},
+                {"kind": "relu"},
+                {"kind": "pool", "kernel": 2},
+                {"kind": "flatten"},
+                {"kind": "fc", "out": 10},
+            ],
+        },
+    }
+
+    def test_round_trip(self):
+        spec = Scenario.from_dict(self.DOC)
+        assert Scenario.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_builds_a_model_graph(self):
+        spec = Scenario.from_dict(self.DOC)
+        model = spec.model.build()
+        assert model.name == "custom"
+        assert len(model.layers) == 5
+        assert model.layers[-1].out_channels == 10
+        assert spec.model.label == "custom"
+
+    def test_bad_layer_kind_is_named(self):
+        doc = {"model": {"input": {"channels": 3, "spatial": [8, 8]},
+                         "layers": [{"kind": "transformer"}]}}
+        with pytest.raises(ScenarioValidationError) as exc:
+            Scenario.from_dict(doc)
+        assert exc.value.field == "model.layers[0].kind"
+
+    def test_conv_needs_out_and_kernel(self):
+        doc = {"model": {"input": {"channels": 3, "spatial": [8, 8]},
+                         "layers": [{"kind": "conv", "kernel": 3}]}}
+        with pytest.raises(ScenarioValidationError) as exc:
+            Scenario.from_dict(doc)
+        assert exc.value.field == "model.layers[0].out"
