@@ -4,22 +4,89 @@ Every ``test_bench_*`` benchmark regenerates one table/figure of the paper,
 asserts its qualitative shape, and writes the rendered rows to
 ``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
 capture (EXPERIMENTS.md records the paper-vs-measured comparison).
+
+Alongside the text report, every benchmark emits a machine-readable
+``benchmarks/results/BENCH_<name>.json``: a schema-versioned envelope
+(``schema_version``, benchmark ``name``, ``machine`` info, a ``metrics``
+dict, and the ``higher_is_better`` metric names a regression checker may
+compare).  ``scripts/check_perf_regression.py`` diffs these against a
+baseline directory with a tolerance band, so performance claims leave a
+tracked, reproducible trajectory instead of prose.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable
+import platform
+import time
+from typing import Iterable, Mapping, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Version of the ``BENCH_<name>.json`` envelope.  Bump on breaking
+#: schema changes; the regression checker skips mismatched versions.
+BENCH_SCHEMA_VERSION = 1
 
-def write_report(name: str, lines: Iterable[str]) -> str:
-    """Persist a rendered report; returns the path."""
+
+def machine_info() -> dict:
+    """Where the numbers came from (JSON-ready)."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_bench_json(
+    name: str,
+    metrics: Optional[Mapping[str, object]] = None,
+    higher_is_better: Sequence[str] = (),
+) -> str:
+    """Persist the machine-readable result envelope; returns the path.
+
+    ``metrics`` is benchmark-specific (throughputs, wall times, counts);
+    ``higher_is_better`` names the metric keys where a *drop* is a
+    regression — the contract ``scripts/check_perf_regression.py``
+    consumes.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "created_unix": time.time(),
+        "machine": machine_info(),
+        "metrics": dict(metrics or {}),
+        "higher_is_better": sorted(higher_is_better),
+    }
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def write_report(
+    name: str,
+    lines: Iterable[str],
+    metrics: Optional[Mapping[str, object]] = None,
+    higher_is_better: Sequence[str] = (),
+) -> str:
+    """Persist a rendered report (+ its JSON envelope); returns the path.
+
+    The text report carries the human-readable rows; the sibling
+    ``BENCH_<name>.json`` carries ``metrics`` (empty when the benchmark
+    reports no scalar metrics yet — the envelope is still emitted so
+    every benchmark has a machine-readable artifact).
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     text = "\n".join(lines) + "\n"
     with open(path, "w") as fh:
         fh.write(text)
     print(text)
+    write_bench_json(name, metrics, higher_is_better)
     return path

@@ -76,7 +76,17 @@ def test_bench_sweep_cold_warm_and_report(tmp_path):
         f"{row['model']:10s} best={row['best']:28s} "
         f"epoch={row['epoch_s']:8.1f}s frontier={row['frontier']}"
         for row in cold.summary_rows()
-    ])
+    ], metrics={
+        "models": len(MODELS),
+        "candidates": n,
+        "cold_wall_ms": cold_s * 1e3,
+        "warm_wall_ms": warm_s * 1e3,
+        "candidates_per_s_cold": n / cold_s,
+        "candidates_per_s_warm": n / warm_s,
+        "warm_speedup": cold_s / warm_s,
+    }, higher_is_better=(
+        "candidates_per_s_cold", "candidates_per_s_warm",
+    ))
 
 
 def test_bench_sweep_executor_parity(tmp_path):

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Guard benchmark performance against regressions.
+
+Compares the ``BENCH_<name>.json`` envelopes emitted by the benchmark
+suite (see ``benchmarks/_util.write_bench_json``) against a *baseline*
+directory holding a previous run's envelopes.  For every benchmark
+present in both, every metric listed under the envelope's
+``higher_is_better`` key is compared with a multiplicative tolerance
+band: a current value below ``baseline * tolerance`` is a regression.
+
+Usage::
+
+    python scripts/check_perf_regression.py \
+        [--current benchmarks/results] [--baseline DIR] \
+        [--tolerance 0.5] [--warn-only]
+
+Exit codes: 0 when no regression (or ``--warn-only``), 1 on regression,
+2 on usage errors.  A missing baseline directory, missing counterpart
+file, or mismatched ``schema_version`` is reported and skipped rather
+than failed — the guard must not turn a first run or a schema migration
+into a red build.  CI runs this warn-only (shared runners are noisy);
+locally, drop ``--warn-only`` to enforce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Iterator, List, Optional, Tuple
+
+#: Default multiplicative tolerance: current >= 50% of baseline passes.
+#: Wide on purpose — CI runners share cores and the guard is meant to
+#: catch order-of-magnitude slowdowns, not scheduler jitter.
+DEFAULT_TOLERANCE = 0.5
+
+
+def load_bench(path: str) -> Optional[dict]:
+    """Load one envelope; ``None`` (with a note) when unreadable."""
+    try:
+        with open(path) as fh:
+            blob = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"note: skipping unreadable {path}: {exc}")
+        return None
+    if not isinstance(blob, dict) or not isinstance(
+            blob.get("metrics"), dict):
+        print(f"note: skipping malformed {path}")
+        return None
+    return blob
+
+
+def compare_pair(
+    name: str, current: dict, baseline: dict, tolerance: float
+) -> Iterator[Tuple[str, str]]:
+    """Yield ``(kind, message)`` rows for one benchmark pair.
+
+    ``kind`` is ``"regression"`` or ``"ok"``; notes are printed inline.
+    """
+    if current.get("schema_version") != baseline.get("schema_version"):
+        print(
+            f"note: {name}: schema_version changed "
+            f"({baseline.get('schema_version')} -> "
+            f"{current.get('schema_version')}); skipping"
+        )
+        return
+    keys = current.get("higher_is_better") or []
+    for key in keys:
+        cur = current["metrics"].get(key)
+        base = baseline["metrics"].get(key)
+        if not isinstance(cur, (int, float)) or not isinstance(
+                base, (int, float)):
+            continue
+        if base <= 0:
+            continue
+        ratio = cur / base
+        line = (
+            f"{name}.{key}: current {cur:.1f} vs baseline {base:.1f} "
+            f"({ratio:.2f}x, tolerance {tolerance:.2f}x)"
+        )
+        yield ("regression" if ratio < tolerance else "ok", line)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", default=os.path.join("benchmarks", "results"),
+        help="directory with the freshly-emitted BENCH_*.json files")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="directory with the previous run's BENCH_*.json files "
+             "(omitted/missing: nothing to compare, exit 0)")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="minimum current/baseline ratio for higher-is-better "
+             f"metrics (default {DEFAULT_TOLERANCE})")
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI default: shared "
+             "runners are noisy)")
+    args = parser.parse_args(argv)
+    if not 0 < args.tolerance <= 1:
+        print("error: --tolerance must be in (0, 1]", file=sys.stderr)
+        return 2
+
+    if not os.path.isdir(args.current):
+        print(f"error: no such results directory: {args.current}",
+              file=sys.stderr)
+        return 2
+    current_files = sorted(
+        glob.glob(os.path.join(args.current, "BENCH_*.json")))
+    if not current_files:
+        print(f"error: no BENCH_*.json files under {args.current}",
+              file=sys.stderr)
+        return 2
+    if args.baseline is None or not os.path.isdir(args.baseline):
+        print(
+            f"no baseline directory ({args.baseline!r}); "
+            f"{len(current_files)} result files present, nothing to "
+            f"compare — pass"
+        )
+        return 0
+
+    regressions = []
+    compared = 0
+    for path in current_files:
+        fname = os.path.basename(path)
+        base_path = os.path.join(args.baseline, fname)
+        if not os.path.exists(base_path):
+            print(f"note: no baseline for {fname}; skipping")
+            continue
+        current = load_bench(path)
+        baseline = load_bench(base_path)
+        if current is None or baseline is None:
+            continue
+        name = current.get("name", fname)
+        for kind, line in compare_pair(
+                name, current, baseline, args.tolerance):
+            compared += 1
+            if kind == "regression":
+                regressions.append(line)
+                print(f"REGRESSION: {line}")
+            else:
+                print(f"ok: {line}")
+
+    print(
+        f"checked {compared} metric(s) across {len(current_files)} "
+        f"benchmark file(s): {len(regressions)} regression(s)"
+    )
+    if regressions and not args.warn_only:
+        return 1
+    if regressions:
+        print("warn-only: regressions reported but not failing the run")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -132,6 +132,17 @@ class Session:
         return self._memo("oracle", build)
 
     @property
+    def kernel(self):
+        """The compiled :class:`~repro.core.kernel.ModelKernel`.
+
+        Built (and memoized) with the oracle, so every verb on one
+        session — repeated projects, a search, then a simulate — shares
+        one set of precomputed model invariants instead of re-deriving
+        them per call.
+        """
+        return self._memo("kernel", lambda: self.oracle.analytical.kernel)
+
+    @property
     def projection_cache(self):
         """The search :class:`~repro.search.cache.ProjectionCache`.
 

@@ -164,6 +164,10 @@ def build_parser(
                             "incrementally, flushed line-by-line "
                             "(to stderr under --json so stdout stays "
                             "parseable)")
+        p.add_argument("--profile", action="store_true",
+                       help="print a stage-timing table (space expansion "
+                            "/ pruning / projection / ranking / "
+                            "persistence) to stderr")
         return p
 
     parser = argparse.ArgumentParser(
@@ -498,6 +502,41 @@ class _FrontierStream:
               file=out, flush=True)
 
 
+def _print_profile(timings: Dict[str, float], file=None) -> None:
+    """Render a search's stage-timing table (the ``--profile`` flag).
+
+    One row per pipeline stage from ``SearchReport.timings`` plus the
+    unattributed remainder; written to ``file`` (stderr by default so
+    ``--json`` stdout stays parseable).  Pruning/projection are busy
+    times summed across workers, so shares are computed against the
+    larger of the wall total and the stage sum — with several threads
+    the busy sum can exceed the wall clock, like cProfile's cumtime.
+    """
+    from .search.engine import TIMING_STAGES
+
+    out = file if file is not None else sys.stderr
+    total = float(timings.get("total_s", 0.0))
+    known = sum(
+        float(timings.get(key, 0.0))
+        for key in TIMING_STAGES if key != "total_s"
+    )
+    denom = max(total, known)
+    rows = []
+    for key in TIMING_STAGES:
+        if key == "total_s":
+            continue
+        v = float(timings.get(key, 0.0))
+        rows.append([key[:-2].replace("_", " "), f"{v * 1e3:.2f}",
+                     f"{v / denom:.1%}" if denom else "-"])
+    other = max(total - known, 0.0)
+    rows.append(["other", f"{other * 1e3:.2f}",
+                 f"{other / denom:.1%}" if denom else "-"])
+    rows.append(["total (wall)", f"{total * 1e3:.2f}",
+                 f"{total / denom:.1%}" if denom else "-"])
+    print("search stage timings:", file=out)
+    print(reporting.format_table(["stage", "ms", "share"], rows), file=out)
+
+
 # ---------------------------------------------------------------------------
 # Subcommands — thin adapters: flags -> scenario -> Session -> result.
 # ---------------------------------------------------------------------------
@@ -593,6 +632,8 @@ def _cmd_search(args) -> int:
         from .search.sweep import write_frontier_csv
 
         write_frontier_csv(args.frontier_csv, report)
+    if args.profile:
+        _print_profile(report.timings)
     if args.json:
         return _print_json(result)
     st = report.stats
@@ -650,6 +691,13 @@ def _cmd_sweep(args) -> int:
     if result is None:
         return 2
     report = result.report
+    if args.profile:
+        # One table: stages summed across the swept models.
+        aggregate: Dict[str, float] = {}
+        for res in report.results:
+            for key, value in res.report.timings.items():
+                aggregate[key] = aggregate.get(key, 0.0) + value
+        _print_profile(aggregate)
     if args.json:
         return _print_json(result)
     executor = scenario.search.executor or "process"

@@ -30,12 +30,22 @@ policy-driven algorithm choice.
 A per-collective algorithm can also be *forced* (``algo={"allreduce":
 "recursive-doubling"}``, the CLI's ``--comm-algo``); unsupported forced
 choices fall back to the policy pick rather than failing a projection.
+
+Selection is *memoized*: resolved choices, scope parameters, and
+topology hints live in bounded per-instance LRU memos keyed by
+``(collective, p, m, params, scope, transport)``, because the search
+engine re-asks the same handful of calls for every candidate — the
+``auto``/``nccl-like`` policies used to re-run min-cost selection per
+phase per candidate.  The memo is keyed to the model's
+:meth:`~CommModel.fingerprint` inputs: mutating ``policy``, ``algo``,
+or ``tree_threshold`` invalidates every cached choice on the next call.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..network.hockney import HockneyParams
 from ..network.topology import ClusterSpec
@@ -43,7 +53,13 @@ from .algorithms import TREE_THRESHOLD_BYTES
 from . import registry as _registry
 from .registry import COLLECTIVES, CollectiveAlgorithm, TopologyHint
 
-__all__ = ["POLICIES", "PAPER_DEFAULTS", "CommChoice", "CommModel"]
+__all__ = [
+    "POLICIES",
+    "PAPER_DEFAULTS",
+    "CHOOSE_MEMO_SIZE",
+    "CommChoice",
+    "CommModel",
+]
 
 #: Selection policies, in documentation order.
 POLICIES = ("paper", "auto", "nccl-like")
@@ -63,6 +79,11 @@ PAPER_DEFAULTS: Dict[str, str] = {
 #: ``inter-node`` = flat communicator over the fabric (leader rings,
 #: contended segmented allreduces).
 SCOPE_CHOICES = ("auto", "intra-node", "inter-node")
+
+#: Bound on the per-instance choice memo; least-recently-used entries
+#: are evicted past it.  A strategy search touches a few thousand
+#: distinct ``(collective, p, m)`` calls, so this is generous headroom.
+CHOOSE_MEMO_SIZE = 65536
 
 
 @dataclass(frozen=True)
@@ -114,12 +135,56 @@ class CommModel:
         self.algo: Dict[str, str] = dict(algo or {})
         for coll, name in self.algo.items():
             _registry.get_algorithm(coll, name)  # raises on unknown pairs
+        self._choose_memo: "OrderedDict[tuple, CommChoice]" = OrderedDict()
+        self._params_memo: Dict[tuple, HockneyParams] = {}
+        self._topo_memo: Dict[int, Optional[TopologyHint]] = {}
+        self._memo_token = self._token()
+
+    # --------------------------------------------------------------- memo
+    def _token(self) -> Tuple:
+        """Everything :meth:`fingerprint` hashes, as a comparable tuple.
+
+        Checked on every memoized call: a caller that mutates ``policy``
+        / ``algo`` / ``tree_threshold`` in place gets every cached
+        choice invalidated instead of stale answers.
+        """
+        return (
+            self.policy,
+            self.tree_threshold,
+            tuple(sorted(self.algo.items())),
+        )
+
+    def clear_memo(self) -> None:
+        """Drop every memoized choice / scope resolution."""
+        self._choose_memo.clear()
+        self._params_memo.clear()
+        self._topo_memo.clear()
+        self._memo_token = self._token()
+
+    def __getstate__(self):
+        """Pickle without the memos (workers rebuild them warm)."""
+        state = self.__dict__.copy()
+        state["_choose_memo"] = OrderedDict()
+        state["_params_memo"] = {}
+        state["_topo_memo"] = {}
+        return state
 
     # ------------------------------------------------------------ resolution
     def scope_params(
         self, p: int, scope: str = "auto", transport: str = "nccl"
     ) -> HockneyParams:
-        """Hockney (alpha, beta) for a ``p``-wide communicator at ``scope``."""
+        """Hockney (alpha, beta) for a ``p``-wide communicator at ``scope``
+        (memoized per ``(p, scope, transport)``)."""
+        key = (p, scope, transport)
+        params = self._params_memo.get(key)
+        if params is None:
+            params = self._scope_params_uncached(p, scope, transport)
+            self._params_memo[key] = params
+        return params
+
+    def _scope_params_uncached(
+        self, p: int, scope: str, transport: str
+    ) -> HockneyParams:
         if scope not in SCOPE_CHOICES:
             raise ValueError(
                 f"unknown scope {scope!r}; expected one of {SCOPE_CHOICES}"
@@ -141,15 +206,20 @@ class CommModel:
 
     def topology_hint(self, p: int) -> Optional[TopologyHint]:
         """Hint for topology-aware algorithms, or ``None`` when the
-        communicator does not span several whole nodes."""
+        communicator does not span several whole nodes (memoized)."""
+        if p in self._topo_memo:
+            return self._topo_memo[p]
         n = self.cluster.node.gpus
         if n < 2 or p <= n or p > self.cluster.total_gpus:
-            return None
-        return TopologyHint(
-            intra=self.cluster.hockney(n),
-            inter=self.cluster.hockney(p),
-            gpus_per_node=n,
-        )
+            hint = None
+        else:
+            hint = TopologyHint(
+                intra=self.cluster.hockney(n),
+                inter=self.cluster.hockney(p),
+                gpus_per_node=n,
+            )
+        self._topo_memo[p] = hint
+        return hint
 
     # -------------------------------------------------------------- selection
     def _cost(
@@ -177,7 +247,48 @@ class CommModel:
         ``params`` pins the Hockney parameters (callers pass
         contention-scaled betas here); otherwise they are resolved from
         ``(p, scope, transport)``.  Singleton communicators are free.
+
+        Choices memoize on the full call signature (bounded LRU; see
+        :data:`CHOOSE_MEMO_SIZE`): selection is pure given the
+        fingerprint inputs, which are re-checked on every call so
+        in-place mutation invalidates rather than staling.
         """
+        token = self._token()
+        if token != self._memo_token:
+            self.clear_memo()
+        memo = self._choose_memo
+        key = (collective, p, nbytes, params, scope, transport)
+        hit = memo.get(key)
+        if hit is not None:
+            # The memo is shared across the search engine's threads
+            # without a lock (individual OrderedDict calls are atomic
+            # under the GIL); a concurrent eviction between the get and
+            # the recency bump is harmless — the answer is still valid.
+            try:
+                memo.move_to_end(key)
+            except KeyError:
+                pass
+            return hit
+        choice = self._choose_uncached(
+            collective, p, nbytes, params, scope, transport
+        )
+        if len(memo) >= CHOOSE_MEMO_SIZE:
+            try:
+                memo.popitem(last=False)
+            except KeyError:
+                pass
+        memo[key] = choice
+        return choice
+
+    def _choose_uncached(
+        self,
+        collective: str,
+        p: int,
+        nbytes: float,
+        params: Optional[HockneyParams],
+        scope: str,
+        transport: str,
+    ) -> CommChoice:
         if collective not in COLLECTIVES:
             raise ValueError(
                 f"unknown collective {collective!r}; expected one of "

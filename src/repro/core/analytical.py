@@ -21,6 +21,20 @@ ones it implements.  Costs the oracle deliberately *excludes* (framework
 split/concat overhead, redundant tail computation, external congestion) live
 in :mod:`repro.simulator` instead — the gap between the two is what the
 paper's accuracy metric measures.
+
+Two evaluation paths produce every projection:
+
+* the **reference path** (``path="reference"``) — the original
+  per-layer walks, kept verbatim as the executable specification;
+* the **fast path** (the default) — closed-form arithmetic over a
+  compiled :class:`~repro.core.kernel.ModelKernel` of per-model
+  invariants, built lazily once per analyzer.
+
+Both agree to ``rel <= 1e-9`` (floating-point reassociation of
+per-layer sums is the only difference); the equivalence is pinned
+across the model zoo x strategy families x comm policies by
+``tests/test_fast_path_equivalence.py`` and against the golden seed
+projections by ``tests/test_comm_golden.py``.
 """
 
 from __future__ import annotations
@@ -33,6 +47,7 @@ from ..network.hockney import HockneyParams
 from ..network.topology import ClusterSpec
 from .contention import data_filter_phi
 from .graph import ModelGraph
+from .kernel import ModelKernel
 from .layers import Layer
 from .profiles import ComputeProfile
 from .strategies import (
@@ -257,20 +272,56 @@ class AnalyticalModel:
         #: "nccl-like") or a ready CommModel.  Every collective the
         #: analyzers cost goes through it.
         self.comm: CommModel = as_comm_model(comm, cluster)
+        self._kernel: Optional[ModelKernel] = None
+        self._comm_overrides: Dict[Tuple, CommModel] = {}
+
+    @property
+    def kernel(self) -> ModelKernel:
+        """The compiled projection kernel (built lazily, exactly once).
+
+        Everything the fast path precomputes about ``(model, profile)``
+        — see :class:`~repro.core.kernel.ModelKernel`.  Process-pool
+        search workers force this in their initializer so the build cost
+        is paid once per worker, not per candidate chunk.
+        """
+        if self._kernel is None:
+            self._kernel = ModelKernel(self.model, self.profile)
+        return self._kernel
 
     def _resolve_comm(self, comm: Optional[object]) -> CommModel:
         """Per-call comm override: ``None`` keeps the bound model; a
-        policy string builds a throwaway selector (cheap, thread-safe)."""
+        policy string resolves to a per-policy selector, memoized so the
+        selector's own choice memo stays warm across candidates.
+
+        The memo key includes the bound model's forcing/threshold
+        inputs (the override inherits them), so mutating ``self.comm``
+        in place builds a fresh override instead of serving a stale one
+        — matching the pre-memo behaviour of constructing a throwaway
+        selector per call.
+        """
         if comm is None:
             return self.comm
         if isinstance(comm, CommModel):
             return comm
-        return CommModel(
-            self.cluster, policy=str(comm), algo=self.comm.algo,
-            tree_threshold=self.comm.tree_threshold,
+        key = (
+            str(comm),
+            self.comm.tree_threshold,
+            tuple(sorted(self.comm.algo.items())),
         )
+        cached = self._comm_overrides.get(key)
+        if cached is None:
+            cached = CommModel(
+                self.cluster, policy=key[0], algo=self.comm.algo,
+                tree_threshold=self.comm.tree_threshold,
+            )
+            self._comm_overrides[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ api
+    #: Evaluation paths: ``fast`` (the default) projects from the
+    #: compiled kernel; ``reference`` runs the original per-layer walks.
+    PATHS = ("fast", "reference")
+
     def project(
         self,
         strategy: Strategy,
@@ -278,26 +329,51 @@ class AnalyticalModel:
         dataset_size: int,
         *,
         comm: Optional[object] = None,
+        path: Optional[str] = None,
     ) -> Projection:
         """Project one strategy.  ``batch`` is the *global* mini-batch B.
 
         ``comm`` optionally overrides the bound communication model for
         this projection only (a policy string or a ``CommModel``).
+        ``path`` picks the evaluation path: ``None``/``"fast"`` uses the
+        compiled :attr:`kernel` closed forms, ``"reference"`` forces the
+        original per-layer walk (the golden specification both paths are
+        tested against).
         """
         if batch < 1 or dataset_size < batch:
             raise ValueError("need dataset_size >= batch >= 1")
+        if path is None:
+            path = "fast"
+        if path not in self.PATHS:
+            raise ValueError(
+                f"unknown projection path {path!r}; expected one of "
+                f"{self.PATHS}"
+            )
         strategy.check(self.model, batch)
-        handler = {
-            "serial": self._serial,
-            "d": self._data,
-            "z": self._sharded_data,
-            "s": self._spatial,
-            "p": self._pipeline,
-            "f": self._filter,
-            "c": self._channel,
-            "df": self._data_filter,
-            "ds": self._data_spatial,
-        }[strategy.id]
+        if path == "fast":
+            handler = {
+                "serial": self._fast_serial,
+                "d": self._fast_data,
+                "z": self._fast_sharded_data,
+                "s": self._fast_spatial,
+                "p": self._fast_pipeline,
+                "f": self._fast_filter,
+                "c": self._fast_channel,
+                "df": self._fast_data_filter,
+                "ds": self._fast_data_spatial,
+            }[strategy.id]
+        else:
+            handler = {
+                "serial": self._serial,
+                "d": self._data,
+                "z": self._sharded_data,
+                "s": self._spatial,
+                "p": self._pipeline,
+                "f": self._filter,
+                "c": self._channel,
+                "df": self._data_filter,
+                "ds": self._data_spatial,
+            }[strategy.id]
         comm_model = self._resolve_comm(comm)
         log = _AlgoLog()
         per_epoch, memory, notes = handler(
@@ -325,6 +401,7 @@ class AnalyticalModel:
         dataset_size: int,
         *,
         comm: Optional[object] = None,
+        path: Optional[str] = None,
     ) -> Projection:
         """Forward-only projection for distributed inference (Section 5.4.2).
 
@@ -336,7 +413,8 @@ class AnalyticalModel:
         training one: forward compute and the forward share of each
         communication pattern, with gradient/optimizer memory dropped.
         """
-        train = self.project(strategy, batch, dataset_size, comm=comm)
+        train = self.project(strategy, batch, dataset_size, comm=comm,
+                             path=path)
         e = train.per_epoch
         sid = strategy.id
         # Forward share of the layer-wise collectives: the forward leg
@@ -348,7 +426,11 @@ class AnalyticalModel:
         inf_log = _AlgoLog()
         if sid in ("f", "c", "df") and e.comm_fb > 0:
             comm_model = self._resolve_comm(comm)
-            comm_fb = (dataset_size // batch) * self._layerwise_forward_leg(
+            leg = (
+                self._layerwise_forward_leg if path == "reference"
+                else self._fast_layerwise_forward_leg
+            )
+            comm_fb = (dataset_size // batch) * leg(
                 strategy, batch, comm_model, inf_log)
         else:
             comm_fb = e.comm_fb
@@ -765,3 +847,292 @@ class AnalyticalModel:
     def _ds_memory(self, grid: Tuple[int, ...], group_batch: float) -> float:
         return self._spatial_memory(grid, int(group_batch) or 1,
                                     group_batch=group_batch)
+
+    # ------------------------------------------------------------ fast path
+    # Closed-form re-statements of the reference analyzers above, over the
+    # compiled :attr:`kernel` invariants.  Each mirrors its reference
+    # handler term for term: identical collective calls (same sizes, same
+    # order of first appearance, so the algorithm log matches exactly),
+    # identical error messages, and sums that differ only by floating-
+    # point reassociation (<= 1e-9 relative, pinned by
+    # tests/test_fast_path_equivalence.py).
+
+    def _fast_comp(self, D: int, I: int, p_div: float, wu_div: float = 1.0
+                   ) -> PhaseBreakdown:
+        """`_comp` over the kernel's profile totals (bit-identical)."""
+        k = self.kernel
+        return PhaseBreakdown(
+            comp_fw=D / p_div * k.fw_total,
+            comp_bw=D / p_div * k.bw_total,
+            comp_wu=I / wu_div * k.wu_total,
+        )
+
+    def _fast_memory(
+        self,
+        batch_act: float,
+        weight_div: float = 1.0,
+        act_div: float = 1.0,
+    ) -> float:
+        """`_memory_terms` as one closed form over exact element sums."""
+        k = self.kernel
+        return self.gamma * self.delta * (
+            2.0 * batch_act * k.io_elements / act_div
+            + 2.0 * k.weight_elements / weight_div
+            + k.bias_elements
+        )
+
+    def _fast_halo(
+        self, grid: Tuple[int, ...], B: int, params: HockneyParams
+    ) -> float:
+        """`_halo_epoch_time` from the kernel's per-grid halo table."""
+        st = self.kernel.spatial(grid)
+        if st.halo_pairs == 0:
+            return 0.0
+        return (
+            4.0 * params.alpha * st.halo_pairs
+            + 2.0 * B * st.halo_elements * self.delta * params.beta
+        )
+
+    def _fast_spatial_memory(
+        self, grid: Tuple[int, ...], group_batch: float
+    ) -> float:
+        """`_spatial_memory` from the kernel's split/unsplit sums."""
+        st = self.kernel.spatial(grid)
+        p2 = 1
+        for g in grid:
+            p2 *= g
+        k = self.kernel
+        return self.gamma * self.delta * (
+            2.0 * group_batch * (st.split_io / p2 + st.rest_io)
+            + 2.0 * k.weight_elements + k.bias_elements
+        )
+
+    def _fast_layerwise(
+        self,
+        group_p: int,
+        msg_div: int,
+        B: float,
+        comm: CommModel,
+        log: _AlgoLog,
+        params: Optional[HockneyParams] = None,
+        scope: str = "auto",
+    ) -> float:
+        """`_layerwise_collectives` over the distinct-activation table:
+        one Allgather + Allreduce choice per distinct ``|y_l|`` (in
+        first-appearance order, so the log dedups identically), scaled
+        by multiplicity."""
+        if group_p <= 1:
+            return 0.0
+        delta = self.delta
+        total = 0.0
+        for y, count in self.kernel.layerwise_sizes:
+            seg = B * y * delta / msg_div
+            ag = comm.choose(
+                "allgather", group_p, seg, params=params, scope=scope)
+            log.add("fb", ag)
+            ar = comm.choose(
+                "allreduce", group_p, seg * group_p, params=params,
+                scope=scope)
+            log.add("fb", ar)
+            total += count * (ag.seconds + ar.seconds)
+        return total
+
+    def _fast_layerwise_forward_leg(
+        self, strategy: Strategy, B: int, comm: CommModel, log: _AlgoLog
+    ) -> float:
+        """`_layerwise_forward_leg` over the distinct-activation table."""
+        sid = strategy.id
+        if sid == "df":
+            group_p, msg_div = strategy.p2, strategy.p
+            params = self.cluster.hockney_intra(strategy.p2)
+            scope = "intra-node"
+        else:  # f / c
+            group_p, msg_div = strategy.p, strategy.p
+            params, scope = None, "auto"
+        if group_p <= 1:
+            return 0.0
+        total = 0.0
+        for y, count in self.kernel.layerwise_sizes:
+            seg = B * y * self.delta / msg_div
+            if sid == "c":
+                choice = comm.choose(
+                    "allreduce", group_p, seg * group_p,
+                    params=params, scope=scope,
+                )
+            else:
+                choice = comm.choose(
+                    "allgather", group_p, seg, params=params, scope=scope
+                )
+            log.add("fb", choice)
+            total += count * choice.seconds
+        return total
+
+    def _fast_serial(self, strategy: Serial, B: int, D: int, comm, log):
+        I = D // B
+        comp = self._fast_comp(D, I, p_div=1.0)
+        memory = self._fast_memory(batch_act=B)
+        return comp, memory, []
+
+    def _fast_data(self, strategy: DataParallel, B: int, D: int, comm, log):
+        p = strategy.p
+        I = D // B
+        comp = self._fast_comp(D, I, p_div=p)
+        ge = I * self._coll(
+            comm, log, "ge", "allreduce", p, self._weights_bytes()
+        )
+        per_epoch = replace(comp, comm_ge=ge)
+        memory = self._fast_memory(batch_act=B / p)
+        return per_epoch, memory, []
+
+    def _fast_sharded_data(self, strategy: ShardedDataParallel, B: int,
+                           D: int, comm, log):
+        p = strategy.p
+        I = D // B
+        comp = self._fast_comp(D, I, p_div=p, wu_div=p)
+        wbytes = self._weights_bytes()
+        ge = I * (
+            self._coll(comm, log, "ge", "reduce_scatter", p, wbytes)
+            + 2 * self._coll(comm, log, "ge", "allgather", p, wbytes / p)
+        )
+        per_epoch = replace(comp, comm_ge=ge)
+        k = self.kernel
+        memory = self.gamma * self.delta * (
+            2.0 * (B / p) * k.io_elements + k.weight2_plus_bias / p
+        )
+        return per_epoch, memory, ["weights/optimizer state sharded 1/p"]
+
+    def _fast_spatial(self, strategy: SpatialParallel, B: int, D: int,
+                      comm, log):
+        p = strategy.p
+        I = D // B
+        comp = self._fast_comp(D, I, p_div=p)
+        ge = I * self._coll(
+            comm, log, "ge", "allreduce", p, self._weights_bytes()
+        )
+        halo_params = self.cluster.hockney(p, transport=self.halo_transport)
+        halo = I * self._fast_halo(strategy.grid, B, halo_params)
+        per_epoch = replace(comp, comm_ge=ge, comm_halo=halo)
+        memory = self._fast_spatial_memory(strategy.grid, B)
+        notes = [f"halo over {self.halo_transport} transport"]
+        return per_epoch, memory, notes
+
+    def _fast_pipeline(self, strategy: PipelineParallel, B: int, D: int,
+                       comm, log):
+        p, S = strategy.stages, strategy.segments
+        I = D // B
+        table = self.kernel.pipeline(p)
+        bubble = (p + S - 1) / S
+        checkpoint = getattr(strategy, "checkpoint", False)
+        fw_factor = 2.0 if checkpoint else 1.0
+        comp = PhaseBreakdown(
+            comp_fw=D * bubble * table.max_fw * fw_factor,
+            comp_bw=D * bubble * table.max_bw,
+            comp_wu=I * table.max_wu,
+        )
+        params = self.cluster.hockney(p)
+        if p > 1 and len(table.sizes) > 1:
+            # p2p is monotone in the message size, so the heaviest
+            # boundary activation decides the per-stage cost.
+            per_stage = comm.p2p(
+                B / S * table.max_boundary * self.delta, params=params)
+            comm_p2p = 2 * D * (p + S - 2) / B * per_stage
+        else:
+            comm_p2p = 0.0
+        per_epoch = replace(comp, comm_p2p=comm_p2p)
+        gd = self.gamma * self.delta
+        if checkpoint:
+            memory = max(
+                gd * (B / S * io2 + wb) + gd * 2.0 * B * last
+                for io2, wb, last in table.mem_groups
+            )
+            notes = [
+                f"stages balanced by FLOPs: {list(table.sizes)}",
+                "gradient checkpointing at stage boundaries (+1 forward)",
+            ]
+        else:
+            memory = max(
+                gd * (B * io2 + wb) for io2, wb, _ in table.mem_groups
+            )
+            notes = [f"stages balanced by FLOPs: {list(table.sizes)}"]
+        return per_epoch, memory, notes
+
+    def _fast_filter(self, strategy: FilterParallel, B: int, D: int,
+                     comm, log):
+        p = strategy.p
+        I = D // B
+        comp = self._fast_comp(D, I, p_div=p, wu_div=p)
+        fb = I * self._fast_layerwise(p, p, B, comm, log)
+        per_epoch = replace(comp, comm_fb=fb)
+        memory = self._fast_memory(batch_act=B, weight_div=p)
+        return per_epoch, memory, []
+
+    def _fast_channel(self, strategy: ChannelParallel, B: int, D: int,
+                      comm, log):
+        p = strategy.p
+        I = D // B
+        comp = self._fast_comp(D, I, p_div=p, wu_div=p)
+        fb = I * self._fast_layerwise(p, p, B, comm, log)
+        per_epoch = replace(comp, comm_fb=fb)
+        memory = self._fast_memory(batch_act=B, weight_div=p)
+        return per_epoch, memory, []
+
+    def _fast_data_filter(self, strategy: DataFilterParallel, B: int,
+                          D: int, comm, log):
+        p1, p2, p = strategy.p1, strategy.p2, strategy.p
+        I = D // B
+        comp = self._fast_comp(D, I, p_div=p, wu_div=p2)
+        intra = self.cluster.hockney_intra(p2)
+        fb = self._fast_layerwise(
+            p2, p, B, comm, log, params=intra, scope="intra-node"
+        )
+        ge = 0.0
+        if p1 > 1:
+            inter = self.cluster.hockney(p)
+            if self.contention:
+                inter = inter.with_contention(data_filter_phi(self.cluster, p2))
+            ge = self._coll(
+                comm, log, "ge", "allreduce", p1,
+                self._weights_bytes() / p2,
+                params=inter, scope="inter-node",
+            )
+        per_epoch = replace(comp, comm_fb=I * fb, comm_ge=I * ge)
+        memory = self._fast_memory(batch_act=B / p1, weight_div=p2)
+        notes = []
+        if self.contention and p1 > 1:
+            notes.append(
+                f"GE beta scaled by phi={data_filter_phi(self.cluster, p2):.2f}"
+            )
+        return per_epoch, memory, notes
+
+    def _fast_data_spatial(self, strategy: DataSpatialParallel, B: int,
+                           D: int, comm, log):
+        p1, p2, p = strategy.p1, strategy.p2, strategy.p
+        I = D // B
+        group_batch = B / p1
+        comp = self._fast_comp(D, I, p_div=p, wu_div=1.0)
+        intra = self.cluster.hockney_intra(
+            p2, transport=self.halo_transport, floor=2
+        )
+        halo = 0.0
+        if p2 > 1:
+            halo = I * self._fast_halo(
+                strategy.grid, int(group_batch) or 1, intra)
+        L = getattr(strategy, "leaders", 1)
+        wbytes = self._weights_bytes()
+        nvl = self.cluster.hockney_intra(p2, floor=2)
+        ge = (
+            self._coll(comm, log, "ge", "reduce", p2, wbytes / L,
+                       params=nvl, scope="intra-node")
+            + self._coll(comm, log, "ge", "broadcast", p2, wbytes / L,
+                         params=nvl, scope="intra-node")
+        )
+        if p1 > 1:
+            inter = self.cluster.hockney(p)
+            if self.contention and L > self.cluster.node.nics:
+                inter = inter.with_contention(L / self.cluster.node.nics)
+            ge += self._coll(comm, log, "ge", "allreduce", p1, wbytes / L,
+                             params=inter, scope="inter-node")
+        per_epoch = replace(comp, comm_halo=halo, comm_ge=I * ge)
+        memory = self._fast_spatial_memory(strategy.grid, group_batch)
+        notes = [] if L == 1 else [f"multi-leader allreduce: L={L}"]
+        return per_epoch, memory, notes

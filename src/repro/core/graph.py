@@ -10,7 +10,8 @@ live) but not the chain ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from functools import cached_property
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .layers import Add, Layer
 from .tensors import TensorSpec
@@ -117,15 +118,18 @@ class ModelGraph:
         raise KeyError(name)
 
     # ---- aggregates -------------------------------------------------------
-    @property
+    # Aggregates are cached: the layer chain is fixed at construction and
+    # the analyzers / strategy checks consult these once per candidate,
+    # which used to re-walk the whole chain on the search hot path.
+    @cached_property
     def parameters(self) -> int:
         return sum(l.parameters for l in self.layers)
 
-    @property
+    @cached_property
     def weight_elements(self) -> int:
         return sum(l.weight_elements for l in self.layers)
 
-    @property
+    @cached_property
     def weighted_layers(self) -> List[Layer]:
         """Layers with trainable weights (the paper counts these as 'layers'
         when quoting depths like ResNet-*50*)."""
@@ -145,10 +149,22 @@ class ModelGraph:
         )
 
     # ---- parallelism limits (Table 3, last column) -----------------------
+    @cached_property
+    def _min_filters(self) -> int:
+        return min(l.out_channels for l in self.weighted_layers)
+
     def min_filters(self) -> int:
         """``min_l F_l`` over weighted layers — the filter-parallel limit."""
+        return self._min_filters
+
+    @cached_property
+    def _min_channels(self) -> Tuple[int, int]:
         layers = self.weighted_layers
-        return min(l.out_channels for l in layers)
+        skipped = layers[1:] if len(layers) > 1 else layers
+        return (
+            min(l.in_channels for l in layers),
+            min(l.in_channels for l in skipped),
+        )
 
     def min_channels(self, skip_first: bool = True) -> int:
         """``min_l C_l`` over weighted layers — the channel-parallel limit.
@@ -157,21 +173,22 @@ class ModelGraph:
         parallelism starts at the second layer because e.g. ImageNet has
         only 3 input channels.
         """
-        layers = self.weighted_layers
-        if skip_first and len(layers) > 1:
-            layers = layers[1:]
-        return min(l.in_channels for l in layers)
+        return self._min_channels[1 if skip_first else 0]
 
     def min_spatial(self) -> int:
         """``min_l (W_l x H_l ...)`` over spatially-parallelizable layers."""
-        extents = [
-            l.input.spatial_elements
-            for l in self.layers
-            if l.spatially_parallelizable
-        ]
+        extents = self._spatial_extents
         if not extents:
             raise ValueError(f"{self.name} has no spatially-parallelizable layer")
         return min(extents)
+
+    @cached_property
+    def _spatial_extents(self) -> Tuple[int, ...]:
+        return tuple(
+            l.input.spatial_elements
+            for l in self.layers
+            if l.spatially_parallelizable
+        )
 
     def partition_depth(self, parts: int) -> List[List[Layer]]:
         """Split the chain into ``parts`` contiguous composite layers.
@@ -179,8 +196,20 @@ class ModelGraph:
         Used by layer/pipeline parallelism.  The split balances *forward
         FLOPs* greedily, which is the heuristic GPipe-style schedulers use
         in practice; the analytic pipeline model then takes the max over
-        composite layers.
+        composite layers.  Partitions are memoized per ``parts`` (the
+        chain is immutable and a strategy search asks for the same stage
+        counts over and over); callers get fresh outer lists but share
+        the group lists — treat them as read-only.
         """
+        memo = self.__dict__.setdefault("_partition_memo", {})
+        cached = memo.get(parts)
+        if cached is not None:
+            return list(cached)
+        groups = self._partition_depth_uncached(parts)
+        memo[parts] = tuple(groups)
+        return groups
+
+    def _partition_depth_uncached(self, parts: int) -> List[List[Layer]]:
         if not 1 <= parts <= len(self.layers):
             raise ValueError(
                 f"parts must be in [1, {len(self.layers)}], got {parts}"

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Sequence, Tuple
 
 __all__ = [
@@ -63,14 +64,19 @@ class TensorSpec:
         """Spatial dimensionality ``d`` (0 for FC-style tensors)."""
         return len(self.spatial)
 
-    @property
+    @cached_property
     def spatial_elements(self) -> int:
-        """``prod(X^d)`` — number of spatial positions per channel."""
+        """``prod(X^d)`` — number of spatial positions per channel.
+
+        Cached: element counts sit on the oracle's hottest path (every
+        analyzer sums them per layer per projection) and the spec is
+        frozen, so the product can never change.
+        """
         return prod(self.spatial)
 
-    @property
+    @cached_property
     def elements(self) -> int:
-        """Total element count ``|x|`` per sample."""
+        """Total element count ``|x|`` per sample (cached; see above)."""
         return self.channels * self.spatial_elements
 
     def bytes(self, itemsize: int = 4) -> int:

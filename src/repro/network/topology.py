@@ -186,9 +186,18 @@ class ClusterSpec:
         A ring over a hierarchical machine is limited by its slowest hop,
         so the returned beta is the bottleneck over the widest span the
         communicator crosses; alpha is the corresponding path latency.
+        Resolutions memoize per ``(num_pes, transport)`` — the topology
+        is immutable and every projection re-asks the same handful of
+        spans.
         """
-        scope = self.span(num_pes)
-        return self.hockney_for_scope(scope, transport=transport)
+        memo = self.__dict__.setdefault("_hockney_memo", {})
+        key = (num_pes, transport)
+        params = memo.get(key)
+        if params is None:
+            scope = self.span(num_pes)
+            params = self.hockney_for_scope(scope, transport=transport)
+            memo[key] = params
+        return params
 
     def hockney_intra(
         self, p: int, transport: str = "nccl", floor: int = 1

@@ -198,6 +198,13 @@ class ProjectionCache:
         self.hits = 0
         self.misses = 0
         self.invalidated = False
+        # Dirty until proven in sync with the file: a fresh (or
+        # discarded) cache wants its first save, a cleanly-loaded one
+        # only re-serializes after a put/put_failure/clear.  The
+        # monotonic mutation counter lets `save` detect writes that
+        # raced its (unlocked) file write and stay dirty for them.
+        self._dirty = True
+        self._mutations = 0
         if path is not None and os.path.exists(path):
             self._load(path)
 
@@ -231,6 +238,7 @@ class ProjectionCache:
         entries = blob.get("entries", {})
         if isinstance(entries, dict):
             self._entries = entries
+            self._dirty = False
 
     # ------------------------------------------------------------------ api
     def __len__(self) -> int:
@@ -262,30 +270,55 @@ class ProjectionCache:
         entry = {"projection": _projection_to_jsonable(projection)}
         with self._lock:
             self._entries[key] = entry
+            self._dirty = True
+            self._mutations += 1
 
     def put_failure(self, key: str, reason: str) -> None:
         """Memoize a projection *raise* so warm runs never re-project a
         structurally infeasible candidate."""
         with self._lock:
             self._entries[key] = {"error": reason}
+            self._dirty = True
+            self._mutations += 1
 
     def save(self, path: Optional[str] = None) -> Optional[str]:
-        """Persist to ``path`` (default: the construction path)."""
-        path = path or self.path
-        if path is None:
+        """Persist to ``path`` (default: the construction path).
+
+        Clean caches skip the write: when no ``put``/``put_failure``/
+        ``clear`` happened since the last load or save, re-serializing
+        would rewrite an identical blob (warm sweeps used to do exactly
+        that, once per model per run).  An explicit ``path`` different
+        from the construction path always writes.
+        """
+        target = path or self.path
+        if target is None:
             return None
         with self._lock:
+            if (
+                not self._dirty
+                and target == self.path
+                and os.path.exists(target)
+            ):
+                return target
+            snapshot = self._mutations
             blob = {
                 "version": CACHE_VERSION,
                 "context": self.context,
                 "entries": dict(self._entries),
             }
-        tmp = f"{path}.tmp.{os.getpid()}"
-        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        tmp = f"{target}.tmp.{os.getpid()}"
+        os.makedirs(os.path.dirname(os.path.abspath(target)), exist_ok=True)
         with open(tmp, "w") as fh:
             json.dump(blob, fh)
-        os.replace(tmp, path)
-        return path
+        os.replace(tmp, target)
+        if target == self.path:
+            with self._lock:
+                # Only mark clean if nothing was written behind the
+                # (unlocked) file write; a racing put stays pending for
+                # the next save instead of being silently dropped.
+                if self._mutations == snapshot:
+                    self._dirty = False
+        return target
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
@@ -293,3 +326,5 @@ class ProjectionCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self._dirty = True
+            self._mutations += 1

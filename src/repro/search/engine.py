@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
+import time
 import warnings
 from concurrent.futures import (
     ProcessPoolExecutor,
@@ -54,7 +56,13 @@ from .pareto import (
 from .pruning import Pruner, PruningContext, apply_pruners
 from .space import Candidate, SearchSpace
 
-__all__ = ["Evaluation", "SearchReport", "SearchEngine", "EXECUTORS"]
+__all__ = [
+    "Evaluation",
+    "SearchReport",
+    "SearchEngine",
+    "EXECUTORS",
+    "TIMING_STAGES",
+]
 
 #: Supported evaluation backends.
 EXECUTORS = ("thread", "process")
@@ -62,6 +70,17 @@ EXECUTORS = ("thread", "process")
 #: Candidates per process-pool task; amortizes IPC without starving
 #: workers at the tail of a sweep.
 _PROCESS_CHUNK = 16
+
+#: Candidates per thread-backend evaluation batch: one
+#: :meth:`SearchEngine.evaluate_many` call amortizes cache-key assembly
+#: and timing bookkeeping across the chunk.
+_THREAD_CHUNK = 64
+
+#: Stage keys of :attr:`SearchReport.timings` (the ``--profile`` table).
+TIMING_STAGES = (
+    "expansion_s", "pruning_s", "projection_s", "ranking_s",
+    "persistence_s", "total_s",
+)
 
 
 @dataclass(frozen=True)
@@ -122,19 +141,34 @@ class Evaluation:
 
 @dataclass
 class SearchReport:
-    """Everything a search produced, plus bookkeeping counters."""
+    """Everything a search produced, plus bookkeeping counters.
+
+    ``timings`` breaks the wall time into stages (see
+    :data:`TIMING_STAGES`): space expansion, pruning (the pre-projection
+    fast path, including cache lookups), projection, ranking, and cache
+    persistence.  Pruning/projection are *busy* times summed across
+    workers (cProfile-``cumtime``-style), so with several threads they
+    can legitimately exceed the wall-clock ``total_s``; stages measured
+    inside worker processes are not visible to the parent, so under
+    ``executor="process"`` the split only covers parent-side work.
+    """
 
     evaluations: List[Evaluation]
     frontier: List[Evaluation]
     best: Optional[Evaluation]
     objectives: Sequence[str] = DEFAULT_OBJECTIVES
     stats: Dict[str, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def feasible(self) -> List[Evaluation]:
         return [e for e in self.evaluations if e.feasible]
 
     def asdict(self) -> Dict[str, object]:
+        # ``timings`` stay off the JSON document deliberately: the
+        # envelope is a stable, reproducible contract (scenario-built ==
+        # flag-built bit-for-bit) and wall-clock noise would break it.
+        # The CLI renders timings via ``--profile`` instead.
         return {
             "objectives": list(self.objectives),
             "stats": dict(self.stats),
@@ -155,16 +189,24 @@ _WORKER_ENGINE: Optional["SearchEngine"] = None
 
 
 def _process_worker_init(payload: bytes) -> None:
-    """Pool initializer: rebuild the evaluation context in this process."""
+    """Pool initializer: rebuild the evaluation context in this process.
+
+    Forces the oracle's projection kernel here, so every worker compiles
+    the model invariants exactly once instead of lazily inside its first
+    candidate chunk.
+    """
     global _WORKER_ENGINE
     oracle, dataset, pruners = pickle.loads(payload)
     _WORKER_ENGINE = SearchEngine(
         oracle, dataset, pruners=pruners, workers=1)
+    analytical = getattr(oracle, "analytical", None)
+    if analytical is not None and hasattr(analytical, "kernel"):
+        analytical.kernel  # noqa: B018 - warm the lazy kernel build
 
 
 def _process_evaluate_chunk(candidates: List[Candidate]) -> List[Evaluation]:
     """Evaluate one candidate chunk in the worker's rebuilt engine."""
-    return [_WORKER_ENGINE.evaluate(c) for c in candidates]
+    return _WORKER_ENGINE.evaluate_many(candidates)
 
 
 class SearchEngine:
@@ -242,10 +284,23 @@ class SearchEngine:
             gamma=oracle.analytical.gamma,
             delta=oracle.analytical.delta,
         )
+        # Cache keys share one precomputed dataset suffix; candidates
+        # memoize their own key component (see Candidate.key), so per-
+        # candidate key building is a single concatenation.
+        self._key_suffix = f"@D={dataset.num_samples}"
+        self._timings: Dict[str, float] = {}
+        self._timings_lock = threading.Lock()
 
     # ------------------------------------------------------------- evaluate
     def _cache_key(self, candidate: Candidate) -> str:
-        return f"{candidate.key}@D={self.dataset.num_samples}"
+        return candidate.key + self._key_suffix
+
+    def _add_timings(self, pruning: float = 0.0, projection: float = 0.0
+                     ) -> None:
+        with self._timings_lock:
+            t = self._timings
+            t["pruning_s"] = t.get("pruning_s", 0.0) + pruning
+            t["projection_s"] = t.get("projection_s", 0.0) + projection
 
     def _fast_path(
         self, candidate: Candidate
@@ -313,6 +368,34 @@ class SearchEngine:
             return evaluation
         return self._project(candidate, strategy)
 
+    def evaluate_many(
+        self, candidates: Sequence[Candidate]
+    ) -> List[Evaluation]:
+        """Evaluate a chunk of candidates; results keep input order.
+
+        The batched form of :meth:`evaluate`, shared by the thread and
+        process backends: the pre-projection fast path (pruning,
+        strategy construction, cache lookup) runs for the whole chunk
+        first, then the surviving candidates are projected — amortizing
+        key building and stage-timing bookkeeping across the chunk
+        instead of paying them per candidate.
+        """
+        t0 = time.perf_counter()
+        out: List[Optional[Evaluation]] = [None] * len(candidates)
+        pending: List[Tuple[int, Candidate, Strategy]] = []
+        for i, cand in enumerate(candidates):
+            evaluation, strategy = self._fast_path(cand)
+            if evaluation is not None:
+                out[i] = evaluation
+            else:
+                pending.append((i, cand, strategy))
+        t1 = time.perf_counter()
+        for i, cand, strategy in pending:
+            out[i] = self._project(cand, strategy)
+        self._add_timings(
+            pruning=t1 - t0, projection=time.perf_counter() - t1)
+        return out
+
     def _absorb(self, evaluation: Evaluation) -> None:
         """Fold a worker-process evaluation into the parent cache.
 
@@ -334,12 +417,16 @@ class SearchEngine:
         """Process-pool evaluation: fast path inline, projections fanned
         out in chunks, results folded back into the parent cache."""
         pending: List[Tuple[Candidate, Strategy]] = []
+        prune_s = 0.0
         for cand in candidates:
+            t0 = time.perf_counter()
             evaluation, strategy = self._fast_path(cand)
+            prune_s += time.perf_counter() - t0
             if evaluation is not None:
                 yield evaluation
             else:
                 pending.append((cand, strategy))
+        self._add_timings(pruning=prune_s)
         if not pending:
             return
         try:
@@ -390,14 +477,37 @@ class SearchEngine:
     def _iter_thread(
         self, candidates: Iterable[Candidate]
     ) -> Iterator[Evaluation]:
+        """Thread-backend evaluation in :data:`_THREAD_CHUNK` batches.
+
+        Chunking amortizes per-candidate dispatch; anytime consumers
+        (``--stream``) see results at chunk granularity, which does not
+        change the evaluations themselves.  The single-worker default
+        consumes the candidate stream lazily, one chunk at a time, so
+        first-result latency stays independent of the space size.
+        """
+        from itertools import islice
+
+        it = iter(candidates)
+        chunks = iter(lambda: list(islice(it, _THREAD_CHUNK)), [])
         if self.workers <= 1:
-            for cand in candidates:
-                yield self.evaluate(cand)
+            for chunk in chunks:
+                yield from self.evaluate_many(chunk)
             return
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            futures = [pool.submit(self.evaluate, c) for c in candidates]
+            futures = [pool.submit(self.evaluate_many, c) for c in chunks]
             for future in as_completed(futures):
-                yield future.result()
+                yield from future.result()
+
+    def _iter_candidates(
+        self, candidates: Iterable[Candidate]
+    ) -> Iterator[Evaluation]:
+        """Dispatch an expanded candidate stream to the active backend
+        (the single executor-selection seam ``iter_results`` and
+        ``search`` share)."""
+        if self.executor == "process":
+            yield from self._iter_process(candidates)
+        else:
+            yield from self._iter_thread(candidates)
 
     def iter_results(
         self,
@@ -411,11 +521,7 @@ class SearchEngine:
         multiple workers; the evaluations themselves are not.
         """
         intra = intra or self.oracle.cluster.node.gpus
-        candidates: Iterable[Candidate] = space.candidates(intra=intra)
-        if self.executor == "process":
-            yield from self._iter_process(candidates)
-        else:
-            yield from self._iter_thread(candidates)
+        yield from self._iter_candidates(space.candidates(intra=intra))
 
     def search(
         self,
@@ -435,18 +541,30 @@ class SearchEngine:
         The report's evaluation list is sorted by candidate key so the
         result is identical whatever the executor backend, worker count,
         or completion order.
+
+        ``report.timings`` carries the per-stage wall-time breakdown the
+        CLI's ``--profile`` renders (see :attr:`SearchReport.timings`).
         """
+        t_start = time.perf_counter()
+        with self._timings_lock:
+            before = dict(self._timings)
         hits_before = self.cache.hits
         misses_before = self.cache.misses
+        intra = intra or self.oracle.cluster.node.gpus
+        t0 = time.perf_counter()
+        candidates = list(space.candidates(intra=intra))
+        expansion_s = time.perf_counter() - t0
         evaluations = []
-        for evaluation in self.iter_results(space, intra=intra):
+        for evaluation in self._iter_candidates(candidates):
             if on_result is not None:
                 on_result(evaluation)
             evaluations.append(evaluation)
+        t0 = time.perf_counter()
         evaluations.sort(key=lambda e: e.candidate.key)
         feasible = [e for e in evaluations if e.feasible]
         frontier = pareto_frontier(feasible, objectives)
         best = scalarized_best(frontier, weights)
+        ranking_s = time.perf_counter() - t0
         stats = {
             "candidates": len(evaluations),
             "feasible": len(feasible),
@@ -457,12 +575,27 @@ class SearchEngine:
             "cache_misses": self.cache.misses - misses_before,
             "frontier": len(frontier),
         }
+        t0 = time.perf_counter()
         if self.cache.path is not None:
             self.cache.save()
+        persistence_s = time.perf_counter() - t0
+        with self._timings_lock:
+            after = dict(self._timings)
+        timings = {
+            "expansion_s": expansion_s,
+            "pruning_s": after.get("pruning_s", 0.0)
+            - before.get("pruning_s", 0.0),
+            "projection_s": after.get("projection_s", 0.0)
+            - before.get("projection_s", 0.0),
+            "ranking_s": ranking_s,
+            "persistence_s": persistence_s,
+            "total_s": time.perf_counter() - t_start,
+        }
         return SearchReport(
             evaluations=evaluations,
             frontier=frontier,
             best=best,
             objectives=tuple(objectives),
             stats=stats,
+            timings=timings,
         )

@@ -15,6 +15,7 @@ binds one to a :class:`~repro.core.graph.ModelGraph` as a concrete
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Iterator, Optional, Tuple
 
 from ..collectives.selector import POLICIES
@@ -64,9 +65,15 @@ class Candidate:
     segments: int = 0
     comm: str = ""
 
-    @property
+    @cached_property
     def key(self) -> str:
-        """Stable string identity — the projection-cache key component."""
+        """Stable string identity — the projection-cache key component.
+
+        Cached on the (frozen) candidate: the engine consults it for
+        every cache lookup, sort, and dedup, and the format is part of
+        the persisted cache contract — ``tests/test_search_engine.py``
+        pins it against the literal assembly.
+        """
         return (f"{self.sid}:p={self.p}:b={self.batch}"
                 f":p1={self.p1}:p2={self.p2}:s={self.segments}"
                 f":comm={self.comm or 'default'}")

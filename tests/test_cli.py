@@ -165,3 +165,47 @@ class TestExperiment:
         out = capsys.readouterr().out
         assert rc == 0
         assert "resnet50" in out and "best=" in out
+
+
+class TestProfileFlag:
+    SEARCH_ARGS = ["search", "--model", "alexnet", "-p", "8",
+                   "--samples-per-pe", "4", "--strategies", "d,z",
+                   "--segments", "2"]
+
+    def test_search_profile_prints_stage_table_to_stderr(self, capsys):
+        rc = main(self.SEARCH_ARGS + ["--profile"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "search stage timings:" in captured.err
+        for stage in ("expansion", "pruning", "projection", "ranking",
+                      "persistence", "total"):
+            assert stage in captured.err
+        # The normal result table stays on stdout, untouched.
+        assert "best:" in captured.out
+        assert "stage timings" not in captured.out
+
+    def test_search_profile_with_json_keeps_stdout_parseable(self, capsys):
+        import json as _json
+
+        rc = main(self.SEARCH_ARGS + ["--profile", "--json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        blob = _json.loads(captured.out)
+        assert blob["kind"] == "search"
+        assert "search stage timings:" in captured.err
+
+    def test_no_profile_no_table(self, capsys):
+        rc = main(self.SEARCH_ARGS)
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "stage timings" not in captured.err
+
+    def test_sweep_profile_aggregates_models(self, capsys):
+        rc = main(["sweep", "--models", "alexnet,vgg16", "-p", "8",
+                   "--samples-per-pe", "4", "--strategies", "d,z",
+                   "--segments", "2", "--executor", "thread",
+                   "--profile"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "search stage timings:" in captured.err
+        assert "projection" in captured.err

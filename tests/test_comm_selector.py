@@ -196,3 +196,78 @@ class TestScopesAndErrors:
 
     def test_all_policies_enumerated(self):
         assert set(POLICIES) == {"paper", "auto", "nccl-like"}
+
+
+class TestChoiceMemo:
+    """The bounded LRU behind choose/time/scope_params."""
+
+    def test_repeat_choose_served_from_memo(self, cluster):
+        model = CommModel(cluster, policy="auto")
+        first = model.choose("allreduce", 16, 1 << 20)
+        assert model.choose("allreduce", 16, 1 << 20) is first
+        assert model.time("allreduce", 16, 1 << 20) == first.seconds
+        assert len(model._choose_memo) == 1
+
+    def test_memo_respects_call_signature(self, cluster):
+        model = CommModel(cluster, policy="auto")
+        a = model.choose("allreduce", 16, 1 << 20)
+        b = model.choose("allreduce", 16, 1 << 21)
+        c = model.choose("allreduce", 16, 1 << 20, scope="intra-node")
+        assert len(model._choose_memo) == 3
+        assert a.seconds != b.seconds
+        assert c.seconds != a.seconds  # NVLink scope resolves cheaper
+        # pinned params key separately from resolved ones
+        params = model.scope_params(16, "intra-node")
+        model.choose("allreduce", 16, 1 << 20, params=params)
+        assert len(model._choose_memo) == 4
+
+    def test_fingerprint_mutation_invalidates(self, cluster):
+        model = CommModel(cluster, policy="auto")
+        before = model.choose("allreduce", 64, 1 << 10)
+        assert len(model._choose_memo) == 1
+        model.algo["allreduce"] = "recursive-doubling"  # in-place mutation
+        after = model.choose("allreduce", 64, 1 << 10)
+        assert after.algorithm == "recursive-doubling"
+        assert len(model._choose_memo) == 1  # old entries dropped
+        del model.algo["allreduce"]
+        assert model.choose("allreduce", 64, 1 << 10) == before
+
+    def test_memo_is_bounded(self, cluster):
+        from repro.collectives.selector import CHOOSE_MEMO_SIZE
+
+        model = CommModel(cluster, policy="paper")
+        assert CHOOSE_MEMO_SIZE >= 1024
+        # Simulate a full memo cheaply instead of 64k real calls.
+        for i in range(32):
+            model.choose("allreduce", 16, float(i + 1))
+        model._choose_memo = type(model._choose_memo)(
+            (("pad", i), None) for i in range(CHOOSE_MEMO_SIZE)
+        )
+        model.choose("allreduce", 16, 12345.0)
+        assert len(model._choose_memo) <= CHOOSE_MEMO_SIZE
+
+    def test_scope_params_and_hint_memoized(self, cluster):
+        model = CommModel(cluster, policy="paper")
+        p1 = model.scope_params(8, "auto")
+        assert model.scope_params(8, "auto") is p1
+        h1 = model.topology_hint(16)
+        assert model.topology_hint(16) is h1
+        assert model.topology_hint(2) is None  # memoizes None too
+        assert 2 in model._topo_memo
+
+    def test_pickle_drops_memos(self, cluster):
+        import pickle
+
+        model = CommModel(cluster, policy="auto")
+        model.choose("allreduce", 16, 1 << 20)
+        clone = pickle.loads(pickle.dumps(model))
+        assert len(clone._choose_memo) == 0
+        assert clone.choose("allreduce", 16, 1 << 20).seconds == \
+            model.choose("allreduce", 16, 1 << 20).seconds
+
+    def test_clear_memo(self, cluster):
+        model = CommModel(cluster, policy="nccl-like")
+        model.choose("allreduce", 16, 1 << 20)
+        model.scope_params(8)
+        model.clear_memo()
+        assert not model._choose_memo and not model._params_memo

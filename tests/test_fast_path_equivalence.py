@@ -1,0 +1,218 @@
+"""Fast path == reference path, everywhere it matters.
+
+The compiled-kernel fast path (:mod:`repro.core.kernel`) is the default
+evaluation path of :class:`~repro.core.analytical.AnalyticalModel`; the
+original per-layer walks survive as ``path="reference"``.  These tests
+pin the equivalence the fast path promises:
+
+* **model zoo x strategy families x comm policies**: every projection
+  field agrees to ``rel <= 1e-9`` (``abs 1e-15``), and the categorical
+  metadata — notes, policy, per-phase algorithm log — agrees *exactly*;
+* **golden seed projections**: under the paper policy the fast path (and
+  the reference path) reproduce ``tests/data/golden_projections_seed
+  .json`` to the same bound;
+* error behaviour matches: a grid / stage count the model cannot host
+  raises the same ``ValueError`` from both paths, and raises it again
+  after the kernel memoized the failure.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.calibration import profile_model
+from repro.core.oracle import ParaDL
+from repro.core.strategies import (
+    ALL_STRATEGY_IDS,
+    Serial,
+    StrategyError,
+    strategy_from_id,
+)
+from repro.data import DATASETS
+from repro.models import MODEL_BUILDERS, build_model
+from repro.network.topology import abci_like_cluster
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_projections_seed.json")
+
+with open(GOLDEN_PATH) as fh:
+    GOLDEN = json.load(fh)
+
+ZOO = tuple(sorted(MODEL_BUILDERS))
+POLICIES = ("paper", "auto", "nccl-like")
+PES = 16
+SAMPLES_PER_PE = 8
+
+_ORACLES = {}
+
+
+def _oracle_for(model_name: str):
+    if model_name not in _ORACLES:
+        ds_name = "imagenet" if model_name != "cosmoflow" else "cosmoflow256"
+        dataset = DATASETS[ds_name]
+        input_spec = (
+            dataset.sample
+            if model_name == "cosmoflow" and dataset.sample.ndim == 3
+            else None
+        )
+        model = build_model(model_name, input_spec)
+        cluster = abci_like_cluster(PES)
+        profile = profile_model(model, samples_per_pe=32)
+        _ORACLES[model_name] = (
+            ParaDL(model, cluster, profile), model, cluster, dataset)
+    return _ORACLES[model_name]
+
+
+def _strategies_for(model_name: str):
+    """Every strategy family the model can host at the test budget,
+    bound suggest-style (weak scalers at ``spp * p``, strong scalers at
+    one node's worth of samples)."""
+    oracle, model, cluster, dataset = _oracle_for(model_name)
+    fixed = SAMPLES_PER_PE * cluster.node.gpus
+    cases = [(Serial(), fixed)]
+    for sid in ALL_STRATEGY_IDS:
+        try:
+            strategy = strategy_from_id(
+                sid, PES, model, max(PES, fixed), segments=4,
+                intra=cluster.node.gpus,
+            )
+            batch = (
+                SAMPLES_PER_PE * PES if strategy.is_weak_scaling else fixed
+            )
+            strategy.check(model, batch)
+        except StrategyError:
+            continue  # family infeasible for this model at this budget
+        cases.append((strategy, batch))
+    return cases
+
+
+def _assert_equivalent(fast, ref):
+    got = fast.per_epoch.asdict()
+    want = ref.per_epoch.asdict()
+    for field, value in want.items():
+        assert got[field] == pytest.approx(value, rel=1e-9, abs=1e-15), field
+    assert fast.memory_bytes == pytest.approx(ref.memory_bytes, rel=1e-9)
+    assert fast.iterations == ref.iterations
+    assert fast.notes == ref.notes
+    assert fast.comm_policy == ref.comm_policy
+    assert fast.comm_algorithms == ref.comm_algorithms
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("model_name", ZOO)
+def test_fast_path_matches_reference(model_name, policy):
+    oracle, model, cluster, dataset = _oracle_for(model_name)
+    analytical = oracle.analytical
+    cases = _strategies_for(model_name)
+    assert len(cases) > 1, "expected at least one non-serial family"
+    for strategy, batch in cases:
+        fast = analytical.project(
+            strategy, batch, dataset.num_samples, comm=policy)
+        ref = analytical.project(
+            strategy, batch, dataset.num_samples, comm=policy,
+            path="reference")
+        _assert_equivalent(fast, ref)
+
+
+@pytest.mark.parametrize("model_name", ZOO)
+def test_fast_inference_matches_reference(model_name):
+    oracle, model, cluster, dataset = _oracle_for(model_name)
+    analytical = oracle.analytical
+    for strategy, batch in _strategies_for(model_name):
+        fast = analytical.project_inference(
+            strategy, batch, dataset.num_samples)
+        ref = analytical.project_inference(
+            strategy, batch, dataset.num_samples, path="reference")
+        _assert_equivalent(fast, ref)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_fast_path_reproduces_golden_seed(key):
+    """The fast path under the paper policy == the seed projections."""
+    model_name, sid, ps, bs, ds = key.split(":")
+    p, B, D = (int(x.split("=")[1]) for x in (ps, bs, ds))
+    oracle, model, cluster, dataset = _oracle_for(model_name)
+    if p > cluster.total_gpus:
+        cluster = abci_like_cluster(p)
+        profile = profile_model(model, samples_per_pe=32)
+        oracle = ParaDL(model, cluster, profile)
+    strategy = (
+        Serial() if sid == "serial"
+        else strategy_from_id(
+            sid, p, model, max(p, B), segments=4, intra=cluster.node.gpus)
+    )
+    want = GOLDEN[key]
+    for path in ("fast", "reference"):
+        proj = oracle.analytical.project(strategy, B, D, path=path)
+        got = proj.per_epoch.asdict()
+        for field, value in want["per_epoch"].items():
+            assert got[field] == pytest.approx(
+                value, rel=1e-9, abs=1e-15), (path, field)
+        assert proj.memory_bytes == pytest.approx(
+            want["memory_bytes"], rel=1e-9), path
+
+
+def test_unknown_path_rejected():
+    oracle, model, cluster, dataset = _oracle_for("toy_cnn")
+    with pytest.raises(ValueError, match="unknown projection path"):
+        oracle.analytical.project(Serial(), 8, 64, path="warp")
+
+
+def test_fast_path_raises_reference_errors_and_memoizes_them():
+    """A stage count the chain cannot host raises identically from both
+    paths — including on the second (memoized) ask."""
+    oracle, model, cluster, dataset = _oracle_for("toy_cnn")
+    analytical = oracle.analytical
+    stages = len(model.layers)  # every stage a single layer
+    strategy = strategy_from_id(
+        "p", stages, model, 64, segments=2, intra=cluster.node.gpus)
+    fast = analytical.project(strategy, 64, dataset.num_samples)
+    ref = analytical.project(
+        strategy, 64, dataset.num_samples, path="reference")
+    _assert_equivalent(fast, ref)
+    # Spatial: a grid no layer hosts raises the same ValueError twice
+    # (the second raise comes from the kernel's memoized error entry).
+    from repro.core.analytical import spatial_extent_of
+
+    bad_grid = (10 ** 9,) * model.input_spec.ndim
+    with pytest.raises(ValueError) as ref_exc:
+        spatial_extent_of(model, bad_grid)
+    for _ in range(2):
+        with pytest.raises(ValueError) as fast_exc:
+            analytical.kernel.spatial(bad_grid)
+        assert str(fast_exc.value) == str(ref_exc.value)
+
+
+def test_kernel_is_built_once_and_session_memoizes_it():
+    oracle, model, cluster, dataset = _oracle_for("toy_cnn")
+    analytical = oracle.analytical
+    assert analytical.kernel is analytical.kernel
+    from repro.api.session import Session
+
+    session = Session({"model": {"name": "toy_cnn"},
+                       "cluster": {"pes": 4}})
+    assert session.kernel is session.oracle.analytical.kernel
+    assert session.kernel is session.kernel
+
+
+def test_comm_override_memo_tracks_forcing_mutation():
+    """A policy-string override must see in-place mutation of the bound
+    comm's forcing, exactly like the pre-memo throwaway selectors did."""
+    oracle, model, cluster, dataset = _oracle_for("toy_cnn")
+    analytical = oracle.analytical
+    strategy = strategy_from_id("d", 4, model, 64, intra=cluster.node.gpus)
+    before = analytical.project(
+        strategy, 64, dataset.num_samples, comm="paper")
+    assert dict(before.comm_algorithms) == {"ge": "allreduce:ring"}
+    analytical.comm.algo["allreduce"] = "recursive-doubling"
+    try:
+        after = analytical.project(
+            strategy, 64, dataset.num_samples, comm="paper")
+        assert dict(after.comm_algorithms) == {
+            "ge": "allreduce:recursive-doubling"}
+    finally:
+        del analytical.comm.algo["allreduce"]
+    again = analytical.project(
+        strategy, 64, dataset.num_samples, comm="paper")
+    assert dict(again.comm_algorithms) == {"ge": "allreduce:ring"}

@@ -1,0 +1,154 @@
+"""The machine-readable perf harness: BENCH_*.json + regression guard.
+
+Covers the two halves of the perf contract: every benchmark report
+emits a schema-versioned ``BENCH_<name>.json`` envelope alongside its
+text, and ``scripts/check_perf_regression.py`` compares those envelopes
+against a baseline directory with a tolerance band (pass / regress /
+warn-only / no-baseline behaviours).
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_module(name, path):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def bench_util(tmp_path, monkeypatch):
+    module = _load_module(
+        "bench_util", os.path.join(REPO_ROOT, "benchmarks", "_util.py"))
+    monkeypatch.setattr(module, "RESULTS_DIR", str(tmp_path / "results"))
+    return module
+
+
+@pytest.fixture()
+def checker():
+    return _load_module(
+        "check_perf_regression",
+        os.path.join(REPO_ROOT, "scripts", "check_perf_regression.py"))
+
+
+class TestBenchEnvelope:
+    def test_write_report_emits_text_and_json(self, bench_util):
+        path = bench_util.write_report(
+            "demo", ["line one", "line two"],
+            metrics={"candidates_per_s_cold": 1000.0, "candidates": 10},
+            higher_is_better=("candidates_per_s_cold",),
+        )
+        assert path.endswith("demo.txt")
+        with open(path) as fh:
+            assert fh.read() == "line one\nline two\n"
+        json_path = os.path.join(
+            bench_util.RESULTS_DIR, "BENCH_demo.json")
+        with open(json_path) as fh:
+            blob = json.load(fh)
+        assert blob["schema_version"] == bench_util.BENCH_SCHEMA_VERSION
+        assert blob["name"] == "demo"
+        assert blob["metrics"]["candidates_per_s_cold"] == 1000.0
+        assert blob["higher_is_better"] == ["candidates_per_s_cold"]
+        assert blob["machine"]["python"]
+        assert blob["created_unix"] > 0
+
+    def test_metricless_report_still_emits_envelope(self, bench_util):
+        bench_util.write_report("plain", ["row"])
+        with open(os.path.join(
+                bench_util.RESULTS_DIR, "BENCH_plain.json")) as fh:
+            blob = json.load(fh)
+        assert blob["metrics"] == {}
+        assert blob["higher_is_better"] == []
+
+    def test_committed_bench_files_carry_the_schema(self):
+        """Every benchmark in the repo has a valid committed envelope."""
+        results = os.path.join(REPO_ROOT, "benchmarks", "results")
+        bench_files = [
+            f for f in os.listdir(results)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        ]
+        txt_files = [f for f in os.listdir(results) if f.endswith(".txt")]
+        assert len(bench_files) == len(txt_files)
+        for fname in bench_files:
+            with open(os.path.join(results, fname)) as fh:
+                blob = json.load(fh)
+            assert blob["schema_version"] == 1, fname
+            assert isinstance(blob["metrics"], dict), fname
+        with open(os.path.join(results, "BENCH_search.json")) as fh:
+            search = json.load(fh)
+        assert "candidates_per_s_cold" in search["metrics"]
+        assert "candidates_per_s_cold" in search["higher_is_better"]
+
+
+def _write_bench(directory, name, metrics, version=1):
+    os.makedirs(directory, exist_ok=True)
+    blob = {
+        "schema_version": version,
+        "name": name,
+        "machine": {},
+        "metrics": metrics,
+        "higher_is_better": sorted(
+            k for k in metrics if k.endswith("per_s")),
+    }
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(blob, fh)
+    return path
+
+
+class TestRegressionChecker:
+    def test_identical_results_pass(self, checker, tmp_path):
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        for d in (cur, base):
+            _write_bench(d, "search", {"eval_per_s": 100.0})
+        assert checker.main(["--current", cur, "--baseline", base]) == 0
+
+    def test_regression_fails_and_warn_only_passes(self, checker, tmp_path):
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        _write_bench(cur, "search", {"eval_per_s": 10.0})
+        _write_bench(base, "search", {"eval_per_s": 100.0})
+        args = ["--current", cur, "--baseline", base, "--tolerance", "0.5"]
+        assert checker.main(args) == 1
+        assert checker.main(args + ["--warn-only"]) == 0
+
+    def test_within_tolerance_passes(self, checker, tmp_path):
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        _write_bench(cur, "search", {"eval_per_s": 60.0})
+        _write_bench(base, "search", {"eval_per_s": 100.0})
+        assert checker.main(
+            ["--current", cur, "--baseline", base,
+             "--tolerance", "0.5"]) == 0
+
+    def test_missing_baseline_dir_passes(self, checker, tmp_path):
+        cur = str(tmp_path / "cur")
+        _write_bench(cur, "search", {"eval_per_s": 100.0})
+        assert checker.main(["--current", cur]) == 0
+        assert checker.main(
+            ["--current", cur,
+             "--baseline", str(tmp_path / "nope")]) == 0
+
+    def test_missing_counterpart_and_schema_skew_skip(
+            self, checker, tmp_path):
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        _write_bench(cur, "search", {"eval_per_s": 1.0})
+        _write_bench(cur, "sweep", {"eval_per_s": 1.0})
+        # sweep has no baseline; search's baseline is a future schema.
+        _write_bench(base, "search", {"eval_per_s": 100.0}, version=2)
+        assert checker.main(["--current", cur, "--baseline", base]) == 0
+
+    def test_empty_current_dir_is_an_error(self, checker, tmp_path):
+        cur = str(tmp_path / "cur")
+        os.makedirs(cur)
+        assert checker.main(["--current", cur]) == 2
+
+    def test_committed_results_compare_against_themselves(self, checker):
+        results = os.path.join(REPO_ROOT, "benchmarks", "results")
+        assert checker.main(
+            ["--current", results, "--baseline", results]) == 0

@@ -173,3 +173,98 @@ class TestPersistence:
         different_gamma = ParaDL(
             oracle.model, oracle.cluster, oracle.profile, gamma=0.9)
         assert context_fingerprint(different_gamma) != base
+
+
+class TestDirtyFlag:
+    """`save` skips rewriting when nothing changed since load/save."""
+
+    def _mtime_sentinel(self, path):
+        import os
+
+        os.utime(path, (1, 1))  # distinctive mtime a rewrite would clobber
+        return os.stat(path).st_mtime
+
+    def test_clean_cache_skips_rewrite(self, tmp_path, oracle, projection):
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        cache = ProjectionCache(path, context=ctx)
+        cache.put("k", proj)
+        assert cache.save() == path
+
+        import os
+
+        sentinel = self._mtime_sentinel(path)
+        # A freshly-loaded cache with no puts: save is a no-op.
+        warm = ProjectionCache(path, context=ctx)
+        assert warm.save() == path
+        assert os.stat(path).st_mtime == sentinel
+        # Saving the already-saved cache again is also a no-op.
+        assert cache.save() == path
+        assert os.stat(path).st_mtime == sentinel
+
+    def test_put_and_clear_mark_dirty(self, tmp_path, oracle, projection):
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        ProjectionCache(path, context=ctx).save()
+
+        import os
+
+        warm = ProjectionCache(path, context=ctx)
+        sentinel = self._mtime_sentinel(path)
+        warm.put("k", proj)
+        warm.save()
+        assert os.stat(path).st_mtime != sentinel
+        reloaded = ProjectionCache(path, context=ctx)
+        assert len(reloaded) == 1
+        sentinel = self._mtime_sentinel(path)
+        reloaded.clear()
+        reloaded.save()
+        assert os.stat(path).st_mtime != sentinel
+        assert len(ProjectionCache(path, context=ctx)) == 0
+
+    def test_negative_put_marks_dirty(self, tmp_path, oracle, projection):
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        ProjectionCache(path, context=ctx).save()
+        warm = ProjectionCache(path, context=ctx)
+
+        import os
+
+        sentinel = self._mtime_sentinel(path)
+        warm.put_failure("bad", "nope")
+        warm.save()
+        assert os.stat(path).st_mtime != sentinel
+
+    def test_explicit_other_path_always_writes(self, tmp_path, oracle,
+                                               projection):
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        other = str(tmp_path / "copy.json")
+        ctx = context_fingerprint(oracle)
+        cache = ProjectionCache(path, context=ctx)
+        cache.put("k", proj)
+        cache.save()
+        warm = ProjectionCache(path, context=ctx)  # clean
+        assert warm.save(other) == other
+        import os
+
+        assert os.path.exists(other)
+
+    def test_invalidated_load_rewrites(self, tmp_path, oracle, projection):
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        cache = ProjectionCache(path, context=ctx)
+        cache.put("k", proj)
+        cache.save()
+        # A context mismatch discards the file content; the discarded
+        # cache counts as dirty so its save replaces the stale blob.
+        stale = ProjectionCache(path, context=dict(ctx, gamma=0.9))
+        assert stale.invalidated
+        stale.save()
+        rebuilt = ProjectionCache(path, context=dict(ctx, gamma=0.9))
+        assert not rebuilt.invalidated
+        assert len(rebuilt) == 0

@@ -221,3 +221,72 @@ class TestFacadeAndCli:
             assert r.search_epoch_s <= r.suggest_epoch_s + 1e-9
             assert r.improvement >= -1e-9
             assert r.frontier_size >= 1
+
+
+class TestFastPathPlumbing:
+    """Cache-key assembly, batched evaluation, and stage timings."""
+
+    def test_cache_keys_unchanged_by_prefix_assembly(self, oracle, dataset):
+        """The micro-contract: prefix+suffix assembly must produce the
+        exact historical key strings (persisted caches depend on it)."""
+        engine = SearchEngine(oracle, dataset, workers=1)
+        cases = [
+            Candidate("d", 4, batch=16),
+            Candidate("p", 4, batch=16, segments=2),
+            Candidate("df", 8, batch=32, p1=4, p2=2),
+            Candidate("d", 4, batch=16, comm="auto"),
+        ]
+        for cand in cases:
+            legacy_key = (
+                f"{cand.sid}:p={cand.p}:b={cand.batch}"
+                f":p1={cand.p1}:p2={cand.p2}:s={cand.segments}"
+                f":comm={cand.comm or 'default'}"
+            )
+            assert cand.key == legacy_key
+            assert engine._cache_key(cand) == (
+                f"{legacy_key}@D={dataset.num_samples}")
+
+    def test_candidate_key_is_memoized(self):
+        cand = Candidate("d", 4, batch=16)
+        assert "key" not in cand.__dict__
+        first = cand.key
+        assert cand.__dict__["key"] is first
+        assert cand.key is first  # same object, not a rebuild
+
+    def test_evaluate_many_matches_evaluate(self, oracle, dataset):
+        candidates = list(SPACE.candidates(intra=2))
+        one = SearchEngine(oracle, dataset, workers=1)
+        singles = [one.evaluate(c) for c in candidates]
+        many_engine = SearchEngine(oracle, dataset, workers=1)
+        many = many_engine.evaluate_many(candidates)
+        assert len(many) == len(singles)
+        for a, b in zip(singles, many):
+            assert a.candidate == b.candidate  # input order preserved
+            assert a.feasible == b.feasible
+            assert a.pruned == b.pruned
+            assert a.reason == b.reason
+            assert a.projection == b.projection
+
+    def test_search_reports_stage_timings(self, oracle, dataset):
+        engine = SearchEngine(oracle, dataset, workers=1)
+        report = engine.search(SPACE, intra=2)
+        from repro.search.engine import TIMING_STAGES
+
+        assert set(TIMING_STAGES) <= set(report.timings)
+        assert report.timings["total_s"] > 0
+        assert report.timings["projection_s"] >= 0
+        # The stages never exceed the total by more than jitter.
+        known = sum(
+            v for k, v in report.timings.items() if k != "total_s")
+        assert known <= report.timings["total_s"] * 1.5
+        # Timings deliberately stay off the stable JSON envelope.
+        assert "timings" not in report.asdict()
+
+    def test_timings_are_per_search_not_cumulative(self, oracle, dataset):
+        engine = SearchEngine(oracle, dataset, workers=1)
+        first = engine.search(SPACE, intra=2).timings
+        second = engine.search(SPACE, intra=2).timings
+        # The second (fully cached) search cannot have accumulated the
+        # first one's projection time.
+        assert second["projection_s"] <= max(
+            first["projection_s"], 1e-9) * 1.5 + 1e-3
