@@ -1,0 +1,136 @@
+"""Observability overhead: the disabled path must stay within 2%.
+
+The acceptance claim of the observability subsystem is that *not* using
+it is free: every engine carries a tracer reference, wraps chunk
+evaluation in a span, and checks ``tracer.enabled`` — all against the
+shared no-op by default — so an uninstrumented search must run within a
+small tolerance of the pre-observability baseline.  This benchmark
+measures a cache-less search with the default (null) tracer against the
+same search with tracing + metrics fully on, and pins the *disabled*
+side's per-candidate span cost directly.
+
+Emits ``BENCH_obs_overhead.json`` with the disabled/enabled wall times
+and the measured disabled-path overhead fraction, asserted ≤ 2%
+(measured generously best-of-N against best-of-N; the no-op costs one
+method call per 64-candidate chunk, orders of magnitude below the
+tolerance).
+"""
+
+import time
+
+from repro.core.calibration import profile_model
+from repro.core.math_utils import power_of_two_budgets
+from repro.core.oracle import ParaDL
+from repro.data.datasets import IMAGENET
+from repro.models import build_model
+from repro.network.topology import abci_like_cluster
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.search import SearchEngine, SearchSpace
+
+from _util import write_report
+
+PES = 64
+REPEATS = 5
+
+#: The disabled-observability overhead budget (fraction of search wall).
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _make_oracle():
+    model = build_model("resnet50", None)
+    cluster = abci_like_cluster(PES)
+    profile = profile_model(model, samples_per_pe=32)
+    return ParaDL(model, cluster, profile)
+
+
+def _space():
+    return SearchSpace(
+        pe_budgets=tuple(power_of_two_budgets(PES, start=4)),
+        samples_per_pe=(16, 32),
+        segments=(2, 4, 8),
+    )
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best, out = elapsed, result
+    return out, best
+
+
+def test_bench_obs_overhead():
+    oracle = _make_oracle()
+    space = _space()
+    candidates = space.count()
+
+    # Disabled observability: the default engine (shared null tracer).
+    plain, plain_s = _best_of(
+        lambda: SearchEngine(oracle, IMAGENET, workers=1).search(space))
+
+    # Fully enabled: live tracer + metrics registry.
+    def traced():
+        return SearchEngine(
+            oracle, IMAGENET, workers=1, tracer=Tracer(),
+            metrics=MetricsRegistry()).search(space)
+
+    enabled, enabled_s = _best_of(traced)
+
+    # Same answer either way — observability must never change results.
+    assert plain.best.describe() == enabled.best.describe()
+    assert plain.stats == enabled.stats
+
+    # Direct cost of the disabled path, per instrumented site: one
+    # enabled-check + one null span per chunk.  Measure it raw.
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if NULL_TRACER.enabled:  # pragma: no cover - never taken
+            pass
+        with NULL_TRACER.span("chunk"):
+            pass
+    null_site_s = (time.perf_counter() - t0) / n
+
+    # The engine touches the tracer once per chunk (64 candidates), so
+    # per-candidate disabled overhead is the site cost / chunk size.
+    per_candidate_plain = plain_s / candidates
+    disabled_overhead = (null_site_s / 64) / per_candidate_plain
+    assert disabled_overhead <= MAX_DISABLED_OVERHEAD, (
+        f"disabled-observability overhead {disabled_overhead:.4%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} of per-candidate search time")
+
+    enabled_overhead = max(0.0, enabled_s / plain_s - 1.0)
+    lines = [
+        "observability overhead (cache-less search, best of "
+        f"{REPEATS}):",
+        f"  candidates            {candidates}",
+        f"  disabled (default)    {plain_s * 1e3:8.2f} ms "
+        f"({candidates / plain_s:,.0f} cand/s)",
+        f"  enabled (trace+metrics){enabled_s * 1e3:7.2f} ms "
+        f"({candidates / enabled_s:,.0f} cand/s)",
+        f"  enabled overhead      {enabled_overhead:.2%}",
+        f"  null-site cost        {null_site_s * 1e9:.0f} ns/site "
+        f"-> {disabled_overhead:.4%} of per-candidate time "
+        f"(budget {MAX_DISABLED_OVERHEAD:.0%})",
+    ]
+    write_report(
+        "obs_overhead",
+        lines,
+        metrics={
+            "candidates": candidates,
+            "disabled_ms": plain_s * 1e3,
+            "enabled_ms": enabled_s * 1e3,
+            "disabled_candidates_per_s": candidates / plain_s,
+            "enabled_candidates_per_s": candidates / enabled_s,
+            "disabled_overhead_fraction": disabled_overhead,
+            "enabled_overhead_fraction": enabled_overhead,
+            "null_site_ns": null_site_s * 1e9,
+        },
+        higher_is_better=(
+            "disabled_candidates_per_s", "enabled_candidates_per_s"),
+    )

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Export a simulated pipeline schedule as a Chrome/Perfetto trace.
+
+``pipeline_gantt.py`` renders the GPipe fill/drain bubble as a text
+chart; this example writes the same :class:`~repro.simulator.trace.
+Timeline` — one for a balanced pipeline and one with an artificially
+slow stage — to a single Chrome trace-event JSON file.  Load it at
+https://ui.perfetto.dev (or chrome://tracing) to scrub through the
+schedule interactively: each pipeline stage is a thread lane, each
+micro-batch a block, and the bubble is the visible idle gap.
+
+Run:  python examples/pipeline_trace_export.py
+      # then open pipeline_trace.json in Perfetto
+"""
+
+import os
+
+from repro import models, profile_model
+from repro.obs.export import write_chrome_trace
+from repro.simulator import gpipe_timeline
+
+BATCH = 64
+SEGMENTS = 8
+OUT = os.path.join(os.path.dirname(__file__), "pipeline_trace.json")
+
+
+def stage_times(model, segments, slow_stage=None):
+    profile = profile_model(model, samples_per_pe=max(1, BATCH // segments))
+    groups = model.partition_depth(4)
+    micro = BATCH / segments
+    fw = [micro * profile.group_fw(g) for g in groups]
+    bw = [micro * profile.group_bw(g) for g in groups]
+    if slow_stage is not None:
+        fw[slow_stage] *= 3
+    return fw, bw
+
+
+def main() -> None:
+    model = models.resnet50()
+    timelines = {}
+    for title, slow in (("balanced pipeline", None),
+                        ("stage2 3x slower", 2)):
+        fw, bw = stage_times(model, SEGMENTS, slow_stage=slow)
+        tl = gpipe_timeline(fw, bw, [0.0] * 3, SEGMENTS)
+        timelines[title] = tl
+        print(f"{title}: makespan {tl.makespan * 1e3:7.2f} ms, "
+              f"bubble {tl.bubble_fraction():.0%}")
+
+    write_chrome_trace(OUT, timelines=timelines)
+    print(f"wrote {OUT} — load it at https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file emitted by ``--trace``.
+
+Schema checks (the contract :mod:`repro.obs.export` promises):
+
+* top level is ``{"traceEvents": [...]}`` with a list of event objects;
+* every event has a string ``name``, a ``ph`` in the exporter's
+  allow-list (``X`` complete, ``C`` counter, ``M`` metadata), an
+  integer ``pid``, and a numeric ``ts >= 0``;
+* complete events additionally carry an integer ``tid`` and a numeric
+  ``dur >= 0``, and their ``args`` (when present) is an object;
+* metadata events are ``process_name`` / ``thread_name`` with an
+  ``args.name`` string.
+
+``--require-span NAME`` / ``--require-counter NAME`` (repeatable)
+additionally assert that a span / counter with that exact name exists —
+the CI smoke run requires the ``search`` root span, so the instrumented
+engine and this checker cannot drift apart silently.
+
+Usage::
+
+    python scripts/check_trace.py trace.json [--require-span search]
+
+Exit code 1 lists every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+#: Phases the repro exporter emits (keep in sync with
+#: ``repro.obs.export.CHROME_PHASES``).
+ALLOWED_PHASES = ("X", "C", "M")
+
+META_KINDS = ("process_name", "thread_name")
+
+
+def check_trace(path: str, *, require_spans: List[str] = (),
+                require_counters: List[str] = ()) -> List[str]:
+    """Return a list of violations (empty = valid)."""
+    errors: List[str] = []
+    try:
+        with open(path) as fh:
+            blob = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable or not JSON ({exc})"]
+    if not isinstance(blob, dict) or "traceEvents" not in blob:
+        return [f"{path}: top level must be an object with 'traceEvents'"]
+    events = blob["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: 'traceEvents' must be a list"]
+    span_names = set()
+    counter_names = set()
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty 'name'")
+            name = "?"
+        ph = event.get("ph")
+        if ph not in ALLOWED_PHASES:
+            errors.append(
+                f"{where} ({name}): ph={ph!r} not in {ALLOWED_PHASES}")
+            continue
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where} ({name}): 'pid' must be an integer")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where} ({name}): 'ts' must be a number >= 0")
+        if ph == "X":
+            span_names.add(name)
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(
+                    f"{where} ({name}): 'dur' must be a number >= 0")
+            if not isinstance(event.get("tid"), int):
+                errors.append(f"{where} ({name}): 'tid' must be an integer")
+            if "args" in event and not isinstance(event["args"], dict):
+                errors.append(f"{where} ({name}): 'args' must be an object")
+        elif ph == "C":
+            counter_names.add(name)
+            if not isinstance(event.get("args"), dict):
+                errors.append(
+                    f"{where} ({name}): counter needs an 'args' object")
+        elif ph == "M":
+            if name not in META_KINDS:
+                errors.append(
+                    f"{where}: metadata name {name!r} not in {META_KINDS}")
+            args = event.get("args")
+            if not (isinstance(args, dict)
+                    and isinstance(args.get("name"), str)):
+                errors.append(
+                    f"{where} ({name}): metadata needs args.name string")
+    for want in require_spans:
+        if want not in span_names:
+            errors.append(
+                f"{path}: required span {want!r} not found "
+                f"(spans: {sorted(span_names)})")
+    for want in require_counters:
+        if want not in counter_names:
+            errors.append(
+                f"{path}: required counter {want!r} not found "
+                f"(counters: {sorted(counter_names)})")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a span with this name exists")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a counter with this name exists")
+    args = parser.parse_args(argv)
+    errors = check_trace(
+        args.trace,
+        require_spans=args.require_span,
+        require_counters=args.require_counter,
+    )
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"{args.trace}: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

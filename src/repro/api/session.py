@@ -22,8 +22,11 @@ a future RPC backend would expose.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Optional, Sequence, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER
 from .results import (
     HybridResult,
     ProjectionResult,
@@ -33,6 +36,8 @@ from .results import (
     SweepResult,
 )
 from .spec import ScenarioSpec, SearchSpec, StrategySpec, SweepSpec
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["Session"]
 
@@ -46,15 +51,25 @@ class Session:
         The validated spec.  Mappings and file paths are accepted for
         convenience and routed through ``Scenario.from_dict`` /
         ``from_file``.
+    tracer:
+        A :class:`~repro.obs.tracer.Tracer` to record verb/engine spans
+        on; default the shared no-op (observability off).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` the engines scrape
+        run counters into; a private registry is created when omitted
+        (so :meth:`diagnostics` always works), but nothing is scraped
+        into it unless a verb that owns an engine runs.
     """
 
-    def __init__(self, scenario) -> None:
+    def __init__(self, scenario, *, tracer=None, metrics=None) -> None:
         if isinstance(scenario, (str, bytes)) or hasattr(
                 scenario, "__fspath__"):
             scenario = ScenarioSpec.from_file(scenario)
         elif not isinstance(scenario, ScenarioSpec):
             scenario = ScenarioSpec.from_dict(scenario)
         self.scenario = scenario
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._cache = {}
 
     def _memo(self, key: str, build: Callable):
@@ -230,19 +245,22 @@ class Session:
         ``ValueError`` for structurally infeasible configurations, like
         the oracle itself.
         """
-        strategy = self._strategy()
-        if inference:
-            projection = self.oracle.analytical.project_inference(
-                strategy, self.batch, self.dataset.num_samples)
-        else:
-            projection = self.oracle.project(
-                strategy, self.batch, self.dataset)
-        found: Tuple = ()
-        if findings:
-            from ..core.limits import detect_findings
+        with self.tracer.span(
+                "session.project", model=self.scenario.model.name,
+                inference=inference):
+            strategy = self._strategy()
+            if inference:
+                projection = self.oracle.analytical.project_inference(
+                    strategy, self.batch, self.dataset.num_samples)
+            else:
+                projection = self.oracle.project(
+                    strategy, self.batch, self.dataset)
+            found: Tuple = ()
+            if findings:
+                from ..core.limits import detect_findings
 
-            found = tuple(detect_findings(
-                self.model, projection, profile=self.profile))
+                found = tuple(detect_findings(
+                    self.model, projection, profile=self.profile))
         return ProjectionResult(
             scenario=self.scenario,
             strategy=strategy,
@@ -254,10 +272,11 @@ class Session:
 
     def suggest(self) -> SuggestResult:
         """Rank every strategy for the scenario's PE budget."""
-        suggestions = self.oracle.suggest(
-            self.pes, self.dataset,
-            samples_per_pe=self.scenario.training.samples_per_pe,
-        )
+        with self.tracer.span("session.suggest", pes=self.pes):
+            suggestions = self.oracle.suggest(
+                self.pes, self.dataset,
+                samples_per_pe=self.scenario.training.samples_per_pe,
+            )
         return SuggestResult(
             scenario=self.scenario,
             model=self.model.name,
@@ -268,11 +287,12 @@ class Session:
     def hybrid(self, kinds: Sequence[str] = ("df", "ds"),
                top: int = 5) -> HybridResult:
         """Search hybrid ``p = p1 * p2`` factorizations."""
-        suggestions = self.oracle.search_hybrid(
-            self.pes, self.dataset,
-            samples_per_pe=self.scenario.training.samples_per_pe,
-            kinds=tuple(kinds),
-        )
+        with self.tracer.span("session.hybrid", pes=self.pes):
+            suggestions = self.oracle.search_hybrid(
+                self.pes, self.dataset,
+                samples_per_pe=self.scenario.training.samples_per_pe,
+                kinds=tuple(kinds),
+            )
         return HybridResult(
             scenario=self.scenario,
             model=self.model.name,
@@ -296,23 +316,29 @@ class Session:
             max(1, training.batch // self.pes)
             if training.batch is not None
             else training.samples_per_pe)
-        report = self._search_oracle().search(
-            self.pes, self.dataset,
-            samples_per_pe=samples_per_pe,
-            fixed_batches=(
-                (training.batch,) if training.batch is not None else None),
-            strategies=search.strategies or None,
-            pe_budgets=(
-                power_of_two_budgets(self.pes) if search.pe_sweep
-                else (self.pes,)),
-            segments=search.segments,
-            cache=self.projection_cache,
-            workers=search.workers,
-            executor=search.executor or "thread",
-            weights=dict(search.weights) or None,
-            comm=policies if len(policies) > 1 else None,
-            on_result=on_result,
-        )
+        with self.tracer.span(
+                "session.search", model=self.scenario.model.name,
+                pes=self.pes):
+            report = self._search_oracle().search(
+                self.pes, self.dataset,
+                samples_per_pe=samples_per_pe,
+                fixed_batches=(
+                    (training.batch,) if training.batch is not None
+                    else None),
+                strategies=search.strategies or None,
+                pe_budgets=(
+                    power_of_two_budgets(self.pes) if search.pe_sweep
+                    else (self.pes,)),
+                segments=search.segments,
+                cache=self.projection_cache,
+                workers=search.workers,
+                executor=search.executor or "thread",
+                weights=dict(search.weights) or None,
+                comm=policies if len(policies) > 1 else None,
+                on_result=on_result,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         return SearchResult(
             scenario=self.scenario, model=self.model.name, report=report)
 
@@ -327,8 +353,11 @@ class Session:
         scenario = self.scenario
         if scenario.sweep is None:
             scenario = scenario.with_(sweep=SweepSpec())
-        runner = SweepRunner.from_scenario(scenario, cluster=self.cluster)
-        report = runner.run(on_result=on_result, on_model=on_model)
+        runner = SweepRunner.from_scenario(
+            scenario, cluster=self.cluster,
+            tracer=self.tracer, metrics=self.metrics)
+        with self.tracer.span("session.sweep", models=len(runner.models)):
+            report = runner.run(on_result=on_result, on_model=on_model)
         sweep = scenario.sweep
         if sweep.report_dir is not None:
             report.write_report(sweep.report_dir, plot=sweep.plot)
@@ -340,23 +369,28 @@ class Session:
         from ..network.congestion import CongestionModel
         from ..simulator import SimulationOptions, TrainingSimulator
 
-        strategy = self._strategy()
-        projection = self.oracle.project(strategy, self.batch, self.dataset)
-        sim = TrainingSimulator(
-            self.model, self.cluster,
-            options=SimulationOptions(
-                iterations=iterations,
-                seed=seed,
-                optimizer=self.scenario.training.optimizer,
-                congestion=(
-                    CongestionModel(outlier_rate=0.1, seed=seed)
-                    if congestion else None),
-                # Same CommModel on both sides: the accuracy metric
-                # compares projection vs simulation, not policy vs policy.
-                comm=self.comm,
-            ),
-        )
-        run = sim.run(strategy, self.batch, self.dataset.num_samples)
+        with self.tracer.span(
+                "session.simulate", model=self.scenario.model.name,
+                iterations=iterations):
+            strategy = self._strategy()
+            projection = self.oracle.project(
+                strategy, self.batch, self.dataset)
+            sim = TrainingSimulator(
+                self.model, self.cluster,
+                options=SimulationOptions(
+                    iterations=iterations,
+                    seed=seed,
+                    optimizer=self.scenario.training.optimizer,
+                    congestion=(
+                        CongestionModel(outlier_rate=0.1, seed=seed)
+                        if congestion else None),
+                    # Same CommModel on both sides: the accuracy metric
+                    # compares projection vs simulation, not policy vs
+                    # policy.
+                    comm=self.comm,
+                ),
+            )
+            run = sim.run(strategy, self.batch, self.dataset.num_samples)
         return SimulationResult(
             scenario=self.scenario,
             strategy=strategy,
@@ -365,3 +399,17 @@ class Session:
             accuracy=projection.accuracy_per_iteration(run.mean_iteration),
             batch=self.batch,
         )
+
+    # ---------------------------------------------------------- diagnostics
+    def diagnostics(self) -> dict:
+        """Observability snapshot: span roll-up + metrics registry.
+
+        Returns a JSON-ready mapping the CLI injects into the ``--json``
+        envelope under ``"diagnostics"`` when asked (off by default, so
+        result schemas stay stable).  ``spans`` aggregates per span name
+        (calls / total seconds); ``metrics`` is the registry snapshot.
+        """
+        return {
+            "spans": self.tracer.totals(),
+            "metrics": self.metrics.snapshot(),
+        }

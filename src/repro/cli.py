@@ -170,19 +170,33 @@ def build_parser(
                             "persistence) to stderr")
         return p
 
+    obs_p = parent()
+    opt(obs_p, "--trace", default=None, metavar="PATH",
+        help="write an execution trace: Chrome trace-event JSON "
+             "(load in Perfetto / chrome://tracing), or a JSONL "
+             "event log when PATH ends in .jsonl")
+    obs_p.add_argument("--metrics", action="store_true",
+                       help="collect run counters/histograms; prints a "
+                            "table to stderr, or adds a 'diagnostics' "
+                            "block to the --json envelope")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ParaDL oracle: project/suggest/simulate CNN "
                     "parallelization strategies",
         **kw,
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress from the repro.* logger hierarchy to stderr "
+             "(-v: INFO, -vv: DEBUG); give before the subcommand")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name: str, help: str, *parents) -> argparse.ArgumentParser:
         return sub.add_parser(name, help=help, parents=list(parents), **kw)
 
     proj = add("project", "project one strategy (Table 3)",
-               scenario_p, model_p, budget_p, comm_parent(), json_p)
+               scenario_p, model_p, budget_p, comm_parent(), json_p, obs_p)
     opt(proj, "--strategy", default="d", choices=_STRATEGY_CHOICES)
     opt(proj, "--batch", type=int, default=None,
         help="global mini-batch (default: samples-per-pe * p)")
@@ -205,7 +219,7 @@ def build_parser(
                "automated strategy search: pruning + cache + Pareto "
                "frontier",
                scenario_p, model_p, budget_p, search_parent(),
-               comm_parent(multi=True), json_p)
+               comm_parent(multi=True), json_p, obs_p)
     opt(srch, "--cache", default=None, metavar="PATH",
         help="persistent projection-cache JSON file")
     opt(srch, "--top", type=int, default=10,
@@ -217,7 +231,7 @@ def build_parser(
               "multi-model sweep: one search per zoo model, "
               "consolidated frontier report",
               scenario_p, budget_p, search_parent(default_executor="process"),
-              json_p)
+              json_p, obs_p)
     opt(swp, "--models", default="resnet50,resnet152,vgg16",
         help="comma-separated zoo model names")
     opt(swp, "--report", default=None, metavar="DIR",
@@ -238,7 +252,7 @@ def build_parser(
     opt(plan, "--batch", type=int, default=None)
 
     simp = add("simulate", "simulated measured run vs projection",
-               scenario_p, model_p, budget_p, json_p)
+               scenario_p, model_p, budget_p, json_p, obs_p)
     opt(simp, "--strategy", default="d", choices=_STRATEGY_CHOICES)
     opt(simp, "--batch", type=int, default=None)
     opt(simp, "--segments", type=int, default=4)
@@ -412,9 +426,67 @@ def _load_scenario(args, overrides: Dict, *,
 # Rendering helpers
 # ---------------------------------------------------------------------------
 
-def _print_json(result) -> int:
-    print(json.dumps(result.to_dict(), indent=2))
+def _print_json(result, diagnostics: Optional[dict] = None) -> int:
+    blob = result.to_dict()
+    if diagnostics is not None:
+        # Injected at the CLI layer only when --metrics asked for it,
+        # so the result schema stays stable by default.
+        blob["diagnostics"] = diagnostics
+    print(json.dumps(blob, indent=2))
     return result.exit_code
+
+
+def _obs_session(args, scenario) -> Session:
+    """Build the command's Session, observability-enabled when asked.
+
+    ``--trace`` turns on a live :class:`~repro.obs.tracer.Tracer`;
+    ``--trace`` or ``--metrics`` attaches a fresh
+    :class:`~repro.obs.metrics.MetricsRegistry` (the trace file embeds
+    the counters too).  Without either flag the session runs on the
+    shared no-op tracer — the zero-overhead default.
+    """
+    from .obs import MetricsRegistry, Tracer
+
+    trace = getattr(args, "trace", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    return Session(
+        scenario,
+        tracer=Tracer() if trace else None,
+        metrics=MetricsRegistry() if (trace or want_metrics) else None,
+    )
+
+
+def _obs_finish(args, session: Session) -> Optional[dict]:
+    """Export/print what ``--trace`` / ``--metrics`` asked for.
+
+    Writes the trace file (Chrome trace-event JSON, or JSONL for a
+    ``.jsonl`` path), prints the span/metrics tables to stderr under
+    plain ``--metrics``, and returns the ``diagnostics`` block to embed
+    in the ``--json`` envelope (``None`` when not requested).
+    """
+    from .obs.export import (
+        format_metrics_table,
+        format_spans_table,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    trace = getattr(args, "trace", None)
+    if trace:
+        spans = session.tracer.spans
+        if trace.endswith(".jsonl"):
+            write_jsonl(trace, spans=spans, metrics=session.metrics)
+        else:
+            write_chrome_trace(trace, spans=spans, metrics=session.metrics)
+        print(f"trace: {trace}", file=sys.stderr)
+    if not getattr(args, "metrics", False):
+        return None
+    if getattr(args, "json", False):
+        return session.diagnostics()
+    if session.tracer.enabled and len(session.tracer):
+        print(format_spans_table(session.tracer.spans), file=sys.stderr)
+    print(format_metrics_table(session.metrics), file=sys.stderr)
+    return None
 
 
 def _error_blob(scenario: ScenarioSpec, kind: str, exc: Exception) -> dict:
@@ -546,7 +618,7 @@ def _cmd_project(args) -> int:
     _comm_overrides(args, overrides)
     _strategy_overrides(args, overrides)
     scenario = _load_scenario(args, overrides, ensure=("strategy",))
-    session = Session(scenario)
+    session = _obs_session(args, scenario)
     try:
         result = session.project(inference=args.inference,
                                  findings=args.findings)
@@ -558,8 +630,9 @@ def _cmd_project(args) -> int:
         else:
             print(f"infeasible: {exc}", file=sys.stderr)
         return 2
+    diagnostics = _obs_finish(args, session)
     if args.json:
-        return _print_json(result)
+        return _print_json(result, diagnostics)
     proj = result.projection
     it = proj.per_iteration
     print(f"{session.model.name} / {result.strategy.describe()} / "
@@ -618,7 +691,7 @@ def _cmd_search(args) -> int:
     _comm_overrides(args, overrides, multi=True)
     _search_overrides(args, overrides)
     scenario = _load_scenario(args, overrides, ensure=("search",))
-    session = Session(scenario)
+    session = _obs_session(args, scenario)
     # With --json the rows stream to stderr so stdout stays parseable.
     stream = (
         _FrontierStream(file=sys.stderr if args.json else None)
@@ -634,8 +707,9 @@ def _cmd_search(args) -> int:
         write_frontier_csv(args.frontier_csv, report)
     if args.profile:
         _print_profile(report.timings)
+    diagnostics = _obs_finish(args, session)
     if args.json:
-        return _print_json(result)
+        return _print_json(result, diagnostics)
     st = report.stats
     print(f"{session.model.name} on {session.cluster}: searched "
           f"{st['candidates']} candidates ({st['pruned']} pruned, "
@@ -676,7 +750,7 @@ def _cmd_sweep(args) -> int:
     if "plot" in explicit:
         _set(overrides, "sweep", "plot", bool(args.plot))
     scenario = _load_scenario(args, overrides, ensure=("sweep", "search"))
-    session = Session(scenario)
+    session = _obs_session(args, scenario)
     streams: dict = {}
 
     def on_result(model, evaluation) -> None:
@@ -698,8 +772,9 @@ def _cmd_sweep(args) -> int:
             for key, value in res.report.timings.items():
                 aggregate[key] = aggregate.get(key, 0.0) + value
         _print_profile(aggregate)
+    diagnostics = _obs_finish(args, session)
     if args.json:
-        return _print_json(result)
+        return _print_json(result, diagnostics)
     executor = scenario.search.executor or "process"
     rows = []
     for res, row in zip(report.results, report.summary_rows()):
@@ -758,7 +833,7 @@ def _cmd_simulate(args) -> int:
     overrides = _common_overrides(args)
     _strategy_overrides(args, overrides)
     scenario = _load_scenario(args, overrides, ensure=("strategy",))
-    session = Session(scenario)
+    session = _obs_session(args, scenario)
     try:
         result = session.simulate(iterations=args.iterations,
                                   congestion=args.congestion,
@@ -771,8 +846,9 @@ def _cmd_simulate(args) -> int:
         else:
             print(f"infeasible: {exc}", file=sys.stderr)
         return 2
+    diagnostics = _obs_finish(args, session)
     if args.json:
-        return _print_json(result)
+        return _print_json(result, diagnostics)
     print(f"oracle   : "
           f"{reporting.format_breakdown(result.projection.per_iteration)}")
     print(f"measured : {reporting.format_breakdown(result.run.breakdown)}")
@@ -940,6 +1016,10 @@ _SCENARIO_COMMANDS = frozenset(
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: parse ``argv`` and dispatch; returns the exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "verbose", 0):
+        from .obs import configure_logging
+
+        configure_logging(args.verbose)
     # A second parse with suppressed defaults reveals which flags were
     # explicitly typed — only those override a --scenario document.
     args._explicit = frozenset(

@@ -139,6 +139,13 @@ class CommModel:
         self._params_memo: Dict[tuple, HockneyParams] = {}
         self._topo_memo: Dict[int, Optional[TopologyHint]] = {}
         self._memo_token = self._token()
+        #: Observability counters: plain ints (a dict increment per
+        #: resolved call — cheap enough for the search hot path, and
+        #: scraped into a MetricsRegistry by consumers, never pushed).
+        self.stats: Dict[str, int] = {"memo_hits": 0, "memo_misses": 0}
+        #: Per-``collective:algorithm`` selection tally across every
+        #: resolved call (memoized or not) — the selection histogram.
+        self.selections: Dict[str, int] = {}
 
     # --------------------------------------------------------------- memo
     def _token(self) -> Tuple:
@@ -268,6 +275,9 @@ class CommModel:
                 memo.move_to_end(key)
             except KeyError:
                 pass
+            self.stats["memo_hits"] += 1
+            label = hit.label
+            self.selections[label] = self.selections.get(label, 0) + 1
             return hit
         choice = self._choose_uncached(
             collective, p, nbytes, params, scope, transport
@@ -278,6 +288,9 @@ class CommModel:
             except KeyError:
                 pass
         memo[key] = choice
+        self.stats["memo_misses"] += 1
+        label = choice.label
+        self.selections[label] = self.selections.get(label, 0) + 1
         return choice
 
     def _choose_uncached(
@@ -395,6 +408,12 @@ class CommModel:
         if params is None:
             params = self.scope_params(p, scope, transport)
         return params.p2p(nbytes)
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of :meth:`choose` calls answered from the memo."""
+        total = self.stats["memo_hits"] + self.stats["memo_misses"]
+        return self.stats["memo_hits"] / total if total else 0.0
 
     # -------------------------------------------------------------- identity
     def fingerprint(self) -> str:

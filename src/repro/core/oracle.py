@@ -372,6 +372,8 @@ class ParaDL:
         weights=None,
         comm=None,
         on_result=None,
+        tracer=None,
+        metrics=None,
     ):
         """Automated strategy search (the :mod:`repro.search` facade).
 
@@ -408,6 +410,10 @@ class ParaDL:
         ``executor`` picks the evaluation backend: ``"thread"`` (default)
         or ``"process"``, which side-steps the GIL by projecting in
         worker processes (see :class:`~repro.search.engine.SearchEngine`).
+
+        ``tracer`` / ``metrics`` (a :class:`~repro.obs.tracer.Tracer` /
+        :class:`~repro.obs.metrics.MetricsRegistry`) opt the run into
+        the observability layer; both default off (no-op).
         """
         from ..search import DEFAULT_STRATEGIES, SearchEngine, SearchSpace
 
@@ -439,6 +445,7 @@ class ParaDL:
         engine = SearchEngine(
             self, dataset, cache=cache, cache_dir=cache_dir,
             workers=workers, executor=executor,
+            tracer=tracer, metrics=metrics,
         )
         return engine.search(space, weights=weights, on_result=on_result)
 

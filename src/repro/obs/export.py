@@ -1,0 +1,294 @@
+"""Exporters: Chrome trace-event JSON, JSONL event logs, human tables.
+
+One span/metric model, three renderings:
+
+* :func:`spans_to_chrome` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``), loadable in Perfetto
+  or ``chrome://tracing``.  Spans become complete (``"ph": "X"``)
+  events in microseconds; metrics become counter (``"ph": "C"``)
+  events; process/thread metadata events name the lanes.
+* :func:`timeline_to_chrome` — the *simulated* clock: a DES
+  :class:`~repro.simulator.trace.Timeline`'s per-resource intervals on
+  the same format, one thread lane per resource, so a pipeline schedule
+  and the wall-clock engine spans that produced it render in one viewer
+  (distinct pids keep the timebases apart).
+* :func:`write_jsonl` — structured event log, one JSON object per line
+  (``{"event": "span" | "metric", ...}``), for ad-hoc ``jq`` analysis.
+* :func:`format_spans_table` / :func:`format_metrics_table` — the
+  ``--profile``-style human rendering the CLI prints under
+  ``--metrics``.
+
+The emitted Chrome JSON is validated by ``scripts/check_trace.py`` in
+CI, so the format here and the checker's schema cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .tracer import Span
+
+__all__ = [
+    "spans_to_chrome",
+    "timeline_to_chrome",
+    "metrics_to_counter_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "format_spans_table",
+    "format_metrics_table",
+]
+
+#: ``ph`` values this exporter emits (the checker's allow-list).
+CHROME_PHASES = ("X", "C", "M")
+
+
+def _meta(pid: int, name: str, *, tid: int = 0,
+          kind: str = "process_name") -> Dict[str, object]:
+    event: Dict[str, object] = {
+        "name": kind, "ph": "M", "pid": pid, "ts": 0,
+        "args": {"name": name},
+    }
+    if kind == "thread_name":
+        event["tid"] = tid
+    return event
+
+
+def _jsonable(value):
+    """Coerce span attrs to JSON-safe values (repr anything exotic)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def spans_to_chrome(
+    spans: Sequence[Span],
+    *,
+    cat: str = "engine",
+    process_names: Optional[Mapping[int, str]] = None,
+) -> List[Dict[str, object]]:
+    """Render spans as Chrome complete events (+ lane metadata).
+
+    Wall-clock epoch seconds become microsecond ``ts`` values; pid/tid
+    carry through so worker-process spans draw in their own lanes.
+    ``process_names`` optionally labels pids (default: the engine
+    process is named for the smallest pid seen, workers after it).
+    """
+    events: List[Dict[str, object]] = []
+    pids = sorted({s.pid for s in spans})
+    names = dict(process_names or {})
+    if pids and not names:
+        names[pids[0]] = "repro engine"
+        for pid in pids[1:]:
+            names[pid] = f"worker pid={pid}"
+    for pid, name in names.items():
+        events.append(_meta(pid, name))
+    # Compact tids per pid: Chrome renders raw thread idents poorly.
+    tid_map: Dict[tuple, int] = {}
+    for span in spans:
+        key = (span.pid, span.tid)
+        if key not in tid_map:
+            tid_map[key] = len([k for k in tid_map if k[0] == span.pid])
+            events.append(_meta(
+                span.pid, f"thread {tid_map[key]}", tid=tid_map[key],
+                kind="thread_name"))
+    for span in spans:
+        args = {k: _jsonable(v) for k, v in span.attrs.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name,
+            "cat": cat,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": span.pid,
+            "tid": tid_map[(span.pid, span.tid)],
+            "args": args,
+        })
+    return events
+
+
+def metrics_to_counter_events(
+    registry: MetricsRegistry,
+    *,
+    ts: float = 0.0,
+    pid: int = 0,
+) -> List[Dict[str, object]]:
+    """Render a registry snapshot as Chrome counter (``"ph": "C"``) events.
+
+    Counters/gauges emit their value; histograms emit their p50/p90/p99
+    as one multi-series counter.  ``ts`` is epoch seconds (usually the
+    trace's end time, so counters draw at the run's right edge).
+    """
+    events: List[Dict[str, object]] = []
+    for name, summary in registry.snapshot().items():
+        if "value" in summary:
+            args: Dict[str, object] = {"value": summary["value"]}
+        else:
+            args = {
+                k: v for k, v in summary.items()
+                if k.startswith("p") or k in ("mean",)
+            } or {"count": summary.get("count", 0.0)}
+        events.append({
+            "name": name, "ph": "C", "ts": ts * 1e6, "pid": pid,
+            "args": args,
+        })
+    return events
+
+
+def timeline_to_chrome(
+    timeline,
+    *,
+    pid: int = 1,
+    name: str = "simulated schedule",
+    cat: str = "simulated",
+    time_scale: float = 1e6,
+) -> List[Dict[str, object]]:
+    """Render a DES :class:`~repro.simulator.trace.Timeline` as events.
+
+    Each resource (pipeline stage, link, GPU) becomes one thread lane;
+    each busy interval one complete event.  Simulated seconds are scaled
+    by ``time_scale`` (default: seconds -> microseconds, so the viewer's
+    time axis reads as the simulated clock).  Use a distinct ``pid``
+    from any wall-clock spans in the same file: the timebases differ.
+    """
+    events: List[Dict[str, object]] = [_meta(pid, name)]
+    resources = timeline.resources()
+    for tid, resource in enumerate(resources):
+        events.append(_meta(pid, resource, tid=tid, kind="thread_name"))
+    index = {resource: tid for tid, resource in enumerate(resources)}
+    for interval in timeline.intervals:
+        events.append({
+            "name": interval.label or interval.resource,
+            "cat": cat,
+            "ph": "X",
+            "ts": interval.start * time_scale,
+            "dur": interval.duration * time_scale,
+            "pid": pid,
+            "tid": index[interval.resource],
+            "args": {"resource": interval.resource},
+        })
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    *,
+    spans: Sequence[Span] = (),
+    metrics: Optional[MetricsRegistry] = None,
+    timelines: Mapping[str, object] = (),
+    extra_events: Iterable[Mapping[str, object]] = (),
+) -> str:
+    """Write one Chrome trace-event JSON file; returns ``path``.
+
+    Combines wall-clock ``spans``, a ``metrics`` registry (as counter
+    events at the trace end), and named simulated ``timelines`` (each on
+    its own pid) into a single ``{"traceEvents": [...]}`` document.
+    """
+    events = spans_to_chrome(spans)
+    if metrics is not None and len(metrics):
+        end = max((s.end for s in spans), default=0.0)
+        pid = spans[0].pid if spans else 0
+        events.extend(metrics_to_counter_events(metrics, ts=end, pid=pid))
+    used_pids = {s.pid for s in spans} | {0}
+    next_pid = 1
+    for tl_name, timeline in (
+            timelines.items() if hasattr(timelines, "items") else timelines):
+        while next_pid in used_pids:
+            next_pid += 1
+        used_pids.add(next_pid)
+        events.extend(
+            timeline_to_chrome(timeline, pid=next_pid, name=tl_name))
+        next_pid += 1
+    events.extend(dict(e) for e in extra_events)
+    blob = {"traceEvents": events, "displayTimeUnit": "ms"}
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(blob, fh)
+        fh.write("\n")
+    return path
+
+
+def write_jsonl(
+    path: str,
+    *,
+    spans: Sequence[Span] = (),
+    metrics: Optional[MetricsRegistry] = None,
+) -> str:
+    """Write a structured JSONL event log; returns ``path``.
+
+    One object per line: ``{"event": "span", ...span.asdict()}`` for
+    every span (completion order), then ``{"event": "metric", "name":
+    ..., ...summary}`` per registry instrument.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        for span in spans:
+            row = {"event": "span"}
+            row.update(span.asdict())
+            if "attrs" in row:
+                row["attrs"] = {
+                    k: _jsonable(v) for k, v in row["attrs"].items()}
+            fh.write(json.dumps(row) + "\n")
+        if metrics is not None:
+            for name, summary in metrics.snapshot().items():
+                row = {"event": "metric", "name": name}
+                row.update(summary)
+                fh.write(json.dumps(row) + "\n")
+    return path
+
+
+def _format_table(headers: Sequence[str],
+                  rows: Sequence[Sequence[object]]) -> str:
+    """Minimal aligned table (obs stays import-light; no harness dep)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(row):
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_spans_table(spans: Sequence[Span]) -> str:
+    """Per-name span roll-up: calls, total ms, mean ms (profile-style)."""
+    agg: Dict[str, List[float]] = {}
+    for span in spans:
+        agg.setdefault(span.name, []).append(span.duration)
+    rows = []
+    for name in sorted(agg, key=lambda n: -sum(agg[n])):
+        durs = agg[name]
+        total = sum(durs)
+        rows.append([
+            name, len(durs), f"{total * 1e3:.2f}",
+            f"{total / len(durs) * 1e3:.3f}",
+        ])
+    return _format_table(["span", "calls", "total ms", "mean ms"], rows)
+
+
+def format_metrics_table(registry: MetricsRegistry) -> str:
+    """Human rendering of a registry snapshot (the ``--metrics`` table)."""
+    rows = []
+    for name, summary in registry.snapshot().items():
+        if "value" in summary:
+            value = summary["value"]
+            rows.append([
+                name,
+                f"{value:g}" if value == int(value) else f"{value:.4g}",
+            ])
+        else:
+            parts = [f"count={summary.get('count', 0):g}"]
+            for key in ("mean", "p50", "p90", "p99"):
+                if key in summary:
+                    parts.append(f"{key}={summary[key]:.4g}")
+            rows.append([name, " ".join(parts)])
+    return _format_table(["metric", "value"], rows)

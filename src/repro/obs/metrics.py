@@ -1,0 +1,258 @@
+"""Counters, gauges, and histograms with percentile summaries.
+
+The numeric side of observability: where :mod:`~repro.obs.tracer`
+answers "when did what run", a :class:`MetricsRegistry` answers "how
+often and how large" — cache hit counts, memo efficiency, per-algorithm
+selection frequencies, latency distributions with p50/p90/p99.
+
+Everything is stdlib-only: :func:`percentile` implements the same
+linear-interpolation estimator as ``numpy.percentile``'s default, and
+the tests pin it against hand-computed reference values, so summary
+numbers match what a numpy consumer would compute without requiring
+numpy.
+
+Instruments are individually locked and the registry get-or-creates
+under its own lock, so concurrent engine workers can hammer one registry
+safely.  Hot substrate code (``CommModel``, ``ProjectionCache``) does
+NOT hold instrument references: it keeps plain int counters and the
+engine *scrapes* them into a registry after the run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+]
+
+#: The summary percentiles every histogram reports.
+SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    Matches ``numpy.percentile(values, q)`` (the default "linear" /
+    inclusive method): rank ``q/100 * (n-1)`` interpolated between the
+    two nearest order statistics.  Raises ``ValueError`` on an empty
+    sequence or ``q`` outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = q / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    frac = rank - lo
+    if frac == 0.0:
+        return float(ordered[lo])
+    return float(ordered[lo] + (ordered[lo + 1] - ordered[lo]) * frac)
+
+
+class Counter:
+    """A monotonically-increasing count (events, hits, misses)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def summary(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache size, hit rate)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def summary(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """An observed distribution with percentile summaries.
+
+    Keeps every observation up to ``max_samples`` (default 65536), then
+    decimates by dropping every other retained sample and doubling the
+    keep-stride — a simple bounded-memory scheme whose percentiles stay
+    representative for the smooth latency distributions seen here.
+    ``count`` and ``sum`` always cover *all* observations.
+    """
+
+    __slots__ = ("name", "_samples", "_stride", "_skip", "_count", "_sum",
+                 "_min", "_max", "_lock", "_max_samples")
+
+    def __init__(self, name: str, max_samples: int = 65536) -> None:
+        if max_samples < 2:
+            raise ValueError("need at least 2 samples of headroom")
+        self.name = name
+        self._samples: List[float] = []
+        self._stride = 1
+        self._skip = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self._skip += 1
+            if self._skip >= self._stride:
+                self._skip = 0
+                self._samples.append(value)
+                if len(self._samples) >= self._max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        with self._lock:
+            samples = list(self._samples)
+        return percentile(samples, q)
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/mean/min/max plus :data:`SUMMARY_PERCENTILES`."""
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        out: Dict[str, float] = {"count": float(count), "sum": total}
+        if count:
+            out.update(mean=total / count, min=lo, max=hi)
+            for q in SUMMARY_PERCENTILES:
+                out[f"p{q:g}"] = percentile(samples, q)
+        return out
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-created on first use.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("cache.hits").add(3)
+    >>> registry.histogram("span.search_s").observe(0.25)
+    >>> registry.snapshot()["cache.hits"]
+    {'value': 3.0}
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name)
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._instruments
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[object]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready view: ``{name: instrument.summary()}``, sorted.
+
+        Counters/gauges summarize as ``{"value": v}``; histograms as
+        count/sum/mean/min/max/p50/p90/p99.  This is the ``diagnostics``
+        block the CLI can attach to ``--json`` envelopes.
+        """
+        with self._lock:
+            items: List[Tuple[str, object]] = sorted(
+                self._instruments.items())
+        return {name: inst.summary() for name, inst in items}
+
+    def merge_counts(self, counts: Dict[str, float],
+                     prefix: str = "") -> None:
+        """Scrape a plain ``{name: count}`` dict into counters.
+
+        The bridge from uninstrumented substrate counters (``CommModel``
+        selection tallies, cache hit counts) into the registry; called
+        once per run, off the hot path.
+        """
+        for name, value in counts.items():
+            if value:
+                self.counter(prefix + name).add(float(value))

@@ -48,10 +48,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import re
 import threading
 from typing import Dict, Mapping, Optional
+
+logger = logging.getLogger(__name__)
 
 from ..core.analytical import PhaseBreakdown, Projection
 from ..core.strategies import Strategy
@@ -197,6 +200,11 @@ class ProjectionCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Hits that answered with a memoized *failure* (observability:
+        #: a subset of ``hits``).
+        self.negative_hits = 0
+        #: Completed file writes (saves skipped as clean don't count).
+        self.saves = 0
         self.invalidated = False
         # Dirty until proven in sync with the file: a fresh (or
         # discarded) cache wants its first save, a cleanly-loaded one
@@ -226,6 +234,7 @@ class ProjectionCache:
             with open(path) as fh:
                 blob = json.load(fh)
         except (OSError, ValueError):
+            logger.info("cache: %s unreadable; starting cold", path)
             self.invalidated = True
             return
         if (
@@ -233,12 +242,16 @@ class ProjectionCache:
             or blob.get("version") != CACHE_VERSION
             or blob.get("context") != self.context
         ):
+            logger.info(
+                "cache: %s context/version mismatch; discarding", path)
             self.invalidated = True
             return
         entries = blob.get("entries", {})
         if isinstance(entries, dict):
             self._entries = entries
             self._dirty = False
+            logger.debug(
+                "cache: loaded %d entries from %s", len(entries), path)
 
     # ------------------------------------------------------------------ api
     def __len__(self) -> int:
@@ -261,6 +274,8 @@ class ProjectionCache:
                 self.misses += 1
                 return None
             self.hits += 1
+            if "error" in entry:
+                self.negative_hits += 1
         if "error" in entry:
             return CachedFailure(str(entry["error"]))
         return _projection_from_jsonable(entry["projection"], strategy)
@@ -311,14 +326,34 @@ class ProjectionCache:
         with open(tmp, "w") as fh:
             json.dump(blob, fh)
         os.replace(tmp, target)
-        if target == self.path:
-            with self._lock:
-                # Only mark clean if nothing was written behind the
-                # (unlocked) file write; a racing put stays pending for
-                # the next save instead of being silently dropped.
-                if self._mutations == snapshot:
-                    self._dirty = False
+        logger.debug(
+            "cache: saved %d entries to %s", len(blob["entries"]), target)
+        with self._lock:
+            self.saves += 1
+            # Only mark clean if nothing was written behind the
+            # (unlocked) file write; a racing put stays pending for
+            # the next save instead of being silently dropped.
+            if target == self.path and self._mutations == snapshot:
+                self._dirty = False
         return target
+
+    def stats(self) -> Dict[str, float]:
+        """Observability snapshot: entry count plus every counter.
+
+        The search engine scrapes this into its
+        :class:`~repro.obs.metrics.MetricsRegistry` after each run; the
+        keys are stable (``entries`` / ``hits`` / ``misses`` /
+        ``negative_hits`` / ``saves`` / ``invalidated``).
+        """
+        with self._lock:
+            return {
+                "entries": float(len(self._entries)),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "negative_hits": float(self.negative_hits),
+                "saves": float(self.saves),
+                "invalidated": float(self.invalidated),
+            }
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""

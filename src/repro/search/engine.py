@@ -22,6 +22,7 @@ cache never re-projects under either backend.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import threading
@@ -47,6 +48,7 @@ from typing import (
 from ..core.analytical import Projection
 from ..core.strategies import Strategy, StrategyError
 from ..data.datasets import DatasetSpec
+from ..obs.tracer import NULL_TRACER, Tracer
 from .cache import CachedFailure, ProjectionCache, context_fingerprint
 from .pareto import (
     DEFAULT_OBJECTIVES,
@@ -81,6 +83,8 @@ TIMING_STAGES = (
     "expansion_s", "pruning_s", "projection_s", "ranking_s",
     "persistence_s", "total_s",
 )
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -193,20 +197,32 @@ def _process_worker_init(payload: bytes) -> None:
 
     Forces the oracle's projection kernel here, so every worker compiles
     the model invariants exactly once instead of lazily inside its first
-    candidate chunk.
+    candidate chunk.  When the parent traces, the worker gets its own
+    recording :class:`~repro.obs.tracer.Tracer`; its spans ship back
+    with each result chunk (see :func:`_process_evaluate_chunk`).
     """
     global _WORKER_ENGINE
-    oracle, dataset, pruners = pickle.loads(payload)
+    oracle, dataset, pruners, traced = pickle.loads(payload)
     _WORKER_ENGINE = SearchEngine(
-        oracle, dataset, pruners=pruners, workers=1)
+        oracle, dataset, pruners=pruners, workers=1,
+        tracer=Tracer() if traced else None)
     analytical = getattr(oracle, "analytical", None)
     if analytical is not None and hasattr(analytical, "kernel"):
         analytical.kernel  # noqa: B018 - warm the lazy kernel build
 
 
-def _process_evaluate_chunk(candidates: List[Candidate]) -> List[Evaluation]:
-    """Evaluate one candidate chunk in the worker's rebuilt engine."""
-    return _WORKER_ENGINE.evaluate_many(candidates)
+def _process_evaluate_chunk(
+    candidates: List[Candidate],
+) -> Tuple[List[Evaluation], list]:
+    """Evaluate one candidate chunk in the worker's rebuilt engine.
+
+    Returns ``(evaluations, spans)``: the worker drains its tracer into
+    the result payload, and the parent re-parents those spans under its
+    own active span (:meth:`Tracer.adopt`) — so a traced process-pool
+    search renders worker lanes in the same Chrome trace.
+    """
+    evaluations = _WORKER_ENGINE.evaluate_many(candidates)
+    return evaluations, _WORKER_ENGINE.tracer.drain()
 
 
 class SearchEngine:
@@ -243,6 +259,17 @@ class SearchEngine:
         when the context cannot pickle it warns and falls back to the
         thread backend, so results are never lost to a custom pruner or
         monkey-patched oracle.
+    tracer:
+        A recording :class:`~repro.obs.tracer.Tracer` to receive engine
+        spans (stage phases, per-chunk evaluation, worker fold-ins).
+        Default: the shared no-op tracer — near-zero overhead, gated by
+        ``benchmarks/test_bench_obs_overhead.py``.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`; after each
+        :meth:`search` the engine scrapes run counters into it (cache
+        hit/miss/negative/save, ``CommModel`` memo efficiency and
+        per-algorithm selections, stage times, epoch-time percentiles).
+        ``None`` skips scraping.
     """
 
     def __init__(
@@ -255,6 +282,8 @@ class SearchEngine:
         pruners: Optional[Sequence[Pruner]] = None,
         workers: Optional[int] = None,
         executor: str = "thread",
+        tracer=None,
+        metrics=None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -290,6 +319,8 @@ class SearchEngine:
         self._key_suffix = f"@D={dataset.num_samples}"
         self._timings: Dict[str, float] = {}
         self._timings_lock = threading.Lock()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     # ------------------------------------------------------------- evaluate
     def _cache_key(self, candidate: Candidate) -> str:
@@ -379,21 +410,29 @@ class SearchEngine:
         first, then the surviving candidates are projected — amortizing
         key building and stage-timing bookkeeping across the chunk
         instead of paying them per candidate.
+
+        Spans are emitted at *chunk* granularity (one
+        ``search.evaluate_chunk`` per call), so tracing detail scales
+        with chunks, not candidates, and the no-op tracer's cost stays
+        amortized across the whole chunk.
         """
-        t0 = time.perf_counter()
-        out: List[Optional[Evaluation]] = [None] * len(candidates)
-        pending: List[Tuple[int, Candidate, Strategy]] = []
-        for i, cand in enumerate(candidates):
-            evaluation, strategy = self._fast_path(cand)
-            if evaluation is not None:
-                out[i] = evaluation
-            else:
-                pending.append((i, cand, strategy))
-        t1 = time.perf_counter()
-        for i, cand, strategy in pending:
-            out[i] = self._project(cand, strategy)
-        self._add_timings(
-            pruning=t1 - t0, projection=time.perf_counter() - t1)
+        with self.tracer.span(
+                "search.evaluate_chunk", candidates=len(candidates)) as sp:
+            t0 = time.perf_counter()
+            out: List[Optional[Evaluation]] = [None] * len(candidates)
+            pending: List[Tuple[int, Candidate, Strategy]] = []
+            for i, cand in enumerate(candidates):
+                evaluation, strategy = self._fast_path(cand)
+                if evaluation is not None:
+                    out[i] = evaluation
+                else:
+                    pending.append((i, cand, strategy))
+            t1 = time.perf_counter()
+            for i, cand, strategy in pending:
+                out[i] = self._project(cand, strategy)
+            self._add_timings(
+                pruning=t1 - t0, projection=time.perf_counter() - t1)
+            sp.attrs["projected"] = len(pending)
         return out
 
     def _absorb(self, evaluation: Evaluation) -> None:
@@ -431,7 +470,8 @@ class SearchEngine:
             return
         try:
             payload = pickle.dumps(
-                (self.oracle, self.dataset, self.pruners))
+                (self.oracle, self.dataset, self.pruners,
+                 self.tracer.enabled))
         except Exception as exc:  # noqa: BLE001 - any pickling failure
             warnings.warn(
                 f"oracle context cannot be pickled ({exc}); falling back "
@@ -470,7 +510,11 @@ class SearchEngine:
                 for chunk in chunks
             ]
             for future in as_completed(futures):
-                for evaluation in future.result():
+                evaluations, spans = future.result()
+                # Worker spans fold in re-parented under the caller's
+                # active span (the search root when run via `search`).
+                self.tracer.adopt(spans)
+                for evaluation in evaluations:
                     self._absorb(evaluation)
                     yield evaluation
 
@@ -544,53 +588,87 @@ class SearchEngine:
 
         ``report.timings`` carries the per-stage wall-time breakdown the
         CLI's ``--profile`` renders (see :attr:`SearchReport.timings`).
+        The dict is a *view over spans*: each stage key is the duration
+        of the matching ``search.*`` span (expansion / ranking /
+        persistence / the root), with the worker-summed pruning and
+        projection busy times folded in from the chunk accumulators —
+        so ``--profile`` and a ``--trace`` file can never disagree.
+        When no recording tracer is installed a throwaway local tracer
+        scopes the stage spans (a handful of allocations per *search*,
+        not per candidate), keeping the timings contract identical
+        whether or not anyone is tracing.
         """
-        t_start = time.perf_counter()
+        # Stage spans always record somewhere: the engine's tracer when
+        # observability is on, a local scratch tracer otherwise.
+        tracer = self.tracer if self.tracer.enabled else Tracer()
         with self._timings_lock:
             before = dict(self._timings)
         hits_before = self.cache.hits
         misses_before = self.cache.misses
+        comm_before = self._comm_stats()
         intra = intra or self.oracle.cluster.node.gpus
-        t0 = time.perf_counter()
-        candidates = list(space.candidates(intra=intra))
-        expansion_s = time.perf_counter() - t0
-        evaluations = []
-        for evaluation in self._iter_candidates(candidates):
-            if on_result is not None:
-                on_result(evaluation)
-            evaluations.append(evaluation)
-        t0 = time.perf_counter()
-        evaluations.sort(key=lambda e: e.candidate.key)
-        feasible = [e for e in evaluations if e.feasible]
-        frontier = pareto_frontier(feasible, objectives)
-        best = scalarized_best(frontier, weights)
-        ranking_s = time.perf_counter() - t0
-        stats = {
-            "candidates": len(evaluations),
-            "feasible": len(feasible),
-            "pruned": sum(1 for e in evaluations if e.pruned),
-            "infeasible": sum(
-                1 for e in evaluations if not e.feasible and not e.pruned),
-            "cache_hits": self.cache.hits - hits_before,
-            "cache_misses": self.cache.misses - misses_before,
-            "frontier": len(frontier),
-        }
-        t0 = time.perf_counter()
-        if self.cache.path is not None:
-            self.cache.save()
-        persistence_s = time.perf_counter() - t0
+        root_ctx = tracer.span(
+            "search",
+            model=getattr(self.oracle.model, "name", "?"),
+            executor=self.executor,
+            workers=self.workers,
+        )
+        root = root_ctx.__enter__()
+        try:
+            with tracer.span("search.expansion") as sp_expand:
+                candidates = list(space.candidates(intra=intra))
+                sp_expand.attrs["candidates"] = len(candidates)
+            logger.info(
+                "search: %d candidates expanded (model=%s, executor=%s)",
+                len(candidates), root.attrs.get("model"), self.executor)
+            evaluations = []
+            for evaluation in self._iter_candidates(candidates):
+                if on_result is not None:
+                    on_result(evaluation)
+                evaluations.append(evaluation)
+            with tracer.span("search.ranking") as sp_rank:
+                evaluations.sort(key=lambda e: e.candidate.key)
+                feasible = [e for e in evaluations if e.feasible]
+                frontier = pareto_frontier(feasible, objectives)
+                best = scalarized_best(frontier, weights)
+            stats = {
+                "candidates": len(evaluations),
+                "feasible": len(feasible),
+                "pruned": sum(1 for e in evaluations if e.pruned),
+                "infeasible": sum(
+                    1 for e in evaluations
+                    if not e.feasible and not e.pruned),
+                "cache_hits": self.cache.hits - hits_before,
+                "cache_misses": self.cache.misses - misses_before,
+                "frontier": len(frontier),
+            }
+            with tracer.span("search.persistence") as sp_persist:
+                if self.cache.path is not None:
+                    self.cache.save()
+            root.attrs.update(stats)
+        finally:
+            root_ctx.__exit__(None, None, None)
         with self._timings_lock:
             after = dict(self._timings)
+        # The timings dict IS the span view (stage durations), plus the
+        # cross-worker busy sums the chunk accumulators collect.
         timings = {
-            "expansion_s": expansion_s,
+            "expansion_s": sp_expand.duration,
             "pruning_s": after.get("pruning_s", 0.0)
             - before.get("pruning_s", 0.0),
             "projection_s": after.get("projection_s", 0.0)
             - before.get("projection_s", 0.0),
-            "ranking_s": ranking_s,
-            "persistence_s": persistence_s,
-            "total_s": time.perf_counter() - t_start,
+            "ranking_s": sp_rank.duration,
+            "persistence_s": sp_persist.duration,
+            "total_s": root.duration,
         }
+        logger.info(
+            "search: %d/%d feasible, %d pruned, frontier %d, "
+            "%.1f ms wall",
+            stats["feasible"], stats["candidates"], stats["pruned"],
+            stats["frontier"], timings["total_s"] * 1e3)
+        if self.metrics is not None:
+            self._scrape_metrics(stats, timings, feasible, comm_before)
         return SearchReport(
             evaluations=evaluations,
             frontier=frontier,
@@ -599,3 +677,53 @@ class SearchEngine:
             stats=stats,
             timings=timings,
         )
+
+    # ---------------------------------------------------------- observability
+    def _comm_stats(self) -> Dict[str, float]:
+        """Snapshot of the oracle CommModel's counters (may be absent on
+        toy oracles injected by tests)."""
+        comm = getattr(
+            getattr(self.oracle, "analytical", None), "comm", None)
+        if comm is None or not hasattr(comm, "stats"):
+            return {}
+        out = dict(comm.stats)
+        for label, count in getattr(comm, "selections", {}).items():
+            out[f"selected.{label}"] = count
+        return out
+
+    def _scrape_metrics(self, stats, timings, feasible, comm_before) -> None:
+        """Fold one search run's counters into the metrics registry.
+
+        Off the hot path by design: the substrate (cache, ``CommModel``)
+        keeps plain int counters; this turns their run deltas into
+        registry counters / histograms once, after ranking.
+        """
+        m = self.metrics
+        for key in ("candidates", "feasible", "pruned", "infeasible",
+                    "frontier"):
+            if stats[key]:
+                m.counter(f"search.{key}").add(stats[key])
+        m.counter("cache.hits").add(stats["cache_hits"])
+        m.counter("cache.misses").add(stats["cache_misses"])
+        for key, value in self.cache.stats().items():
+            if key in ("hits", "misses"):
+                continue  # run deltas above; lifetime values as gauges
+            m.gauge(f"cache.{key}").set(value)
+        comm_after = self._comm_stats()
+        for key, value in comm_after.items():
+            delta = value - comm_before.get(key, 0)
+            if delta:
+                m.counter(f"comm.{key}").add(delta)
+        hits = comm_after.get("memo_hits", 0) - comm_before.get(
+            "memo_hits", 0)
+        misses = comm_after.get("memo_misses", 0) - comm_before.get(
+            "memo_misses", 0)
+        if hits + misses:
+            m.gauge("comm.memo_hit_rate").set(hits / (hits + misses))
+        for key, value in timings.items():
+            m.histogram(f"search.stage.{key}").observe(value)
+        epochs = m.histogram("search.epoch_s")
+        iters = m.histogram("search.iteration_s")
+        for evaluation in feasible:
+            epochs.observe(evaluation.epoch_time)
+            iters.observe(evaluation.iteration_time)

@@ -22,6 +22,7 @@ Entry points: ``ParaDL.sweep(...)``, ``repro sweep`` in the CLI, and
 from __future__ import annotations
 
 import csv
+import logging
 import os
 import time
 from dataclasses import dataclass, field
@@ -36,9 +37,12 @@ from typing import (
 
 from ..data.datasets import DatasetSpec
 from ..network.topology import ClusterSpec, abci_like_cluster
+from ..obs.tracer import NULL_TRACER
 from .engine import Evaluation, SearchEngine, SearchReport
 from .pareto import DEFAULT_OBJECTIVES
 from .space import DEFAULT_STRATEGIES, SearchSpace
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "SweepResult",
@@ -287,6 +291,8 @@ class SweepRunner:
         comm_model=None,
         weights=None,
         oracle_factory: Optional[Callable[[str], object]] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if not models:
             raise ValueError("need at least one model to sweep")
@@ -305,6 +311,8 @@ class SweepRunner:
         self.comm_model = comm_model
         self.weights = weights
         self.oracle_factory = oracle_factory
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.space = SearchSpace(
             strategies=(
                 tuple(strategies) if strategies else DEFAULT_STRATEGIES),
@@ -318,7 +326,8 @@ class SweepRunner:
     # ------------------------------------------------------------ scenarios
     @classmethod
     def from_scenario(cls, scenario, *, cluster: Optional[ClusterSpec] = None,
-                      oracle_factory=None) -> "SweepRunner":
+                      oracle_factory=None, tracer=None,
+                      metrics=None) -> "SweepRunner":
         """Build the runner a :class:`~repro.api.spec.ScenarioSpec`
         describes (dicts and file paths are coerced through the spec
         layer).
@@ -386,6 +395,8 @@ class SweepRunner:
                                algo=dict(scenario.comm.algo))),
             weights=dict(search.weights) or None,
             oracle_factory=oracle_factory,
+            tracer=tracer,
+            metrics=metrics,
         )
         if scenario.training.batch is not None:
             from dataclasses import replace
@@ -433,6 +444,8 @@ class SweepRunner:
             cache_dir=self.cache_dir,
             executor=self.executor,
             workers=self.workers,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------ run
@@ -450,25 +463,32 @@ class SweepRunner:
         Neither affects the report.
         """
         t_sweep = time.perf_counter()
+        logger.info("sweep: %d models, strategies=%s",
+                    len(self.models), ",".join(self.space.strategies))
         results: List[SweepResult] = []
-        for name in self.models:
-            engine = self.engine_for(name)
-            callback = (
-                (lambda e, _name=name: on_result(_name, e))
-                if on_result is not None else None
-            )
-            t0 = time.perf_counter()
-            report = engine.search(
-                self.space, weights=self.weights, on_result=callback)
-            result = SweepResult(
-                model=name,
-                report=report,
-                seconds=time.perf_counter() - t0,
-                cache_file=engine.cache.path,
-            )
-            results.append(result)
-            if on_model is not None:
-                on_model(name, result)
+        with self.tracer.span("sweep", models=len(self.models)):
+            for name in self.models:
+                with self.tracer.span("sweep.model", model=name) as sp:
+                    engine = self.engine_for(name)
+                    callback = (
+                        (lambda e, _name=name: on_result(_name, e))
+                        if on_result is not None else None
+                    )
+                    t0 = time.perf_counter()
+                    report = engine.search(
+                        self.space, weights=self.weights, on_result=callback)
+                    result = SweepResult(
+                        model=name,
+                        report=report,
+                        seconds=time.perf_counter() - t0,
+                        cache_file=engine.cache.path,
+                    )
+                    sp.attrs["seconds"] = result.seconds
+                    sp.attrs["feasible"] = report.stats.get("feasible", 0)
+                logger.info("sweep: %s done in %.2fs", name, result.seconds)
+                results.append(result)
+                if on_model is not None:
+                    on_model(name, result)
         return SweepReport(
             results=results,
             objectives=tuple(DEFAULT_OBJECTIVES),

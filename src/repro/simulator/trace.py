@@ -102,6 +102,20 @@ class Timeline:
         )
         return "\n".join(rows)
 
+    def to_chrome_events(self, *, pid: int = 1,
+                         name: str = "simulated schedule") -> List[dict]:
+        """This timeline as Chrome trace-event dicts (simulated clock).
+
+        Delegates to :func:`repro.obs.export.timeline_to_chrome`: one
+        thread lane per resource, simulated seconds on the viewer's
+        microsecond axis.  Wrap in ``{"traceEvents": [...]}`` (or pass
+        the timeline to :func:`repro.obs.export.write_chrome_trace`) to
+        get a Perfetto-loadable file.
+        """
+        from ..obs.export import timeline_to_chrome
+
+        return timeline_to_chrome(self, pid=pid, name=name)
+
 
 def gpipe_timeline(
     fw_g: Sequence[float],

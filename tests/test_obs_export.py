@@ -1,0 +1,152 @@
+"""Exporter formats: Chrome trace events, JSONL logs, human tables."""
+
+import json
+
+from repro.obs.export import (
+    CHROME_PHASES,
+    format_metrics_table,
+    format_spans_table,
+    metrics_to_counter_events,
+    spans_to_chrome,
+    timeline_to_chrome,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+from repro.simulator.trace import Timeline
+
+
+def _spans():
+    tracer = Tracer()
+    with tracer.span("outer", model="toy"):
+        with tracer.span("inner"):
+            pass
+    return tracer.spans
+
+
+class TestSpansToChrome:
+    def test_complete_events_in_microseconds(self):
+        spans = [Span("s", start=2.0, duration=0.5, span_id=1, pid=10,
+                      tid=7, attrs={"k": 1})]
+        events = spans_to_chrome(spans)
+        (x,) = [e for e in events if e["ph"] == "X"]
+        assert x["ts"] == 2.0 * 1e6 and x["dur"] == 0.5 * 1e6
+        assert x["args"]["k"] == 1 and x["args"]["span_id"] == 1
+        assert all(e["ph"] in CHROME_PHASES for e in events)
+
+    def test_process_and_thread_metadata(self):
+        spans = [
+            Span("a", 0.0, 1.0, 1, pid=10, tid=111),
+            Span("b", 0.0, 1.0, 2, pid=20, tid=222),
+        ]
+        events = spans_to_chrome(spans)
+        names = {e["pid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names[10] == "repro engine"
+        assert "worker" in names[20]
+        # raw thread idents are compacted to small per-pid tids
+        tids = [e["tid"] for e in events if e["ph"] == "X"]
+        assert tids == [0, 0]
+
+    def test_nonjson_attrs_coerced(self):
+        spans = [Span("s", 0.0, 1.0, 1, attrs={"obj": object()})]
+        events = spans_to_chrome(spans)
+        (x,) = [e for e in events if e["ph"] == "X"]
+        json.dumps(events)
+        assert isinstance(x["args"]["obj"], str)
+
+
+class TestTimelineToChrome:
+    def test_resources_become_thread_lanes(self):
+        tl = Timeline()
+        tl.add("stage0", 0.0, 1.0, label="f")
+        tl.add("stage1", 1.0, 2.5)
+        events = timeline_to_chrome(tl, pid=3)
+        lanes = {e["args"]["name"]: e["tid"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert lanes == {"stage0": 0, "stage1": 1}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["f", "stage1"]
+        assert xs[1]["ts"] == 1.0 * 1e6 and xs[1]["dur"] == 1.5 * 1e6
+        assert all(e["pid"] == 3 for e in events)
+
+    def test_timeline_convenience_method(self):
+        tl = Timeline()
+        tl.add("gpu0", 0.0, 1.0)
+        events = tl.to_chrome_events(pid=5)
+        assert any(e["ph"] == "X" and e["pid"] == 5 for e in events)
+
+
+class TestWriteChromeTrace:
+    def test_combined_file_is_valid(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").add(3)
+        registry.histogram("lat").observe(0.5)
+        tl = Timeline()
+        tl.add("stage0", 0.0, 1.0)
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, spans=_spans(), metrics=registry,
+                           timelines={"pipeline": tl})
+        blob = json.loads(open(path).read())
+        events = blob["traceEvents"]
+        assert blob["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in events}
+        assert phases <= set(CHROME_PHASES)
+        assert {e["name"] for e in events if e["ph"] == "X"} >= {
+            "outer", "inner", "stage0"}
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert counters == {"cache.hits", "lat"}
+        # the timeline draws on its own pid (a different timebase)
+        span_pids = {e["pid"] for e in events
+                     if e["ph"] == "X" and e["name"] in ("outer", "inner")}
+        tl_pids = {e["pid"] for e in events
+                   if e["ph"] == "X" and e["name"] == "stage0"}
+        assert span_pids.isdisjoint(tl_pids)
+
+    def test_passes_own_checker(self, tmp_path):
+        import importlib.util
+        import os
+
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, spans=_spans())
+        checker = os.path.join(os.path.dirname(__file__), os.pardir,
+                               "scripts", "check_trace.py")
+        spec = importlib.util.spec_from_file_location("check_trace", checker)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        assert mod.check_trace(path, require_spans=["outer"]) == []
+
+
+class TestWriteJsonl:
+    def test_span_and_metric_rows(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").add(1)
+        path = str(tmp_path / "log.jsonl")
+        write_jsonl(path, spans=_spans(), metrics=registry)
+        rows = [json.loads(line) for line in open(path)]
+        assert [r["event"] for r in rows] == ["span", "span", "metric"]
+        assert rows[0]["name"] == "inner"  # completion order
+        assert rows[2] == {"event": "metric", "name": "n", "value": 1.0}
+
+
+class TestTables:
+    def test_spans_table(self):
+        tracer = Tracer()
+        tracer.record("fast", start=0.0, duration=0.001)
+        tracer.record("slow", start=0.0, duration=0.5)
+        tracer.record("slow", start=0.0, duration=0.5)
+        table = format_spans_table(tracer.spans)
+        lines = table.splitlines()
+        assert "span" in lines[0] and "calls" in lines[0]
+        # sorted by total time descending
+        assert lines[2].startswith("slow") and "2" in lines[2]
+        assert lines[3].startswith("fast")
+
+    def test_metrics_table(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").add(12)
+        registry.histogram("lat").observe(1.0)
+        table = format_metrics_table(registry)
+        assert "cache.hits" in table and "12" in table
+        assert "p50=" in table and "count=1" in table

@@ -1,0 +1,148 @@
+"""Metrics instruments: percentile math, bounding, registry semantics."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    """Pinned against hand-computed linear-interpolation references
+    (the ``numpy.percentile`` default method), so summaries match what
+    a numpy consumer would compute — without requiring numpy."""
+
+    def test_reference_values(self):
+        # rank = q/100 * (n-1); interpolate between order statistics
+        assert percentile([15, 20, 35, 40, 50], 40) == 29.0
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+        assert percentile([1, 2, 3, 4], 75) == 3.25
+
+    def test_endpoints_and_singleton(self):
+        assert percentile([3, 1, 2], 0) == 1.0
+        assert percentile([3, 1, 2], 100) == 3.0
+        assert percentile([7], 50) == 7.0
+
+    def test_unsorted_input(self):
+        assert percentile([50, 15, 40, 20, 35], 40) == 29.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -1)
+
+
+class TestCounter:
+    def test_adds_and_rejects_negative(self):
+        c = Counter("hits")
+        c.add()
+        c.add(2)
+        assert c.value == 3.0
+        with pytest.raises(ValueError):
+            c.add(-1)
+        assert c.summary() == {"value": 3.0}
+
+    def test_thread_safe_increments(self):
+        c = Counter("n")
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: [c.add() for _ in range(100)],
+                          range(8)))
+        assert c.value == 800.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.add(-2)
+        assert g.value == 3.0
+        assert g.summary() == {"value": 3.0}
+
+
+class TestHistogram:
+    def test_summary_fields(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 5.0 and s["sum"] == 15.0
+        assert s["mean"] == 3.0 and s["min"] == 1.0 and s["max"] == 5.0
+        assert s["p50"] == 3.0
+        assert s["p90"] == pytest.approx(4.6)
+        assert s["p99"] == pytest.approx(4.96)
+
+    def test_empty_summary(self):
+        s = Histogram("lat").summary()
+        assert s == {"count": 0.0, "sum": 0.0}
+
+    def test_bounded_memory_decimation(self):
+        h = Histogram("lat", max_samples=64)
+        for i in range(10_000):
+            h.observe(float(i))
+        # count/sum/min/max stay exact through decimation
+        assert h.count == 10_000
+        assert h.sum == sum(range(10_000))
+        s = h.summary()
+        assert s["min"] == 0.0 and s["max"] == 9999.0
+        assert len(h._samples) < 64
+        # decimated percentiles stay representative (uniform ramp)
+        assert s["p50"] == pytest.approx(5000, rel=0.05)
+
+    def test_rejects_tiny_bound(self):
+        with pytest.raises(ValueError):
+            Histogram("x", max_samples=1)
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_mismatch(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+        assert "a" in reg and "b" not in reg
+        assert len(reg) == 1
+        assert reg.get("a") is not None and reg.get("b") is None
+
+    def test_snapshot_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("z.count").add(2)
+        reg.gauge("a.depth").set(1.5)
+        reg.histogram("m.lat").observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # everything must serialize
+        assert snap["z.count"] == {"value": 2.0}
+        assert snap["a.depth"] == {"value": 1.5}
+        assert snap["m.lat"]["count"] == 1.0
+
+    def test_merge_counts_skips_zeros(self):
+        reg = MetricsRegistry()
+        reg.merge_counts({"hits": 3, "misses": 0}, prefix="cache.")
+        assert reg.names() == ["cache.hits"]
+        assert reg.counter("cache.hits").value == 3.0
+
+    def test_concurrent_get_or_create(self):
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(8)
+
+        def work(i):
+            barrier.wait(timeout=10)
+            reg.counter("shared").add()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(8)))
+        assert reg.counter("shared").value == 8.0
+        assert len(reg) == 1

@@ -1,0 +1,207 @@
+"""Span/tracer semantics: nesting, thread-safety, fold-in, the no-op."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class TestNesting:
+    def test_spans_nest_lexically(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["inner"].parent_id == outer.span_id
+        assert spans["outer"].parent_id is None
+        assert inner.span_id != outer.span_id
+
+    def test_completion_order_children_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [s.name for s in tracer.spans] == ["b", "c", "a"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("one"):
+                pass
+            with tracer.span("two"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["one"].parent_id == root.span_id
+        assert by_name["two"].parent_id == root.span_id
+
+    def test_durations_and_timestamps(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].duration >= by_name["inner"].duration >= 0
+        assert by_name["inner"].start >= by_name["outer"].start
+        assert by_name["outer"].end >= by_name["outer"].start
+
+    def test_attrs_settable_until_exit(self):
+        tracer = Tracer()
+        with tracer.span("work", items=3) as sp:
+            sp.attrs["extra"] = "yes"
+        (span,) = tracer.spans
+        assert span.attrs == {"items": 3, "extra": "yes"}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (span,) = tracer.spans
+        assert span.attrs["error"] == "RuntimeError"
+        # the stack unwound: a new span is a root again
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].parent_id is None
+
+    def test_record_already_measured(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            span = tracer.record("measured", start=10.0, duration=0.5, k=1)
+        assert span.parent_id == parent.span_id
+        assert span.start == 10.0 and span.duration == 0.5
+        assert span.end == 10.5
+
+    def test_totals_sums_per_name(self):
+        tracer = Tracer()
+        tracer.record("x", start=0.0, duration=1.0)
+        tracer.record("x", start=0.0, duration=2.0)
+        tracer.record("y", start=0.0, duration=5.0)
+        assert tracer.totals() == {"x": 3.0, "y": 5.0}
+
+
+class TestThreadSafety:
+    def test_per_thread_stacks_stay_independent(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            with tracer.span(f"thread{i}"):
+                barrier.wait(timeout=10)  # all four spans open at once
+                with tracer.span("child"):
+                    pass
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(work, range(4)))
+        spans = tracer.spans
+        assert len(spans) == 8
+        parents = {s.span_id: s for s in spans}
+        for child in (s for s in spans if s.name == "child"):
+            parent = parents[child.parent_id]
+            # each child hangs off its own thread's root, never a sibling
+            assert parent.name.startswith("thread")
+            assert parent.tid == child.tid
+
+    def test_concurrent_spans_all_recorded_unique_ids(self):
+        tracer = Tracer()
+
+        def work(i):
+            for _ in range(50):
+                with tracer.span("w"):
+                    pass
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(8)))
+        assert len(tracer) == 400
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == len(ids)
+
+
+class TestAdopt:
+    def _worker_batch(self):
+        """Simulate a worker process: its own tracer, ids from 1."""
+        worker = Tracer()
+        with worker.span("chunk"):
+            with worker.span("project"):
+                pass
+        return worker.drain()
+
+    def test_adopt_remaps_ids_and_reparents(self):
+        parent = Tracer()
+        with parent.span("search") as root:
+            batch = self._worker_batch()
+            adopted = parent.adopt(batch)
+        by_name = {s.name: s for s in parent.spans}
+        # in-batch link preserved, batch root under the caller's span
+        assert by_name["project"].parent_id == by_name["chunk"].span_id
+        assert by_name["chunk"].parent_id == root.span_id
+        # worker ids started at 1 like the parent's — no collisions
+        ids = [s.span_id for s in parent.spans]
+        assert len(set(ids)) == len(ids)
+        assert len(adopted) == 2
+
+    def test_adopt_two_batches_never_collide(self):
+        parent = Tracer()
+        with parent.span("search"):
+            parent.adopt(self._worker_batch())
+            parent.adopt(self._worker_batch())
+        ids = [s.span_id for s in parent.spans]
+        assert len(set(ids)) == len(ids)
+        assert len(parent) == 5
+
+    def test_adopt_explicit_parent_and_empty(self):
+        parent = Tracer()
+        assert parent.adopt([]) == []
+        span = Span(name="w", start=0.0, duration=1.0, span_id=1)
+        (adopted,) = parent.adopt([span], parent=99)
+        assert adopted.parent_id == 99
+        # the source span is not mutated
+        assert span.parent_id is None
+
+    def test_drain_empties(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert [s.name for s in tracer.drain()] == ["a"]
+        assert len(tracer) == 0
+
+
+class TestNullTracer:
+    def test_is_inert(self):
+        null = NullTracer()
+        with null.span("anything", key=1) as sp:
+            sp.attrs["written"] = True  # discarded, not an error
+        assert null.spans == []
+        assert len(null) == 0
+        assert null.drain() == []
+        assert null.adopt([Span("x", 0.0, 0.0, 1)]) == []
+        assert null.totals() == {}
+        assert null.record("x", start=0.0, duration=1.0) is None
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NULL_TRACER.enabled is False
+
+    def test_shared_singleton_span(self):
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        assert a is b  # no allocation on the disabled path
+
+
+class TestSpanDict:
+    def test_asdict_roundtrips_json_fields(self):
+        span = Span(name="s", start=1.5, duration=0.25, span_id=7,
+                    parent_id=3, pid=123, tid=9, attrs={"n": 2})
+        row = span.asdict()
+        assert row == {
+            "name": "s", "start": 1.5, "duration_s": 0.25, "span_id": 7,
+            "parent_id": 3, "pid": 123, "tid": 9, "attrs": {"n": 2},
+        }
+
+    def test_asdict_omits_empty_attrs(self):
+        row = Span(name="s", start=0.0, duration=0.0, span_id=1).asdict()
+        assert "attrs" not in row
