@@ -12,7 +12,7 @@ Usage::
 
     python scripts/check_perf_regression.py \
         [--current benchmarks/results] [--baseline DIR] \
-        [--tolerance 0.5] [--warn-only]
+        [--tolerance 0.5] [--warn-only] [--json]
 
 Exit codes: 0 when no regression (or ``--warn-only``), 1 on regression,
 2 on usage errors.  A missing baseline directory, missing counterpart
@@ -20,6 +20,29 @@ file, or mismatched ``schema_version`` is reported and skipped rather
 than failed — the guard must not turn a first run or a schema migration
 into a red build.  CI runs this warn-only (shared runners are noisy);
 locally, drop ``--warn-only`` to enforce.
+
+``--json`` replaces the prose report on stdout with one machine-readable
+summary document (notes move to stderr); its shape is pinned by
+``tests/test_perf_harness.py``::
+
+    {
+      "schema_version": 1,
+      "status": "pass" | "regress" | "skip",
+      "tolerance": 0.5,
+      "warn_only": false,
+      "checked": 4,
+      "regressions": 0,
+      "results": [
+        {"benchmark": "search", "metric": "candidates_per_s_cold",
+         "status": "ok", "current": ..., "baseline": ..., "ratio": ...},
+        ...
+      ],
+      "skipped": [{"file": "BENCH_x.json", "reason": "..."}, ...]
+    }
+
+``status`` is ``"skip"`` when nothing could be compared at all (no
+baseline directory, or every pair skipped), ``"regress"`` when at least
+one metric fell below tolerance, ``"pass"`` otherwise.
 """
 
 from __future__ import annotations
@@ -36,32 +59,33 @@ from typing import Iterator, List, Optional, Tuple
 #: catch order-of-magnitude slowdowns, not scheduler jitter.
 DEFAULT_TOLERANCE = 0.5
 
+#: Version of the ``--json`` summary document.
+JSON_SCHEMA_VERSION = 1
 
-def load_bench(path: str) -> Optional[dict]:
+
+def load_bench(path: str, note) -> Optional[dict]:
     """Load one envelope; ``None`` (with a note) when unreadable."""
     try:
         with open(path) as fh:
             blob = json.load(fh)
     except (OSError, ValueError) as exc:
-        print(f"note: skipping unreadable {path}: {exc}")
+        note(f"skipping unreadable {path}: {exc}")
         return None
     if not isinstance(blob, dict) or not isinstance(
             blob.get("metrics"), dict):
-        print(f"note: skipping malformed {path}")
+        note(f"skipping malformed {path}")
         return None
     return blob
 
 
 def compare_pair(
-    name: str, current: dict, baseline: dict, tolerance: float
-) -> Iterator[Tuple[str, str]]:
-    """Yield ``(kind, message)`` rows for one benchmark pair.
-
-    ``kind`` is ``"regression"`` or ``"ok"``; notes are printed inline.
-    """
+    name: str, current: dict, baseline: dict, tolerance: float, note
+) -> Iterator[Tuple[str, str, float, float, float]]:
+    """Yield ``(kind, metric, current, baseline, ratio)`` rows for one
+    benchmark pair; ``kind`` is ``"regression"`` or ``"ok"``."""
     if current.get("schema_version") != baseline.get("schema_version"):
-        print(
-            f"note: {name}: schema_version changed "
+        note(
+            f"{name}: schema_version changed "
             f"({baseline.get('schema_version')} -> "
             f"{current.get('schema_version')}); skipping"
         )
@@ -76,11 +100,8 @@ def compare_pair(
         if base <= 0:
             continue
         ratio = cur / base
-        line = (
-            f"{name}.{key}: current {cur:.1f} vs baseline {base:.1f} "
-            f"({ratio:.2f}x, tolerance {tolerance:.2f}x)"
-        )
-        yield ("regression" if ratio < tolerance else "ok", line)
+        kind = "regression" if ratio < tolerance else "ok"
+        yield (kind, key, float(cur), float(base), ratio)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -100,10 +121,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--warn-only", action="store_true",
         help="report regressions but exit 0 (CI default: shared "
              "runners are noisy)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one machine-readable summary document on stdout "
+             "(notes go to stderr); see the module docstring for the "
+             "schema")
     args = parser.parse_args(argv)
     if not 0 < args.tolerance <= 1:
         print("error: --tolerance must be in (0, 1]", file=sys.stderr)
         return 2
+
+    skipped: List[dict] = []
+    current_file = ""
+
+    def note(message: str) -> None:
+        if args.as_json:
+            skipped.append({"file": current_file, "reason": message})
+            print(f"note: {message}", file=sys.stderr)
+        else:
+            print(f"note: {message}")
+
+    def summary(status: str, results: List[dict]) -> None:
+        if not args.as_json:
+            return
+        regressions = sum(
+            1 for row in results if row["status"] == "regression")
+        print(json.dumps({
+            "schema_version": JSON_SCHEMA_VERSION,
+            "status": status,
+            "tolerance": args.tolerance,
+            "warn_only": bool(args.warn_only),
+            "checked": len(results),
+            "regressions": regressions,
+            "results": results,
+            "skipped": skipped,
+        }, indent=2, sort_keys=True))
 
     if not os.path.isdir(args.current):
         print(f"error: no such results directory: {args.current}",
@@ -116,43 +168,64 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
     if args.baseline is None or not os.path.isdir(args.baseline):
-        print(
+        message = (
             f"no baseline directory ({args.baseline!r}); "
             f"{len(current_files)} result files present, nothing to "
             f"compare — pass"
         )
+        print(message, file=sys.stderr if args.as_json else sys.stdout)
+        summary("skip", [])
         return 0
 
+    results: List[dict] = []
     regressions = []
-    compared = 0
     for path in current_files:
         fname = os.path.basename(path)
+        current_file = fname
         base_path = os.path.join(args.baseline, fname)
         if not os.path.exists(base_path):
-            print(f"note: no baseline for {fname}; skipping")
+            note(f"no baseline for {fname}; skipping")
             continue
-        current = load_bench(path)
-        baseline = load_bench(base_path)
+        current = load_bench(path, note)
+        baseline = load_bench(base_path, note)
         if current is None or baseline is None:
             continue
         name = current.get("name", fname)
-        for kind, line in compare_pair(
-                name, current, baseline, args.tolerance):
-            compared += 1
+        for kind, key, cur, base, ratio in compare_pair(
+                name, current, baseline, args.tolerance, note):
+            results.append({
+                "benchmark": name,
+                "metric": key,
+                "status": kind,
+                "current": cur,
+                "baseline": base,
+                "ratio": ratio,
+            })
+            line = (
+                f"{name}.{key}: current {cur:.1f} vs baseline {base:.1f} "
+                f"({ratio:.2f}x, tolerance {args.tolerance:.2f}x)"
+            )
             if kind == "regression":
                 regressions.append(line)
-                print(f"REGRESSION: {line}")
-            else:
+                print(f"REGRESSION: {line}",
+                      file=sys.stderr if args.as_json else sys.stdout)
+            elif not args.as_json:
                 print(f"ok: {line}")
 
-    print(
-        f"checked {compared} metric(s) across {len(current_files)} "
+    closing = (
+        f"checked {len(results)} metric(s) across {len(current_files)} "
         f"benchmark file(s): {len(regressions)} regression(s)"
     )
+    print(closing, file=sys.stderr if args.as_json else sys.stdout)
+    if not results:
+        summary("skip", results)
+    else:
+        summary("regress" if regressions else "pass", results)
     if regressions and not args.warn_only:
         return 1
     if regressions:
-        print("warn-only: regressions reported but not failing the run")
+        print("warn-only: regressions reported but not failing the run",
+              file=sys.stderr if args.as_json else sys.stdout)
     return 0
 
 

@@ -329,6 +329,7 @@ class Session:
                 pe_budgets=(
                     power_of_two_budgets(self.pes) if search.pe_sweep
                     else (self.pes,)),
+                exhaustive=search.exhaustive,
                 segments=search.segments,
                 cache=self.projection_cache,
                 workers=search.workers,

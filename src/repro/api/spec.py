@@ -554,6 +554,7 @@ class SearchSpec:
 
     strategies: Tuple[str, ...] = ()
     pe_sweep: bool = False
+    exhaustive: bool = False
     segments: Tuple[int, ...] = (2, 4, 8)
     comm_policies: Tuple[str, ...] = ()
     workers: Optional[int] = None
@@ -567,8 +568,9 @@ class SearchSpec:
                   field_path: str = "search") -> "SearchSpec":
         data = _expect_mapping(data, field_path)
         _reject_unknown(
-            data, ("strategies", "pe_sweep", "segments", "comm_policies",
-                   "workers", "executor", "cache", "cache_dir", "weights"),
+            data, ("strategies", "pe_sweep", "exhaustive", "segments",
+                   "comm_policies", "workers", "executor", "cache",
+                   "cache_dir", "weights"),
             field_path)
         strategies = tuple(
             _expect_choice(s, STRATEGY_IDS, f"{field_path}.strategies[{i}]")
@@ -620,6 +622,8 @@ class SearchSpec:
             strategies=strategies,
             pe_sweep=_expect_bool(data.get("pe_sweep", False),
                                   f"{field_path}.pe_sweep"),
+            exhaustive=_expect_bool(data.get("exhaustive", False),
+                                    f"{field_path}.exhaustive"),
             segments=segments,
             comm_policies=comm_policies,
             workers=workers,
@@ -635,6 +639,8 @@ class SearchSpec:
             blob["strategies"] = list(self.strategies)
         if self.pe_sweep:
             blob["pe_sweep"] = True
+        if self.exhaustive:
+            blob["exhaustive"] = True
         if self.comm_policies:
             blob["comm_policies"] = list(self.comm_policies)
         if self.workers is not None:

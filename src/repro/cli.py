@@ -144,6 +144,10 @@ def build_parser(
             help="comma-separated strategy ids (default: all)")
         p.add_argument("--pe-sweep", action="store_true",
                        help="sweep power-of-two PE budgets up to -p")
+        p.add_argument("--exhaustive", action="store_true",
+                       help="search every PE count up to -p and the "
+                            "full hybrid divisor lattice (vectorized "
+                            "projection keeps this affordable)")
         opt(p, "--segments", default="2,4,8",
             help="pipeline micro-batch counts to try")
         opt(p, "--workers", type=int, default=None,
@@ -369,6 +373,8 @@ def _search_overrides(args, overrides: Dict) -> None:
         _set(overrides, "search", "strategies", _split_csv(args.strategies))
     if "pe_sweep" in explicit:
         _set(overrides, "search", "pe_sweep", bool(args.pe_sweep))
+    if "exhaustive" in explicit:
+        _set(overrides, "search", "exhaustive", bool(args.exhaustive))
     if "segments" in explicit:
         try:
             segments = [int(s) for s in _split_csv(args.segments)]

@@ -46,6 +46,7 @@ from .algorithms import (
 )
 
 __all__ = [
+    "ARRAY_FORMULAS",
     "COLLECTIVES",
     "TopologyHint",
     "CollectiveAlgorithm",
@@ -321,3 +322,109 @@ register(FormulaAlgorithm(
     "broadcast", "scatter-allgather", scatter_allgather_broadcast_time))
 
 register(FormulaAlgorithm("reduce", "binomial-tree", reduce_time))
+
+
+# ------------------------------------------------------------ array formulas
+# Vectorized twins of the built-in scalar formulas, used by
+# :meth:`repro.collectives.selector.CommModel.time_batch`.  Each entry is
+# ``fn(p, m, alpha, beta, log2p, ceil_log2p) -> seconds`` where every
+# argument is a broadcastable float64 ndarray (or scalar).  The bodies
+# are written operator-for-operator like the scalar formulas above, so
+# elementwise results are bit-identical; ``log2p``/``ceil_log2p`` are
+# precomputed by the caller per *unique* p with ``math.log2``/
+# ``math.ceil`` (never ``numpy.log2``) so round counts match the scalar
+# path exactly, including the power-of-two edge.  ``p == 1`` / ``m == 0``
+# elements are masked to zero by the caller — several formulas (tree,
+# binomial) do not vanish at a singleton communicator on their own.
+#
+# These are plain arithmetic over whatever array type is passed in; the
+# module itself never imports numpy, keeping the soft dependency in
+# :mod:`repro.npcompat` only.
+
+
+def _arr_ring_allreduce(p, m, alpha, beta, log2p, ceil_log2p):
+    steps = 2.0 * (p - 1.0)
+    return steps * alpha + steps * (m / p) * beta
+
+
+def _arr_tree_allreduce(p, m, alpha, beta, log2p, ceil_log2p):
+    steps = 2.0 * (log2p + 4.0)  # chunks = 4, as in tree_allreduce_time
+    return steps * alpha + steps * (m / 8.0) * beta
+
+
+def _arr_rd_allreduce(p, m, alpha, beta, log2p, ceil_log2p):
+    return ceil_log2p * (alpha + m * beta)
+
+
+def _arr_ring_allgather(p, m, alpha, beta, log2p, ceil_log2p):
+    steps = p - 1.0
+    return steps * alpha + steps * m * beta
+
+
+def _arr_rd_allgather(p, m, alpha, beta, log2p, ceil_log2p):
+    return ceil_log2p * alpha + (p - 1.0) * m * beta
+
+
+def _arr_ring_reduce_scatter(p, m, alpha, beta, log2p, ceil_log2p):
+    steps = p - 1.0
+    return steps * alpha + steps * (m / p) * beta
+
+
+def _arr_rh_reduce_scatter(p, m, alpha, beta, log2p, ceil_log2p):
+    return ceil_log2p * alpha + (p - 1.0) / p * m * beta
+
+
+def _arr_binomial_p2p(p, m, alpha, beta, log2p, ceil_log2p):
+    return ceil_log2p * (alpha + m * beta)
+
+
+def _arr_scatter_allgather(p, m, alpha, beta, log2p, ceil_log2p):
+    alpha_term = (ceil_log2p + (p - 1.0)) * alpha
+    beta_term = 2.0 * (p - 1.0) / p * m * beta
+    return alpha_term + beta_term
+
+
+#: ``(collective, algorithm) -> array formula``.  Every built-in except
+#: the topology-dependent hierarchical Allreduce has an entry; the
+#: selector special-cases that one (and falls back to scalar ``choose``
+#: for third-party registrations without a twin).
+ARRAY_FORMULAS: Dict[Tuple[str, str], Callable[..., object]] = {
+    ("allreduce", "ring"): _arr_ring_allreduce,
+    ("allreduce", "tree"): _arr_tree_allreduce,
+    ("allreduce", "recursive-doubling"): _arr_rd_allreduce,
+    ("allgather", "ring"): _arr_ring_allgather,
+    ("allgather", "recursive-doubling"): _arr_rd_allgather,
+    ("reduce_scatter", "ring"): _arr_ring_reduce_scatter,
+    ("reduce_scatter", "recursive-halving"): _arr_rh_reduce_scatter,
+    ("broadcast", "binomial-tree"): _arr_binomial_p2p,
+    ("broadcast", "scatter-allgather"): _arr_scatter_allgather,
+    ("reduce", "binomial-tree"): _arr_binomial_p2p,
+}
+
+# The algorithm instances each array formula mirrors.  If a caller
+# re-registers over a built-in name (``register(..., overwrite=True)``)
+# the twin no longer describes what ``choose`` would cost, so
+# :func:`array_formula` stops offering it and the selector falls back to
+# the scalar path for that algorithm.
+_ARRAY_SOURCES: Dict[Tuple[str, str], CollectiveAlgorithm] = {
+    key: _REGISTRY[key] for key in ARRAY_FORMULAS
+}
+
+
+def array_formula(
+    collective: str, name: str
+) -> Optional[Callable[..., object]]:
+    """The vectorized twin of a *built-in* registered algorithm.
+
+    Returns ``None`` when there is no twin or when the registered
+    algorithm under this name is no longer the built-in the twin was
+    derived from.
+    """
+    key = (collective, name)
+    fn = ARRAY_FORMULAS.get(key)
+    if fn is None or _REGISTRY.get(key) is not _ARRAY_SOURCES[key]:
+        return None
+    return fn
+
+
+__all__.append("array_formula")

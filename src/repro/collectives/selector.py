@@ -43,20 +43,28 @@ or ``tree_threshold`` invalidates every cached choice on the next call.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from .. import npcompat
 from ..network.hockney import HockneyParams
 from ..network.topology import ClusterSpec
 from .algorithms import TREE_THRESHOLD_BYTES
 from . import registry as _registry
-from .registry import COLLECTIVES, CollectiveAlgorithm, TopologyHint
+from .registry import (
+    COLLECTIVES,
+    CollectiveAlgorithm,
+    HierarchicalAllreduce,
+    TopologyHint,
+)
 
 __all__ = [
     "POLICIES",
     "PAPER_DEFAULTS",
     "CHOOSE_MEMO_SIZE",
+    "BatchChoice",
     "CommChoice",
     "CommModel",
 ]
@@ -97,6 +105,27 @@ class CommChoice:
     @property
     def label(self) -> str:
         return f"{self.collective}:{self.algorithm}"
+
+
+@dataclass(frozen=True)
+class BatchChoice:
+    """A whole array of resolved collective calls (:meth:`CommModel.
+    time_batch`).
+
+    ``seconds`` has the broadcast shape of the ``(p, nbytes)`` inputs.
+    ``index`` maps each element into ``algorithms``; ``None`` means the
+    whole batch resolved to ``algorithms[0]`` (the common case under the
+    ``paper`` policy, which lets consumers skip per-element label work).
+    """
+
+    collective: str
+    seconds: Any
+    algorithms: Tuple[str, ...]
+    index: Any = None
+
+    def labels(self) -> Tuple[str, ...]:
+        """``collective:algorithm`` per entry of :attr:`algorithms`."""
+        return tuple(f"{self.collective}:{a}" for a in self.algorithms)
 
 
 class CommModel:
@@ -142,7 +171,15 @@ class CommModel:
         #: Observability counters: plain ints (a dict increment per
         #: resolved call — cheap enough for the search hot path, and
         #: scraped into a MetricsRegistry by consumers, never pushed).
-        self.stats: Dict[str, int] = {"memo_hits": 0, "memo_misses": 0}
+        #: ``batched_*`` count :meth:`time_batch` invocations and the
+        #: array elements they resolved (those never touch the choose
+        #: memo, so they are deliberately outside the hit/miss pair).
+        self.stats: Dict[str, int] = {
+            "memo_hits": 0,
+            "memo_misses": 0,
+            "batched_calls": 0,
+            "batched_elements": 0,
+        }
         #: Per-``collective:algorithm`` selection tally across every
         #: resolved call (memoized or not) — the selection histogram.
         self.selections: Dict[str, int] = {}
@@ -360,6 +397,282 @@ class CommModel:
         if best is None:  # pragma: no cover - registry always has ring
             raise RuntimeError(f"no eligible algorithm for {collective!r}")
         return best
+
+    # --------------------------------------------------------- batch selection
+    def time_batch(
+        self,
+        collective: str,
+        p: Any,
+        nbytes: Any,
+        *,
+        params: Union[None, HockneyParams, Tuple[Any, Any]] = None,
+        scope: str = "auto",
+        transport: str = "nccl",
+    ) -> BatchChoice:
+        """Vectorized :meth:`choose` over arrays of ``(p, nbytes)``.
+
+        ``p`` and ``nbytes`` broadcast against each other (the layer-wise
+        legs pass ``(n, 1)`` communicator sizes against ``(n, sizes)``
+        message matrices).  ``params`` is ``None`` (resolve Hockney
+        parameters per unique ``p`` from ``(scope, transport)``, exactly
+        like scalar resolution), a single :class:`HockneyParams`
+        broadcast over the batch, or an ``(alpha, beta)`` array pair.
+
+        Results are elementwise identical to calling :meth:`choose` per
+        element: cost formulas come from
+        :data:`~repro.collectives.registry.ARRAY_FORMULAS` (written
+        operator-for-operator like the scalar ones), log2 round counts
+        are precomputed per unique ``p`` with ``math.log2``, and free
+        calls (``p <= 1`` or ``nbytes <= 0``) are masked to zero.
+        Configurations the array path cannot express — a forced
+        hierarchical/third-party algorithm, or an ``auto`` policy facing
+        a registered algorithm without an array twin — degrade to an
+        elementwise scalar loop, never to different answers.
+
+        Batch calls bypass the choose memo; they tally into
+        :attr:`selections` and the ``batched_calls`` /
+        ``batched_elements`` stats instead of the memo hit/miss pair.
+        Raises :class:`RuntimeError` when numpy is unavailable — callers
+        gate on :func:`repro.npcompat.have_numpy`.
+        """
+        np = npcompat.np
+        if np is None:
+            raise RuntimeError(
+                "CommModel.time_batch requires numpy; use choose()"
+            )
+        if collective not in COLLECTIVES:
+            raise ValueError(
+                f"unknown collective {collective!r}; expected one of "
+                f"{COLLECTIVES}"
+            )
+        if scope not in SCOPE_CHOICES:
+            raise ValueError(
+                f"unknown scope {scope!r}; expected one of {SCOPE_CHOICES}"
+            )
+        if self._token() != self._memo_token:
+            self.clear_memo()
+        p_arr = np.asarray(p, dtype=np.int64)
+        m = np.asarray(nbytes, dtype=np.float64)
+        shape = np.broadcast_shapes(p_arr.shape, m.shape)
+        free = np.broadcast_to((p_arr <= 1) | (m <= 0.0), shape)
+        default = PAPER_DEFAULTS[collective]
+        forced = self.algo.get(collective)
+
+        uvals, inv = np.unique(p_arr, return_inverse=True)
+        inv = inv.reshape(p_arr.shape)
+        upy = [int(v) for v in uvals]
+        # Unique p values whose every element is masked free never reach
+        # a cost formula — the scalar path would not resolve their
+        # Hockney parameters either (resolution can raise, e.g. the
+        # inter-node scope on a single-node cluster).
+        nonfree_u = (
+            np.bincount(
+                np.broadcast_to(inv, shape)[~free].ravel(),
+                minlength=len(upy),
+            )
+            > 0
+        )
+
+        # Round counts per unique p via math.log2/math.ceil: numpy.log2
+        # can land on the wrong side of an integer at powers of two,
+        # which would flip a whole binomial round vs. the scalar path.
+        l2_u = [math.log2(v) if v >= 2 else 0.0 for v in upy]
+        l2 = np.asarray(l2_u, dtype=np.float64)[inv]
+        cl2 = np.asarray(
+            [float(math.ceil(x)) for x in l2_u], dtype=np.float64
+        )[inv]
+
+        if params is None:
+            ab = [
+                self.scope_params(v, scope, transport)
+                if v >= 2 and need
+                else None
+                for v, need in zip(upy, nonfree_u.tolist())
+            ]
+            alpha = np.asarray(
+                [x.alpha if x is not None else 0.0 for x in ab]
+            )[inv]
+            beta = np.asarray(
+                [x.beta if x is not None else 0.0 for x in ab]
+            )[inv]
+        elif isinstance(params, HockneyParams):
+            alpha, beta = params.alpha, params.beta
+        else:
+            alpha, beta = params
+
+        pf = p_arr.astype(np.float64)
+        resolved = self._resolve_batch(
+            np, collective, forced, default, pf, m, alpha, beta, l2, cl2,
+            inv, upy, scope, shape,
+        )
+        if resolved is None:
+            return self._time_batch_scalar(
+                np, collective, p_arr, m, params, alpha, beta, scope,
+                transport, shape,
+            )
+        seconds, algorithms, index = resolved
+        seconds = np.where(free, 0.0, seconds)
+        # Free elements carry the forced-or-default label, matching the
+        # early-out in scalar choose.
+        free_name = forced if forced is not None else default
+        if free.any() and (index is not None or algorithms[0] != free_name):
+            if free_name not in algorithms:
+                algorithms = algorithms + (free_name,)
+            fi = algorithms.index(free_name)
+            if index is None:
+                index = np.zeros(shape, dtype=np.int64)
+            else:
+                index = np.broadcast_to(index, shape).copy()
+            index[free] = fi
+        elif index is not None:
+            index = np.broadcast_to(index, shape)
+        self._tally_batch(np, collective, algorithms, index, shape)
+        return BatchChoice(collective, seconds, algorithms, index)
+
+    def _resolve_batch(
+        self, np, collective, forced, default, pf, m, alpha, beta, l2,
+        cl2, inv, upy, scope, shape,
+    ):
+        """Array-path policy dispatch; ``None`` demands the scalar loop."""
+        if forced is not None:
+            fa = _registry.array_formula(collective, forced)
+            if fa is None:
+                # Forced hierarchical / third-party algorithm: eligibility
+                # (and the per-element degrade to the policy pick) is
+                # scalar logic.
+                return None
+            return fa(pf, m, alpha, beta, l2, cl2), (forced,), None
+        if self.policy == "paper" or (
+            self.policy == "nccl-like" and collective != "allreduce"
+        ):
+            fa = _registry.array_formula(collective, default)
+            if fa is None:
+                return None
+            return fa(pf, m, alpha, beta, l2, cl2), (default,), None
+        if self.policy == "nccl-like":
+            fring = _registry.array_formula("allreduce", "ring")
+            ftree = _registry.array_formula("allreduce", "tree")
+            if fring is None or ftree is None:
+                return None
+            tr = fring(pf, m, alpha, beta, l2, cl2)
+            tt = ftree(pf, m, alpha, beta, l2, cl2)
+            use_tree = (m < self.tree_threshold) & (tt <= tr)
+            seconds = np.where(use_tree, tt, tr)
+            index = np.broadcast_to(use_tree, shape).astype(np.int64)
+            return seconds, ("ring", "tree"), index
+        # auto: stack every registered algorithm's cost and take the
+        # first minimum — rows are name-sorted, so argmin's first-hit
+        # reproduces the scalar "equal cost keeps the smaller name"
+        # tie-break.
+        rows: List[Any] = []
+        names: List[str] = []
+        for algo in _registry.algorithms_for(collective):
+            fa = _registry.array_formula(collective, algo.name)
+            if fa is not None:
+                rows.append(
+                    np.broadcast_to(fa(pf, m, alpha, beta, l2, cl2), shape)
+                )
+            elif type(algo) is HierarchicalAllreduce:
+                rows.append(
+                    self._hierarchical_batch(np, m, inv, upy, scope, shape)
+                )
+            else:
+                return None
+            names.append(algo.name)
+        stack = np.stack(rows)
+        index = np.argmin(stack, axis=0)
+        return stack.min(axis=0), tuple(names), index
+
+    def _hierarchical_batch(self, np, m, inv, upy, scope, shape):
+        """Per-element hierarchical-Allreduce cost; ``+inf`` where the
+        communicator does not span whole nodes (never selected)."""
+        elig = []
+        cols = {k: [] for k in ("ai", "bi", "ae", "be", "ll", "cn")}
+        for v in upy:
+            hint = self.topology_hint(v) if scope == "auto" else None
+            ok = (
+                hint is not None
+                and hint.gpus_per_node > 1
+                and v > hint.gpus_per_node
+                and v % hint.gpus_per_node == 0
+            )
+            elig.append(ok)
+            if ok:
+                cols["ai"].append(hint.intra.alpha)
+                cols["bi"].append(hint.intra.beta)
+                cols["ae"].append(hint.inter.alpha)
+                cols["be"].append(hint.inter.beta)
+                cols["ll"].append(float(v // hint.gpus_per_node))
+                cols["cn"].append(
+                    float(math.ceil(math.log2(hint.gpus_per_node)))
+                )
+            else:
+                for k, fill in (
+                    ("ai", 0.0), ("bi", 0.0), ("ae", 0.0),
+                    ("be", 0.0), ("ll", 1.0), ("cn", 0.0),
+                ):
+                    cols[k].append(fill)
+        a = {
+            k: np.asarray(vals, dtype=np.float64)[inv]
+            for k, vals in cols.items()
+        }
+        # Binomial reduce to the leader, leader ring, binomial broadcast
+        # back — term-for-term the HierarchicalAllreduce.cost sum.
+        tree_leg = a["cn"] * (a["ai"] + m * a["bi"])
+        steps = 2.0 * (a["ll"] - 1.0)
+        ring_leg = steps * a["ae"] + steps * (m / a["ll"]) * a["be"]
+        cost = (tree_leg + ring_leg) + tree_leg
+        return np.broadcast_to(
+            np.where(np.asarray(elig)[inv], cost, np.inf), shape
+        )
+
+    def _time_batch_scalar(
+        self, np, collective, p_arr, m, params, alpha, beta, scope,
+        transport, shape,
+    ):
+        """Elementwise fallback through :meth:`choose` for configurations
+        without an array formula — identical answers, scalar speed."""
+        pb = np.broadcast_to(p_arr, shape).ravel().tolist()
+        mb = np.broadcast_to(m, shape).ravel().tolist()
+        if params is None or isinstance(params, HockneyParams):
+            prm = [params] * len(pb)
+        else:
+            ab = np.broadcast_to(alpha, shape).ravel().tolist()
+            bb = np.broadcast_to(beta, shape).ravel().tolist()
+            prm = [HockneyParams(x, y) for x, y in zip(ab, bb)]
+        names: Dict[str, int] = {}
+        sec = []
+        idx = []
+        for pi, mi, pr in zip(pb, mb, prm):
+            ch = self.choose(
+                collective, pi, mi, params=pr, scope=scope,
+                transport=transport,
+            )
+            sec.append(ch.seconds)
+            idx.append(names.setdefault(ch.algorithm, len(names)))
+        seconds = np.asarray(sec, dtype=np.float64).reshape(shape)
+        algorithms = tuple(names)
+        if len(algorithms) == 1:
+            return BatchChoice(collective, seconds, algorithms, None)
+        index = np.asarray(idx, dtype=np.int64).reshape(shape)
+        return BatchChoice(collective, seconds, algorithms, index)
+
+    def _tally_batch(self, np, collective, algorithms, index, shape):
+        total = 1
+        for d in shape:
+            total *= d
+        self.stats["batched_calls"] += 1
+        self.stats["batched_elements"] += total
+        sel = self.selections
+        if index is None:
+            label = f"{collective}:{algorithms[0]}"
+            sel[label] = sel.get(label, 0) + total
+            return
+        counts = np.bincount(index.ravel(), minlength=len(algorithms))
+        for name, cnt in zip(algorithms, counts.tolist()):
+            if cnt:
+                label = f"{collective}:{name}"
+                sel[label] = sel.get(label, 0) + cnt
 
     # ----------------------------------------------------------- conveniences
     def time(

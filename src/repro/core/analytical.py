@@ -40,11 +40,18 @@ projections by ``tests/test_comm_golden.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..collectives.selector import CommChoice, CommModel, as_comm_model
+from .. import npcompat
+from ..collectives.selector import (
+    BatchChoice,
+    CommChoice,
+    CommModel,
+    as_comm_model,
+)
 from ..network.hockney import HockneyParams
 from ..network.topology import ClusterSpec
+from .caching import cached_property
 from .contention import data_filter_phi
 from .graph import ModelGraph
 from .kernel import ModelKernel
@@ -61,6 +68,7 @@ from .strategies import (
     ShardedDataParallel,
     SpatialParallel,
     Strategy,
+    StrategyError,
 )
 from .tensors import halo_elements
 
@@ -99,38 +107,68 @@ class PhaseBreakdown:
     comm_halo: float = 0.0
     comm_p2p: float = 0.0
 
-    @property
+    @cached_property
     def computation(self) -> float:
         return self.comp_fw + self.comp_bw + self.comp_wu
 
-    @property
+    @cached_property
     def communication(self) -> float:
         return self.comm_ge + self.comm_fb + self.comm_halo + self.comm_p2p
 
-    @property
+    @cached_property
     def total(self) -> float:
         return self.computation + self.communication
 
+    @staticmethod
+    def _build(
+        fw: float = 0.0,
+        bw: float = 0.0,
+        wu: float = 0.0,
+        ge: float = 0.0,
+        fb: float = 0.0,
+        halo: float = 0.0,
+        p2p: float = 0.0,
+        totals: Optional[Tuple[float, float, float]] = None,
+    ) -> "PhaseBreakdown":
+        """Field-for-field equivalent of ``PhaseBreakdown(comp_fw=fw,
+        ...)`` that writes the instance dict directly — the frozen
+        ``__init__`` pays one guarded ``object.__setattr__`` per field,
+        which adds up when the batch path assembles thousands of rows.
+
+        ``totals`` optionally pre-seeds the ``(computation,
+        communication, total)`` memos; callers must produce the values
+        with the same operand order the lazy properties use so seeded
+        and recomputed totals are bit-identical.
+        """
+        obj = object.__new__(PhaseBreakdown)
+        d = obj.__dict__
+        d.update(
+            comp_fw=fw, comp_bw=bw, comp_wu=wu, comm_ge=ge,
+            comm_fb=fb, comm_halo=halo, comm_p2p=p2p)
+        if totals is not None:
+            d["computation"], d["communication"], d["total"] = totals
+        return obj
+
     def scaled(self, factor: float) -> "PhaseBreakdown":
-        return PhaseBreakdown(
-            comp_fw=self.comp_fw * factor,
-            comp_bw=self.comp_bw * factor,
-            comp_wu=self.comp_wu * factor,
-            comm_ge=self.comm_ge * factor,
-            comm_fb=self.comm_fb * factor,
-            comm_halo=self.comm_halo * factor,
-            comm_p2p=self.comm_p2p * factor,
+        return PhaseBreakdown._build(
+            self.comp_fw * factor,
+            self.comp_bw * factor,
+            self.comp_wu * factor,
+            self.comm_ge * factor,
+            self.comm_fb * factor,
+            self.comm_halo * factor,
+            self.comm_p2p * factor,
         )
 
     def __add__(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
-        return PhaseBreakdown(
-            comp_fw=self.comp_fw + other.comp_fw,
-            comp_bw=self.comp_bw + other.comp_bw,
-            comp_wu=self.comp_wu + other.comp_wu,
-            comm_ge=self.comm_ge + other.comm_ge,
-            comm_fb=self.comm_fb + other.comm_fb,
-            comm_halo=self.comm_halo + other.comm_halo,
-            comm_p2p=self.comm_p2p + other.comm_p2p,
+        return PhaseBreakdown._build(
+            self.comp_fw + other.comp_fw,
+            self.comp_bw + other.comp_bw,
+            self.comp_wu + other.comp_wu,
+            self.comm_ge + other.comm_ge,
+            self.comm_fb + other.comm_fb,
+            self.comm_halo + other.comm_halo,
+            self.comm_p2p + other.comm_p2p,
         )
 
     def asdict(self) -> Dict[str, float]:
@@ -168,6 +206,12 @@ class _AlgoLog:
         )
 
 
+class _ScalarFallback(Exception):
+    """Internal: a batch handler met a configuration it does not
+    vectorize (e.g. checkpointed pipelines); the caller re-projects the
+    whole group through the scalar path."""
+
+
 @dataclass(frozen=True)
 class Projection:
     """One oracle projection: per-epoch times + per-PE memory."""
@@ -192,12 +236,12 @@ class Projection:
     def p(self) -> int:
         return self.strategy.p
 
-    @property
+    @cached_property
     def iterations(self) -> int:
         """``I = D / B`` iterations per epoch."""
         return max(1, self.dataset_size // self.batch)
 
-    @property
+    @cached_property
     def per_iteration(self) -> PhaseBreakdown:
         return self.per_epoch.scaled(1.0 / self.iterations)
 
@@ -274,6 +318,11 @@ class AnalyticalModel:
         self.comm: CommModel = as_comm_model(comm, cluster)
         self._kernel: Optional[ModelKernel] = None
         self._comm_overrides: Dict[Tuple, CommModel] = {}
+        # (strategy, batch) -> True | (exc_type, message).  Feasibility
+        # checks are pure in (model, strategy, batch) and the search
+        # re-asks them per comm policy, so both projection paths share
+        # this memo.  Bounded below; unhashable strategies skip it.
+        self._check_memo: Dict[Tuple, object] = {}
 
     @property
     def kernel(self) -> ModelKernel:
@@ -317,6 +366,29 @@ class AnalyticalModel:
             self._comm_overrides[key] = cached
         return cached
 
+    def _checked(self, strategy: Strategy, batch: int) -> Optional[Exception]:
+        """Memoized ``strategy.check``: ``None`` when feasible, else the
+        (reconstructed) :class:`StrategyError`/`ValueError` it raised."""
+        key = (strategy, batch)
+        try:
+            hit = self._check_memo.get(key)
+        except TypeError:  # unhashable strategy: check directly
+            hit = None
+            key = None
+        if hit is not None:
+            return None if hit is True else hit[0](hit[1])
+        try:
+            strategy.check(self.model, batch)
+        except (StrategyError, ValueError) as exc:
+            if key is not None:
+                self._check_memo[key] = (type(exc), str(exc))
+            return exc
+        if key is not None:
+            if len(self._check_memo) >= 65536:
+                self._check_memo.clear()
+            self._check_memo[key] = True
+        return None
+
     # ------------------------------------------------------------------ api
     #: Evaluation paths: ``fast`` (the default) projects from the
     #: compiled kernel; ``reference`` runs the original per-layer walks.
@@ -349,7 +421,9 @@ class AnalyticalModel:
                 f"unknown projection path {path!r}; expected one of "
                 f"{self.PATHS}"
             )
-        strategy.check(self.model, batch)
+        err = self._checked(strategy, batch)
+        if err is not None:
+            raise err
         if path == "fast":
             handler = {
                 "serial": self._fast_serial,
@@ -1136,3 +1210,672 @@ class AnalyticalModel:
         memory = self._fast_spatial_memory(strategy.grid, group_batch)
         notes = [] if L == 1 else [f"multi-leader allreduce: L={L}"]
         return per_epoch, memory, notes
+
+    # ------------------------------------------------------------ batch path
+    # Structure-of-arrays re-statements of the fast handlers above: one
+    # strategy family per sub-batch, candidate columns (p, p1, p2, B) as
+    # float64 vectors, collective costs via CommModel.time_batch.  Array
+    # expressions are written operator-for-operator like the fast
+    # handlers, so elementwise terms are bit-identical; only the
+    # layer-wise reductions (numpy pairwise sums vs. sequential Python
+    # sums) reassociate, keeping batch == fast == reference within
+    # rel <= 1e-9 (pinned by tests/test_vectorized_equivalence.py).
+
+    def project_batch(
+        self,
+        strategies: Sequence[Strategy],
+        batches: Sequence[int],
+        dataset_size: int,
+        *,
+        comms: Optional[Sequence[object]] = None,
+    ) -> List[Union[Projection, Exception]]:
+        """Project many ``(strategy, batch)`` candidates at once.
+
+        Returns one entry per input, aligned: a :class:`Projection`, or
+        the :class:`StrategyError`/:class:`ValueError` that candidate
+        would have raised under :meth:`project` (other exception types
+        propagate).  ``comms`` optionally carries a per-candidate comm
+        override (``None`` / policy string / ``CommModel``), like
+        :meth:`project`'s ``comm``.
+
+        Candidates are grouped by (strategy family, resolved comm model)
+        and each group is evaluated as array expressions over the
+        compiled kernel.  Without numpy — or for the rare configuration
+        a batch handler does not vectorize — candidates fall back to the
+        scalar fast path with identical results.
+        """
+        n = len(strategies)
+        if len(batches) != n:
+            raise ValueError("strategies and batches must align")
+        if comms is None:
+            comms = [None] * n
+        elif len(comms) != n:
+            raise ValueError("comms must align with strategies")
+        results: List[Union[Projection, Exception]] = [None] * n  # type: ignore[list-item]
+        np = npcompat.np
+        if np is None:
+            for i in range(n):
+                try:
+                    results[i] = self.project(
+                        strategies[i], batches[i], dataset_size,
+                        comm=comms[i])
+                except (StrategyError, ValueError) as exc:
+                    results[i] = exc
+            return results
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        models: Dict[Tuple[str, int], CommModel] = {}
+        alive: List[CommModel] = []  # pin ids used as group keys
+        for i in range(n):
+            b = batches[i]
+            if b < 1 or dataset_size < b:
+                results[i] = ValueError("need dataset_size >= batch >= 1")
+                continue
+            err = self._checked(strategies[i], b)
+            if err is not None:
+                results[i] = err
+                continue
+            cm = self._resolve_comm(comms[i])
+            alive.append(cm)
+            key = (strategies[i].id, id(cm))
+            models[key] = cm
+            groups.setdefault(key, []).append(i)
+        # Loop-invariant Projection fields, applied via object.__new__ +
+        # __dict__.update below: field-for-field identical to calling
+        # Projection(...), minus the frozen __init__'s per-field guarded
+        # setattr — measurable over thousands of assembled rows.
+        proto = {
+            "model_name": self.model.name,
+            "dataset_size": dataset_size,
+            "memory_capacity": self.cluster.gpu_memory_bytes,
+            "gamma": self.gamma,
+            "delta": self.delta,
+        }
+        for key, idxs in groups.items():
+            handler = self._BATCH_HANDLERS.get(key[0])
+            cm = models[key]
+            sub = [strategies[i] for i in idxs]
+            bat = [batches[i] for i in idxs]
+            rows = None
+            if handler is not None:
+                try:
+                    rows = handler(self, np, sub, bat, dataset_size, cm)
+                except (_ScalarFallback, StrategyError, ValueError):
+                    # Unvectorizable configuration, or a resolution error
+                    # the scalar path raises per candidate: re-project
+                    # the group one by one (identical answers).
+                    rows = None
+            if rows is None:
+                for i in idxs:
+                    try:
+                        results[i] = self.project(
+                            strategies[i], batches[i], dataset_size,
+                            comm=comms[i])
+                    except (StrategyError, ValueError) as exc:
+                        results[i] = exc
+                continue
+            policy = cm.policy
+            for i, row in zip(idxs, rows):
+                if isinstance(row, Exception):
+                    results[i] = row
+                    continue
+                per_epoch, memory, notes, algos = row
+                proj = object.__new__(Projection)
+                proj.__dict__.update(
+                    proto,
+                    strategy=strategies[i],
+                    batch=batches[i],
+                    per_epoch=per_epoch,
+                    memory_bytes=memory,
+                    notes=notes,
+                    comm_policy=policy,
+                    comm_algorithms=algos,
+                )
+                results[i] = proj
+        return results
+
+    # ------------------------------------------------------- batch helpers
+    def _batch_base(self, np, strats, batches):
+        n = len(strats)
+        p_int = np.fromiter((s.p for s in strats), dtype=np.int64, count=n)
+        B = np.asarray(batches, dtype=np.int64)
+        return n, p_int, B
+
+    def _per_unique(self, np, keys_int, fn):
+        """``fn(int)`` once per unique value of ``keys_int``, mapped back
+        per element as two float64 (alpha, beta) columns."""
+        uvals, inv = np.unique(keys_int, return_inverse=True)
+        inv = inv.reshape(keys_int.shape)
+        res = [fn(int(v)) for v in uvals]
+        a = np.asarray([x.alpha for x in res], dtype=np.float64)[inv]
+        b = np.asarray([x.beta for x in res], dtype=np.float64)[inv]
+        return a, b
+
+    def _choice_labels(self, np, bc: BatchChoice, n):
+        """Per-item ``collective:algorithm`` labels + seconds for a
+        ``(n,)``-shaped :class:`BatchChoice`."""
+        lbls = bc.labels()
+        secs = np.broadcast_to(bc.seconds, (n,)).tolist()
+        if bc.index is None:
+            lab = [lbls[0]] * n
+        else:
+            lab = [
+                lbls[j]
+                for j in np.broadcast_to(bc.index, (n,)).tolist()
+            ]
+        return lab, secs
+
+    @staticmethod
+    def _ge_algos(parts):
+        """Assemble one ``("ge", "a+b")`` log entry from ``(label,
+        seconds)`` pairs in add order, mirroring _AlgoLog (zero-cost
+        choices skipped, labels deduplicated, ordered)."""
+        seen: List[str] = []
+        for lbl, sec in parts:
+            if sec > 0.0 and lbl not in seen:
+                seen.append(lbl)
+        return (("ge", "+".join(seen)),) if seen else ()
+
+    def _batch_layerwise(
+        self, np, group_p_int, msg_div, B, comm, params=None, scope="auto"
+    ):
+        """`_fast_layerwise` as a ``(candidates, distinct sizes)`` matrix:
+        per-iteration totals plus the Allgather/Allreduce BatchChoices
+        (for log assembly).  ``msg_div`` is a float64 column; ``params``
+        is ``None`` or ``(alpha, beta)`` columns shaped ``(n, 1)``."""
+        ka = self.kernel.arrays()
+        y = ka.layerwise_y
+        counts = ka.layerwise_count
+        gp_col = group_p_int[:, None]
+        seg = B[:, None] * y[None, :] * self.delta / msg_div[:, None]
+        ag = comm.time_batch(
+            "allgather", gp_col, seg, params=params, scope=scope)
+        ar = comm.time_batch(
+            "allreduce", gp_col, seg * group_p_int.astype(np.float64)[:, None],
+            params=params, scope=scope)
+        per_size = ag.seconds + ar.seconds
+        total = (counts[None, :] * per_size).sum(axis=1)
+        return total, ag, ar
+
+    def _layerwise_log(self, np, ag: BatchChoice, ar: BatchChoice, n):
+        """Per-item "fb" label strings (or ``None``) for the layer-wise
+        leg, in `_fast_layerwise`'s interleaved add order."""
+        ag_l, ar_l = ag.labels(), ar.labels()
+        pos_ag = ag.seconds > 0.0
+        pos_ar = ar.seconds > 0.0
+        if ag.index is None and ar.index is None:
+            row_ag = pos_ag.any(axis=1)
+            row_ar = pos_ar.any(axis=1)
+            if bool((pos_ag.all(axis=1) == row_ag).all()) and bool(
+                (pos_ar.all(axis=1) == row_ar).all()
+            ):
+                # Uniform rows (the common case: every size positive for
+                # p > 1, every size zero for p <= 1).
+                out = []
+                for a_on, r_on in zip(row_ag.tolist(), row_ar.tolist()):
+                    parts = [ag_l[0]] if a_on else []
+                    if r_on and ar_l[0] not in parts:
+                        parts.append(ar_l[0])
+                    out.append("+".join(parts) if parts else None)
+                return out
+        ia = None if ag.index is None else ag.index.tolist()
+        ir = None if ar.index is None else ar.index.tolist()
+        pa = pos_ag.tolist()
+        pr = pos_ar.tolist()
+        out = []
+        for i in range(n):
+            parts: List[str] = []
+            for j in range(len(pa[i])):
+                if pa[i][j]:
+                    lbl = ag_l[0] if ia is None else ag_l[ia[i][j]]
+                    if lbl not in parts:
+                        parts.append(lbl)
+                if pr[i][j]:
+                    lbl = ar_l[0] if ir is None else ar_l[ir[i][j]]
+                    if lbl not in parts:
+                        parts.append(lbl)
+            out.append("+".join(parts) if parts else None)
+        return out
+
+    # ------------------------------------------------------ batch handlers
+    def _batch_serial(self, np, strats, batches, D, comm):
+        n, _, B = self._batch_base(np, strats, batches)
+        I = D // B
+        k = self.kernel
+        fw = (D / 1.0 * k.fw_total) + np.zeros(n)
+        bw = (D / 1.0 * k.bw_total) + np.zeros(n)
+        wu = I / 1.0 * k.wu_total
+        mem = self.gamma * self.delta * (
+            2.0 * B * k.io_elements
+            + 2.0 * k.weight_elements
+            + k.bias_elements
+        )
+        cp = fw + bw + wu
+        return [
+            (
+                PhaseBreakdown._build(f, b, w, totals=(c, 0.0, c)),
+                m, (), (),
+            )
+            for f, b, w, m, c in zip(
+                fw.tolist(), bw.tolist(), wu.tolist(), mem.tolist(),
+                cp.tolist())
+        ]
+
+    def _batch_data(self, np, strats, batches, D, comm):
+        n, p_int, B = self._batch_base(np, strats, batches)
+        p = p_int.astype(np.float64)
+        I = D // B
+        k = self.kernel
+        fw = D / p * k.fw_total
+        bw = D / p * k.bw_total
+        wu = I / 1.0 * k.wu_total
+        bc = comm.time_batch("allreduce", p_int, float(self._weights_bytes()))
+        ge = I * bc.seconds
+        mem = self.gamma * self.delta * (
+            2.0 * (B / p) * k.io_elements
+            + 2.0 * k.weight_elements
+            + k.bias_elements
+        )
+        labs, secs = self._choice_labels(np, bc, n)
+        cp = fw + bw + wu
+        tt = cp + ge
+        return [
+            (
+                PhaseBreakdown._build(f, b, w, g, totals=(c, g, t)),
+                m, (), self._ge_algos([(labs[i], secs[i])]),
+            )
+            for i, (f, b, w, g, m, c, t) in enumerate(zip(
+                fw.tolist(), bw.tolist(), wu.tolist(), ge.tolist(),
+                mem.tolist(), cp.tolist(), tt.tolist()))
+        ]
+
+    def _batch_sharded_data(self, np, strats, batches, D, comm):
+        n, p_int, B = self._batch_base(np, strats, batches)
+        p = p_int.astype(np.float64)
+        I = D // B
+        k = self.kernel
+        fw = D / p * k.fw_total
+        bw = D / p * k.bw_total
+        wu = I / p * k.wu_total
+        wbytes = self._weights_bytes()
+        rs = comm.time_batch("reduce_scatter", p_int, float(wbytes))
+        ag = comm.time_batch("allgather", p_int, wbytes / p)
+        ge = I * (rs.seconds + 2 * ag.seconds)
+        mem = self.gamma * self.delta * (
+            2.0 * (B / p) * k.io_elements + k.weight2_plus_bias / p
+        )
+        rs_lab, rs_sec = self._choice_labels(np, rs, n)
+        ag_lab, ag_sec = self._choice_labels(np, ag, n)
+        notes = ("weights/optimizer state sharded 1/p",)
+        cp = fw + bw + wu
+        tt = cp + ge
+        return [
+            (
+                PhaseBreakdown._build(f, b, w, g, totals=(c, g, t)),
+                m, notes,
+                self._ge_algos(
+                    [(rs_lab[i], rs_sec[i]), (ag_lab[i], ag_sec[i])]),
+            )
+            for i, (f, b, w, g, m, c, t) in enumerate(zip(
+                fw.tolist(), bw.tolist(), wu.tolist(), ge.tolist(),
+                mem.tolist(), cp.tolist(), tt.tolist()))
+        ]
+
+    def _batch_spatial(self, np, strats, batches, D, comm):
+        n, p_int, B = self._batch_base(np, strats, batches)
+        p = p_int.astype(np.float64)
+        I = D // B
+        k = self.kernel
+        tables = self._spatial_tables(strats)
+        ok = [not isinstance(t, Exception) for t in tables]
+        fw = D / p * k.fw_total
+        bw = D / p * k.bw_total
+        wu = I / 1.0 * k.wu_total
+        bc = comm.time_batch("allreduce", p_int, float(self._weights_bytes()))
+        ge = I * bc.seconds
+        ha, hb = self._per_unique(
+            np, p_int,
+            lambda v: self.cluster.hockney(v, transport=self.halo_transport),
+        )
+        pairs = np.asarray(
+            [float(t.halo_pairs) if o else 0.0 for t, o in zip(tables, ok)])
+        helems = np.asarray(
+            [float(t.halo_elements) if o else 0.0
+             for t, o in zip(tables, ok)])
+        halo_iter = 4.0 * ha * pairs + 2.0 * B * helems * self.delta * hb
+        halo = np.where(pairs == 0.0, 0.0, I * halo_iter)
+        gridp = np.asarray(
+            [float(_grid_product(s.grid)) for s in strats])
+        split = np.asarray(
+            [float(t.split_io) if o else 0.0 for t, o in zip(tables, ok)])
+        rest = np.asarray(
+            [float(t.rest_io) if o else 0.0 for t, o in zip(tables, ok)])
+        mem = self.gamma * self.delta * (
+            2.0 * B * (split / gridp + rest)
+            + 2.0 * k.weight_elements + k.bias_elements
+        )
+        labs, secs = self._choice_labels(np, bc, n)
+        notes = (f"halo over {self.halo_transport} transport",)
+        cp = fw + bw + wu
+        cc = ge + halo
+        tt = cp + cc
+        rows = []
+        for i, (f, b, w, g, h, m, c, v, t) in enumerate(zip(
+                fw.tolist(), bw.tolist(), wu.tolist(), ge.tolist(),
+                halo.tolist(), mem.tolist(), cp.tolist(), cc.tolist(),
+                tt.tolist())):
+            if not ok[i]:
+                rows.append(tables[i])
+                continue
+            rows.append((
+                PhaseBreakdown._build(f, b, w, g, halo=h, totals=(c, v, t)),
+                m, notes, self._ge_algos([(labs[i], secs[i])]),
+            ))
+        return rows
+
+    def _spatial_tables(self, strats):
+        """Per-item kernel spatial tables; a bad grid maps to the
+        ValueError the scalar path raises for it."""
+        memo: Dict[Tuple[int, ...], object] = {}
+        out = []
+        for s in strats:
+            grid = tuple(s.grid)
+            entry = memo.get(grid)
+            if entry is None:
+                try:
+                    entry = self.kernel.spatial(grid)
+                except ValueError as exc:
+                    entry = exc
+                memo[grid] = entry
+            out.append(entry)
+        return out
+
+    def _batch_pipeline(self, np, strats, batches, D, comm):
+        if any(getattr(s, "checkpoint", False) for s in strats):
+            raise _ScalarFallback  # rare; the scalar memory max differs
+        n = len(strats)
+        p_int = np.fromiter(
+            (s.stages for s in strats), dtype=np.int64, count=n)
+        S_int = np.fromiter(
+            (s.segments for s in strats), dtype=np.int64, count=n)
+        B = np.asarray(batches, dtype=np.int64)
+        I = D // B
+        tmemo: Dict[int, object] = {}
+        tables = []
+        for s in strats:
+            entry = tmemo.get(s.stages)
+            if entry is None:
+                try:
+                    entry = self.kernel.pipeline(s.stages)
+                except ValueError as exc:
+                    entry = exc
+                tmemo[s.stages] = entry
+            tables.append(entry)
+        ok = [not isinstance(t, Exception) for t in tables]
+        bubble = (p_int + S_int - 1) / S_int
+        max_fw = np.asarray(
+            [t.max_fw if o else 0.0 for t, o in zip(tables, ok)])
+        max_bw = np.asarray(
+            [t.max_bw if o else 0.0 for t, o in zip(tables, ok)])
+        max_wu = np.asarray(
+            [t.max_wu if o else 0.0 for t, o in zip(tables, ok)])
+        fw = D * bubble * max_fw
+        bw = D * bubble * max_bw
+        wu = I * max_wu
+        pa, pb = self._per_unique(
+            np, p_int, lambda v: self.cluster.hockney(v))
+        boundary = np.asarray(
+            [float(t.max_boundary) if o else 0.0
+             for t, o in zip(tables, ok)])
+        per_stage = pa + (B / S_int * boundary * self.delta) * pb
+        active = (p_int > 1) & np.asarray(
+            [o and len(t.sizes) > 1 for t, o in zip(tables, ok)])
+        p2p = np.where(
+            active, 2 * D * (p_int + S_int - 2) / B * per_stage, 0.0)
+        gd = self.gamma * self.delta
+        mem = np.zeros(n)
+        by_table: Dict[int, List[int]] = {}
+        for i, s in enumerate(strats):
+            if ok[i]:
+                by_table.setdefault(s.stages, []).append(i)
+        for stages, sel in by_table.items():
+            t = tmemo[stages]
+            io2 = np.asarray([g[0] for g in t.mem_groups], dtype=np.float64)
+            wb = np.asarray([g[1] for g in t.mem_groups], dtype=np.float64)
+            bsel = B[sel].astype(np.float64)
+            mem[sel] = (gd * (bsel[:, None] * io2[None, :] + wb[None, :])
+                        ).max(axis=1)
+        cp = fw + bw + wu
+        tt = cp + p2p
+        rows = []
+        for i, (f, b, w, c, m, o, t) in enumerate(zip(
+                fw.tolist(), bw.tolist(), wu.tolist(), p2p.tolist(),
+                mem.tolist(), cp.tolist(), tt.tolist())):
+            if not ok[i]:
+                rows.append(tables[i])
+                continue
+            rows.append((
+                PhaseBreakdown._build(f, b, w, p2p=c, totals=(o, c, t)),
+                m,
+                (f"stages balanced by FLOPs: {list(tables[i].sizes)}",),
+                (),
+            ))
+        return rows
+
+    def _batch_layerwise_family(self, np, strats, batches, D, comm):
+        """Shared f/c handler (identical totals, reversed patterns)."""
+        n, p_int, B = self._batch_base(np, strats, batches)
+        p = p_int.astype(np.float64)
+        I = D // B
+        k = self.kernel
+        fw = D / p * k.fw_total
+        bw = D / p * k.bw_total
+        wu = I / p * k.wu_total
+        fbtot, ag, ar = self._batch_layerwise(np, p_int, p, B, comm)
+        fb = I * fbtot
+        mem = self.gamma * self.delta * (
+            2.0 * B * k.io_elements
+            + 2.0 * k.weight_elements / p
+            + k.bias_elements
+        )
+        fb_lab = self._layerwise_log(np, ag, ar, n)
+        cp = fw + bw + wu
+        tt = cp + fb
+        return [
+            (
+                PhaseBreakdown._build(f, b, w, fb=c, totals=(o, c, t)),
+                m, (),
+                (("fb", fb_lab[i]),) if fb_lab[i] else (),
+            )
+            for i, (f, b, w, c, m, o, t) in enumerate(zip(
+                fw.tolist(), bw.tolist(), wu.tolist(), fb.tolist(),
+                mem.tolist(), cp.tolist(), tt.tolist()))
+        ]
+
+    def _batch_data_filter(self, np, strats, batches, D, comm):
+        n, p_int, B = self._batch_base(np, strats, batches)
+        p = p_int.astype(np.float64)
+        p1_int = np.fromiter(
+            (s.p1 for s in strats), dtype=np.int64, count=n)
+        p2_int = np.fromiter(
+            (s.p2 for s in strats), dtype=np.int64, count=n)
+        p1 = p1_int.astype(np.float64)
+        p2 = p2_int.astype(np.float64)
+        I = D // B
+        k = self.kernel
+        fw = D / p * k.fw_total
+        bw = D / p * k.bw_total
+        wu = I / p2 * k.wu_total
+        ia, ib = self._per_unique(
+            np, p2_int, lambda v: self.cluster.hockney_intra(v))
+        fbtot, ag, ar = self._batch_layerwise(
+            np, p2_int, p, B, comm,
+            params=(ia[:, None], ib[:, None]), scope="intra-node",
+        )
+        fb = I * fbtot
+        # Contended inter-node parameters per unique (p, p2) pair; the
+        # phi note is keyed by p2 alone.
+        ea = np.zeros(n)
+        eb = np.zeros(n)
+        phi_note: Dict[int, str] = {}
+        pairs: Dict[Tuple[int, int], List[int]] = {}
+        for i, (pv, p2v) in enumerate(
+                zip(p_int.tolist(), p2_int.tolist())):
+            pairs.setdefault((pv, p2v), []).append(i)
+        for (pv, p2v), sel in pairs.items():
+            inter = self.cluster.hockney(pv)
+            if self.contention:
+                phi = data_filter_phi(self.cluster, p2v)
+                inter = inter.with_contention(phi)
+                phi_note.setdefault(p2v, f"GE beta scaled by phi={phi:.2f}")
+            ea[sel] = inter.alpha
+            eb[sel] = inter.beta
+        ge_bc = comm.time_batch(
+            "allreduce", p1_int, self._weights_bytes() / p2,
+            params=(ea, eb), scope="inter-node",
+        )
+        ge = I * ge_bc.seconds
+        mem = self.gamma * self.delta * (
+            2.0 * (B / p1) * k.io_elements
+            + 2.0 * k.weight_elements / p2
+            + k.bias_elements
+        )
+        fb_lab = self._layerwise_log(np, ag, ar, n)
+        ge_lab, ge_sec = self._choice_labels(np, ge_bc, n)
+        cp = fw + bw + wu
+        cc = ge + fb
+        tt = cp + cc
+        rows = []
+        for i, (f, b, w, cfb, g, m, o, v, t) in enumerate(zip(
+                fw.tolist(), bw.tolist(), wu.tolist(), fb.tolist(),
+                ge.tolist(), mem.tolist(), cp.tolist(), cc.tolist(),
+                tt.tolist())):
+            algos = []
+            if fb_lab[i]:
+                algos.append(("fb", fb_lab[i]))
+            if ge_sec[i] > 0.0:
+                algos.append(("ge", ge_lab[i]))
+            p1v = int(p1_int[i])
+            notes = (
+                (phi_note[int(p2_int[i])],)
+                if self.contention and p1v > 1
+                else ()
+            )
+            rows.append((
+                PhaseBreakdown._build(
+                    f, b, w, g, fb=cfb, totals=(o, v, t)),
+                m, notes, tuple(algos),
+            ))
+        return rows
+
+    def _batch_data_spatial(self, np, strats, batches, D, comm):
+        n, p_int, B = self._batch_base(np, strats, batches)
+        p = p_int.astype(np.float64)
+        p1_int = np.fromiter(
+            (s.p1 for s in strats), dtype=np.int64, count=n)
+        p2_int = np.fromiter(
+            (s.p2 for s in strats), dtype=np.int64, count=n)
+        p1 = p1_int.astype(np.float64)
+        I = D // B
+        k = self.kernel
+        group_batch = B / p1
+        fw = D / p * k.fw_total
+        bw = D / p * k.bw_total
+        wu = I / 1.0 * k.wu_total
+        tables = self._spatial_tables(strats)
+        ok = [not isinstance(t, Exception) for t in tables]
+        ha, hb = self._per_unique(
+            np, p2_int,
+            lambda v: self.cluster.hockney_intra(
+                v, transport=self.halo_transport, floor=2),
+        )
+        # int(group_batch) or 1, elementwise.
+        gb = np.trunc(group_batch)
+        gb = np.where(gb == 0.0, 1.0, gb)
+        pairs = np.asarray(
+            [float(t.halo_pairs) if o else 0.0 for t, o in zip(tables, ok)])
+        helems = np.asarray(
+            [float(t.halo_elements) if o else 0.0
+             for t, o in zip(tables, ok)])
+        halo_iter = 4.0 * ha * pairs + 2.0 * gb * helems * self.delta * hb
+        halo = np.where((p2_int > 1) & (pairs > 0.0), I * halo_iter, 0.0)
+        L_int = np.fromiter(
+            (getattr(s, "leaders", 1) for s in strats),
+            dtype=np.int64, count=n)
+        wl = self._weights_bytes() / L_int.astype(np.float64)
+        na, nb = self._per_unique(
+            np, p2_int, lambda v: self.cluster.hockney_intra(v, floor=2))
+        rd = comm.time_batch(
+            "reduce", p2_int, wl, params=(na, nb), scope="intra-node")
+        bc = comm.time_batch(
+            "broadcast", p2_int, wl, params=(na, nb), scope="intra-node")
+        ea = np.zeros(n)
+        eb = np.zeros(n)
+        lpairs: Dict[Tuple[int, int], List[int]] = {}
+        for i, (pv, lv) in enumerate(zip(p_int.tolist(), L_int.tolist())):
+            lpairs.setdefault((pv, lv), []).append(i)
+        nics = self.cluster.node.nics
+        for (pv, lv), sel in lpairs.items():
+            inter = self.cluster.hockney(pv)
+            if self.contention and lv > nics:
+                inter = inter.with_contention(lv / nics)
+            ea[sel] = inter.alpha
+            eb[sel] = inter.beta
+        arr = comm.time_batch(
+            "allreduce", p1_int, wl, params=(ea, eb), scope="inter-node")
+        ge = I * ((rd.seconds + bc.seconds) + arr.seconds)
+        gridp = np.asarray(
+            [float(_grid_product(s.grid)) for s in strats])
+        split = np.asarray(
+            [float(t.split_io) if o else 0.0 for t, o in zip(tables, ok)])
+        rest = np.asarray(
+            [float(t.rest_io) if o else 0.0 for t, o in zip(tables, ok)])
+        mem = self.gamma * self.delta * (
+            2.0 * group_batch * (split / gridp + rest)
+            + 2.0 * k.weight_elements + k.bias_elements
+        )
+        rd_lab, rd_sec = self._choice_labels(np, rd, n)
+        bc_lab, bc_sec = self._choice_labels(np, bc, n)
+        ar_lab, ar_sec = self._choice_labels(np, arr, n)
+        cp = fw + bw + wu
+        cc = ge + halo
+        tt = cp + cc
+        rows = []
+        for i, (f, b, w, h, g, m, o, v, t) in enumerate(zip(
+                fw.tolist(), bw.tolist(), wu.tolist(), halo.tolist(),
+                ge.tolist(), mem.tolist(), cp.tolist(), cc.tolist(),
+                tt.tolist())):
+            if not ok[i]:
+                rows.append(tables[i])
+                continue
+            lv = int(L_int[i])
+            rows.append((
+                PhaseBreakdown._build(f, b, w, g, halo=h, totals=(o, v, t)),
+                m,
+                () if lv == 1 else (f"multi-leader allreduce: L={lv}",),
+                self._ge_algos([
+                    (rd_lab[i], rd_sec[i]),
+                    (bc_lab[i], bc_sec[i]),
+                    (ar_lab[i], ar_sec[i]),
+                ]),
+            ))
+        return rows
+
+    #: Strategy family -> batch handler (unbound; called with ``self``).
+    _BATCH_HANDLERS = {
+        "serial": _batch_serial,
+        "d": _batch_data,
+        "z": _batch_sharded_data,
+        "s": _batch_spatial,
+        "p": _batch_pipeline,
+        "f": _batch_layerwise_family,
+        "c": _batch_layerwise_family,
+        "df": _batch_data_filter,
+        "ds": _batch_data_spatial,
+    }
+
+
+def _grid_product(grid: Tuple[int, ...]) -> int:
+    out = 1
+    for g in grid:
+        out *= g
+    return out

@@ -1,0 +1,34 @@
+"""Lock-free ``cached_property`` (Python 3.12 semantics).
+
+Python 3.11's :class:`functools.cached_property` serializes every first
+access through an RLock; the search hot path touches memoized model
+invariants, candidate keys, and phase totals tens of thousands of times
+per run, where that lock is measurable (3.12 removed it upstream for the
+same reason).  Concurrent first accesses may both compute the value —
+harmless for the pure derivations cached here — and writing straight
+into the instance ``__dict__`` also sidesteps the frozen-dataclass
+``__setattr__`` guard.
+"""
+
+__all__ = ["cached_property"]
+
+
+class cached_property:  # noqa: N801 - drop-in for functools.cached_property
+    """Non-data descriptor memo: first access computes and stores the
+    value in the instance ``__dict__``; later reads never reach the
+    descriptor at all."""
+
+    def __init__(self, func):
+        self.func = func
+        self.name = func.__name__
+        self.__doc__ = func.__doc__
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def __get__(self, obj, owner=None):
+        if obj is None:
+            return self
+        value = self.func(obj)
+        obj.__dict__[self.name] = value
+        return value

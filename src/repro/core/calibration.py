@@ -19,11 +19,11 @@ only, and the analytical model reuses them across all strategies.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
-
+from .. import npcompat
 from ..network.hockney import HockneyParams
 from ..network.topology import ClusterSpec
 from .graph import ModelGraph
@@ -63,15 +63,16 @@ def fit_hockney(
     recovers both parameters.  ``pattern`` selects the step-count model
     ("allreduce", "allgather", or "p2p").
     """
-    sizes = np.asarray(message_sizes, dtype=float)
-    t = np.asarray(times, dtype=float)
-    if sizes.shape != t.shape or sizes.size < 2:
+    np = npcompat.np
+    sizes = [float(m) for m in message_sizes]
+    t = [float(x) for x in times]
+    if len(sizes) != len(t) or len(sizes) < 2:
         raise ValueError("need >= 2 matching (size, time) points")
     if p < 2 and pattern != "p2p":
         raise ValueError("collective fits need p >= 2")
     if pattern == "allreduce":
         step_count = 2 * (p - 1)
-        bytes_per_step = sizes / p
+        bytes_per_step = [m / p for m in sizes]
     elif pattern == "allgather":
         step_count = p - 1
         bytes_per_step = sizes  # sweep is per-PE segment size
@@ -82,15 +83,28 @@ def fit_hockney(
         raise ValueError(f"unknown pattern {pattern!r}")
 
     # t = step_count * alpha + step_count * bytes_per_step * beta
-    slope, intercept = np.polyfit(bytes_per_step, t, 1)
-    alpha = max(0.0, intercept / step_count)
-    beta = max(0.0, slope / step_count)
-    fitted = step_count * (alpha + bytes_per_step * beta)
-    residual = float(np.sqrt(np.mean((fitted - t) ** 2)))
+    if np is not None:
+        slope, intercept = np.polyfit(bytes_per_step, t, 1)
+    else:
+        # numpy-free ordinary least squares (same line, up to fp noise)
+        n = len(t)
+        mx = sum(bytes_per_step) / n
+        my = sum(t) / n
+        var = sum((x - mx) ** 2 for x in bytes_per_step)
+        if var == 0.0:
+            raise ValueError("need at least two distinct message sizes")
+        slope = sum(
+            (x - mx) * (y - my) for x, y in zip(bytes_per_step, t)) / var
+        intercept = my - slope * mx
+    alpha = max(0.0, float(intercept) / step_count)
+    beta = max(0.0, float(slope) / step_count)
+    residual = math.sqrt(sum(
+        (step_count * (alpha + x * beta) - y) ** 2
+        for x, y in zip(bytes_per_step, t)) / len(t))
     return CalibrationResult(
         params=HockneyParams(alpha=alpha, beta=beta),
         residual_rms=residual,
-        num_points=sizes.size,
+        num_points=len(sizes),
         pattern=pattern,
         p=p,
     )
@@ -111,11 +125,12 @@ def measure_allreduce_curve(
 
     sim = CollectiveSimulator(cluster, congestion)
     gpus = list(range(p))
-    sizes = np.asarray(message_sizes, dtype=float)
-    times = np.array(
-        [sim.ring_allreduce(gpus, m, transport=transport) for m in sizes]
-    )
-    return sizes, times
+    np = npcompat.np
+    sizes = [float(m) for m in message_sizes]
+    times = [sim.ring_allreduce(gpus, m, transport=transport) for m in sizes]
+    if np is None:  # plain lists; fit_hockney accepts either
+        return sizes, times
+    return np.asarray(sizes), np.asarray(times)
 
 
 def calibrate_cluster(

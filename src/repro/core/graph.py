@@ -10,7 +10,7 @@ live) but not the chain ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from .caching import cached_property
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .layers import Add, Layer

@@ -8,15 +8,14 @@ shared copy lives here.
 
 from __future__ import annotations
 
-from typing import List
+import functools
+from typing import List, Tuple
 
 __all__ = ["divisors", "smallest_prime_factor", "power_of_two_budgets"]
 
 
-def divisors(n: int) -> List[int]:
-    """All positive divisors of ``n``, ascending."""
-    if n < 1:
-        raise ValueError("n must be >= 1")
+@functools.lru_cache(maxsize=4096)
+def _divisors_cached(n: int) -> Tuple[int, ...]:
     out: List[int] = []
     d = 1
     while d * d <= n:
@@ -25,7 +24,19 @@ def divisors(n: int) -> List[int]:
             if d != n // d:
                 out.append(n // d)
         d += 1
-    return sorted(out)
+    return tuple(sorted(out))
+
+
+def divisors(n: int) -> List[int]:
+    """All positive divisors of ``n``, ascending.
+
+    Memoized (the exhaustive search expansion asks for the same divisor
+    lattice once per candidate family); the cache holds immutable tuples
+    and every call returns a fresh list, so callers may mutate freely.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return list(_divisors_cached(n))
 
 
 def smallest_prime_factor(n: int) -> int:

@@ -191,6 +191,28 @@ class ParaDL:
             strategy, batch, dataset.num_samples, comm=comm
         )
 
+    def project_batch(
+        self,
+        strategies: Sequence[Strategy],
+        batches: Sequence[int],
+        dataset: DatasetSpec,
+        *,
+        comms=None,
+    ):
+        """Project many ``(strategy, batch)`` candidates at once.
+
+        The structure-of-arrays fast path: candidates are grouped by
+        strategy family and evaluated as numpy array expressions (see
+        :meth:`AnalyticalModel.project_batch`).  Returns one entry per
+        input — a :class:`Projection`, or the ``StrategyError`` /
+        ``ValueError`` that candidate would have raised under
+        :meth:`project`.  Results are identical to the scalar path;
+        without numpy this *is* the scalar path, looped.
+        """
+        return self.analytical.project_batch(
+            strategies, batches, dataset.num_samples, comms=comms
+        )
+
     def project_id(
         self,
         sid: str,
@@ -365,6 +387,7 @@ class ParaDL:
         pe_budgets: Optional[Sequence[int]] = None,
         segments: Sequence[int] = (2, 4, 8),
         fixed_batches: Optional[Sequence[int]] = None,
+        exhaustive: bool = False,
         cache=None,
         cache_dir: Optional[str] = None,
         workers: Optional[int] = None,
@@ -374,8 +397,16 @@ class ParaDL:
         on_result=None,
         tracer=None,
         metrics=None,
+        vectorize: Optional[bool] = None,
     ):
         """Automated strategy search (the :mod:`repro.search` facade).
+
+        ``exhaustive`` widens the space from the PE-budget ladder to
+        *every* PE count up to the largest budget, and sweeps hybrid
+        factorizations over the full divisor lattice (p2 from 1 to p) —
+        the exhaustive-search mode the vectorized projection path makes
+        affordable.  ``vectorize`` is the engine's array-path routing
+        policy (``None`` auto / ``False`` scalar / ``True`` force).
 
         ``fixed_batches`` pins the strong scalers' global batches
         (default: one node's worth of samples per
@@ -441,11 +472,12 @@ class ParaDL:
                 tuple(fixed_batches) if fixed_batches else ()),
             segments=tuple(segments),
             comm_policies=comm_policies,
+            exhaustive=exhaustive,
         )
         engine = SearchEngine(
             self, dataset, cache=cache, cache_dir=cache_dir,
             workers=workers, executor=executor,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, vectorize=vectorize,
         )
         return engine.search(space, weights=weights, on_result=on_result)
 

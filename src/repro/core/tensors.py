@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from functools import cached_property
+from .caching import cached_property
 from typing import Iterable, Sequence, Tuple
 
 __all__ = [

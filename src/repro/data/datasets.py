@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
+from .. import npcompat
 
 from ..core.tensors import TensorSpec
 
@@ -101,14 +101,21 @@ def synthetic_batch(
     spec: TensorSpec,
     batch: int,
     seed: Optional[int] = None,
-    dtype=np.float32,
-) -> np.ndarray:
+    dtype=None,
+) -> "np.ndarray":
     """Generate a random batch ``[batch, channels, *spatial]``.
 
     Values are drawn from N(0, 1); deterministic given ``seed``.
+    ``dtype`` defaults to ``numpy.float32``.  Requires numpy (a soft
+    dependency elsewhere — dataset *specs* work without it).
     """
+    np = npcompat.np
+    if np is None:
+        raise RuntimeError("synthetic_batch requires numpy")
     if batch < 1:
         raise ValueError("batch must be >= 1")
+    if dtype is None:
+        dtype = np.float32
     rng = np.random.default_rng(seed)
     shape = (batch, spec.channels) + spec.spatial
     return rng.standard_normal(shape).astype(dtype)

@@ -25,7 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+from .. import npcompat
+
+np = npcompat.np  # soft: only fig6 (simulator-backed) truly needs it
 
 from ..core.analytical import AnalyticalModel, PhaseBreakdown, Projection
 from ..core.calibration import profile_model
@@ -677,9 +679,12 @@ def run_accuracy_summary(
     for c in cells:
         by_sid.setdefault(c.sid, []).append(c.accuracy)
         by_model.setdefault(c.model, []).append(c.accuracy)
-    per_strategy = {k: float(np.mean(v)) for k, v in by_sid.items()}
-    per_model = {k: float(np.mean(v)) for k, v in by_model.items()}
-    overall = float(np.mean([c.accuracy for c in cells]))
+    def _mean(vals):
+        return sum(vals) / len(vals)
+
+    per_strategy = {k: float(_mean(v)) for k, v in by_sid.items()}
+    per_model = {k: float(_mean(v)) for k, v in by_model.items()}
+    overall = float(_mean([c.accuracy for c in cells]))
     best_cell = max(cells, key=lambda c: c.accuracy)
     return AccuracySummary(
         per_strategy=per_strategy,

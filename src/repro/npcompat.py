@@ -1,0 +1,28 @@
+"""Soft numpy dependency: one import site for the vectorized fast path.
+
+numpy is deliberately *optional*.  Every consumer of the
+structure-of-arrays projection path (:meth:`AnalyticalModel.
+project_batch`, :meth:`CommModel.time_batch`, the batched pruning masks,
+the Pareto frontier kernel) reads :data:`np` through this module at call
+time and falls back to the scalar implementation when it is ``None`` —
+with identical results, pinned by ``tests/test_vectorized_equivalence.py``.
+
+Keeping the import in exactly one place makes the fallback testable: the
+no-numpy lane shims ``sys.modules["numpy"]`` and reloads this module (or
+monkeypatches :data:`np` directly), and every array path in the package
+degrades together.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via the no-numpy test lane
+    import numpy as np  # type: ignore[import-not-found]
+except Exception:  # ImportError, or a sys.modules shim
+    np = None  # type: ignore[assignment]
+
+__all__ = ["np", "have_numpy"]
+
+
+def have_numpy() -> bool:
+    """True when the vectorized path can run in this process."""
+    return np is not None

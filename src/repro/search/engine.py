@@ -45,6 +45,7 @@ from typing import (
     Tuple,
 )
 
+from .. import npcompat
 from ..core.analytical import Projection
 from ..core.strategies import Strategy, StrategyError
 from ..data.datasets import DatasetSpec
@@ -55,7 +56,7 @@ from .pareto import (
     pareto_frontier,
     scalarized_best,
 )
-from .pruning import Pruner, PruningContext, apply_pruners
+from .pruning import Pruner, PruningContext, apply_pruners, apply_pruners_batch
 from .space import Candidate, SearchSpace
 
 __all__ = [
@@ -75,8 +76,19 @@ _PROCESS_CHUNK = 16
 
 #: Candidates per thread-backend evaluation batch: one
 #: :meth:`SearchEngine.evaluate_many` call amortizes cache-key assembly
-#: and timing bookkeeping across the chunk.
-_THREAD_CHUNK = 64
+#: and timing bookkeeping across the chunk — and feeds the vectorized
+#: projection path, whose per-candidate cost falls with chunk size.
+_THREAD_CHUNK = 256
+
+#: Single-worker chunk: with no pool to keep busy, larger chunks only
+#: help — the array path groups candidates by strategy family, so an
+#: 8x larger chunk means 8x fewer per-family assembly passes.  Still
+#: bounded so ``iter_results`` keeps yielding incrementally.
+_SERIAL_CHUNK = 2048
+
+#: Minimum cache-miss survivors per chunk before the vectorized
+#: projection path pays for its array assembly.
+_MIN_VECTOR_BATCH = 4
 
 #: Stage keys of :attr:`SearchReport.timings` (the ``--profile`` table).
 TIMING_STAGES = (
@@ -202,10 +214,10 @@ def _process_worker_init(payload: bytes) -> None:
     with each result chunk (see :func:`_process_evaluate_chunk`).
     """
     global _WORKER_ENGINE
-    oracle, dataset, pruners, traced = pickle.loads(payload)
+    oracle, dataset, pruners, traced, vectorize = pickle.loads(payload)
     _WORKER_ENGINE = SearchEngine(
         oracle, dataset, pruners=pruners, workers=1,
-        tracer=Tracer() if traced else None)
+        tracer=Tracer() if traced else None, vectorize=vectorize)
     analytical = getattr(oracle, "analytical", None)
     if analytical is not None and hasattr(analytical, "kernel"):
         analytical.kernel  # noqa: B018 - warm the lazy kernel build
@@ -213,16 +225,23 @@ def _process_worker_init(payload: bytes) -> None:
 
 def _process_evaluate_chunk(
     candidates: List[Candidate],
-) -> Tuple[List[Evaluation], list]:
+) -> Tuple[List[Evaluation], list, Dict[str, int]]:
     """Evaluate one candidate chunk in the worker's rebuilt engine.
 
-    Returns ``(evaluations, spans)``: the worker drains its tracer into
-    the result payload, and the parent re-parents those spans under its
-    own active span (:meth:`Tracer.adopt`) — so a traced process-pool
-    search renders worker lanes in the same Chrome trace.
+    Returns ``(evaluations, spans, vec_counts)``: the worker drains its
+    tracer into the result payload, and the parent re-parents those
+    spans under its own active span (:meth:`Tracer.adopt`) — so a traced
+    process-pool search renders worker lanes in the same Chrome trace.
+    ``vec_counts`` carries this chunk's vectorized / scalar-fallback
+    candidate counts for the parent's run counters.
     """
+    before = dict(_WORKER_ENGINE._vec_counts)
     evaluations = _WORKER_ENGINE.evaluate_many(candidates)
-    return evaluations, _WORKER_ENGINE.tracer.drain()
+    counts = {
+        key: value - before.get(key, 0)
+        for key, value in _WORKER_ENGINE._vec_counts.items()
+    }
+    return evaluations, _WORKER_ENGINE.tracer.drain(), counts
 
 
 class SearchEngine:
@@ -268,8 +287,18 @@ class SearchEngine:
         A :class:`~repro.obs.metrics.MetricsRegistry`; after each
         :meth:`search` the engine scrapes run counters into it (cache
         hit/miss/negative/save, ``CommModel`` memo efficiency and
-        per-algorithm selections, stage times, epoch-time percentiles).
+        per-algorithm selections, stage times, epoch-time percentiles,
+        vectorized vs. scalar-fallback candidate counts).
         ``None`` skips scraping.
+    vectorize:
+        Routing policy for the structure-of-arrays projection path
+        (``oracle.project_batch``): ``None`` (default) uses it whenever
+        numpy is importable, the oracle supports it, and a chunk has
+        enough cache-miss survivors to amortize array assembly;
+        ``False`` forces the scalar per-candidate path; ``True`` routes
+        even tiny batches through the array path.  Results are identical
+        either way — the array path mirrors the scalar fast path
+        expression for expression (``docs/performance.md``).
     """
 
     def __init__(
@@ -284,6 +313,7 @@ class SearchEngine:
         executor: str = "thread",
         tracer=None,
         metrics=None,
+        vectorize: Optional[bool] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -321,6 +351,14 @@ class SearchEngine:
         self._timings_lock = threading.Lock()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.vectorize = vectorize
+        #: Candidates projected via the array path vs. the scalar
+        #: fallback, lifetime totals (snapshotted per search run).
+        self._vec_counts: Dict[str, int] = {"vectorized": 0, "scalar": 0}
+        # (sid, p, p1, p2, segments) -> Strategy | (exc_type, message).
+        # Candidates differing only in batch / comm policy bind to the
+        # same (frozen, shareable) strategy object.
+        self._build_memo: Dict[Tuple, object] = {}
 
     # ------------------------------------------------------------- evaluate
     def _cache_key(self, candidate: Candidate) -> str:
@@ -332,6 +370,23 @@ class SearchEngine:
             t = self._timings
             t["pruning_s"] = t.get("pruning_s", 0.0) + pruning
             t["projection_s"] = t.get("projection_s", 0.0) + projection
+
+    def _build_strategy(self, candidate: Candidate) -> Strategy:
+        """Memoized :meth:`Candidate.build` — candidates that differ only
+        in batch or comm policy share one frozen strategy instance (and
+        one construction error)."""
+        key = (candidate.sid, candidate.p, candidate.p1, candidate.p2,
+               candidate.segments)
+        hit = self._build_memo.get(key)
+        if hit is None:
+            try:
+                hit = candidate.build(self.oracle.model)
+            except (StrategyError, ValueError) as exc:
+                hit = (type(exc), str(exc))
+            self._build_memo[key] = hit
+        if isinstance(hit, tuple):
+            raise hit[0](hit[1])
+        return hit
 
     def _fast_path(
         self, candidate: Candidate
@@ -345,19 +400,58 @@ class SearchEngine:
         reason = apply_pruners(candidate, self._ctx, self.pruners)
         if reason is not None:
             return Evaluation(candidate, reason=reason, pruned=True), None
+        evaluation, strategy, _ = self._fast_path_tail(candidate)
+        return evaluation, strategy
+
+    def _fast_path_tail(
+        self, candidate: Candidate
+    ) -> Tuple[Optional[Evaluation], Optional[Strategy], Optional[str]]:
+        """The post-pruning half of :meth:`_fast_path` (build + cache).
+
+        Also returns the cache key on a miss so projection-side memo
+        writes don't rebuild it."""
         try:
-            strategy = candidate.build(self.oracle.model)
+            strategy = self._build_strategy(candidate)
         except (StrategyError, ValueError) as exc:
-            return Evaluation(candidate, reason=str(exc)), None
-        hit = self.cache.get(self._cache_key(candidate), strategy)
+            return Evaluation(candidate, reason=str(exc)), None, None
+        key = self._cache_key(candidate)
+        hit = self.cache.get(key, strategy)
         if isinstance(hit, CachedFailure):
             return (
                 Evaluation(candidate, strategy, reason=hit.reason, cached=True),
                 strategy,
+                key,
             )
         if hit is not None:
-            return self._finish(candidate, strategy, hit, cached=True), strategy
-        return None, strategy
+            return (
+                self._finish(candidate, strategy, hit, cached=True),
+                strategy,
+                key,
+            )
+        return None, strategy, key
+
+    def _fast_path_many(
+        self, candidates: Sequence[Candidate]
+    ) -> Tuple[List[Optional[Evaluation]],
+               List[Tuple[int, Candidate, Strategy, str]]]:
+        """Batched :meth:`_fast_path`: pruning runs vectorized over the
+        whole chunk, then build + cache lookup per survivor.  Returns the
+        (partially filled) output slots and the cache-miss survivors as
+        ``(index, candidate, strategy, cache_key)`` rows."""
+        cands = list(candidates)
+        reasons = apply_pruners_batch(cands, self._ctx, self.pruners)
+        out: List[Optional[Evaluation]] = [None] * len(cands)
+        pending: List[Tuple[int, Candidate, Strategy, str]] = []
+        for i, (cand, reason) in enumerate(zip(cands, reasons)):
+            if reason is not None:
+                out[i] = Evaluation(cand, reason=reason, pruned=True)
+                continue
+            evaluation, strategy, key = self._fast_path_tail(cand)
+            if evaluation is not None:
+                out[i] = evaluation
+            else:
+                pending.append((i, cand, strategy, key))
+        return out, pending
 
     def _finish(
         self,
@@ -392,6 +486,77 @@ class SearchEngine:
         self.cache.put(key, projection)
         return self._finish(candidate, strategy, projection, cached=False)
 
+    def _can_vectorize(self, n_pending: int) -> bool:
+        """Route ``n_pending`` cache-miss survivors through the array
+        path?  Requires numpy, an oracle exposing ``project_batch``, and
+        (unless forced) enough candidates to amortize array assembly."""
+        if self.vectorize is False or n_pending < 1:
+            return False
+        if npcompat.np is None:
+            return False
+        if not hasattr(self.oracle, "project_batch"):
+            return False
+        return self.vectorize is True or n_pending >= _MIN_VECTOR_BATCH
+
+    def _count_candidates(self, *, vectorized: int = 0, scalar: int = 0
+                          ) -> None:
+        with self._timings_lock:
+            self._vec_counts["vectorized"] += vectorized
+            self._vec_counts["scalar"] += scalar
+
+    def _vec_snapshot(self) -> Dict[str, int]:
+        with self._timings_lock:
+            return dict(self._vec_counts)
+
+    def _project_batch(
+        self, items: Sequence[Tuple[Candidate, Strategy, str]]
+    ) -> List[Evaluation]:
+        """Batched :meth:`_project`: one ``oracle.project_batch`` call
+        covers every item; per-candidate raises come back as aligned
+        exception entries and memoize negatively, exactly as the scalar
+        path would."""
+        strategies = [s for _, s, _ in items]
+        batches = [c.batch for c, _, _ in items]
+        comms = [c.comm or None for c, _, _ in items]
+        results = self.oracle.project_batch(
+            strategies, batches, self.dataset, comms=comms)
+        out: List[Evaluation] = []
+        successes: List[Tuple[str, Projection]] = []
+        failures: List[Tuple[str, str]] = []
+        for (cand, strategy, key), result in zip(items, results):
+            if isinstance(result, Exception):
+                reason = str(result)
+                failures.append((key, reason))
+                out.append(Evaluation(cand, strategy, reason=reason))
+            else:
+                successes.append((key, result))
+                out.append(
+                    self._finish(cand, strategy, result, cached=False))
+        self.cache.put_many(successes, failures)
+        return out
+
+    def _project_pending(
+        self, pending: Sequence[Tuple[int, Candidate, Strategy, str]]
+    ) -> List[Evaluation]:
+        """Project cache-miss survivors — vectorized when it pays,
+        scalar otherwise — and tally which path ran."""
+        if not pending:
+            return []
+        if self._can_vectorize(len(pending)):
+            with self.tracer.span(
+                    "search.evaluate_batch", candidates=len(pending)):
+                evaluations = self._project_batch(
+                    [(cand, strategy, key)
+                     for _, cand, strategy, key in pending])
+            self._count_candidates(vectorized=len(pending))
+            return evaluations
+        evaluations = [
+            self._project(cand, strategy)
+            for _, cand, strategy, _ in pending
+        ]
+        self._count_candidates(scalar=len(pending))
+        return evaluations
+
     def evaluate(self, candidate: Candidate) -> Evaluation:
         """Evaluate one candidate: prune, then memoized projection."""
         evaluation, strategy = self._fast_path(candidate)
@@ -412,24 +577,19 @@ class SearchEngine:
         instead of paying them per candidate.
 
         Spans are emitted at *chunk* granularity (one
-        ``search.evaluate_chunk`` per call), so tracing detail scales
-        with chunks, not candidates, and the no-op tracer's cost stays
-        amortized across the whole chunk.
+        ``search.evaluate_chunk`` per call, plus one nested
+        ``search.evaluate_batch`` when the array path runs), so tracing
+        detail scales with chunks, not candidates, and the no-op
+        tracer's cost stays amortized across the whole chunk.
         """
         with self.tracer.span(
                 "search.evaluate_chunk", candidates=len(candidates)) as sp:
             t0 = time.perf_counter()
-            out: List[Optional[Evaluation]] = [None] * len(candidates)
-            pending: List[Tuple[int, Candidate, Strategy]] = []
-            for i, cand in enumerate(candidates):
-                evaluation, strategy = self._fast_path(cand)
-                if evaluation is not None:
-                    out[i] = evaluation
-                else:
-                    pending.append((i, cand, strategy))
+            out, pending = self._fast_path_many(candidates)
             t1 = time.perf_counter()
-            for i, cand, strategy in pending:
-                out[i] = self._project(cand, strategy)
+            for (i, _, _, _), evaluation in zip(
+                    pending, self._project_pending(pending)):
+                out[i] = evaluation
             self._add_timings(
                 pruning=t1 - t0, projection=time.perf_counter() - t1)
             sp.attrs["projected"] = len(pending)
@@ -453,25 +613,24 @@ class SearchEngine:
     def _iter_process(
         self, candidates: Iterable[Candidate]
     ) -> Iterator[Evaluation]:
-        """Process-pool evaluation: fast path inline, projections fanned
-        out in chunks, results folded back into the parent cache."""
-        pending: List[Tuple[Candidate, Strategy]] = []
-        prune_s = 0.0
-        for cand in candidates:
-            t0 = time.perf_counter()
-            evaluation, strategy = self._fast_path(cand)
-            prune_s += time.perf_counter() - t0
+        """Process-pool evaluation: fast path inline (pruning
+        vectorized over the stream), projections fanned out in chunks,
+        results folded back into the parent cache."""
+        t0 = time.perf_counter()
+        fast, pending_rows = self._fast_path_many(list(candidates))
+        self._add_timings(pruning=time.perf_counter() - t0)
+        for evaluation in fast:
             if evaluation is not None:
                 yield evaluation
-            else:
-                pending.append((cand, strategy))
-        self._add_timings(pruning=prune_s)
+        pending = [
+            (cand, strategy) for _, cand, strategy, _ in pending_rows
+        ]
         if not pending:
             return
         try:
             payload = pickle.dumps(
                 (self.oracle, self.dataset, self.pruners,
-                 self.tracer.enabled))
+                 self.tracer.enabled, self.vectorize))
         except Exception as exc:  # noqa: BLE001 - any pickling failure
             warnings.warn(
                 f"oracle context cannot be pickled ({exc}); falling back "
@@ -483,14 +642,14 @@ class SearchEngine:
             # lookup); go straight to the projections so stats and cache
             # counters stay identical to the thread backend's.
             if self.workers <= 1:
-                for cand, strategy in pending:
-                    yield self._project(cand, strategy)
+                yield from self._project_pending(pending_rows)
                 return
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 futures = [
                     pool.submit(self._project, cand, strategy)
                     for cand, strategy in pending
                 ]
+                self._count_candidates(scalar=len(pending))
                 for future in as_completed(futures):
                     yield future.result()
             return
@@ -510,10 +669,13 @@ class SearchEngine:
                 for chunk in chunks
             ]
             for future in as_completed(futures):
-                evaluations, spans = future.result()
+                evaluations, spans, vec_counts = future.result()
                 # Worker spans fold in re-parented under the caller's
                 # active span (the search root when run via `search`).
                 self.tracer.adopt(spans)
+                self._count_candidates(
+                    vectorized=vec_counts.get("vectorized", 0),
+                    scalar=vec_counts.get("scalar", 0))
                 for evaluation in evaluations:
                     self._absorb(evaluation)
                     yield evaluation
@@ -521,7 +683,8 @@ class SearchEngine:
     def _iter_thread(
         self, candidates: Iterable[Candidate]
     ) -> Iterator[Evaluation]:
-        """Thread-backend evaluation in :data:`_THREAD_CHUNK` batches.
+        """Thread-backend evaluation in :data:`_THREAD_CHUNK` batches
+        (:data:`_SERIAL_CHUNK` when single-worker — no pool to starve).
 
         Chunking amortizes per-candidate dispatch; anytime consumers
         (``--stream``) see results at chunk granularity, which does not
@@ -532,11 +695,12 @@ class SearchEngine:
         from itertools import islice
 
         it = iter(candidates)
-        chunks = iter(lambda: list(islice(it, _THREAD_CHUNK)), [])
         if self.workers <= 1:
+            chunks = iter(lambda: list(islice(it, _SERIAL_CHUNK)), [])
             for chunk in chunks:
                 yield from self.evaluate_many(chunk)
             return
+        chunks = iter(lambda: list(islice(it, _THREAD_CHUNK)), [])
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = [pool.submit(self.evaluate_many, c) for c in chunks]
             for future in as_completed(futures):
@@ -606,6 +770,7 @@ class SearchEngine:
         hits_before = self.cache.hits
         misses_before = self.cache.misses
         comm_before = self._comm_stats()
+        vec_before = self._vec_snapshot()
         intra = intra or self.oracle.cluster.node.gpus
         root_ctx = tracer.span(
             "search",
@@ -668,7 +833,13 @@ class SearchEngine:
             stats["feasible"], stats["candidates"], stats["pruned"],
             stats["frontier"], timings["total_s"] * 1e3)
         if self.metrics is not None:
-            self._scrape_metrics(stats, timings, feasible, comm_before)
+            vec_after = self._vec_snapshot()
+            vec_delta = {
+                key: vec_after.get(key, 0) - vec_before.get(key, 0)
+                for key in vec_after
+            }
+            self._scrape_metrics(
+                stats, timings, feasible, comm_before, vec_delta)
         return SearchReport(
             evaluations=evaluations,
             frontier=frontier,
@@ -691,7 +862,8 @@ class SearchEngine:
             out[f"selected.{label}"] = count
         return out
 
-    def _scrape_metrics(self, stats, timings, feasible, comm_before) -> None:
+    def _scrape_metrics(self, stats, timings, feasible, comm_before,
+                        vec_delta=None) -> None:
         """Fold one search run's counters into the metrics registry.
 
         Off the hot path by design: the substrate (cache, ``CommModel``)
@@ -703,6 +875,13 @@ class SearchEngine:
                     "frontier"):
             if stats[key]:
                 m.counter(f"search.{key}").add(stats[key])
+        if vec_delta:
+            if vec_delta.get("vectorized"):
+                m.counter("search.vectorized_candidates").add(
+                    vec_delta["vectorized"])
+            if vec_delta.get("scalar"):
+                m.counter("search.scalar_fallback_candidates").add(
+                    vec_delta["scalar"])
         m.counter("cache.hits").add(stats["cache_hits"])
         m.counter("cache.misses").add(stats["cache_misses"])
         for key, value in self.cache.stats().items():

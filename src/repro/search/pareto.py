@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import npcompat
+
 __all__ = [
     "OBJECTIVES",
     "DEFAULT_OBJECTIVES",
@@ -63,6 +65,64 @@ def dominates(
     )
 
 
+def _dominated_mask(vectors: List[Tuple[float, ...]]) -> List[bool]:
+    """Per-vector "is dominated by any other" flags.
+
+    With numpy and enough vectors this is a chunked ``(others, mine,
+    objectives)`` comparison — the same ``all(<=) and any(<)`` test as
+    :func:`dominates`, just evaluated as one boolean tensor — so the
+    surviving set is identical to the scalar scan.
+    """
+    n = len(vectors)
+    np = npcompat.np
+    if np is None or n < 32:
+        return [
+            any(dominates(other, v) for other in vectors) for v in vectors
+        ]
+    V = np.asarray(vectors, dtype=np.float64)
+    # Archive sweep instead of the full n^2 broadcast: process blocks in
+    # ascending objective-sum order.  A dominator's sum is *strictly*
+    # below its dominatee's (all(<=) plus any(<)), so every dominator of
+    # a point sits in an earlier block or the same block — comparing each
+    # block against the archive of earlier non-dominated points plus
+    # itself is exhaustive.  (Dominated dominators need no archive slot:
+    # domination is transitive, so whatever they dominate their own
+    # dominator dominates too.)  Each comparison applies the same
+    # ``all(<=) and any(<)`` test as :func:`dominates`, so the surviving
+    # set is identical to the scalar scan, duplicates included.
+    order = np.argsort(V.sum(axis=1), kind="stable")
+    S = V[order]
+    k = S.shape[1]
+
+    def _dominated_by(dominators: "np.ndarray", targets: "np.ndarray"):
+        """Per-target "some dominator row dominates it" flags.
+
+        Built objective-by-objective from 2-D comparisons: reducing a
+        ``(targets, dominators, objectives)`` tensor over the tiny
+        trailing axis is an order of magnitude slower in numpy than
+        ``k`` full-size 2-D ops.
+        """
+        le = lt = None
+        for j in range(k):
+            d = dominators[:, j][None, :]
+            t = targets[:, j][:, None]
+            le = (d <= t) if le is None else (le & (d <= t))
+            lt = (d < t) if lt is None else (lt | (d < t))
+        return (le & lt).any(axis=1)
+
+    out = np.zeros(n, dtype=bool)
+    archive = S[:0]
+    block = 256
+    for lo in range(0, n, block):
+        B = S[lo:lo + block]
+        dom = _dominated_by(B, B)
+        if len(archive):
+            dom |= _dominated_by(archive, B)
+        out[order[lo:lo + block]] = dom
+        archive = np.concatenate([archive, B[~dom]])
+    return out.tolist()
+
+
 def pareto_frontier(
     evaluations: Sequence[object],
     objectives: Sequence[str] = DEFAULT_OBJECTIVES,
@@ -73,20 +133,20 @@ def pareto_frontier(
     duplicates in objective space keep their first representative.
     """
     vectors = [_vector(e, objectives) for e in evaluations]
-    frontier: List[object] = []
-    kept_vectors: List[Tuple[float, ...]] = []
-    for e, v in zip(evaluations, vectors):
-        if any(dominates(other, v) for other in vectors):
-            continue
-        if v in kept_vectors:  # collapse exact objective-space duplicates
-            continue
-        frontier.append(e)
-        kept_vectors.append(v)
-    order = sorted(
-        range(len(frontier)),
-        key=lambda i: kept_vectors[i],
+    # Collapse exact objective-space duplicates *before* the domination
+    # test: equal vectors share a fate (nothing dominates its own equal),
+    # so one representative per distinct vector — the first, to keep the
+    # documented tie-break — is enough, and the mask runs on the smaller
+    # deduplicated set.
+    first_index: Dict[Tuple[float, ...], int] = {}
+    for i, v in enumerate(vectors):
+        first_index.setdefault(v, i)
+    unique = list(first_index)
+    dominated = _dominated_mask(unique)
+    kept = sorted(
+        v for v, dom in zip(unique, dominated) if not dom
     )
-    return [frontier[i] for i in order]
+    return [evaluations[first_index[v]] for v in kept]
 
 
 def scalarized_best(

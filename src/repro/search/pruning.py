@@ -12,9 +12,10 @@ engine runs them in order and stops at the first rejection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from ..core.caching import cached_property
 from typing import Callable, List, Optional, Tuple
 
+from .. import npcompat
 from ..core.analytical import DEFAULT_DELTA, DEFAULT_GAMMA
 from ..core.graph import ModelGraph
 from ..network.topology import ClusterSpec
@@ -26,6 +27,8 @@ __all__ = [
     "prune_structure",
     "prune_memory_lower_bound",
     "DEFAULT_PRUNERS",
+    "apply_pruners",
+    "apply_pruners_batch",
 ]
 
 
@@ -183,3 +186,81 @@ def apply_pruners(
         if reason is not None:
             return reason
     return None
+
+
+def apply_pruners_batch(
+    cands: List[Candidate],
+    ctx: PruningContext,
+    pruners: Optional[List[Pruner]] = None,
+) -> List[Optional[str]]:
+    """:func:`apply_pruners` over many candidates at once.
+
+    With numpy and the default pruner stack, boolean masks decide *which*
+    candidates are rejected (the comparisons and the memory lower bound
+    are mirrored as array expressions); the reason strings themselves are
+    then regenerated by the scalar pruners on the flagged minority, so
+    text and first-rejection-wins ordering are identical by construction.
+    Custom pruner stacks (or no numpy) fall back to the scalar loop.
+    """
+    if pruners is not None and tuple(pruners) != DEFAULT_PRUNERS:
+        return [apply_pruners(c, ctx, pruners) for c in cands]
+    np = npcompat.np
+    if np is None or len(cands) < 8:
+        return [apply_pruners(c, ctx) for c in cands]
+    n = len(cands)
+    p = np.fromiter((c.p for c in cands), dtype=np.int64, count=n)
+    B = np.fromiter((c.batch for c in cands), dtype=np.int64, count=n)
+    p1 = np.fromiter((c.p1 for c in cands), dtype=np.int64, count=n)
+    p2 = np.fromiter((c.p2 for c in cands), dtype=np.int64, count=n)
+    seg = np.fromiter((c.segments for c in cands), dtype=np.int64, count=n)
+    sids = [c.sid for c in cands]
+    is_ = {
+        sid: np.fromiter(
+            (s == sid for s in sids), dtype=np.bool_, count=n)
+        for sid in ("d", "z", "s", "p", "f", "c", "df", "ds")
+    }
+    hybrid = is_["df"] | is_["ds"]
+    # prune_structure, as masks (same comparisons, same candidates).
+    bad = (p < 1) | (B < 1)
+    bad |= (is_["d"] | is_["z"]) & (p > B)
+    bad |= is_["s"] & (p > ctx.min_spatial)
+    bad |= is_["p"] & ((p > ctx.num_layers) | ((seg > 0) & (seg > B)))
+    bad |= is_["f"] & (p > ctx.min_filters)
+    bad |= is_["c"] & (p > ctx.min_channels)
+    bad |= hybrid & (
+        (p1 * p2 != p)
+        | (p1 > B)
+        | (is_["df"] & (p2 > ctx.min_filters))
+        | (is_["ds"] & (p2 > ctx.min_spatial))
+    )
+    # _memory_lower_bound, vectorized (identical expression order per
+    # family; structurally-bad candidates may divide by clamped values,
+    # but their verdict is already decided above).
+    weights = ctx.weight_elements
+    io = ctx.activation_io_elements
+    Bf = B.astype(np.float64)
+    pf = np.maximum(p, 1).astype(np.float64)
+    p1f = np.maximum(p1, 1).astype(np.float64)
+    p2f = np.maximum(p2, 1).astype(np.float64)
+    shard_w = is_["z"] | is_["f"] | is_["c"] | is_["p"]
+    w_term = np.where(
+        shard_w, 2.0 * weights / pf,
+        np.where(is_["df"], 2.0 * weights / p2f, 2.0 * weights),
+    )
+    a_term = np.where(
+        is_["d"] | is_["z"], 2.0 * (Bf / pf) * io,
+        np.where(
+            is_["s"], 2.0 * Bf * io / pf,
+            np.where(
+                hybrid, 2.0 * Bf * io / (p1f * p2f),
+                np.where(is_["p"], 0.0, 2.0 * Bf * io),
+            ),
+        ),
+    )
+    bound = ctx.gamma * ctx.delta * (w_term + a_term)
+    bad |= bound > ctx.cluster.gpu_memory_bytes
+    flagged = bad.tolist()
+    return [
+        apply_pruners(c, ctx) if hit else None
+        for c, hit in zip(cands, flagged)
+    ]

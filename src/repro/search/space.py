@@ -15,7 +15,7 @@ binds one to a :class:`~repro.core.graph.ModelGraph` as a concrete
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from functools import cached_property
+from ..core.caching import cached_property
 from typing import Iterator, Optional, Tuple
 
 from ..collectives.selector import POLICIES
@@ -142,6 +142,14 @@ class SearchSpace:
         Communication policies to sweep per candidate ("paper" / "auto" /
         "nccl-like").  Empty (the default) costs every candidate under
         the evaluating oracle's own policy.
+    exhaustive:
+        Widen the grid from the declared PE-budget ladder to *every* PE
+        count in ``[1, max(pe_budgets)]``, and sweep hybrid
+        factorizations over the full divisor lattice (``p2`` from 1 up
+        to ``p``, ``min_model_dim``/``max_model_dim`` notwithstanding).
+        Candidate counts grow by roughly an order of magnitude — the
+        mode is paired with the engine's vectorized projection path
+        (``docs/performance.md``).
     """
 
     strategies: Tuple[str, ...] = DEFAULT_STRATEGIES
@@ -152,6 +160,7 @@ class SearchSpace:
     min_model_dim: int = 2
     max_model_dim: Optional[int] = None
     comm_policies: Tuple[str, ...] = ()
+    exhaustive: bool = False
 
     def __post_init__(self) -> None:
         if not self.strategies:
@@ -190,7 +199,11 @@ class SearchSpace:
         strong_batches = self._strong_batches(intra)
         policies: Tuple[str, ...] = self.comm_policies or ("",)
         seen = set()
-        for p in sorted(set(self.pe_budgets)):
+        budgets = (
+            range(1, max(self.pe_budgets) + 1) if self.exhaustive
+            else sorted(set(self.pe_budgets))
+        )
+        for p in budgets:
             for sid in self.strategies:
                 for base in self._expand(sid, p, strong_batches):
                     for policy in policies:
@@ -205,9 +218,16 @@ class SearchSpace:
         self, sid: str, p: int, strong_batches: Tuple[int, ...]
     ) -> Iterator[Candidate]:
         if sid in _HYBRID_IDS:
-            cap = self.max_model_dim if self.max_model_dim is not None else p
+            if self.exhaustive:
+                lo, cap = 1, p
+            else:
+                lo = self.min_model_dim
+                cap = (
+                    self.max_model_dim if self.max_model_dim is not None
+                    else p
+                )
             for p2 in divisors(p):
-                if not self.min_model_dim <= p2 <= cap:
+                if not lo <= p2 <= cap:
                     continue
                 p1 = p // p2
                 if p1 < 1:

@@ -9,6 +9,7 @@ import json
 
 import pytest
 
+from repro import npcompat
 from repro.core.calibration import profile_model
 from repro.core.oracle import ParaDL
 from repro.data.datasets import DatasetSpec
@@ -74,10 +75,17 @@ class TestEngineTracing:
         engine = SearchEngine(oracle, dataset, workers=1, tracer=tracer)
         engine.search(SPACE)
         names = {s.name for s in tracer.spans}
-        assert names == {
+        expected = {
             "search", "search.expansion", "search.evaluate_chunk",
             "search.ranking", "search.persistence",
         }
+        if npcompat.have_numpy():
+            expected.add("search.evaluate_batch")
+            batch = next(
+                s for s in tracer.spans
+                if s.name == "search.evaluate_batch")
+            assert batch.attrs["candidates"] > 0
+        assert names == expected
         root = next(s for s in tracer.spans if s.name == "search")
         assert root.parent_id is None
         assert all(s.parent_id is not None
@@ -101,7 +109,10 @@ class TestEngineTracing:
         here = os.getpid()
         worker_spans = [s for s in spans if s.pid != here]
         assert worker_spans, "worker chunk spans should fold in"
-        assert all(s.name == "search.evaluate_chunk" for s in worker_spans)
+        assert all(
+            s.name in ("search.evaluate_chunk", "search.evaluate_batch")
+            for s in worker_spans)
+        assert any(s.name == "search.evaluate_chunk" for s in worker_spans)
         # re-parented under this process's span tree, ids unique
         ids = {s.span_id: s for s in spans}
         assert len(ids) == len(spans)
@@ -117,10 +128,25 @@ class TestEngineTracing:
         assert snap["search.feasible"]["value"] == report.stats["feasible"]
         assert snap["search.epoch_s"]["count"] == report.stats["feasible"]
         assert "cache.entries" in snap
-        assert "comm.memo_hit_rate" in snap
+        if npcompat.have_numpy():
+            assert snap["search.vectorized_candidates"]["value"] > 0
+        else:
+            assert snap["search.scalar_fallback_candidates"]["value"] > 0
         assert any(name.startswith("comm.selected.") for name in snap)
         stage = snap["search.stage.total_s"]
         assert stage["count"] == 1.0
+
+    def test_scalar_path_metrics(self, oracle, dataset):
+        """``vectorize=False`` keeps the pre-array metric surface: the
+        choose-memo gauge returns and the fallback counter tallies."""
+        metrics = MetricsRegistry()
+        engine = SearchEngine(oracle, dataset, workers=1, metrics=metrics,
+                              vectorize=False)
+        engine.search(SPACE)
+        snap = metrics.snapshot()
+        assert "search.vectorized_candidates" not in snap
+        assert snap["search.scalar_fallback_candidates"]["value"] > 0
+        assert "comm.memo_hit_rate" in snap
 
     def test_search_results_identical_with_and_without_obs(
             self, oracle, dataset):

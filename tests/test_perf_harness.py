@@ -152,3 +152,111 @@ class TestRegressionChecker:
         results = os.path.join(REPO_ROOT, "benchmarks", "results")
         assert checker.main(
             ["--current", results, "--baseline", results]) == 0
+
+
+def _run_json(checker, capsys, argv):
+    """Run ``main(argv + ["--json"])``; return (exit code, parsed doc)."""
+    code = checker.main(argv + ["--json"])
+    out = capsys.readouterr().out
+    return code, json.loads(out)
+
+
+class TestJsonSummary:
+    """Pin the ``--json`` machine-readable summary schema."""
+
+    TOP_KEYS = {
+        "schema_version", "status", "tolerance", "warn_only",
+        "checked", "regressions", "results", "skipped",
+    }
+    RESULT_KEYS = {
+        "benchmark", "metric", "status", "current", "baseline", "ratio",
+    }
+
+    def test_pass_document_schema(self, checker, tmp_path, capsys):
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        for d in (cur, base):
+            _write_bench(d, "search", {"eval_per_s": 100.0})
+        code, doc = _run_json(
+            checker, capsys, ["--current", cur, "--baseline", base])
+        assert code == 0
+        assert set(doc) == self.TOP_KEYS
+        assert doc["schema_version"] == checker.JSON_SCHEMA_VERSION == 1
+        assert doc["status"] == "pass"
+        assert doc["tolerance"] == checker.DEFAULT_TOLERANCE
+        assert doc["warn_only"] is False
+        assert doc["checked"] == 1
+        assert doc["regressions"] == 0
+        assert doc["skipped"] == []
+        (row,) = doc["results"]
+        assert set(row) == self.RESULT_KEYS
+        assert row == {
+            "benchmark": "search", "metric": "eval_per_s",
+            "status": "ok", "current": 100.0, "baseline": 100.0,
+            "ratio": 1.0,
+        }
+
+    def test_regress_document_and_exit_code(self, checker, tmp_path, capsys):
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        _write_bench(cur, "search", {"eval_per_s": 10.0})
+        _write_bench(base, "search", {"eval_per_s": 100.0})
+        code, doc = _run_json(
+            checker, capsys,
+            ["--current", cur, "--baseline", base, "--tolerance", "0.5"])
+        assert code == 1
+        assert doc["status"] == "regress"
+        assert doc["regressions"] == 1
+        (row,) = doc["results"]
+        assert row["status"] == "regression"
+        assert row["ratio"] == pytest.approx(0.1)
+
+    def test_warn_only_regress_still_reports_regress(
+            self, checker, tmp_path, capsys):
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        _write_bench(cur, "search", {"eval_per_s": 10.0})
+        _write_bench(base, "search", {"eval_per_s": 100.0})
+        code, doc = _run_json(
+            checker, capsys,
+            ["--current", cur, "--baseline", base, "--warn-only"])
+        assert code == 0
+        assert doc["status"] == "regress"
+        assert doc["warn_only"] is True
+
+    def test_skip_documents(self, checker, tmp_path, capsys):
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        _write_bench(cur, "search", {"eval_per_s": 1.0})
+        # No baseline directory at all -> status skip, empty results.
+        code, doc = _run_json(
+            checker, capsys,
+            ["--current", cur, "--baseline", str(tmp_path / "nope")])
+        assert code == 0
+        assert doc["status"] == "skip"
+        assert doc["checked"] == 0 and doc["results"] == []
+        # Baseline exists but every pair skips (missing counterpart +
+        # schema skew) -> skip entries carry file + reason.
+        _write_bench(cur, "sweep", {"eval_per_s": 1.0})
+        _write_bench(base, "search", {"eval_per_s": 100.0}, version=2)
+        code, doc = _run_json(
+            checker, capsys, ["--current", cur, "--baseline", base])
+        assert code == 0
+        assert doc["status"] == "skip"
+        assert len(doc["skipped"]) == 2
+        for entry in doc["skipped"]:
+            assert set(entry) == {"file", "reason"}
+        reasons = " | ".join(e["reason"] for e in doc["skipped"])
+        assert "schema_version changed" in reasons
+        assert "no baseline for BENCH_sweep.json" in reasons
+
+    def test_json_stdout_is_pure_json(self, checker, tmp_path, capsys):
+        """Notes and prose must not pollute the parseable stream."""
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        _write_bench(cur, "search", {"eval_per_s": 10.0})
+        _write_bench(cur, "sweep", {"eval_per_s": 1.0})
+        _write_bench(base, "search", {"eval_per_s": 100.0})
+        code = checker.main(
+            ["--current", cur, "--baseline", base, "--json"])
+        captured = capsys.readouterr()
+        assert code == 1
+        doc = json.loads(captured.out)  # raises if prose leaked in
+        assert doc["status"] == "regress"
+        assert "REGRESSION" in captured.err
+        assert "note:" in captured.err

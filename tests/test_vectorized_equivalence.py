@@ -1,0 +1,266 @@
+"""Vectorized batch projection == scalar fast path == reference path.
+
+:meth:`AnalyticalModel.project_batch` evaluates whole strategy families
+as numpy array expressions (``docs/performance.md``).  These tests pin
+the equivalence that path promises:
+
+* **model zoo x strategy families x comm policies**: batching the
+  suggest-style cases through ``project_batch`` agrees with per-candidate
+  ``project`` *and* with ``path="reference"`` to ``rel <= 1e-9``
+  (``abs 1e-15``), with notes / policy / per-phase algorithm logs equal
+  exactly;
+* **randomized sweeps**: seeded random (family, p, B, segments, policy)
+  mixes — including infeasible configurations — produce value parity and
+  *error parity* (same exception type and message, aligned per item);
+* **no-numpy lane**: with ``repro.npcompat.np`` forced to ``None`` the
+  batch call degrades to the scalar loop with identical results;
+* **checkpointed pipelines** (the documented scalar-fallback family)
+  still round-trip through the batch API;
+* ``repro.core.math_utils.divisors`` is ``lru_cache``-memoized, and the
+  warm path is measurably faster than the factorization it skips.
+"""
+
+import random
+
+import pytest
+
+from repro import npcompat
+from repro.core.calibration import profile_model
+from repro.core.oracle import ParaDL
+from repro.core.analytical import Projection
+from repro.core.strategies import (
+    ALL_STRATEGY_IDS,
+    PipelineParallel,
+    Serial,
+    StrategyError,
+    strategy_from_id,
+)
+from repro.data import DATASETS
+from repro.models import MODEL_BUILDERS, build_model
+from repro.network.topology import abci_like_cluster
+
+ZOO = tuple(sorted(MODEL_BUILDERS))
+POLICIES = ("paper", "auto", "nccl-like")
+PES = 16
+SAMPLES_PER_PE = 8
+
+_ORACLES = {}
+
+
+def _oracle_for(model_name):
+    if model_name not in _ORACLES:
+        ds_name = "imagenet" if model_name != "cosmoflow" else "cosmoflow256"
+        dataset = DATASETS[ds_name]
+        input_spec = (
+            dataset.sample
+            if model_name == "cosmoflow" and dataset.sample.ndim == 3
+            else None
+        )
+        model = build_model(model_name, input_spec)
+        cluster = abci_like_cluster(PES)
+        profile = profile_model(model, samples_per_pe=32)
+        _ORACLES[model_name] = (
+            ParaDL(model, cluster, profile), model, cluster, dataset)
+    return _ORACLES[model_name]
+
+
+def _strategies_for(model_name):
+    """Suggest-style cases: every family the model hosts at the budget."""
+    oracle, model, cluster, dataset = _oracle_for(model_name)
+    fixed = SAMPLES_PER_PE * cluster.node.gpus
+    cases = [(Serial(), fixed)]
+    for sid in ALL_STRATEGY_IDS:
+        try:
+            strategy = strategy_from_id(
+                sid, PES, model, max(PES, fixed), segments=4,
+                intra=cluster.node.gpus,
+            )
+            batch = (
+                SAMPLES_PER_PE * PES if strategy.is_weak_scaling else fixed
+            )
+            strategy.check(model, batch)
+        except StrategyError:
+            continue
+        cases.append((strategy, batch))
+    return cases
+
+
+def _assert_projections_equal(got, want, label=""):
+    assert isinstance(got, Projection), (label, got)
+    g, w = got.per_epoch.asdict(), want.per_epoch.asdict()
+    for field, value in w.items():
+        assert g[field] == pytest.approx(value, rel=1e-9, abs=1e-15), (
+            label, field)
+    assert got.memory_bytes == pytest.approx(
+        want.memory_bytes, rel=1e-9), label
+    assert got.iterations == want.iterations, label
+    assert got.notes == want.notes, label
+    assert got.comm_policy == want.comm_policy, label
+    assert got.comm_algorithms == want.comm_algorithms, label
+
+
+def _scalar_outcome(analytical, strategy, batch, dataset_size, comm):
+    try:
+        return analytical.project(strategy, batch, dataset_size, comm=comm)
+    except (StrategyError, ValueError) as exc:
+        return exc
+
+
+def _assert_outcomes_match(got, want, label=""):
+    if isinstance(want, Exception):
+        assert type(got) is type(want), (label, got)
+        assert str(got) == str(want), label
+    else:
+        _assert_projections_equal(got, want, label)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("model_name", ZOO)
+def test_batch_matches_scalar_and_reference(model_name, policy):
+    oracle, model, cluster, dataset = _oracle_for(model_name)
+    analytical = oracle.analytical
+    cases = _strategies_for(model_name)
+    assert len(cases) > 1, "expected at least one non-serial family"
+    strategies = [s for s, _ in cases]
+    batches = [b for _, b in cases]
+    results = analytical.project_batch(
+        strategies, batches, dataset.num_samples,
+        comms=[policy] * len(cases))
+    assert len(results) == len(cases)
+    for (strategy, batch), got in zip(cases, results):
+        label = f"{model_name}:{strategy.id}:{policy}"
+        scalar = analytical.project(
+            strategy, batch, dataset.num_samples, comm=policy)
+        ref = analytical.project(
+            strategy, batch, dataset.num_samples, comm=policy,
+            path="reference")
+        _assert_projections_equal(got, scalar, label)
+        _assert_projections_equal(got, ref, label + ":reference")
+
+
+def _random_cases(model, cluster, rng, count):
+    """Seeded (strategy-or-error, batch, comm) mix, infeasibles included."""
+    cases = []
+    while len(cases) < count:
+        sid = rng.choice(ALL_STRATEGY_IDS + ("serial",))
+        p = rng.choice((1, 2, 3, 4, 6, 8, 12, 16))
+        spp = rng.choice((1, 4, 8, 32))
+        comm = rng.choice(("paper", "auto", "nccl-like", None))
+        try:
+            strategy = (
+                Serial() if sid == "serial"
+                else strategy_from_id(
+                    sid, p, model, max(p, spp * p),
+                    segments=rng.choice((2, 4, 8)),
+                    intra=cluster.node.gpus)
+            )
+        except StrategyError:
+            continue  # unbuildable shapes never reach project_batch
+        cases.append((strategy, spp * max(1, p), comm))
+    return cases
+
+
+def test_randomized_mix_value_and_error_parity():
+    """One mixed batch per model: random families, budgets, policies."""
+    rng = random.Random(20260807)
+    errors = 0
+    for model_name in ZOO:
+        oracle, model, cluster, dataset = _oracle_for(model_name)
+        analytical = oracle.analytical
+        cases = _random_cases(model, cluster, rng, count=40)
+        strategies = [s for s, _, _ in cases]
+        batches = [b for _, b, _ in cases]
+        comms = [c for _, _, c in cases]
+        results = analytical.project_batch(
+            strategies, batches, dataset.num_samples, comms=comms)
+        for (strategy, batch, comm), got in zip(cases, results):
+            want = _scalar_outcome(
+                analytical, strategy, batch, dataset.num_samples, comm)
+            errors += isinstance(want, Exception)
+            _assert_outcomes_match(
+                got, want, f"{model_name}:{strategy.id}:b={batch}:{comm}")
+    assert errors, "expected some infeasible draws across the zoo"
+
+
+def test_invalid_batch_yields_per_item_valueerror():
+    oracle, model, cluster, dataset = _oracle_for("toy_cnn")
+    results = oracle.analytical.project_batch(
+        [Serial(), Serial()], [0, 8], dataset.num_samples)
+    assert isinstance(results[0], ValueError)
+    assert "dataset_size" in str(results[0])
+    assert isinstance(results[1], Projection)
+
+
+def test_misaligned_inputs_rejected():
+    oracle, model, cluster, dataset = _oracle_for("toy_cnn")
+    with pytest.raises(ValueError, match="align"):
+        oracle.analytical.project_batch([Serial()], [8, 8], 64)
+    with pytest.raises(ValueError, match="align"):
+        oracle.analytical.project_batch(
+            [Serial()], [8], 64, comms=["paper", "paper"])
+
+
+def test_checkpointed_pipeline_falls_back_to_scalar():
+    """Checkpointing is the documented non-vectorized configuration; the
+    batch API must still answer for it (group-level scalar fallback)."""
+    oracle, model, cluster, dataset = _oracle_for("toy_cnn")
+    analytical = oracle.analytical
+    plain = PipelineParallel(2, segments=2)
+    ckpt = PipelineParallel(2, segments=2, checkpoint=True)
+    results = analytical.project_batch(
+        [plain, ckpt], [32, 32], dataset.num_samples)
+    for strategy, got in zip((plain, ckpt), results):
+        want = analytical.project(strategy, 32, dataset.num_samples)
+        _assert_projections_equal(got, want, f"ckpt={strategy.checkpoint}")
+
+
+def test_no_numpy_lane_matches_exactly(monkeypatch):
+    """With npcompat.np forced to None the batch call degrades to the
+    scalar loop — same values bit-for-bit, same error objects."""
+    pytest.importorskip("numpy", exc_type=ImportError)
+    oracle, model, cluster, dataset = _oracle_for("toy_cnn")
+    analytical = oracle.analytical
+    rng = random.Random(7)
+    cases = _random_cases(model, cluster, rng, count=24)
+    strategies = [s for s, _, _ in cases]
+    batches = [b for _, b, _ in cases]
+    comms = [c for _, _, c in cases]
+    vectorized = analytical.project_batch(
+        strategies, batches, dataset.num_samples, comms=comms)
+    monkeypatch.setattr(npcompat, "np", None)
+    scalar = analytical.project_batch(
+        strategies, batches, dataset.num_samples, comms=comms)
+    for case, vec, sca in zip(cases, vectorized, scalar):
+        label = f"{case[0].id}:b={case[1]}"
+        if isinstance(sca, Exception):
+            assert type(vec) is type(sca) and str(vec) == str(sca), label
+        else:
+            # Elementwise handler terms mirror the scalar expression
+            # order; equality here is exact, not approximate.
+            assert vec.per_epoch.asdict() == sca.per_epoch.asdict(), label
+            assert vec.memory_bytes == sca.memory_bytes, label
+            assert vec.notes == sca.notes, label
+            assert vec.comm_algorithms == sca.comm_algorithms, label
+
+
+def test_divisors_is_cached_and_warm_lookups_are_fast():
+    """Satellite: ``divisors`` is ``lru_cache``-memoized and the warm
+    hit beats re-factorization by a wide margin."""
+    import timeit
+
+    from repro.core import math_utils
+
+    cached = math_utils._divisors_cached
+    assert hasattr(cached, "cache_info"), "divisors must be lru_cached"
+    cached.cache_clear()
+    n = 720720  # highly composite: 240 divisors, a worst-ish case
+    first = math_utils.divisors(n)
+    assert math_utils.divisors(n) == first
+    info = cached.cache_info()
+    assert info.hits >= 1 and info.misses == 1
+
+    cold = timeit.timeit(lambda: cached.__wrapped__(n), number=200)
+    warm = timeit.timeit(lambda: math_utils.divisors(n), number=200)
+    # Warm lookups are a dict hit plus one list copy; 5x is far below
+    # the observed gap (>50x) but safely above CI-runner noise.
+    assert warm * 5 < cold, (warm, cold)
