@@ -1,0 +1,47 @@
+"""Serving benchmark: sustained closed-loop load on the planning server.
+
+Spins an in-process :class:`~repro.serve.server.PlanningServer` on an
+ephemeral port, drives it with the closed-loop
+:class:`~repro.serve.loadgen.LoadGenerator` (the default
+project-heavy scenario mix), and records p50/p90/p99 latency plus
+sustained RPS into ``benchmarks/results/BENCH_serve.json`` via the
+standard harness — the envelope ``scripts/check_perf_regression.py``
+diffs against its baseline (RPS is the higher-is-better metric).
+
+Deliberately short (a couple of seconds of load) so it rides in the
+tier-1 suite; ``repro bench-serve`` is the knob-turning CLI twin.
+"""
+
+from _util import write_report
+
+from repro.serve import LoadGenerator, LoadReport, PlanningServer
+
+
+def test_bench_serve():
+    with PlanningServer(port=0, pool_size=16) as server:
+        generator = LoadGenerator(server.url, clients=4, duration_s=2.0)
+        report = generator.run()
+        snapshot = server.app.metrics.snapshot()
+
+    # Qualitative shape: the server sustained real traffic, cleanly.
+    assert report.errors == 0
+    assert report.requests > 50, "server answered implausibly few requests"
+    assert report.rps > 25
+    lat = report.latency
+    assert 0 < lat["p50_ms"] <= lat["p90_ms"] <= lat["p99_ms"]
+    assert lat["p99_ms"] < 5_000, "p99 latency beyond any sane bound"
+    # Every request the clients counted, the server counted too.
+    assert snapshot["serve.requests"]["value"] >= report.requests
+    assert snapshot["serve.status.200"]["value"] >= report.requests
+
+    lines = report.lines() + [
+        "",
+        "server-side: "
+        f"{int(snapshot['serve.requests']['value'])} requests observed, "
+        f"latency p99={snapshot['serve.latency_s']['p99'] * 1e3:.2f}ms",
+    ]
+    write_report(
+        "serve", lines,
+        metrics=report.bench_metrics(),
+        higher_is_better=LoadReport.HIGHER_IS_BETTER,
+    )

@@ -1,0 +1,75 @@
+"""Quickstart: the planning oracle as an HTTP service.
+
+Boots an in-process :class:`repro.serve.PlanningServer` on an
+ephemeral port, then walks the wire contract with the stdlib client:
+sync verbs, a batch of questions against one document, an async search
+job, and the health/metrics probes.  Everything here works identically
+against a long-lived ``repro serve`` process — swap ``server.url`` for
+its address.
+
+Run: ``PYTHONPATH=src python examples/serve_quickstart.py``
+"""
+
+from repro.serve import PlanningClient, PlanningServer, ServerError
+
+SCENARIO = {
+    "model": {"name": "resnet50"},
+    "cluster": {"pes": 64},
+    "training": {"samples_per_pe": 2},
+}
+
+
+def main() -> None:
+    with PlanningServer(port=0) as server:
+        print(f"server up on {server.url}\n")
+        client = PlanningClient(server.url)
+
+        # -- one projection: same envelope as `repro project --json`
+        envelope = client.project(
+            dict(SCENARIO, strategy={"id": "d"}))
+        print(f"project: data-parallel epoch = "
+              f"{envelope['epoch_s']:.1f}s "
+              f"(feasible={envelope['feasible']})")
+
+        # -- a batch: several questions, one document, one session
+        batch = client.batch(SCENARIO, [
+            {"verb": "project", "overrides": {"strategy": {"id": "d"}}},
+            {"verb": "project", "overrides": {"strategy": {"id": "z"}}},
+            {"verb": "suggest"},
+        ])
+        for answer in batch["results"]:
+            if answer["kind"] == "project":
+                print(f"batch:   {answer['strategy']:12s} "
+                      f"epoch = {answer['epoch_s']:.1f}s")
+        ranked = batch["results"][-1]
+        top = ranked["entries"][0]
+        print(f"batch:   suggest ranks {top['strategy']!r} first")
+
+        # -- a long verb as an async job: submit, poll, unwrap
+        result = client.run_job("search", dict(
+            SCENARIO,
+            search={"strategies": ["d", "z", "f"], "segments": [2, 4]},
+        ))
+        best = result["best"]
+        print(f"job:     search winner = {best['strategy']} "
+              f"({result['stats']['candidates']} candidates)")
+
+        # -- validation errors carry the dotted field path
+        try:
+            client.project({"model": {"name": "not-a-model"}})
+        except ServerError as exc:
+            print(f"errors:  {exc.status} names field "
+                  f"{exc.field!r}")
+
+        # -- observability built in
+        health = client.health()
+        metrics = client.metrics()["metrics"]
+        print(f"health:  {health['status']}, "
+              f"{int(health['pool']['sessions'])} pooled session(s), "
+              f"{int(metrics['serve.requests']['value'])} requests, "
+              f"p99 = "
+              f"{metrics['serve.latency_s']['p99'] * 1e3:.1f}ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Smoke-validate the planning server end to end.
+
+Boots an in-process :class:`repro.serve.PlanningServer` on an ephemeral
+port, fires one canned request per endpoint family, and asserts the
+wire contract holds: result envelopes for the sync verbs, a structured
+400 naming the dotted field for a bad document, the compact 422
+envelope for an infeasible configuration, the job lifecycle reaching
+``done``, and sane health/metrics snapshots.  A latency sanity bound
+(projections answered under a second each, generously) guards against
+pathological slowdowns without being benchmark-flaky.
+
+Usage::
+
+    python scripts/check_serve.py [--verbose]
+
+Exit codes: 0 when every check passes, 1 on any contract violation.
+CI runs this in the ``serve`` job before the serve test battery; it is
+also the quickest local "did I break the server?" probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.serve import (  # noqa: E402  (path bootstrap above)
+    PlanningClient,
+    PlanningServer,
+    ServerError,
+)
+
+BASE = {
+    "model": {"name": "alexnet"},
+    "cluster": {"pes": 8},
+    "training": {"samples_per_pe": 4},
+}
+
+#: Generous per-request latency ceiling for the tiny canned scenarios.
+LATENCY_CEILING_S = 1.0
+
+_failures = []
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    status = "ok  " if condition else "FAIL"
+    print(f"  [{status}] {name}" + (f" — {detail}" if detail else ""))
+    if not condition:
+        _failures.append(name)
+
+
+def timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def run_checks(client: PlanningClient) -> None:
+    print("sync verbs:")
+    envelope, seconds = timed(
+        client.project, dict(BASE, strategy={"id": "d"}))
+    check("project answers a result envelope",
+          envelope.get("kind") == "project"
+          and envelope.get("feasible") is True)
+    check("project latency sane", seconds < LATENCY_CEILING_S,
+          f"{seconds * 1e3:.1f}ms")
+    envelope, _ = timed(client.suggest, BASE)
+    check("suggest ranks strategies", envelope.get("kind") == "suggest")
+    envelope, _ = timed(
+        client.search,
+        dict(BASE, search={"strategies": ["d", "z"], "segments": [2]}))
+    check("search returns a frontier",
+          envelope.get("kind") == "search"
+          and envelope.get("best") is not None)
+
+    print("error contract:")
+    try:
+        client.project({"model": {"name": "not-a-model"}})
+        check("bad document rejected", False)
+    except ServerError as exc:
+        check("bad document gets structured 400",
+              exc.status == 400 and exc.field == "model.name",
+              f"field={exc.field!r}")
+    try:
+        client.project(dict(BASE, strategy={"id": "p", "segments": 500}))
+        check("infeasible config rejected", False)
+    except ServerError as exc:
+        check("infeasible config gets 422 envelope",
+              exc.status == 422
+              and exc.payload.get("feasible") is False)
+
+    print("batch:")
+    blob = client.batch(BASE, [
+        {"verb": "project", "overrides": {"strategy": {"id": "d"}}},
+        {"verb": "suggest"},
+    ])
+    check("batch answers in order",
+          [r.get("kind") for r in blob.get("results", [])]
+          == ["project", "suggest"])
+
+    print("jobs:")
+    result = client.run_job(
+        "search",
+        dict(BASE, search={"strategies": ["d", "z"], "segments": [2]}))
+    check("async search job completes", result.get("kind") == "search")
+
+    print("plumbing:")
+    health = client.health()
+    check("healthz reports ok", health.get("status") == "ok")
+    check("healthz exposes pool stats",
+          health.get("pool", {}).get("sessions", 0) >= 1)
+    metrics = client.metrics()
+    served = metrics.get("metrics", {}).get(
+        "serve.requests", {}).get("value", 0)
+    check("metricsz counted this session's requests", served >= 8,
+          f"{int(served)} requests")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true",
+                        help="log server internals to stderr")
+    args = parser.parse_args(argv)
+    if args.verbose:
+        import logging
+
+        logging.basicConfig(level=logging.DEBUG)
+    with PlanningServer(port=0) as server:
+        print(f"serve smoke check against {server.url}")
+        run_checks(PlanningClient(server.url))
+    if _failures:
+        print(f"\n{len(_failures)} check(s) FAILED: "
+              f"{', '.join(_failures)}")
+        return 1
+    print("\nall serve checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,7 +30,25 @@ __all__ = [
     "SweepResult",
     "SimulationResult",
     "suggestion_to_dict",
+    "error_envelope",
 ]
+
+
+def error_envelope(scenario: ScenarioSpec, kind: str,
+                   exc: Exception) -> Dict[str, object]:
+    """The JSON envelope for a structurally infeasible configuration.
+
+    Shares the result envelope's ``schema_version``/``kind``/``scenario``
+    header with ``feasible: false`` and the failure reason, so CLI
+    ``--json`` error output and HTTP 422 bodies are the same document.
+    """
+    return {
+        "schema_version": scenario.schema_version,
+        "kind": kind,
+        "scenario": scenario.to_dict(),
+        "feasible": False,
+        "error": str(exc),
+    }
 
 
 def suggestion_to_dict(s: Suggestion) -> Dict[str, object]:

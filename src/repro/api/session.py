@@ -23,6 +23,7 @@ a future RPC backend would expose.
 from __future__ import annotations
 
 import logging
+import threading
 from typing import Callable, Optional, Sequence, Tuple
 
 from ..obs.metrics import MetricsRegistry
@@ -59,9 +60,17 @@ class Session:
         run counters into; a private registry is created when omitted
         (so :meth:`diagnostics` always works), but nothing is scraped
         into it unless a verb that owns an engine runs.
+    cache_dir:
+        Default projection-cache directory used when the scenario names
+        neither ``search.cache`` nor ``search.cache_dir``.  This is the
+        seam the serving :class:`~repro.serve.pool.SessionPool` uses to
+        share one cross-model cache directory between sessions without
+        touching the scenario echo in result envelopes (caching never
+        changes results, so envelopes stay bit-identical either way).
     """
 
-    def __init__(self, scenario, *, tracer=None, metrics=None) -> None:
+    def __init__(self, scenario, *, tracer=None, metrics=None,
+                 cache_dir: Optional[str] = None) -> None:
         if isinstance(scenario, (str, bytes)) or hasattr(
                 scenario, "__fspath__"):
             scenario = ScenarioSpec.from_file(scenario)
@@ -70,11 +79,24 @@ class Session:
         self.scenario = scenario
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._default_cache_dir = cache_dir
         self._cache = {}
+        # Reentrant: one memo's build may consult other memoized
+        # properties (projection_cache -> search_oracle -> oracle).
+        self._memo_lock = threading.RLock()
 
     def _memo(self, key: str, build: Callable):
+        """Build-once memo, safe under concurrent verb calls.
+
+        A server pool shares one Session between request threads, so
+        two threads may race the first access of a lazy component; the
+        lock guarantees ``build`` runs exactly once per key and every
+        caller sees the same object.
+        """
         if key not in self._cache:
-            self._cache[key] = build()
+            with self._memo_lock:
+                if key not in self._cache:
+                    self._cache[key] = build()
         return self._cache[key]
 
     # ----------------------------------------------------- lazy construction
@@ -162,9 +184,10 @@ class Session:
         """The search :class:`~repro.search.cache.ProjectionCache`.
 
         Honors ``search.cache`` (one persistent file) or
-        ``search.cache_dir`` (per-(model, cluster) fingerprinted files);
-        an in-memory memo otherwise.  Built once, so repeated
-        :meth:`search` calls on one session stay warm.
+        ``search.cache_dir`` (per-(model, cluster) fingerprinted files),
+        then the constructor's default ``cache_dir``; an in-memory memo
+        otherwise.  Built once, so repeated :meth:`search` calls on one
+        session stay warm.
         """
         def build():
             from ..search.cache import ProjectionCache, context_fingerprint
@@ -174,8 +197,11 @@ class Session:
             # that is the canonical paper-bound oracle, so the cache
             # fingerprint is independent of the policy-list order.
             oracle = self._search_oracle()
-            if search.cache_dir is not None:
-                return ProjectionCache.for_oracle(search.cache_dir, oracle)
+            cache_dir = search.cache_dir
+            if cache_dir is None and search.cache is None:
+                cache_dir = self._default_cache_dir
+            if cache_dir is not None:
+                return ProjectionCache.for_oracle(cache_dir, oracle)
             return ProjectionCache(
                 search.cache, context=context_fingerprint(oracle))
 

@@ -282,6 +282,33 @@ def build_parser(
     ))
     exp.add_argument("--full", action="store_true",
                      help="full sweep instead of the quick grid")
+
+    srv = add("serve",
+              "HTTP planning server: Session verbs over the --json "
+              "wire contract (docs/serving.md)")
+    opt(srv, "--host", default="127.0.0.1",
+        help="bind address (default: loopback only)")
+    opt(srv, "--port", type=int, default=8177,
+        help="listen port (0 picks an ephemeral port)")
+    opt(srv, "--pool-size", type=int, default=32,
+        help="distinct scenarios kept live (LRU beyond this)")
+    opt(srv, "--cache-dir", default=None, metavar="DIR",
+        help="shared projection-cache directory for pooled sessions")
+    opt(srv, "--job-workers", type=int, default=2,
+        help="worker threads for async /v1/jobs verbs")
+
+    bsrv = add("bench-serve",
+               "closed-loop load harness against an in-process server: "
+               "p50/p90/p99 latency + RPS")
+    opt(bsrv, "--clients", type=int, default=4,
+        help="concurrent closed-loop client threads")
+    opt(bsrv, "--duration", type=float, default=2.0,
+        help="seconds of sustained load")
+    opt(bsrv, "--pool-size", type=int, default=32)
+    opt(bsrv, "--cache-dir", default=None, metavar="DIR")
+    opt(bsrv, "--report", default=None, metavar="PATH",
+        help="write a BENCH_serve.json envelope here "
+             "(scripts/check_perf_regression.py compatible)")
     return parser
 
 
@@ -496,14 +523,15 @@ def _obs_finish(args, session: Session) -> Optional[dict]:
 
 
 def _error_blob(scenario: ScenarioSpec, kind: str, exc: Exception) -> dict:
-    """The JSON error envelope for infeasible configurations."""
-    return {
-        "schema_version": scenario.schema_version,
-        "kind": kind,
-        "scenario": scenario.to_dict(),
-        "feasible": False,
-        "error": str(exc),
-    }
+    """The JSON error envelope for infeasible configurations.
+
+    Shared with the HTTP server (422 bodies), so CLI and service
+    consumers parse one shape — see :func:`repro.api.results.
+    error_envelope`.
+    """
+    from .api.results import error_envelope
+
+    return error_envelope(scenario, kind, exc)
 
 
 def _invoke(verb):
@@ -998,6 +1026,46 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import PlanningServer
+
+    server = PlanningServer(
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool_size,
+        cache_dir=args.cache_dir,
+        job_workers=args.job_workers,
+    )
+    print(f"repro serve: listening on {server.url} "
+          f"(pool={args.pool_size}, job workers={args.job_workers})")
+    print("endpoints: POST /v1/{project,suggest,hybrid,search,batch,jobs} "
+          "GET /v1/jobs[/<id>] /healthz /metricsz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from .serve import LoadGenerator, PlanningServer
+    from .serve.loadgen import write_bench_json
+
+    with PlanningServer(port=0, pool_size=args.pool_size,
+                        cache_dir=args.cache_dir) as server:
+        generator = LoadGenerator(
+            server.url, clients=args.clients, duration_s=args.duration)
+        report = generator.run()
+    for line in report.lines():
+        print(line)
+    if args.report:
+        path = write_bench_json(args.report, report)
+        print(f"wrote {path}")
+    return 0 if report.errors == 0 else 1
+
+
 _COMMANDS = {
     "project": _cmd_project,
     "suggest": _cmd_suggest,
@@ -1008,6 +1076,8 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "validate": _cmd_validate,
     "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 #: Commands whose handlers build a Session (and so can fail scenario

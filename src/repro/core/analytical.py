@@ -39,6 +39,7 @@ projections by ``tests/test_comm_golden.py``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -71,6 +72,11 @@ from .strategies import (
     StrategyError,
 )
 from .tensors import halo_elements
+
+#: Guards lazy :attr:`AnalyticalModel.kernel` compilation.  Shared by
+#: every model instance (first-build contention is a one-off), and kept
+#: out of instance state so models pickle cleanly into process pools.
+_KERNEL_BUILD_LOCK = threading.Lock()
 
 __all__ = [
     "PhaseBreakdown",
@@ -332,9 +338,17 @@ class AnalyticalModel:
         — see :class:`~repro.core.kernel.ModelKernel`.  Process-pool
         search workers force this in their initializer so the build cost
         is paid once per worker, not per candidate chunk.
+
+        Double-checked against a module lock so concurrent first calls
+        (an HTTP server fanning request threads over one shared oracle)
+        compile the kernel exactly once; the lock is module-level, not
+        an instance attribute, so the model stays picklable for the
+        process-pool executor.
         """
         if self._kernel is None:
-            self._kernel = ModelKernel(self.model, self.profile)
+            with _KERNEL_BUILD_LOCK:
+                if self._kernel is None:
+                    self._kernel = ModelKernel(self.model, self.profile)
         return self._kernel
 
     def _resolve_comm(self, comm: Optional[object]) -> CommModel:

@@ -1,0 +1,44 @@
+"""Oracle-as-a-service: the planning oracle behind an HTTP wire.
+
+``repro.serve`` turns the in-process :class:`~repro.api.session.Session`
+verbs into a small threaded HTTP service speaking the exact PR 4 wire
+contract — scenario documents in, schema-versioned result envelopes
+out, byte-identical to ``repro <verb> --json``.  Stdlib only
+(:mod:`http.server`, :mod:`urllib.request`): no new dependencies.
+
+Pieces:
+
+- :class:`PlanningServer` — ``ThreadingHTTPServer`` wrapper exposing
+  ``POST /v1/{project,suggest,hybrid,search}``, ``POST /v1/batch``,
+  async ``/v1/jobs``, ``GET /healthz`` and ``GET /metricsz``.
+- :class:`PlanningClient` — urllib client for the same contract.
+- :class:`SessionPool` — memoized per-fingerprint Sessions with LRU
+  eviction and a shared projection-cache directory.
+- :class:`JobManager` — submit/poll handles for long verbs.
+- :class:`LoadGenerator` — closed-loop load harness emitting
+  p50/p90/p99 latency + RPS reports (``BENCH_serve.json``).
+
+CLI: ``repro serve`` runs the server, ``repro bench-serve`` runs the
+load harness against an in-process instance.
+"""
+
+from .client import PlanningClient, ServerError
+from .jobs import Job, JobManager
+from .loadgen import LoadGenerator, LoadReport, default_mix, write_bench_json
+from .pool import SessionPool, scenario_fingerprint
+from .server import PlanningServer, ServeError
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "LoadGenerator",
+    "LoadReport",
+    "PlanningClient",
+    "PlanningServer",
+    "ServeError",
+    "ServerError",
+    "SessionPool",
+    "default_mix",
+    "scenario_fingerprint",
+    "write_bench_json",
+]

@@ -1,0 +1,193 @@
+"""Stdlib HTTP client for the planning server.
+
+A thin :mod:`urllib.request` wrapper speaking the ``/v1`` wire
+contract: scenario documents out, schema-versioned result envelopes
+back.  No third-party dependencies, so anything that can import
+``repro`` can drive a remote oracle.
+
+>>> from repro.serve import PlanningClient, PlanningServer
+>>> with PlanningServer(port=0) as server:          # doctest: +SKIP
+...     client = PlanningClient(server.url)
+...     envelope = client.project({"model": {"name": "alexnet"}})
+...     envelope["kind"]
+'project'
+
+Error mapping: non-2xx responses raise :class:`ServerError`, carrying
+the HTTP ``status``, the parsed error ``payload``, and — for 400
+validation failures — the dotted scenario ``field`` the server named.
+Transport-level failures (connection refused, timeouts) propagate as
+the underlying :class:`urllib.error.URLError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["PlanningClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response from the planning server."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        error = payload.get("error")
+        message = (
+            error.get("message") if isinstance(error, dict)
+            else payload.get("error")
+        ) or f"HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+    @property
+    def field(self) -> str:
+        """Dotted scenario field path for validation errors ('' else)."""
+        error = self.payload.get("error")
+        if isinstance(error, dict):
+            return str(error.get("field", ""))
+        return ""
+
+
+ScenarioDoc = Dict[str, object]
+
+
+class PlanningClient:
+    """Client half of the oracle-as-a-service wire contract.
+
+    Parameters
+    ----------
+    base_url:
+        The server root, e.g. ``"http://127.0.0.1:8177"`` (a trailing
+        slash is tolerated).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+    def request_raw(self, method: str, path: str,
+                    body: Optional[bytes] = None) -> Tuple[int, bytes]:
+        """One HTTP exchange, bytes in/bytes out (parity-test friendly).
+
+        Returns ``(status, body)`` for *any* status — no exception
+        mapping — so tests can assert on exact wire bytes.
+        """
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            with exc:
+                return exc.code, exc.read()
+
+    def request(self, method: str, path: str,
+                payload: Optional[object] = None) -> Dict[str, object]:
+        """One JSON exchange; raises :class:`ServerError` on non-2xx."""
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None else None
+        )
+        status, raw = self.request_raw(method, path, body)
+        try:
+            blob = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            blob = {"error": raw.decode("utf-8", "replace")}
+        if not 200 <= status < 300:
+            raise ServerError(status, blob)
+        return blob
+
+    # ----------------------------------------------------------- sync verbs
+    def project(self, scenario: ScenarioDoc) -> Dict[str, object]:
+        """``POST /v1/project`` — one strategy at one operating point."""
+        return self.request("POST", "/v1/project", scenario)
+
+    def suggest(self, scenario: ScenarioDoc) -> Dict[str, object]:
+        """``POST /v1/suggest`` — every strategy ranked for the budget."""
+        return self.request("POST", "/v1/suggest", scenario)
+
+    def hybrid(self, scenario: ScenarioDoc) -> Dict[str, object]:
+        """``POST /v1/hybrid`` — ranked (p1, p2) factorizations."""
+        return self.request("POST", "/v1/hybrid", scenario)
+
+    def search(self, scenario: ScenarioDoc) -> Dict[str, object]:
+        """``POST /v1/search`` — the automated strategy search."""
+        return self.request("POST", "/v1/search", scenario)
+
+    def batch(self, scenario: ScenarioDoc,
+              questions: Sequence[Union[str, Dict[str, object]]]
+              ) -> Dict[str, object]:
+        """``POST /v1/batch`` — one document, many questions.
+
+        Each question is a ``{"verb": ..., "overrides": {...}}`` mapping
+        (a bare verb string is shorthand for no overrides).
+        """
+        normalized: List[Dict[str, object]] = [
+            {"verb": q} if isinstance(q, str) else dict(q)
+            for q in questions
+        ]
+        return self.request(
+            "POST", "/v1/batch",
+            {"scenario": scenario, "questions": normalized})
+
+    # ----------------------------------------------------------------- jobs
+    def submit(self, verb: str, scenario: ScenarioDoc) -> Dict[str, object]:
+        """``POST /v1/jobs`` — async handle for a long-running verb."""
+        return self.request(
+            "POST", "/v1/jobs", {"verb": verb, "scenario": scenario})
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        """``GET /v1/jobs/<id>`` — current state (+ result when done)."""
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, object]:
+        """``GET /v1/jobs`` — every known job, summarized."""
+        return self.request("GET", "/v1/jobs")
+
+    def wait(self, job_id: str, *, timeout: float = 60.0,
+             poll_s: float = 0.05) -> Dict[str, object]:
+        """Poll a job until it finishes; returns its final state.
+
+        Raises ``TimeoutError`` if the job is still running at the
+        deadline; the job itself keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            state = self.job(job_id)
+            if state.get("status") in ("done", "error"):
+                return state
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state.get('status')!r} after "
+                    f"{timeout}s")
+            time.sleep(poll_s)
+
+    def run_job(self, verb: str, scenario: ScenarioDoc, *,
+                timeout: float = 60.0) -> Dict[str, object]:
+        """Submit + wait + unwrap: the blocking convenience path."""
+        handle = self.submit(verb, scenario)
+        state = self.wait(str(handle["job_id"]), timeout=timeout)
+        if state.get("status") == "error":
+            raise ServerError(500, {"error": state.get("error")})
+        return state["result"]  # type: ignore[return-value]
+
+    # ------------------------------------------------------------- plumbing
+    def health(self) -> Dict[str, object]:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        """``GET /metricsz`` — the server's observability snapshot."""
+        return self.request("GET", "/metricsz")

@@ -1,0 +1,151 @@
+"""Async job handles for long-running planning verbs.
+
+A full search or zoo sweep can run for seconds to minutes — too long to
+hold an HTTP connection open under load.  ``POST /v1/jobs`` submits the
+verb to a small worker pool and returns a handle immediately;
+``GET /v1/jobs/<id>`` polls it until the result envelope is ready.
+
+Lifecycle::
+
+    pending -> running -> done
+                       -> error     (the verb raised; message recorded)
+
+Finished jobs are retained so results can be fetched after completion,
+bounded by ``max_jobs``: once the table exceeds it, the oldest
+*finished* jobs are dropped (in-flight jobs are never evicted), so a
+poller that comes back late gets a clean 404 instead of unbounded
+server memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+__all__ = ["Job", "JobManager"]
+
+#: Job states on the wire.
+PENDING, RUNNING, DONE, ERROR = "pending", "running", "done", "error"
+
+
+class Job:
+    """One submitted verb: identity, state, and (eventually) a result."""
+
+    __slots__ = ("id", "verb", "status", "created", "started", "finished",
+                 "result", "error")
+
+    def __init__(self, verb: str) -> None:
+        self.id = uuid.uuid4().hex[:12]
+        self.verb = verb
+        self.status = PENDING
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.result: Optional[dict] = None
+        self.error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in (DONE, ERROR)
+
+    def snapshot(self, *, include_result: bool = True) -> Dict[str, object]:
+        """The JSON-ready wire view of this job."""
+        blob: Dict[str, object] = {
+            "job_id": self.id,
+            "verb": self.verb,
+            "status": self.status,
+            "created_unix": self.created,
+        }
+        if self.started is not None:
+            blob["started_unix"] = self.started
+        if self.finished is not None:
+            blob["finished_unix"] = self.finished
+            blob["seconds"] = self.finished - (self.started or self.created)
+        if self.error is not None:
+            blob["error"] = self.error
+        if include_result and self.result is not None:
+            blob["result"] = self.result
+        return blob
+
+
+class JobManager:
+    """Submit/poll registry over a bounded worker pool.
+
+    ``submit`` accepts a zero-argument callable returning the JSON-ready
+    result payload; exceptions become the job's ``error`` state rather
+    than escaping into the pool.
+    """
+
+    def __init__(self, workers: int = 2, max_jobs: int = 256) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve-job")
+        self.max_jobs = max_jobs
+
+    def submit(self, verb: str, fn: Callable[[], dict]) -> Job:
+        job = Job(verb)
+        with self._lock:
+            self._jobs[job.id] = job
+            self._evict_finished_locked()
+        self._pool.submit(self._run, job, fn)
+        return job
+
+    def _run(self, job: Job, fn: Callable[[], dict]) -> None:
+        job.started = time.time()
+        job.status = RUNNING
+        try:
+            job.result = fn()
+            job.status = DONE
+        except Exception as exc:  # job errors are data, not crashes
+            job.error = str(exc) or type(exc).__name__
+            job.status = ERROR
+        finally:
+            job.finished = time.time()
+
+    def _evict_finished_locked(self) -> None:
+        if len(self._jobs) <= self.max_jobs:
+            return
+        for job_id in [
+            j.id for j in self._jobs.values() if j.terminal
+        ][: len(self._jobs) - self.max_jobs]:
+            del self._jobs[job_id]
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: float = 30.0,
+             poll_s: float = 0.02) -> Optional[Job]:
+        """Block until the job finishes (test/smoke convenience)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            job = self.get(job_id)
+            if job is None or job.terminal:
+                return job
+            time.sleep(poll_s)
+        return self.get(job_id)
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            states = [j.status for j in self._jobs.values()]
+        return {
+            "jobs": float(len(states)),
+            "pending": float(states.count(PENDING)),
+            "running": float(states.count(RUNNING)),
+            "done": float(states.count(DONE)),
+            "error": float(states.count(ERROR)),
+        }
+
+    def shutdown(self, wait: bool = False) -> None:
+        self._pool.shutdown(wait=wait)

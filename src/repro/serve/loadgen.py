@@ -1,0 +1,268 @@
+"""Closed-loop load harness: N client threads, a scenario mix, a clock.
+
+The serving counterpart of the search perf harness: measure what the
+planning server actually sustains, machine-readably.  Each worker
+thread owns one :class:`~repro.serve.client.PlanningClient` and loops
+over the scenario mix until the deadline — closed-loop, so offered
+load adapts to service rate and the percentiles describe the server,
+not a queue.  Latencies aggregate into p50/p90/p99 (the
+:func:`repro.obs.metrics.percentile` estimator, numpy-compatible) plus
+sustained RPS, per verb and overall.
+
+``benchmarks/test_bench_serve.py`` runs this against an in-process
+server and writes ``benchmarks/results/BENCH_serve.json`` through the
+standard ``_util.write_report`` harness; ``repro bench-serve`` is the
+CLI wrapper, and :func:`write_bench_json` emits the same envelope for
+ad-hoc runs so ``scripts/check_perf_regression.py`` can diff either.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import percentile
+from .client import PlanningClient, ServerError
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "default_mix",
+    "write_bench_json",
+]
+
+#: Percentiles every latency summary reports (the SPEChpc-style trio).
+REPORT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def default_mix(pes: int = 8,
+                samples_per_pe: int = 4) -> List[Tuple[str, dict]]:
+    """The canonical small scenario mix: project-heavy, some ranking.
+
+    Mirrors real planning traffic: point projections dominate, with
+    periodic suggest/hybrid ranking sweeps.  Small operating points so
+    the harness measures transport + session overhead, not model size.
+    """
+    base = {
+        "model": {"name": "alexnet"},
+        "cluster": {"pes": pes},
+        "training": {"samples_per_pe": samples_per_pe},
+    }
+    resnet = dict(base, model={"name": "resnet50"})
+    return [
+        ("project", dict(base, strategy={"id": "d"})),
+        ("project", dict(base, strategy={"id": "z"})),
+        ("project", dict(resnet, strategy={"id": "d"})),
+        ("suggest", base),
+        ("project", dict(base, strategy={"id": "f"})),
+        ("hybrid", base),
+    ]
+
+
+def _summary(latencies: Sequence[float]) -> Dict[str, float]:
+    """Latency stats in milliseconds for one sample set."""
+    if not latencies:
+        return {"requests": 0.0}
+    ms = sorted(x * 1e3 for x in latencies)
+    out = {
+        "requests": float(len(ms)),
+        "mean_ms": sum(ms) / len(ms),
+        "min_ms": ms[0],
+        "max_ms": ms[-1],
+    }
+    for q in REPORT_PERCENTILES:
+        out[f"p{q:g}_ms"] = percentile(ms, q)
+    return out
+
+
+@dataclass
+class LoadReport:
+    """What a load run measured: latency distribution + throughput."""
+
+    clients: int
+    duration_s: float
+    requests: int
+    errors: int
+    rps: float
+    latency: Dict[str, float]
+    per_verb: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def asdict(self) -> Dict[str, object]:
+        return {
+            "clients": self.clients,
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "errors": self.errors,
+            "rps": self.rps,
+            "latency": dict(self.latency),
+            "per_verb": {v: dict(s) for v, s in self.per_verb.items()},
+        }
+
+    def bench_metrics(self) -> Dict[str, float]:
+        """The flat metric dict for ``BENCH_serve.json``."""
+        metrics: Dict[str, float] = {
+            "clients": float(self.clients),
+            "duration_s": self.duration_s,
+            "requests": float(self.requests),
+            "errors": float(self.errors),
+            "rps": self.rps,
+        }
+        for key, value in self.latency.items():
+            metrics[f"latency_{key}"] = value
+        return metrics
+
+    #: Metric names where a *drop* is a serving regression.
+    HIGHER_IS_BETTER = ("rps",)
+
+    def lines(self) -> List[str]:
+        """Human-readable report rows (CLI + benchmark output)."""
+        rows = [
+            f"serve load: {self.clients} clients x "
+            f"{self.duration_s:.1f}s closed loop",
+            f"  requests: {self.requests} ({self.errors} errors), "
+            f"sustained {self.rps:.0f} req/s",
+        ]
+        lat = self.latency
+        if lat.get("requests"):
+            rows.append(
+                "  latency : "
+                f"p50={lat['p50_ms']:.2f}ms "
+                f"p90={lat['p90_ms']:.2f}ms "
+                f"p99={lat['p99_ms']:.2f}ms "
+                f"(mean {lat['mean_ms']:.2f}ms, max {lat['max_ms']:.2f}ms)")
+        for verb in sorted(self.per_verb):
+            s = self.per_verb[verb]
+            if s.get("requests"):
+                rows.append(
+                    f"  {verb:8s}: {int(s['requests'])} reqs, "
+                    f"p50={s['p50_ms']:.2f}ms p99={s['p99_ms']:.2f}ms")
+        return rows
+
+
+class LoadGenerator:
+    """Closed-loop generator over a fixed scenario mix.
+
+    Parameters
+    ----------
+    base_url:
+        The planning server to load.
+    mix:
+        ``(verb, scenario_document)`` pairs cycled by every worker;
+        default :func:`default_mix`.
+    clients:
+        Concurrent worker threads (each a closed loop).
+    duration_s:
+        Wall-clock run length; workers stop at the shared deadline.
+    timeout:
+        Per-request client timeout.
+    """
+
+    def __init__(self, base_url: str, *,
+                 mix: Optional[Sequence[Tuple[str, dict]]] = None,
+                 clients: int = 4, duration_s: float = 2.0,
+                 timeout: float = 30.0) -> None:
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {duration_s}")
+        self.base_url = base_url
+        self.mix = list(mix) if mix is not None else default_mix()
+        if not self.mix:
+            raise ValueError("need a non-empty scenario mix")
+        self.clients = clients
+        self.duration_s = duration_s
+        self.timeout = timeout
+
+    def _worker(self, worker_id: int, deadline: float,
+                out: List[Tuple[str, float]], errors: List[str]) -> None:
+        client = PlanningClient(self.base_url, timeout=self.timeout)
+        verbs = {
+            "project": client.project,
+            "suggest": client.suggest,
+            "hybrid": client.hybrid,
+            "search": client.search,
+        }
+        # Stagger starting offsets so workers don't phase-lock on one
+        # scenario and the mix shares load evenly.
+        i = worker_id
+        while time.perf_counter() < deadline:
+            verb, doc = self.mix[i % len(self.mix)]
+            i += 1
+            t0 = time.perf_counter()
+            try:
+                verbs[verb](doc)
+            except (ServerError, OSError) as exc:
+                errors.append(f"{verb}: {exc}")
+                continue
+            out.append((verb, time.perf_counter() - t0))
+
+    def run(self) -> LoadReport:
+        """Drive the load and aggregate the percentile report."""
+        started = time.perf_counter()
+        deadline = started + self.duration_s
+        samples: List[List[Tuple[str, float]]] = [
+            [] for _ in range(self.clients)]
+        errors: List[List[str]] = [[] for _ in range(self.clients)]
+        threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(i, deadline, samples[i], errors[i]),
+                name=f"loadgen-{i}", daemon=True)
+            for i in range(self.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        flat = [pair for chunk in samples for pair in chunk]
+        all_errors = [e for chunk in errors for e in chunk]
+        by_verb: Dict[str, List[float]] = {}
+        for verb, seconds in flat:
+            by_verb.setdefault(verb, []).append(seconds)
+        return LoadReport(
+            clients=self.clients,
+            duration_s=elapsed,
+            requests=len(flat),
+            errors=len(all_errors),
+            rps=len(flat) / elapsed if elapsed > 0 else 0.0,
+            latency=_summary([seconds for _, seconds in flat]),
+            per_verb={v: _summary(s) for v, s in sorted(by_verb.items())},
+        )
+
+
+def write_bench_json(path: str, report: LoadReport,
+                     name: str = "serve") -> str:
+    """Write a ``BENCH_<name>.json``-compatible envelope for ``report``.
+
+    Same schema as ``benchmarks/_util.write_bench_json`` (version 1:
+    ``schema_version``/``name``/``machine``/``metrics``/
+    ``higher_is_better``), so ``scripts/check_perf_regression.py``
+    consumes CLI-emitted reports and benchmark-suite reports alike.
+    """
+    payload = {
+        "schema_version": 1,
+        "name": name,
+        "created_unix": time.time(),
+        "machine": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "processor": platform.processor(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+        },
+        "metrics": report.bench_metrics(),
+        "higher_is_better": sorted(LoadReport.HIGHER_IS_BETTER),
+    }
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

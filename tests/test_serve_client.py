@@ -1,0 +1,142 @@
+"""Tests for ``repro.serve.client.PlanningClient`` against a live server.
+
+The client is the other half of the wire contract: verbs return parsed
+envelopes, non-2xx responses raise :class:`ServerError` carrying the
+status and the dotted validation field, and the job helpers
+(``wait``/``run_job``) hide the polling loop.
+"""
+
+import json
+
+import pytest
+
+from repro.serve import PlanningClient, PlanningServer, ServerError
+
+BASE = {
+    "model": {"name": "alexnet"},
+    "cluster": {"pes": 8},
+    "training": {"samples_per_pe": 4},
+}
+PROJECT_DOC = dict(BASE, strategy={"id": "d"})
+
+
+@pytest.fixture(scope="module")
+def server():
+    with PlanningServer(port=0, pool_size=8) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return PlanningClient(server.url)
+
+
+def test_base_url_trailing_slash_is_tolerated(server):
+    client = PlanningClient(server.url + "/")
+    assert client.project(PROJECT_DOC)["kind"] == "project"
+
+
+@pytest.mark.parametrize("verb", ["project", "suggest", "hybrid"])
+def test_verb_methods_return_parsed_envelopes(client, verb):
+    doc = PROJECT_DOC if verb == "project" else BASE
+    envelope = getattr(client, verb)(doc)
+    assert envelope["kind"] == verb
+    assert isinstance(envelope["scenario"], dict)
+
+
+def test_search_method(client):
+    doc = dict(BASE, search={"strategies": ["d", "z"], "segments": [2]})
+    envelope = client.search(doc)
+    assert envelope["kind"] == "search"
+    assert envelope["best"] is not None
+
+
+def test_validation_failure_raises_server_error(client):
+    with pytest.raises(ServerError) as err:
+        client.project({"model": {"name": "nope"}})
+    assert err.value.status == 400
+    assert err.value.field == "model.name"
+    assert "model.name" in str(err.value)
+    assert err.value.payload["kind"] == "error"
+
+
+def test_infeasible_raises_with_empty_field(client):
+    with pytest.raises(ServerError) as err:
+        client.project(dict(BASE, strategy={"id": "p", "segments": 500}))
+    assert err.value.status == 422
+    assert err.value.field == ""
+    assert err.value.payload["feasible"] is False
+
+
+def test_not_found_raises_server_error(client):
+    with pytest.raises(ServerError) as err:
+        client.request("GET", "/v1/nothing-here")
+    assert err.value.status == 404
+
+
+def test_request_raw_never_raises_on_status(client):
+    status, raw = client.request_raw("GET", "/v1/nothing-here")
+    assert status == 404
+    assert json.loads(raw)["kind"] == "error"
+
+
+def test_batch_accepts_bare_verb_strings(client):
+    blob = client.batch(BASE, ["suggest", "hybrid"])
+    assert [r["kind"] for r in blob["results"]] == ["suggest", "hybrid"]
+
+
+def test_batch_mixed_forms(client):
+    blob = client.batch(BASE, [
+        "suggest",
+        {"verb": "project", "overrides": {"strategy": {"id": "z"}}},
+    ])
+    assert blob["results"][1]["scenario"]["strategy"]["id"] == "z"
+
+
+def test_submit_then_wait(client):
+    handle = client.submit("project", PROJECT_DOC)
+    state = client.wait(handle["job_id"], timeout=30)
+    assert state["status"] == "done"
+    assert state["result"]["feasible"] is True
+
+
+def test_wait_timeout_raises(client, server):
+    # Unknown-but-valid-looking ids 404 inside wait's polling loop,
+    # surfacing as ServerError rather than a silent spin.
+    with pytest.raises(ServerError):
+        client.wait("000000000000", timeout=0.2)
+
+
+def test_run_job_unwraps_result(client):
+    result = client.run_job("suggest", BASE)
+    assert result["kind"] == "suggest"
+    assert result == client.suggest(BASE)
+
+
+def test_run_job_surfaces_infeasible_envelope(client):
+    result = client.run_job(
+        "project", dict(BASE, strategy={"id": "p", "segments": 500}))
+    assert result["feasible"] is False
+
+
+def test_health_and_metrics_helpers(client):
+    assert client.health()["status"] == "ok"
+    snapshot = client.metrics()
+    assert snapshot["kind"] == "metrics"
+    assert "serve.requests" in snapshot["metrics"]
+
+
+def test_client_raw_parity_with_server_bytes(client):
+    """request_raw exposes exact wire bytes (what parity tests rely on)."""
+    status, raw = client.request_raw(
+        "POST", "/v1/project", json.dumps(PROJECT_DOC).encode())
+    assert status == 200
+    assert raw.endswith(b"\n")
+    assert json.loads(raw) == client.project(PROJECT_DOC)
+
+
+def test_server_error_message_for_unparseable_body():
+    err = ServerError(502, {"error": "upstream fell over"})
+    assert err.status == 502
+    assert "upstream fell over" in str(err)
+    assert err.field == ""
