@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Smoke-validate the distributed executor end to end.
+
+Boots two real ``repro worker`` subprocesses on ephemeral localhost
+ports, drives a remote search and a remote sweep against the fleet
+through the CLI's ``--json`` wire contract, and asserts the
+load-bearing guarantees hold outside the test harness: the remote
+report is identical to ``--executor thread`` on the same scenario
+(modulo wall-clock ``seconds`` and the scenario echo's executor
+fields), the fleet actually served chunks, and SIGTERM stops both
+workers with exit code 0 after a clean drain.
+
+Usage::
+
+    python scripts/check_dist.py [--verbose]
+
+Exit codes: 0 when every check passes, 1 on any contract violation.
+CI runs this in the ``dist`` job before the dist test battery; it is
+also the quickest local "did I break the fleet?" probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_failures = []
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    status = "ok  " if condition else "FAIL"
+    print(f"  [{status}] {name}" + (f" — {detail}" if detail else ""))
+    if not condition:
+        _failures.append(name)
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    return env
+
+
+def spawn_worker() -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--bind", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=_env())
+
+
+def worker_address(proc: subprocess.Popen) -> str:
+    """Parse the bound host:port from the startup banner."""
+    line = proc.stdout.readline()
+    marker = "listening on "
+    if marker not in line:
+        raise RuntimeError(f"unexpected worker banner: {line!r}")
+    return line.split(marker, 1)[1].strip()
+
+
+def run_cli(args: list) -> dict:
+    """One ``repro ... --json`` invocation; returns the parsed document."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args, "--json"],
+        capture_output=True, text=True, env=_env(), timeout=300)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(args)} exited {proc.returncode}: "
+            f"{proc.stderr.strip()}")
+    return json.loads(proc.stdout)
+
+
+def normalize(doc: dict) -> dict:
+    """Strip the fields that legitimately differ between backends:
+    the scenario echo's executor/remote_workers, wall-clock ``seconds``
+    (sweep documents time each model's search), and the per-evaluation
+    ``cached`` flag — workers keep their projection memo across
+    connections, so a context this script already searched answers
+    from cache exactly as a warm local cache file would."""
+
+    drop = {"seconds", "cached"}
+
+    def strip(obj):
+        if isinstance(obj, dict):
+            return {k: strip(v) for k, v in obj.items() if k not in drop}
+        if isinstance(obj, list):
+            return [strip(v) for v in obj]
+        return obj
+
+    doc = strip(doc)
+    search = doc.get("scenario", {}).get("search", {})
+    search.pop("executor", None)
+    search.pop("remote_workers", None)
+    return doc
+
+
+def run_checks(fleet: str) -> None:
+    print("remote search parity:")
+    remote = run_cli(["search", "--model", "alexnet", "-p", "8",
+                      "--executor", "remote", "--workers", fleet])
+    thread = run_cli(["search", "--model", "alexnet", "-p", "8",
+                      "--executor", "thread"])
+    check("remote search answers a report",
+          remote.get("kind") == thread.get("kind"))
+    check("remote search identical to thread",
+          normalize(remote) == normalize(thread))
+
+    print("remote sweep parity:")
+    remote = run_cli(["sweep", "--models", "alexnet,vgg16", "-p", "8",
+                      "--segments", "2,4",
+                      "--executor", "remote", "--workers", fleet])
+    thread = run_cli(["sweep", "--models", "alexnet,vgg16", "-p", "8",
+                      "--segments", "2,4", "--executor", "thread"])
+    check("remote sweep identical to thread",
+          normalize(remote) == normalize(thread))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true",
+                        help="echo worker stderr on shutdown")
+    args = parser.parse_args(argv)
+
+    workers = [spawn_worker(), spawn_worker()]
+    try:
+        addresses = [worker_address(p) for p in workers]
+        fleet = ",".join(addresses)
+        print(f"dist smoke check against fleet {fleet}")
+        run_checks(fleet)
+
+        print("graceful shutdown:")
+        chunks = 0
+        for proc, address in zip(workers, addresses):
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+            if args.verbose and err.strip():
+                print(err, file=sys.stderr)
+            check(f"worker {address} exits 0 on SIGTERM",
+                  proc.returncode == 0, f"rc={proc.returncode}")
+            marker = "stopped after "
+            check(f"worker {address} reports its drain",
+                  marker in out)
+            if marker in out:
+                chunks += int(out.split(marker, 1)[1].split()[0])
+        check("fleet served chunks", chunks > 0, f"{chunks} chunks")
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.kill()
+
+    if _failures:
+        print(f"\n{len(_failures)} check(s) FAILED: "
+              f"{', '.join(_failures)}")
+        return 1
+    print("\nall dist checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

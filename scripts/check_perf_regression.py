@@ -15,18 +15,22 @@ Usage::
         [--tolerance 0.5] [--warn-only] [--json]
 
 Exit codes: 0 when no regression (or ``--warn-only``), 1 on regression,
-2 on usage errors.  A missing baseline directory, missing counterpart
-file, or mismatched ``schema_version`` is reported and skipped rather
-than failed — the guard must not turn a first run or a schema migration
-into a red build.  CI runs this warn-only (shared runners are noisy);
-locally, drop ``--warn-only`` to enforce.
+2 on usage errors.  A missing baseline directory or a mismatched
+``schema_version`` is reported and skipped rather than failed — the
+guard must not turn a first run or a schema migration into a red build.
+A benchmark present in the results but absent from the baseline dir is
+*new* (a freshly-added lane, e.g. ``BENCH_dist.json`` before its first
+baseline snapshot): it passes with a note and is listed under ``new``,
+so new lanes land cleanly instead of being skip-silenced.  CI runs this
+warn-only (shared runners are noisy); locally, drop ``--warn-only`` to
+enforce.
 
 ``--json`` replaces the prose report on stdout with one machine-readable
 summary document (notes move to stderr); its shape is pinned by
 ``tests/test_perf_harness.py``::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "status": "pass" | "regress" | "skip",
       "tolerance": 0.5,
       "warn_only": false,
@@ -37,12 +41,14 @@ summary document (notes move to stderr); its shape is pinned by
          "status": "ok", "current": ..., "baseline": ..., "ratio": ...},
         ...
       ],
+      "new": [{"file": "BENCH_dist.json", "benchmark": "dist"}, ...],
       "skipped": [{"file": "BENCH_x.json", "reason": "..."}, ...]
     }
 
 ``status`` is ``"skip"`` when nothing could be compared at all (no
-baseline directory, or every pair skipped), ``"regress"`` when at least
-one metric fell below tolerance, ``"pass"`` otherwise.
+baseline directory, or every pair skipped *and* nothing new),
+``"regress"`` when at least one metric fell below tolerance, ``"pass"``
+otherwise — including the nothing-compared-but-new-benchmarks case.
 """
 
 from __future__ import annotations
@@ -59,8 +65,9 @@ from typing import Iterator, List, Optional, Tuple
 #: catch order-of-magnitude slowdowns, not scheduler jitter.
 DEFAULT_TOLERANCE = 0.5
 
-#: Version of the ``--json`` summary document.
-JSON_SCHEMA_VERSION = 1
+#: Version of the ``--json`` summary document.  2 added the ``new``
+#: list (benchmarks without a baseline counterpart pass as "new").
+JSON_SCHEMA_VERSION = 2
 
 
 def load_bench(path: str, note) -> Optional[dict]:
@@ -132,6 +139,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     skipped: List[dict] = []
+    new: List[dict] = []
     current_file = ""
 
     def note(message: str) -> None:
@@ -154,6 +162,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "checked": len(results),
             "regressions": regressions,
             "results": results,
+            "new": new,
             "skipped": skipped,
         }, indent=2, sort_keys=True))
 
@@ -184,7 +193,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         current_file = fname
         base_path = os.path.join(args.baseline, fname)
         if not os.path.exists(base_path):
-            note(f"no baseline for {fname}; skipping")
+            # A lane that didn't exist when the baseline was snapshotted
+            # is new, not skipped: it passes (there is nothing to
+            # regress against yet) and is called out so the baseline
+            # gets refreshed.
+            envelope = load_bench(path, note)
+            if envelope is None:
+                continue
+            name = envelope.get("name", fname)
+            new.append({"file": fname, "benchmark": name})
+            print(f"new benchmark {name} ({fname}): no baseline yet "
+                  f"— pass",
+                  file=sys.stderr if args.as_json else sys.stdout)
             continue
         current = load_bench(path, note)
         baseline = load_bench(base_path, note)
@@ -214,10 +234,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     closing = (
         f"checked {len(results)} metric(s) across {len(current_files)} "
-        f"benchmark file(s): {len(regressions)} regression(s)"
+        f"benchmark file(s): {len(regressions)} regression(s), "
+        f"{len(new)} new"
     )
     print(closing, file=sys.stderr if args.as_json else sys.stdout)
-    if not results:
+    if not results and not new:
         summary("skip", results)
     else:
         summary("regress" if regressions else "pass", results)

@@ -360,6 +360,7 @@ class Session:
                 cache=self.projection_cache,
                 workers=search.workers,
                 executor=search.executor or "thread",
+                remote_workers=search.remote_workers or None,
                 weights=dict(search.weights) or None,
                 comm=policies if len(policies) > 1 else None,
                 on_result=on_result,

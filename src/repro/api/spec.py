@@ -559,6 +559,7 @@ class SearchSpec:
     comm_policies: Tuple[str, ...] = ()
     workers: Optional[int] = None
     executor: Optional[str] = None
+    remote_workers: Tuple[str, ...] = ()
     cache: Optional[str] = None
     cache_dir: Optional[str] = None
     weights: Tuple[Tuple[str, float], ...] = ()
@@ -569,8 +570,8 @@ class SearchSpec:
         data = _expect_mapping(data, field_path)
         _reject_unknown(
             data, ("strategies", "pe_sweep", "exhaustive", "segments",
-                   "comm_policies", "workers", "executor", "cache",
-                   "cache_dir", "weights"),
+                   "comm_policies", "workers", "executor",
+                   "remote_workers", "cache", "cache_dir", "weights"),
             field_path)
         strategies = tuple(
             _expect_choice(s, STRATEGY_IDS, f"{field_path}.strategies[{i}]")
@@ -599,6 +600,29 @@ class SearchSpec:
         if executor is not None:
             executor = _expect_choice(executor, EXECUTORS,
                                       f"{field_path}.executor")
+        remote_workers = []
+        for i, addr in enumerate(_expect_seq(
+                data.get("remote_workers", ()),
+                f"{field_path}.remote_workers")):
+            addr = _expect_str(addr, f"{field_path}.remote_workers[{i}]")
+            try:
+                from ..dist.protocol import parse_address
+
+                parse_address(addr)
+            except ValueError as exc:
+                raise ScenarioValidationError(
+                    f"{field_path}.remote_workers[{i}]", str(exc)
+                ) from None
+            remote_workers.append(addr)
+        if remote_workers and executor != "remote":
+            raise ScenarioValidationError(
+                f"{field_path}.remote_workers",
+                "only meaningful with executor 'remote'")
+        if executor == "remote" and not remote_workers:
+            raise ScenarioValidationError(
+                f"{field_path}.executor",
+                "executor 'remote' needs at least one host:port address "
+                "in remote_workers")
         cache = data.get("cache")
         if cache is not None:
             cache = _expect_str(cache, f"{field_path}.cache")
@@ -628,6 +652,7 @@ class SearchSpec:
             comm_policies=comm_policies,
             workers=workers,
             executor=executor,
+            remote_workers=tuple(remote_workers),
             cache=cache,
             cache_dir=cache_dir,
             weights=weights,
@@ -647,6 +672,8 @@ class SearchSpec:
             blob["workers"] = self.workers
         if self.executor is not None:
             blob["executor"] = self.executor
+        if self.remote_workers:
+            blob["remote_workers"] = list(self.remote_workers)
         if self.cache is not None:
             blob["cache"] = self.cache
         if self.cache_dir is not None:

@@ -40,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from .api.session import Session
@@ -150,12 +151,15 @@ def build_parser(
                             "projection keeps this affordable)")
         opt(p, "--segments", default="2,4,8",
             help="pipeline micro-batch counts to try")
-        opt(p, "--workers", type=int, default=None,
-            help="evaluation worker-pool width")
+        opt(p, "--workers", default=None,
+            help="evaluation worker-pool width, or (with --executor "
+                 "remote) comma-separated host:port worker addresses, "
+                 "e.g. 'a:8178,b:8178'")
         opt(p, "--executor", default=default_executor,
-            choices=("thread", "process"),
-            help="evaluation backend: GIL-bound threads or a "
-                 "process pool that projects across cores "
+            choices=("thread", "process", "remote"),
+            help="evaluation backend: GIL-bound threads, a process "
+                 "pool that projects across cores, or a remote "
+                 "'repro worker' fleet (--workers host:port,...) "
                  f"(default: {default_executor})")
         opt(p, "--cache-dir", default=None, metavar="DIR",
             help="shared cross-model cache directory (one "
@@ -297,6 +301,14 @@ def build_parser(
     opt(srv, "--job-workers", type=int, default=2,
         help="worker threads for async /v1/jobs verbs")
 
+    wrk = add("worker",
+              "distributed-search worker: evaluates candidate chunks "
+              "for remote coordinators (docs/distributed.md)")
+    opt(wrk, "--bind", default="127.0.0.1:8178", metavar="HOST:PORT",
+        help="listen address; port 0 picks an ephemeral port "
+             "(default: 127.0.0.1:8178 — loopback only; bind a "
+             "routable address only on a trusted network)")
+
     bsrv = add("bench-serve",
                "closed-loop load harness against an in-process server: "
                "p50/p90/p99 latency + RPS")
@@ -412,7 +424,20 @@ def _search_overrides(args, overrides: Dict) -> None:
                 f"got {args.segments!r}") from None
         _set(overrides, "search", "segments", segments)
     if "workers" in explicit and args.workers is not None:
-        _set(overrides, "search", "workers", args.workers)
+        # One flag, two spellings: an integer is the local pool width;
+        # anything with a ':' is a remote worker address list.
+        if ":" in str(args.workers):
+            _set(overrides, "search", "remote_workers",
+                 _split_csv(str(args.workers)))
+        else:
+            try:
+                _set(overrides, "search", "workers", int(args.workers))
+            except ValueError:
+                raise ScenarioValidationError(
+                    "search.workers",
+                    f"--workers takes an integer pool width or "
+                    f"comma-separated host:port addresses, "
+                    f"got {args.workers!r}") from None
     if "executor" in explicit:
         _set(overrides, "search", "executor", args.executor)
     if "cache_dir" in explicit and args.cache_dir is not None:
@@ -1026,6 +1051,41 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _serve_until_signal(serve_forever, shutdown, *, ready=None) -> None:
+    """Run a blocking server loop with graceful SIGTERM/SIGINT handling.
+
+    ``shutdown`` must unblock ``serve_forever`` (finishing in-flight
+    work); it runs on a helper thread because calling e.g.
+    ``HTTPServer.shutdown`` from a signal handler on the serving thread
+    deadlocks.  ``ready`` (optional) runs after the handlers are live —
+    the "listening on ..." banner goes there, so a supervisor that
+    signals the moment it sees the banner can never hit the default
+    disposition.  Previous handlers are restored on exit; when not on
+    the main thread (in-process tests), signals can't be installed and
+    the loop just runs until ``shutdown`` is called from outside.
+    """
+    import signal
+
+    def handle(signum, frame):
+        threading.Thread(target=shutdown, daemon=True).start()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handle)
+        except ValueError:  # not the main thread
+            break
+    try:
+        if ready is not None:
+            ready()
+        serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
 def _cmd_serve(args) -> int:
     from .serve import PlanningServer
 
@@ -1036,16 +1096,45 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         job_workers=args.job_workers,
     )
-    print(f"repro serve: listening on {server.url} "
-          f"(pool={args.pool_size}, job workers={args.job_workers})")
-    print("endpoints: POST /v1/{project,suggest,hybrid,search,batch,jobs} "
-          "GET /v1/jobs[/<id>] /healthz /metricsz")
+    def banner() -> None:
+        print(f"repro serve: listening on {server.url} "
+              f"(pool={args.pool_size}, job workers={args.job_workers})")
+        print("endpoints: POST "
+              "/v1/{project,suggest,hybrid,search,batch,jobs} "
+              "GET /v1/jobs[/<id>] /healthz /metricsz")
+        sys.stdout.flush()
+
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+        _serve_until_signal(
+            server.serve_forever, server.shutdown, ready=banner)
     finally:
         server.close()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .dist import WorkerServer
+    from .dist.protocol import parse_address
+
+    try:
+        host, port = parse_address(args.bind)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = WorkerServer(host, port)
+
+    def banner() -> None:
+        # check_dist.py and deployment scripts parse this line for the
+        # resolved address (port 0 binds ephemerally).
+        print(f"repro worker: listening on {server.address}")
+        sys.stdout.flush()
+
+    try:
+        _serve_until_signal(server.serve_forever, server.close,
+                            ready=banner)
+    finally:
+        server.close()
+    print(f"repro worker: stopped after {server.chunks_served} chunk(s)")
     return 0
 
 
@@ -1077,6 +1166,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "experiment": _cmd_experiment,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "bench-serve": _cmd_bench_serve,
 }
 

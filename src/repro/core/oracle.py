@@ -392,6 +392,7 @@ class ParaDL:
         cache_dir: Optional[str] = None,
         workers: Optional[int] = None,
         executor: str = "thread",
+        remote_workers: Optional[Sequence[str]] = None,
         weights=None,
         comm=None,
         on_result=None,
@@ -438,9 +439,13 @@ class ParaDL:
         cluster) fingerprinted cache files — the cross-model layout
         :meth:`sweep` uses.
 
-        ``executor`` picks the evaluation backend: ``"thread"`` (default)
-        or ``"process"``, which side-steps the GIL by projecting in
-        worker processes (see :class:`~repro.search.engine.SearchEngine`).
+        ``executor`` picks the evaluation backend: ``"thread"``
+        (default), ``"process"`` — which side-steps the GIL by
+        projecting in worker processes — or ``"remote"``, which fans
+        candidate chunks out to the ``repro worker`` fleet named by
+        ``remote_workers`` (``host:port`` addresses; see
+        :mod:`repro.dist` and
+        :class:`~repro.search.engine.SearchEngine`).
 
         ``tracer`` / ``metrics`` (a :class:`~repro.obs.tracer.Tracer` /
         :class:`~repro.obs.metrics.MetricsRegistry`) opt the run into
@@ -477,6 +482,7 @@ class ParaDL:
         engine = SearchEngine(
             self, dataset, cache=cache, cache_dir=cache_dir,
             workers=workers, executor=executor,
+            remote_workers=remote_workers,
             tracer=tracer, metrics=metrics, vectorize=vectorize,
         )
         return engine.search(space, weights=weights, on_result=on_result)
@@ -496,6 +502,7 @@ class ParaDL:
         comm=None,
         executor: str = "process",
         workers: Optional[int] = None,
+        remote_workers: Optional[Sequence[str]] = None,
         cache_dir: Optional[str] = None,
         weights=None,
         on_result=None,
@@ -536,6 +543,7 @@ class ParaDL:
             comm_policies=comm_policies,
             executor=executor,
             workers=workers,
+            remote_workers=remote_workers,
             cache_dir=cache_dir,
             weights=weights,
             **runner_kwargs,

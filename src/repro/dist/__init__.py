@@ -1,0 +1,46 @@
+"""Distributed search executor: coordinator/worker fleet over sockets.
+
+The :mod:`repro.dist` package turns the executor seam in
+:class:`repro.search.engine.SearchEngine` into a fleet: ``repro worker
+--bind host:port`` runs a :class:`WorkerServer` on each machine, and
+``SearchEngine(executor="remote", remote_workers=[...])`` (or the CLI's
+``--executor remote --workers a:1234,b:1234``) drives them through a
+:class:`RemoteCoordinator` — shipping the pickled oracle context once
+per worker, streaming candidate chunks out, and folding evaluations,
+tracer spans, and metrics back with exactly-once semantics.
+
+Everything is standard library only (sockets, pickle, threading); see
+``docs/distributed.md`` for the protocol, failure model, and deployment
+recipe.
+"""
+
+from .coordinator import (
+    DEFAULT_CONNECT_TIMEOUT_S,
+    DEFAULT_HEARTBEAT_TIMEOUT_S,
+    RemoteCoordinator,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    format_address,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from .worker import DEFAULT_HEARTBEAT_INTERVAL_S, WorkerServer
+
+__all__ = [
+    "RemoteCoordinator",
+    "WorkerServer",
+    "ProtocolError",
+    "parse_address",
+    "format_address",
+    "send_frame",
+    "recv_frame",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "DEFAULT_CONNECT_TIMEOUT_S",
+    "DEFAULT_HEARTBEAT_TIMEOUT_S",
+    "DEFAULT_HEARTBEAT_INTERVAL_S",
+]

@@ -1,0 +1,326 @@
+"""Coordinator side of the distributed search executor.
+
+:class:`RemoteCoordinator` owns the fleet for one search: it connects to
+the configured ``host:port`` workers, performs the context handshake
+(shipping the pickled oracle context only to workers that don't already
+hold it), then streams candidate chunks out and folds ``result`` frames
+back — exactly once per chunk, whatever the fleet does in between.
+
+Failure model
+-------------
+* **Dead worker** — a dropped connection, protocol violation, or a
+  silence longer than the heartbeat timeout marks the worker lost; the
+  chunk it was evaluating returns to the pending queue (unless another
+  worker also holds it) and its socket closes.  The search continues on
+  the survivors.
+* **Straggler** — when the pending queue drains, idle workers *re-
+  dispatch* chunks still in flight elsewhere (speculative execution).
+  The first result wins; late duplicates are discarded by chunk id, so
+  fold-in stays exactly-once.
+* **Total fleet loss** — chunks still unfinished when the last worker
+  dies are reported via :attr:`leftover`; the engine evaluates them
+  locally, so a search never loses candidates to the fleet.
+
+Timeouts come from ``REPRO_DIST_CONNECT_TIMEOUT_S`` /
+``REPRO_DIST_HEARTBEAT_TIMEOUT_S`` (or constructor arguments); workers
+heartbeat every ``REPRO_DIST_HEARTBEAT_S`` seconds while evaluating, so
+the heartbeat timeout bounds *silence*, not chunk duration.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import queue
+import socket
+import threading
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from .protocol import (
+    BYE,
+    CHUNK,
+    CONTEXT,
+    ERROR,
+    HEARTBEAT,
+    HELLO,
+    HELLO_OK,
+    PROTOCOL_VERSION,
+    READY,
+    RESULT,
+    ProtocolError,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "RemoteCoordinator",
+    "DEFAULT_CONNECT_TIMEOUT_S",
+    "DEFAULT_HEARTBEAT_TIMEOUT_S",
+]
+
+#: Seconds to wait for a worker to accept + handshake before skipping it.
+DEFAULT_CONNECT_TIMEOUT_S = 5.0
+
+#: Seconds of *silence* (no result, no heartbeat) before a worker is
+#: declared dead and its chunk redistributed.
+DEFAULT_HEARTBEAT_TIMEOUT_S = 10.0
+
+
+def _env_timeout(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+class _Worker:
+    """One live, handshaken worker connection."""
+
+    def __init__(self, address: str, sock: socket.socket) -> None:
+        self.address = address
+        self.sock = sock
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class RemoteCoordinator:
+    """Dispatch candidate chunks to remote workers, exactly-once.
+
+    Parameters
+    ----------
+    addresses:
+        ``host:port`` worker addresses (unreachable ones are skipped
+        with a warning; :meth:`connect` reports how many survived).
+    payload:
+        The pickled oracle context (the same tuple the process-pool
+        initializer ships).
+    digest:
+        Context-fingerprint digest the workers verify the payload
+        against (see :func:`repro.search.cache.fingerprint_digest`).
+    connect_timeout / heartbeat_timeout:
+        Override the env-configured timeouts (see module docstring).
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[str],
+        payload: bytes,
+        digest: str,
+        *,
+        connect_timeout: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+    ) -> None:
+        self.addresses = tuple(addresses)
+        self.payload = payload
+        self.digest = digest
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None
+            else _env_timeout("REPRO_DIST_CONNECT_TIMEOUT_S",
+                              DEFAULT_CONNECT_TIMEOUT_S))
+        self.heartbeat_timeout = (
+            heartbeat_timeout if heartbeat_timeout is not None
+            else _env_timeout("REPRO_DIST_HEARTBEAT_TIMEOUT_S",
+                              DEFAULT_HEARTBEAT_TIMEOUT_S))
+        self._workers: List[_Worker] = []
+        self._stop = threading.Event()
+        #: Chunk ids unfinished after the whole fleet died; the engine
+        #: evaluates these locally.
+        self.leftover: List[int] = []
+        #: Fleet counters, scraped into the engine's metrics registry
+        #: under the ``dist.`` prefix.
+        self.stats: Dict[str, int] = {
+            "workers_connected": 0,
+            "workers_unreachable": 0,
+            "workers_lost": 0,
+            "contexts_shipped": 0,
+            "chunks_dispatched": 0,
+            "chunks_redispatched": 0,
+            "chunks_completed": 0,
+            "results_discarded": 0,
+            "heartbeats": 0,
+        }
+
+    # -------------------------------------------------------------- connect
+    def connect(self) -> int:
+        """Handshake every configured address; returns the live count.
+
+        Unreachable or misbehaving workers are skipped with a warning —
+        degradation policy belongs to the caller (the engine falls back
+        to the thread executor only when *no* worker survives).
+        """
+        for address in self.addresses:
+            try:
+                self._workers.append(self._handshake(address))
+                self.stats["workers_connected"] += 1
+            except (OSError, ValueError, ConnectionError,
+                    ProtocolError) as exc:
+                logger.warning("dist: worker %s unavailable: %s",
+                               address, exc)
+                self.stats["workers_unreachable"] += 1
+        return len(self._workers)
+
+    def _handshake(self, address: str) -> _Worker:
+        host, port = parse_address(address)
+        sock = socket.create_connection(
+            (host, port), timeout=self.connect_timeout)
+        try:
+            send_frame(sock, HELLO, version=PROTOCOL_VERSION,
+                       digest=self.digest)
+            kind, fields = recv_frame(sock, timeout=self.connect_timeout)
+            if kind == ERROR:
+                raise ProtocolError(fields.get("message", "worker error"))
+            if kind != HELLO_OK:
+                raise ProtocolError(f"expected hello-ok, got {kind!r}")
+            if fields.get("version") != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"protocol version mismatch: {fields.get('version')!r}")
+            if not fields.get("have_context"):
+                send_frame(sock, CONTEXT, payload=self.payload)
+                self.stats["contexts_shipped"] += 1
+            kind, fields = recv_frame(sock, timeout=self.connect_timeout)
+            if kind == ERROR:
+                raise ProtocolError(fields.get("message", "worker error"))
+            if kind != READY:
+                raise ProtocolError(f"expected ready, got {kind!r}")
+        except BaseException:
+            sock.close()
+            raise
+        sock.settimeout(self.heartbeat_timeout)
+        logger.debug("dist: worker %s ready (context %s)",
+                     address, self.digest)
+        return _Worker(address, sock)
+
+    # ------------------------------------------------------------- dispatch
+    def run(self, chunks: Sequence[list]) -> Iterator[Dict[str, object]]:
+        """Evaluate every chunk across the fleet; yields each completed
+        chunk's ``result`` frame fields exactly once, in completion
+        order.  Call :meth:`connect` first; after exhaustion,
+        :attr:`leftover` lists any chunk ids the fleet failed to finish.
+        """
+        if not self._workers:
+            self.leftover = list(range(len(chunks)))
+            return
+        n = len(chunks)
+        lock = threading.Lock()
+        pending = deque(range(n))
+        owners: Dict[int, Set[_Worker]] = {cid: set() for cid in range(n)}
+        done: Set[int] = set()
+        results: "queue.Queue" = queue.Queue()
+
+        def next_chunk(worker: _Worker):
+            """Pending chunk first; otherwise steal the lowest-id chunk
+            in flight on *other* workers (straggler re-dispatch).
+            Returns ``(chunk_id, stolen)`` or ``(None, False)``."""
+            with lock:
+                while pending:
+                    cid = pending.popleft()
+                    if cid in done:
+                        continue
+                    owners[cid].add(worker)
+                    return cid, False
+                for cid in range(n):
+                    if (cid not in done and owners[cid]
+                            and worker not in owners[cid]):
+                        owners[cid].add(worker)
+                        return cid, True
+            return None, False
+
+        def worker_loop(worker: _Worker) -> None:
+            cid = None
+            try:
+                while not self._stop.is_set():
+                    cid, stolen = next_chunk(worker)
+                    if cid is None:
+                        break
+                    with lock:
+                        self.stats["chunks_dispatched"] += 1
+                        if stolen:
+                            self.stats["chunks_redispatched"] += 1
+                    send_frame(worker.sock, CHUNK, chunk_id=cid,
+                               candidates=chunks[cid])
+                    while True:
+                        kind, fields = recv_frame(worker.sock)
+                        if kind == HEARTBEAT:
+                            with lock:
+                                self.stats["heartbeats"] += 1
+                            continue
+                        if kind == RESULT:
+                            break
+                        raise ProtocolError(
+                            f"expected result, got {kind!r}")
+                    rcid = fields["chunk_id"]
+                    with lock:
+                        owners[rcid].discard(worker)
+                        if rcid in done:
+                            # A speculative duplicate lost the race;
+                            # exactly-once fold-in drops it here.
+                            self.stats["results_discarded"] += 1
+                            cid = None
+                            continue
+                        done.add(rcid)
+                        self.stats["chunks_completed"] += 1
+                    results.put(("result", fields))
+                    cid = None
+            except (OSError, ConnectionError, ProtocolError, EOFError,
+                    ValueError) as exc:
+                with lock:
+                    self.stats["workers_lost"] += 1
+                    if cid is not None and cid not in done:
+                        owners[cid].discard(worker)
+                        if not owners[cid]:
+                            pending.append(cid)
+                if not self._stop.is_set():
+                    logger.warning(
+                        "dist: worker %s lost (%s); redistributing",
+                        worker.address, exc)
+                worker.close()
+            finally:
+                results.put(("exit", worker))
+
+        threads = [
+            threading.Thread(
+                target=worker_loop, args=(worker,),
+                name=f"repro-dist-{worker.address}", daemon=True)
+            for worker in self._workers
+        ]
+        for thread in threads:
+            thread.start()
+        exited = 0
+        try:
+            while exited < len(threads):
+                kind, payload = results.get()
+                if kind == "exit":
+                    exited += 1
+                    continue
+                yield payload
+                with lock:
+                    finished = len(done) >= n
+                if finished:
+                    break
+        finally:
+            # All chunks folded (or the caller bailed): stop stragglers
+            # still evaluating speculative duplicates and reap threads.
+            self._stop.set()
+            self.close()
+            for thread in threads:
+                thread.join(timeout=5)
+            with lock:
+                self.leftover = sorted(
+                    cid for cid in range(n) if cid not in done)
+
+    def close(self) -> None:
+        """Send best-effort ``bye`` frames and close every connection."""
+        for worker in self._workers:
+            try:
+                send_frame(worker.sock, BYE)
+            except OSError:
+                pass
+            worker.close()

@@ -233,8 +233,12 @@ class ProjectionCache:
         try:
             with open(path) as fh:
                 blob = json.load(fh)
-        except (OSError, ValueError):
-            logger.info("cache: %s unreadable; starting cold", path)
+        except (OSError, ValueError) as exc:
+            # Truncated / corrupt JSON is a real hazard once several
+            # hosts share a cache dir: warn (not raise) and rebuild.
+            logger.warning(
+                "cache: %s unreadable (%s); rebuilding from cold",
+                path, exc)
             self.invalidated = True
             return
         if (
@@ -247,11 +251,29 @@ class ProjectionCache:
             self.invalidated = True
             return
         entries = blob.get("entries", {})
-        if isinstance(entries, dict):
-            self._entries = entries
-            self._dirty = False
-            logger.debug(
-                "cache: loaded %d entries from %s", len(entries), path)
+        if not isinstance(entries, dict):
+            logger.warning(
+                "cache: %s entries malformed; rebuilding from cold", path)
+            self.invalidated = True
+            return
+        for key, entry in entries.items():
+            # Every entry must be a dict carrying either an error reason
+            # or a projection mapping; anything else means the file was
+            # hand-edited or torn mid-write — safer to rebuild it all
+            # than to trust the survivors.
+            if not isinstance(entry, dict) or not (
+                "error" in entry
+                or isinstance(entry.get("projection"), dict)
+            ):
+                logger.warning(
+                    "cache: %s entry %r malformed; rebuilding from cold",
+                    path, key)
+                self.invalidated = True
+                return
+        self._entries = entries
+        self._dirty = False
+        logger.debug(
+            "cache: loaded %d entries from %s", len(entries), path)
 
     # ------------------------------------------------------------------ api
     def __len__(self) -> int:
@@ -283,7 +305,21 @@ class ProjectionCache:
             return live
         if "error" in entry:
             return CachedFailure(str(entry["error"]))
-        return _projection_from_jsonable(entry["projection"], strategy)
+        try:
+            return _projection_from_jsonable(entry["projection"], strategy)
+        except (KeyError, TypeError, ValueError) as exc:
+            # A dict-shaped entry with fields missing (hand-edited file,
+            # torn write another host half-finished): drop it and treat
+            # the lookup as a miss, so the candidate just re-projects.
+            logger.warning(
+                "cache: entry %r undecodable (%s); dropping", key, exc)
+            with self._lock:
+                self._entries.pop(key, None)
+                self.hits -= 1
+                self.misses += 1
+                self._dirty = True
+                self._mutations += 1
+            return None
 
     def put(self, key: str, projection: Projection) -> None:
         """Memoize a successful projection under ``key``.

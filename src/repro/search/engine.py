@@ -9,15 +9,18 @@ survivors.  Evaluation order is irrelevant to the result — a search with
 one worker returns exactly what a search with N workers returns, and a
 process-pool search returns exactly what a thread-pool search returns.
 
-Two executor backends are available (``executor="thread"`` /
-``"process"``).  Projections are pure-Python CPU work, so the thread pool
-is GIL-bound and only pays off when evaluation blocks; the process pool
-ships the oracle context to worker processes once (pickled, via an
-initializer) and then streams candidate chunks, scaling large sweeps
-across cores.  The parent keeps sole ownership of the
-:class:`ProjectionCache`: cache hits are answered inline before anything
-reaches the pool, and worker projections are folded back in, so a warm
-cache never re-projects under either backend.
+Three executor backends are available (``executor="thread"`` /
+``"process"`` / ``"remote"``).  Projections are pure-Python CPU work, so
+the thread pool is GIL-bound and only pays off when evaluation blocks;
+the process pool ships the oracle context to worker processes once
+(pickled, via an initializer) and then streams candidate chunks, scaling
+large sweeps across cores; the remote backend (:mod:`repro.dist`) does
+the same over sockets to ``repro worker`` processes on other machines,
+with heartbeat-based failure detection and straggler re-dispatch.  The
+parent keeps sole ownership of the :class:`ProjectionCache`: cache hits
+are answered inline before anything reaches the pool, and worker
+projections are folded back in, so a warm cache never re-projects under
+any backend.
 """
 
 from __future__ import annotations
@@ -50,7 +53,12 @@ from ..core.analytical import Projection
 from ..core.strategies import Strategy, StrategyError
 from ..data.datasets import DatasetSpec
 from ..obs.tracer import NULL_TRACER, Tracer
-from .cache import CachedFailure, ProjectionCache, context_fingerprint
+from .cache import (
+    CachedFailure,
+    ProjectionCache,
+    context_fingerprint,
+    fingerprint_digest,
+)
 from .pareto import (
     DEFAULT_OBJECTIVES,
     pareto_frontier,
@@ -68,11 +76,16 @@ __all__ = [
 ]
 
 #: Supported evaluation backends.
-EXECUTORS = ("thread", "process")
+EXECUTORS = ("thread", "process", "remote")
 
 #: Candidates per process-pool task; amortizes IPC without starving
 #: workers at the tail of a sweep.
 _PROCESS_CHUNK = 16
+
+#: Candidates per remote-worker chunk: larger than the process chunk
+#: (each frame crosses a network round-trip, not a pipe) but small
+#: enough that straggler re-dispatch has useful granularity.
+_REMOTE_CHUNK = 32
 
 #: Candidates per thread-backend evaluation batch: one
 #: :meth:`SearchEngine.evaluate_many` call amortizes cache-key assembly
@@ -272,12 +285,23 @@ class SearchEngine:
         count for the process backend.  Results are identical at any
         width.
     executor:
-        ``"thread"`` (default) or ``"process"``.  The process backend
-        pickles the oracle context into worker processes and evaluates
-        candidate chunks there, side-stepping the GIL for large sweeps;
-        when the context cannot pickle it warns and falls back to the
-        thread backend, so results are never lost to a custom pruner or
-        monkey-patched oracle.
+        ``"thread"`` (default), ``"process"``, or ``"remote"``.  The
+        process backend pickles the oracle context into worker processes
+        and evaluates candidate chunks there, side-stepping the GIL for
+        large sweeps; when the context cannot pickle it warns and falls
+        back to the thread backend, so results are never lost to a
+        custom pruner or monkey-patched oracle.  The remote backend does
+        the same across machines: it ships the context to each
+        configured ``repro worker`` once, streams candidate chunks over
+        sockets, and degrades to the thread backend (with a
+        ``RuntimeWarning``) when no worker is reachable — see
+        :mod:`repro.dist` and ``docs/distributed.md``.
+    remote_workers:
+        ``host:port`` worker addresses for ``executor="remote"``.  As a
+        convenience, ``workers`` may also be passed a sequence of
+        addresses (``SearchEngine(executor="remote",
+        workers=["a:1234", "b:1234"])``) — the two spellings are
+        equivalent and mutually exclusive.
     tracer:
         A recording :class:`~repro.obs.tracer.Tracer` to receive engine
         spans (stage phases, per-chunk evaluation, worker fold-ins).
@@ -309,8 +333,9 @@ class SearchEngine:
         cache=None,
         cache_dir: Optional[str] = None,
         pruners: Optional[Sequence[Pruner]] = None,
-        workers: Optional[int] = None,
+        workers=None,
         executor: str = "thread",
+        remote_workers: Optional[Sequence[str]] = None,
         tracer=None,
         metrics=None,
         vectorize: Optional[bool] = None,
@@ -321,6 +346,24 @@ class SearchEngine:
             )
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
+        if workers is not None and not isinstance(workers, int):
+            # The ISSUE-blessed convenience spelling:
+            # SearchEngine(executor="remote", workers=["a:1234", ...]).
+            if remote_workers is not None:
+                raise ValueError(
+                    "pass worker addresses via workers=[...] or "
+                    "remote_workers=[...], not both")
+            remote_workers = workers
+            workers = None
+        self.remote_workers = tuple(
+            str(a) for a in (remote_workers or ()))
+        if self.remote_workers and executor != "remote":
+            raise ValueError(
+                "remote_workers is only meaningful with executor='remote'")
+        if executor == "remote" and not self.remote_workers:
+            raise ValueError(
+                "executor 'remote' needs at least one host:port worker "
+                "address (remote_workers=[...])")
         self.oracle = oracle
         self.dataset = dataset
         fingerprint = context_fingerprint(oracle)
@@ -335,8 +378,12 @@ class SearchEngine:
         self.executor = executor
         if workers:
             self.workers = workers
+        elif executor == "process":
+            self.workers = os.cpu_count() or 1
+        elif executor == "remote":
+            self.workers = len(self.remote_workers)
         else:
-            self.workers = (os.cpu_count() or 1) if executor == "process" else 1
+            self.workers = 1
         self._ctx = PruningContext(
             model=oracle.model,
             cluster=oracle.cluster,
@@ -610,6 +657,29 @@ class SearchEngine:
             self.cache.put_failure(key, evaluation.reason)
 
     # --------------------------------------------------------------- search
+    def _fallback_local(
+        self, pending_rows: Sequence[Tuple[int, Candidate, Strategy, str]]
+    ) -> Iterator[Evaluation]:
+        """Project cache-miss survivors locally — the degradation path
+        shared by the process backend (unpicklable context) and the
+        remote backend (no reachable worker).  The fast path already
+        ran, so stats and cache counters stay identical to the thread
+        backend's."""
+        if self.workers <= 1:
+            yield from self._project_pending(pending_rows)
+            return
+        pending = [
+            (cand, strategy) for _, cand, strategy, _ in pending_rows
+        ]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(self._project, cand, strategy)
+                for cand, strategy in pending
+            ]
+            self._count_candidates(scalar=len(pending))
+            for future in as_completed(futures):
+                yield future.result()
+
     def _iter_process(
         self, candidates: Iterable[Candidate]
     ) -> Iterator[Evaluation]:
@@ -638,20 +708,7 @@ class SearchEngine:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            # The fast path already ran (pruners, strategy build, cache
-            # lookup); go straight to the projections so stats and cache
-            # counters stay identical to the thread backend's.
-            if self.workers <= 1:
-                yield from self._project_pending(pending_rows)
-                return
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    pool.submit(self._project, cand, strategy)
-                    for cand, strategy in pending
-                ]
-                self._count_candidates(scalar=len(pending))
-                for future in as_completed(futures):
-                    yield future.result()
+            yield from self._fallback_local(pending_rows)
             return
         pending_candidates = [cand for cand, _ in pending]
         chunks = [
@@ -679,6 +736,88 @@ class SearchEngine:
                 for evaluation in evaluations:
                     self._absorb(evaluation)
                     yield evaluation
+
+    def _iter_remote(
+        self, candidates: Iterable[Candidate]
+    ) -> Iterator[Evaluation]:
+        """Remote-fleet evaluation (:mod:`repro.dist`): fast path inline,
+        cache-miss survivors chunked out to the configured workers,
+        evaluations / tracer spans / worker counters folded back.
+
+        Failure handling never loses a candidate: an unpicklable context
+        or an unreachable fleet degrades to local threads with a
+        ``RuntimeWarning``, and chunks the fleet failed to finish
+        (every worker died) are projected locally after the fact.
+        """
+        t0 = time.perf_counter()
+        fast, pending_rows = self._fast_path_many(list(candidates))
+        self._add_timings(pruning=time.perf_counter() - t0)
+        for evaluation in fast:
+            if evaluation is not None:
+                yield evaluation
+        if not pending_rows:
+            return
+        try:
+            payload = pickle.dumps(
+                (self.oracle, self.dataset, self.pruners,
+                 self.tracer.enabled, self.vectorize))
+        except Exception as exc:  # noqa: BLE001 - any pickling failure
+            warnings.warn(
+                f"oracle context cannot be pickled ({exc}); falling back "
+                f"to the thread executor",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            yield from self._fallback_local(pending_rows)
+            return
+        from ..dist.coordinator import RemoteCoordinator
+
+        digest = fingerprint_digest(context_fingerprint(self.oracle))
+        chunk_rows = [
+            pending_rows[i:i + _REMOTE_CHUNK]
+            for i in range(0, len(pending_rows), _REMOTE_CHUNK)
+        ]
+        chunks = [[cand for _, cand, _, _ in rows] for rows in chunk_rows]
+        coordinator = RemoteCoordinator(
+            self.remote_workers, payload, digest)
+        try:
+            if coordinator.connect() == 0:
+                warnings.warn(
+                    f"no remote worker reachable at "
+                    f"{', '.join(self.remote_workers)}; falling back to "
+                    f"the thread executor",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                yield from self._fallback_local(pending_rows)
+                return
+            for fields in coordinator.run(chunks):
+                self.tracer.adopt(fields.get("spans") or [])
+                counts = fields.get("counts") or {}
+                self._count_candidates(
+                    vectorized=counts.get("vectorized", 0),
+                    scalar=counts.get("scalar", 0))
+                if self.metrics is not None:
+                    self.metrics.merge_counts(
+                        fields.get("metrics") or {},
+                        prefix="dist.worker.")
+                for evaluation in fields["evaluations"]:
+                    self._absorb(evaluation)
+                    yield evaluation
+            if coordinator.leftover:
+                logger.warning(
+                    "dist: fleet lost %d chunk(s); evaluating %d "
+                    "candidates locally",
+                    len(coordinator.leftover),
+                    sum(len(chunk_rows[cid])
+                        for cid in coordinator.leftover))
+                for cid in coordinator.leftover:
+                    yield from self._project_pending(chunk_rows[cid])
+        finally:
+            coordinator.close()
+            if self.metrics is not None:
+                self.metrics.merge_counts(
+                    coordinator.stats, prefix="dist.")
 
     def _iter_thread(
         self, candidates: Iterable[Candidate]
@@ -714,6 +853,8 @@ class SearchEngine:
         ``search`` share)."""
         if self.executor == "process":
             yield from self._iter_process(candidates)
+        elif self.executor == "remote":
+            yield from self._iter_remote(candidates)
         else:
             yield from self._iter_thread(candidates)
 

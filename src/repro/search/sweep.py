@@ -287,6 +287,7 @@ class SweepRunner:
         comm_policies: Sequence[str] = (),
         executor: str = "process",
         workers: Optional[int] = None,
+        remote_workers: Optional[Sequence[str]] = None,
         cache_dir: Optional[str] = None,
         comm_model=None,
         weights=None,
@@ -307,6 +308,7 @@ class SweepRunner:
         self.gamma = gamma
         self.executor = executor
         self.workers = workers
+        self.remote_workers = tuple(remote_workers or ())
         self.cache_dir = cache_dir
         self.comm_model = comm_model
         self.weights = weights
@@ -383,6 +385,7 @@ class SweepRunner:
             comm_policies=search.comm_policies,
             executor=search.executor or "process",
             workers=search.workers,
+            remote_workers=search.remote_workers or None,
             cache_dir=search.cache_dir,
             comm_model=(
                 scenario.comm.build(cluster)
@@ -444,6 +447,7 @@ class SweepRunner:
             cache_dir=self.cache_dir,
             executor=self.executor,
             workers=self.workers,
+            remote_workers=self.remote_workers or None,
             tracer=self.tracer,
             metrics=self.metrics,
         )

@@ -595,6 +595,15 @@ class PlanningServer:
         """Serve on the calling thread (the ``repro serve`` path)."""
         self._httpd.serve_forever()
 
+    def shutdown(self) -> None:
+        """Unblock :meth:`serve_forever` after in-flight requests finish.
+
+        Safe from any thread *except* the serving one (the CLI's signal
+        path calls it from a helper thread); :meth:`close` still tears
+        the sockets and job pool down afterwards.
+        """
+        self._httpd.shutdown()
+
     def close(self) -> None:
         if self._thread is not None:
             self._httpd.shutdown()

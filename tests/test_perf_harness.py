@@ -139,7 +139,8 @@ class TestRegressionChecker:
         cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
         _write_bench(cur, "search", {"eval_per_s": 1.0})
         _write_bench(cur, "sweep", {"eval_per_s": 1.0})
-        # sweep has no baseline; search's baseline is a future schema.
+        # sweep has no baseline (new); search's baseline is a future
+        # schema (skipped).  Neither fails the run.
         _write_bench(base, "search", {"eval_per_s": 100.0}, version=2)
         assert checker.main(["--current", cur, "--baseline", base]) == 0
 
@@ -166,7 +167,7 @@ class TestJsonSummary:
 
     TOP_KEYS = {
         "schema_version", "status", "tolerance", "warn_only",
-        "checked", "regressions", "results", "skipped",
+        "checked", "regressions", "results", "new", "skipped",
     }
     RESULT_KEYS = {
         "benchmark", "metric", "status", "current", "baseline", "ratio",
@@ -180,12 +181,13 @@ class TestJsonSummary:
             checker, capsys, ["--current", cur, "--baseline", base])
         assert code == 0
         assert set(doc) == self.TOP_KEYS
-        assert doc["schema_version"] == checker.JSON_SCHEMA_VERSION == 1
+        assert doc["schema_version"] == checker.JSON_SCHEMA_VERSION == 2
         assert doc["status"] == "pass"
         assert doc["tolerance"] == checker.DEFAULT_TOLERANCE
         assert doc["warn_only"] is False
         assert doc["checked"] == 1
         assert doc["regressions"] == 0
+        assert doc["new"] == []
         assert doc["skipped"] == []
         (row,) = doc["results"]
         assert set(row) == self.RESULT_KEYS
@@ -231,27 +233,55 @@ class TestJsonSummary:
         assert code == 0
         assert doc["status"] == "skip"
         assert doc["checked"] == 0 and doc["results"] == []
-        # Baseline exists but every pair skips (missing counterpart +
-        # schema skew) -> skip entries carry file + reason.
-        _write_bench(cur, "sweep", {"eval_per_s": 1.0})
+        # Baseline exists but the only pair skips (schema skew) and
+        # nothing is new -> still skip; entries carry file + reason.
         _write_bench(base, "search", {"eval_per_s": 100.0}, version=2)
         code, doc = _run_json(
             checker, capsys, ["--current", cur, "--baseline", base])
         assert code == 0
         assert doc["status"] == "skip"
-        assert len(doc["skipped"]) == 2
-        for entry in doc["skipped"]:
-            assert set(entry) == {"file", "reason"}
-        reasons = " | ".join(e["reason"] for e in doc["skipped"])
-        assert "schema_version changed" in reasons
-        assert "no baseline for BENCH_sweep.json" in reasons
+        (entry,) = doc["skipped"]
+        assert set(entry) == {"file", "reason"}
+        assert "schema_version changed" in entry["reason"]
+
+    def test_new_benchmark_passes_with_note(self, checker, tmp_path,
+                                            capsys):
+        """A results file absent from the baseline dir is "new": the run
+        passes (status pass, not skip) and the lane is listed under
+        ``new`` — so a freshly-added benchmark lands cleanly."""
+        cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
+        for d in (cur, base):
+            _write_bench(d, "search", {"eval_per_s": 100.0})
+        _write_bench(cur, "dist", {"eval_per_s": 50.0})
+        code, doc = _run_json(
+            checker, capsys, ["--current", cur, "--baseline", base])
+        assert code == 0
+        assert doc["status"] == "pass"
+        assert doc["new"] == [
+            {"file": "BENCH_dist.json", "benchmark": "dist"}]
+        assert doc["skipped"] == []
+        assert doc["checked"] == 1  # search still compared
+        # New-only (nothing comparable at all) is also a pass, not skip.
+        code, doc = _run_json(
+            checker, capsys,
+            ["--current", cur, "--baseline", str(tmp_path / "empty_ok")])
+        assert doc["status"] == "skip"  # no baseline dir: unchanged
+        os.makedirs(str(tmp_path / "empty"))
+        code, doc = _run_json(
+            checker, capsys,
+            ["--current", cur, "--baseline", str(tmp_path / "empty")])
+        assert code == 0
+        assert doc["status"] == "pass"
+        assert len(doc["new"]) == 2 and doc["results"] == []
 
     def test_json_stdout_is_pure_json(self, checker, tmp_path, capsys):
         """Notes and prose must not pollute the parseable stream."""
         cur, base = str(tmp_path / "cur"), str(tmp_path / "base")
         _write_bench(cur, "search", {"eval_per_s": 10.0})
         _write_bench(cur, "sweep", {"eval_per_s": 1.0})
+        _write_bench(cur, "dist", {"eval_per_s": 1.0})
         _write_bench(base, "search", {"eval_per_s": 100.0})
+        _write_bench(base, "sweep", {"eval_per_s": 1.0}, version=2)
         code = checker.main(
             ["--current", cur, "--baseline", base, "--json"])
         captured = capsys.readouterr()
@@ -260,3 +290,4 @@ class TestJsonSummary:
         assert doc["status"] == "regress"
         assert "REGRESSION" in captured.err
         assert "note:" in captured.err
+        assert "new benchmark dist" in captured.err

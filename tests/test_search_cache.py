@@ -1,6 +1,7 @@
 """Unit tests for repro.search.cache (projection memo + persistence)."""
 
 import json
+import logging
 import threading
 
 import pytest
@@ -18,6 +19,18 @@ from repro.search import (
     fingerprint_digest,
 )
 from repro.search.cache import CachedFailure
+
+
+@pytest.fixture(autouse=True)
+def _propagate_repro_logs():
+    """``repro.obs.configure_logging`` (run by earlier CLI/obs tests in
+    the same process) turns off propagation on the ``repro`` logger;
+    caplog captures at the root, so restore it for this module."""
+    logger = logging.getLogger("repro")
+    before = logger.propagate
+    logger.propagate = True
+    yield
+    logger.propagate = before
 
 
 @pytest.fixture(scope="module")
@@ -132,12 +145,84 @@ class TestPersistence:
         reloaded = ProjectionCache(path, context=ctx)
         assert reloaded.invalidated and len(reloaded) == 0
 
-    def test_corrupt_file_invalidates(self, tmp_path, oracle):
+    def test_corrupt_file_invalidates(self, tmp_path, oracle, caplog):
         path = str(tmp_path / "cache.json")
         with open(path, "w") as fh:
             fh.write("{ not json")
-        cache = ProjectionCache(path, context=context_fingerprint(oracle))
+        with caplog.at_level("WARNING", logger="repro.search.cache"):
+            cache = ProjectionCache(
+                path, context=context_fingerprint(oracle))
         assert cache.invalidated and len(cache) == 0
+        assert any("rebuilding from cold" in r.message
+                   for r in caplog.records)
+
+    def test_truncated_file_warns_and_rebuilds(self, tmp_path, oracle,
+                                               projection, caplog):
+        """A save torn mid-write by another host (half a JSON document)
+        must warn and rebuild, then a re-save restores the file."""
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        cache = ProjectionCache(path, context=ctx)
+        cache.put("k", proj)
+        cache.save()
+        blob = open(path).read()
+        with open(path, "w") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with caplog.at_level("WARNING", logger="repro.search.cache"):
+            reloaded = ProjectionCache(path, context=ctx)
+        assert reloaded.invalidated and len(reloaded) == 0
+        assert any("rebuilding from cold" in r.message
+                   for r in caplog.records)
+        reloaded.put("k", proj)
+        reloaded.save()
+        healed = ProjectionCache(path, context=ctx)
+        assert not healed.invalidated
+        assert healed.get("k", strategy) == proj
+
+    def test_malformed_entries_rebuild(self, tmp_path, oracle, projection):
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        cache = ProjectionCache(path, context=ctx)
+        cache.put("k", proj)
+        cache.save()
+        blob = json.load(open(path))
+        blob["entries"]["k"] = ["not", "a", "dict"]
+        json.dump(blob, open(path, "w"))
+        reloaded = ProjectionCache(path, context=ctx)
+        assert reloaded.invalidated and len(reloaded) == 0
+        # entries replaced wholesale with a non-dict is also survivable
+        blob["entries"] = "garbage"
+        json.dump(blob, open(path, "w"))
+        reloaded = ProjectionCache(path, context=ctx)
+        assert reloaded.invalidated and len(reloaded) == 0
+
+    def test_undecodable_projection_blob_degrades_to_miss(
+            self, tmp_path, oracle, projection, caplog):
+        """An entry that is dict-shaped but missing projection fields
+        (hand-edited file) drops on first lookup and counts as a miss,
+        so the candidate re-projects instead of crashing the search."""
+        strategy, proj = projection
+        path = str(tmp_path / "cache.json")
+        ctx = context_fingerprint(oracle)
+        cache = ProjectionCache(path, context=ctx)
+        cache.put("k", proj)
+        cache.save()
+        blob = json.load(open(path))
+        del blob["entries"]["k"]["projection"]["per_epoch"]
+        json.dump(blob, open(path, "w"))
+        reloaded = ProjectionCache(path, context=ctx)
+        assert not reloaded.invalidated and len(reloaded) == 1
+        with caplog.at_level("WARNING", logger="repro.search.cache"):
+            assert reloaded.get("k", strategy) is None
+        assert any("dropping" in r.message for r in caplog.records)
+        assert "k" not in reloaded
+        assert reloaded.hits == 0 and reloaded.misses == 1
+        # The drop is persisted on the next save (entry is gone).
+        reloaded.save()
+        healed = ProjectionCache(path, context=ctx)
+        assert len(healed) == 0
 
     def test_save_without_path_is_noop(self, projection):
         _, proj = projection
