@@ -1,0 +1,151 @@
+"""Resilience overhead: disarmed fault sites must stay within 0.1%.
+
+The fault-injection registry's acceptance claim is that *not* injecting
+faults is free: every wired site calls :func:`repro.faults.fire`, which
+with no plan armed is one module-global read and a ``None`` check.
+This benchmark pins that cost three ways:
+
+* the raw disarmed ``fire()`` call, in nanoseconds;
+* the same call with a plan armed whose rules match a *different* site
+  (the armed-but-miss path — what production pays during a targeted
+  chaos campaign);
+* the disarmed site cost as a fraction of one candidate's projection
+  time in a real search, asserted ≤ 0.1%, accounted the way the sites
+  are actually wired: at most one visit per 64-candidate chunk (dist
+  worker chunks), per request (serve), per save (cache), or per model
+  (sweep) — never per candidate.
+
+It also measures the retry path: the deterministic seeded backoff
+schedule a :class:`repro.faults.RetryPolicy` produces, and the
+bookkeeping overhead of a ``call()`` that retries twice (virtual sleep,
+so only the policy's own arithmetic is on the clock).
+
+Emits ``BENCH_resilience.json`` for the warn-only regression check.
+"""
+
+import time
+
+from repro.core.calibration import profile_model
+from repro.core.math_utils import power_of_two_budgets
+from repro.core.oracle import ParaDL
+from repro.data.datasets import IMAGENET
+from repro.faults import CircuitBreaker, FaultPlan, RetryPolicy, armed, fire
+from repro.models import build_model
+from repro.network.topology import abci_like_cluster
+from repro.search import SearchEngine, SearchSpace
+
+from _util import write_report
+
+PES = 64
+REPEATS = 3
+
+#: Disarmed fault-site budget (fraction of per-candidate search time).
+MAX_DISARMED_OVERHEAD = 0.001
+
+
+def _per_candidate_search_s():
+    model = build_model("resnet50", None)
+    oracle = ParaDL(model, abci_like_cluster(PES),
+                    profile_model(model, samples_per_pe=32))
+    space = SearchSpace(
+        pe_budgets=tuple(power_of_two_budgets(PES, start=4)),
+        samples_per_pe=(16, 32),
+        segments=(2, 4, 8),
+    )
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        SearchEngine(oracle, IMAGENET, workers=1).search(space)
+        best = min(best, time.perf_counter() - t0)
+    return best / space.count(), space.count()
+
+
+def _site_cost_s(n=200_000):
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if fire("bench.site") is not None:  # pragma: no cover
+            pass
+    return (time.perf_counter() - t0) / n
+
+
+def test_bench_resilience():
+    per_candidate_s, candidates = _per_candidate_search_s()
+
+    disarmed_s = _site_cost_s()
+
+    # Armed, but every rule targets a different site: the miss path.
+    plan = FaultPlan(0, [
+        {"site": "dist.frame.send", "kind": "drop", "probability": 0.5},
+        {"site": "serve.handler", "kind": "error", "probability": 0.5},
+    ])
+    with armed(plan):
+        armed_miss_s = _site_cost_s()
+
+    # Sites fire per chunk (64 candidates), per request, per save, or
+    # per model — amortize the site cost the way the code pays it.
+    disarmed_overhead = (disarmed_s / 64) / per_candidate_s
+    assert disarmed_overhead <= MAX_DISARMED_OVERHEAD, (
+        f"disarmed fault-site overhead {disarmed_overhead:.4%} exceeds "
+        f"{MAX_DISARMED_OVERHEAD:.1%} of per-candidate search time")
+
+    # Retry path: the schedule is deterministic and the bookkeeping is
+    # cheap (virtual sleep isolates the policy's own arithmetic).
+    policy = RetryPolicy(5, base_delay_s=0.05, max_delay_s=2.0,
+                         multiplier=2.0, jitter=0.1, seed="bench",
+                         sleep=lambda s: None)
+    delays = policy.delays()
+    assert delays == RetryPolicy(
+        5, base_delay_s=0.05, max_delay_s=2.0, multiplier=2.0,
+        jitter=0.1, seed="bench", sleep=lambda s: None).delays()
+    total_backoff_s = sum(delays)
+
+    calls = 2_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise ConnectionError("transient")
+            return True
+
+        policy.call(flaky, retry_on=(ConnectionError,))
+    retry_call_us = (time.perf_counter() - t0) / calls * 1e6
+
+    breaker = CircuitBreaker(3)
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        breaker.allow()
+    breaker_allow_ns = (time.perf_counter() - t0) / n * 1e9
+
+    lines = [
+        "resilience overhead (fault sites + retry/breaker machinery):",
+        f"  per-candidate search  {per_candidate_s * 1e6:8.2f} us "
+        f"({candidates} candidates, best of {REPEATS})",
+        f"  disarmed fire()       {disarmed_s * 1e9:8.1f} ns/site "
+        f"-> {disarmed_overhead:.4%} of per-candidate time at one "
+        f"site per 64-candidate chunk (budget "
+        f"{MAX_DISARMED_OVERHEAD:.1%})",
+        f"  armed-miss fire()     {armed_miss_s * 1e9:8.1f} ns/site",
+        f"  retry schedule (5)    {total_backoff_s:8.3f} s total backoff "
+        f"({', '.join(f'{d:.3f}' for d in delays)})",
+        f"  retried call()        {retry_call_us:8.2f} us "
+        f"(2 retries, virtual sleep)",
+        f"  breaker allow()       {breaker_allow_ns:8.1f} ns",
+    ]
+    write_report(
+        "resilience",
+        lines,
+        metrics={
+            "candidates": candidates,
+            "per_candidate_us": per_candidate_s * 1e6,
+            "disarmed_fire_ns": disarmed_s * 1e9,
+            "armed_miss_fire_ns": armed_miss_s * 1e9,
+            "disarmed_overhead_fraction": disarmed_overhead,
+            "retry_total_backoff_s": total_backoff_s,
+            "retry_call_us": retry_call_us,
+            "breaker_allow_ns": breaker_allow_ns,
+        },
+    )

@@ -1,0 +1,301 @@
+#!/usr/bin/env python3
+"""Seeded chaos campaigns across the dist, serve, and cache layers.
+
+For each seed (default 0, 1, 2) the script runs three campaigns under
+armed :class:`repro.faults.FaultPlan` fault injection and asserts the
+resilience contracts hold outside the test harness:
+
+* **dist** — two real ``repro worker`` subprocesses armed via the
+  ``REPRO_FAULTS`` environment hook drop and corrupt frames at seeded
+  probabilities; a remote CLI search against the degraded fleet must
+  still answer identically to ``--executor thread`` (modulo wall-clock
+  ``seconds`` and warm-cache ``cached`` provenance, exactly as the
+  fault-free dist smoke check normalizes).
+* **serve** — an in-process planning server with handler/pool error
+  faults armed: the fault sequence must be deterministic per seed,
+  injected failures must surface as the documented 500
+  ``injected-fault`` envelope, and the server must answer normally the
+  moment the plan is disarmed.
+* **cache** — seeded disk-full / torn-write faults against
+  ``ProjectionCache.save``: outcome sequences must be deterministic per
+  seed, torn files must reload as cold caches (never an exception),
+  and a disarmed retry must land.
+
+Campaign transcripts land in ``--log-dir`` (default ``chaos-logs/``)
+so CI can upload them as artifacts.
+
+Usage::
+
+    python scripts/check_chaos.py [--seeds 0,1,2] [--log-dir DIR]
+
+Exit codes: 0 when every check passes, 1 on any contract violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.faults import FaultPlan, armed  # noqa: E402
+from repro.search.cache import ProjectionCache  # noqa: E402
+from repro.serve import (  # noqa: E402
+    PlanningClient,
+    PlanningServer,
+    ServerError,
+)
+
+_failures = []
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    status = "ok  " if condition else "FAIL"
+    print(f"  [{status}] {name}" + (f" — {detail}" if detail else ""))
+    if not condition:
+        _failures.append(name)
+
+
+def _env(extra=None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src"),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    env.update(extra or {})
+    return env
+
+
+def _log(log_dir: str, name: str, text: str) -> None:
+    os.makedirs(log_dir, exist_ok=True)
+    with open(os.path.join(log_dir, name), "w") as fh:
+        fh.write(text)
+
+
+# ---------------------------------------------------------------------------
+# dist campaign: faulted worker fleet vs thread baseline, over the CLI
+# ---------------------------------------------------------------------------
+
+def run_cli(args: list, extra_env=None) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args, "--json"],
+        capture_output=True, text=True, env=_env(extra_env), timeout=600)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(args)} exited {proc.returncode}: "
+            f"{proc.stderr.strip()}")
+    return json.loads(proc.stdout)
+
+
+def normalize(doc: dict) -> dict:
+    """Same normalization as scripts/check_dist.py: drop wall-clock
+    ``seconds`` and warm-cache ``cached`` provenance, plus the scenario
+    echo's executor fields."""
+    drop = {"seconds", "cached"}
+
+    def strip(obj):
+        if isinstance(obj, dict):
+            return {k: strip(v) for k, v in obj.items() if k not in drop}
+        if isinstance(obj, list):
+            return [strip(v) for v in obj]
+        return obj
+
+    doc = strip(doc)
+    search = doc.get("scenario", {}).get("search", {})
+    search.pop("executor", None)
+    search.pop("remote_workers", None)
+    return doc
+
+
+def spawn_worker(plan_path: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--bind", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=_env({"REPRO_FAULTS": plan_path}))
+
+
+def worker_address(proc: subprocess.Popen) -> str:
+    line = proc.stdout.readline()
+    marker = "listening on "
+    if marker not in line:
+        raise RuntimeError(f"unexpected worker banner: {line!r}")
+    return line.split(marker, 1)[1].strip()
+
+
+def dist_campaign(seed: int, thread_doc: dict, log_dir: str) -> None:
+    print(f"dist campaign (seed {seed}):")
+    plan = {
+        "seed": seed,
+        "rules": [
+            {"site": "dist.frame.send", "kind": "drop",
+             "probability": 0.04},
+            {"site": "dist.frame.recv", "kind": "corrupt",
+             "probability": 0.03},
+        ],
+    }
+    plan_path = os.path.join(log_dir, f"chaos_dist_seed{seed}_plan.json")
+    _log(log_dir, os.path.basename(plan_path), json.dumps(plan, indent=2))
+
+    workers = [spawn_worker(plan_path), spawn_worker(plan_path)]
+    try:
+        fleet = ",".join(worker_address(p) for p in workers)
+        remote = run_cli(["search", "--model", "alexnet", "-p", "8",
+                          "--executor", "remote", "--workers", fleet])
+        check(f"seed {seed}: faulted remote search matches thread",
+              normalize(remote) == normalize(thread_doc))
+    finally:
+        transcript = []
+        for proc in workers:
+            proc.terminate()
+            try:
+                out, err = proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                out, err = proc.communicate()
+            transcript.append(out + "\n" + err)
+        _log(log_dir, f"chaos_dist_seed{seed}_workers.log",
+             ("\n" + "=" * 60 + "\n").join(transcript))
+
+
+# ---------------------------------------------------------------------------
+# serve campaign: in-process server under handler/pool error faults
+# ---------------------------------------------------------------------------
+
+SERVE_DOC = {
+    "model": {"name": "alexnet"},
+    "cluster": {"pes": 8},
+    "training": {"samples_per_pe": 4},
+    "strategy": {"id": "d"},
+}
+
+
+def serve_campaign(seed: int, log_dir: str) -> None:
+    print(f"serve campaign (seed {seed}):")
+
+    def rules():
+        return [
+            {"site": "serve.handler", "kind": "error",
+             "probability": 0.25},
+            {"site": "serve.pool.session", "kind": "error",
+             "probability": 0.1},
+        ]
+
+    with PlanningServer(port=0, pool_size=4) as server:
+        client = PlanningClient(server.url)
+
+        def campaign():
+            outcomes = []
+            with armed(FaultPlan(seed, rules())):
+                for _ in range(20):
+                    try:
+                        client.project(SERVE_DOC)
+                        outcomes.append("ok")
+                    except ServerError as exc:
+                        outcomes.append(
+                            f"{exc.status}:"
+                            f"{exc.payload['error'].get('type')}")
+            return outcomes
+
+        first, second = campaign(), campaign()
+        check(f"seed {seed}: fault sequence deterministic",
+              first == second)
+        check(f"seed {seed}: campaign injected at least one fault",
+              any(o != "ok" for o in first))
+        check(f"seed {seed}: campaign answered at least one request",
+              "ok" in first)
+        check(f"seed {seed}: faults surface as 500 injected-fault",
+              all(o in ("ok", "500:injected-fault") for o in first),
+              ", ".join(sorted(set(first))))
+        envelope = client.project(SERVE_DOC)  # disarmed again here
+        check(f"seed {seed}: server healthy once disarmed",
+              envelope.get("kind") == "project")
+        _log(log_dir, f"chaos_serve_seed{seed}.log",
+             "\n".join(first) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# cache campaign: seeded disk faults against ProjectionCache.save
+# ---------------------------------------------------------------------------
+
+def cache_campaign(seed: int, log_dir: str) -> None:
+    print(f"cache campaign (seed {seed}):")
+    scratch = os.path.join(log_dir, f"chaos_cache_seed{seed}")
+
+    def campaign(subdir):
+        plan = FaultPlan(seed, [
+            {"site": "cache.save", "kind": "full", "probability": 0.3},
+            {"site": "cache.save", "kind": "partial",
+             "probability": 0.2},
+        ])
+        outcomes = []
+        with armed(plan):
+            for i in range(12):
+                path = os.path.join(scratch, subdir, f"c{i}.json")
+                cache = ProjectionCache(
+                    path, context={"model": "toy", "i": i})
+                cache.put_failure("k", "infeasible: chaos")
+                if cache.save() is None:
+                    outcomes.append("failed")
+                    continue
+                # Persisted — but possibly torn; reloading must never
+                # raise, only degrade to a cold cache.
+                reloaded = ProjectionCache(
+                    path, context={"model": "toy", "i": i})
+                outcomes.append(
+                    "torn" if reloaded.invalidated else "ok")
+        return outcomes
+
+    first, second = campaign("a"), campaign("b")
+    check(f"seed {seed}: save outcome sequence deterministic",
+          first == second, ", ".join(first))
+    check(f"seed {seed}: campaign exercised a disk fault",
+          set(first) - {"ok"} != set())
+    # Recovery: disarmed, every failed/torn cache saves cleanly.
+    recovered = ProjectionCache(
+        os.path.join(scratch, "recover.json"), context={"model": "toy"})
+    recovered.put_failure("k", "infeasible: chaos")
+    check(f"seed {seed}: disarmed save lands",
+          recovered.save() is not None)
+    _log(log_dir, f"chaos_cache_seed{seed}.log", "\n".join(first) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", default="0,1,2",
+                        help="comma-separated campaign seeds")
+    parser.add_argument("--log-dir", default="chaos-logs",
+                        help="directory for campaign transcripts")
+    parser.add_argument("--skip-dist", action="store_true",
+                        help="skip the (slower) subprocess dist campaign")
+    args = parser.parse_args(argv)
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    log_dir = os.path.abspath(args.log_dir)
+
+    thread_doc = None
+    if not args.skip_dist:
+        print("thread-executor baseline:")
+        thread_doc = run_cli(["search", "--model", "alexnet", "-p", "8",
+                              "--executor", "thread"])
+        check("baseline search answers", thread_doc.get("kind") == "search")
+
+    for seed in seeds:
+        if thread_doc is not None:
+            dist_campaign(seed, thread_doc, log_dir)
+        serve_campaign(seed, log_dir)
+        cache_campaign(seed, log_dir)
+
+    if _failures:
+        print(f"\n{len(_failures)} check(s) FAILED: "
+              f"{', '.join(_failures)}")
+        return 1
+    print(f"\nall chaos checks passed ({len(seeds)} seeds; logs in "
+          f"{log_dir})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ import logging
 import threading
 from typing import Callable, Optional, Sequence, Tuple
 
+from ..faults import Deadline, check_deadline, deadline_scope
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER
 from .results import (
@@ -262,18 +263,34 @@ class Session:
 
         return self._memo("search_oracle", build)
 
+    @staticmethod
+    def _deadline(deadline_s: Optional[float]):
+        """Deadline scope for one verb call.
+
+        ``deadline_s`` opens a fresh :class:`~repro.faults.Deadline`
+        budget; ``None`` keeps whatever ambient scope the caller (e.g.
+        the HTTP server's per-request budget) already established.
+        Long verbs poll :func:`~repro.faults.check_deadline` at their
+        cancellation points (per search chunk, per result, per sweep
+        cell) and raise :class:`~repro.faults.DeadlineExceeded` — a
+        ``TimeoutError`` — when the budget runs out.
+        """
+        return deadline_scope(
+            Deadline(deadline_s) if deadline_s is not None else None)
+
     # ----------------------------------------------------------------- verbs
-    def project(self, *, inference: bool = False,
-                findings: bool = False) -> ProjectionResult:
+    def project(self, *, inference: bool = False, findings: bool = False,
+                deadline_s: Optional[float] = None) -> ProjectionResult:
         """Project the scenario's strategy at its operating point.
 
         Raises :class:`~repro.core.strategies.StrategyError` /
         ``ValueError`` for structurally infeasible configurations, like
         the oracle itself.
         """
-        with self.tracer.span(
+        with self._deadline(deadline_s), self.tracer.span(
                 "session.project", model=self.scenario.model.name,
                 inference=inference):
+            check_deadline("session.project")
             strategy = self._strategy()
             if inference:
                 projection = self.oracle.analytical.project_inference(
@@ -296,9 +313,12 @@ class Session:
             findings=found,
         )
 
-    def suggest(self) -> SuggestResult:
+    def suggest(self, *,
+                deadline_s: Optional[float] = None) -> SuggestResult:
         """Rank every strategy for the scenario's PE budget."""
-        with self.tracer.span("session.suggest", pes=self.pes):
+        with self._deadline(deadline_s), self.tracer.span(
+                "session.suggest", pes=self.pes):
+            check_deadline("session.suggest")
             suggestions = self.oracle.suggest(
                 self.pes, self.dataset,
                 samples_per_pe=self.scenario.training.samples_per_pe,
@@ -310,10 +330,12 @@ class Session:
             suggestions=tuple(suggestions),
         )
 
-    def hybrid(self, kinds: Sequence[str] = ("df", "ds"),
-               top: int = 5) -> HybridResult:
+    def hybrid(self, kinds: Sequence[str] = ("df", "ds"), top: int = 5, *,
+               deadline_s: Optional[float] = None) -> HybridResult:
         """Search hybrid ``p = p1 * p2`` factorizations."""
-        with self.tracer.span("session.hybrid", pes=self.pes):
+        with self._deadline(deadline_s), self.tracer.span(
+                "session.hybrid", pes=self.pes):
+            check_deadline("session.hybrid")
             suggestions = self.oracle.search_hybrid(
                 self.pes, self.dataset,
                 samples_per_pe=self.scenario.training.samples_per_pe,
@@ -328,8 +350,14 @@ class Session:
             top=top,
         )
 
-    def search(self, *, on_result=None) -> SearchResult:
-        """Run the automated strategy search the scenario describes."""
+    def search(self, *, on_result=None,
+               deadline_s: Optional[float] = None) -> SearchResult:
+        """Run the automated strategy search the scenario describes.
+
+        ``deadline_s`` bounds the whole search: the engine polls the
+        budget per evaluation chunk and per consumed result, raising
+        :class:`~repro.faults.DeadlineExceeded` when it runs out.
+        """
         from ..core.math_utils import power_of_two_budgets
 
         search = self.scenario.search or SearchSpec()
@@ -342,9 +370,10 @@ class Session:
             max(1, training.batch // self.pes)
             if training.batch is not None
             else training.samples_per_pe)
-        with self.tracer.span(
+        with self._deadline(deadline_s), self.tracer.span(
                 "session.search", model=self.scenario.model.name,
                 pes=self.pes):
+            check_deadline("session.search")
             report = self._search_oracle().search(
                 self.pes, self.dataset,
                 samples_per_pe=samples_per_pe,
@@ -370,11 +399,17 @@ class Session:
         return SearchResult(
             scenario=self.scenario, model=self.model.name, report=report)
 
-    def sweep(self, *, on_result=None, on_model=None) -> SweepResult:
+    def sweep(self, *, on_result=None, on_model=None,
+              checkpoint: Optional[str] = None, resume: bool = False,
+              deadline_s: Optional[float] = None) -> SweepResult:
         """Run the zoo sweep the scenario describes.
 
         ``on_result(model, evaluation)`` and ``on_model(model, result)``
         stream progress exactly as :meth:`SweepRunner.run` does.
+        ``checkpoint`` / ``resume`` journal finished models durably and
+        replay them after a crash (see
+        :class:`~repro.search.checkpoint.SweepCheckpoint`);
+        ``deadline_s`` bounds the whole sweep.
         """
         from ..search.sweep import SweepRunner
 
@@ -384,8 +419,12 @@ class Session:
         runner = SweepRunner.from_scenario(
             scenario, cluster=self.cluster,
             tracer=self.tracer, metrics=self.metrics)
-        with self.tracer.span("session.sweep", models=len(runner.models)):
-            report = runner.run(on_result=on_result, on_model=on_model)
+        with self._deadline(deadline_s), self.tracer.span(
+                "session.sweep", models=len(runner.models)):
+            check_deadline("session.sweep")
+            report = runner.run(
+                on_result=on_result, on_model=on_model,
+                checkpoint=checkpoint, resume=resume)
         sweep = scenario.sweep
         if sweep.report_dir is not None:
             report.write_report(sweep.report_dir, plot=sweep.plot)

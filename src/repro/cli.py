@@ -54,6 +54,7 @@ from .api.spec import (
 )
 from .core.strategies import StrategyError
 from .data.datasets import DATASETS
+from .faults import DeadlineExceeded, arm_from_env
 from .harness import reporting
 from .models import MODEL_BUILDERS
 
@@ -176,6 +177,9 @@ def build_parser(
                        help="print a stage-timing table (space expansion "
                             "/ pruning / projection / ranking / "
                             "persistence) to stderr")
+        opt(p, "--deadline-s", type=float, default=None, metavar="S",
+            help="abort with an error once the run exceeds this wall "
+                 "budget (polled per evaluation chunk / sweep cell)")
         return p
 
     obs_p = parent()
@@ -254,6 +258,13 @@ def build_parser(
         help="comm policies to sweep per candidate, "
                           f"comma-separated from {'/'.join(POLICIES)} "
                           "(default: the oracle's paper policy)")
+    opt(swp, "--checkpoint", default=None, metavar="PATH",
+        help="append each finished model to this journal "
+             "(crash-safe; see docs/resilience.md)")
+    swp.add_argument("--resume", action="store_true",
+                     help="replay models already in --checkpoint instead "
+                          "of re-searching them (artifacts stay "
+                          "byte-identical to an uninterrupted run)")
 
     plan = add("plan", "per-layer strategy assignment (DP)",
                scenario_p, model_p, budget_p)
@@ -300,6 +311,12 @@ def build_parser(
         help="shared projection-cache directory for pooled sessions")
     opt(srv, "--job-workers", type=int, default=2,
         help="worker threads for async /v1/jobs verbs")
+    opt(srv, "--job-max-pending", type=int, default=None,
+        help="reject job submissions with 503 + Retry-After once this "
+             "many are in flight (default: unbounded)")
+    opt(srv, "--request-deadline-s", type=float, default=None, metavar="S",
+        help="per-request wall budget; exceeding it returns 504 "
+             "(clients may request less via X-Repro-Deadline-S)")
 
     wrk = add("worker",
               "distributed-search worker: evaluates candidate chunks "
@@ -318,6 +335,8 @@ def build_parser(
         help="seconds of sustained load")
     opt(bsrv, "--pool-size", type=int, default=32)
     opt(bsrv, "--cache-dir", default=None, metavar="DIR")
+    opt(bsrv, "--timeout", type=float, default=30.0,
+        help="per-request client timeout in seconds (connect and read)")
     opt(bsrv, "--report", default=None, metavar="PATH",
         help="write a BENCH_serve.json envelope here "
              "(scripts/check_perf_regression.py compatible)")
@@ -571,6 +590,9 @@ def _invoke(verb):
         return verb()
     except ScenarioValidationError:
         raise
+    except DeadlineExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return None
@@ -756,7 +778,8 @@ def _cmd_search(args) -> int:
         _FrontierStream(file=sys.stderr if args.json else None)
         if args.stream else None
     )
-    result = _invoke(lambda: session.search(on_result=stream))
+    result = _invoke(lambda: session.search(
+        on_result=stream, deadline_s=args.deadline_s))
     if result is None:
         return 2
     report = result.report
@@ -819,8 +842,14 @@ def _cmd_sweep(args) -> int:
                 prefix=f"{model} ")
         streams[model](evaluation)
 
+    if args.resume and args.checkpoint is None:
+        print("error: --resume needs --checkpoint", file=sys.stderr)
+        return 2
     result = _invoke(
-        lambda: session.sweep(on_result=on_result if args.stream else None))
+        lambda: session.sweep(
+            on_result=on_result if args.stream else None,
+            checkpoint=args.checkpoint, resume=args.resume,
+            deadline_s=args.deadline_s))
     if result is None:
         return 2
     report = result.report
@@ -1089,12 +1118,17 @@ def _serve_until_signal(serve_forever, shutdown, *, ready=None) -> None:
 def _cmd_serve(args) -> int:
     from .serve import PlanningServer
 
+    # Chaos campaigns arm a fault plan in the server process via
+    # REPRO_FAULTS (see docs/resilience.md); a no-op otherwise.
+    arm_from_env()
     server = PlanningServer(
         host=args.host,
         port=args.port,
         pool_size=args.pool_size,
         cache_dir=args.cache_dir,
         job_workers=args.job_workers,
+        job_max_pending=args.job_max_pending,
+        request_deadline_s=args.request_deadline_s,
     )
     def banner() -> None:
         print(f"repro serve: listening on {server.url} "
@@ -1121,6 +1155,7 @@ def _cmd_worker(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    arm_from_env()
     server = WorkerServer(host, port)
 
     def banner() -> None:
@@ -1145,7 +1180,8 @@ def _cmd_bench_serve(args) -> int:
     with PlanningServer(port=0, pool_size=args.pool_size,
                         cache_dir=args.cache_dir) as server:
         generator = LoadGenerator(
-            server.url, clients=args.clients, duration_s=args.duration)
+            server.url, clients=args.clients, duration_s=args.duration,
+            timeout=args.timeout)
         report = generator.run()
     for line in report.lines():
         print(line)

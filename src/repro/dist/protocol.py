@@ -41,6 +41,8 @@ import socket
 import struct
 from typing import Any, Dict, Optional, Tuple
 
+from repro.faults import fire as _fire_fault
+
 __all__ = [
     "PROTOCOL_VERSION",
     "MAGIC",
@@ -114,7 +116,14 @@ def format_address(host: str, port: int) -> str:
 
 
 def send_frame(sock: socket.socket, kind: str, **fields: Any) -> None:
-    """Serialize and send one ``(kind, fields)`` frame."""
+    """Serialize and send one ``(kind, fields)`` frame.
+
+    Fault site ``dist.frame.send``: ``drop`` fails like a peer that
+    vanished mid-write (``ConnectionError``); ``delay`` stalls the send.
+    """
+    action = _fire_fault("dist.frame.send")
+    if action is not None and action.kind == "drop":
+        raise ConnectionError(action.describe())
     blob = pickle.dumps((kind, fields), protocol=pickle.HIGHEST_PROTOCOL)
     sock.sendall(_HEADER.pack(MAGIC, len(blob)) + blob)
 
@@ -144,6 +153,12 @@ def recv_frame(
     """
     if timeout is not None:
         sock.settimeout(timeout)
+    # Fault site ``dist.frame.recv``: ``drop`` fails like a dead peer;
+    # ``corrupt`` garbles the decoded payload (exercising the
+    # ProtocolError path below); ``delay`` stalls the read.
+    action = _fire_fault("dist.frame.recv")
+    if action is not None and action.kind == "drop":
+        raise ConnectionError(action.describe())
     header = _recv_exact(sock, _HEADER.size)
     magic, length = _HEADER.unpack(header)
     if magic != MAGIC:
@@ -152,6 +167,11 @@ def recv_frame(
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame length {length} exceeds sanity limit")
     blob = _recv_exact(sock, length)
+    if action is not None and action.kind == "corrupt":
+        garbled = bytearray(blob)
+        for i in range(min(64, len(garbled))):
+            garbled[i] ^= 0xFF
+        blob = bytes(garbled)
     try:
         kind, fields = pickle.loads(blob)
     except Exception as exc:  # noqa: BLE001 - any unpickling failure

@@ -29,6 +29,7 @@ import socket
 import threading
 from typing import Dict, Optional
 
+from ..faults import fire as _fire_fault
 from ..obs.tracer import Tracer
 from ..search.cache import context_fingerprint, fingerprint_digest
 from .protocol import (
@@ -279,10 +280,14 @@ class WorkerServer:
                 raise ProtocolError(f"expected chunk, got {kind!r}")
             chunk_id = fields["chunk_id"]
             candidates = fields["candidates"]
-            if (self._fail_after is not None
-                    and self.chunks_served >= self._fail_after):
-                # Fault injection: die without replying, like a crashed
-                # host — the coordinator must redistribute this chunk.
+            action = _fire_fault("dist.worker.chunk")
+            crash = action is not None and action.kind == "crash"
+            if crash or (self._fail_after is not None
+                         and self.chunks_served >= self._fail_after):
+                # Fault injection (armed plan, or the legacy
+                # fail_after_chunks seam): die without replying, like a
+                # crashed host — the coordinator must redistribute this
+                # chunk.
                 logger.info("worker: injected failure on chunk %s",
                             chunk_id)
                 conn.close()

@@ -1,0 +1,60 @@
+"""repro.faults — deterministic fault injection + resilience layer.
+
+Two halves, one package:
+
+* :mod:`repro.faults.plan` — the seeded fault-injection registry.
+  Production code is pre-wired with named sites (``dist.frame.send``,
+  ``serve.handler``, ``cache.save``, ...) that call :func:`fire`;
+  arming a :class:`FaultPlan` makes those sites fail deterministically.
+* :mod:`repro.faults.resilience` — what production code uses to absorb
+  those failures: :class:`RetryPolicy`, :class:`CircuitBreaker`, and
+  :class:`Deadline` budgets with a thread-local scope.
+
+See ``docs/resilience.md`` for the site table and semantics.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultAction,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    active,
+    arm,
+    arm_from_env,
+    armed,
+    disarm,
+    fire,
+)
+from repro.faults.resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "active",
+    "arm",
+    "arm_from_env",
+    "armed",
+    "disarm",
+    "fire",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+]

@@ -1,0 +1,362 @@
+"""Seeded, deterministic fault injection: the ``FaultPlan`` registry.
+
+Reliability you have not rehearsed is reliability you do not have.  The
+serving and distributed layers tolerate dead workers, torn cache files,
+and slow handlers — but until PR 10 nothing could *produce* those
+failures on demand, so the degraded paths were only exercised by
+whole-process kill tests.  This module is the rehearsal harness: named
+**fault sites** wired into production code consult a process-global
+:class:`FaultPlan`, and the plan decides — deterministically, from a
+seed — whether that visit fails, how, and with what latency.
+
+Design rules
+------------
+* **Zero cost disarmed.**  Production code calls :func:`fire` at each
+  site; with no plan armed that is one module-global read and a ``None``
+  check (~100 ns, pinned by ``benchmarks/test_bench_resilience.py`` the
+  same way PR 6 pinned the disabled tracer).  Sites live at frame /
+  request / save granularity, never per candidate.
+* **Deterministic.**  Each rule owns a private ``random.Random`` seeded
+  from ``(plan.seed, rule index, site)`` and a visit counter; the
+  decision for the *n*-th visit to a site is a pure function of the
+  seed.  :meth:`FaultPlan.schedule` previews that decision sequence
+  without touching live state, which is what ``scripts/check_chaos.py``
+  asserts reproducibility against.
+* **Sites interpret, rules trigger.**  A rule says *when* (probability /
+  ``after`` / ``count``) and *what kind*; the site decides what that
+  kind means locally (``drop`` on a socket raises ``ConnectionError``,
+  ``full`` in the cache simulates ``ENOSPC``, ...).  Unknown kinds at a
+  site are ignored, so one plan can arm many subsystems.
+
+The wired sites and their supported kinds are tabulated in
+``docs/resilience.md``.  Plans arm programmatically (:func:`arm`, the
+:func:`armed` context manager) or — for subprocess workers and servers —
+from a JSON file named by the ``REPRO_FAULTS`` environment variable
+(:func:`arm_from_env`; the ``repro worker`` / ``repro serve`` commands
+check it on startup).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "active",
+    "arm",
+    "arm_from_env",
+    "armed",
+    "disarm",
+    "fire",
+]
+
+#: Kinds a rule may carry.  Sites honor the subset that makes sense for
+#: them (see docs/resilience.md); ``delay`` is universal — the sleep
+#: happens inside :func:`fire` itself.
+FAULT_KINDS = (
+    "delay",     # sleep delay_s at the site, then continue normally
+    "error",     # raise FaultError at the site
+    "drop",      # sockets/clients: fail like a dropped connection
+    "corrupt",   # frames: deliver undecodable bytes
+    "crash",     # workers/sweeps: die mid-operation without replying
+    "partial",   # cache: persist a torn (truncated) file
+    "full",      # cache: fail the write like a full disk
+)
+
+
+class FaultError(RuntimeError):
+    """An injected failure (site raised on behalf of the armed plan)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When one site misbehaves, and how.
+
+    Parameters
+    ----------
+    site:
+        Exact site name, or a prefix ending in ``*`` (``"dist.*"``
+        matches every dist site).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    probability:
+        Chance an eligible visit fires, drawn from the rule's seeded
+        RNG (1.0 = every eligible visit).
+    after:
+        Skip the first ``after`` visits (crash-after-N-chunks style
+        triggers).
+    count:
+        Fire at most this many times (``None`` = unlimited).
+    delay_s:
+        Seconds to sleep when the rule fires (for ``kind="delay"`` the
+        sleep is the whole fault; other kinds sleep first, then fail).
+    message:
+        Optional text carried into the injected error.
+    """
+
+    site: str
+    kind: str = "error"
+    probability: float = 1.0
+    after: int = 0
+    count: Optional[int] = None
+    delay_s: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("fault rule needs a site name")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from "
+                f"{', '.join(FAULT_KINDS)}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.count is not None and self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def matches(self, site: str) -> bool:
+        if self.site.endswith("*"):
+            return site.startswith(self.site[:-1])
+        return site == self.site
+
+    def to_dict(self) -> Dict[str, object]:
+        blob: Dict[str, object] = {"site": self.site, "kind": self.kind}
+        if self.probability != 1.0:
+            blob["probability"] = self.probability
+        if self.after:
+            blob["after"] = self.after
+        if self.count is not None:
+            blob["count"] = self.count
+        if self.delay_s:
+            blob["delay_s"] = self.delay_s
+        if self.message:
+            blob["message"] = self.message
+        return blob
+
+    @classmethod
+    def from_dict(cls, blob: Dict[str, object]) -> "FaultRule":
+        if not isinstance(blob, dict):
+            raise ValueError(
+                f"fault rule must be a mapping, got {type(blob).__name__}")
+        unknown = sorted(
+            set(blob) - {"site", "kind", "probability", "after", "count",
+                         "delay_s", "message"})
+        if unknown:
+            raise ValueError(f"unknown fault-rule key {unknown[0]!r}")
+        return cls(
+            site=str(blob.get("site", "")),
+            kind=str(blob.get("kind", "error")),
+            probability=float(blob.get("probability", 1.0)),
+            after=int(blob.get("after", 0)),
+            count=(int(blob["count"]) if blob.get("count") is not None
+                   else None),
+            delay_s=float(blob.get("delay_s", 0.0)),
+            message=str(blob.get("message", "")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What :func:`fire` tells a site to do.  ``kind="delay"`` means the
+    sleep already happened and the site should continue normally."""
+
+    site: str
+    kind: str
+    message: str = ""
+    delay_s: float = 0.0
+
+    def describe(self) -> str:
+        text = self.message or f"injected {self.kind} at {self.site}"
+        return f"fault injected: {text}"
+
+    def raise_(self) -> None:
+        raise FaultError(self.describe())
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s with per-rule state.
+
+    Thread-safe: sites fire from coordinator threads, worker threads,
+    and HTTP handler threads concurrently.  Determinism is per rule —
+    the decision for the *n*-th eligible visit depends only on
+    ``(seed, rule)``, never on thread interleaving (which thread makes
+    the *n*-th visit may of course vary).
+    """
+
+    def __init__(self, seed: int = 0,
+                 rules: Sequence[FaultRule] = ()) -> None:
+        self.seed = int(seed)
+        coerced = []
+        for rule in rules:
+            if isinstance(rule, dict):
+                rule = FaultRule.from_dict(rule)
+            elif not isinstance(rule, FaultRule):
+                raise ValueError(
+                    f"rules must be FaultRule or mappings, got "
+                    f"{type(rule).__name__}")
+            coerced.append(rule)
+        self.rules: Tuple[FaultRule, ...] = tuple(coerced)
+        self._lock = threading.Lock()
+        self._rngs = [
+            random.Random(f"{self.seed}:{i}:{rule.site}:{rule.kind}")
+            for i, rule in enumerate(self.rules)
+        ]
+        self._visits = [0] * len(self.rules)
+        self._fired = [0] * len(self.rules)
+        #: Chronological (site, kind, visit_index) log of fired faults.
+        self.events: List[Tuple[str, str, int]] = []
+
+    # --------------------------------------------------------------- firing
+    def _decide(self, site: str) -> Optional[FaultAction]:
+        """The deterministic trigger check (no sleeping, state advances)."""
+        with self._lock:
+            for i, rule in enumerate(self.rules):
+                if not rule.matches(site):
+                    continue
+                visit = self._visits[i]
+                self._visits[i] = visit + 1
+                if visit < rule.after:
+                    continue
+                if rule.count is not None and self._fired[i] >= rule.count:
+                    continue
+                if (rule.probability < 1.0
+                        and self._rngs[i].random() >= rule.probability):
+                    continue
+                self._fired[i] += 1
+                self.events.append((site, rule.kind, visit))
+                return FaultAction(
+                    site=site, kind=rule.kind, message=rule.message,
+                    delay_s=rule.delay_s)
+        return None
+
+    def fire(self, site: str) -> Optional[FaultAction]:
+        """One visit to ``site``: returns the triggered action (after
+        applying its ``delay_s`` sleep) or ``None``."""
+        action = self._decide(site)
+        if action is not None and action.delay_s > 0:
+            time.sleep(action.delay_s)
+        return action
+
+    def schedule(self, site: str, n: int) -> List[Optional[str]]:
+        """Preview the fault kinds the first ``n`` visits to ``site``
+        would trigger — on a fresh copy of this plan, so live state is
+        untouched.  Same seed + rules => same schedule; this is the
+        reproducibility contract the chaos battery pins."""
+        sim = FaultPlan(self.seed, self.rules)
+        return [
+            (action.kind if action is not None else None)
+            for action in (sim._decide(site) for _ in range(n))
+        ]
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "rules": len(self.rules),
+                "visits": sum(self._visits),
+                "fired": sum(self._fired),
+            }
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, blob: Dict[str, object]) -> "FaultPlan":
+        if not isinstance(blob, dict):
+            raise ValueError(
+                f"fault plan must be a mapping, got {type(blob).__name__}")
+        unknown = sorted(set(blob) - {"seed", "rules"})
+        if unknown:
+            raise ValueError(f"unknown fault-plan key {unknown[0]!r}")
+        rules = blob.get("rules", [])
+        if not isinstance(rules, list):
+            raise ValueError("fault-plan rules must be a list")
+        return cls(seed=int(blob.get("seed", 0)), rules=rules)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, "
+                f"rules={len(self.rules)})")
+
+
+# ---------------------------------------------------------------------------
+# Process-global arming.  One slot, read on the hot path; sites never
+# pay more than the None check while disarmed.
+# ---------------------------------------------------------------------------
+
+_ARMED: Optional[FaultPlan] = None
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide; returns it.  Replaces any armed plan."""
+    global _ARMED
+    _ARMED = plan
+    return plan
+
+
+def disarm() -> None:
+    """Disarm fault injection (sites become no-ops again)."""
+    global _ARMED
+    _ARMED = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The armed plan, or ``None``."""
+    return _ARMED
+
+
+@contextmanager
+def armed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scope-arm a plan; restores the previously armed plan on exit."""
+    global _ARMED
+    previous = _ARMED
+    _ARMED = plan
+    try:
+        yield plan
+    finally:
+        _ARMED = previous
+
+
+def fire(site: str) -> Optional[FaultAction]:
+    """The pre-wired hook production code calls at each fault site.
+
+    Disarmed (the production default) this is one global read + a
+    ``None`` check; armed, it delegates to the plan.
+    """
+    plan = _ARMED
+    if plan is None:
+        return None
+    return plan.fire(site)
+
+
+def arm_from_env(var: str = "REPRO_FAULTS") -> Optional[FaultPlan]:
+    """Arm the plan the ``REPRO_FAULTS`` env var names (a JSON file), if
+    set — the subprocess seam ``repro worker`` / ``repro serve`` use.
+    Returns the armed plan, or ``None`` when the variable is unset."""
+    path = os.environ.get(var)
+    if not path:
+        return None
+    return arm(FaultPlan.from_file(path))

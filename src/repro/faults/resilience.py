@@ -1,0 +1,275 @@
+"""Production-side resilience primitives: retries, breakers, deadlines.
+
+The fault-injection registry (:mod:`repro.faults.plan`) makes failures
+happen on purpose; this module is what the rest of the system uses to
+*survive* them:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter,
+  used by ``PlanningClient`` and the ``RemoteCoordinator`` handshake /
+  reconnect path.  Sleep is injectable so tests retry in microseconds.
+* :class:`CircuitBreaker` — per-worker closed/open/half-open breaker:
+  trip after K consecutive failures, reject while cooling down, admit a
+  single half-open probe, close again on success.  The coordinator
+  reports trips/rejections as ``dist.breaker.*`` metrics.
+* :class:`Deadline` — a monotonic time budget threaded through Session
+  verbs and the HTTP server via a thread-local scope
+  (:func:`deadline_scope` / :func:`current_deadline`); long-running
+  loops call :func:`check_deadline` and abort with
+  :class:`DeadlineExceeded`, which the server maps to a 504 envelope.
+
+Everything takes an injectable clock/sleep so the chaos battery runs
+deterministic campaigns without wall-clock coupling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+]
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delays()`` yields one value per attempt: ``0.0`` for the first
+    try, then ``min(base * multiplier**k, max_delay)`` scaled by a
+    jitter factor drawn uniformly from ``[1 - jitter, 1 + jitter]``
+    with a seeded RNG — so a given ``(policy, seed)`` always produces
+    the same backoff sequence, which the chaos battery relies on.
+
+    ``attempts`` counts tries, not retries: ``attempts=3`` means one
+    initial try plus up to two retries.  ``attempts=1`` disables
+    retrying while keeping the call-shape uniform.
+    """
+
+    def __init__(self, attempts: int = 3, *, base_delay_s: float = 0.05,
+                 max_delay_s: float = 2.0, multiplier: float = 2.0,
+                 jitter: float = 0.1, seed: Optional[int] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if base_delay_s < 0 or max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.attempts = int(attempts)
+        self.base_delay_s = float(base_delay_s)
+        self.max_delay_s = float(max_delay_s)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.seed = seed
+        self.sleep = sleep
+
+    def delays(self) -> List[float]:
+        """The pre-sleep delay for each attempt (first is always 0)."""
+        import random
+        rng = random.Random(self.seed if self.seed is not None
+                            else f"retry:{self.attempts}:{self.base_delay_s}")
+        out = [0.0]
+        for k in range(self.attempts - 1):
+            delay = min(self.base_delay_s * (self.multiplier ** k),
+                        self.max_delay_s)
+            if self.jitter:
+                delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+            out.append(delay)
+        return out
+
+    def call(self, fn: Callable[[], object], *,
+             retry_on: tuple = (Exception,),
+             on_retry: Optional[Callable[[int, BaseException], None]] = None):
+        """Run ``fn`` under this policy.  Sleeps the attempt's delay
+        first (0 for the first try), re-raises the last failure once
+        attempts are exhausted.  ``on_retry(attempt_index, exc)`` fires
+        before each retry sleep — the coordinator uses it for stats."""
+        last: Optional[BaseException] = None
+        for attempt, delay in enumerate(self.delays()):
+            if delay > 0:
+                self.sleep(delay)
+            try:
+                return fn()
+            except retry_on as exc:  # noqa: PERF203 - retry loop by design
+                last = exc
+                if on_retry is not None and attempt + 1 < self.attempts:
+                    on_retry(attempt, exc)
+        assert last is not None
+        raise last
+
+    def __repr__(self) -> str:
+        return (f"RetryPolicy(attempts={self.attempts}, "
+                f"base_delay_s={self.base_delay_s}, "
+                f"max_delay_s={self.max_delay_s})")
+
+
+class CircuitOpen(RuntimeError):
+    """The breaker is open: the call was rejected without being tried."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed → open → half-open).
+
+    Closed: calls flow, failures count; ``failures`` consecutive
+    failures trip it open.  Open: :meth:`allow` returns ``False`` until
+    ``cooldown_s`` elapses on the injected monotonic clock.  After
+    cooldown, exactly one caller is admitted as the half-open probe —
+    its success closes the breaker, its failure re-opens it (fresh
+    cooldown).  Thread-safe.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failures: int = 3, *, cooldown_s: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failures = int(failures)
+        self.cooldown_s = float(cooldown_s)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0
+        self.rejected = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (self._state == self.OPEN
+                and self.clock() - self._opened_at >= self.cooldown_s):
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller attempt the protected operation right now?"""
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            self.rejected += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive += 1
+            was_probe = self._probing
+            self._probing = False
+            if was_probe or self._consecutive >= self.failures:
+                if self._state != self.OPEN or was_probe:
+                    self.trips += 1
+                self._state = self.OPEN
+                self._opened_at = self.clock()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._consecutive,
+                "trips": self.trips,
+                "rejected": self.rejected,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(state={self.state!r}, trips={self.trips})"
+
+
+class DeadlineExceeded(TimeoutError):
+    """A deadline budget ran out before the work finished."""
+
+
+class Deadline:
+    """A monotonic time budget.  ``check()`` raises once it expires."""
+
+    def __init__(self, seconds: float, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if seconds <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {seconds}")
+        self.seconds = float(seconds)
+        self.clock = clock
+        self._start = clock()
+
+    def remaining(self) -> float:
+        return self.seconds - (self.clock() - self._start)
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, label: str = "") -> None:
+        remaining = self.remaining()
+        if remaining <= 0:
+            where = f" during {label}" if label else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.seconds:g}s exceeded{where} "
+                f"(over by {-remaining:.3f}s)")
+
+    def __repr__(self) -> str:
+        return (f"Deadline(seconds={self.seconds:g}, "
+                f"remaining={self.remaining():.3f})")
+
+
+# ---------------------------------------------------------------------------
+# Thread-local deadline scope.  Session verbs install the budget here;
+# deep loops (engine chunk evaluation, sweep cells) poll it without any
+# plumbing through intermediate signatures.
+# ---------------------------------------------------------------------------
+
+_SCOPE = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The innermost deadline installed on this thread, or ``None``."""
+    return getattr(_SCOPE, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` as this thread's budget for the duration.
+
+    ``None`` is accepted and installs nothing, so callers can write
+    ``with deadline_scope(maybe_deadline):`` unconditionally.  Scopes
+    nest; the inner scope wins until it exits.
+    """
+    previous = getattr(_SCOPE, "deadline", None)
+    _SCOPE.deadline = deadline if deadline is not None else previous
+    try:
+        yield deadline
+    finally:
+        _SCOPE.deadline = previous
+
+
+def check_deadline(label: str = "") -> None:
+    """Poll the thread's deadline scope; no-op when none is installed."""
+    deadline = getattr(_SCOPE, "deadline", None)
+    if deadline is not None:
+        deadline.check(label)

@@ -40,6 +40,7 @@ from .pareto import (
     pareto_frontier,
     scalarized_best,
 )
+from .checkpoint import CHECKPOINT_SCHEMA, ReplayedReport, SweepCheckpoint
 from .engine import EXECUTORS, Evaluation, SearchEngine, SearchReport
 from .sweep import (
     SUMMARY_COLUMNS,
@@ -78,6 +79,9 @@ __all__ = [
     "SweepRunner",
     "SweepReport",
     "SweepResult",
+    "SweepCheckpoint",
+    "ReplayedReport",
+    "CHECKPOINT_SCHEMA",
     "SUMMARY_COLUMNS",
     "write_frontier_csv",
     "write_summary_csv",

@@ -46,6 +46,7 @@ rebuilt; there is no per-entry invalidation.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import logging
@@ -58,6 +59,7 @@ logger = logging.getLogger(__name__)
 
 from ..core.analytical import PhaseBreakdown, Projection
 from ..core.strategies import Strategy
+from ..faults import fire as _fire_fault
 
 __all__ = [
     "ProjectionCache",
@@ -205,6 +207,9 @@ class ProjectionCache:
         self.negative_hits = 0
         #: Completed file writes (saves skipped as clean don't count).
         self.saves = 0
+        #: Writes that failed (disk full, permissions): the cache stays
+        #: dirty and serves from memory; the next save retries.
+        self.save_errors = 0
         self.invalidated = False
         # Dirty until proven in sync with the file: a fresh (or
         # discarded) cache wants its first save, a cleanly-loaded one
@@ -391,15 +396,39 @@ class ProjectionCache:
                 "entries": entries,
             }
         tmp = f"{target}.tmp.{os.getpid()}"
-        os.makedirs(os.path.dirname(os.path.abspath(target)), exist_ok=True)
-        with open(tmp, "w") as fh:
-            # dumps + write, not dump: json.dump streams through the
-            # pure-python iterencode loop, while dumps takes the one-shot
-            # C encoder — ~10x faster on a few hundred entries, and the
-            # save sits inside the timed persistence stage of every
-            # cold search.
-            fh.write(json.dumps(blob))
-        os.replace(tmp, target)
+        data = json.dumps(blob)
+        # Fault site ``cache.save``: ``partial`` persists a torn file
+        # (truncated mid-blob — the loader's corrupt-file path must
+        # recover); ``full`` fails the write like a disk that ran out
+        # of space.
+        action = _fire_fault("cache.save")
+        if action is not None and action.kind == "partial":
+            data = data[: len(data) // 2]
+        try:
+            if action is not None and action.kind == "full":
+                raise OSError(errno.ENOSPC, action.describe())
+            os.makedirs(
+                os.path.dirname(os.path.abspath(target)), exist_ok=True)
+            with open(tmp, "w") as fh:
+                # dumps + write, not dump: json.dump streams through the
+                # pure-python iterencode loop, while dumps takes the
+                # one-shot C encoder — ~10x faster on a few hundred
+                # entries, and the save sits inside the timed
+                # persistence stage of every cold search.
+                fh.write(data)
+            os.replace(tmp, target)
+        except OSError as exc:
+            # A failed save must never sink the search that produced
+            # the projections: stay dirty (the next save retries), drop
+            # the temp file, report through stats.
+            logger.warning("cache: save to %s failed: %s", target, exc)
+            with self._lock:
+                self.save_errors += 1
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return None
         logger.debug(
             "cache: saved %d entries to %s", len(blob["entries"]), target)
         with self._lock:
@@ -426,6 +455,7 @@ class ProjectionCache:
                 "misses": float(self.misses),
                 "negative_hits": float(self.negative_hits),
                 "saves": float(self.saves),
+                "save_errors": float(self.save_errors),
                 "invalidated": float(self.invalidated),
             }
 

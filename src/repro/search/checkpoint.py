@@ -1,0 +1,256 @@
+"""Crash-safe sweep checkpointing: an append-only journal of finished cells.
+
+A zoo sweep is a loop of expensive, independent searches — exactly the
+shape that deserves to survive a crash.  :class:`SweepCheckpoint` keeps
+a JSONL journal next to the sweep: a header line pinning the sweep's
+configuration, then one ``cell`` line per completed model, appended
+with flush+fsync *after* that model's search finishes.  Kill the
+process anywhere and the journal holds every finished cell; re-running
+with ``resume=True`` (``repro sweep --resume``) skips those models and
+replays their results.
+
+Byte-identity is the contract (and the chaos battery pins it): a
+resumed sweep's ``summary.csv`` and ``frontier_<model>.csv`` artifacts
+are byte-identical to an uninterrupted run.  That works because a
+replayed cell reconstructs lightweight evaluation objects carrying the
+*exact journaled values* — ``csv.writer`` stringifies floats via
+``repr`` and ``json`` round-trips ``repr`` losslessly, so the standard
+:func:`~repro.search.sweep.write_frontier_csv` /
+``write_summary_csv`` writers emit the same bytes without special
+cases.  (The ``seconds`` column is each cell's *original* search
+duration, replayed verbatim.)
+
+Format (one JSON document per line)::
+
+    {"kind": "header", "schema": 1, "meta": {...}}    # sweep identity
+    {"kind": "cell", "model": ..., "seconds": ...,
+     "cache_file": ..., "summary_row": {...},
+     "frontier_rows": [[...], ...], "report": {...}}  # per finished model
+
+A torn final line (crash mid-append) is tolerated and ignored on load.
+Resuming against a journal whose ``meta`` disagrees with the current
+sweep configuration is refused — silently mixing two different sweeps'
+cells would corrupt the report.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from types import SimpleNamespace
+from typing import Dict, List, Optional, Sequence
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["SweepCheckpoint", "ReplayedReport", "CHECKPOINT_SCHEMA"]
+
+#: Bumped on any incompatible journal format change.
+CHECKPOINT_SCHEMA = 1
+
+
+def frontier_rows(report) -> List[list]:
+    """The exact cell lists ``write_frontier_csv`` writes for ``report``
+    (header row excluded) — the journaled form of a frontier."""
+    rows: List[list] = []
+    for rank, e in enumerate(report.frontier, start=1):
+        c = e.candidate
+        proj = e.projection
+        rows.append([
+            rank, e.describe(), c.sid, c.p, c.p1, c.p2, c.segments,
+            c.batch, proj.comm_policy, e.epoch_time, e.iteration_time,
+            e.memory_gb,
+            ";".join(f"{ph}={al}" for ph, al in proj.comm_algorithms),
+        ])
+    return rows
+
+
+class _ReplayedEval:
+    """A frontier entry rebuilt from its journaled CSV row.
+
+    Carries exactly the values the original evaluation contributed to
+    the artifacts, shaped like an
+    :class:`~repro.search.engine.Evaluation` where the sweep writers
+    and CLI presenters look (``describe()``, the three objective
+    attributes, ``candidate``, ``projection``).
+    """
+
+    __slots__ = ("_config", "candidate", "projection", "epoch_time",
+                 "iteration_time", "memory_gb", "feasible")
+
+    def __init__(self, row: Sequence[object]) -> None:
+        (_rank, config, sid, p, p1, p2, segments, batch, comm_policy,
+         epoch_s, iteration_s, memory_gb, algos) = row
+        self._config = str(config)
+        self.candidate = SimpleNamespace(
+            sid=sid, p=p, p1=p1, p2=p2, segments=segments, batch=batch)
+        self.projection = SimpleNamespace(
+            comm_policy=comm_policy,
+            comm_algorithms=tuple(
+                tuple(part.split("=", 1))
+                for part in str(algos).split(";") if part
+            ),
+        )
+        self.epoch_time = epoch_s
+        self.iteration_time = iteration_s
+        self.memory_gb = memory_gb
+        self.feasible = True  # frontier entries are feasible by definition
+
+    def describe(self) -> str:
+        return self._config
+
+
+class _ReplayedBest:
+    """The per-model best pick rebuilt from the journaled summary row."""
+
+    __slots__ = ("_describe", "epoch_time", "iteration_time", "memory_gb",
+                 "projection")
+
+    def __init__(self, row: Dict[str, object]) -> None:
+        self._describe = str(row["best"])
+        self.epoch_time = row["epoch_s"]
+        self.iteration_time = row["iteration_s"]
+        self.memory_gb = row["memory_gb"]
+        self.projection = SimpleNamespace(comm_policy=row["comm_policy"])
+
+    def describe(self) -> str:
+        return self._describe
+
+
+class ReplayedReport:
+    """A finished model's search report, rebuilt from the journal.
+
+    Quacks like :class:`~repro.search.engine.SearchReport` everywhere
+    the sweep layer looks: ``frontier`` / ``best`` / ``stats`` for the
+    artifact writers and CLI, ``asdict()`` returning the journaled
+    envelope verbatim so ``--json`` output is byte-identical too.
+    """
+
+    def __init__(self, *, summary_row: Dict[str, object],
+                 rows: Sequence[Sequence[object]],
+                 report_blob: Dict[str, object]) -> None:
+        self._blob = report_blob
+        self.frontier = tuple(_ReplayedEval(row) for row in rows)
+        self.best: Optional[_ReplayedBest] = (
+            None if report_blob.get("best") is None
+            else _ReplayedBest(summary_row))
+        self.stats: Dict[str, object] = dict(report_blob.get("stats", {}))
+        self.objectives = tuple(report_blob.get("objectives", ()))
+        self.evaluations: tuple = ()
+        self.replayed = True
+
+    def asdict(self) -> Dict[str, object]:
+        return json.loads(json.dumps(self._blob))
+
+
+class SweepCheckpoint:
+    """The append-only journal (see module docstring for the format)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = None
+
+    # ------------------------------------------------------------- lifecycle
+    def prepare(self, meta: Dict[str, object], *,
+                resume: bool = False) -> Dict[str, Dict[str, object]]:
+        """Open the journal; returns ``{model: cell}`` for cells already
+        finished (empty unless resuming an existing journal).
+
+        * missing file — start fresh (header written) whether or not
+          ``resume`` was asked; resuming nothing is a fresh run.
+        * existing file + ``resume`` — validate the header against
+          ``meta`` and load finished cells; new cells append.
+        * existing file, no ``resume`` — truncate and start fresh (the
+          caller chose a checkpoint path; without ``--resume`` a re-run
+          means "from the top").
+        """
+        completed: Dict[str, Dict[str, object]] = {}
+        if resume and os.path.exists(self.path):
+            completed = self._load(meta)
+            self._fh = open(self.path, "a")
+        else:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "w")
+            self._append({
+                "kind": "header",
+                "schema": CHECKPOINT_SCHEMA,
+                "meta": meta,
+            })
+        return completed
+
+    def _load(self, meta: Dict[str, object]
+              ) -> Dict[str, Dict[str, object]]:
+        completed: Dict[str, Dict[str, object]] = {}
+        with open(self.path) as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            raise ValueError(
+                f"checkpoint {self.path} is empty (no header); "
+                f"remove it to start fresh")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"checkpoint {self.path} has an unreadable header: "
+                f"{exc}") from exc
+        if header.get("kind") != "header":
+            raise ValueError(
+                f"checkpoint {self.path} does not start with a header "
+                f"line")
+        if header.get("schema") != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"checkpoint {self.path} uses schema "
+                f"{header.get('schema')!r}; this build reads "
+                f"{CHECKPOINT_SCHEMA}")
+        recorded = header.get("meta", {})
+        if recorded != meta:
+            drift = sorted(
+                key for key in set(recorded) | set(meta)
+                if recorded.get(key) != meta.get(key))
+            raise ValueError(
+                f"checkpoint {self.path} was written by a different "
+                f"sweep configuration (differs on: {', '.join(drift)}); "
+                f"remove it or re-run the original configuration")
+        for i, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                cell = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn tail is the expected crash signature: the cell
+                # being appended when the process died never finished,
+                # so its model simply re-runs.
+                logger.warning(
+                    "checkpoint %s: ignoring torn line %d (crash "
+                    "mid-append)", self.path, i)
+                continue
+            if cell.get("kind") != "cell" or "model" not in cell:
+                logger.warning(
+                    "checkpoint %s: ignoring malformed line %d",
+                    self.path, i)
+                continue
+            completed[str(cell["model"])] = cell
+        return completed
+
+    def record(self, cell: Dict[str, object]) -> None:
+        """Append one finished cell, durably (flush + fsync)."""
+        if self._fh is None:
+            raise RuntimeError("checkpoint not prepared")
+        self._append(cell)
+
+    def _append(self, blob: Dict[str, object]) -> None:
+        self._fh.write(json.dumps(blob) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -52,6 +52,7 @@ from .. import npcompat
 from ..core.analytical import Projection
 from ..core.strategies import Strategy, StrategyError
 from ..data.datasets import DatasetSpec
+from ..faults import check_deadline
 from ..obs.tracer import NULL_TRACER, Tracer
 from .cache import (
     CachedFailure,
@@ -629,6 +630,7 @@ class SearchEngine:
         detail scales with chunks, not candidates, and the no-op
         tracer's cost stays amortized across the whole chunk.
         """
+        check_deadline("search.evaluate_chunk")
         with self.tracer.span(
                 "search.evaluate_chunk", candidates=len(candidates)) as sp:
             t0 = time.perf_counter()
@@ -929,6 +931,11 @@ class SearchEngine:
                 len(candidates), root.attrs.get("model"), self.executor)
             evaluations = []
             for evaluation in self._iter_candidates(candidates):
+                # Deadline budgets abort between results: bounded
+                # latency on the serial path (chunks are checked in
+                # evaluate_many too), bounded by chunk completion when
+                # a worker pool is driving.
+                check_deadline("search.results")
                 if on_result is not None:
                     on_result(evaluation)
                 evaluations.append(evaluation)

@@ -36,8 +36,12 @@ from typing import (
 )
 
 from ..data.datasets import DatasetSpec
+from ..faults import FaultError, check_deadline
+from ..faults import fire as _fire_fault
 from ..network.topology import ClusterSpec, abci_like_cluster
 from ..obs.tracer import NULL_TRACER
+from .checkpoint import ReplayedReport, SweepCheckpoint
+from .checkpoint import frontier_rows as _frontier_rows
 from .engine import Evaluation, SearchEngine, SearchReport
 from .pareto import DEFAULT_OBJECTIVES
 from .space import DEFAULT_STRATEGIES, SearchSpace
@@ -72,15 +76,8 @@ def write_frontier_csv(path: str, report: SearchReport) -> str:
             "batch", "comm_policy", "epoch_s", "iteration_s", "memory_gb",
             "comm_algorithms",
         ])
-        for rank, e in enumerate(report.frontier, start=1):
-            c = e.candidate
-            proj = e.projection
-            writer.writerow([
-                rank, e.describe(), c.sid, c.p, c.p1, c.p2, c.segments,
-                c.batch, proj.comm_policy, e.epoch_time, e.iteration_time,
-                e.memory_gb,
-                ";".join(f"{ph}={al}" for ph, al in proj.comm_algorithms),
-            ])
+        for row in _frontier_rows(report):
+            writer.writerow(row)
     return path
 
 
@@ -268,6 +265,10 @@ class SweepRunner:
     oracle_factory:
         ``name -> ParaDL`` override (tests inject toy oracles here);
         default builds zoo models against ``cluster``.
+    clock:
+        Monotonic-seconds source for the ``seconds`` columns (tests pin
+        it for deterministic artifacts; the chaos battery relies on
+        this to assert resumed sweeps byte-identical).
     """
 
     def __init__(
@@ -294,6 +295,7 @@ class SweepRunner:
         oracle_factory: Optional[Callable[[str], object]] = None,
         tracer=None,
         metrics=None,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if not models:
             raise ValueError("need at least one model to sweep")
@@ -315,6 +317,7 @@ class SweepRunner:
         self.oracle_factory = oracle_factory
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.clock = clock
         self.space = SearchSpace(
             strategies=(
                 tuple(strategies) if strategies else DEFAULT_STRATEGIES),
@@ -452,12 +455,43 @@ class SweepRunner:
             metrics=self.metrics,
         )
 
+    # ---------------------------------------------------------- checkpoints
+    def checkpoint_meta(self) -> Dict[str, object]:
+        """The sweep identity pinned in a checkpoint header: resuming a
+        journal written by a different zoo or search space is refused."""
+        return {
+            "models": list(self.models),
+            "pes": self.pes,
+            "strategies": list(self.space.strategies),
+            "pe_budgets": list(self.space.pe_budgets),
+            "samples_per_pe": list(self.space.samples_per_pe),
+            "fixed_batches": list(self.space.fixed_batches),
+            "segments": list(self.space.segments),
+            "comm_policies": list(self.space.comm_policies),
+        }
+
+    @staticmethod
+    def _replay_cell(cell: Dict[str, object]) -> SweepResult:
+        report = ReplayedReport(
+            summary_row=cell["summary_row"],
+            rows=cell["frontier_rows"],
+            report_blob=cell["report"],
+        )
+        return SweepResult(
+            model=str(cell["model"]),
+            report=report,
+            seconds=cell["seconds"],
+            cache_file=cell.get("cache_file"),
+        )
+
     # ------------------------------------------------------------------ run
     def run(
         self,
         *,
         on_result: Optional[Callable[[str, Evaluation], None]] = None,
         on_model: Optional[Callable[[str, SweepResult], None]] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ) -> SweepReport:
         """Sweep every model; returns the consolidated report.
 
@@ -465,36 +499,88 @@ class SweepRunner:
         as they complete (anytime consumption — the CLI's ``--stream``);
         ``on_model(model, result)`` fires once per finished model.
         Neither affects the report.
+
+        ``checkpoint`` names a :class:`SweepCheckpoint` journal: each
+        finished model is appended durably, and ``resume=True`` replays
+        journaled models instead of re-searching them (``on_model``
+        still fires for replayed cells; ``on_result`` does not — their
+        evaluations already streamed in the original run).  Artifacts
+        from a resumed sweep are byte-identical to an uninterrupted one
+        (given the same ``clock``; wall-clock ``seconds`` naturally
+        differ between runs otherwise).
         """
-        t_sweep = time.perf_counter()
+        t_sweep = self.clock()
         logger.info("sweep: %d models, strategies=%s",
                     len(self.models), ",".join(self.space.strategies))
+        ckpt: Optional[SweepCheckpoint] = None
+        completed: Dict[str, Dict[str, object]] = {}
+        if checkpoint is not None:
+            ckpt = SweepCheckpoint(checkpoint)
+            completed = ckpt.prepare(self.checkpoint_meta(), resume=resume)
+            if completed:
+                logger.info(
+                    "sweep: resuming from %s — %d/%d models already done",
+                    checkpoint, len(completed), len(self.models))
         results: List[SweepResult] = []
-        with self.tracer.span("sweep", models=len(self.models)):
-            for name in self.models:
-                with self.tracer.span("sweep.model", model=name) as sp:
-                    engine = self.engine_for(name)
-                    callback = (
-                        (lambda e, _name=name: on_result(_name, e))
-                        if on_result is not None else None
-                    )
-                    t0 = time.perf_counter()
-                    report = engine.search(
-                        self.space, weights=self.weights, on_result=callback)
-                    result = SweepResult(
-                        model=name,
-                        report=report,
-                        seconds=time.perf_counter() - t0,
-                        cache_file=engine.cache.path,
-                    )
-                    sp.attrs["seconds"] = result.seconds
-                    sp.attrs["feasible"] = report.stats.get("feasible", 0)
-                logger.info("sweep: %s done in %.2fs", name, result.seconds)
-                results.append(result)
-                if on_model is not None:
-                    on_model(name, result)
+        try:
+            with self.tracer.span("sweep", models=len(self.models)):
+                for name in self.models:
+                    cell = completed.get(name)
+                    if cell is not None:
+                        result = self._replay_cell(cell)
+                        logger.info(
+                            "sweep: %s replayed from checkpoint", name)
+                        results.append(result)
+                        if on_model is not None:
+                            on_model(name, result)
+                        continue
+                    check_deadline("sweep.model")
+                    action = _fire_fault("sweep.cell")
+                    if action is not None and action.kind in (
+                            "crash", "error"):
+                        # A "crash" here aborts the sweep mid-zoo — the
+                        # chaos battery's stand-in for a killed process;
+                        # the journal keeps every finished cell.
+                        raise FaultError(action.describe())
+                    with self.tracer.span("sweep.model", model=name) as sp:
+                        engine = self.engine_for(name)
+                        callback = (
+                            (lambda e, _name=name: on_result(_name, e))
+                            if on_result is not None else None
+                        )
+                        t0 = self.clock()
+                        report = engine.search(
+                            self.space, weights=self.weights,
+                            on_result=callback)
+                        result = SweepResult(
+                            model=name,
+                            report=report,
+                            seconds=self.clock() - t0,
+                            cache_file=engine.cache.path,
+                        )
+                        sp.attrs["seconds"] = result.seconds
+                        sp.attrs["feasible"] = report.stats.get(
+                            "feasible", 0)
+                    logger.info(
+                        "sweep: %s done in %.2fs", name, result.seconds)
+                    if ckpt is not None:
+                        ckpt.record({
+                            "kind": "cell",
+                            "model": name,
+                            "seconds": result.seconds,
+                            "cache_file": result.cache_file,
+                            "summary_row": result.summary_row(),
+                            "frontier_rows": _frontier_rows(result.report),
+                            "report": result.report.asdict(),
+                        })
+                    results.append(result)
+                    if on_model is not None:
+                        on_model(name, result)
+        finally:
+            if ckpt is not None:
+                ckpt.close()
         return SweepReport(
             results=results,
             objectives=tuple(DEFAULT_OBJECTIVES),
-            seconds=time.perf_counter() - t_sweep,
+            seconds=self.clock() - t_sweep,
         )

@@ -23,7 +23,7 @@ load harness against an in-process instance.
 """
 
 from .client import PlanningClient, ServerError
-from .jobs import Job, JobManager
+from .jobs import Job, JobManager, JobQueueFull
 from .loadgen import LoadGenerator, LoadReport, default_mix, write_bench_json
 from .pool import SessionPool, scenario_fingerprint
 from .server import PlanningServer, ServeError
@@ -31,6 +31,7 @@ from .server import PlanningServer, ServeError
 __all__ = [
     "Job",
     "JobManager",
+    "JobQueueFull",
     "LoadGenerator",
     "LoadReport",
     "PlanningClient",

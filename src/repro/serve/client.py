@@ -1,9 +1,9 @@
 """Stdlib HTTP client for the planning server.
 
-A thin :mod:`urllib.request` wrapper speaking the ``/v1`` wire
-contract: scenario documents out, schema-versioned result envelopes
-back.  No third-party dependencies, so anything that can import
-``repro`` can drive a remote oracle.
+A thin :mod:`http.client` wrapper speaking the ``/v1`` wire contract:
+scenario documents out, schema-versioned result envelopes back.  No
+third-party dependencies, so anything that can import ``repro`` can
+drive a remote oracle.
 
 >>> from repro.serve import PlanningClient, PlanningServer
 >>> with PlanningServer(port=0) as server:          # doctest: +SKIP
@@ -15,19 +15,35 @@ back.  No third-party dependencies, so anything that can import
 Error mapping: non-2xx responses raise :class:`ServerError`, carrying
 the HTTP ``status``, the parsed error ``payload``, and — for 400
 validation failures — the dotted scenario ``field`` the server named.
-Transport-level failures (connection refused, timeouts) propagate as
-the underlying :class:`urllib.error.URLError`.
+Transport-level failures (connection refused, timeouts, malformed
+responses) propagate as :class:`OSError` subclasses, so one
+``except (ServerError, OSError)`` covers every failure mode.
+
+Resilience: every request carries a ``(connect, read)`` timeout pair
+(default 30 s each — a hung server can never wedge a client thread
+forever), and an optional :class:`~repro.faults.RetryPolicy` retries
+transport failures and 502/503/504 responses with exponential backoff,
+honoring the server's ``Retry-After`` hint on queue-full 503s.  Job
+submission (``POST /v1/jobs``) is deliberately never retried — a blind
+resubmit could enqueue duplicate jobs.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
-import urllib.error
-import urllib.request
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import urlsplit
 
-__all__ = ["PlanningClient", "ServerError"]
+from repro.faults import RetryPolicy
+from repro.faults import fire as _fire_fault
+
+__all__ = ["PlanningClient", "ServerError", "RETRYABLE_STATUSES"]
+
+#: Response codes a retry policy is allowed to retry: the transient
+#: server-side trio (bad gateway, queue saturated, deadline exceeded).
+RETRYABLE_STATUSES = (502, 503, 504)
 
 
 class ServerError(RuntimeError):
@@ -51,6 +67,18 @@ class ServerError(RuntimeError):
             return str(error.get("field", ""))
         return ""
 
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The server's ``Retry-After`` hint in seconds (503 envelopes
+        carry it as ``error.retry_after_s``), or ``None``."""
+        error = self.payload.get("error")
+        if isinstance(error, dict) and "retry_after_s" in error:
+            try:
+                return float(error["retry_after_s"])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return None
+        return None
+
 
 ScenarioDoc = Dict[str, object]
 
@@ -64,12 +92,43 @@ class PlanningClient:
         The server root, e.g. ``"http://127.0.0.1:8177"`` (a trailing
         slash is tolerated).
     timeout:
-        Per-request socket timeout in seconds.
+        Either one number applied to both phases, or a ``(connect,
+        read)`` pair in seconds.  Default 30 s each.
+    retries:
+        Optional :class:`~repro.faults.RetryPolicy` applied to
+        transport errors and :data:`RETRYABLE_STATUSES` responses.
+        ``None`` (the default) fails fast, matching the historical
+        behavior byte-for-byte.
+    deadline_s:
+        When set, every request carries an ``X-Repro-Deadline-S``
+        header and the server aborts work past the budget with a 504
+        envelope.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(self, base_url: str, *,
+                 timeout: Union[float, Tuple[float, float]] = 30.0,
+                 retries: Optional[RetryPolicy] = None,
+                 deadline_s: Optional[float] = None) -> None:
         self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
+        if isinstance(timeout, (tuple, list)):
+            connect_t, read_t = timeout
+        else:
+            connect_t = read_t = timeout
+        self.connect_timeout = float(connect_t)
+        self.read_timeout = float(read_t)
+        self.retries = retries
+        self.deadline_s = deadline_s
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(
+                f"PlanningClient speaks plain http, got {self.base_url!r}")
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
+
+    @property
+    def timeout(self) -> float:
+        """The read timeout (back-compat single-number view)."""
+        return self.read_timeout
 
     # ------------------------------------------------------------ transport
     def request_raw(self, method: str, path: str,
@@ -77,30 +136,46 @@ class PlanningClient:
         """One HTTP exchange, bytes in/bytes out (parity-test friendly).
 
         Returns ``(status, body)`` for *any* status — no exception
-        mapping — so tests can assert on exact wire bytes.
+        mapping, no retries — so tests can assert on exact wire bytes.
         """
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(
-                    request, timeout=self.timeout) as response:
-                return response.status, response.read()
-        except urllib.error.HTTPError as exc:
-            with exc:
-                return exc.code, exc.read()
+        status, raw, _headers = self._exchange(method, path, body)
+        return status, raw
 
-    def request(self, method: str, path: str,
-                payload: Optional[object] = None) -> Dict[str, object]:
-        """One JSON exchange; raises :class:`ServerError` on non-2xx."""
-        body = (
-            json.dumps(payload).encode("utf-8")
-            if payload is not None else None
-        )
-        status, raw = self.request_raw(method, path, body)
+    def _exchange(self, method: str, path: str, body: Optional[bytes]
+                  ) -> Tuple[int, bytes, Dict[str, str]]:
+        """One exchange with a split (connect, read) timeout.
+
+        Fault site ``serve.client.request``: ``drop`` fails like a
+        connection that never got through; ``delay`` stalls the call.
+        """
+        action = _fire_fault("serve.client.request")
+        if action is not None and action.kind == "drop":
+            raise ConnectionError(action.describe())
+        headers = {"Content-Type": "application/json"}
+        if self.deadline_s is not None:
+            headers["X-Repro-Deadline-S"] = f"{self.deadline_s:g}"
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.connect_timeout)
+        try:
+            conn.connect()
+            if conn.sock is not None:
+                # Connect succeeded within the connect budget; the rest
+                # of the exchange runs on the read budget.
+                conn.sock.settimeout(self.read_timeout)
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            return response.status, raw, dict(response.getheaders())
+        except http.client.HTTPException as exc:
+            raise ConnectionError(
+                f"malformed HTTP exchange with {self.base_url}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[bytes]) -> Dict[str, object]:
+        status, raw, _headers = self._exchange(method, path, body)
         try:
             blob = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -108,6 +183,40 @@ class PlanningClient:
         if not 200 <= status < 300:
             raise ServerError(status, blob)
         return blob
+
+    def request(self, method: str, path: str,
+                payload: Optional[object] = None) -> Dict[str, object]:
+        """One JSON exchange; raises :class:`ServerError` on non-2xx.
+
+        With :attr:`retries` set, transport errors and retryable
+        statuses are retried under the policy; the server's
+        ``Retry-After`` hint extends the backoff when present.
+        """
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None else None
+        )
+        policy = self.retries
+        if policy is None or (method == "POST" and path == "/v1/jobs"):
+            return self._request_once(method, path, body)
+        last: Optional[BaseException] = None
+        for attempt, delay in enumerate(policy.delays()):
+            if delay > 0:
+                last_hint = (last.retry_after
+                             if isinstance(last, ServerError) else None)
+                if last_hint is not None:
+                    delay = max(delay, last_hint)
+                policy.sleep(delay)
+            try:
+                return self._request_once(method, path, body)
+            except ServerError as exc:
+                if exc.status not in RETRYABLE_STATUSES:
+                    raise
+                last = exc
+            except OSError as exc:
+                last = exc
+        assert last is not None
+        raise last
 
     # ----------------------------------------------------------- sync verbs
     def project(self, scenario: ScenarioDoc) -> Dict[str, object]:
@@ -144,7 +253,12 @@ class PlanningClient:
 
     # ----------------------------------------------------------------- jobs
     def submit(self, verb: str, scenario: ScenarioDoc) -> Dict[str, object]:
-        """``POST /v1/jobs`` — async handle for a long-running verb."""
+        """``POST /v1/jobs`` — async handle for a long-running verb.
+
+        Never retried even with a policy configured (a duplicate submit
+        would enqueue duplicate work); queue-full 503s surface to the
+        caller with :attr:`ServerError.retry_after` set.
+        """
         return self.request(
             "POST", "/v1/jobs", {"verb": verb, "scenario": scenario})
 

@@ -10,11 +10,21 @@ Lifecycle::
     pending -> running -> done
                        -> error     (the verb raised; message recorded)
 
-Finished jobs are retained so results can be fetched after completion,
-bounded by ``max_jobs``: once the table exceeds it, the oldest
-*finished* jobs are dropped (in-flight jobs are never evicted), so a
-poller that comes back late gets a clean 404 instead of unbounded
-server memory.
+Memory bounds (a long-lived server must not grow without limit):
+
+* ``max_jobs`` — once the table exceeds it, the oldest *finished* jobs
+  are dropped entirely (in-flight jobs are never evicted); a poller
+  that comes back late gets a clean 404.
+* ``max_results`` — independent of the table bound, only this many
+  finished jobs keep their full result payload pinned; older results
+  are released (the job row survives with ``result_evicted: true``, so
+  the poller learns the result aged out rather than seeing a 404).
+* ``max_pending`` — admission control: submits beyond this many
+  not-yet-finished jobs raise :class:`JobQueueFull`, which the server
+  maps to 503 + ``Retry-After``.
+
+Evictions count into ``stats()`` (and the server's metrics registry as
+``serve.jobs.evicted`` / ``serve.jobs.results_evicted``).
 """
 
 from __future__ import annotations
@@ -26,17 +36,30 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional
 
-__all__ = ["Job", "JobManager"]
+__all__ = ["Job", "JobManager", "JobQueueFull"]
 
 #: Job states on the wire.
 PENDING, RUNNING, DONE, ERROR = "pending", "running", "done", "error"
+
+
+class JobQueueFull(RuntimeError):
+    """Admission control rejected a submit: too many jobs in flight."""
+
+    def __init__(self, pending: int, limit: int,
+                 retry_after_s: float) -> None:
+        super().__init__(
+            f"job queue saturated: {pending} jobs in flight "
+            f"(limit {limit}); retry in {retry_after_s:g}s")
+        self.pending = pending
+        self.limit = limit
+        self.retry_after_s = retry_after_s
 
 
 class Job:
     """One submitted verb: identity, state, and (eventually) a result."""
 
     __slots__ = ("id", "verb", "status", "created", "started", "finished",
-                 "result", "error")
+                 "result", "error", "result_evicted")
 
     def __init__(self, verb: str) -> None:
         self.id = uuid.uuid4().hex[:12]
@@ -47,6 +70,7 @@ class Job:
         self.finished: Optional[float] = None
         self.result: Optional[dict] = None
         self.error: Optional[str] = None
+        self.result_evicted = False
 
     @property
     def terminal(self) -> bool:
@@ -69,6 +93,8 @@ class Job:
             blob["error"] = self.error
         if include_result and self.result is not None:
             blob["result"] = self.result
+        if self.result_evicted:
+            blob["result_evicted"] = True
         return blob
 
 
@@ -78,20 +104,63 @@ class JobManager:
     ``submit`` accepts a zero-argument callable returning the JSON-ready
     result payload; exceptions become the job's ``error`` state rather
     than escaping into the pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool threads actually executing verbs.
+    max_jobs:
+        Table bound — oldest finished jobs are dropped beyond it.
+    max_results:
+        How many finished jobs keep their result payload in memory
+        (older payloads are released, rows kept).
+    max_pending:
+        Admission bound on not-yet-finished jobs; ``None`` disables.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; evictions
+        increment ``serve.jobs.evicted`` / ``serve.jobs.results_evicted``.
     """
 
-    def __init__(self, workers: int = 2, max_jobs: int = 256) -> None:
+    #: Retry-After hint handed to rejected submitters: long enough for a
+    #: typical verb to drain, short enough to keep clients responsive.
+    RETRY_AFTER_S = 1.0
+
+    def __init__(self, workers: int = 2, max_jobs: int = 256, *,
+                 max_results: int = 64,
+                 max_pending: Optional[int] = None,
+                 metrics=None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_results < 0:
+            raise ValueError(
+                f"max_results must be >= 0, got {max_results}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {max_pending}")
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve-job")
         self.max_jobs = max_jobs
+        self.max_results = max_results
+        self.max_pending = max_pending
+        self.metrics = metrics
+        self.evicted = 0
+        self.results_evicted = 0
+        self.rejected = 0
 
     def submit(self, verb: str, fn: Callable[[], dict]) -> Job:
         job = Job(verb)
         with self._lock:
+            if self.max_pending is not None:
+                in_flight = sum(
+                    1 for j in self._jobs.values() if not j.terminal)
+                if in_flight >= self.max_pending:
+                    self.rejected += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("serve.jobs.rejected").add(1)
+                    raise JobQueueFull(
+                        in_flight, self.max_pending, self.RETRY_AFTER_S)
             self._jobs[job.id] = job
             self._evict_finished_locked()
         self._pool.submit(self._run, job, fn)
@@ -108,14 +177,35 @@ class JobManager:
             job.status = ERROR
         finally:
             job.finished = time.time()
+            with self._lock:
+                self._evict_results_locked()
 
     def _evict_finished_locked(self) -> None:
-        if len(self._jobs) <= self.max_jobs:
-            return
-        for job_id in [
-            j.id for j in self._jobs.values() if j.terminal
-        ][: len(self._jobs) - self.max_jobs]:
-            del self._jobs[job_id]
+        if len(self._jobs) > self.max_jobs:
+            for job_id in [
+                j.id for j in self._jobs.values() if j.terminal
+            ][: len(self._jobs) - self.max_jobs]:
+                del self._jobs[job_id]
+                self.evicted += 1
+                if self.metrics is not None:
+                    self.metrics.counter("serve.jobs.evicted").add(1)
+        self._evict_results_locked()
+
+    def _evict_results_locked(self) -> None:
+        """Release result payloads beyond ``max_results``, oldest first
+        (insertion order approximates completion order closely enough
+        for a bound whose purpose is memory, not fairness)."""
+        holders = [
+            j for j in self._jobs.values()
+            if j.terminal and j.result is not None
+        ]
+        excess = len(holders) - self.max_results
+        for job in holders[:max(0, excess)]:
+            job.result = None
+            job.result_evicted = True
+            self.results_evicted += 1
+            if self.metrics is not None:
+                self.metrics.counter("serve.jobs.results_evicted").add(1)
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
@@ -145,6 +235,9 @@ class JobManager:
             "running": float(states.count(RUNNING)),
             "done": float(states.count(DONE)),
             "error": float(states.count(ERROR)),
+            "evicted": float(self.evicted),
+            "results_evicted": float(self.results_evicted),
+            "rejected": float(self.rejected),
         }
 
     def shutdown(self, wait: bool = False) -> None:

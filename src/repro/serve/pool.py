@@ -33,6 +33,8 @@ from typing import Dict, Optional
 
 from ..api.session import Session
 from ..api.spec import ScenarioSpec
+from ..faults import FaultError
+from ..faults import fire as _fire_fault
 
 __all__ = ["SessionPool", "scenario_fingerprint"]
 
@@ -86,7 +88,14 @@ class SessionPool:
         self.evictions = 0
 
     def session(self, scenario: ScenarioSpec) -> Session:
-        """The pooled Session for ``scenario`` (built on first use)."""
+        """The pooled Session for ``scenario`` (built on first use).
+
+        Fault site ``serve.pool.session``: ``error`` fails the lookup
+        (exercising the server's 500 path); ``delay`` stalls it.
+        """
+        action = _fire_fault("serve.pool.session")
+        if action is not None and action.kind == "error":
+            raise FaultError(action.describe())
         key = scenario_fingerprint(scenario)
         with self._lock:
             session = self._sessions.get(key)

@@ -50,9 +50,11 @@ from ..api.results import error_envelope
 from ..api.session import Session
 from ..api.spec import SCHEMA_VERSION, ScenarioSpec, ScenarioValidationError
 from ..core.strategies import StrategyError
+from ..faults import Deadline, DeadlineExceeded, FaultError, deadline_scope
+from ..faults import fire as _fire_fault
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER
-from .jobs import JobManager
+from .jobs import JobManager, JobQueueFull
 from .pool import SessionPool
 
 logger = logging.getLogger(__name__)
@@ -86,7 +88,9 @@ class ServeError(Exception):
     """A structured HTTP error: status + JSON body.
 
     ``field`` carries the dotted scenario path for validation failures
-    (the 400 contract); other statuses leave it empty.
+    (the 400 contract); other statuses leave it empty.  ``headers``
+    (set post-construction) adds response headers — the 503 queue-full
+    path uses it for ``Retry-After``.
     """
 
     def __init__(self, status: int, error_type: str, message: str,
@@ -96,6 +100,7 @@ class ServeError(Exception):
         self.error_type = error_type
         self.field = field
         self.extra = extra
+        self.headers: Dict[str, str] = {}
 
     def payload(self) -> Dict[str, object]:
         error: Dict[str, object] = {
@@ -135,13 +140,15 @@ def _ensure_sections(scenario: ScenarioSpec,
 class _Response:
     """What a route handler returns: status + ready-to-send body."""
 
-    __slots__ = ("status", "body", "content_type")
+    __slots__ = ("status", "body", "content_type", "headers")
 
     def __init__(self, status: int, body: bytes,
-                 content_type: str = "application/json") -> None:
+                 content_type: str = "application/json",
+                 headers: Optional[Dict[str, str]] = None) -> None:
         self.status = status
         self.body = body
         self.content_type = content_type
+        self.headers = headers or {}
 
 
 class _App:
@@ -155,12 +162,14 @@ class _App:
 
     def __init__(self, *, pool: SessionPool, jobs: JobManager,
                  metrics: MetricsRegistry, tracer,
-                 max_body_bytes: int = MAX_BODY_BYTES) -> None:
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 request_deadline_s: Optional[float] = None) -> None:
         self.pool = pool
         self.jobs = jobs
         self.metrics = metrics
         self.tracer = tracer
         self.max_body_bytes = max_body_bytes
+        self.request_deadline_s = request_deadline_s
         self.started_unix = time.time()
         # path -> {method -> (route_name, handler(body, match))}
         self._routes: Dict[str, Dict[str, Tuple[str, Callable]]] = {}
@@ -177,21 +186,65 @@ class _App:
             "GET": ("metricsz", self._handle_metrics)}
 
     # ------------------------------------------------------------ dispatch
-    def handle(self, method: str, path: str, body: bytes) -> _Response:
+    def handle(self, method: str, path: str, body: bytes,
+               headers: Optional[Dict[str, str]] = None) -> _Response:
         t0 = time.perf_counter()
         route = "unrouted"
         try:
+            # Fault site ``serve.handler``: ``delay`` stalls the request
+            # (slow-handler latency campaigns); ``error`` fails it along
+            # the 500 path below.
+            action = _fire_fault("serve.handler")
+            if action is not None and action.kind == "error":
+                action.raise_()
             route, handler, match = self._resolve(method, path)
-            with self.tracer.span(f"serve.{route}"):
-                response = handler(body, match)
+            deadline = self._request_deadline(headers)
+            with deadline_scope(deadline):
+                if deadline is not None:
+                    deadline.check(f"serve.{route}")
+                with self.tracer.span(f"serve.{route}"):
+                    response = handler(body, match)
         except ServeError as exc:
-            response = _Response(exc.status, _render(exc.payload()))
+            response = _Response(exc.status, _render(exc.payload()),
+                                 headers=exc.headers)
+        except JobQueueFull as exc:
+            error = ServeError(
+                503, "queue-full", str(exc),
+                retry_after_s=exc.retry_after_s)
+            response = _Response(
+                503, _render(error.payload()),
+                headers={"Retry-After": f"{exc.retry_after_s:g}"})
+        except DeadlineExceeded as exc:
+            response = _Response(504, _render(ServeError(
+                504, "deadline-exceeded", str(exc)).payload()))
+        except FaultError as exc:
+            response = _Response(500, _render(ServeError(
+                500, "injected-fault", str(exc)).payload()))
         except Exception as exc:  # defense: a bug must not kill the thread
             logger.exception("unhandled error serving %s %s", method, path)
             response = _Response(500, _render(ServeError(
                 500, "internal", f"{type(exc).__name__}: {exc}").payload()))
         self._observe(route, response.status, time.perf_counter() - t0)
         return response
+
+    def _request_deadline(self, headers: Optional[Dict[str, str]]
+                          ) -> Optional[Deadline]:
+        """The effective budget: the tighter of the server-wide default
+        and the client's ``X-Repro-Deadline-S`` header (unparsable or
+        non-positive header values are ignored — a malformed hint should
+        not fail an otherwise valid request)."""
+        budget = self.request_deadline_s
+        if headers is not None:
+            raw = headers.get("X-Repro-Deadline-S")
+            if raw is not None:
+                try:
+                    hinted = float(raw)
+                except (TypeError, ValueError):
+                    hinted = 0.0
+                if hinted > 0:
+                    budget = (hinted if budget is None
+                              else min(budget, hinted))
+        return Deadline(budget) if budget is not None else None
 
     def _resolve(self, method: str, path: str):
         path = path.split("?", 1)[0].rstrip("/") or "/"
@@ -496,6 +549,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(response.body)
 
@@ -503,7 +558,8 @@ class _Handler(BaseHTTPRequestHandler):
         body = self._read_body()
         if body is None:
             return
-        self._reply(self._app().handle(method, self.path, body))
+        self._reply(self._app().handle(
+            method, self.path, body, headers=self.headers))
 
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         self._dispatch("GET")
@@ -551,17 +607,24 @@ class PlanningServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  pool_size: int = 32, cache_dir: Optional[str] = None,
                  max_body_bytes: int = MAX_BODY_BYTES,
-                 job_workers: int = 2, tracer=None,
+                 job_workers: int = 2,
+                 job_max_pending: Optional[int] = None,
+                 job_max_results: int = 64,
+                 request_deadline_s: Optional[float] = None,
+                 tracer=None,
                  metrics: Optional[MetricsRegistry] = None) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.pool = SessionPool(
             pool_size, cache_dir=cache_dir,
             tracer=self.tracer, metrics=self.metrics)
-        self.jobs = JobManager(workers=job_workers)
+        self.jobs = JobManager(
+            workers=job_workers, max_pending=job_max_pending,
+            max_results=job_max_results, metrics=self.metrics)
         self.app = _App(
             pool=self.pool, jobs=self.jobs, metrics=self.metrics,
-            tracer=self.tracer, max_body_bytes=max_body_bytes)
+            tracer=self.tracer, max_body_bytes=max_body_bytes,
+            request_deadline_s=request_deadline_s)
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.app = self.app  # type: ignore[attr-defined]

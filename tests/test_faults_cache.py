@@ -1,0 +1,134 @@
+"""Chaos battery for ProjectionCache persistence (cache.save faults).
+
+Two disk failure modes, both injected deterministically:
+
+* ``partial`` — the write completes but persists a torn blob (a crash
+  mid-``write`` on a filesystem that reordered the flush).  The loader
+  must recover: warn, mark the cache invalidated, start cold.
+* ``full`` — the write fails like a disk out of space (ENOSPC).  The
+  cache must absorb it: count a ``save_error``, stay dirty, leave no
+  temp litter, and succeed on the next (disarmed) save.
+"""
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.faults import FaultPlan, armed, disarm
+from repro.search.cache import CachedFailure, ProjectionCache
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+def _warm_cache(path):
+    cache = ProjectionCache(path, context={"model": "toy"})
+    cache.put_failure("k1", "infeasible: p too large")
+    cache.put_failure("k2", "infeasible: memory")
+    return cache
+
+
+class TestPartialWrite:
+    def test_torn_file_persisted_then_recovered(self, tmp_path, caplog):
+        path = str(tmp_path / "proj.json")
+        cache = _warm_cache(path)
+        plan = FaultPlan(0, [
+            {"site": "cache.save", "kind": "partial", "count": 1},
+        ])
+        with armed(plan):
+            assert cache.save() == path  # the write itself "succeeds"
+        # The blob on disk is torn mid-JSON.
+        with open(path) as fh:
+            raw = fh.read()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(raw)
+
+        # The loader's corrupt-file path: warn, rebuild from cold.
+        with caplog.at_level(logging.WARNING, logger="repro.search.cache"):
+            reloaded = ProjectionCache(path, context={"model": "toy"})
+        assert any("unreadable" in r.message for r in caplog.records)
+        assert reloaded.invalidated
+        assert reloaded.get("k1", None) is None  # cold: a plain miss
+        assert reloaded.stats()["entries"] == 0.0
+
+    def test_rebuilt_cache_overwrites_torn_file(self, tmp_path):
+        path = str(tmp_path / "proj.json")
+        plan = FaultPlan(0, [
+            {"site": "cache.save", "kind": "partial", "count": 1},
+        ])
+        with armed(plan):
+            _warm_cache(path).save()
+        rebuilt = ProjectionCache(path, context={"model": "toy"})
+        rebuilt.put_failure("k3", "infeasible: segments")
+        assert rebuilt.save() == path
+        final = ProjectionCache(path, context={"model": "toy"})
+        assert isinstance(final.get("k3", None), CachedFailure)
+
+
+class TestFullDisk:
+    def test_enospc_counts_and_stays_dirty(self, tmp_path):
+        path = str(tmp_path / "proj.json")
+        cache = _warm_cache(path)
+        plan = FaultPlan(0, [
+            {"site": "cache.save", "kind": "full", "count": 1},
+        ])
+        with armed(plan):
+            assert cache.save() is None
+        assert cache.stats()["save_errors"] == 1.0
+        assert cache.stats()["saves"] == 0.0
+        assert not os.path.exists(path)
+
+        # Dirty state survived: the next save retries and lands.
+        assert cache.save() == path
+        assert cache.stats()["saves"] == 1.0
+        reloaded = ProjectionCache(path, context={"model": "toy"})
+        assert isinstance(reloaded.get("k1", None), CachedFailure)
+        assert isinstance(reloaded.get("k2", None), CachedFailure)
+
+    def test_no_temp_litter_after_failed_save(self, tmp_path):
+        path = str(tmp_path / "cache" / "proj.json")
+        cache = _warm_cache(path)
+        plan = FaultPlan(0, [
+            {"site": "cache.save", "kind": "full", "count": 1},
+        ])
+        with armed(plan):
+            cache.save()
+        parent = tmp_path / "cache"
+        leftovers = (
+            [p.name for p in parent.iterdir()] if parent.exists() else [])
+        assert not [name for name in leftovers if ".tmp." in name]
+
+    def test_memory_still_serves_after_failed_save(self, tmp_path):
+        cache = _warm_cache(str(tmp_path / "proj.json"))
+        plan = FaultPlan(0, [
+            {"site": "cache.save", "kind": "full"},
+        ])
+        with armed(plan):
+            cache.save()
+            # Persistence is an optimization; lookups must not notice.
+            assert isinstance(cache.get("k1", None), CachedFailure)
+
+
+class TestSeededCampaign:
+    def test_same_seed_same_save_outcomes(self, tmp_path):
+        def outcomes(seed, subdir):
+            results = []
+            plan = FaultPlan(seed, [
+                {"site": "cache.save", "kind": "full",
+                 "probability": 0.5},
+            ])
+            with armed(plan):
+                for i in range(10):
+                    cache = _warm_cache(
+                        str(tmp_path / subdir / f"c{i}.json"))
+                    results.append(cache.save() is not None)
+            return results
+
+        assert outcomes(7, "a") == outcomes(7, "b")
+        assert True in outcomes(7, "a") and False in outcomes(7, "a")

@@ -1,0 +1,351 @@
+"""The fault-injection registry and resilience primitives (repro.faults).
+
+Load-bearing guarantees:
+
+* **Determinism** — the same ``FaultPlan`` seed yields the same fault
+  sequence, visit by visit; ``schedule()`` previews exactly what
+  ``fire()`` will do without disturbing live counters.
+* **Zero-cost disarmed** — with no plan armed, ``fire()`` is a global
+  read returning ``None`` (the overhead benchmark pins this).
+* **Retry / breaker / deadline semantics** — seeded backoff-with-jitter
+  schedules, trip-after-K + half-open probing, and monotonic budgets
+  behave exactly as docs/resilience.md documents.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    active,
+    arm,
+    arm_from_env,
+    armed,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    disarm,
+    fire,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan
+# ---------------------------------------------------------------------------
+
+class TestFaultRule:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultRule(site="x", kind="explode")
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(site="x", probability=1.5)
+        with pytest.raises(ValueError, match="site"):
+            FaultRule(site="")
+
+    def test_prefix_match(self):
+        rule = FaultRule(site="dist.*")
+        assert rule.matches("dist.frame.send")
+        assert rule.matches("dist.worker.chunk")
+        assert not rule.matches("serve.handler")
+        exact = FaultRule(site="serve.handler")
+        assert exact.matches("serve.handler")
+        assert not exact.matches("serve.handler.x")
+
+    def test_dict_round_trip(self):
+        rule = FaultRule(site="cache.save", kind="partial",
+                         probability=0.5, after=2, count=3)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+        with pytest.raises(ValueError, match="unknown"):
+            FaultRule.from_dict({"site": "x", "bogus": 1})
+
+
+class TestFaultPlan:
+    def test_same_seed_same_sequence(self):
+        def events(seed):
+            plan = FaultPlan(seed, [
+                {"site": "a", "kind": "error", "probability": 0.4},
+            ])
+            return [plan.fire("a") is not None for _ in range(50)], \
+                list(plan.events)
+
+        assert events(7) == events(7)
+        assert events(7) != events(8)
+
+    def test_schedule_previews_fire(self):
+        plan = FaultPlan(3, [
+            {"site": "a", "kind": "drop", "probability": 0.3, "after": 2},
+        ])
+        preview = plan.schedule("a", 40)
+        live = [plan.fire("a") is not None for _ in range(40)]
+        assert [bool(x) for x in preview] == live
+        # schedule() simulated on a copy: live counters unaffected.
+        assert plan.stats()["visits"] == 40
+
+    def test_after_and_count(self):
+        plan = FaultPlan(0, [
+            {"site": "a", "kind": "error", "after": 2, "count": 2},
+        ])
+        fired = [plan.fire("a") is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(0, [
+            {"site": "a", "kind": "drop", "count": 1},
+            {"site": "a*", "kind": "error"},
+        ])
+        assert plan.fire("a").kind == "drop"
+        assert plan.fire("a").kind == "error"
+
+    def test_plan_round_trip(self, tmp_path):
+        plan = FaultPlan(11, [
+            {"site": "dist.*", "kind": "corrupt", "probability": 0.2},
+            {"site": "cache.save", "kind": "full", "count": 1},
+        ])
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_file(str(path)).to_dict() == plan.to_dict()
+
+    def test_thread_safe_counters(self):
+        plan = FaultPlan(0, [{"site": "a", "kind": "error",
+                              "probability": 0.5}])
+        threads = [threading.Thread(
+            target=lambda: [plan.fire("a") for _ in range(200)])
+            for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert plan.stats()["visits"] == 800
+
+
+class TestArming:
+    def test_disarmed_fire_is_none(self):
+        assert active() is None
+        assert fire("anything") is None
+
+    def test_arm_disarm(self):
+        plan = FaultPlan(0, [{"site": "a", "kind": "error"}])
+        arm(plan)
+        assert active() is plan
+        action = fire("a")
+        assert action.kind == "error"
+        with pytest.raises(FaultError):
+            action.raise_()
+        disarm()
+        assert fire("a") is None
+
+    def test_armed_context_restores(self):
+        outer = FaultPlan(0, [{"site": "a", "kind": "drop"}])
+        inner = FaultPlan(0, [{"site": "a", "kind": "error"}])
+        arm(outer)
+        with armed(inner):
+            assert fire("a").kind == "error"
+        assert fire("a").kind == "drop"
+
+    def test_arm_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert arm_from_env() is None
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"seed": 5, "rules": [{"site": "a", "kind": "error"}]}))
+        monkeypatch.setenv("REPRO_FAULTS", str(path))
+        plan = arm_from_env()
+        assert plan is not None and active() is plan
+        assert fire("a").kind == "error"
+
+    def test_all_kinds_documented(self):
+        assert set(FAULT_KINDS) == {
+            "delay", "error", "drop", "corrupt", "crash", "partial",
+            "full"}
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_delays_deterministic_and_bounded(self):
+        policy = RetryPolicy(4, base_delay_s=0.1, max_delay_s=0.25,
+                             multiplier=2.0, jitter=0.1, seed="t")
+        delays = policy.delays()
+        assert delays == RetryPolicy(
+            4, base_delay_s=0.1, max_delay_s=0.25, multiplier=2.0,
+            jitter=0.1, seed="t").delays()
+        assert delays[0] == 0.0
+        assert len(delays) == 4
+        for d in delays[1:]:
+            assert 0.0 < d <= 0.25 * 1.1
+
+    def test_call_retries_then_succeeds(self):
+        slept = []
+        policy = RetryPolicy(3, base_delay_s=0.01, sleep=slept.append)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionError("boom")
+            return "ok"
+
+        seen = []
+        assert policy.call(flaky, retry_on=(ConnectionError,),
+                           on_retry=lambda a, e: seen.append(a)) == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2  # first attempt is immediate
+        assert seen == [0, 1]   # 0-based attempt indices, pre-sleep
+
+    def test_call_reraises_last(self):
+        policy = RetryPolicy(2, sleep=lambda s: None)
+        with pytest.raises(ValueError, match="second"):
+            errors = iter([ValueError("first"), ValueError("second")])
+            policy.call(lambda: (_ for _ in ()).throw(next(errors)),
+                        retry_on=(ValueError,))
+
+    def test_non_retryable_raises_immediately(self):
+        policy = RetryPolicy(5, sleep=lambda s: None)
+        calls = {"n": 0}
+
+        def bad():
+            calls["n"] += 1
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            policy.call(bad, retry_on=(ConnectionError,))
+        assert calls["n"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(0)
+        with pytest.raises(ValueError):
+            RetryPolicy(2, base_delay_s=-1)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def _clock(self):
+        state = {"t": 0.0}
+
+        def advance(dt):
+            state["t"] += dt
+
+        return (lambda: state["t"]), advance
+
+    def test_trips_after_k_consecutive(self):
+        clock, _ = self._clock()
+        breaker = CircuitBreaker(3, cooldown_s=1.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert not breaker.allow()
+        stats = breaker.stats()
+        assert stats["trips"] == 1
+        assert stats["rejected"] == 1
+        assert stats["state"] == "open"
+
+    def test_success_resets_consecutive(self):
+        clock, _ = self._clock()
+        breaker = CircuitBreaker(2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.allow()  # never reached 2 consecutive
+
+    def test_half_open_probe(self):
+        clock, advance = self._clock()
+        breaker = CircuitBreaker(1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        advance(5.1)
+        assert breaker.allow()          # the single half-open probe
+        assert not breaker.allow()      # concurrent calls still rejected
+        breaker.record_success()
+        assert breaker.allow()          # closed again
+        assert breaker.stats()["state"] == "closed"
+
+    def test_failed_probe_reopens(self):
+        clock, advance = self._clock()
+        breaker = CircuitBreaker(1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.stats()["trips"] == 2
+
+    def test_circuit_open_is_runtime_error(self):
+        assert issubclass(CircuitOpen, RuntimeError)
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+
+class TestDeadline:
+    def test_budget_and_check(self):
+        state = {"t": 0.0}
+        deadline = Deadline(2.0, clock=lambda: state["t"])
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired
+        state["t"] = 2.5
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="late"):
+            deadline.check("late")
+
+    def test_deadline_exceeded_is_timeout(self):
+        assert issubclass(DeadlineExceeded, TimeoutError)
+
+    def test_scope_is_thread_local(self):
+        deadline = Deadline(10.0)
+        seen = {}
+
+        def other():
+            seen["other"] = current_deadline()
+
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen["other"] is None
+        assert current_deadline() is None
+
+    def test_none_scope_keeps_outer(self):
+        deadline = Deadline(10.0)
+        with deadline_scope(deadline):
+            with deadline_scope(None):
+                assert current_deadline() is deadline
+
+    def test_check_deadline_noop_without_scope(self):
+        check_deadline("anything")  # no scope, no error
+
+    def test_check_deadline_raises_in_scope(self):
+        state = {"t": 0.0}
+        deadline = Deadline(1.0, clock=lambda: state["t"])
+        with deadline_scope(deadline):
+            check_deadline("ok")
+            state["t"] = 1.5
+            with pytest.raises(DeadlineExceeded):
+                check_deadline("ok")

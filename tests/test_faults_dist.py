@@ -1,0 +1,251 @@
+"""Chaos battery for the distributed executor (repro.dist under faults).
+
+Every campaign pins the same invariant the fault-free dist suite pins:
+a remote search's report is **byte-identical** to the thread executor's,
+no matter which seeded faults fire — dropped frames, corrupted frames,
+crashing workers, zombie workers that heartbeat without answering, or a
+worker dying mid-frame with a truncated length prefix.  Failures cost
+retries, reconnects, and requeues — never results.
+"""
+
+import json
+import struct
+import time
+
+import pytest
+
+from repro.core.calibration import profile_model
+from repro.core.oracle import ParaDL
+from repro.data.datasets import DatasetSpec
+from repro.dist import WorkerServer
+from repro.dist.coordinator import RemoteCoordinator
+from repro.dist.protocol import MAGIC, RESULT, _HEADER
+from repro.faults import FaultPlan, armed, disarm
+from repro.network.topology import abci_like_cluster
+from repro.obs.metrics import MetricsRegistry
+from repro.search.engine import SearchEngine
+from repro.search.space import SearchSpace
+
+SPACE = SearchSpace(
+    pe_budgets=(2, 4, 8, 16), samples_per_pe=(1, 4), segments=(2, 4))
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+@pytest.fixture(scope="module")
+def oracle(request):
+    toy = request.getfixturevalue("toy2d")
+    return ParaDL(toy, abci_like_cluster(16),
+                  profile_model(toy, samples_per_pe=4))
+
+
+@pytest.fixture(scope="module")
+def dataset(request):
+    toy = request.getfixturevalue("toy2d")
+    return DatasetSpec(name="tiny", sample=toy.input_spec,
+                       num_samples=4096, num_classes=10)
+
+
+@pytest.fixture(scope="module")
+def thread_report(oracle, dataset):
+    return SearchEngine(oracle, dataset, executor="thread").search(SPACE)
+
+
+def _blob(report) -> str:
+    return json.dumps(report.asdict(), sort_keys=True)
+
+
+def _remote(oracle, dataset, addresses, metrics=None):
+    return SearchEngine(
+        oracle, dataset, executor="remote", workers=list(addresses),
+        metrics=metrics)
+
+
+class TestFaultedParity:
+    def test_worker_crash_fault_byte_identical(
+            self, oracle, dataset, thread_report, monkeypatch):
+        """Seeded dist.worker.chunk crash == fail_after_chunks, but
+        driven by the fault registry: results still byte-identical."""
+        monkeypatch.setattr("repro.search.engine._REMOTE_CHUNK", 8)
+        plan = FaultPlan(0, [
+            {"site": "dist.worker.chunk", "kind": "crash", "count": 1},
+        ])
+        with armed(plan):
+            with WorkerServer() as w1, WorkerServer() as w2:
+                report = _remote(
+                    oracle, dataset, [w1.address, w2.address]).search(SPACE)
+        assert plan.stats()["fired"] == 1
+        assert _blob(report) == _blob(thread_report)
+
+    def test_dropped_sends_byte_identical(
+            self, oracle, dataset, thread_report, monkeypatch):
+        monkeypatch.setattr("repro.search.engine._REMOTE_CHUNK", 8)
+        plan = FaultPlan(1, [
+            {"site": "dist.frame.send", "kind": "drop", "after": 4,
+             "count": 2},
+        ])
+        metrics = MetricsRegistry()
+        with armed(plan):
+            with WorkerServer() as w1, WorkerServer() as w2:
+                report = _remote(
+                    oracle, dataset, [w1.address, w2.address],
+                    metrics).search(SPACE)
+        assert _blob(report) == _blob(thread_report)
+
+    def test_corrupted_frames_byte_identical(
+            self, oracle, dataset, thread_report, monkeypatch):
+        """Corrupted payload bytes surface as ProtocolError, the
+        connection recycles, and the chunk re-evaluates elsewhere."""
+        monkeypatch.setattr("repro.search.engine._REMOTE_CHUNK", 8)
+        plan = FaultPlan(2, [
+            {"site": "dist.frame.recv", "kind": "corrupt", "after": 6,
+             "count": 2},
+        ])
+        with armed(plan):
+            with WorkerServer() as w1, WorkerServer() as w2:
+                report = _remote(
+                    oracle, dataset, [w1.address, w2.address]).search(SPACE)
+        assert _blob(report) == _blob(thread_report)
+
+    def test_same_seed_same_fault_sequence(self):
+        plan_a = FaultPlan(9, [
+            {"site": "dist.*", "kind": "drop", "probability": 0.25},
+        ])
+        plan_b = FaultPlan(9, [
+            {"site": "dist.*", "kind": "drop", "probability": 0.25},
+        ])
+        sites = ["dist.frame.send", "dist.frame.recv",
+                 "dist.worker.chunk"] * 20
+        assert [plan_a.fire(s) is not None for s in sites] == \
+            [plan_b.fire(s) is not None for s in sites]
+
+
+class TestHeartbeatEdges:
+    """RemoteCoordinator heartbeat-timeout edges (the satellite)."""
+
+    def test_zombie_worker_heartbeats_but_never_answers(
+            self, oracle, dataset, thread_report, monkeypatch):
+        """A worker that heartbeats forever without returning results is
+        bounded by the chunk timeout, not trusted indefinitely.  A
+        zombie-only fleet forces the timeout path (with a healthy peer
+        the straggler-steal path rescues the chunk first); the breaker
+        then stops the reconnect cycle and the leftover evaluates
+        locally — byte-identical either way."""
+        monkeypatch.setattr("repro.search.engine._REMOTE_CHUNK", 8)
+        monkeypatch.setenv("REPRO_DIST_CHUNK_TIMEOUT_S", "0.2")
+        zombie = WorkerServer(heartbeat_interval=0.05)
+        # Evaluation stalls well past the chunk timeout; heartbeats
+        # keep flowing, so only the chunk budget can unmask it.
+        real_evaluate = zombie._evaluate
+
+        def stalled(engine, candidates):
+            time.sleep(1.2)
+            return real_evaluate(engine, candidates)
+
+        zombie._evaluate = stalled
+        metrics = MetricsRegistry()
+        with zombie:
+            report = _remote(
+                oracle, dataset, [zombie.address], metrics).search(SPACE)
+        assert _blob(report) == _blob(thread_report)
+        snap = metrics.snapshot()
+        assert snap["dist.chunks_timed_out"]["value"] >= 1
+        assert snap["dist.workers_lost"]["value"] >= 1
+        assert snap["dist.breaker.trips"]["value"] >= 1
+
+    def test_worker_dies_mid_frame_truncated_length_prefix(
+            self, oracle, dataset, thread_report, monkeypatch):
+        """A worker killed mid-RESULT leaves a frame whose length prefix
+        promises more bytes than ever arrive; the coordinator treats the
+        short read as a lost worker and re-runs the chunk."""
+        import pickle
+
+        import repro.dist.worker as worker_mod
+
+        monkeypatch.setattr("repro.search.engine._REMOTE_CHUNK", 8)
+        real_send = worker_mod.send_frame
+        state = {"fired": False}
+
+        def truncating(sock, kind, **fields):
+            if kind == RESULT and not state["fired"]:
+                state["fired"] = True
+                blob = pickle.dumps((kind, fields),
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                # Full header, half the payload, then the wire dies.
+                sock.sendall(
+                    _HEADER.pack(MAGIC, len(blob)) + blob[:len(blob) // 2])
+                sock.close()
+                raise ConnectionError("worker died mid-frame")
+            return real_send(sock, kind, **fields)
+
+        monkeypatch.setattr(worker_mod, "send_frame", truncating)
+        metrics = MetricsRegistry()
+        with WorkerServer() as w1, WorkerServer() as w2:
+            report = _remote(
+                oracle, dataset, [w1.address, w2.address],
+                metrics).search(SPACE)
+        assert state["fired"]
+        # Identical modulo `cached` provenance: the reconnected worker
+        # legitimately re-serves its lost chunk from its warm local
+        # cache, so the retried evaluations carry cached=True.  Every
+        # value, the frontier order, and the stats are pinned exactly.
+        def normalized(report):
+            blob = report.asdict()
+            for section in ("frontier",):
+                for entry in blob[section]:
+                    entry["cached"] = False
+            blob["best"]["cached"] = False
+            return json.dumps(blob, sort_keys=True)
+
+        assert normalized(report) == normalized(thread_report)
+        assert report.stats == thread_report.stats
+        assert metrics.snapshot()["dist.workers_lost"]["value"] >= 1
+
+
+class TestBreaker:
+    def test_breaker_gives_up_on_flapping_worker(
+            self, oracle, dataset, thread_report, monkeypatch):
+        """A worker that accepts every handshake but dies on every chunk
+        must trip the breaker, not flap forever (reconnect successes do
+        NOT reset the failure count — only completed chunks do)."""
+        monkeypatch.setattr("repro.search.engine._REMOTE_CHUNK", 8)
+        metrics = MetricsRegistry()
+        with WorkerServer(fail_after_chunks=0) as flapper, \
+                WorkerServer() as healthy:
+            report = _remote(
+                oracle, dataset, [flapper.address, healthy.address],
+                metrics).search(SPACE)
+        assert _blob(report) == _blob(thread_report)
+        snap = metrics.snapshot()
+        assert snap["dist.breaker.trips"]["value"] >= 1
+
+    def test_breaker_stats_surface_via_coordinator(self):
+        coord = RemoteCoordinator.__new__(RemoteCoordinator)
+        # stats schema is part of the observability contract.
+        from repro.dist.coordinator import RemoteCoordinator as RC
+
+        assert {"breaker.trips", "breaker.rejected", "chunks_timed_out",
+                "workers_reconnected", "handshake_retries"} <= set(
+            RC(["localhost:1"], b"", "d").stats)
+
+
+class TestHandshakeRetry:
+    def test_transient_handshake_drop_is_retried(
+            self, oracle, dataset, thread_report, monkeypatch):
+        """One dropped HELLO send is absorbed by the retry policy — the
+        fleet still connects and the search completes remotely."""
+        monkeypatch.setattr("repro.search.engine._REMOTE_CHUNK", 8)
+        plan = FaultPlan(0, [
+            {"site": "dist.frame.send", "kind": "drop", "count": 1},
+        ])
+        metrics = MetricsRegistry()
+        with armed(plan):
+            with WorkerServer() as w1:
+                report = _remote(
+                    oracle, dataset, [w1.address], metrics).search(SPACE)
+        assert _blob(report) == _blob(thread_report)

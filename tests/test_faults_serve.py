@@ -1,0 +1,370 @@
+"""Chaos battery for the serving layer (repro.serve under faults).
+
+Campaigns: injected handler/pool faults map to the documented error
+envelopes (500 ``injected-fault``), deadline budgets produce 504s with
+the standard envelope shape, a saturated job queue produces 503 +
+``Retry-After``, and the client's retry policy absorbs transient
+failures — except on ``POST /v1/jobs``, which is never retried (a
+duplicate submission is worse than a surfaced error).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy, armed, disarm
+from repro.serve import (
+    JobManager,
+    JobQueueFull,
+    PlanningClient,
+    PlanningServer,
+    ServerError,
+)
+from repro.serve.server import _App
+
+BASE = {
+    "model": {"name": "alexnet"},
+    "cluster": {"pes": 8},
+    "training": {"samples_per_pe": 4},
+}
+PROJECT_DOC = dict(BASE, strategy={"id": "d"})
+
+#: Small enough to expire before any handler runs, large enough to
+#: satisfy Deadline's > 0 validation (a 0 header/budget is *ignored*).
+EXPIRED_S = 1e-9
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+@pytest.fixture(scope="module")
+def server():
+    with PlanningServer(port=0, pool_size=8) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return PlanningClient(server.url)
+
+
+# ---------------------------------------------------------------------------
+# Injected faults -> documented envelopes
+# ---------------------------------------------------------------------------
+
+class TestInjectedFaults:
+    def test_handler_fault_is_500_injected_fault(self, client):
+        plan = FaultPlan(0, [
+            {"site": "serve.handler", "kind": "error", "count": 1},
+        ])
+        with armed(plan):
+            with pytest.raises(ServerError) as exc_info:
+                client.project(PROJECT_DOC)
+        assert exc_info.value.status == 500
+        assert exc_info.value.payload["error"]["type"] == "injected-fault"
+        # One-shot: the next request answers normally.
+        assert client.project(PROJECT_DOC)["kind"] == "project"
+
+    def test_pool_fault_is_500_injected_fault(self, client):
+        plan = FaultPlan(0, [
+            {"site": "serve.pool.session", "kind": "error", "count": 1},
+        ])
+        with armed(plan):
+            with pytest.raises(ServerError) as exc_info:
+                client.project(PROJECT_DOC)
+        assert exc_info.value.status == 500
+        assert exc_info.value.payload["error"]["type"] == "injected-fault"
+
+    def test_client_drop_fault_is_connection_error(self, client):
+        plan = FaultPlan(0, [
+            {"site": "serve.client.request", "kind": "drop", "count": 1},
+        ])
+        with armed(plan):
+            with pytest.raises(ConnectionError):
+                client.project(PROJECT_DOC)
+
+    def test_seeded_campaign_is_deterministic(self, client):
+        def outcomes(seed):
+            plan = FaultPlan(seed, [
+                {"site": "serve.handler", "kind": "error",
+                 "probability": 0.4},
+            ])
+            results = []
+            with armed(plan):
+                for _ in range(12):
+                    try:
+                        client.project(PROJECT_DOC)
+                        results.append("ok")
+                    except ServerError as exc:
+                        results.append(exc.payload["error"]["type"])
+            return results
+
+        assert outcomes(3) == outcomes(3)
+        assert "injected-fault" in outcomes(3)
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+class TestDeadlines:
+    def test_client_deadline_header_produces_504(self, server):
+        client = PlanningClient(server.url, deadline_s=EXPIRED_S)
+        with pytest.raises(ServerError) as exc_info:
+            client.project(PROJECT_DOC)
+        assert exc_info.value.status == 504
+        assert exc_info.value.payload["error"]["type"] == \
+            "deadline-exceeded"
+
+    def test_server_budget_produces_504(self):
+        with PlanningServer(port=0, pool_size=4,
+                            request_deadline_s=EXPIRED_S) as srv:
+            client = PlanningClient(srv.url)
+            with pytest.raises(ServerError) as exc_info:
+                client.project(PROJECT_DOC)
+        assert exc_info.value.status == 504
+        assert exc_info.value.payload["error"]["type"] == \
+            "deadline-exceeded"
+
+    def test_generous_deadline_is_invisible(self, server):
+        client = PlanningClient(server.url, deadline_s=60.0)
+        assert client.project(PROJECT_DOC)["kind"] == "project"
+
+    def test_unparsable_or_zero_header_ignored(self):
+        app = _App.__new__(_App)
+        app.request_deadline_s = None
+        assert app._request_deadline({"X-Repro-Deadline-S": "soon"}) is None
+        assert app._request_deadline({"X-Repro-Deadline-S": "0"}) is None
+        assert app._request_deadline({}) is None
+        assert app._request_deadline(None) is None
+
+    def test_header_min_with_server_budget(self):
+        app = _App.__new__(_App)
+        app.request_deadline_s = 5.0
+        deadline = app._request_deadline({"X-Repro-Deadline-S": "60"})
+        assert deadline is not None
+        assert deadline.remaining() <= 5.0
+        tighter = app._request_deadline({"X-Repro-Deadline-S": "2"})
+        assert tighter.remaining() <= 2.0
+
+
+# ---------------------------------------------------------------------------
+# Job queue saturation -> 503 + Retry-After
+# ---------------------------------------------------------------------------
+
+class TestQueueSaturation:
+    def test_job_manager_rejects_beyond_max_pending(self):
+        manager = JobManager(workers=1, max_pending=1)
+        gate = threading.Event()
+        try:
+            manager.submit("wait", lambda: {"done": gate.wait(5)})
+            with pytest.raises(JobQueueFull) as exc_info:
+                manager.submit("extra", lambda: {})
+            assert exc_info.value.retry_after_s > 0
+            assert manager.stats()["rejected"] == 1.0
+        finally:
+            gate.set()
+            manager.shutdown(wait=True)
+
+    def test_http_503_with_retry_after(self):
+        with PlanningServer(port=0, pool_size=4, job_workers=1,
+                            job_max_pending=1) as srv:
+            gate = threading.Event()
+            # Wedge the single job slot deterministically, then submit
+            # over HTTP: admission control must answer 503.
+            srv.jobs.submit("block", lambda: {"done": gate.wait(10)})
+            client = PlanningClient(srv.url)
+            with pytest.raises(ServerError) as exc_info:
+                client.submit("project", PROJECT_DOC)
+            gate.set()
+        assert exc_info.value.status == 503
+        assert exc_info.value.payload["error"]["type"] == "queue-full"
+        assert exc_info.value.retry_after is not None
+        assert exc_info.value.retry_after > 0
+
+    def test_retry_after_header_on_wire(self):
+        with PlanningServer(port=0, pool_size=4, job_workers=1,
+                            job_max_pending=1) as srv:
+            gate = threading.Event()
+            srv.jobs.submit("block", lambda: {"done": gate.wait(10)})
+            client = PlanningClient(srv.url)
+            status, _raw, headers = client._exchange(
+                "POST", "/v1/jobs",
+                b'{"verb": "project", "scenario": '
+                b'{"model": {"name": "alexnet"}, "cluster": {"pes": 8},'
+                b' "training": {"samples_per_pe": 4},'
+                b' "strategy": {"id": "d"}}}')
+            gate.set()
+        assert status == 503
+        assert float(headers["Retry-After"]) > 0
+
+    def test_result_payload_eviction_is_counted(self):
+        manager = JobManager(workers=1, max_results=1)
+        try:
+            a = manager.submit("a", lambda: {"big": "x" * 64})
+            manager.wait(a.id, timeout=5.0)
+            b = manager.submit("b", lambda: {"big": "y" * 64})
+            manager.wait(b.id, timeout=5.0)
+            deadline = time.monotonic() + 5.0
+            while (manager.stats()["results_evicted"] < 1.0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert manager.stats()["results_evicted"] >= 1.0
+            snap = manager.get(a.id).snapshot()
+            assert snap.get("result_evicted") is True
+            assert "result" not in snap
+        finally:
+            manager.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Client retry policy
+# ---------------------------------------------------------------------------
+
+class TestClientRetries:
+    def test_transient_503_is_retried(self, server, monkeypatch):
+        client = PlanningClient(
+            server.url,
+            retries=RetryPolicy(3, base_delay_s=0.01,
+                                sleep=lambda s: None))
+        calls = {"n": 0}
+        real = client._request_once
+
+        def flaky(method, path, body=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ServerError(503, {"error": {
+                    "type": "queue-full", "message": "full",
+                    "retry_after_s": 0.0}})
+            return real(method, path, body)
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        assert client.project(PROJECT_DOC)["kind"] == "project"
+        assert calls["n"] == 2
+
+    def test_transport_error_is_retried(self, server, monkeypatch):
+        client = PlanningClient(
+            server.url,
+            retries=RetryPolicy(3, base_delay_s=0.01,
+                                sleep=lambda s: None))
+        calls = {"n": 0}
+        real = client._request_once
+
+        def flaky(method, path, body=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ConnectionError("reset by peer")
+            return real(method, path, body)
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        assert client.health()["status"] == "ok"
+        assert calls["n"] == 2
+
+    def test_non_retryable_status_raises_immediately(self, server,
+                                                     monkeypatch):
+        client = PlanningClient(
+            server.url,
+            retries=RetryPolicy(3, base_delay_s=0.01,
+                                sleep=lambda s: None))
+        calls = {"n": 0}
+
+        def always_422(method, path, body=None):
+            calls["n"] += 1
+            raise ServerError(422, {"error": {"type": "infeasible",
+                                              "message": "no"}})
+
+        monkeypatch.setattr(client, "_request_once", always_422)
+        with pytest.raises(ServerError):
+            client.project(PROJECT_DOC)
+        assert calls["n"] == 1
+
+    def test_job_submission_never_retried(self, server, monkeypatch):
+        client = PlanningClient(
+            server.url,
+            retries=RetryPolicy(5, base_delay_s=0.01,
+                                sleep=lambda s: None))
+        calls = {"n": 0}
+
+        def fail(method, path, body=None):
+            calls["n"] += 1
+            raise ServerError(503, {"error": {"type": "queue-full",
+                                              "message": "full"}})
+
+        monkeypatch.setattr(client, "_request_once", fail)
+        with pytest.raises(ServerError):
+            client.submit("project", PROJECT_DOC)
+        assert calls["n"] == 1  # a duplicate job is worse than an error
+
+    def test_retry_honors_retry_after_hint(self, server, monkeypatch):
+        slept = []
+        client = PlanningClient(
+            server.url,
+            retries=RetryPolicy(2, base_delay_s=0.001,
+                                sleep=slept.append))
+        calls = {"n": 0}
+        real = client._request_once
+
+        def flaky(method, path, body=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ServerError(503, {"error": {
+                    "type": "queue-full", "message": "full",
+                    "retry_after_s": 0.5}})
+            return real(method, path, body)
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        assert client.health()["status"] == "ok"
+        # The backoff never undercuts the server's hint.
+        assert slept and slept[0] >= 0.5
+
+    def test_default_client_does_not_retry(self, server, monkeypatch):
+        client = PlanningClient(server.url)
+        calls = {"n": 0}
+
+        def fail(method, path, body=None):
+            calls["n"] += 1
+            raise ServerError(503, {"error": {"type": "queue-full",
+                                              "message": "full"}})
+
+        monkeypatch.setattr(client, "_request_once", fail)
+        with pytest.raises(ServerError):
+            client.project(PROJECT_DOC)
+        assert calls["n"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Client timeouts
+# ---------------------------------------------------------------------------
+
+class TestClientTimeout:
+    def test_default_timeout_is_30s(self, server):
+        client = PlanningClient(server.url)
+        assert client.timeout == 30.0
+        assert client.connect_timeout == 30.0
+        assert client.read_timeout == 30.0
+
+    def test_connect_read_tuple(self, server):
+        client = PlanningClient(server.url, timeout=(5.0, 60.0))
+        assert client.connect_timeout == 5.0
+        assert client.read_timeout == 60.0
+        assert client.timeout == 60.0
+        assert client.project(PROJECT_DOC)["kind"] == "project"
+
+    def test_connect_failure_to_dead_port_is_os_error(self):
+        # Port 9 (discard) has no listener here: the connect refuses
+        # instantly or times out at the configured bound — either way
+        # an OSError, well before the read budget.
+        client = PlanningClient("http://127.0.0.1:9", timeout=0.2)
+        t0 = time.monotonic()
+        with pytest.raises(OSError):
+            client.health()
+        assert time.monotonic() - t0 < 5.0
+
+    def test_rejects_non_http_scheme(self):
+        with pytest.raises(ValueError):
+            PlanningClient("ftp://host:1")
